@@ -1,0 +1,35 @@
+//! Ablation: cost of the `PRE_s` bijection matching (Def. 3.2) as the
+//! argument multisets grow. The key-equality compatibility graph makes
+//! this the worst-case-quadratic part of retroactive checking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use commcsl::logic::matching::pre_shared_holds;
+use commcsl::pure::{Multiset, Value};
+
+fn args(n: usize, value_offset: i64) -> Multiset<Value> {
+    (0..n)
+        .map(|i| Value::pair(Value::Int((i % 8) as i64), Value::Int(i as i64 + value_offset)))
+        .collect()
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching_scaling");
+    for n in [4usize, 16, 64, 128] {
+        let left = args(n, 0);
+        let right = args(n, 1000); // same keys, different (high) values
+        group.bench_with_input(BenchmarkId::new("key_bijection", n), &n, |b, _| {
+            b.iter(|| {
+                let ok = pre_shared_holds(&left, &right, |a, b| {
+                    a.as_pair().unwrap().0 == b.as_pair().unwrap().0
+                });
+                assert!(ok);
+                ok
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Ablation: cost of the empirical non-interference harness per fixture
+//! (interpreting the program under the scheduler battery for a pair of
+//! high inputs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use commcsl::fixtures;
+use commcsl::lang::nicheck::{check_non_interference, NiConfig};
+
+fn bench_ni(c: &mut Criterion) {
+    let config = NiConfig {
+        random_seeds: 2,
+        fuel: 100_000,
+    };
+    let mut group = c.benchmark_group("ni_harness");
+    group.sample_size(10);
+    for fixture in fixtures::all() {
+        let Some(ni) = fixture.ni else { continue };
+        group.bench_function(fixture.name, |b| {
+            b.iter(|| {
+                let report = check_non_interference(
+                    &ni.program,
+                    &ni.low_inputs,
+                    &ni.high_inputs,
+                    &ni.low_outputs,
+                    &config,
+                );
+                assert!(report.holds());
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ni);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench: verification time per Table 1 example (the paper's
+//! `T` column; see EXPERIMENTS.md for the shape comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use commcsl::fixtures;
+use commcsl::verifier::{verify, VerifierConfig};
+
+fn bench_table1(c: &mut Criterion) {
+    let config = VerifierConfig::default();
+    let mut group = c.benchmark_group("table1_verification");
+    group.sample_size(10);
+    for fixture in fixtures::all() {
+        group.bench_function(fixture.name, |b| {
+            b.iter(|| {
+                let report = verify(&fixture.program, &config);
+                assert!(report.verified(), "{}", fixture.name);
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation: cost of resource-specification validity checking (Def. 3.1)
+//! as the number of unique actions grows — the number of commutativity
+//! obligations grows quadratically, each discharged symbolically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use commcsl::logic::spec::ResourceSpec;
+use commcsl::logic::validity::{check_validity, ValidityConfig};
+
+fn bench_validity(c: &mut Criterion) {
+    let config = ValidityConfig::default();
+    let mut group = c.benchmark_group("validity_scaling");
+    group.sample_size(10);
+    for n in [1usize, 2, 3, 4, 6] {
+        let spec = ResourceSpec::disjoint_put_map(n);
+        group.bench_with_input(BenchmarkId::new("disjoint_put_map", n), &spec, |b, s| {
+            b.iter(|| {
+                let report = check_validity(s, &config);
+                assert!(report.is_valid());
+                report
+            })
+        });
+    }
+    // Fixed-size comparison points.
+    for (name, spec) in [
+        ("keyset_map", ResourceSpec::keyset_map()),
+        ("histogram", ResourceSpec::histogram()),
+        ("producer_consumer", ResourceSpec::producer_consumer(true)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| check_validity(&spec, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_validity);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates Table 1 of the paper: verifies all 18 evaluation examples
+//! five times each (as in the paper) and prints the averaged table.
+//!
+//! Run with `cargo run -p commcsl-bench --release --bin table1`.
+
+use commcsl_bench::{render_table, table1_rows};
+
+fn main() {
+    let rows = table1_rows(5);
+    println!("Table 1 (reproduction) — verification times averaged over 5 runs\n");
+    print!("{}", render_table(&rows));
+    let all_ok = rows.iter().all(|r| r.verified);
+    println!(
+        "\n{} / {} examples verified",
+        rows.iter().filter(|r| r.verified).count(),
+        rows.len()
+    );
+    std::process::exit(if all_ok { 0 } else { 1 });
+}

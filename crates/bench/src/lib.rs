@@ -1,0 +1,97 @@
+//! Benchmark harness regenerating the paper's evaluation (Table 1) and
+//! ablation studies.
+//!
+//! [`table1_rows`] produces the same columns the paper reports: example
+//! name, data structure, abstraction, LOC, annotation count, and the
+//! verification time averaged over several runs. Absolute times are not
+//! comparable (the paper measures Viper+Z3 on a warmed JVM; we measure a
+//! native in-process verifier) — EXPERIMENTS.md compares *shape*.
+
+use std::time::{Duration, Instant};
+
+use commcsl::fixtures;
+use commcsl::verifier::{verify, VerifierConfig};
+use serde::Serialize;
+
+/// One reproduced row of Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Example name (paper row).
+    pub example: &'static str,
+    /// Data structure column.
+    pub data_structure: &'static str,
+    /// Abstraction column.
+    pub abstraction: &'static str,
+    /// Lines of code (annotated-program statements).
+    pub loc: usize,
+    /// Annotation count (specifications and proof annotations).
+    pub annotations: usize,
+    /// Verification time, averaged over `runs`.
+    pub time: Duration,
+    /// Whether verification succeeded (it must, for every row).
+    pub verified: bool,
+}
+
+/// Verifies every fixture `runs` times and reports the averaged rows.
+pub fn table1_rows(runs: u32) -> Vec<Table1Row> {
+    let config = VerifierConfig::default();
+    fixtures::all()
+        .into_iter()
+        .map(|f| {
+            let mut total = Duration::ZERO;
+            let mut verified = true;
+            for _ in 0..runs {
+                let start = Instant::now();
+                let report = verify(&f.program, &config);
+                total += start.elapsed();
+                verified &= report.verified();
+            }
+            Table1Row {
+                example: f.name,
+                data_structure: f.data_structure,
+                abstraction: f.abstraction,
+                loc: f.program.loc(),
+                annotations: f.program.annotation_count(),
+                time: total / runs,
+                verified,
+            }
+        })
+        .collect()
+}
+
+/// Renders rows in the paper's table layout.
+pub fn render_table(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:<28} {:<20} {:>5} {:>5} {:>10}  {}\n",
+        "Example", "Data structure", "Abstraction", "LOC", "Ann.", "T (ms)", "OK"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<26} {:<28} {:<20} {:>5} {:>5} {:>10.3}  {}\n",
+            r.example,
+            r.data_structure,
+            r.abstraction,
+            r.loc,
+            r.annotations,
+            r.time.as_secs_f64() * 1000.0,
+            if r.verified { "yes" } else { "NO" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_rows_and_everything_verifies() {
+        let rows = table1_rows(1);
+        assert_eq!(rows.len(), 18);
+        assert!(rows.iter().all(|r| r.verified));
+        let rendered = render_table(&rows);
+        assert!(rendered.contains("Figure 3"));
+        assert!(rendered.contains("Key set"));
+    }
+}

@@ -1,0 +1,170 @@
+//! The evaluation suite of the CommCSL paper (Table 1).
+//!
+//! Every row of Table 1 is reproduced as a [`Fixture`]: an annotated
+//! program for the verifier (`commcsl-verifier`), the Table 1 metadata
+//! (data structure, abstraction), and — where the example has an
+//! interesting dynamic behaviour — an executable `commcsl-lang` program
+//! with input assignments for the *empirical* non-interference harness.
+//!
+//! [`all`] returns the 18 fixtures in the paper's order; [`rejected`]
+//! collects the known-insecure variants (Fig. 1's assignments, leaking map
+//! values, the literal-mean abstraction) that the verifier must reject and
+//! for which the harness exhibits actual leaks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rejected;
+pub mod rows;
+
+use commcsl_lang::ast::Cmd;
+use commcsl_pure::{Symbol, Value};
+use commcsl_verifier::AnnotatedProgram;
+
+/// Inputs for the empirical non-interference check of a fixture.
+#[derive(Debug, Clone)]
+pub struct NiSetup {
+    /// The executable program.
+    pub program: Cmd,
+    /// Low inputs (identical in all runs).
+    pub low_inputs: Vec<(Symbol, Value)>,
+    /// High input assignments (pairwise compared).
+    pub high_inputs: Vec<Vec<(Symbol, Value)>>,
+    /// Low output variables (the output log is always observed).
+    pub low_outputs: Vec<Symbol>,
+}
+
+/// One evaluation example (a row of Table 1).
+#[derive(Debug, Clone)]
+pub struct Fixture {
+    /// Row name as in Table 1.
+    pub name: &'static str,
+    /// "Data structure" column.
+    pub data_structure: &'static str,
+    /// "Abstraction" column.
+    pub abstraction: &'static str,
+    /// The annotated program verified by HyperViper's analogue.
+    pub program: AnnotatedProgram,
+    /// Optional executable setup for the empirical harness.
+    pub ni: Option<NiSetup>,
+}
+
+/// All 18 fixtures, in Table 1 order.
+pub fn all() -> Vec<Fixture> {
+    vec![
+        rows::count_vaccinated(),
+        rows::figure2(),
+        rows::count_sick_days(),
+        rows::figure1(),
+        rows::mean_salary(),
+        rows::email_metadata(),
+        rows::patient_statistic(),
+        rows::debt_sum(),
+        rows::sick_employee_names(),
+        rows::website_visitor_ips(),
+        rows::figure3(),
+        rows::sales_by_region(),
+        rows::salary_histogram(),
+        rows::count_purchases(),
+        rows::most_valuable_purchase(),
+        rows::producer_consumer_1x1(),
+        rows::pipeline(),
+        rows::producers_consumers_2x2(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commcsl_lang::nicheck::{check_non_interference, NiConfig};
+    use commcsl_verifier::verify;
+
+    #[test]
+    fn all_eighteen_rows_present_in_order() {
+        let names: Vec<&str> = all().iter().map(|f| f.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Count-Vaccinated",
+                "Figure 2",
+                "Count-Sick-Days",
+                "Figure 1",
+                "Mean-Salary",
+                "Email-Metadata",
+                "Patient-Statistic",
+                "Debt-Sum",
+                "Sick-Employee-Names",
+                "Website-Visitor-IPs",
+                "Figure 3",
+                "Sales-By-Region",
+                "Salary-Histogram",
+                "Count-Purchases",
+                "Most-Valuable-Purchase",
+                "1-Producer-1-Consumer",
+                "Pipeline",
+                "2-Producers-2-Consumers",
+            ]
+        );
+    }
+
+    #[test]
+    fn every_fixture_verifies() {
+        for f in all() {
+            let report = verify(&f.program, &Default::default());
+            assert!(report.verified(), "fixture {}:\n{report}", f.name);
+        }
+    }
+
+    #[test]
+    fn empirical_ni_holds_for_fixtures_with_executables() {
+        let config = NiConfig {
+            random_seeds: 3,
+            fuel: 200_000,
+        };
+        for f in all() {
+            let Some(ni) = &f.ni else { continue };
+            let report = check_non_interference(
+                &ni.program,
+                &ni.low_inputs,
+                &ni.high_inputs,
+                &ni.low_outputs,
+                &config,
+            );
+            assert_eq!(report.aborted, 0, "{}: aborted executions", f.name);
+            assert!(report.executions > 0, "{}: nothing ran", f.name);
+            assert!(
+                report.holds(),
+                "{}: verifier accepted but harness observed a leak: {:?}",
+                f.name,
+                report.violation
+            );
+        }
+    }
+
+    #[test]
+    fn rejected_variants_fail_verification() {
+        for (name, program) in rejected::all_programs() {
+            let report = verify(&program, &Default::default());
+            assert!(!report.verified(), "{name} must be rejected");
+        }
+    }
+
+    #[test]
+    fn figure1_rejected_variant_actually_leaks() {
+        let (prog, low, high, outs) = rejected::figure1_assignments_executable();
+        let report = check_non_interference(
+            &prog,
+            &low,
+            &high,
+            &outs,
+            &NiConfig {
+                random_seeds: 4,
+                fuel: 100_000,
+            },
+        );
+        assert!(
+            !report.holds(),
+            "the Fig. 1 internal timing channel must be observable"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Known-insecure variants that the verifier must reject.
+//!
+//! These are the negative controls of the evaluation: Fig. 1's racy
+//! assignments *with the value leaked*, the Fig. 3 map when the client
+//! leaks a value instead of the key set, and the literal-mean abstraction
+//! (whose invalidity motivates the (sum, length) pair).
+
+use commcsl_lang::ast::Cmd;
+use commcsl_lang::parser::parse_program;
+use commcsl_logic::spec::{ActionDef, ResourceSpec};
+use commcsl_pure::{Func, Sort, Symbol, Term, Value};
+use commcsl_verifier::program::{AnnotatedProgram, VStmt};
+
+/// Fig. 1 with the *identity* abstraction (the value of `s` is leaked):
+/// the assignments do not commute and the spec is invalid.
+pub fn figure1_assignments() -> AnnotatedProgram {
+    let set = ActionDef::shared(
+        "Set",
+        Sort::Int,
+        Term::var(ActionDef::ARG_VAR),
+        Term::eq(
+            Term::var(ActionDef::ARG1_VAR),
+            Term::var(ActionDef::ARG2_VAR),
+        ),
+    );
+    let spec = ResourceSpec::new(
+        "fig1-identity",
+        Sort::Int,
+        Term::var(ResourceSpec::VALUE_VAR),
+        [set],
+    );
+    AnnotatedProgram::new("figure1-leaky")
+        .with_resource(spec)
+        .with_body([
+            VStmt::Share {
+                resource: 0,
+                init: Term::int(0),
+            },
+            VStmt::Par {
+                workers: vec![
+                    vec![VStmt::atomic(0, "Set", Term::int(3))],
+                    vec![VStmt::atomic(0, "Set", Term::int(4))],
+                ],
+            },
+            VStmt::Unshare {
+                resource: 0,
+                into: "s".into(),
+            },
+            VStmt::Output(Term::var("s")),
+        ])
+}
+
+/// The executable Fig. 1 (assignments, value printed): exhibits the
+/// internal timing channel under the scheduler battery.
+pub fn figure1_assignments_executable() -> (
+    Cmd,
+    Vec<(Symbol, Value)>,
+    Vec<Vec<(Symbol, Value)>>,
+    Vec<Symbol>,
+) {
+    let prog = parse_program(
+        "par {
+             t1 := 0; while (t1 < 20) { t1 := t1 + 1 };
+             atomic { s := 3 }
+         } {
+             t2 := 0; while (t2 < h) { t2 := t2 + 1 };
+             atomic { s := 4 }
+         };
+         output(s)",
+    )
+    .expect("figure1 leak executable parses");
+    (
+        prog,
+        vec![],
+        vec![
+            vec![(Symbol::new("h"), Value::Int(0))],
+            vec![(Symbol::new("h"), Value::Int(200))],
+        ],
+        vec![],
+    )
+}
+
+/// Fig. 3's map where the client outputs a *value* (high) instead of the
+/// key set: the key-set abstraction does not justify the output.
+pub fn figure3_value_leak() -> AnnotatedProgram {
+    AnnotatedProgram::new("figure3-value-leak")
+        .with_resource(ResourceSpec::keyset_map())
+        .with_body([
+            VStmt::Share {
+                resource: 0,
+                init: Term::Lit(Value::map_empty()),
+            },
+            VStmt::Par {
+                workers: vec![
+                    vec![
+                        VStmt::input("r1", Sort::Int, false),
+                        VStmt::atomic(0, "Put", Term::pair(Term::int(0), Term::var("r1"))),
+                    ],
+                    vec![
+                        VStmt::input("r2", Sort::Int, false),
+                        VStmt::atomic(0, "Put", Term::pair(Term::int(1), Term::var("r2"))),
+                    ],
+                ],
+            },
+            VStmt::Unshare {
+                resource: 0,
+                into: "m".into(),
+            },
+            VStmt::Output(Term::app(
+                Func::MapGetOr,
+                [Term::var("m"), Term::int(0), Term::int(0)],
+            )),
+        ])
+}
+
+/// The literal-mean abstraction: `α(l) = mean(l)` is not preserved by
+/// appends (means can agree while sums and lengths differ), so validity
+/// fails with a concrete counterexample.
+pub fn literal_mean() -> AnnotatedProgram {
+    AnnotatedProgram::new("literal-mean")
+        .with_resource(ResourceSpec::list_mean_literal())
+        .with_body([
+            VStmt::input("x", Sort::Int, true),
+            VStmt::Share {
+                resource: 0,
+                init: Term::Lit(Value::seq_empty()),
+            },
+            VStmt::Par {
+                workers: vec![
+                    vec![VStmt::atomic(0, "Append", Term::var("x"))],
+                    vec![VStmt::atomic(0, "Append", Term::var("x"))],
+                ],
+            },
+            VStmt::Unshare {
+                resource: 0,
+                into: "l".into(),
+            },
+            VStmt::Output(Term::app(Func::SeqMean, [Term::var("l")])),
+        ])
+}
+
+/// A unique action used from two workers (guard discipline violation).
+pub fn unique_guard_violation() -> AnnotatedProgram {
+    AnnotatedProgram::new("unique-guard-violation")
+        .with_resource(ResourceSpec::disjoint_put_map(2))
+        .with_body([
+            VStmt::Share {
+                resource: 0,
+                init: Term::Lit(Value::map_empty()),
+            },
+            VStmt::Par {
+                workers: vec![
+                    vec![VStmt::atomic(
+                        0,
+                        "Put0",
+                        Term::pair(Term::int(0), Term::int(1)),
+                    )],
+                    vec![VStmt::atomic(
+                        0,
+                        "Put0",
+                        Term::pair(Term::int(2), Term::int(2)),
+                    )],
+                ],
+            },
+            VStmt::Unshare {
+                resource: 0,
+                into: "m".into(),
+            },
+            VStmt::Output(Term::var("m")),
+        ])
+}
+
+/// All rejected annotated programs, with names for reporting.
+pub fn all_programs() -> Vec<(&'static str, AnnotatedProgram)> {
+    vec![
+        ("figure1-assignments", figure1_assignments()),
+        ("figure3-value-leak", figure3_value_leak()),
+        ("literal-mean", literal_mean()),
+        ("unique-guard-violation", unique_guard_violation()),
+    ]
+}

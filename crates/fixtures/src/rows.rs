@@ -1,0 +1,823 @@
+//! The 18 rows of Table 1, as annotated programs plus (where dynamic
+//! behaviour is interesting) executable non-interference setups.
+//!
+//! All executable programs include *secret-dependent spin loops* before
+//! their shared-data operations: this is the internal-timing adversary of
+//! the paper's Fig. 1 — the schedule at the shared data structure depends
+//! on high data, and only commutativity (modulo abstraction) keeps the low
+//! outputs stable.
+
+use commcsl_lang::parser::parse_program;
+use commcsl_logic::spec::ResourceSpec;
+use commcsl_pure::{Func, Sort, Symbol, Term, Value};
+use commcsl_verifier::program::{AnnotatedProgram, VStmt};
+
+use crate::{Fixture, NiSetup};
+
+fn sym(s: &str) -> Symbol {
+    Symbol::new(s)
+}
+
+/// High-input pairs used by the executable setups: two assignments of `h`
+/// that differ a lot (so timing-dependent schedules actually differ).
+fn h_pair() -> Vec<Vec<(Symbol, Value)>> {
+    vec![
+        vec![(sym("h"), Value::Int(0))],
+        vec![(sym("h"), Value::Int(40))],
+    ]
+}
+
+/// A two-worker annotated program where each worker loops over half of a
+/// low-sized input and performs `action` with the given argument
+/// expression after reading the given per-iteration inputs.
+fn two_worker_loop(
+    name: &str,
+    spec: ResourceSpec,
+    init: Term,
+    iter_inputs: &[(&str, Sort, bool)],
+    action: &str,
+    arg: Term,
+    into: &str,
+    output: Term,
+) -> AnnotatedProgram {
+    let worker = |lo: Term, hi: Term| {
+        let mut body: Vec<VStmt> = iter_inputs
+            .iter()
+            .map(|(v, s, low)| VStmt::input(*v, s.clone(), *low))
+            .collect();
+        body.push(VStmt::atomic(0, action, arg.clone()));
+        vec![VStmt::for_range("i", lo, hi, body)]
+    };
+    let half = Term::app(Func::Div, [Term::var("n"), Term::int(2)]);
+    AnnotatedProgram::new(name)
+        .with_resource(spec)
+        .with_body([
+            VStmt::input("n", Sort::Int, true),
+            VStmt::Share { resource: 0, init },
+            VStmt::Par {
+                workers: vec![
+                    worker(Term::int(0), half.clone()),
+                    worker(half, Term::var("n")),
+                ],
+            },
+            VStmt::Unshare {
+                resource: 0,
+                into: into.into(),
+            },
+            VStmt::Output(output),
+        ])
+}
+
+/// Row 1: Count-Vaccinated — workers count vaccinated household members;
+/// the per-person vaccinated flag is low, the rest of the record is not.
+pub fn count_vaccinated() -> Fixture {
+    let worker = |lo: Term, hi: Term| {
+        vec![VStmt::for_range(
+            "i",
+            lo,
+            hi,
+            [
+                VStmt::input("vaccinated", Sort::Bool, true),
+                VStmt::input("record", Sort::Int, false),
+                VStmt::If {
+                    cond: Term::var("vaccinated"),
+                    then_b: vec![VStmt::atomic(0, "Add", Term::int(1))],
+                    else_b: vec![],
+                },
+            ],
+        )]
+    };
+    let half = Term::app(Func::Div, [Term::var("n"), Term::int(2)]);
+    let program = AnnotatedProgram::new("count-vaccinated")
+        .with_resource(ResourceSpec::counter_add())
+        .with_body([
+            VStmt::input("n", Sort::Int, true),
+            VStmt::Share {
+                resource: 0,
+                init: Term::int(0),
+            },
+            VStmt::Par {
+                workers: vec![
+                    worker(Term::int(0), half.clone()),
+                    worker(half, Term::var("n")),
+                ],
+            },
+            VStmt::Unshare {
+                resource: 0,
+                into: "c".into(),
+            },
+            VStmt::Output(Term::var("c")),
+        ]);
+    Fixture {
+        name: "Count-Vaccinated",
+        data_structure: "Counter, increment",
+        abstraction: "None",
+        program,
+        ni: None,
+    }
+}
+
+/// Row 2: Figure 2 — the paper's `targetSize`: workers add low
+/// per-household target counts to a shared counter; the look-up time
+/// depends on high data (hash collisions), modeled by a spin loop.
+pub fn figure2() -> Fixture {
+    let program = two_worker_loop(
+        "figure2-target-size",
+        ResourceSpec::counter_add(),
+        Term::int(0),
+        &[("targets", Sort::Int, true), ("household", Sort::Int, false)],
+        "Add",
+        Term::var("targets"),
+        "c",
+        Term::var("c"),
+    );
+    let exec = parse_program(
+        "par {
+             t1 := 0; while (t1 < h) { t1 := t1 + 1 };
+             atomic { c := c + 1 };
+             atomic { c := c + 2 }
+         } {
+             atomic { c := c + 3 };
+             atomic { c := c + 4 }
+         };
+         output(c)",
+    )
+    .expect("figure2 executable parses");
+    Fixture {
+        name: "Figure 2",
+        data_structure: "Integer, add",
+        abstraction: "None",
+        program,
+        ni: Some(NiSetup {
+            program: exec,
+            low_inputs: vec![],
+            high_inputs: h_pair(),
+            low_outputs: vec![],
+        }),
+    }
+}
+
+/// Row 3: Count-Sick-Days — like Fig. 2 with per-employee sick-day counts
+/// (low), while processing time depends on the (high) illness records.
+pub fn count_sick_days() -> Fixture {
+    let program = two_worker_loop(
+        "count-sick-days",
+        ResourceSpec::counter_add(),
+        Term::int(0),
+        &[("days", Sort::Int, true), ("illness", Sort::Int, false)],
+        "Add",
+        Term::var("days"),
+        "total",
+        Term::var("total"),
+    );
+    Fixture {
+        name: "Count-Sick-Days",
+        data_structure: "Integer, add",
+        abstraction: "None",
+        program,
+        ni: None,
+    }
+}
+
+/// Row 4: Figure 1 — the motivating example, with the *constant*
+/// abstraction: the racy assignments are fine because `s` is never leaked.
+pub fn figure1() -> Fixture {
+    let program = AnnotatedProgram::new("figure1-constant")
+        .with_resource(ResourceSpec::opaque_int())
+        .with_body([
+            VStmt::input("h", Sort::Int, false),
+            VStmt::Share {
+                resource: 0,
+                init: Term::int(0),
+            },
+            VStmt::Par {
+                workers: vec![
+                    vec![VStmt::atomic(0, "Set", Term::int(3))],
+                    vec![VStmt::atomic(0, "Set", Term::int(4))],
+                ],
+            },
+            VStmt::Unshare {
+                resource: 0,
+                into: "s".into(),
+            },
+            // s is NOT output; only a constant is.
+            VStmt::Output(Term::int(0)),
+        ]);
+    let exec = parse_program(
+        "par {
+             t1 := 0; while (t1 < 20) { t1 := t1 + 1 };
+             atomic { s := 3 }
+         } {
+             t2 := 0; while (t2 < h) { t2 := t2 + 1 };
+             atomic { s := 4 }
+         };
+         output(0)",
+    )
+    .expect("figure1 executable parses");
+    Fixture {
+        name: "Figure 1",
+        data_structure: "Integer, arbitrary",
+        abstraction: "Constant",
+        program,
+        ni: Some(NiSetup {
+            program: exec,
+            low_inputs: vec![],
+            high_inputs: h_pair(),
+            low_outputs: vec![],
+        }),
+    }
+}
+
+/// Row 5: Mean-Salary — appends low salaries, leaks only the mean. The
+/// abstraction is the (sum, length) pair, of which the mean is a function
+/// (the literal mean is *invalid*; see `rejected::literal_mean`).
+pub fn mean_salary() -> Fixture {
+    let program = two_worker_loop(
+        "mean-salary",
+        ResourceSpec::list_mean(),
+        Term::Lit(Value::seq_empty()),
+        &[("salary", Sort::Int, true), ("name", Sort::Int, false)],
+        "Append",
+        Term::var("salary"),
+        "l",
+        Term::app(Func::SeqMean, [Term::var("l")]),
+    );
+    let exec = parse_program(
+        "l := empty_seq;
+         par {
+             t1 := 0; while (t1 < h) { t1 := t1 + 1 };
+             atomic { l := append(l, 10) }
+         } {
+             atomic { l := append(l, 20) }
+         };
+         output(mean(l))",
+    )
+    .expect("mean-salary executable parses");
+    Fixture {
+        name: "Mean-Salary",
+        data_structure: "List, append",
+        abstraction: "Mean",
+        program,
+        ni: Some(NiSetup {
+            program: exec,
+            low_inputs: vec![],
+            high_inputs: h_pair(),
+            low_outputs: vec![],
+        }),
+    }
+}
+
+/// Row 6: Email-Metadata — appends low metadata records whose *order* is
+/// tainted by secret-dependent processing time; the multiset abstraction
+/// allows leaking the sorted list.
+pub fn email_metadata() -> Fixture {
+    let program = two_worker_loop(
+        "email-metadata",
+        ResourceSpec::list_multiset(),
+        Term::Lit(Value::seq_empty()),
+        &[("meta", Sort::Int, true), ("body", Sort::Int, false)],
+        "Append",
+        Term::var("meta"),
+        "l",
+        Term::app(Func::SeqSorted, [Term::var("l")]),
+    );
+    let exec = parse_program(
+        "l := empty_seq;
+         par {
+             t1 := 0; while (t1 < h) { t1 := t1 + 1 };
+             atomic { l := append(l, 10) }
+         } {
+             atomic { l := append(l, 20) }
+         };
+         output(sorted(l))",
+    )
+    .expect("email-metadata executable parses");
+    Fixture {
+        name: "Email-Metadata",
+        data_structure: "List, append",
+        abstraction: "Multiset",
+        program,
+        ni: Some(NiSetup {
+            program: exec,
+            low_inputs: vec![],
+            high_inputs: h_pair(),
+            low_outputs: vec![],
+        }),
+    }
+}
+
+/// Row 7: Patient-Statistic — appends whole (high) patient records; only
+/// the *number* of records is leaked.
+pub fn patient_statistic() -> Fixture {
+    let program = two_worker_loop(
+        "patient-statistic",
+        ResourceSpec::list_length(),
+        Term::Lit(Value::seq_empty()),
+        &[("patient", Sort::Int, false)],
+        "Append",
+        Term::var("patient"),
+        "l",
+        Term::app(Func::SeqLen, [Term::var("l")]),
+    );
+    let exec = parse_program(
+        "l := empty_seq;
+         par {
+             t1 := 0; while (t1 < h) { t1 := t1 + 1 };
+             atomic { l := append(l, h) }
+         } {
+             atomic { l := append(l, 7) }
+         };
+         output(len(l))",
+    )
+    .expect("patient-statistic executable parses");
+    Fixture {
+        name: "Patient-Statistic",
+        data_structure: "List, append",
+        abstraction: "Length",
+        program,
+        ni: Some(NiSetup {
+            program: exec,
+            low_inputs: vec![],
+            high_inputs: h_pair(),
+            low_outputs: vec![],
+        }),
+    }
+}
+
+/// Row 8: Debt-Sum — appends individual (low) debt amounts; leaks only
+/// their sum.
+pub fn debt_sum() -> Fixture {
+    let program = two_worker_loop(
+        "debt-sum",
+        ResourceSpec::list_sum(),
+        Term::Lit(Value::seq_empty()),
+        &[("amount", Sort::Int, true), ("creditor", Sort::Int, false)],
+        "Append",
+        Term::var("amount"),
+        "l",
+        Term::app(Func::SeqSum, [Term::var("l")]),
+    );
+    Fixture {
+        name: "Debt-Sum",
+        data_structure: "List, append",
+        abstraction: "Sum",
+        program,
+        ni: None,
+    }
+}
+
+/// Row 9: Sick-Employee-Names — adds low names to a (tree-)set; the
+/// identity abstraction suffices because set insertion commutes.
+pub fn sick_employee_names() -> Fixture {
+    let program = two_worker_loop(
+        "sick-employee-names",
+        ResourceSpec::set_insert(),
+        Term::Lit(Value::set_empty()),
+        &[("name", Sort::Int, true), ("diagnosis", Sort::Int, false)],
+        "Insert",
+        Term::var("name"),
+        "s",
+        Term::app(
+            Func::SeqSorted,
+            [Term::app(Func::SetToSeq, [Term::var("s")])],
+        ),
+    );
+    Fixture {
+        name: "Sick-Employee-Names",
+        data_structure: "Treeset, add",
+        abstraction: "None",
+        program,
+        ni: None,
+    }
+}
+
+/// Row 10: Website-Visitor-IPs — the *same* resource specification as
+/// Sick-Employee-Names over a different set implementation (list-backed):
+/// resource specs abstract over implementations (Sec. 5).
+pub fn website_visitor_ips() -> Fixture {
+    let program = two_worker_loop(
+        "website-visitor-ips",
+        ResourceSpec::set_insert(),
+        Term::Lit(Value::set_empty()),
+        &[("ip", Sort::Int, true), ("activity", Sort::Int, false)],
+        "Insert",
+        Term::var("ip"),
+        "s",
+        Term::app(Func::SetCard, [Term::var("s")]),
+    );
+    let exec = parse_program(
+        "s := empty_set;
+         par {
+             t1 := 0; while (t1 < h) { t1 := t1 + 1 };
+             atomic { s := set_add(s, 8) }
+         } {
+             atomic { s := set_add(s, 9) }
+         };
+         output(sorted(set_to_seq(s)))",
+    )
+    .expect("website-visitor-ips executable parses");
+    Fixture {
+        name: "Website-Visitor-IPs",
+        data_structure: "Listset, add",
+        abstraction: "None",
+        program,
+        ni: Some(NiSetup {
+            program: exec,
+            low_inputs: vec![],
+            high_inputs: h_pair(),
+            low_outputs: vec![],
+        }),
+    }
+}
+
+/// Row 11: Figure 3 — the map example: low keys, high values, key-set
+/// abstraction, sorted key list output (the paper's running example,
+/// verified in Fig. 5).
+pub fn figure3() -> Fixture {
+    let program = two_worker_loop(
+        "figure3-map-keyset",
+        ResourceSpec::keyset_map(),
+        Term::Lit(Value::map_empty()),
+        &[("adr", Sort::Int, true), ("rsn", Sort::Int, false)],
+        "Put",
+        Term::pair(Term::var("adr"), Term::var("rsn")),
+        "m",
+        Term::app(
+            Func::SeqSorted,
+            [Term::app(
+                Func::SetToSeq,
+                [Term::app(Func::MapDom, [Term::var("m")])],
+            )],
+        ),
+    );
+    let exec = parse_program(
+        "m := empty_map;
+         par {
+             t1 := 0; while (t1 < h) { t1 := t1 + 1 };
+             atomic { m := put(m, 1, h) }
+         } {
+             atomic { m := put(m, 2, 5) }
+         };
+         output(sorted(set_to_seq(dom(m))))",
+    )
+    .expect("figure3 executable parses");
+    Fixture {
+        name: "Figure 3",
+        data_structure: "HashMap, put",
+        abstraction: "Key set",
+        program,
+        ni: Some(NiSetup {
+            program: exec,
+            low_inputs: vec![],
+            high_inputs: h_pair(),
+            low_outputs: vec![],
+        }),
+    }
+}
+
+/// Row 12: Sales-By-Region — Fig. 4 (right): two *unique* put actions on
+/// disjoint key ranges (keys ≡ worker mod 2); identity abstraction, so the
+/// whole final map is low.
+pub fn sales_by_region() -> Fixture {
+    let worker = |idx: i64| {
+        vec![VStmt::for_range(
+            "j",
+            Term::int(0),
+            Term::var("n"),
+            [
+                VStmt::input("sales", Sort::Int, true),
+                VStmt::assign(
+                    "k",
+                    Term::add(
+                        Term::mul(Term::int(2), Term::var("j")),
+                        Term::int(idx),
+                    ),
+                ),
+                VStmt::atomic(
+                    0,
+                    format!("Put{idx}").as_str(),
+                    Term::pair(Term::var("k"), Term::var("sales")),
+                ),
+            ],
+        )]
+    };
+    let program = AnnotatedProgram::new("sales-by-region")
+        .with_resource(ResourceSpec::disjoint_put_map(2))
+        .with_body([
+            VStmt::input("n", Sort::Int, true),
+            VStmt::Share {
+                resource: 0,
+                init: Term::Lit(Value::map_empty()),
+            },
+            VStmt::Par {
+                workers: vec![worker(0), worker(1)],
+            },
+            VStmt::Unshare {
+                resource: 0,
+                into: "m".into(),
+            },
+            VStmt::Output(Term::var("m")),
+        ]);
+    Fixture {
+        name: "Sales-By-Region",
+        data_structure: "HashMap, disjoint put",
+        abstraction: "None",
+        program,
+        ni: None,
+    }
+}
+
+/// Row 13: Salary-Histogram — increments the count of a salary *bucket*
+/// (the bucket is low, the exact salary is not); increments commute, so
+/// the identity abstraction works.
+pub fn salary_histogram() -> Fixture {
+    let program = two_worker_loop(
+        "salary-histogram",
+        ResourceSpec::histogram(),
+        Term::Lit(Value::map_empty()),
+        &[("bucket", Sort::Int, true), ("salary", Sort::Int, false)],
+        "IncBucket",
+        Term::var("bucket"),
+        "m",
+        Term::var("m"),
+    );
+    let exec = parse_program(
+        "m := empty_map;
+         par {
+             t1 := 0; while (t1 < h) { t1 := t1 + 1 };
+             atomic { m := put(m, 3, get_or(m, 3, 0) + 1) }
+         } {
+             atomic { m := put(m, 3, get_or(m, 3, 0) + 1) }
+         };
+         output(get_or(m, 3, 0))",
+    )
+    .expect("salary-histogram executable parses");
+    Fixture {
+        name: "Salary-Histogram",
+        data_structure: "HashMap, increment value",
+        abstraction: "None",
+        program,
+        ni: Some(NiSetup {
+            program: exec,
+            low_inputs: vec![],
+            high_inputs: h_pair(),
+            low_outputs: vec![],
+        }),
+    }
+}
+
+/// Row 14: Count-Purchases — adds a (low) purchase count to the (low)
+/// per-user tally; additions at a key commute.
+pub fn count_purchases() -> Fixture {
+    let program = two_worker_loop(
+        "count-purchases",
+        ResourceSpec::map_add_value(),
+        Term::Lit(Value::map_empty()),
+        &[("user", Sort::Int, true), ("cnt", Sort::Int, true)],
+        "AddAt",
+        Term::pair(Term::var("user"), Term::var("cnt")),
+        "m",
+        Term::var("m"),
+    );
+    Fixture {
+        name: "Count-Purchases",
+        data_structure: "HashMap, add value",
+        abstraction: "None",
+        program,
+        ni: None,
+    }
+}
+
+/// Row 15: Most-Valuable-Purchase — keeps the per-user maximum price via a
+/// conditional put (encoded as put-of-max, which commutes).
+pub fn most_valuable_purchase() -> Fixture {
+    let program = two_worker_loop(
+        "most-valuable-purchase",
+        ResourceSpec::map_max_value(),
+        Term::Lit(Value::map_empty()),
+        &[("user", Sort::Int, true), ("price", Sort::Int, true)],
+        "MaxAt",
+        Term::pair(Term::var("user"), Term::var("price")),
+        "m",
+        Term::var("m"),
+    );
+    let exec = parse_program(
+        "m := empty_map;
+         par {
+             t1 := 0; while (t1 < h) { t1 := t1 + 1 };
+             atomic { m := put(m, 1, max(get_or(m, 1, 0), 10)) }
+         } {
+             atomic { m := put(m, 1, max(get_or(m, 1, 0), 30)) }
+         };
+         output(get_or(m, 1, 0))",
+    )
+    .expect("most-valuable-purchase executable parses");
+    Fixture {
+        name: "Most-Valuable-Purchase",
+        data_structure: "HashMap, conditional put",
+        abstraction: "None",
+        program,
+        ni: Some(NiSetup {
+            program: exec,
+            low_inputs: vec![],
+            high_inputs: h_pair(),
+            low_outputs: vec![],
+        }),
+    }
+}
+
+/// The Fig. 12 initial queue value: empty buffer, nothing produced.
+fn empty_queue() -> Term {
+    Term::pair(
+        Term::app(Func::MkRight, [Term::Lit(Value::seq_empty())]),
+        Term::Lit(Value::seq_empty()),
+    )
+}
+
+/// Row 16: 1-Producer-1-Consumer — both roles are unique actions, so the
+/// full produced sequence (hence the consumed sequence) is low.
+pub fn producer_consumer_1x1() -> Fixture {
+    let program = AnnotatedProgram::new("producer-consumer-1x1")
+        .with_resource(ResourceSpec::producer_consumer(false))
+        .with_body([
+            VStmt::input("n", Sort::Int, true),
+            VStmt::Share {
+                resource: 0,
+                init: empty_queue(),
+            },
+            VStmt::Par {
+                workers: vec![
+                    vec![VStmt::for_range(
+                        "i",
+                        Term::int(0),
+                        Term::var("n"),
+                        [
+                            VStmt::input("item", Sort::Int, true),
+                            VStmt::atomic(0, "Prod", Term::var("item")),
+                        ],
+                    )],
+                    vec![VStmt::for_range(
+                        "i",
+                        Term::int(0),
+                        Term::var("n"),
+                        [VStmt::atomic(0, "Cons", Term::Lit(Value::Unit))],
+                    )],
+                ],
+            },
+            VStmt::Unshare {
+                resource: 0,
+                into: "q".into(),
+            },
+            // The consumed sequence equals the produced sequence here.
+            VStmt::Output(Term::snd(Term::var("q"))),
+        ]);
+    Fixture {
+        name: "1-Producer-1-Consumer",
+        data_structure: "Queue",
+        abstraction: "Consumed sequence",
+        program,
+        ni: None,
+    }
+}
+
+/// Row 17: Pipeline — two 1-1 queues; the middle stage consumes from the
+/// first, transforms, and produces into the second. While running, the
+/// middle stage cannot know its data is low; the producing action's
+/// precondition is proved *retroactively* once the first queue is
+/// unshared (the paper's deferred-PRE idiom).
+pub fn pipeline() -> Fixture {
+    let program = AnnotatedProgram::new("pipeline")
+        .with_resource(ResourceSpec::producer_consumer(false))
+        .with_resource(ResourceSpec::producer_consumer(false))
+        .with_body([
+            VStmt::input("n", Sort::Int, true),
+            VStmt::Share {
+                resource: 0,
+                init: empty_queue(),
+            },
+            VStmt::Share {
+                resource: 1,
+                init: empty_queue(),
+            },
+            VStmt::Par {
+                workers: vec![
+                    // Source: produces low items into queue 0.
+                    vec![VStmt::for_range(
+                        "i",
+                        Term::int(0),
+                        Term::var("n"),
+                        [
+                            VStmt::input("item", Sort::Int, true),
+                            VStmt::atomic(0, "Prod", Term::var("item")),
+                        ],
+                    )],
+                    // Middle: consumes from queue 0 (value x is high while
+                    // queue 0 is shared!), transforms, produces into queue
+                    // 1 — with the precondition deferred.
+                    vec![VStmt::for_range(
+                        "i",
+                        Term::int(0),
+                        Term::var("n"),
+                        [
+                            VStmt::ConsumeBind {
+                                resource: 0,
+                                action: "Cons".into(),
+                                var: "x".into(),
+                                index: Term::var("i"),
+                            },
+                            VStmt::AtomicDeferred {
+                                resource: 1,
+                                action: "Prod".into(),
+                                arg: Term::mul(Term::int(2), Term::var("x")),
+                            },
+                        ],
+                    )],
+                    // Sink: consumes from queue 1.
+                    vec![VStmt::for_range(
+                        "i",
+                        Term::int(0),
+                        Term::var("n"),
+                        [VStmt::atomic(1, "Cons", Term::Lit(Value::Unit))],
+                    )],
+                ],
+            },
+            VStmt::Unshare {
+                resource: 0,
+                into: "q1".into(),
+            },
+            VStmt::Unshare {
+                resource: 1,
+                into: "q2".into(),
+            },
+            VStmt::Output(Term::snd(Term::var("q2"))),
+        ]);
+    Fixture {
+        name: "Pipeline",
+        data_structure: "Two queues",
+        abstraction: "Consumed sequences",
+        program,
+        ni: None,
+    }
+}
+
+/// Row 18: 2-Producers-2-Consumers — with shared roles only the produced
+/// *multiset* is low, and the per-consumer counts are schedule-dependent:
+/// their total is checked retroactively at unshare.
+pub fn producers_consumers_2x2() -> Fixture {
+    let producer = |_: usize| {
+        vec![VStmt::for_range(
+            "i",
+            Term::int(0),
+            Term::var("n"),
+            [
+                VStmt::input("item", Sort::Int, true),
+                VStmt::atomic(0, "Prod", Term::var("item")),
+            ],
+        )]
+    };
+    let program = AnnotatedProgram::new("producers-consumers-2x2")
+        .with_resource(ResourceSpec::producer_consumer(true))
+        .with_body([
+            VStmt::input("n", Sort::Int, true),
+            // The split of consumption between the two consumers is
+            // schedule-dependent (high); only the total (2n) is low.
+            VStmt::input("k", Sort::Int, false),
+            VStmt::Share {
+                resource: 0,
+                init: empty_queue(),
+            },
+            VStmt::Par {
+                workers: vec![
+                    producer(0),
+                    producer(1),
+                    vec![VStmt::AtomicBatch {
+                        resource: 0,
+                        action: "Cons".into(),
+                        arg: Term::Lit(Value::Unit),
+                        count: Term::var("k"),
+                    }],
+                    vec![VStmt::AtomicBatch {
+                        resource: 0,
+                        action: "Cons".into(),
+                        arg: Term::Lit(Value::Unit),
+                        count: Term::sub(
+                            Term::mul(Term::int(2), Term::var("n")),
+                            Term::var("k"),
+                        ),
+                    }],
+                ],
+            },
+            VStmt::Unshare {
+                resource: 0,
+                into: "q".into(),
+            },
+            VStmt::Output(Term::app(Func::SeqToMultiset, [Term::snd(Term::var("q"))])),
+        ]);
+    Fixture {
+        name: "2-Producers-2-Consumers",
+        data_structure: "Queue",
+        abstraction: "Produced multiset",
+        program,
+        ni: None,
+    }
+}

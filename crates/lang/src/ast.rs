@@ -1,0 +1,228 @@
+//! Abstract syntax of the object language (paper, Fig. 6).
+
+use std::fmt;
+
+use commcsl_pure::{Symbol, Term};
+
+/// A command of the concurrent imperative language.
+///
+/// The grammar follows Fig. 6 of the paper:
+///
+/// ```text
+/// c ::= x := e | x := [e] | [e] := e | x := alloc(e) | skip
+///     | c; c | if (b) then {c} else {c} | while (b) do {c}
+///     | c || c | atomic c | output(e)
+/// ```
+///
+/// `output` is the I/O extension the paper mentions in Sec. 3.7 (limitation
+/// 4) and implements in HyperViper; the output log is part of the low
+/// observation in the non-interference harness.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cmd {
+    /// The terminated command.
+    Skip,
+    /// `x := e`.
+    Assign(Symbol, Term),
+    /// Heap read `x := [e]`.
+    Load(Symbol, Term),
+    /// Heap write `[e1] := e2`.
+    Store(Term, Term),
+    /// `x := alloc(e)` — allocates one location initialized to `e`.
+    Alloc(Symbol, Term),
+    /// Sequential composition.
+    Seq(Box<Cmd>, Box<Cmd>),
+    /// Conditional.
+    If(Term, Box<Cmd>, Box<Cmd>),
+    /// Loop.
+    While(Term, Box<Cmd>),
+    /// Parallel composition (nestable for >2 threads).
+    Par(Box<Cmd>, Box<Cmd>),
+    /// Atomic block with access to the shared resource.
+    Atomic(Box<Cmd>),
+    /// Appends the value of the expression to the output log.
+    Output(Term),
+}
+
+impl Cmd {
+    /// `c1; c2`.
+    pub fn seq(c1: Cmd, c2: Cmd) -> Cmd {
+        Cmd::Seq(Box::new(c1), Box::new(c2))
+    }
+
+    /// Sequences a list of commands, right-nested (empty ⇒ `skip`).
+    pub fn block(cmds: impl IntoIterator<Item = Cmd>) -> Cmd {
+        let mut v: Vec<Cmd> = cmds.into_iter().collect();
+        let Some(last) = v.pop() else {
+            return Cmd::Skip;
+        };
+        v.into_iter().rev().fold(last, |acc, c| Cmd::seq(c, acc))
+    }
+
+    /// `if (b) then {t} else {e}`.
+    pub fn if_(cond: Term, then_c: Cmd, else_c: Cmd) -> Cmd {
+        Cmd::If(cond, Box::new(then_c), Box::new(else_c))
+    }
+
+    /// `while (b) do {body}`.
+    pub fn while_(cond: Term, body: Cmd) -> Cmd {
+        Cmd::While(cond, Box::new(body))
+    }
+
+    /// `c1 || c2`.
+    pub fn par(c1: Cmd, c2: Cmd) -> Cmd {
+        Cmd::Par(Box::new(c1), Box::new(c2))
+    }
+
+    /// N-ary parallel composition, right-nested (empty ⇒ `skip`).
+    pub fn par_all(cmds: impl IntoIterator<Item = Cmd>) -> Cmd {
+        let mut v: Vec<Cmd> = cmds.into_iter().collect();
+        let Some(last) = v.pop() else {
+            return Cmd::Skip;
+        };
+        v.into_iter().rev().fold(last, |acc, c| Cmd::par(c, acc))
+    }
+
+    /// `atomic c`.
+    pub fn atomic(c: Cmd) -> Cmd {
+        Cmd::Atomic(Box::new(c))
+    }
+
+    /// `x := e`.
+    pub fn assign(x: impl Into<Symbol>, e: Term) -> Cmd {
+        Cmd::Assign(x.into(), e)
+    }
+
+    /// Returns the set of variables the command may modify (`mod(c)` in the
+    /// paper's side conditions).
+    pub fn modified_vars(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_modified(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_modified(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Cmd::Skip | Cmd::Store(_, _) | Cmd::Output(_) => {}
+            Cmd::Assign(x, _) | Cmd::Load(x, _) | Cmd::Alloc(x, _) => out.push(x.clone()),
+            Cmd::Seq(a, b) | Cmd::Par(a, b) => {
+                a.collect_modified(out);
+                b.collect_modified(out);
+            }
+            Cmd::If(_, a, b) => {
+                a.collect_modified(out);
+                b.collect_modified(out);
+            }
+            Cmd::While(_, body) | Cmd::Atomic(body) => body.collect_modified(out),
+        }
+    }
+
+    /// Counts the command nodes — the "lines of code" measure used when
+    /// regenerating Table 1.
+    pub fn loc(&self) -> usize {
+        match self {
+            Cmd::Skip
+            | Cmd::Assign(_, _)
+            | Cmd::Load(_, _)
+            | Cmd::Store(_, _)
+            | Cmd::Alloc(_, _)
+            | Cmd::Output(_) => 1,
+            Cmd::Seq(a, b) => a.loc() + b.loc(),
+            Cmd::If(_, a, b) => 1 + a.loc() + b.loc(),
+            Cmd::While(_, body) => 1 + body.loc(),
+            Cmd::Par(a, b) => 1 + a.loc() + b.loc(),
+            Cmd::Atomic(body) => 1 + body.loc(),
+        }
+    }
+}
+
+impl fmt::Debug for Cmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}
+
+impl Cmd {
+    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            Cmd::Skip => write!(f, "{pad}skip"),
+            Cmd::Assign(x, e) => write!(f, "{pad}{x} := {e:?}"),
+            Cmd::Load(x, e) => write!(f, "{pad}{x} := [{e:?}]"),
+            Cmd::Store(l, e) => write!(f, "{pad}[{l:?}] := {e:?}"),
+            Cmd::Alloc(x, e) => write!(f, "{pad}{x} := alloc({e:?})"),
+            Cmd::Seq(a, b) => {
+                a.fmt_indent(f, indent)?;
+                writeln!(f, ";")?;
+                b.fmt_indent(f, indent)
+            }
+            Cmd::If(b, t, e) => {
+                writeln!(f, "{pad}if ({b:?}) {{")?;
+                t.fmt_indent(f, indent + 1)?;
+                writeln!(f, "\n{pad}}} else {{")?;
+                e.fmt_indent(f, indent + 1)?;
+                write!(f, "\n{pad}}}")
+            }
+            Cmd::While(b, body) => {
+                writeln!(f, "{pad}while ({b:?}) {{")?;
+                body.fmt_indent(f, indent + 1)?;
+                write!(f, "\n{pad}}}")
+            }
+            Cmd::Par(a, b) => {
+                writeln!(f, "{pad}par {{")?;
+                a.fmt_indent(f, indent + 1)?;
+                writeln!(f, "\n{pad}}} {{")?;
+                b.fmt_indent(f, indent + 1)?;
+                write!(f, "\n{pad}}}")
+            }
+            Cmd::Atomic(c) => {
+                writeln!(f, "{pad}atomic {{")?;
+                c.fmt_indent(f, indent + 1)?;
+                write!(f, "\n{pad}}}")
+            }
+            Cmd::Output(e) => write!(f, "{pad}output({e:?})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commcsl_pure::Term;
+
+    #[test]
+    fn block_of_empty_is_skip() {
+        assert_eq!(Cmd::block([]), Cmd::Skip);
+    }
+
+    #[test]
+    fn par_all_nests_right() {
+        let c = Cmd::par_all([Cmd::Skip, Cmd::Skip, Cmd::Skip]);
+        assert_eq!(c, Cmd::par(Cmd::Skip, Cmd::par(Cmd::Skip, Cmd::Skip)));
+    }
+
+    #[test]
+    fn modified_vars_are_collected() {
+        let c = Cmd::block([
+            Cmd::assign("x", Term::int(1)),
+            Cmd::par(
+                Cmd::Load("y".into(), Term::var("p")),
+                Cmd::assign("x", Term::int(2)),
+            ),
+        ]);
+        assert_eq!(
+            c.modified_vars(),
+            vec![Symbol::new("x"), Symbol::new("y")]
+        );
+    }
+
+    #[test]
+    fn loc_counts_statements() {
+        let c = Cmd::block([
+            Cmd::assign("x", Term::int(1)),
+            Cmd::while_(Term::tt(), Cmd::assign("x", Term::int(2))),
+        ]);
+        assert_eq!(c.loc(), 3);
+    }
+}

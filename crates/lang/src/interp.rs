@@ -1,0 +1,221 @@
+//! Driving programs to termination.
+
+use std::collections::BTreeSet;
+
+use crate::ast::Cmd;
+use crate::sched::{ReplaySched, Scheduler};
+use crate::semantics::{enabled, step, AbortReason, StepResult};
+use crate::state::State;
+
+/// Outcome of running a program under one scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Terminated normally in the given state.
+    Done(State),
+    /// Aborted (heap fault, ill-sorted expression, diverging atomic block).
+    Aborted(AbortReason),
+    /// Fuel exhausted before termination.
+    OutOfFuel(State),
+}
+
+/// Runs `cmd` from `state` under `sched`, taking at most `fuel` steps.
+///
+/// # Example
+///
+/// ```
+/// use commcsl_lang::ast::Cmd;
+/// use commcsl_lang::interp::{run, RunOutcome};
+/// use commcsl_lang::sched::RoundRobin;
+/// use commcsl_lang::state::State;
+/// use commcsl_pure::Term;
+///
+/// let prog = Cmd::assign("x", Term::int(1));
+/// match run(&prog, State::new(), &mut RoundRobin::new(), 100) {
+///     RunOutcome::Done(st) => assert_eq!(st.store.get(&"x".into()), 1.into()),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+pub fn run(cmd: &Cmd, state: State, sched: &mut dyn Scheduler, fuel: usize) -> RunOutcome {
+    let mut cur = cmd.clone();
+    let mut st = state;
+    for step_no in 0..fuel {
+        if cur == Cmd::Skip {
+            return RunOutcome::Done(st);
+        }
+        let paths = enabled(&cur);
+        debug_assert!(!paths.is_empty(), "non-skip command must have a step");
+        let pick = sched.pick(paths.len(), step_no);
+        match step(&cur, &st, &paths[pick]) {
+            StepResult::Next(c, s) => {
+                cur = c;
+                st = s;
+            }
+            StepResult::Abort(reason) => return RunOutcome::Aborted(reason),
+        }
+    }
+    if cur == Cmd::Skip {
+        RunOutcome::Done(st)
+    } else {
+        RunOutcome::OutOfFuel(st)
+    }
+}
+
+/// Result of exhaustively enumerating all interleavings.
+#[derive(Debug, Clone)]
+pub struct Exhaustive {
+    /// All distinct terminal states reached.
+    pub final_states: Vec<State>,
+    /// Abort reasons encountered on some interleaving, if any.
+    pub aborts: Vec<AbortReason>,
+    /// `true` when the exploration was cut off by a budget (the listed
+    /// final states are then a lower bound, not a complete set).
+    pub truncated: bool,
+}
+
+/// Exhaustively explores every interleaving of `cmd` from `state`.
+///
+/// Exploration is a depth-first search over scheduling decision scripts,
+/// deduplicating configurations. Budgets: at most `max_steps` per run and
+/// `max_configs` explored configurations in total.
+pub fn enumerate_interleavings(
+    cmd: &Cmd,
+    state: &State,
+    max_steps: usize,
+    max_configs: usize,
+) -> Exhaustive {
+    let mut finals: BTreeSet<State> = BTreeSet::new();
+    let mut aborts: Vec<AbortReason> = Vec::new();
+    let mut seen: BTreeSet<(Cmd, State)> = BTreeSet::new();
+    let mut truncated = false;
+
+    let mut stack: Vec<(Cmd, State, usize)> = vec![(cmd.clone(), state.clone(), 0)];
+    while let Some((c, s, depth)) = stack.pop() {
+        if seen.len() >= max_configs {
+            truncated = true;
+            break;
+        }
+        if c == Cmd::Skip {
+            finals.insert(s);
+            continue;
+        }
+        if depth >= max_steps {
+            truncated = true;
+            continue;
+        }
+        if !seen.insert((c.clone(), s.clone())) {
+            continue;
+        }
+        for path in enabled(&c) {
+            match step(&c, &s, &path) {
+                StepResult::Next(c2, s2) => stack.push((c2, s2, depth + 1)),
+                StepResult::Abort(reason) => {
+                    if !aborts.contains(&reason) {
+                        aborts.push(reason);
+                    }
+                }
+            }
+        }
+    }
+
+    Exhaustive {
+        final_states: finals.into_iter().collect(),
+        aborts,
+        truncated,
+    }
+}
+
+/// Replays a specific decision script; convenience wrapper around [`run`].
+pub fn run_script(cmd: &Cmd, state: State, script: Vec<usize>, fuel: usize) -> RunOutcome {
+    run(cmd, state, &mut ReplaySched::new(script), fuel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{RandomSched, RoundRobin};
+    use commcsl_pure::{Term, Value};
+
+    fn racy_assign() -> Cmd {
+        Cmd::block([
+            Cmd::par(
+                Cmd::assign("x", Term::int(3)),
+                Cmd::assign("x", Term::int(4)),
+            ),
+            Cmd::Output(Term::var("x")),
+        ])
+    }
+
+    fn commuting_adds() -> Cmd {
+        Cmd::block([
+            Cmd::par(
+                Cmd::atomic(Cmd::assign("x", Term::add(Term::var("x"), Term::int(3)))),
+                Cmd::atomic(Cmd::assign("x", Term::add(Term::var("x"), Term::int(4)))),
+            ),
+            Cmd::Output(Term::var("x")),
+        ])
+    }
+
+    #[test]
+    fn run_terminates_simple_program() {
+        match run(&racy_assign(), State::new(), &mut RoundRobin::new(), 1000) {
+            RunOutcome::Done(st) => assert_eq!(st.outputs.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhaustive_finds_both_race_outcomes() {
+        let ex = enumerate_interleavings(&racy_assign(), &State::new(), 100, 100_000);
+        assert!(!ex.truncated);
+        assert!(ex.aborts.is_empty());
+        let outputs: BTreeSet<Value> = ex
+            .final_states
+            .iter()
+            .map(|s| s.outputs[0].clone())
+            .collect();
+        assert_eq!(
+            outputs.into_iter().collect::<Vec<_>>(),
+            vec![Value::Int(3), Value::Int(4)]
+        );
+    }
+
+    #[test]
+    fn exhaustive_commuting_adds_have_unique_outcome() {
+        let ex = enumerate_interleavings(&commuting_adds(), &State::new(), 100, 100_000);
+        assert!(!ex.truncated);
+        let outputs: BTreeSet<Value> = ex
+            .final_states
+            .iter()
+            .map(|s| s.outputs[0].clone())
+            .collect();
+        assert_eq!(outputs.into_iter().collect::<Vec<_>>(), vec![Value::Int(7)]);
+    }
+
+    #[test]
+    fn out_of_fuel_reported() {
+        let c = Cmd::while_(Term::tt(), Cmd::assign("x", Term::int(1)));
+        match run(&c, State::new(), &mut RoundRobin::new(), 50) {
+            RunOutcome::OutOfFuel(_) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_schedules_replayable() {
+        let a = run(&racy_assign(), State::new(), &mut RandomSched::new(5), 1000);
+        let b = run(&racy_assign(), State::new(), &mut RandomSched::new(5), 1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_script_follows_choices() {
+        // Script forcing the right thread first.
+        match run_script(&racy_assign(), State::new(), vec![1], 100) {
+            RunOutcome::Done(st) => {
+                // right assignment happened first, left second → x = 3.
+                assert_eq!(st.outputs[0], Value::Int(3));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

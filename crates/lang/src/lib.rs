@@ -1,0 +1,61 @@
+//! The concurrent imperative language of the CommCSL paper.
+//!
+//! This crate implements the object language of the paper (Fig. 6) with its
+//! small-step operational semantics (Fig. 9, App. A.1), generalized in one
+//! conservative way: expressions range over the full pure value universe of
+//! [`commcsl_pure`] (the paper restricts the formalization to integers but
+//! the HyperViper implementation supports rich types).
+//!
+//! Components:
+//!
+//! * [`ast`] — commands: assignment, heap load/store, allocation, `skip`,
+//!   sequencing, conditionals, loops, parallel composition, `atomic`, plus
+//!   an `output` command (the paper's limitation (4) extension).
+//! * [`parser`] — a textual surface syntax, so example programs read like
+//!   the paper's figures.
+//! * [`state`] — stores, heaps, and output logs.
+//! * [`semantics`] — the small-step relation with explicit scheduling
+//!   choice points (one per enabled thread).
+//! * [`sched`] — schedulers: deterministic round-robin, seeded random,
+//!   timing-skew (modelling secret-dependent execution-time differences),
+//!   and replay (for exhaustive interleaving enumeration).
+//! * [`interp`] — driving a program to termination under a scheduler.
+//! * [`nicheck`] — the *empirical* non-interference harness (Def. 2.1):
+//!   run pairs of executions with equal low but different high inputs
+//!   across many schedules and compare the low observations. This is the
+//!   executable counterpart of the paper's Corollary 4.5 and the
+//!   ground-truth oracle against which the verifier's verdicts are tested.
+//!
+//! # Example
+//!
+//! ```
+//! use commcsl_lang::parser::parse_program;
+//! use commcsl_lang::interp::{run, RunOutcome};
+//! use commcsl_lang::sched::RoundRobin;
+//! use commcsl_lang::state::State;
+//!
+//! let prog = parse_program(
+//!     "x := 1; par { x := x + 3 } { x := x + 4 }; output(x)",
+//! ).unwrap();
+//! let outcome = run(&prog, State::new(), &mut RoundRobin::new(), 10_000);
+//! match outcome {
+//!     RunOutcome::Done(state) => {
+//!         assert_eq!(state.outputs, vec![commcsl_pure::Value::Int(8)]);
+//!     }
+//!     other => panic!("unexpected outcome {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod interp;
+pub mod nicheck;
+pub mod parser;
+pub mod sched;
+pub mod semantics;
+pub mod state;
+
+pub use ast::Cmd;
+pub use state::State;

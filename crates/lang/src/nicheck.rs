@@ -1,0 +1,287 @@
+//! Empirical non-interference checking (paper, Def. 2.1).
+//!
+//! Non-interference demands: for every pair of terminating executions whose
+//! low inputs agree, the low outputs agree — regardless of high inputs *and*
+//! of scheduling. This module checks the property dynamically: it runs the
+//! program under a battery of schedulers for each supplied high-input
+//! assignment and compares the low observations.
+//!
+//! A reported [`Violation`] is a genuine counterexample (two concrete
+//! executions with equal low inputs and different low outputs) and comes
+//! with everything needed to replay it. A pass is *evidence*, not proof —
+//! the sound direction is the verifier's; this harness is the ground-truth
+//! oracle used to validate the verifier's verdicts on the evaluation suite.
+
+use std::collections::BTreeMap;
+
+use commcsl_pure::{Symbol, Value};
+
+use crate::ast::Cmd;
+use crate::interp::{run, RunOutcome};
+use crate::sched::standard_battery;
+use crate::state::State;
+
+/// Everything observable by the attacker at termination: the designated
+/// low output variables and the output log.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Observation {
+    /// Values of the low output variables, in declaration order.
+    pub low_vars: Vec<(Symbol, Value)>,
+    /// The output log.
+    pub outputs: Vec<Value>,
+}
+
+/// One execution's identifying data, for replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionId {
+    /// Index into the high-input assignments supplied to the check.
+    pub high_index: usize,
+    /// Scheduler name.
+    pub scheduler: String,
+}
+
+/// A concrete non-interference violation: two executions with identical
+/// low inputs but different low observations.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// First execution.
+    pub first: ExecutionId,
+    /// Second execution.
+    pub second: ExecutionId,
+    /// Observation of the first execution.
+    pub first_obs: Observation,
+    /// Observation of the second execution.
+    pub second_obs: Observation,
+}
+
+/// Result of an empirical non-interference check.
+#[derive(Debug, Clone)]
+pub struct NiReport {
+    /// The violation found, if any.
+    pub violation: Option<Violation>,
+    /// Total number of terminating executions observed.
+    pub executions: usize,
+    /// Executions that ran out of fuel (ignored by Def. 2.1, which is
+    /// termination-insensitive, but reported for transparency).
+    pub fuel_exhausted: usize,
+    /// Executions that aborted — always a bug in the program under test.
+    pub aborted: usize,
+}
+
+impl NiReport {
+    /// `true` when no violation was observed.
+    pub fn holds(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Configuration for the harness.
+#[derive(Debug, Clone)]
+pub struct NiConfig {
+    /// Number of random-scheduler seeds in the battery.
+    pub random_seeds: u64,
+    /// Step budget per execution.
+    pub fuel: usize,
+}
+
+impl Default for NiConfig {
+    fn default() -> Self {
+        NiConfig {
+            random_seeds: 6,
+            fuel: 200_000,
+        }
+    }
+}
+
+/// Checks non-interference of `program` empirically.
+///
+/// * `low_inputs` — the (shared) low input binding.
+/// * `high_inputs` — a list of high input assignments; Def. 2.1 quantifies
+///   over pairs, so supply at least two that differ. All pairs (including
+///   schedule-only pairs within one assignment) are compared.
+/// * `low_outputs` — the variables the attacker reads at termination (the
+///   output log is always observed).
+///
+/// # Example
+///
+/// ```
+/// use commcsl_lang::nicheck::{check_non_interference, NiConfig};
+/// use commcsl_lang::parser::parse_program;
+/// use commcsl_pure::Value;
+///
+/// // Fig. 1 variant with commuting additions: no leak.
+/// let prog = parse_program(
+///     "par { t := 0; while (t < h) { t := t + 1 }; atomic { s := s + 4 } }
+///          { atomic { s := s + 3 } };
+///      output(s)",
+/// ).unwrap();
+/// let report = check_non_interference(
+///     &prog,
+///     &[],
+///     &[vec![("h".into(), Value::Int(0))], vec![("h".into(), Value::Int(9))]],
+///     &[],
+///     &NiConfig { random_seeds: 2, fuel: 10_000 },
+/// );
+/// assert!(report.holds());
+/// ```
+pub fn check_non_interference(
+    program: &Cmd,
+    low_inputs: &[(Symbol, Value)],
+    high_inputs: &[Vec<(Symbol, Value)>],
+    low_outputs: &[Symbol],
+    config: &NiConfig,
+) -> NiReport {
+    let mut observations: Vec<(ExecutionId, Observation)> = Vec::new();
+    let mut executions = 0;
+    let mut fuel_exhausted = 0;
+    let mut aborted = 0;
+
+    for (high_index, high) in high_inputs.iter().enumerate() {
+        let mut inputs: BTreeMap<Symbol, Value> = low_inputs.iter().cloned().collect();
+        for (x, v) in high {
+            inputs.insert(x.clone(), v.clone());
+        }
+        let init = State::with_inputs(inputs);
+        for mut sched in standard_battery(config.random_seeds) {
+            let id = ExecutionId {
+                high_index,
+                scheduler: sched.name(),
+            };
+            match run(program, init.clone(), sched.as_mut(), config.fuel) {
+                RunOutcome::Done(final_state) => {
+                    executions += 1;
+                    let obs = Observation {
+                        low_vars: low_outputs
+                            .iter()
+                            .map(|x| (x.clone(), final_state.store.get(x)))
+                            .collect(),
+                        outputs: final_state.outputs,
+                    };
+                    observations.push((id, obs));
+                }
+                RunOutcome::OutOfFuel(_) => fuel_exhausted += 1,
+                RunOutcome::Aborted(_) => aborted += 1,
+            }
+        }
+    }
+
+    // Def. 2.1: all pairs of terminating executions must agree on low
+    // observations (the low inputs are equal across all of them).
+    let violation = observations.windows(2).find_map(|w| {
+        let (id1, o1) = &w[0];
+        let (id2, o2) = &w[1];
+        (o1 != o2).then(|| Violation {
+            first: id1.clone(),
+            second: id2.clone(),
+            first_obs: o1.clone(),
+            second_obs: o2.clone(),
+        })
+    });
+
+    NiReport {
+        violation,
+        executions,
+        fuel_exhausted,
+        aborted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commcsl_pure::Term;
+
+    /// Fig. 1 of the paper: the delayed non-commuting assignment leaks
+    /// whether h > 100 under a round-robin-ish scheduler.
+    fn figure1(left_assign: Cmd, right_assign: Cmd) -> Cmd {
+        let left = Cmd::block([
+            Cmd::assign("t1", Term::int(0)),
+            Cmd::while_(
+                Term::lt(Term::var("t1"), Term::int(20)),
+                Cmd::assign("t1", Term::add(Term::var("t1"), Term::int(1))),
+            ),
+            left_assign,
+        ]);
+        let right = Cmd::block([
+            Cmd::assign("t2", Term::int(0)),
+            Cmd::while_(
+                Term::lt(Term::var("t2"), Term::var("h")),
+                Cmd::assign("t2", Term::add(Term::var("t2"), Term::int(1))),
+            ),
+            right_assign,
+        ]);
+        Cmd::block([Cmd::par(left, right), Cmd::Output(Term::var("s"))])
+    }
+
+    fn high_pair() -> Vec<Vec<(Symbol, Value)>> {
+        vec![
+            vec![("h".into(), Value::Int(1))],
+            vec![("h".into(), Value::Int(200))],
+        ]
+    }
+
+    #[test]
+    fn figure1_assignments_leak() {
+        let prog = figure1(
+            Cmd::atomic(Cmd::assign("s", Term::int(3))),
+            Cmd::atomic(Cmd::assign("s", Term::int(4))),
+        );
+        let report = check_non_interference(
+            &prog,
+            &[],
+            &high_pair(),
+            &[],
+            &NiConfig {
+                random_seeds: 4,
+                fuel: 100_000,
+            },
+        );
+        assert!(
+            !report.holds(),
+            "the internal timing channel must be observable"
+        );
+        assert_eq!(report.aborted, 0);
+    }
+
+    #[test]
+    fn figure1_commuting_adds_do_not_leak() {
+        let prog = figure1(
+            Cmd::atomic(Cmd::assign("s", Term::add(Term::var("s"), Term::int(3)))),
+            Cmd::atomic(Cmd::assign("s", Term::add(Term::var("s"), Term::int(4)))),
+        );
+        let report = check_non_interference(
+            &prog,
+            &[],
+            &high_pair(),
+            &[],
+            &NiConfig {
+                random_seeds: 4,
+                fuel: 100_000,
+            },
+        );
+        assert!(report.holds(), "commuting additions must not leak");
+        assert!(report.executions > 0);
+    }
+
+    #[test]
+    fn low_output_variables_are_observed() {
+        // y := h — direct leak through a variable, no output log.
+        let prog = Cmd::assign("y", Term::var("h"));
+        let report = check_non_interference(
+            &prog,
+            &[],
+            &high_pair(),
+            &["y".into()],
+            &NiConfig::default(),
+        );
+        assert!(!report.holds());
+    }
+
+    #[test]
+    fn high_variable_not_observed_is_fine() {
+        let prog = Cmd::assign("y", Term::var("h"));
+        let report =
+            check_non_interference(&prog, &[], &high_pair(), &[], &NiConfig::default());
+        assert!(report.holds());
+    }
+}

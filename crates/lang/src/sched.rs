@@ -1,0 +1,212 @@
+//! Schedulers: sources of interleaving decisions.
+//!
+//! The paper's central attacker model is that thread scheduling may depend
+//! on *anything* — including secret-dependent execution time on real
+//! hardware (caches, variable-latency instructions). The scheduler zoo here
+//! lets the empirical harness exercise that model: deterministic
+//! round-robin (the paper's Fig. 1 discussion), uniformly random, *skewed*
+//! schedulers that model one thread running faster (the internal-timing
+//! adversary), and a replay scheduler for exhaustive enumeration.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of scheduling decisions.
+///
+/// At every step the interpreter presents the number of enabled choices;
+/// the scheduler picks an index. Implementations are deterministic given
+/// their construction parameters (random schedulers take explicit seeds),
+/// so every observed behaviour can be replayed.
+pub trait Scheduler {
+    /// Picks one of `options` enabled choices (`options ≥ 1`) at the given
+    /// global step count.
+    fn pick(&mut self, options: usize, step: usize) -> usize;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> String;
+}
+
+/// Deterministic round-robin: cycles through the enabled choices.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    counter: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn pick(&mut self, options: usize, _step: usize) -> usize {
+        let choice = self.counter % options;
+        self.counter += 1;
+        choice
+    }
+
+    fn name(&self) -> String {
+        "round-robin".to_owned()
+    }
+}
+
+/// Uniformly random scheduling with an explicit seed.
+#[derive(Debug)]
+pub struct RandomSched {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl RandomSched {
+    /// Creates a seeded random scheduler.
+    pub fn new(seed: u64) -> Self {
+        RandomSched {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+}
+
+impl Scheduler for RandomSched {
+    fn pick(&mut self, options: usize, _step: usize) -> usize {
+        self.rng.gen_range(0..options)
+    }
+
+    fn name(&self) -> String {
+        format!("random(seed={})", self.seed)
+    }
+}
+
+/// A skewed scheduler preferring the first enabled choice (the leftmost
+/// thread) with probability `bias`.
+///
+/// This models the internal-timing adversary: a thread whose operations on
+/// secret data run faster (or slower) effectively biases the interleaving.
+#[derive(Debug)]
+pub struct SkewSched {
+    rng: StdRng,
+    bias: f64,
+    seed: u64,
+}
+
+impl SkewSched {
+    /// Creates a skewed scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= bias <= 1.0`.
+    pub fn new(seed: u64, bias: f64) -> Self {
+        assert!((0.0..=1.0).contains(&bias), "bias must be a probability");
+        SkewSched {
+            rng: StdRng::seed_from_u64(seed),
+            bias,
+            seed,
+        }
+    }
+}
+
+impl Scheduler for SkewSched {
+    fn pick(&mut self, options: usize, _step: usize) -> usize {
+        if options == 1 {
+            return 0;
+        }
+        if self.rng.gen_bool(self.bias) {
+            0
+        } else {
+            self.rng.gen_range(1..options)
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("skew(bias={}, seed={})", self.bias, self.seed)
+    }
+}
+
+/// Replays a fixed decision sequence (used by the exhaustive enumerator);
+/// falls back to choice 0 when the script runs out.
+#[derive(Debug, Clone)]
+pub struct ReplaySched {
+    choices: Vec<usize>,
+    pos: usize,
+}
+
+impl ReplaySched {
+    /// Creates a replay scheduler from a decision script.
+    pub fn new(choices: Vec<usize>) -> Self {
+        ReplaySched { choices, pos: 0 }
+    }
+}
+
+impl Scheduler for ReplaySched {
+    fn pick(&mut self, options: usize, _step: usize) -> usize {
+        let c = self.choices.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        c.min(options - 1)
+    }
+
+    fn name(&self) -> String {
+        "replay".to_owned()
+    }
+}
+
+/// The standard scheduler battery used by the non-interference harness:
+/// round-robin, several random seeds, and both skew directions.
+pub fn standard_battery(seeds: u64) -> Vec<Box<dyn Scheduler>> {
+    let mut out: Vec<Box<dyn Scheduler>> = vec![Box::new(RoundRobin::new())];
+    for s in 0..seeds {
+        out.push(Box::new(RandomSched::new(0x5EED + s)));
+    }
+    out.push(Box::new(SkewSched::new(0xA11CE, 0.9)));
+    out.push(Box::new(SkewSched::new(0xB0B, 0.1)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobin::new();
+        let picks: Vec<usize> = (0..6).map(|i| rr.pick(2, i)).collect();
+        assert_eq!(picks, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a = RandomSched::new(9);
+        let mut b = RandomSched::new(9);
+        for i in 0..32 {
+            assert_eq!(a.pick(3, i), b.pick(3, i));
+        }
+    }
+
+    #[test]
+    fn skew_prefers_first_option() {
+        let mut s = SkewSched::new(1, 0.95);
+        let zeros = (0..1000).filter(|&i| s.pick(2, i) == 0).count();
+        assert!(zeros > 900, "expected strong bias, got {zeros}/1000");
+    }
+
+    #[test]
+    fn replay_follows_script_then_defaults() {
+        let mut r = ReplaySched::new(vec![1, 0, 1]);
+        assert_eq!(r.pick(2, 0), 1);
+        assert_eq!(r.pick(2, 1), 0);
+        assert_eq!(r.pick(2, 2), 1);
+        assert_eq!(r.pick(2, 3), 0);
+    }
+
+    #[test]
+    fn replay_clamps_to_available_options() {
+        let mut r = ReplaySched::new(vec![7]);
+        assert_eq!(r.pick(2, 0), 1);
+    }
+
+    #[test]
+    fn battery_contains_all_kinds() {
+        let b = standard_battery(3);
+        assert_eq!(b.len(), 6);
+    }
+}

@@ -1,0 +1,377 @@
+//! Small-step operational semantics (paper, Fig. 9 / App. A.1).
+//!
+//! The step relation is deterministic *given a scheduling choice*: the only
+//! nondeterminism in the language is which enabled thread of a parallel
+//! composition steps next. [`enabled`] enumerates the choice points (paths
+//! through `Par` nodes); [`step`] performs one transition at a chosen path.
+
+use commcsl_pure::{Value, PureError};
+
+use crate::ast::Cmd;
+use crate::state::State;
+
+/// A scheduling choice: the sides taken at each `Par` node on the way to
+/// the thread that steps.
+pub type ThreadPath = Vec<Side>;
+
+/// Which side of a `Par` node a path descends into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Side {
+    /// The left thread.
+    Left,
+    /// The right thread.
+    Right,
+}
+
+/// The result of one transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepResult {
+    /// The program made a step.
+    Next(Cmd, State),
+    /// The program aborted (heap fault or ill-sorted expression).
+    Abort(AbortReason),
+}
+
+/// Why an execution aborted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbortReason {
+    /// Read or write of an unallocated location (`ReadA`/`WriteA`).
+    HeapFault(i64),
+    /// Expression evaluation failed (ill-sorted operation).
+    EvalError(PureError),
+    /// A non-integer value was used as a heap address.
+    BadAddress(Value),
+    /// The body of an `atomic` block exceeded its fuel.
+    AtomicDiverged,
+}
+
+/// Enumerates the enabled scheduling choices of a command.
+///
+/// `skip` has none. Every other command has at least one. A `Par` node
+/// whose both sides are `skip` offers the join step (`Par3`) as a single
+/// choice with an empty residual path.
+pub fn enabled(cmd: &Cmd) -> Vec<ThreadPath> {
+    let mut out = Vec::new();
+    collect_enabled(cmd, &mut Vec::new(), &mut out);
+    out
+}
+
+fn collect_enabled(cmd: &Cmd, prefix: &mut ThreadPath, out: &mut Vec<ThreadPath>) {
+    match cmd {
+        Cmd::Skip => {}
+        Cmd::Seq(c1, _) => {
+            if **c1 == Cmd::Skip {
+                // The Seq1 step itself.
+                out.push(prefix.clone());
+            } else {
+                collect_enabled(c1, prefix, out);
+            }
+        }
+        Cmd::Par(c1, c2) => {
+            if **c1 == Cmd::Skip && **c2 == Cmd::Skip {
+                // Par3: join.
+                out.push(prefix.clone());
+            } else {
+                prefix.push(Side::Left);
+                collect_enabled(c1, prefix, out);
+                prefix.pop();
+                prefix.push(Side::Right);
+                collect_enabled(c2, prefix, out);
+                prefix.pop();
+            }
+        }
+        // All other commands are themselves redexes.
+        _ => out.push(prefix.clone()),
+    }
+}
+
+/// Fuel bound for `atomic` bodies (they execute in one step per `Atom`).
+const ATOMIC_FUEL: usize = 1_000_000;
+
+/// Performs one small step at the scheduling choice `path`.
+///
+/// # Panics
+///
+/// Panics if `path` is not one of the paths returned by [`enabled`] for
+/// `cmd` — that is a scheduler bug, not a program error.
+pub fn step(cmd: &Cmd, state: &State, path: &[Side]) -> StepResult {
+    match cmd {
+        Cmd::Seq(c1, c2) => {
+            if **c1 == Cmd::Skip {
+                debug_assert!(path.is_empty(), "Seq1 step consumes no choices");
+                StepResult::Next((**c2).clone(), state.clone())
+            } else {
+                match step(c1, state, path) {
+                    StepResult::Next(c1_next, st) => {
+                        StepResult::Next(Cmd::Seq(Box::new(c1_next), c2.clone()), st)
+                    }
+                    abort => abort,
+                }
+            }
+        }
+        Cmd::Par(c1, c2) => {
+            if **c1 == Cmd::Skip && **c2 == Cmd::Skip {
+                debug_assert!(path.is_empty(), "Par3 step consumes no choices");
+                return StepResult::Next(Cmd::Skip, state.clone());
+            }
+            let (side, rest) = path
+                .split_first()
+                .expect("Par step requires a side choice");
+            match side {
+                Side::Left => match step(c1, state, rest) {
+                    StepResult::Next(c1_next, st) => {
+                        StepResult::Next(Cmd::Par(Box::new(c1_next), c2.clone()), st)
+                    }
+                    abort => abort,
+                },
+                Side::Right => match step(c2, state, rest) {
+                    StepResult::Next(c2_next, st) => {
+                        StepResult::Next(Cmd::Par(c1.clone(), Box::new(c2_next)), st)
+                    }
+                    abort => abort,
+                },
+            }
+        }
+        Cmd::Skip => panic!("skip has no enabled steps"),
+        Cmd::Assign(x, e) => match state.store.eval(e) {
+            Ok(v) => {
+                let mut st = state.clone();
+                st.store.set(x.clone(), v);
+                StepResult::Next(Cmd::Skip, st)
+            }
+            Err(err) => StepResult::Abort(AbortReason::EvalError(err)),
+        },
+        Cmd::Load(x, e) => match address(state, e) {
+            Ok(loc) => match state.heap.get(loc) {
+                Some(v) => {
+                    let mut st = state.clone();
+                    st.store.set(x.clone(), v.clone());
+                    StepResult::Next(Cmd::Skip, st)
+                }
+                None => StepResult::Abort(AbortReason::HeapFault(loc)),
+            },
+            Err(abort) => StepResult::Abort(abort),
+        },
+        Cmd::Store(e1, e2) => match (address(state, e1), state.store.eval(e2)) {
+            (Ok(loc), Ok(v)) => {
+                let mut st = state.clone();
+                if st.heap.set(loc, v) {
+                    StepResult::Next(Cmd::Skip, st)
+                } else {
+                    StepResult::Abort(AbortReason::HeapFault(loc))
+                }
+            }
+            (Err(abort), _) => StepResult::Abort(abort),
+            (_, Err(err)) => StepResult::Abort(AbortReason::EvalError(err)),
+        },
+        Cmd::Alloc(x, e) => match state.store.eval(e) {
+            Ok(v) => {
+                let mut st = state.clone();
+                let loc = st.heap.alloc(v);
+                st.store.set(x.clone(), Value::Int(loc));
+                StepResult::Next(Cmd::Skip, st)
+            }
+            Err(err) => StepResult::Abort(AbortReason::EvalError(err)),
+        },
+        Cmd::If(b, t, e) => match state.store.eval(b) {
+            Ok(Value::Bool(true)) => StepResult::Next((**t).clone(), state.clone()),
+            Ok(Value::Bool(false)) => StepResult::Next((**e).clone(), state.clone()),
+            Ok(other) => StepResult::Abort(AbortReason::EvalError(
+                commcsl_pure::PureError::SortMismatch {
+                    op: "if-condition",
+                    found: format!("{other:?}"),
+                },
+            )),
+            Err(err) => StepResult::Abort(AbortReason::EvalError(err)),
+        },
+        Cmd::While(b, body) => {
+            // Loop rule: unfold into a conditional.
+            let unfolded = Cmd::if_(
+                b.clone(),
+                Cmd::seq((**body).clone(), Cmd::While(b.clone(), body.clone())),
+                Cmd::Skip,
+            );
+            StepResult::Next(unfolded, state.clone())
+        }
+        Cmd::Atomic(body) => {
+            // Atom rule: run the body to completion in one observable step.
+            // Scheduling inside an atomic block is immaterial (the block is
+            // not interruptible); we run leftmost-first.
+            let mut cur = (**body).clone();
+            let mut st = state.clone();
+            for _ in 0..ATOMIC_FUEL {
+                if cur == Cmd::Skip {
+                    return StepResult::Next(Cmd::Skip, st);
+                }
+                let paths = enabled(&cur);
+                let path = paths.first().expect("non-skip command has a step");
+                match step(&cur, &st, path) {
+                    StepResult::Next(c, s) => {
+                        cur = c;
+                        st = s;
+                    }
+                    abort => return abort,
+                }
+            }
+            StepResult::Abort(AbortReason::AtomicDiverged)
+        }
+        Cmd::Output(e) => match state.store.eval(e) {
+            Ok(v) => {
+                let mut st = state.clone();
+                st.outputs.push(v);
+                StepResult::Next(Cmd::Skip, st)
+            }
+            Err(err) => StepResult::Abort(AbortReason::EvalError(err)),
+        },
+    }
+}
+
+fn address(state: &State, e: &commcsl_pure::Term) -> Result<i64, AbortReason> {
+    match state.store.eval(e) {
+        Ok(Value::Int(loc)) => Ok(loc),
+        Ok(other) => Err(AbortReason::BadAddress(other)),
+        Err(err) => Err(AbortReason::EvalError(err)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commcsl_pure::Term;
+
+    fn run_det(mut cmd: Cmd, mut state: State, fuel: usize) -> (Cmd, State) {
+        for _ in 0..fuel {
+            if cmd == Cmd::Skip {
+                break;
+            }
+            let paths = enabled(&cmd);
+            let path = paths[0].clone();
+            match step(&cmd, &state, &path) {
+                StepResult::Next(c, s) => {
+                    cmd = c;
+                    state = s;
+                }
+                StepResult::Abort(r) => panic!("aborted: {r:?}"),
+            }
+        }
+        (cmd, state)
+    }
+
+    #[test]
+    fn assignment_steps_to_skip() {
+        let c = Cmd::assign("x", Term::int(5));
+        let (c2, st) = run_det(c, State::new(), 10);
+        assert_eq!(c2, Cmd::Skip);
+        assert_eq!(st.store.get(&"x".into()), Value::Int(5));
+    }
+
+    #[test]
+    fn while_loop_terminates() {
+        // x := 0; while (x < 3) { x := x + 1 }
+        let c = Cmd::block([
+            Cmd::assign("x", Term::int(0)),
+            Cmd::while_(
+                Term::lt(Term::var("x"), Term::int(3)),
+                Cmd::assign("x", Term::add(Term::var("x"), Term::int(1))),
+            ),
+        ]);
+        let (c2, st) = run_det(c, State::new(), 100);
+        assert_eq!(c2, Cmd::Skip);
+        assert_eq!(st.store.get(&"x".into()), Value::Int(3));
+    }
+
+    #[test]
+    fn heap_roundtrip() {
+        // p := alloc(7); x := [p]; [p] := x + 1; y := [p]
+        let c = Cmd::block([
+            Cmd::Alloc("p".into(), Term::int(7)),
+            Cmd::Load("x".into(), Term::var("p")),
+            Cmd::Store(Term::var("p"), Term::add(Term::var("x"), Term::int(1))),
+            Cmd::Load("y".into(), Term::var("p")),
+        ]);
+        let (_, st) = run_det(c, State::new(), 100);
+        assert_eq!(st.store.get(&"y".into()), Value::Int(8));
+    }
+
+    #[test]
+    fn heap_fault_aborts() {
+        let c = Cmd::Load("x".into(), Term::int(99));
+        let paths = enabled(&c);
+        match step(&c, &State::new(), &paths[0]) {
+            StepResult::Abort(AbortReason::HeapFault(99)) => {}
+            other => panic!("expected heap fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn par_enables_both_sides() {
+        let c = Cmd::par(Cmd::assign("x", Term::int(1)), Cmd::assign("y", Term::int(2)));
+        let paths = enabled(&c);
+        assert_eq!(paths, vec![vec![Side::Left], vec![Side::Right]]);
+    }
+
+    #[test]
+    fn par_join_after_both_finish() {
+        let c = Cmd::par(Cmd::Skip, Cmd::Skip);
+        let paths = enabled(&c);
+        assert_eq!(paths, vec![Vec::<Side>::new()]);
+        match step(&c, &State::new(), &paths[0]) {
+            StepResult::Next(Cmd::Skip, _) => {}
+            other => panic!("expected join to skip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interleaving_affects_racy_assignment() {
+        // x := 3 || x := 4 — final value depends on order.
+        let c = Cmd::par(Cmd::assign("x", Term::int(3)), Cmd::assign("x", Term::int(4)));
+        // Left first.
+        let st = State::new();
+        let StepResult::Next(c1, s1) = step(&c, &st, &[Side::Left]) else {
+            panic!()
+        };
+        let (_, s1) = run_det(c1, s1, 10);
+        // Right first.
+        let StepResult::Next(c2, s2) = step(&c, &st, &[Side::Right]) else {
+            panic!()
+        };
+        let (_, s2) = run_det(c2, s2, 10);
+        let (x1, x2) = (
+            s1.store.get(&"x".into()),
+            s2.store.get(&"x".into()),
+        );
+        assert_ne!(x1, x2, "the race must be observable");
+    }
+
+    #[test]
+    fn atomic_runs_to_completion_in_one_step() {
+        let c = Cmd::atomic(Cmd::block([
+            Cmd::assign("x", Term::int(1)),
+            Cmd::assign("x", Term::add(Term::var("x"), Term::int(1))),
+        ]));
+        let paths = enabled(&c);
+        match step(&c, &State::new(), &paths[0]) {
+            StepResult::Next(Cmd::Skip, st) => {
+                assert_eq!(st.store.get(&"x".into()), Value::Int(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn atomic_divergence_is_detected() {
+        let c = Cmd::atomic(Cmd::while_(Term::tt(), Cmd::Skip));
+        let paths = enabled(&c);
+        match step(&c, &State::new(), &paths[0]) {
+            StepResult::Abort(AbortReason::AtomicDiverged) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn output_appends_to_log() {
+        let c = Cmd::block([Cmd::Output(Term::int(1)), Cmd::Output(Term::int(2))]);
+        let (_, st) = run_det(c, State::new(), 10);
+        assert_eq!(st.outputs, vec![Value::Int(1), Value::Int(2)]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Program states: stores, heaps, and output logs.
+
+use std::collections::BTreeMap;
+
+use commcsl_pure::term::Env;
+use commcsl_pure::{PureResult, Symbol, Term, Value};
+
+/// A variable store.
+///
+/// Expression evaluation in the paper is *total*: uninitialized variables
+/// evaluate to a default value (Sec. 3.1). The default here is `Int(0)`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Store {
+    vars: BTreeMap<Symbol, Value>,
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Reads a variable (default `Int(0)` when unset).
+    pub fn get(&self, x: &Symbol) -> Value {
+        self.vars.get(x).cloned().unwrap_or(Value::Int(0))
+    }
+
+    /// Writes a variable.
+    pub fn set(&mut self, x: Symbol, v: Value) {
+        self.vars.insert(x, v);
+    }
+
+    /// Iterates over the explicitly set bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&Symbol, &Value)> {
+        self.vars.iter()
+    }
+
+    /// Evaluates an expression over this store, defaulting unbound
+    /// variables to `Int(0)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`commcsl_pure::PureError`] from ill-sorted operations;
+    /// the interpreter treats these as `abort` (a verified program never
+    /// reaches them).
+    pub fn eval(&self, e: &Term) -> PureResult<Value> {
+        let mut env: Env = Env::new();
+        for x in e.free_vars() {
+            env.insert(x.clone(), self.get(&x));
+        }
+        e.eval(&env)
+    }
+}
+
+impl FromIterator<(Symbol, Value)> for Store {
+    fn from_iter<I: IntoIterator<Item = (Symbol, Value)>>(iter: I) -> Self {
+        Store {
+            vars: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A heap: a partial map from locations to values.
+///
+/// Locations are positive integers; `alloc` picks the least unused one
+/// (deterministic — the paper's semantics permits any fresh location, and
+/// the choice is immaterial for the properties we test).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Heap {
+    cells: BTreeMap<i64, Value>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Heap::default()
+    }
+
+    /// Reads a location, or `None` when unallocated.
+    pub fn get(&self, loc: i64) -> Option<&Value> {
+        self.cells.get(&loc)
+    }
+
+    /// Writes an *allocated* location; returns `false` when unallocated.
+    pub fn set(&mut self, loc: i64, v: Value) -> bool {
+        match self.cells.get_mut(&loc) {
+            Some(slot) => {
+                *slot = v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Allocates a fresh location initialized to `v` and returns it.
+    pub fn alloc(&mut self, v: Value) -> i64 {
+        let loc = self.cells.keys().next_back().map_or(1, |&l| l + 1);
+        self.cells.insert(loc, v);
+        loc
+    }
+
+    /// Number of allocated cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` when nothing is allocated.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// A full program state: store, heap, and the output log written by
+/// `output(e)` commands.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct State {
+    /// The variable store.
+    pub store: Store,
+    /// The heap.
+    pub heap: Heap,
+    /// Values printed so far, in order.
+    pub outputs: Vec<Value>,
+}
+
+impl State {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        State::default()
+    }
+
+    /// Creates a state with the given initial variable bindings.
+    pub fn with_inputs(inputs: impl IntoIterator<Item = (Symbol, Value)>) -> Self {
+        State {
+            store: inputs.into_iter().collect(),
+            ..State::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_variables_default_to_zero() {
+        let s = Store::new();
+        assert_eq!(s.get(&Symbol::new("x")), Value::Int(0));
+        assert_eq!(
+            s.eval(&Term::add(Term::var("x"), Term::int(2))).unwrap(),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn heap_alloc_is_fresh_and_monotone() {
+        let mut h = Heap::new();
+        let a = h.alloc(Value::Int(1));
+        let b = h.alloc(Value::Int(2));
+        assert_ne!(a, b);
+        assert_eq!(h.get(a), Some(&Value::Int(1)));
+        assert_eq!(h.get(b), Some(&Value::Int(2)));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn store_to_unallocated_location_fails() {
+        let mut h = Heap::new();
+        assert!(!h.set(7, Value::Int(0)));
+        let a = h.alloc(Value::Int(0));
+        assert!(h.set(a, Value::Int(9)));
+        assert_eq!(h.get(a), Some(&Value::Int(9)));
+    }
+
+    #[test]
+    fn state_with_inputs_binds_store() {
+        let st = State::with_inputs([(Symbol::new("h"), Value::Int(5))]);
+        assert_eq!(st.store.get(&Symbol::new("h")), Value::Int(5));
+        assert!(st.outputs.is_empty());
+    }
+}

@@ -1,0 +1,696 @@
+//! The relational assertion language (paper, Fig. 7).
+//!
+//! Assertions are interpreted over *pairs* of states (store + extended
+//! heap), which is what lets `Low(e)` say "e evaluates to the same value in
+//! both executions". The satisfaction relation here is executable: it is
+//! used by the proof-rule checker and by the property-based soundness
+//! tests. Separating conjunction is evaluated footprint-directed — the
+//! spatial assertions of the logic are *precise* (they determine their
+//! partial heap exactly), which is also why the paper can impose its
+//! precision side conditions (App. B.3).
+
+use commcsl_lang::state::Store;
+use commcsl_pure::{Multiset, Sort, Symbol, Term, Value};
+
+use crate::heap::{ExtHeap, SharedGuard, UniqueGuards};
+use crate::matching::{pre_shared_holds, pre_unique_holds};
+use crate::perm::Perm;
+use crate::spec::ResourceSpec;
+
+/// A relational assertion (Fig. 7).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Assertion {
+    /// `emp` — both permission heaps are empty.
+    Emp,
+    /// A boolean expression, required to hold in both states.
+    BoolExpr(Term),
+    /// `e1 ↦r e2` — exactly an `r`-permission singleton heap.
+    PointsTo {
+        /// Address expression.
+        loc: Term,
+        /// Permission fraction.
+        perm: Perm,
+        /// Value expression.
+        val: Term,
+    },
+    /// Separating conjunction `P ∗ Q`.
+    Star(Box<Assertion>, Box<Assertion>),
+    /// Plain conjunction `P ∧ Q`.
+    And(Box<Assertion>, Box<Assertion>),
+    /// `∃x. P` — the witness may differ between the two states.
+    Exists(Symbol, Sort, Box<Assertion>),
+    /// `sguard(r, e)` — a fraction `r` of the shared-action guard with
+    /// argument multiset `e` (a multiset-valued expression).
+    SGuard {
+        /// Guarded action name.
+        action: Symbol,
+        /// Fraction held.
+        perm: Perm,
+        /// Multiset expression for the recorded arguments.
+        args: Term,
+    },
+    /// `uguard_i(e)` — the unique guard for action `i` with argument
+    /// sequence `e`.
+    UGuard {
+        /// Guarded action name.
+        action: Symbol,
+        /// Sequence expression for the recorded arguments.
+        args: Term,
+    },
+    /// `b ⇒ P` — `b` must agree in the two states; `P` holds if `b` does.
+    CondImplies(Term, Box<Assertion>),
+    /// `Low(e)` — `e` agrees across the two states.
+    Low(Term),
+    /// `PRE_s` for a shared action: a bijection between the two argument
+    /// multisets through the action's relational precondition (Def. 3.2).
+    PreShared {
+        /// Action name.
+        action: Symbol,
+        /// Multiset expression.
+        args: Term,
+    },
+    /// `PRE_i` for a unique action: low length and pointwise precondition.
+    PreUnique {
+        /// Action name.
+        action: Symbol,
+        /// Sequence expression.
+        args: Term,
+    },
+}
+
+impl Assertion {
+    /// `P ∗ Q`.
+    pub fn star(p: Assertion, q: Assertion) -> Assertion {
+        Assertion::Star(Box::new(p), Box::new(q))
+    }
+
+    /// Iterated `∗` (empty ⇒ `emp`).
+    pub fn star_all(parts: impl IntoIterator<Item = Assertion>) -> Assertion {
+        let mut it = parts.into_iter();
+        let Some(first) = it.next() else {
+            return Assertion::Emp;
+        };
+        it.fold(first, Assertion::star)
+    }
+
+    /// `∃x: sort. P`.
+    pub fn exists(x: impl Into<Symbol>, sort: Sort, p: Assertion) -> Assertion {
+        Assertion::Exists(x.into(), sort, Box::new(p))
+    }
+
+    /// Syntactic unarity (paper, Sec. 3.4): an assertion with no `Low` or
+    /// `PRE` constituents never relates the two states to each other.
+    pub fn is_unary(&self) -> bool {
+        match self {
+            Assertion::Low(_) | Assertion::PreShared { .. } | Assertion::PreUnique { .. } => {
+                false
+            }
+            Assertion::Emp
+            | Assertion::BoolExpr(_)
+            | Assertion::PointsTo { .. }
+            | Assertion::SGuard { .. }
+            | Assertion::UGuard { .. } => true,
+            Assertion::Star(p, q) | Assertion::And(p, q) => p.is_unary() && q.is_unary(),
+            Assertion::Exists(_, _, p) | Assertion::CondImplies(_, p) => p.is_unary(),
+        }
+    }
+
+    /// Syntactic precision (App. B.3): the assertion determines its partial
+    /// heap uniquely. Spatial atoms are precise; pure assertions are not
+    /// (any heap satisfies them); `∃` over a precise body whose witness is
+    /// determined is treated as imprecise conservatively.
+    pub fn is_precise(&self) -> bool {
+        match self {
+            Assertion::Emp
+            | Assertion::PointsTo { .. }
+            | Assertion::SGuard { .. }
+            | Assertion::UGuard { .. } => true,
+            Assertion::Star(p, q) => p.is_precise() && q.is_precise(),
+            _ => false,
+        }
+    }
+
+    /// `noguard(P)` (Sec. 3.4): `P` can only hold in states whose guard
+    /// components are all `⊥`. Conservative syntactic check.
+    pub fn is_guard_free(&self) -> bool {
+        match self {
+            Assertion::SGuard { .. } | Assertion::UGuard { .. } => false,
+            Assertion::Star(p, q) | Assertion::And(p, q) => {
+                p.is_guard_free() && q.is_guard_free()
+            }
+            Assertion::Exists(_, _, p) | Assertion::CondImplies(_, p) => p.is_guard_free(),
+            _ => true,
+        }
+    }
+}
+
+/// One side of a relational state: a store and an extended heap.
+pub type SideState<'a> = (&'a Store, &'a ExtHeap);
+
+/// Errors from satisfaction checking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SatError {
+    /// A sub-expression failed to evaluate.
+    Eval(commcsl_pure::PureError),
+    /// A `∗` whose conjuncts' footprints could not be computed.
+    AmbiguousSplit,
+    /// A `PRE` assertion referred to an action the spec does not declare
+    /// (or no spec was supplied).
+    UnknownAction(Symbol),
+}
+
+impl From<commcsl_pure::PureError> for SatError {
+    fn from(e: commcsl_pure::PureError) -> Self {
+        SatError::Eval(e)
+    }
+}
+
+/// Budget for bounded existential search.
+#[derive(Debug, Clone)]
+pub struct SatConfig {
+    /// Integer bound for enumerated witnesses.
+    pub witness_int_bound: i64,
+    /// Container bound for enumerated witnesses.
+    pub witness_max_len: usize,
+}
+
+impl Default for SatConfig {
+    fn default() -> Self {
+        SatConfig {
+            witness_int_bound: 3,
+            witness_max_len: 2,
+        }
+    }
+}
+
+/// Checks two-state satisfaction `(s1, gh1), (s2, gh2) ⊨ P`.
+///
+/// `spec` supplies action preconditions for `PRE` assertions.
+///
+/// Existentials are checked against witness candidates drawn from the
+/// states (store bindings, heap values, guard arguments) plus a bounded
+/// enumeration — sufficient for the assertions arising in proofs, where
+/// witnesses always occur in the state.
+///
+/// # Errors
+///
+/// See [`SatError`].
+pub fn sat(
+    assertion: &Assertion,
+    s1: SideState<'_>,
+    s2: SideState<'_>,
+    spec: Option<&ResourceSpec>,
+    config: &SatConfig,
+) -> Result<bool, SatError> {
+    match assertion {
+        Assertion::Emp => Ok(s1.1.perm.is_empty() && s2.1.perm.is_empty()),
+        Assertion::BoolExpr(b) => {
+            Ok(eval_bool(s1.0, b)? && eval_bool(s2.0, b)?)
+        }
+        Assertion::PointsTo { loc, perm, val } => {
+            Ok(points_to_exact(s1, loc, *perm, val)? && points_to_exact(s2, loc, *perm, val)?)
+        }
+        Assertion::Star(p, q) => {
+            // Footprint-directed split: compute the exact heap of the
+            // precise conjunct, give the remainder to the other.
+            let (precise, other, precise_first) = if footprint(p, s1.0).is_some() {
+                (p, q, true)
+            } else if footprint(q, s1.0).is_some() {
+                (q, p, false)
+            } else {
+                return Err(SatError::AmbiguousSplit);
+            };
+            let _ = precise_first;
+            let (Some(fp1), Some(fp2)) = (footprint(precise, s1.0), footprint(precise, s2.0))
+            else {
+                return Err(SatError::AmbiguousSplit);
+            };
+            let (fp1, fp2) = (fp1?, fp2?);
+            let (Some(rest1), Some(rest2)) = (subtract(s1.1, &fp1), subtract(s2.1, &fp2))
+            else {
+                return Ok(false);
+            };
+            let precise_ok = sat(precise, (s1.0, &fp1), (s2.0, &fp2), spec, config)?;
+            if !precise_ok {
+                return Ok(false);
+            }
+            sat(other, (s1.0, &rest1), (s2.0, &rest2), spec, config)
+        }
+        Assertion::And(p, q) => Ok(sat(p, s1, s2, spec, config)?
+            && sat(q, s1, s2, spec, config)?),
+        Assertion::Exists(x, sort, p) => {
+            let mut candidates1 = witness_candidates(s1, sort, config);
+            let mut candidates2 = witness_candidates(s2, sort, config);
+            candidates1.dedup();
+            candidates2.dedup();
+            for w1 in &candidates1 {
+                for w2 in &candidates2 {
+                    let mut st1 = s1.0.clone();
+                    st1.set(x.clone(), w1.clone());
+                    let mut st2 = s2.0.clone();
+                    st2.set(x.clone(), w2.clone());
+                    if sat(p, (&st1, s1.1), (&st2, s2.1), spec, config)? {
+                        return Ok(true);
+                    }
+                }
+            }
+            Ok(false)
+        }
+        Assertion::SGuard { perm, args, .. } => {
+            Ok(sguard_exact(s1, *perm, args)? && sguard_exact(s2, *perm, args)?)
+        }
+        Assertion::UGuard { action, args } => {
+            Ok(uguard_exact(s1, action, args)? && uguard_exact(s2, action, args)?)
+        }
+        Assertion::CondImplies(b, p) => {
+            let (b1, b2) = (eval_bool(s1.0, b)?, eval_bool(s2.0, b)?);
+            if b1 != b2 {
+                return Ok(false);
+            }
+            if b1 {
+                sat(p, s1, s2, spec, config)
+            } else {
+                Ok(true)
+            }
+        }
+        Assertion::Low(e) => Ok(s1.0.eval(e)? == s2.0.eval(e)?),
+        Assertion::PreShared { action, args } => {
+            let spec = spec.ok_or_else(|| SatError::UnknownAction(action.clone()))?;
+            let act = spec
+                .action(action.as_str())
+                .ok_or_else(|| SatError::UnknownAction(action.clone()))?;
+            let m1 = as_multiset(s1.0.eval(args)?)?;
+            let m2 = as_multiset(s2.0.eval(args)?)?;
+            Ok(pre_shared_holds(&m1, &m2, |a, b| {
+                act.pre_holds(a, b).unwrap_or(false)
+            }))
+        }
+        Assertion::PreUnique { action, args } => {
+            let spec = spec.ok_or_else(|| SatError::UnknownAction(action.clone()))?;
+            let act = spec
+                .action(action.as_str())
+                .ok_or_else(|| SatError::UnknownAction(action.clone()))?;
+            let q1 = s1.0.eval(args)?;
+            let q2 = s2.0.eval(args)?;
+            Ok(pre_unique_holds(q1.as_seq()?, q2.as_seq()?, |a, b| {
+                act.pre_holds(a, b).unwrap_or(false)
+            }))
+        }
+    }
+}
+
+fn eval_bool(store: &Store, b: &Term) -> Result<bool, SatError> {
+    Ok(store.eval(b)?.as_bool()?)
+}
+
+fn as_multiset(v: Value) -> Result<Multiset<Value>, SatError> {
+    Ok(v.as_multiset()?.clone())
+}
+
+fn points_to_exact(
+    side: SideState<'_>,
+    loc: &Term,
+    perm: Perm,
+    val: &Term,
+) -> Result<bool, SatError> {
+    let (store, gh) = side;
+    let l = store.eval(loc)?.as_int()?;
+    let v = store.eval(val)?;
+    Ok(gh.perm.len() == 1
+        && gh.perm.get(&l) == Some(&(perm, v))
+        && gh.shared.0.is_none()
+        && gh.unique.0.is_empty())
+}
+
+fn sguard_exact(side: SideState<'_>, perm: Perm, args: &Term) -> Result<bool, SatError> {
+    let (store, gh) = side;
+    let expected = as_multiset(store.eval(args)?)?;
+    Ok(gh.perm.is_empty()
+        && gh.unique.0.is_empty()
+        && gh.shared.0.as_ref() == Some(&(perm, expected)))
+}
+
+fn uguard_exact(side: SideState<'_>, action: &Symbol, args: &Term) -> Result<bool, SatError> {
+    let (store, gh) = side;
+    let expected = store.eval(args)?.as_seq()?.to_vec();
+    Ok(gh.perm.is_empty()
+        && gh.shared.0.is_none()
+        && gh.unique.0.len() == 1
+        && gh.unique.0.get(action) == Some(&expected))
+}
+
+/// Computes the exact footprint of a precise assertion in one store
+/// (`None` when the assertion is not footprint-determined).
+fn footprint(assertion: &Assertion, store: &Store) -> Option<Result<ExtHeap, SatError>> {
+    match assertion {
+        Assertion::Emp
+        | Assertion::BoolExpr(_)
+        | Assertion::Low(_)
+        | Assertion::PreShared { .. }
+        | Assertion::PreUnique { .. } => Some(Ok(ExtHeap::new())),
+        Assertion::PointsTo { loc, perm, val } => Some((|| {
+            let l = store.eval(loc)?.as_int()?;
+            let v = store.eval(val)?;
+            let mut gh = ExtHeap::new();
+            gh.perm.insert(l, (*perm, v));
+            Ok(gh)
+        })()),
+        Assertion::SGuard { perm, args, .. } => Some((|| {
+            let m = as_multiset(store.eval(args)?)?;
+            Ok(ExtHeap {
+                shared: SharedGuard(Some((*perm, m))),
+                ..ExtHeap::new()
+            })
+        })()),
+        Assertion::UGuard { action, args } => Some((|| {
+            let s = store.eval(args)?.as_seq()?.to_vec();
+            Ok(ExtHeap {
+                unique: UniqueGuards([(action.clone(), s)].into_iter().collect()),
+                ..ExtHeap::new()
+            })
+        })()),
+        Assertion::Star(p, q) => {
+            let fp = footprint(p, store)?;
+            let fq = footprint(q, store)?;
+            Some((|| {
+                let (a, b) = (fp?, fq?);
+                a.add(&b).ok_or(SatError::AmbiguousSplit)
+            })())
+        }
+        Assertion::CondImplies(b, p) => match store.eval(b) {
+            Ok(Value::Bool(true)) => footprint(p, store),
+            Ok(Value::Bool(false)) => Some(Ok(ExtHeap::new())),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Heap subtraction: `gh ⊖ fp` such that `fp ⊕ result = gh`.
+fn subtract(gh: &ExtHeap, fp: &ExtHeap) -> Option<ExtHeap> {
+    let mut perm = gh.perm.clone();
+    for (loc, (p_fp, v_fp)) in &fp.perm {
+        let (p, v) = perm.get(loc)?.clone();
+        if v != *v_fp {
+            return None;
+        }
+        if p == *p_fp {
+            perm.remove(loc);
+        } else {
+            let rest = p.checked_sub(*p_fp)?;
+            perm.insert(*loc, (rest, v));
+        }
+    }
+    let shared = match (&gh.shared.0, &fp.shared.0) {
+        (g, None) => SharedGuard(g.clone()),
+        (Some((pg, mg)), Some((pf, mf))) => {
+            if !mf.is_subset(mg) {
+                return None;
+            }
+            let rest_args = mg.difference(mf);
+            if pg == pf {
+                if !rest_args.is_empty() {
+                    return None;
+                }
+                SharedGuard(None)
+            } else {
+                SharedGuard(Some((pg.checked_sub(*pf)?, rest_args)))
+            }
+        }
+        (None, Some(_)) => return None,
+    };
+    let mut unique = gh.unique.0.clone();
+    for (name, seq) in &fp.unique.0 {
+        let held = unique.remove(name)?;
+        if held != *seq {
+            return None;
+        }
+    }
+    Some(ExtHeap {
+        perm,
+        shared,
+        unique: UniqueGuards(unique),
+    })
+}
+
+/// Witness candidates for `∃`: values present in the state plus a bounded
+/// enumeration of the sort.
+fn witness_candidates(side: SideState<'_>, sort: &Sort, config: &SatConfig) -> Vec<Value> {
+    let (store, gh) = side;
+    let mut out: Vec<Value> = Vec::new();
+    for (_, v) in store.iter() {
+        if v.sort().compatible(sort) {
+            out.push(v.clone());
+        }
+    }
+    for (_, (_, v)) in &gh.perm {
+        if v.sort().compatible(sort) {
+            out.push(v.clone());
+        }
+    }
+    if let Some((_, args)) = &gh.shared.0 {
+        let as_value = Value::Multiset(args.clone());
+        if as_value.sort().compatible(sort) {
+            out.push(as_value);
+        }
+        for v in args.distinct() {
+            if v.sort().compatible(sort) {
+                out.push(v.clone());
+            }
+        }
+    }
+    for (_, seq) in &gh.unique.0 {
+        let as_value = Value::Seq(seq.clone());
+        if as_value.sort().compatible(sort) {
+            out.push(as_value);
+        }
+    }
+    out.extend(commcsl_pure::gen::enumerate(
+        sort,
+        config.witness_int_bound,
+        config.witness_max_len,
+    ));
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(bindings: &[(&str, Value)]) -> Store {
+        bindings
+            .iter()
+            .map(|(k, v)| (Symbol::new(k), v.clone()))
+            .collect()
+    }
+
+    fn check(
+        a: &Assertion,
+        s1: (&Store, &ExtHeap),
+        s2: (&Store, &ExtHeap),
+        spec: Option<&ResourceSpec>,
+    ) -> bool {
+        sat(a, s1, s2, spec, &SatConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn low_compares_across_states() {
+        let (st1, st2) = (
+            store(&[("x", Value::Int(5))]),
+            store(&[("x", Value::Int(5))]),
+        );
+        let gh = ExtHeap::new();
+        assert!(check(&Assertion::Low(Term::var("x")), (&st1, &gh), (&st2, &gh), None));
+        let st3 = store(&[("x", Value::Int(6))]);
+        assert!(!check(&Assertion::Low(Term::var("x")), (&st1, &gh), (&st3, &gh), None));
+    }
+
+    #[test]
+    fn exists_allows_different_witnesses() {
+        // ∃x. y ↦ x holds even when the heap values differ between states —
+        // the paper's idiom for "y points to possibly-high data".
+        let p = Assertion::exists(
+            "w",
+            Sort::Int,
+            Assertion::PointsTo {
+                loc: Term::var("y"),
+                perm: Perm::FULL,
+                val: Term::var("w"),
+            },
+        );
+        let st = store(&[("y", Value::Int(1))]);
+        let mut gh1 = ExtHeap::new();
+        gh1.perm.insert(1, (Perm::FULL, Value::Int(42)));
+        let mut gh2 = ExtHeap::new();
+        gh2.perm.insert(1, (Perm::FULL, Value::Int(99)));
+        assert!(check(&p, (&st, &gh1), (&st, &gh2), None));
+    }
+
+    #[test]
+    fn points_to_is_exact() {
+        let p = Assertion::PointsTo {
+            loc: Term::int(1),
+            perm: Perm::FULL,
+            val: Term::int(7),
+        };
+        let st = Store::new();
+        let mut gh = ExtHeap::new();
+        gh.perm.insert(1, (Perm::FULL, Value::Int(7)));
+        assert!(check(&p, (&st, &gh), (&st, &gh), None));
+        // Extra cells falsify the exact assertion.
+        let mut bigger = gh.clone();
+        bigger.perm.insert(2, (Perm::FULL, Value::Int(0)));
+        assert!(!check(&p, (&st, &bigger), (&st, &bigger), None));
+    }
+
+    #[test]
+    fn star_splits_footprints() {
+        let p = Assertion::star(
+            Assertion::PointsTo {
+                loc: Term::int(1),
+                perm: Perm::FULL,
+                val: Term::int(7),
+            },
+            Assertion::PointsTo {
+                loc: Term::int(2),
+                perm: Perm::FULL,
+                val: Term::int(8),
+            },
+        );
+        let st = Store::new();
+        let mut gh = ExtHeap::new();
+        gh.perm.insert(1, (Perm::FULL, Value::Int(7)));
+        gh.perm.insert(2, (Perm::FULL, Value::Int(8)));
+        assert!(check(&p, (&st, &gh), (&st, &gh), None));
+        // The same cell cannot be claimed twice.
+        let dup = Assertion::star(
+            Assertion::PointsTo {
+                loc: Term::int(1),
+                perm: Perm::FULL,
+                val: Term::int(7),
+            },
+            Assertion::PointsTo {
+                loc: Term::int(1),
+                perm: Perm::FULL,
+                val: Term::int(7),
+            },
+        );
+        assert!(!check(&dup, (&st, &gh), (&st, &gh), None));
+    }
+
+    #[test]
+    fn fractional_points_to_star() {
+        // half ↦ ∗ half ↦ combines to a full cell.
+        let half = |v| Assertion::PointsTo {
+            loc: Term::int(1),
+            perm: Perm::HALF,
+            val: v,
+        };
+        let p = Assertion::star(half(Term::int(7)), half(Term::int(7)));
+        let st = Store::new();
+        let mut gh = ExtHeap::new();
+        gh.perm.insert(1, (Perm::FULL, Value::Int(7)));
+        assert!(check(&p, (&st, &gh), (&st, &gh), None));
+    }
+
+    #[test]
+    fn sguard_matches_exact_state() {
+        let spec = ResourceSpec::counter_add();
+        let st = store(&[("args", Value::multiset([Value::Int(1)]))]);
+        let gh = ExtHeap {
+            shared: SharedGuard(Some((
+                Perm::HALF,
+                [Value::Int(1)].into_iter().collect(),
+            ))),
+            ..ExtHeap::new()
+        };
+        let p = Assertion::SGuard {
+            action: "Add".into(),
+            perm: Perm::HALF,
+            args: Term::var("args"),
+        };
+        assert!(check(&p, (&st, &gh), (&st, &gh), Some(&spec)));
+        let wrong = Assertion::SGuard {
+            action: "Add".into(),
+            perm: Perm::FULL,
+            args: Term::var("args"),
+        };
+        assert!(!check(&wrong, (&st, &gh), (&st, &gh), Some(&spec)));
+    }
+
+    #[test]
+    fn pre_shared_uses_bijection() {
+        let spec = ResourceSpec::keyset_map();
+        // Run 1 recorded (1,10),(2,20); run 2 recorded (2,99),(1,98).
+        let st1 = store(&[(
+            "args",
+            Value::multiset([
+                Value::pair(Value::Int(1), Value::Int(10)),
+                Value::pair(Value::Int(2), Value::Int(20)),
+            ]),
+        )]);
+        let st2 = store(&[(
+            "args",
+            Value::multiset([
+                Value::pair(Value::Int(2), Value::Int(99)),
+                Value::pair(Value::Int(1), Value::Int(98)),
+            ]),
+        )]);
+        let gh = ExtHeap::new();
+        let p = Assertion::PreShared {
+            action: "Put".into(),
+            args: Term::var("args"),
+        };
+        assert!(check(&p, (&st1, &gh), (&st2, &gh), Some(&spec)));
+        // Key multisets differ → fails.
+        let st3 = store(&[(
+            "args",
+            Value::multiset([
+                Value::pair(Value::Int(3), Value::Int(99)),
+                Value::pair(Value::Int(1), Value::Int(98)),
+            ]),
+        )]);
+        assert!(!check(&p, (&st1, &gh), (&st3, &gh), Some(&spec)));
+    }
+
+    #[test]
+    fn unarity_and_precision_classification() {
+        let low = Assertion::Low(Term::var("x"));
+        assert!(!low.is_unary());
+        let pt = Assertion::PointsTo {
+            loc: Term::int(1),
+            perm: Perm::FULL,
+            val: Term::var("x"),
+        };
+        assert!(pt.is_unary());
+        assert!(pt.is_precise());
+        assert!(!low.is_precise());
+        assert!(Assertion::star(pt.clone(), pt.clone()).is_precise());
+        assert!(!Assertion::star(pt.clone(), low.clone()).is_precise());
+        let guard = Assertion::SGuard {
+            action: "Add".into(),
+            perm: Perm::FULL,
+            args: Term::var("a"),
+        };
+        assert!(!guard.is_guard_free());
+        assert!(pt.is_guard_free());
+    }
+
+    #[test]
+    fn cond_implies_requires_agreeing_condition() {
+        let p = Assertion::CondImplies(Term::var("b"), Box::new(Assertion::Low(Term::var("x"))));
+        let gh = ExtHeap::new();
+        let t = store(&[("b", Value::Bool(true)), ("x", Value::Int(1))]);
+        let f = store(&[("b", Value::Bool(false)), ("x", Value::Int(9))]);
+        // Conditions disagree → not satisfied.
+        assert!(!check(&p, (&t, &gh), (&f, &gh), None));
+        // Both false → vacuously true despite differing x.
+        let f2 = store(&[("b", Value::Bool(false)), ("x", Value::Int(3))]);
+        assert!(check(&p, (&f, &gh), (&f2, &gh), None));
+        // Both true and x agrees.
+        let t2 = store(&[("b", Value::Bool(true)), ("x", Value::Int(1))]);
+        assert!(check(&p, (&t, &gh), (&t2, &gh), None));
+    }
+}

@@ -1,0 +1,354 @@
+//! Consistency and the executable form of Lemma 4.2 (paper, Secs. 3.5, 4).
+//!
+//! *Consistency* ties the guard bookkeeping to the heap: the current pure
+//! value of a shared resource must be reachable from the initial value by
+//! *some* interleaving of the recorded shared-action multiset and the
+//! recorded unique-action sequences (unique sequences in order, the shared
+//! multiset in any order).
+//!
+//! *Lemma 4.2* is the heart of the soundness proof: if the specification is
+//! valid, the initial abstractions agree, and the recorded arguments are
+//! PRE-related, then **every** pair of interleavings yields the same final
+//! abstraction. [`lemma_4_2_holds`] is the executable (bounded) form used
+//! by the soundness test-suite — our stand-in for the Isabelle proof.
+
+use std::collections::BTreeSet;
+
+use commcsl_pure::{Multiset, PureResult, Symbol, Value};
+
+use crate::matching::{pre_shared_holds, pre_unique_holds};
+use crate::spec::{ActionKind, ResourceSpec};
+
+/// The recorded actions of one execution: one multiset per shared action,
+/// one sequence per unique action.
+#[derive(Debug, Clone, Default)]
+pub struct Record {
+    /// Shared-action argument multisets, by action name.
+    pub shared: Vec<(Symbol, Multiset<Value>)>,
+    /// Unique-action argument sequences, by action name.
+    pub unique: Vec<(Symbol, Vec<Value>)>,
+}
+
+impl Record {
+    /// An empty record.
+    pub fn new() -> Self {
+        Record::default()
+    }
+
+    /// Adds a shared-action multiset.
+    pub fn with_shared(
+        mut self,
+        name: impl Into<Symbol>,
+        args: impl IntoIterator<Item = Value>,
+    ) -> Self {
+        self.shared.push((name.into(), args.into_iter().collect()));
+        self
+    }
+
+    /// Adds a unique-action sequence.
+    pub fn with_unique(
+        mut self,
+        name: impl Into<Symbol>,
+        args: impl IntoIterator<Item = Value>,
+    ) -> Self {
+        self.unique.push((name.into(), args.into_iter().collect()));
+        self
+    }
+
+    /// Total number of recorded action applications.
+    pub fn len(&self) -> usize {
+        self.shared.iter().map(|(_, m)| m.len()).sum::<usize>()
+            + self.unique.iter().map(|(_, s)| s.len()).sum::<usize>()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Enumerates the final values of all interleavings of the recorded
+/// actions applied to `v0`.
+///
+/// Shared-action arguments may be consumed in any multiset order; each
+/// unique-action sequence is consumed front-to-back. Deduplicates
+/// intermediate states, so commuting records collapse quickly.
+///
+/// # Errors
+///
+/// Propagates evaluation errors from action bodies (a spec totality bug).
+pub fn interleaving_results(
+    spec: &ResourceSpec,
+    v0: &Value,
+    record: &Record,
+) -> PureResult<BTreeSet<Value>> {
+    // State: current value + remaining shared multisets + per-unique cursor.
+    #[derive(PartialEq, Eq, PartialOrd, Ord, Clone)]
+    struct Node {
+        value: Value,
+        shared_left: Vec<Multiset<Value>>,
+        unique_pos: Vec<usize>,
+    }
+    let start = Node {
+        value: v0.clone(),
+        shared_left: record.shared.iter().map(|(_, m)| m.clone()).collect(),
+        unique_pos: vec![0; record.unique.len()],
+    };
+    let mut stack = vec![start];
+    let mut seen: BTreeSet<Node> = BTreeSet::new();
+    let mut finals: BTreeSet<Value> = BTreeSet::new();
+
+    while let Some(node) = stack.pop() {
+        if !seen.insert(node.clone()) {
+            continue;
+        }
+        let done = node.shared_left.iter().all(Multiset::is_empty)
+            && node
+                .unique_pos
+                .iter()
+                .zip(&record.unique)
+                .all(|(&p, (_, s))| p == s.len());
+        if done {
+            finals.insert(node.value.clone());
+            continue;
+        }
+        // Fire one shared argument from any multiset.
+        for (i, (name, _)) in record.shared.iter().enumerate() {
+            let action = spec.action(name.as_str()).expect("recorded action exists");
+            debug_assert_eq!(action.kind, ActionKind::Shared);
+            let distinct: Vec<Value> =
+                node.shared_left[i].distinct().cloned().collect();
+            for arg in distinct {
+                let mut next = node.clone();
+                next.shared_left[i].remove(&arg);
+                next.value = action.apply(&node.value, &arg)?;
+                stack.push(next);
+            }
+        }
+        // Fire the next argument of any unique sequence.
+        for (i, (name, args)) in record.unique.iter().enumerate() {
+            let pos = node.unique_pos[i];
+            if pos < args.len() {
+                let action = spec.action(name.as_str()).expect("recorded action exists");
+                debug_assert_eq!(action.kind, ActionKind::Unique);
+                let mut next = node.clone();
+                next.unique_pos[i] += 1;
+                next.value = action.apply(&node.value, &args[pos])?;
+                stack.push(next);
+            }
+        }
+    }
+    Ok(finals)
+}
+
+/// Consistency (Sec. 3.5): `v` is a possible result of applying the
+/// recorded actions to `v0` in some order.
+///
+/// # Errors
+///
+/// Propagates evaluation errors from action bodies.
+pub fn is_consistent(
+    spec: &ResourceSpec,
+    v0: &Value,
+    record: &Record,
+    v: &Value,
+) -> PureResult<bool> {
+    Ok(interleaving_results(spec, v0, record)?.contains(v))
+}
+
+/// Checks whether two records are PRE-related (Def. 3.2): for every shared
+/// action a bijection of argument multisets through the relational
+/// precondition, and for every unique action pointwise-related sequences of
+/// equal (low) length.
+pub fn records_pre_related(spec: &ResourceSpec, r1: &Record, r2: &Record) -> bool {
+    if r1.shared.len() != r2.shared.len() || r1.unique.len() != r2.unique.len() {
+        return false;
+    }
+    for ((n1, m1), (n2, m2)) in r1.shared.iter().zip(&r2.shared) {
+        if n1 != n2 {
+            return false;
+        }
+        let action = spec.action(n1.as_str()).expect("action exists");
+        if !pre_shared_holds(m1, m2, |a, b| action.pre_holds(a, b).unwrap_or(false)) {
+            return false;
+        }
+    }
+    for ((n1, s1), (n2, s2)) in r1.unique.iter().zip(&r2.unique) {
+        if n1 != n2 {
+            return false;
+        }
+        let action = spec.action(n1.as_str()).expect("action exists");
+        if !pre_unique_holds(s1, s2, |a, b| action.pre_holds(a, b).unwrap_or(false)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The executable form of Lemma 4.2: given `α(v0) = α(v0')` and PRE-related
+/// records, *all* interleavings of record 1 from `v0` and of record 2 from
+/// `v0'` produce values with one single common abstraction.
+///
+/// Returns `Ok(true)` when the lemma's conclusion holds on this instance.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn lemma_4_2_holds(
+    spec: &ResourceSpec,
+    v0: &Value,
+    r1: &Record,
+    v0_prime: &Value,
+    r2: &Record,
+) -> PureResult<bool> {
+    debug_assert_eq!(spec.alpha_of(v0)?, spec.alpha_of(v0_prime)?);
+    debug_assert!(records_pre_related(spec, r1, r2));
+    let finals1 = interleaving_results(spec, v0, r1)?;
+    let finals2 = interleaving_results(spec, v0_prime, r2)?;
+    let mut alphas: BTreeSet<Value> = BTreeSet::new();
+    for v in finals1.iter().chain(finals2.iter()) {
+        alphas.insert(spec.alpha_of(v)?);
+    }
+    Ok(alphas.len() <= 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ResourceSpec;
+
+    fn ints(ns: &[i64]) -> Vec<Value> {
+        ns.iter().map(|&n| Value::Int(n)).collect()
+    }
+
+    #[test]
+    fn counter_interleavings_all_agree() {
+        let spec = ResourceSpec::counter_add();
+        let record = Record::new().with_shared("Add", ints(&[1, 2, 3]));
+        let finals = interleaving_results(&spec, &Value::Int(0), &record).unwrap();
+        assert_eq!(finals.into_iter().collect::<Vec<_>>(), vec![Value::Int(6)]);
+    }
+
+    #[test]
+    fn consistency_accepts_reachable_and_rejects_unreachable() {
+        let spec = ResourceSpec::counter_add();
+        let record = Record::new().with_shared("Add", ints(&[5, 7]));
+        assert!(is_consistent(&spec, &Value::Int(0), &record, &Value::Int(12)).unwrap());
+        assert!(!is_consistent(&spec, &Value::Int(0), &record, &Value::Int(11)).unwrap());
+    }
+
+    #[test]
+    fn raw_map_interleavings_diverge() {
+        // Same key, different values: two distinct final maps.
+        let spec = ResourceSpec::keyset_map();
+        let record = Record::new().with_shared(
+            "Put",
+            [
+                Value::pair(Value::Int(1), Value::Int(10)),
+                Value::pair(Value::Int(1), Value::Int(20)),
+            ],
+        );
+        let finals = interleaving_results(&spec, &Value::map_empty(), &record).unwrap();
+        assert_eq!(finals.len(), 2);
+        // ... but their abstractions (key sets) agree.
+        let alphas: BTreeSet<Value> = finals
+            .iter()
+            .map(|v| spec.alpha_of(v).unwrap())
+            .collect();
+        assert_eq!(alphas.len(), 1);
+    }
+
+    #[test]
+    fn unique_sequences_fire_in_order() {
+        // Fig. 4 right: two unique put actions on disjoint ranges.
+        let spec = ResourceSpec::disjoint_put_map(2);
+        let record = Record::new()
+            .with_unique("Put0", [Value::pair(Value::Int(0), Value::Int(1))])
+            .with_unique(
+                "Put1",
+                [
+                    Value::pair(Value::Int(1), Value::Int(2)),
+                    Value::pair(Value::Int(1), Value::Int(3)),
+                ],
+            );
+        let finals = interleaving_results(&spec, &Value::map_empty(), &record).unwrap();
+        // Put1's two writes hit the same key in order: final value 3, never 2.
+        assert_eq!(finals.len(), 1);
+        let m = finals.into_iter().next().unwrap();
+        assert_eq!(m.map_get(&Value::Int(1)).unwrap(), Value::Int(3));
+        assert_eq!(m.map_get(&Value::Int(0)).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn lemma_4_2_on_keyset_map() {
+        let spec = ResourceSpec::keyset_map();
+        let r1 = Record::new().with_shared(
+            "Put",
+            [
+                Value::pair(Value::Int(1), Value::Int(10)),
+                Value::pair(Value::Int(2), Value::Int(20)),
+            ],
+        );
+        // Same keys, different (high) values, different multiset order.
+        let r2 = Record::new().with_shared(
+            "Put",
+            [
+                Value::pair(Value::Int(2), Value::Int(99)),
+                Value::pair(Value::Int(1), Value::Int(98)),
+            ],
+        );
+        assert!(records_pre_related(&spec, &r1, &r2));
+        assert!(
+            lemma_4_2_holds(&spec, &Value::map_empty(), &r1, &Value::map_empty(), &r2)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn lemma_4_2_on_producer_consumer() {
+        let spec = ResourceSpec::producer_consumer(true);
+        let empty = Value::pair(Value::right(Value::seq_empty()), Value::seq_empty());
+        let r1 = Record::new()
+            .with_shared("Prod", ints(&[1, 3]))
+            .with_shared("Cons", vec![Value::Unit, Value::Unit]);
+        let r2 = Record::new()
+            .with_shared("Prod", ints(&[3, 1]))
+            .with_shared("Cons", vec![Value::Unit, Value::Unit]);
+        assert!(records_pre_related(&spec, &r1, &r2));
+        assert!(lemma_4_2_holds(&spec, &empty, &r1, &empty, &r2).unwrap());
+    }
+
+    #[test]
+    fn pre_relation_rejects_mismatched_counts() {
+        let spec = ResourceSpec::counter_add();
+        let r1 = Record::new().with_shared("Add", ints(&[1, 2]));
+        let r2 = Record::new().with_shared("Add", ints(&[1]));
+        assert!(!records_pre_related(&spec, &r1, &r2));
+    }
+
+    #[test]
+    fn invalid_spec_violates_lemma_4_2_conclusion() {
+        // The Fig. 1 assignment "spec" (identity abstraction, arbitrary
+        // set): interleavings disagree on the abstraction, demonstrating
+        // why validity is necessary.
+        use crate::spec::ActionDef;
+        use commcsl_pure::{Sort, Term};
+        let set = ActionDef::shared(
+            "Set",
+            Sort::Int,
+            Term::var(ActionDef::ARG_VAR),
+            Term::eq(
+                Term::var(ActionDef::ARG1_VAR),
+                Term::var(ActionDef::ARG2_VAR),
+            ),
+        );
+        let spec = ResourceSpec::new(
+            "fig1",
+            Sort::Int,
+            Term::var(ResourceSpec::VALUE_VAR),
+            [set],
+        );
+        let r = Record::new().with_shared("Set", ints(&[3, 4]));
+        assert!(!lemma_4_2_holds(&spec, &Value::Int(0), &r, &Value::Int(0), &r).unwrap());
+    }
+}

@@ -1,0 +1,315 @@
+//! Extended heaps `⟨ph, gs, Gu⟩` (paper, Sec. 3.3, App. B.1).
+//!
+//! An extended heap combines
+//!
+//! * a **permission heap** — locations with fractional ownership,
+//! * a **shared guard state** — `⊥` or a pair of a fraction and the
+//!   multiset of arguments with which the shared action has been performed,
+//! * **unique guard states** — per unique action `⊥` or the full argument
+//!   *sequence* (order is known, because a single thread performs it).
+//!
+//! Addition `⊕` is partial exactly as in the paper: permission amounts add
+//! up to at most 1 with agreeing values, shared guard fractions add with
+//! multiset union (eq. 4), and unique guard states add only when at most
+//! one side is non-⊥ (eq. 3).
+
+use std::collections::BTreeMap;
+
+use commcsl_lang::state::Heap;
+use commcsl_pure::{Multiset, Symbol, Value};
+
+use crate::perm::Perm;
+
+/// A permission heap: location ↦ (permission, value).
+pub type PermHeap = BTreeMap<i64, (Perm, Value)>;
+
+/// The shared guard state: `⊥` or `⟨r, args⟩` (eq. 4 of App. B.1).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SharedGuard(pub Option<(Perm, Multiset<Value>)>);
+
+impl SharedGuard {
+    /// The `⊥` state.
+    pub fn bottom() -> Self {
+        SharedGuard(None)
+    }
+
+    /// A full guard with an empty argument multiset (the state right after
+    /// sharing a resource).
+    pub fn full_empty() -> Self {
+        SharedGuard(Some((Perm::FULL, Multiset::new())))
+    }
+
+    /// Partial addition.
+    pub fn add(&self, other: &Self) -> Option<Self> {
+        match (&self.0, &other.0) {
+            (None, g) | (g, None) => Some(SharedGuard(g.clone())),
+            (Some((r1, a1)), Some((r2, a2))) => {
+                let r = r1.checked_add(*r2)?;
+                Some(SharedGuard(Some((r, a1.union(a2)))))
+            }
+        }
+    }
+
+    /// Records one more performed action argument. No-op on `⊥` is an
+    /// error — the caller must hold a fraction of the guard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the guard is `⊥` (a proof-rule violation, not a program
+    /// condition).
+    pub fn record(&mut self, arg: Value) {
+        let (_, args) = self
+            .0
+            .as_mut()
+            .expect("recording an action requires holding the shared guard");
+        args.insert(arg);
+    }
+}
+
+/// The family of unique guard states, indexed by action name; missing
+/// entries are `⊥` (eq. 3 of App. B.1).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct UniqueGuards(pub BTreeMap<Symbol, Vec<Value>>);
+
+impl UniqueGuards {
+    /// The all-`⊥` family.
+    pub fn bottom() -> Self {
+        UniqueGuards::default()
+    }
+
+    /// A family holding empty sequences for the given action names (the
+    /// state right after sharing).
+    pub fn empty_for(names: impl IntoIterator<Item = Symbol>) -> Self {
+        UniqueGuards(names.into_iter().map(|n| (n, Vec::new())).collect())
+    }
+
+    /// Partial addition: per index, at least one side must be `⊥`.
+    pub fn add(&self, other: &Self) -> Option<Self> {
+        let mut out = self.0.clone();
+        for (k, v) in &other.0 {
+            if out.contains_key(k) {
+                return None; // both non-⊥: undefined
+            }
+            out.insert(k.clone(), v.clone());
+        }
+        Some(UniqueGuards(out))
+    }
+
+    /// Appends an argument to the sequence of action `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the guard for `name` is `⊥`.
+    pub fn record(&mut self, name: &Symbol, arg: Value) {
+        self.0
+            .get_mut(name)
+            .expect("recording a unique action requires holding its guard")
+            .push(arg);
+    }
+}
+
+/// An extended heap.
+///
+/// # Example
+///
+/// ```
+/// use commcsl_logic::heap::ExtHeap;
+/// use commcsl_logic::Perm;
+/// use commcsl_pure::Value;
+///
+/// let mut a = ExtHeap::new();
+/// a.perm.insert(1, (Perm::HALF, Value::Int(7)));
+/// let mut b = ExtHeap::new();
+/// b.perm.insert(1, (Perm::HALF, Value::Int(7)));
+/// let sum = a.add(&b).unwrap();
+/// assert!(sum.perm[&1].0.is_full());
+///
+/// // Disagreeing values make the sum undefined.
+/// let mut c = ExtHeap::new();
+/// c.perm.insert(1, (Perm::HALF, Value::Int(8)));
+/// assert!(a.add(&c).is_none());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ExtHeap {
+    /// The permission heap.
+    pub perm: PermHeap,
+    /// The shared guard state.
+    pub shared: SharedGuard,
+    /// The unique guard states.
+    pub unique: UniqueGuards,
+}
+
+impl ExtHeap {
+    /// The empty extended heap (no permissions, all guards `⊥`).
+    pub fn new() -> Self {
+        ExtHeap::default()
+    }
+
+    /// Builds an extended heap with full permission to every cell of a
+    /// plain heap (the `cgh` completion used in Cor. 4.4).
+    pub fn from_heap(heap: &Heap) -> Self {
+        let mut perm = PermHeap::new();
+        let mut loc = 1;
+        // Plain heaps do not expose iteration; rebuild via get.
+        // Locations are dense from 1 by construction of `alloc`.
+        while (loc as usize) <= heap.len() {
+            if let Some(v) = heap.get(loc) {
+                perm.insert(loc, (Perm::FULL, v.clone()));
+            }
+            loc += 1;
+        }
+        ExtHeap {
+            perm,
+            ..ExtHeap::default()
+        }
+    }
+
+    /// Partial addition `⊕` of extended heaps.
+    pub fn add(&self, other: &Self) -> Option<ExtHeap> {
+        let mut perm = self.perm.clone();
+        for (loc, (p2, v2)) in &other.perm {
+            match perm.get_mut(loc) {
+                None => {
+                    perm.insert(*loc, (*p2, v2.clone()));
+                }
+                Some((p1, v1)) => {
+                    if v1 != v2 {
+                        return None;
+                    }
+                    *p1 = p1.checked_add(*p2)?;
+                }
+            }
+        }
+        Some(ExtHeap {
+            perm,
+            shared: self.shared.add(&other.shared)?,
+            unique: self.unique.add(&other.unique)?,
+        })
+    }
+
+    /// Normalization `norm(gh)`: drop permission amounts and guards,
+    /// producing a plain heap for the operational semantics.
+    pub fn norm(&self) -> Heap {
+        let mut heap = Heap::new();
+        // Allocate up to the largest location, then overwrite; plain heaps
+        // only expose alloc/set, and normalization only needs the values at
+        // the owned locations.
+        let max = self.perm.keys().next_back().copied().unwrap_or(0);
+        for _ in 0..max {
+            heap.alloc(Value::Int(0));
+        }
+        for (loc, (_, v)) in &self.perm {
+            heap.set(*loc, v.clone());
+        }
+        heap
+    }
+
+    /// `true` when all guard states are `⊥` (the `cgh` condition of
+    /// Cor. 4.4) .
+    pub fn guard_free(&self) -> bool {
+        self.shared.0.is_none() && self.unique.0.is_empty()
+    }
+
+    /// `true` when every owned location has full permission.
+    pub fn fully_owned(&self) -> bool {
+        self.perm.values().all(|(p, _)| p.is_full())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(vals: &[i64]) -> Multiset<Value> {
+        vals.iter().map(|&n| Value::Int(n)).collect()
+    }
+
+    #[test]
+    fn shared_guard_addition_unions_multisets() {
+        let a = SharedGuard(Some((Perm::HALF, ms(&[1, 2]))));
+        let b = SharedGuard(Some((Perm::HALF, ms(&[2, 3]))));
+        let sum = a.add(&b).unwrap();
+        let (r, args) = sum.0.unwrap();
+        assert!(r.is_full());
+        assert_eq!(args, ms(&[1, 2, 2, 3]));
+    }
+
+    #[test]
+    fn shared_guard_addition_respects_fraction_bound() {
+        let a = SharedGuard(Some((Perm::FULL, ms(&[]))));
+        let b = SharedGuard(Some((Perm::HALF, ms(&[]))));
+        assert!(a.add(&b).is_none());
+        assert_eq!(a.add(&SharedGuard::bottom()).unwrap(), a);
+    }
+
+    #[test]
+    fn unique_guard_addition_requires_one_bottom() {
+        let a = UniqueGuards([(Symbol::new("Cons"), vec![Value::Int(1)])].into_iter().collect());
+        let b = UniqueGuards::bottom();
+        assert_eq!(a.add(&b).unwrap(), a);
+        assert!(a.add(&a).is_none());
+        // Different actions are pointwise-disjoint: fine.
+        let c = UniqueGuards([(Symbol::new("Prod"), vec![])].into_iter().collect());
+        let sum = a.add(&c).unwrap();
+        assert_eq!(sum.0.len(), 2);
+    }
+
+    #[test]
+    fn perm_heap_addition_checks_values_and_bounds() {
+        let mut a = ExtHeap::new();
+        a.perm.insert(1, (Perm::HALF, Value::Int(7)));
+        a.perm.insert(2, (Perm::FULL, Value::Int(1)));
+        let mut b = ExtHeap::new();
+        b.perm.insert(1, (Perm::HALF, Value::Int(7)));
+        let sum = a.add(&b).unwrap();
+        assert_eq!(sum.perm.len(), 2);
+        assert!(sum.perm[&1].0.is_full());
+        // Exceeding full permission is undefined.
+        assert!(sum.add(&b).is_none());
+    }
+
+    #[test]
+    fn addition_is_commutative_when_defined() {
+        let mut a = ExtHeap::new();
+        a.perm.insert(1, (Perm::HALF, Value::Int(7)));
+        a.shared = SharedGuard(Some((Perm::HALF, ms(&[5]))));
+        let mut b = ExtHeap::new();
+        b.perm.insert(2, (Perm::FULL, Value::Int(0)));
+        b.shared = SharedGuard(Some((Perm::HALF, ms(&[6]))));
+        assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn norm_projects_values() {
+        let mut a = ExtHeap::new();
+        a.perm.insert(1, (Perm::HALF, Value::Int(7)));
+        a.perm.insert(2, (Perm::FULL, Value::Int(9)));
+        let h = a.norm();
+        assert_eq!(h.get(1), Some(&Value::Int(7)));
+        assert_eq!(h.get(2), Some(&Value::Int(9)));
+    }
+
+    #[test]
+    fn guard_free_detects_guards() {
+        let mut a = ExtHeap::new();
+        assert!(a.guard_free());
+        a.shared = SharedGuard::full_empty();
+        assert!(!a.guard_free());
+    }
+
+    #[test]
+    fn record_extends_guard_state() {
+        let mut g = SharedGuard::full_empty();
+        g.record(Value::Int(3));
+        g.record(Value::Int(3));
+        assert_eq!(g.0.unwrap().1, ms(&[3, 3]));
+
+        let mut u = UniqueGuards::empty_for([Symbol::new("Put1")]);
+        u.record(&Symbol::new("Put1"), Value::Int(1));
+        u.record(&Symbol::new("Put1"), Value::Int(2));
+        assert_eq!(
+            u.0[&Symbol::new("Put1")],
+            vec![Value::Int(1), Value::Int(2)]
+        );
+    }
+}

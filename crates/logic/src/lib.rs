@@ -1,0 +1,57 @@
+//! CommCSL: the relational concurrent separation logic (paper, Sec. 3).
+//!
+//! This crate implements the logic itself — the semantic objects and the
+//! proof obligations that make commutativity-based information-flow
+//! reasoning work:
+//!
+//! * [`perm`] — fractional permissions (exact rational arithmetic).
+//! * [`heap`] — *extended heaps* `⟨ph, gs, Gu⟩` (Sec. 3.3): permission
+//!   heaps, shared guard states (fraction + argument multiset), unique
+//!   guard states (argument sequence or ⊥), with the partial addition of
+//!   App. B.1 and normalization to plain heaps.
+//! * [`spec`] — resource specifications `⟨α, f_as, F_au⟩` (Sec. 3.2):
+//!   abstraction function, shared/unique actions with relational
+//!   preconditions, all given as symbolic terms (so they can be both
+//!   *executed* and *proved about*).
+//! * [`validity`] — the validity check of Def. 3.1: precondition
+//!   preservation (A) and abstract commutativity of all relevant action
+//!   pairs (B), discharged by the SMT-lite solver with a falsification
+//!   fallback that produces concrete counterexamples for invalid specs.
+//! * [`matching`] — the bijection semantics of `PRE_s` (Def. 3.2) via
+//!   bipartite maximum matching.
+//! * [`assertion`] — the relational assertion language of Fig. 7 with its
+//!   two-state satisfaction semantics, unarity, and precision checks.
+//! * [`consistency`] — Sec. 3.5: a resource value is *consistent* when it
+//!   is reachable from the initial value by some interleaving of the
+//!   recorded actions; plus the executable form of the key soundness
+//!   Lemma 4.2 (all PRE-related interleavings agree modulo α).
+//! * [`rules`] — the proof rules of Figs. 8 and 10 as a checkable
+//!   derivation datatype with mechanical side-condition checking.
+//!
+//! # Example: validating the map resource specification of Fig. 4
+//!
+//! ```
+//! use commcsl_logic::spec::ResourceSpec;
+//! use commcsl_logic::validity::{check_validity, ValidityConfig};
+//!
+//! let spec = ResourceSpec::keyset_map();
+//! let report = check_validity(&spec, &ValidityConfig::default());
+//! assert!(report.is_valid(), "{report:?}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assertion;
+pub mod consistency;
+pub mod heap;
+pub mod matching;
+pub mod perm;
+pub mod rules;
+pub mod spec;
+pub mod validity;
+
+pub use heap::ExtHeap;
+pub use perm::Perm;
+pub use spec::{ActionDef, ActionKind, ResourceSpec};
+pub use validity::{check_validity, ValidityConfig, ValidityReport};

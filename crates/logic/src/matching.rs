@@ -1,0 +1,200 @@
+//! Bijection matching for `PRE_s` (paper, Def. 3.2).
+//!
+//! `PRE_s(e)` holds for a pair of executions when there is a *bijection*
+//! between the argument multiset recorded in the first execution and the
+//! one recorded in the second, such that every matched pair satisfies the
+//! action's relational precondition. (For the map example: every key put
+//! in run 1 is matched with an equal key in run 2 — values may differ.)
+//!
+//! This module computes such bijections with the classic augmenting-path
+//! maximum-matching algorithm over the compatibility graph.
+
+use commcsl_pure::{Multiset, Value};
+
+/// Attempts to find a bijection between `left` and `right` such that
+/// `pre(l, r)` holds for every matched pair.
+///
+/// Returns `Some(matching)` — a vector of `(left_value, right_value)`
+/// pairs covering both multisets — or `None` when sizes differ or no
+/// perfect matching exists.
+///
+/// # Example
+///
+/// ```
+/// use commcsl_logic::matching::find_bijection;
+/// use commcsl_pure::{Multiset, Value};
+///
+/// let l: Multiset<Value> = [1, 2].map(Value::Int).into_iter().collect();
+/// let r: Multiset<Value> = [2, 1].map(Value::Int).into_iter().collect();
+/// // Precondition: exact equality.
+/// let m = find_bijection(&l, &r, |a, b| a == b).unwrap();
+/// assert_eq!(m.len(), 2);
+/// ```
+pub fn find_bijection(
+    left: &Multiset<Value>,
+    right: &Multiset<Value>,
+    mut pre: impl FnMut(&Value, &Value) -> bool,
+) -> Option<Vec<(Value, Value)>> {
+    if left.len() != right.len() {
+        return None;
+    }
+    let ls: Vec<&Value> = left.iter_expanded().collect();
+    let rs: Vec<&Value> = right.iter_expanded().collect();
+    let n = ls.len();
+
+    // Compatibility adjacency.
+    let adj: Vec<Vec<usize>> = ls
+        .iter()
+        .map(|l| {
+            rs.iter()
+                .enumerate()
+                .filter(|(_, r)| pre(l, r))
+                .map(|(j, _)| j)
+                .collect()
+        })
+        .collect();
+
+    // Kuhn's algorithm.
+    let mut match_right: Vec<Option<usize>> = vec![None; n];
+    fn try_augment(
+        u: usize,
+        adj: &[Vec<usize>],
+        visited: &mut [bool],
+        match_right: &mut [Option<usize>],
+    ) -> bool {
+        for &v in &adj[u] {
+            if visited[v] {
+                continue;
+            }
+            visited[v] = true;
+            match match_right[v] {
+                None => {
+                    match_right[v] = Some(u);
+                    return true;
+                }
+                Some(w) => {
+                    if try_augment(w, adj, visited, match_right) {
+                        match_right[v] = Some(u);
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+    for u in 0..n {
+        let mut visited = vec![false; n];
+        if !try_augment(u, &adj, &mut visited, &mut match_right) {
+            return None;
+        }
+    }
+
+    let mut out = Vec::with_capacity(n);
+    for (j, m) in match_right.iter().enumerate() {
+        let i = m.expect("perfect matching covers all right vertices");
+        out.push((ls[i].clone(), rs[j].clone()));
+    }
+    Some(out)
+}
+
+/// Checks `PRE_s` for a pair of argument multisets: the bijection exists.
+pub fn pre_shared_holds(
+    left: &Multiset<Value>,
+    right: &Multiset<Value>,
+    pre: impl FnMut(&Value, &Value) -> bool,
+) -> bool {
+    find_bijection(left, right, pre).is_some()
+}
+
+/// Checks `PRE_i` for a pair of unique-action argument sequences (Def. 3.2,
+/// eq. 2): lengths agree (the length is low) and the elements at each index
+/// are pairwise related.
+pub fn pre_unique_holds(
+    left: &[Value],
+    right: &[Value],
+    mut pre: impl FnMut(&Value, &Value) -> bool,
+) -> bool {
+    left.len() == right.len() && left.iter().zip(right).all(|(l, r)| pre(l, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(vals: &[(i64, i64)]) -> Multiset<Value> {
+        vals.iter()
+            .map(|&(k, v)| Value::pair(Value::Int(k), Value::Int(v)))
+            .collect()
+    }
+
+    fn key_eq(a: &Value, b: &Value) -> bool {
+        a.as_pair().unwrap().0 == b.as_pair().unwrap().0
+    }
+
+    #[test]
+    fn key_only_bijection_ignores_values() {
+        // Run 1 put (1, 10), (2, 20); run 2 put (2, 99), (1, 98).
+        let l = ms(&[(1, 10), (2, 20)]);
+        let r = ms(&[(2, 99), (1, 98)]);
+        assert!(pre_shared_holds(&l, &r, key_eq));
+    }
+
+    #[test]
+    fn differing_key_multisets_fail() {
+        let l = ms(&[(1, 10), (1, 20)]);
+        let r = ms(&[(1, 99), (2, 98)]);
+        assert!(!pre_shared_holds(&l, &r, key_eq));
+    }
+
+    #[test]
+    fn cardinality_mismatch_fails() {
+        let l = ms(&[(1, 10)]);
+        let r = ms(&[(1, 10), (1, 10)]);
+        assert!(!pre_shared_holds(&l, &r, key_eq));
+    }
+
+    #[test]
+    fn multiplicity_is_respected() {
+        let l = ms(&[(1, 10), (1, 20), (2, 30)]);
+        let r = ms(&[(1, 1), (2, 2), (1, 3)]);
+        assert!(pre_shared_holds(&l, &r, key_eq));
+        let r_bad = ms(&[(1, 1), (2, 2), (2, 3)]);
+        assert!(!pre_shared_holds(&l, &r_bad, key_eq));
+    }
+
+    #[test]
+    fn augmenting_paths_reassign_greedy_choices() {
+        // l1 matches only r1; l2 matches r1 and r2. A greedy match of l1→r1
+        // after l2→r1 requires augmentation.
+        let l: Multiset<Value> = [Value::Int(1), Value::Int(2)].into_iter().collect();
+        let r: Multiset<Value> = [Value::Int(10), Value::Int(20)].into_iter().collect();
+        let pre = |a: &Value, b: &Value| {
+            let (a, b) = (a.as_int().unwrap(), b.as_int().unwrap());
+            (a == 1 && b == 10) || a == 2
+        };
+        let m = find_bijection(&l, &r, pre).unwrap();
+        assert!(m.contains(&(Value::Int(1), Value::Int(10))));
+        assert!(m.contains(&(Value::Int(2), Value::Int(20))));
+    }
+
+    #[test]
+    fn empty_multisets_trivially_match() {
+        assert!(pre_shared_holds(
+            &Multiset::new(),
+            &Multiset::new(),
+            |_, _| false
+        ));
+    }
+
+    #[test]
+    fn unique_sequences_are_pointwise() {
+        let l = [Value::Int(1), Value::Int(2)];
+        let r = [Value::Int(1), Value::Int(2)];
+        assert!(pre_unique_holds(&l, &r, |a, b| a == b));
+        // Same multiset, different order: NOT allowed for unique actions.
+        let r_swapped = [Value::Int(2), Value::Int(1)];
+        assert!(!pre_unique_holds(&l, &r_swapped, |a, b| a == b));
+        // Length mismatch.
+        assert!(!pre_unique_holds(&l, &r[..1], |a, b| a == b));
+    }
+}

@@ -1,0 +1,170 @@
+//! Fractional permissions (Boyland-style).
+//!
+//! Permissions are positive rationals in `(0, 1]`: full permission `1`
+//! allows writing, any positive fraction allows reading, and fractions can
+//! be split between threads and recombined (paper, Sec. 3.3). Arithmetic is
+//! exact (reduced `i64` fractions).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A fractional permission amount in `(0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use commcsl_logic::Perm;
+///
+/// let half = Perm::new(1, 2).unwrap();
+/// assert_eq!(half.checked_add(half), Some(Perm::FULL));
+/// assert_eq!(Perm::FULL.checked_add(half), None); // would exceed 1
+/// assert_eq!(half.split(), (Perm::new(1, 4).unwrap(), Perm::new(1, 4).unwrap()));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Perm {
+    num: i64,
+    den: i64,
+}
+
+impl Perm {
+    /// The full (write) permission.
+    pub const FULL: Perm = Perm { num: 1, den: 1 };
+
+    /// The canonical half permission.
+    pub const HALF: Perm = Perm { num: 1, den: 2 };
+
+    /// Creates a permission `num/den`.
+    ///
+    /// Returns `None` unless `0 < num/den ≤ 1`.
+    pub fn new(num: i64, den: i64) -> Option<Perm> {
+        if den <= 0 || num <= 0 || num > den {
+            return None;
+        }
+        let g = gcd(num, den);
+        Some(Perm {
+            num: num / g,
+            den: den / g,
+        })
+    }
+
+    /// Numerator of the reduced fraction.
+    pub fn numer(&self) -> i64 {
+        self.num
+    }
+
+    /// Denominator of the reduced fraction.
+    pub fn denom(&self) -> i64 {
+        self.den
+    }
+
+    /// `true` for the full permission (write access).
+    pub fn is_full(&self) -> bool {
+        *self == Perm::FULL
+    }
+
+    /// Adds two permissions; `None` when the sum exceeds 1 (the sum of two
+    /// extended heaps is then undefined).
+    pub fn checked_add(self, other: Perm) -> Option<Perm> {
+        let num = self
+            .num
+            .checked_mul(other.den)?
+            .checked_add(other.num.checked_mul(self.den)?)?;
+        let den = self.den.checked_mul(other.den)?;
+        Perm::new(num, den)
+    }
+
+    /// Subtracts `other`; `None` when the result would not be positive.
+    pub fn checked_sub(self, other: Perm) -> Option<Perm> {
+        let num = self
+            .num
+            .checked_mul(other.den)?
+            .checked_sub(other.num.checked_mul(self.den)?)?;
+        let den = self.den.checked_mul(other.den)?;
+        Perm::new(num, den)
+    }
+
+    /// Splits a permission into two equal halves.
+    pub fn split(self) -> (Perm, Perm) {
+        let half = Perm::new(self.num, self.den * 2).expect("half of a positive permission");
+        (half, half)
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl PartialOrd for Perm {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Perm {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.num as i128 * other.den as i128).cmp(&(other.num as i128 * self.den as i128))
+    }
+}
+
+impl fmt::Debug for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+impl fmt::Display for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_range() {
+        assert!(Perm::new(0, 1).is_none());
+        assert!(Perm::new(-1, 2).is_none());
+        assert!(Perm::new(3, 2).is_none());
+        assert!(Perm::new(1, 0).is_none());
+        assert_eq!(Perm::new(2, 4), Perm::new(1, 2));
+    }
+
+    #[test]
+    fn addition_caps_at_one() {
+        let third = Perm::new(1, 3).unwrap();
+        let two_thirds = Perm::new(2, 3).unwrap();
+        assert_eq!(third.checked_add(two_thirds), Some(Perm::FULL));
+        assert_eq!(two_thirds.checked_add(two_thirds), None);
+    }
+
+    #[test]
+    fn subtraction_requires_positivity() {
+        assert_eq!(Perm::FULL.checked_sub(Perm::HALF), Some(Perm::HALF));
+        assert_eq!(Perm::HALF.checked_sub(Perm::HALF), None);
+        assert_eq!(Perm::HALF.checked_sub(Perm::FULL), None);
+    }
+
+    #[test]
+    fn split_then_recombine() {
+        let (a, b) = Perm::FULL.split();
+        assert_eq!(a.checked_add(b), Some(Perm::FULL));
+        let (c, d) = a.split();
+        assert_eq!(
+            c.checked_add(d).and_then(|x| x.checked_add(b)),
+            Some(Perm::FULL)
+        );
+    }
+
+    #[test]
+    fn ordering_is_by_value() {
+        assert!(Perm::new(1, 3).unwrap() < Perm::HALF);
+        assert!(Perm::HALF < Perm::FULL);
+        assert_eq!(Perm::new(2, 6).unwrap(), Perm::new(1, 3).unwrap());
+    }
+}

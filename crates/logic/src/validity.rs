@@ -1,0 +1,438 @@
+//! Resource-specification validity (paper, Def. 3.1).
+//!
+//! A specification `⟨α, f_as, F_au⟩` is *valid* iff
+//!
+//! * **(A) precondition preservation** — for every action `a`:
+//!   `α(v) = α(v') ∧ pre_a(arg, arg') ⟹ α(f_a(v, arg)) = α(f_a(v', arg'))`,
+//! * **(B) abstract commutativity** — for every *relevant* ordered pair
+//!   `(a, a')` (shared×all, all×shared, unique×unique with distinct
+//!   names):
+//!   `α(v) = α(v') ⟹ α(f_a'(f_a(v, arg), arg')) = α(f_a(f_a'(v', arg'), arg))`.
+//!
+//! Each obligation is first attempted *symbolically* (normalizing rewriter
+//! + congruence + case splits in `commcsl-smt`); when the prover cannot
+//! conclude, the *falsifier* hunts for a concrete countermodel by bounded
+//! enumeration and random search. Only a symbolic proof counts as
+//! [`Verdict::Proved`]; a countermodel makes the spec
+//! [`ValidityReport::is_invalid`]; anything else is an honest unknown and
+//! is treated as a verification failure.
+//!
+//! This module replaces the Viper/Z3 encoding of HyperViper (see
+//! DESIGN.md, substitutions).
+
+use std::collections::BTreeMap;
+
+use commcsl_pure::term::Env;
+use commcsl_pure::{Sort, Symbol, Term};
+use commcsl_smt::falsify::{find_counterexample, FalsifyConfig};
+use commcsl_smt::{Solver, SolverConfig, Verdict};
+
+use crate::spec::{ActionDef, ActionKind, ResourceSpec};
+
+/// Configuration for validity checking.
+#[derive(Debug, Clone, Default)]
+pub struct ValidityConfig {
+    /// Solver budgets.
+    pub solver: SolverConfig,
+    /// Falsifier budgets.
+    pub falsify: FalsifyConfig,
+}
+
+/// The two kinds of obligations of Def. 3.1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Obligation {
+    /// (A) for the named action.
+    PreconditionPreservation(Symbol),
+    /// (B) for the named ordered pair of actions.
+    Commutativity(Symbol, Symbol),
+}
+
+/// How an obligation was resolved.
+#[derive(Debug, Clone)]
+pub enum ObligationOutcome {
+    /// Symbolically proved (sound).
+    Proved,
+    /// A concrete countermodel was found; the environment binds the
+    /// quantified variables (`v1`, `v2`, `x1`, `x2`, …).
+    Refuted(Env),
+    /// Neither proved nor refuted within budget.
+    Unknown,
+}
+
+/// Result for one obligation.
+#[derive(Debug, Clone)]
+pub struct ObligationReport {
+    /// Which obligation.
+    pub obligation: Obligation,
+    /// How it fared.
+    pub outcome: ObligationOutcome,
+}
+
+/// The full validity report for a specification.
+#[derive(Debug, Clone)]
+pub struct ValidityReport {
+    /// Specification name.
+    pub spec_name: Symbol,
+    /// Per-obligation results.
+    pub obligations: Vec<ObligationReport>,
+}
+
+impl ValidityReport {
+    /// `true` when every obligation was symbolically proved.
+    pub fn is_valid(&self) -> bool {
+        self.obligations
+            .iter()
+            .all(|o| matches!(o.outcome, ObligationOutcome::Proved))
+    }
+
+    /// `true` when some obligation has a concrete countermodel.
+    pub fn is_invalid(&self) -> bool {
+        self.obligations
+            .iter()
+            .any(|o| matches!(o.outcome, ObligationOutcome::Refuted(_)))
+    }
+
+    /// The first refuted obligation, if any.
+    pub fn first_counterexample(&self) -> Option<(&Obligation, &Env)> {
+        self.obligations.iter().find_map(|o| match &o.outcome {
+            ObligationOutcome::Refuted(env) => Some((&o.obligation, env)),
+            _ => None,
+        })
+    }
+}
+
+/// Checks validity of a resource specification per Def. 3.1.
+///
+/// # Example
+///
+/// ```
+/// use commcsl_logic::spec::ResourceSpec;
+/// use commcsl_logic::validity::{check_validity, ValidityConfig};
+///
+/// // The literal-mean abstraction is invalid — the checker finds the
+/// // counterexample the paper's design avoids by abstracting to
+/// // (sum, length) instead.
+/// let report = check_validity(&ResourceSpec::list_mean_literal(), &ValidityConfig::default());
+/// assert!(report.is_invalid());
+/// ```
+pub fn check_validity(spec: &ResourceSpec, config: &ValidityConfig) -> ValidityReport {
+    let mut obligations = Vec::new();
+    let solver = Solver::with_config(config.solver.clone());
+
+    // (A) precondition preservation, per action.
+    for action in &spec.actions {
+        let outcome = check_precondition_preservation(spec, action, &solver, config);
+        obligations.push(ObligationReport {
+            obligation: Obligation::PreconditionPreservation(action.name.clone()),
+            outcome,
+        });
+    }
+
+    // (B) commutativity for relevant pairs.
+    for (a, b) in relevant_pairs(spec) {
+        let outcome = check_commutativity(spec, a, b, &solver, config);
+        obligations.push(ObligationReport {
+            obligation: Obligation::Commutativity(a.name.clone(), b.name.clone()),
+            outcome,
+        });
+    }
+
+    ValidityReport {
+        spec_name: spec.name.clone(),
+        obligations,
+    }
+}
+
+/// The relevant ordered pairs of Def. 3.1 (B): every pair involving a
+/// shared action (including shared self-pairs), plus unique×unique pairs
+/// with distinct names. Unique self-pairs are exempt — a single thread
+/// performs them, so their mutual order is schedule-independent.
+pub fn relevant_pairs(spec: &ResourceSpec) -> Vec<(&ActionDef, &ActionDef)> {
+    let mut out = Vec::new();
+    for a in &spec.actions {
+        for b in &spec.actions {
+            let exempt = a.kind == ActionKind::Unique
+                && b.kind == ActionKind::Unique
+                && a.name == b.name;
+            if exempt {
+                continue;
+            }
+            // Unordered pairs suffice: the obligation for (a, b) is the
+            // mirror image of (b, a). Keep a ≤ b to halve the work.
+            if a.name <= b.name {
+                out.push((a, b));
+            }
+        }
+    }
+    out
+}
+
+fn var(name: &str) -> Term {
+    Term::var(name)
+}
+
+fn check_precondition_preservation(
+    spec: &ResourceSpec,
+    action: &ActionDef,
+    solver: &Solver,
+    config: &ValidityConfig,
+) -> ObligationOutcome {
+    // Hypotheses: α(v1) = α(v2), pre(x1, x2).
+    // Goal: α(f(v1, x1)) = α(f(v2, x2)).
+    let hyps = vec![
+        Term::eq(spec.alpha_term(&var("v1")), spec.alpha_term(&var("v2"))),
+        action.pre_term(&var("x1"), &var("x2")),
+    ];
+    let goal = Term::eq(
+        spec.alpha_term(&action.apply_term(&var("v1"), &var("x1"))),
+        spec.alpha_term(&action.apply_term(&var("v2"), &var("x2"))),
+    );
+    let sorts = sorts_for(spec, [("x1", action), ("x2", action)]);
+    decide(solver, &hyps, &goal, &sorts, config)
+}
+
+fn check_commutativity(
+    spec: &ResourceSpec,
+    a: &ActionDef,
+    b: &ActionDef,
+    solver: &Solver,
+    config: &ValidityConfig,
+) -> ObligationOutcome {
+    // Hypotheses: α(v1) = α(v2), plus the *unary shadow* of each action's
+    // relational precondition: the soundness argument (Lemma 4.2) only ever
+    // swaps recorded actions, and every recorded argument `x` satisfies
+    // `∃x'. pre(x, x')` via its PRE-bijection partner. We introduce fresh
+    // witness variables `w1`, `w2` for the existentials. (Def. 3.1 as
+    // printed omits these hypotheses, which would reject the paper's own
+    // Fig. 4-right example — disjoint key ranges commute only because of
+    // their preconditions; HyperViper's encoding includes them.)
+    let hyps = vec![
+        Term::eq(spec.alpha_term(&var("v1")), spec.alpha_term(&var("v2"))),
+        a.pre_term(&var("x1"), &var("w1")),
+        b.pre_term(&var("x2"), &var("w2")),
+    ];
+    // Goal: α(f_b(f_a(v1, x1), x2)) = α(f_a(f_b(v2, x2), x1)).
+    let lhs = b.apply_term(&a.apply_term(&var("v1"), &var("x1")), &var("x2"));
+    let rhs = a.apply_term(&b.apply_term(&var("v2"), &var("x2")), &var("x1"));
+    let goal = Term::eq(spec.alpha_term(&lhs), spec.alpha_term(&rhs));
+    let sorts = sorts_for(spec, [("x1", a), ("w1", a), ("x2", b), ("w2", b)]);
+    decide(solver, &hyps, &goal, &sorts, config)
+}
+
+fn sorts_for<'a>(
+    spec: &ResourceSpec,
+    args: impl IntoIterator<Item = (&'a str, &'a ActionDef)>,
+) -> BTreeMap<Symbol, Sort> {
+    let mut sorts: BTreeMap<Symbol, Sort> = [
+        (Symbol::new("v1"), spec.value_sort.clone()),
+        (Symbol::new("v2"), spec.value_sort.clone()),
+    ]
+    .into_iter()
+    .collect();
+    for (name, action) in args {
+        sorts.insert(Symbol::new(name), action.arg_sort.clone());
+    }
+    sorts
+}
+
+fn decide(
+    solver: &Solver,
+    hyps: &[Term],
+    goal: &Term,
+    sorts: &BTreeMap<Symbol, Sort>,
+    config: &ValidityConfig,
+) -> ObligationOutcome {
+    match solver.check_valid(hyps, goal) {
+        Verdict::Proved => ObligationOutcome::Proved,
+        Verdict::Disproved => unreachable!("check_valid never answers Disproved"),
+        Verdict::Unknown => {
+            match find_counterexample(hyps, goal, sorts, &config.falsify) {
+                Some(env) => ObligationOutcome::Refuted(env),
+                None => ObligationOutcome::Unknown,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ResourceSpec;
+    use commcsl_pure::{Func, Value};
+
+    fn check(spec: &ResourceSpec) -> ValidityReport {
+        check_validity(spec, &ValidityConfig::default())
+    }
+
+    #[test]
+    fn keyset_map_is_valid() {
+        let report = check(&ResourceSpec::keyset_map());
+        assert!(report.is_valid(), "{report:?}");
+    }
+
+    #[test]
+    fn counter_add_is_valid() {
+        assert!(check(&ResourceSpec::counter_add()).is_valid());
+    }
+
+    #[test]
+    fn opaque_int_is_valid() {
+        assert!(check(&ResourceSpec::opaque_int()).is_valid());
+    }
+
+    #[test]
+    fn list_abstractions_are_valid() {
+        assert!(check(&ResourceSpec::list_multiset()).is_valid());
+        assert!(check(&ResourceSpec::list_length()).is_valid());
+        assert!(check(&ResourceSpec::list_sum()).is_valid());
+        assert!(check(&ResourceSpec::list_mean()).is_valid());
+    }
+
+    #[test]
+    fn literal_mean_is_refuted_with_replayable_counterexample() {
+        let spec = ResourceSpec::list_mean_literal();
+        let report = check(&spec);
+        assert!(report.is_invalid(), "{report:?}");
+        // Replay the countermodel: α really differs.
+        let (_, env) = report.first_counterexample().unwrap();
+        let v1 = env[&Symbol::new("v1")].clone();
+        let v2 = env[&Symbol::new("v2")].clone();
+        assert_eq!(
+            spec.alpha_of(&v1).unwrap(),
+            spec.alpha_of(&v2).unwrap(),
+            "hypothesis holds on the countermodel"
+        );
+    }
+
+    #[test]
+    fn set_histogram_max_specs_are_valid() {
+        assert!(check(&ResourceSpec::set_insert()).is_valid());
+        assert!(check(&ResourceSpec::histogram()).is_valid());
+        assert!(check(&ResourceSpec::map_add_value()).is_valid());
+        assert!(check(&ResourceSpec::map_max_value()).is_valid());
+    }
+
+    #[test]
+    fn disjoint_put_map_is_valid() {
+        let report = check(&ResourceSpec::disjoint_put_map(2));
+        assert!(report.is_valid(), "{report:?}");
+    }
+
+    #[test]
+    fn producer_consumer_is_valid() {
+        let report = check(&ResourceSpec::producer_consumer(true));
+        assert!(report.is_valid(), "{report:?}");
+        let report = check(&ResourceSpec::producer_consumer(false));
+        assert!(report.is_valid(), "{report:?}");
+    }
+
+    #[test]
+    fn raw_map_identity_abstraction_is_invalid() {
+        // Fig. 3's put with the identity abstraction: puts on the same key
+        // with different (high) values do not commute. This is the paper's
+        // canonical rejected spec.
+        let v = Term::var(ResourceSpec::VALUE_VAR);
+        let arg = Term::var(crate::spec::ActionDef::ARG_VAR);
+        let put = crate::spec::ActionDef::shared(
+            "Put",
+            Sort::pair(Sort::Int, Sort::Int),
+            Term::app(
+                Func::MapPut,
+                [v.clone(), Term::fst(arg.clone()), Term::snd(arg)],
+            ),
+            // Only the key is low.
+            Term::eq(
+                Term::fst(Term::var(crate::spec::ActionDef::ARG1_VAR)),
+                Term::fst(Term::var(crate::spec::ActionDef::ARG2_VAR)),
+            ),
+        );
+        let spec = ResourceSpec::new(
+            "raw-map",
+            Sort::map(Sort::Int, Sort::Int),
+            v,
+            [put],
+        );
+        let report = check(&spec);
+        assert!(report.is_invalid(), "{report:?}");
+    }
+
+    #[test]
+    fn figure1_assignment_spec_is_invalid() {
+        // Fig. 1: arbitrary assignment with identity abstraction and only
+        // low arguments — still invalid, because assignments do not
+        // commute.
+        let arg = Term::var(crate::spec::ActionDef::ARG_VAR);
+        let set = crate::spec::ActionDef::shared(
+            "Set",
+            Sort::Int,
+            arg,
+            Term::eq(
+                Term::var(crate::spec::ActionDef::ARG1_VAR),
+                Term::var(crate::spec::ActionDef::ARG2_VAR),
+            ),
+        );
+        let spec = ResourceSpec::new(
+            "fig1-assign",
+            Sort::Int,
+            Term::var(ResourceSpec::VALUE_VAR),
+            [set],
+        );
+        let report = check(&spec);
+        assert!(report.is_invalid());
+        // Replay: the counterexample assigns different values.
+        let (obl, env) = report.first_counterexample().unwrap();
+        assert!(matches!(obl, Obligation::Commutativity(_, _)));
+        assert_ne!(env[&Symbol::new("x1")], env[&Symbol::new("x2")]);
+    }
+
+    #[test]
+    fn relevant_pairs_exempt_unique_self_pairs() {
+        let spec = ResourceSpec::disjoint_put_map(3);
+        let pairs = relevant_pairs(&spec);
+        // 3 unique actions: unordered distinct pairs = 3.
+        assert_eq!(pairs.len(), 3);
+        for (a, b) in pairs {
+            assert_ne!(a.name, b.name);
+        }
+    }
+
+    #[test]
+    fn relevant_pairs_include_shared_self() {
+        let spec = ResourceSpec::counter_add();
+        let pairs = relevant_pairs(&spec);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0.name, pairs[0].1.name);
+    }
+
+    #[test]
+    fn counterexamples_satisfy_hypotheses() {
+        // Generic sanity: whenever an obligation is refuted, replaying the
+        // env must satisfy the hypotheses and falsify the goal. Covered for
+        // one spec here; the property test in tests/ covers more.
+        let spec = ResourceSpec::list_mean_literal();
+        let report = check(&spec);
+        let (_, env) = report.first_counterexample().unwrap();
+        // α(v1) = α(v2) must hold.
+        let a1 = spec.alpha_of(&env[&Symbol::new("v1")]).unwrap();
+        let a2 = spec.alpha_of(&env[&Symbol::new("v2")]).unwrap();
+        assert_eq!(a1, a2);
+        // And appending x1/x2 must separate the abstractions.
+        let append = spec.action("Append").unwrap();
+        let w1 = append
+            .apply(&env[&Symbol::new("v1")], &env[&Symbol::new("x1")])
+            .unwrap();
+        let w2 = append
+            .apply(&env[&Symbol::new("v2")], &env[&Symbol::new("x2")])
+            .unwrap();
+        let ok_precondition = append
+            .pre_holds(&env[&Symbol::new("x1")], &env[&Symbol::new("x2")])
+            .unwrap();
+        if ok_precondition {
+            assert_ne!(
+                spec.alpha_of(&w1).unwrap(),
+                spec.alpha_of(&w2).unwrap()
+            );
+        }
+        let _ = Value::Unit; // silence unused-import lint paths
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the extended-heap separation algebra (Sec. 3.3,
+//! App. B.1): partial addition must be commutative, associative where
+//! defined, and must respect the fraction bound — the algebraic facts the
+//! Isabelle soundness proof relies on.
+
+use commcsl_logic::heap::{ExtHeap, SharedGuard, UniqueGuards};
+use commcsl_logic::perm::Perm;
+use commcsl_pure::{Multiset, Symbol, Value};
+use proptest::prelude::*;
+
+/// Permission strategy over a small denominators lattice.
+fn perm() -> impl Strategy<Value = Perm> {
+    (1i64..=4, 1i64..=4).prop_filter_map("perm in (0,1]", |(n, d)| Perm::new(n, d.max(n)))
+}
+
+fn small_value() -> impl Strategy<Value = Value> {
+    (-3i64..=3).prop_map(Value::Int)
+}
+
+fn perm_heap_entry() -> impl Strategy<Value = (i64, (Perm, Value))> {
+    (1i64..=3, perm(), small_value()).prop_map(|(l, p, v)| (l, (p, v)))
+}
+
+fn shared_guard() -> impl Strategy<Value = SharedGuard> {
+    prop_oneof![
+        Just(SharedGuard::bottom()),
+        (perm(), proptest::collection::vec(small_value(), 0..3)).prop_map(|(p, vs)| {
+            SharedGuard(Some((p, vs.into_iter().collect::<Multiset<Value>>())))
+        }),
+    ]
+}
+
+fn unique_guards() -> impl Strategy<Value = UniqueGuards> {
+    prop_oneof![
+        Just(UniqueGuards::bottom()),
+        proptest::collection::vec(small_value(), 0..3).prop_map(|vs| {
+            UniqueGuards([(Symbol::new("U"), vs)].into_iter().collect())
+        }),
+    ]
+}
+
+fn ext_heap() -> impl Strategy<Value = ExtHeap> {
+    (
+        proptest::collection::btree_map(1i64..=3, (perm(), small_value()), 0..3),
+        shared_guard(),
+        unique_guards(),
+    )
+        .prop_map(|(perm, shared, unique)| ExtHeap {
+            perm,
+            shared,
+            unique,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn addition_is_commutative(a in ext_heap(), b in ext_heap()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn addition_is_associative_where_defined(
+        a in ext_heap(), b in ext_heap(), c in ext_heap(),
+    ) {
+        let left = a.add(&b).and_then(|ab| ab.add(&c));
+        let right = b.add(&c).and_then(|bc| a.add(&bc));
+        // When both are defined they agree; definedness itself also
+        // coincides for this algebra (cancellative PCM).
+        match (left, right) {
+            (Some(l), Some(r)) => prop_assert_eq!(l, r),
+            (None, None) => {}
+            (l, r) => prop_assert!(false, "associativity definedness mismatch: {l:?} vs {r:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_heap_is_a_unit(a in ext_heap()) {
+        let unit = ExtHeap::new();
+        prop_assert_eq!(a.add(&unit), Some(a.clone()));
+        prop_assert_eq!(unit.add(&a), Some(a));
+    }
+
+    #[test]
+    fn permission_bound_is_respected(e in perm_heap_entry()) {
+        let (loc, (p, v)) = e;
+        let mut h = ExtHeap::new();
+        h.perm.insert(loc, (p, v.clone()));
+        // Adding itself succeeds iff 2p ≤ 1.
+        let doubled = h.add(&h);
+        prop_assert_eq!(doubled.is_some(), p.checked_add(p).is_some());
+        // Adding a full permission to anything at the same location fails.
+        let mut full = ExtHeap::new();
+        full.perm.insert(loc, (Perm::FULL, v));
+        prop_assert!(full.add(&h).is_none());
+    }
+
+    #[test]
+    fn value_disagreement_is_undefined(
+        loc in 1i64..=3, v1 in small_value(), v2 in small_value(),
+    ) {
+        prop_assume!(v1 != v2);
+        let mut a = ExtHeap::new();
+        a.perm.insert(loc, (Perm::HALF, v1));
+        let mut b = ExtHeap::new();
+        b.perm.insert(loc, (Perm::HALF, v2));
+        prop_assert!(a.add(&b).is_none());
+    }
+
+    #[test]
+    fn unique_guard_addition_is_exclusive(vs in proptest::collection::vec(small_value(), 1..3)) {
+        let g = UniqueGuards([(Symbol::new("U"), vs)].into_iter().collect());
+        prop_assert!(g.add(&g).is_none(), "two non-⊥ unique guards must not add");
+        prop_assert_eq!(g.add(&UniqueGuards::bottom()), Some(g));
+    }
+
+    #[test]
+    fn shared_guard_fraction_and_args_add(
+        vs1 in proptest::collection::vec(small_value(), 0..3),
+        vs2 in proptest::collection::vec(small_value(), 0..3),
+    ) {
+        let a = SharedGuard(Some((Perm::HALF, vs1.iter().cloned().collect())));
+        let b = SharedGuard(Some((Perm::HALF, vs2.iter().cloned().collect())));
+        let sum = a.add(&b).expect("halves add");
+        let (p, args) = sum.0.expect("non-bottom");
+        prop_assert!(p.is_full());
+        let expected: Multiset<Value> = vs1.into_iter().chain(vs2).collect();
+        prop_assert_eq!(args, expected);
+    }
+
+    #[test]
+    fn norm_is_add_homomorphic_on_disjoint_heaps(
+        v1 in small_value(), v2 in small_value(),
+    ) {
+        let mut a = ExtHeap::new();
+        a.perm.insert(1, (Perm::FULL, v1.clone()));
+        let mut b = ExtHeap::new();
+        b.perm.insert(2, (Perm::FULL, v2.clone()));
+        let sum = a.add(&b).expect("disjoint heaps add");
+        let h = sum.norm();
+        prop_assert_eq!(h.get(1), Some(&v1));
+        prop_assert_eq!(h.get(2), Some(&v2));
+    }
+}

@@ -1,0 +1,317 @@
+//! Value generators for falsification and property testing.
+//!
+//! Resource-specification validity is a ∀-statement; when the symbolic
+//! prover cannot establish it, the checker *hunts for counterexamples* by
+//! enumerating small values exhaustively and sampling larger ones randomly.
+//! This module supplies both generators, driven by a [`Sort`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sort::Sort;
+use crate::value::Value;
+
+/// Configuration for random value generation.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Inclusive magnitude bound for generated integers.
+    pub int_bound: i64,
+    /// Maximum container length.
+    pub max_len: usize,
+    /// Maximum nesting depth (guards against unbounded recursion for
+    /// `Unknown`-sorted positions).
+    pub max_depth: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            int_bound: 8,
+            max_len: 4,
+            max_depth: 3,
+        }
+    }
+}
+
+/// A seeded random generator of [`Value`]s of given [`Sort`]s.
+///
+/// # Example
+///
+/// ```
+/// use commcsl_pure::gen::{GenConfig, ValueGen};
+/// use commcsl_pure::Sort;
+///
+/// let mut g = ValueGen::new(42, GenConfig::default());
+/// let v = g.value(&Sort::seq(Sort::Int));
+/// assert!(v.as_seq().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct ValueGen {
+    rng: StdRng,
+    config: GenConfig,
+}
+
+impl ValueGen {
+    /// Creates a generator with the given seed (deterministic across runs).
+    pub fn new(seed: u64, config: GenConfig) -> Self {
+        ValueGen {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+        }
+    }
+
+    /// Generates a random value of sort `sort`.
+    pub fn value(&mut self, sort: &Sort) -> Value {
+        self.value_at(sort, 0)
+    }
+
+    fn value_at(&mut self, sort: &Sort, depth: usize) -> Value {
+        let cfg = self.config.clone();
+        match sort {
+            Sort::Unknown => {
+                if depth >= cfg.max_depth {
+                    Value::Int(self.small_int())
+                } else {
+                    // Unknown positions default to small integers; richer
+                    // shapes come from explicit sorts.
+                    Value::Int(self.small_int())
+                }
+            }
+            Sort::Unit => Value::Unit,
+            Sort::Int => Value::Int(self.small_int()),
+            Sort::Bool => Value::Bool(self.rng.gen()),
+            Sort::Str => {
+                let n: u8 = self.rng.gen_range(0..4);
+                Value::str(format!("s{n}"))
+            }
+            Sort::Pair(a, b) => Value::pair(
+                self.value_at(a, depth + 1),
+                self.value_at(b, depth + 1),
+            ),
+            Sort::Either(a, b) => {
+                if self.rng.gen() {
+                    Value::left(self.value_at(a, depth + 1))
+                } else {
+                    Value::right(self.value_at(b, depth + 1))
+                }
+            }
+            Sort::Seq(e) => {
+                let len = self.rng.gen_range(0..=cfg.max_len);
+                Value::seq((0..len).map(|_| self.value_at(e, depth + 1)))
+            }
+            Sort::Set(e) => {
+                let len = self.rng.gen_range(0..=cfg.max_len);
+                Value::set((0..len).map(|_| self.value_at(e, depth + 1)))
+            }
+            Sort::Multiset(e) => {
+                let len = self.rng.gen_range(0..=cfg.max_len);
+                Value::multiset((0..len).map(|_| self.value_at(e, depth + 1)))
+            }
+            Sort::Map(k, v) => {
+                let len = self.rng.gen_range(0..=cfg.max_len);
+                Value::map(
+                    (0..len)
+                        .map(|_| (self.value_at(k, depth + 1), self.value_at(v, depth + 1))),
+                )
+            }
+        }
+    }
+
+    fn small_int(&mut self) -> i64 {
+        self.rng.gen_range(-self.config.int_bound..=self.config.int_bound)
+    }
+}
+
+/// Enumerates all values of `sort` up to the given size bounds.
+///
+/// The enumeration is *complete for the bounds*: every value whose integers
+/// lie in `[-int_bound, int_bound]` and whose containers have at most
+/// `max_len` elements (drawn from the bounded element enumeration) appears.
+/// Intended for tiny bounds — the count grows combinatorially.
+pub fn enumerate(sort: &Sort, int_bound: i64, max_len: usize) -> Vec<Value> {
+    enumerate_at(sort, int_bound, max_len, 0)
+}
+
+fn enumerate_at(sort: &Sort, int_bound: i64, max_len: usize, depth: usize) -> Vec<Value> {
+    if depth > 4 {
+        return vec![Value::Int(0)];
+    }
+    match sort {
+        Sort::Unknown => (-int_bound..=int_bound).map(Value::Int).collect(),
+        Sort::Unit => vec![Value::Unit],
+        Sort::Int => (-int_bound..=int_bound).map(Value::Int).collect(),
+        Sort::Bool => vec![Value::Bool(false), Value::Bool(true)],
+        Sort::Str => (0..=max_len.min(2))
+            .map(|n| Value::str(format!("s{n}")))
+            .collect(),
+        Sort::Pair(a, b) => {
+            let xs = enumerate_at(a, int_bound, max_len, depth + 1);
+            let ys = enumerate_at(b, int_bound, max_len, depth + 1);
+            xs.iter()
+                .flat_map(|x| ys.iter().map(move |y| Value::pair(x.clone(), y.clone())))
+                .collect()
+        }
+        Sort::Either(a, b) => {
+            let mut out: Vec<Value> = enumerate_at(a, int_bound, max_len, depth + 1)
+                .into_iter()
+                .map(Value::left)
+                .collect();
+            out.extend(
+                enumerate_at(b, int_bound, max_len, depth + 1)
+                    .into_iter()
+                    .map(Value::right),
+            );
+            out
+        }
+        Sort::Seq(e) => {
+            let elems = enumerate_at(e, int_bound, max_len, depth + 1);
+            let mut out = vec![Vec::new()];
+            for _ in 0..max_len {
+                let mut next = Vec::new();
+                for prefix in &out {
+                    for e in &elems {
+                        let mut xs = prefix.clone();
+                        xs.push(e.clone());
+                        next.push(xs);
+                    }
+                }
+                out.extend(next);
+            }
+            out.into_iter().map(Value::Seq).dedup_sorted()
+        }
+        Sort::Set(e) => {
+            let elems = enumerate_at(e, int_bound, max_len, depth + 1);
+            subsets(&elems, max_len)
+                .into_iter()
+                .map(Value::set)
+                .dedup_sorted()
+        }
+        Sort::Multiset(e) => {
+            let elems = enumerate_at(e, int_bound, max_len, depth + 1);
+            let mut out = vec![Vec::new()];
+            for _ in 0..max_len {
+                let mut next = Vec::new();
+                for prefix in &out {
+                    for e in &elems {
+                        let mut xs = prefix.clone();
+                        xs.push(e.clone());
+                        next.push(xs);
+                    }
+                }
+                out.extend(next);
+            }
+            out.into_iter().map(Value::multiset).dedup_sorted()
+        }
+        Sort::Map(k, v) => {
+            let keys = enumerate_at(k, int_bound, max_len, depth + 1);
+            let vals = enumerate_at(v, int_bound, max_len, depth + 1);
+            let mut out: Vec<Value> = vec![Value::map_empty()];
+            for key in keys.iter().take(max_len) {
+                let mut next = Vec::new();
+                for m in &out {
+                    for val in &vals {
+                        next.push(m.map_put(key.clone(), val.clone()).expect("map value"));
+                    }
+                }
+                out.extend(next);
+            }
+            out.dedup_sorted()
+        }
+    }
+}
+
+/// All subsets of `elems` of cardinality at most `max_len`.
+fn subsets(elems: &[Value], max_len: usize) -> Vec<Vec<Value>> {
+    let mut out = vec![Vec::new()];
+    for e in elems {
+        let mut next = Vec::new();
+        for s in &out {
+            if s.len() < max_len {
+                let mut s2 = s.clone();
+                s2.push(e.clone());
+                next.push(s2);
+            }
+        }
+        out.extend(next);
+    }
+    out
+}
+
+trait DedupSorted {
+    fn dedup_sorted(self) -> Vec<Value>;
+}
+
+impl<I: IntoIterator<Item = Value>> DedupSorted for I {
+    fn dedup_sorted(self) -> Vec<Value> {
+        let mut v: Vec<Value> = self.into_iter().collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_values_have_requested_sort() {
+        let mut g = ValueGen::new(7, GenConfig::default());
+        for sort in [
+            Sort::Int,
+            Sort::Bool,
+            Sort::pair(Sort::Int, Sort::Bool),
+            Sort::seq(Sort::Int),
+            Sort::set(Sort::Int),
+            Sort::multiset(Sort::Int),
+            Sort::map(Sort::Int, Sort::Int),
+            Sort::either(Sort::Int, Sort::seq(Sort::Int)),
+        ] {
+            for _ in 0..20 {
+                let v = g.value(&sort);
+                assert!(
+                    v.sort().compatible(&sort),
+                    "generated {v:?} incompatible with {sort}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = ValueGen::new(3, GenConfig::default());
+        let mut b = ValueGen::new(3, GenConfig::default());
+        for _ in 0..10 {
+            assert_eq!(a.value(&Sort::seq(Sort::Int)), b.value(&Sort::seq(Sort::Int)));
+        }
+    }
+
+    #[test]
+    fn enumeration_is_complete_for_bools() {
+        let vs = enumerate(&Sort::Bool, 0, 0);
+        assert_eq!(vs, vec![Value::Bool(false), Value::Bool(true)]);
+    }
+
+    #[test]
+    fn enumeration_covers_small_sets() {
+        let vs = enumerate(&Sort::set(Sort::Int), 1, 2);
+        // Subsets of {-1, 0, 1} of size ≤ 2: 1 + 3 + 3 = 7.
+        assert_eq!(vs.len(), 7);
+    }
+
+    #[test]
+    fn enumeration_deduplicates() {
+        let vs = enumerate(&Sort::multiset(Sort::Bool), 0, 2);
+        let mut sorted = vs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(vs.len(), sorted.len());
+    }
+
+    #[test]
+    fn enumerated_maps_are_maps() {
+        for v in enumerate(&Sort::map(Sort::Bool, Sort::Bool), 0, 2) {
+            assert!(v.as_map().is_ok());
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Pure mathematical value domain for the CommCSL reproduction.
+//!
+//! CommCSL (Eilers, Dardinier, Müller; PLDI 2023) checks its central proof
+//! obligations — abstract commutativity and precondition preservation — not
+//! on program heaps but on *pure mathematical values* (paper, Sec. 2.4).
+//! This crate provides that value universe:
+//!
+//! * [`Value`] — integers, booleans, strings, pairs, sums, sequences,
+//!   multisets, sets, and partial maps, with total, deterministic operations.
+//! * [`Multiset`] — a dedicated multiset container (argument multisets of
+//!   shared-action guards are the paper's central bookkeeping device).
+//! * [`Sort`] — the simple type system classifying values.
+//! * [`Term`] — a symbolic term language over the same universe, used by the
+//!   SMT-lite solver and the relational verifier.
+//! * [`rewrite`] — a normalizing rewrite engine that decides many equalities
+//!   between terms (the workhorse behind resource-specification validity).
+//! * [`gen`] — pseudo-random and bounded-exhaustive value generators used by
+//!   the falsification side of validity checking.
+//!
+//! # Example
+//!
+//! ```
+//! use commcsl_pure::Value;
+//!
+//! // The map example of the paper (Fig. 3): `put` does not commute on the
+//! // full map, but does commute on the key-set abstraction.
+//! let m = Value::map_empty();
+//! let a = m.clone().map_put(Value::from(1), Value::from(10)).unwrap();
+//! let ab = a.map_put(Value::from(1), Value::from(20)).unwrap();
+//! let b = m.map_put(Value::from(1), Value::from(20)).unwrap();
+//! let ba = b.map_put(Value::from(1), Value::from(10)).unwrap();
+//! assert_ne!(ab, ba);                                       // no concrete commuting
+//! assert_eq!(ab.map_dom().unwrap(), ba.map_dom().unwrap()); // abstract commuting
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod multiset;
+pub mod ops;
+pub mod rewrite;
+pub mod sort;
+pub mod symbol;
+pub mod term;
+pub mod value;
+
+pub use multiset::Multiset;
+pub use ops::{PureError, PureResult};
+pub use sort::Sort;
+pub use symbol::Symbol;
+pub use term::{Func, Term};
+pub use value::Value;

@@ -1,0 +1,254 @@
+//! Multisets over ordered elements.
+//!
+//! Shared-action guards in CommCSL carry a *multiset* of the arguments with
+//! which the action has been performed so far (paper, Sec. 2.5): the multiset
+//! forgets the order — which is schedule-dependent and therefore potentially
+//! secret — but remembers multiplicity. This module implements that container
+//! with the operations the logic needs: union (`∪#`), difference (`\#`),
+//! cardinality, and conversion to/from sequences.
+
+use std::collections::btree_map::{self, BTreeMap};
+use std::fmt;
+use std::iter::FromIterator;
+
+/// A finite multiset over an ordered element type.
+///
+/// # Example
+///
+/// ```
+/// use commcsl_pure::Multiset;
+///
+/// let a: Multiset<i64> = [1, 2, 2].into_iter().collect();
+/// let b: Multiset<i64> = [2, 3].into_iter().collect();
+/// let u = a.union(&b);
+/// assert_eq!(u.count(&2), 3);
+/// assert_eq!(u.len(), 5);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Multiset<T: Ord> {
+    counts: BTreeMap<T, usize>,
+}
+
+impl<T: Ord> Multiset<T> {
+    /// Creates an empty multiset.
+    pub fn new() -> Self {
+        Multiset {
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Returns the total number of elements, counting multiplicity.
+    pub fn len(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Returns `true` when the multiset contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Returns the multiplicity of `elem` (zero when absent).
+    pub fn count(&self, elem: &T) -> usize {
+        self.counts.get(elem).copied().unwrap_or(0)
+    }
+
+    /// Returns `true` when `elem` occurs at least once.
+    pub fn contains(&self, elem: &T) -> bool {
+        self.counts.contains_key(elem)
+    }
+
+    /// Inserts one occurrence of `elem`.
+    pub fn insert(&mut self, elem: T) {
+        *self.counts.entry(elem).or_insert(0) += 1;
+    }
+
+    /// Inserts `n` occurrences of `elem`.
+    pub fn insert_n(&mut self, elem: T, n: usize) {
+        if n > 0 {
+            *self.counts.entry(elem).or_insert(0) += n;
+        }
+    }
+
+    /// Removes one occurrence of `elem`; returns `true` if one was present.
+    pub fn remove(&mut self, elem: &T) -> bool {
+        match self.counts.get_mut(elem) {
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                true
+            }
+            Some(_) => {
+                self.counts.remove(elem);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Multiset union `self ∪# other` (multiplicities add).
+    pub fn union(&self, other: &Self) -> Self
+    where
+        T: Clone,
+    {
+        let mut out = self.clone();
+        for (elem, n) in &other.counts {
+            out.insert_n(elem.clone(), *n);
+        }
+        out
+    }
+
+    /// Multiset difference `self \# other` (multiplicities saturate at zero).
+    pub fn difference(&self, other: &Self) -> Self
+    where
+        T: Clone,
+    {
+        let mut out = Multiset::new();
+        for (elem, n) in &self.counts {
+            let m = other.count(elem);
+            if *n > m {
+                out.insert_n(elem.clone(), *n - m);
+            }
+        }
+        out
+    }
+
+    /// Returns `true` when every element of `self` occurs in `other` with at
+    /// least the same multiplicity.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.counts.iter().all(|(e, n)| other.count(e) >= *n)
+    }
+
+    /// Iterates over `(element, multiplicity)` pairs in element order.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            inner: self.counts.iter(),
+        }
+    }
+
+    /// Iterates over elements, repeating each according to its multiplicity.
+    pub fn iter_expanded(&self) -> impl Iterator<Item = &T> {
+        self.counts
+            .iter()
+            .flat_map(|(e, n)| std::iter::repeat(e).take(*n))
+    }
+
+    /// Returns the distinct elements in order.
+    pub fn distinct(&self) -> impl Iterator<Item = &T> {
+        self.counts.keys()
+    }
+
+    /// Converts the multiset to a sorted vector, honouring multiplicity.
+    pub fn to_sorted_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.iter_expanded().cloned().collect()
+    }
+}
+
+/// Iterator over `(element, multiplicity)` pairs of a [`Multiset`].
+pub struct Iter<'a, T> {
+    inner: btree_map::Iter<'a, T, usize>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = (&'a T, usize);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|(e, n)| (e, *n))
+    }
+}
+
+impl<T: Ord> FromIterator<T> for Multiset<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut ms = Multiset::new();
+        for elem in iter {
+            ms.insert(elem);
+        }
+        ms
+    }
+}
+
+impl<T: Ord> Extend<T> for Multiset<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for elem in iter {
+            self.insert(elem);
+        }
+    }
+}
+
+impl<T: Ord + fmt::Debug> fmt::Debug for Multiset<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{#")?;
+        let mut first = true;
+        for (elem, n) in self.iter() {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            write!(f, "{elem:?}")?;
+            if n > 1 {
+                write!(f, "×{n}")?;
+            }
+        }
+        f.write_str("#}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(elems: &[i64]) -> Multiset<i64> {
+        elems.iter().copied().collect()
+    }
+
+    #[test]
+    fn len_counts_multiplicity() {
+        assert_eq!(ms(&[1, 1, 2]).len(), 3);
+        assert!(ms(&[]).is_empty());
+    }
+
+    #[test]
+    fn union_adds_multiplicities() {
+        let u = ms(&[1, 2]).union(&ms(&[2, 3]));
+        assert_eq!(u, ms(&[1, 2, 2, 3]));
+    }
+
+    #[test]
+    fn union_is_commutative() {
+        let (a, b) = (ms(&[1, 1, 4]), ms(&[4, 4, 9]));
+        assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn difference_saturates() {
+        let d = ms(&[1, 1, 2]).difference(&ms(&[1, 2, 3]));
+        assert_eq!(d, ms(&[1]));
+    }
+
+    #[test]
+    fn remove_decrements_then_deletes() {
+        let mut m = ms(&[5, 5]);
+        assert!(m.remove(&5));
+        assert_eq!(m.count(&5), 1);
+        assert!(m.remove(&5));
+        assert!(!m.contains(&5));
+        assert!(!m.remove(&5));
+    }
+
+    #[test]
+    fn subset_respects_multiplicity() {
+        assert!(ms(&[1, 2]).is_subset(&ms(&[1, 1, 2])));
+        assert!(!ms(&[1, 1]).is_subset(&ms(&[1, 2])));
+    }
+
+    #[test]
+    fn expanded_iteration_is_sorted() {
+        assert_eq!(ms(&[3, 1, 3]).to_sorted_vec(), vec![1, 3, 3]);
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        assert_eq!(ms(&[1, 2, 1]), ms(&[1, 1, 2]));
+    }
+}

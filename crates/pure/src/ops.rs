@@ -1,0 +1,82 @@
+//! Errors raised by operations on [`Value`](crate::Value)s.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by a dynamically-typed operation on pure values.
+///
+/// The pure value universe is untyped at the representation level; operations
+/// check their operands and report a [`PureError`] on a sort mismatch,
+/// division by zero, or an out-of-range access. Action functions in resource
+/// specifications must be *total* (paper, App. D), so the validity checker
+/// treats any `PureError` escaping an action as a specification bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PureError {
+    /// An operand had the wrong sort for the operation.
+    SortMismatch {
+        /// The operation that was attempted.
+        op: &'static str,
+        /// Human-readable description of what was found.
+        found: String,
+    },
+    /// Integer division or modulo by zero.
+    DivisionByZero,
+    /// A sequence index was out of range.
+    IndexOutOfRange {
+        /// The offending index.
+        index: i64,
+        /// The length of the sequence.
+        len: usize,
+    },
+    /// A map lookup for an absent key (when no default is supplied).
+    MissingKey(String),
+    /// Arithmetic overflowed the 64-bit integer domain.
+    Overflow(&'static str),
+}
+
+impl fmt::Display for PureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PureError::SortMismatch { op, found } => {
+                write!(f, "sort mismatch in `{op}`: {found}")
+            }
+            PureError::DivisionByZero => f.write_str("division by zero"),
+            PureError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for sequence of length {len}")
+            }
+            PureError::MissingKey(k) => write!(f, "missing map key {k}"),
+            PureError::Overflow(op) => write!(f, "integer overflow in `{op}`"),
+        }
+    }
+}
+
+impl Error for PureError {}
+
+/// Convenience alias for results of pure operations.
+pub type PureResult<T> = Result<T, PureError>;
+
+pub(crate) fn sort_mismatch<T>(op: &'static str, found: impl fmt::Debug) -> PureResult<T> {
+    Err(PureError::SortMismatch {
+        op,
+        found: format!("{found:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = PureError::DivisionByZero;
+        assert_eq!(e.to_string(), "division by zero");
+        let e = PureError::IndexOutOfRange { index: 7, len: 3 };
+        assert!(e.to_string().contains("index 7"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync>() {}
+        assert_error::<PureError>();
+    }
+}

@@ -1,0 +1,167 @@
+//! Simple sorts (types) classifying pure values.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// The sort (type) of a [`Value`] or [`Term`](crate::Term).
+///
+/// Sorts are structural and include a bottom-ish [`Sort::Unknown`] used for
+/// the element sort of empty containers; `Unknown` is *compatible* with every
+/// sort (see [`Sort::compatible`]), which keeps empty-literal typing simple
+/// without a full inference pass.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Sort {
+    /// Placeholder compatible with every sort.
+    Unknown,
+    /// The unit sort.
+    Unit,
+    /// 64-bit integers.
+    Int,
+    /// Booleans.
+    Bool,
+    /// Strings.
+    Str,
+    /// Pairs.
+    Pair(Box<Sort>, Box<Sort>),
+    /// Sums (`Either`).
+    Either(Box<Sort>, Box<Sort>),
+    /// Sequences.
+    Seq(Box<Sort>),
+    /// Sets.
+    Set(Box<Sort>),
+    /// Multisets.
+    Multiset(Box<Sort>),
+    /// Partial maps.
+    Map(Box<Sort>, Box<Sort>),
+}
+
+impl Sort {
+    /// Pair sort constructor.
+    pub fn pair(a: Sort, b: Sort) -> Sort {
+        Sort::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// Sum sort constructor.
+    pub fn either(a: Sort, b: Sort) -> Sort {
+        Sort::Either(Box::new(a), Box::new(b))
+    }
+
+    /// Sequence sort constructor.
+    pub fn seq(elem: Sort) -> Sort {
+        Sort::Seq(Box::new(elem))
+    }
+
+    /// Set sort constructor.
+    pub fn set(elem: Sort) -> Sort {
+        Sort::Set(Box::new(elem))
+    }
+
+    /// Multiset sort constructor.
+    pub fn multiset(elem: Sort) -> Sort {
+        Sort::Multiset(Box::new(elem))
+    }
+
+    /// Map sort constructor.
+    pub fn map(key: Sort, val: Sort) -> Sort {
+        Sort::Map(Box::new(key), Box::new(val))
+    }
+
+    /// Computes the sort of a value.
+    ///
+    /// Container element sorts are taken from the first element; empty
+    /// containers yield [`Sort::Unknown`] element sorts.
+    pub fn of_value(v: &Value) -> Sort {
+        match v {
+            Value::Unit => Sort::Unit,
+            Value::Int(_) => Sort::Int,
+            Value::Bool(_) => Sort::Bool,
+            Value::Str(_) => Sort::Str,
+            Value::Pair(a, b) => Sort::pair(Sort::of_value(a), Sort::of_value(b)),
+            Value::Left(a) => Sort::either(Sort::of_value(a), Sort::Unknown),
+            Value::Right(b) => Sort::either(Sort::Unknown, Sort::of_value(b)),
+            Value::Seq(xs) => Sort::seq(xs.first().map_or(Sort::Unknown, Sort::of_value)),
+            Value::Set(s) => Sort::set(s.iter().next().map_or(Sort::Unknown, Sort::of_value)),
+            Value::Multiset(m) => Sort::multiset(
+                m.distinct()
+                    .next()
+                    .map_or(Sort::Unknown, Sort::of_value),
+            ),
+            Value::Map(m) => match m.iter().next() {
+                Some((k, v)) => Sort::map(Sort::of_value(k), Sort::of_value(v)),
+                None => Sort::map(Sort::Unknown, Sort::Unknown),
+            },
+        }
+    }
+
+    /// Structural compatibility, treating [`Sort::Unknown`] as a wildcard.
+    pub fn compatible(&self, other: &Sort) -> bool {
+        match (self, other) {
+            (Sort::Unknown, _) | (_, Sort::Unknown) => true,
+            (Sort::Pair(a1, b1), Sort::Pair(a2, b2))
+            | (Sort::Either(a1, b1), Sort::Either(a2, b2))
+            | (Sort::Map(a1, b1), Sort::Map(a2, b2)) => {
+                a1.compatible(a2) && b1.compatible(b2)
+            }
+            (Sort::Seq(a), Sort::Seq(b))
+            | (Sort::Set(a), Sort::Set(b))
+            | (Sort::Multiset(a), Sort::Multiset(b)) => a.compatible(b),
+            (a, b) => a == b,
+        }
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Unknown => f.write_str("?"),
+            Sort::Unit => f.write_str("Unit"),
+            Sort::Int => f.write_str("Int"),
+            Sort::Bool => f.write_str("Bool"),
+            Sort::Str => f.write_str("Str"),
+            Sort::Pair(a, b) => write!(f, "Pair[{a}, {b}]"),
+            Sort::Either(a, b) => write!(f, "Either[{a}, {b}]"),
+            Sort::Seq(a) => write!(f, "Seq[{a}]"),
+            Sort::Set(a) => write!(f, "Set[{a}]"),
+            Sort::Multiset(a) => write!(f, "Multiset[{a}]"),
+            Sort::Map(k, v) => write!(f, "Map[{k}, {v}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_of_literals() {
+        assert_eq!(Value::from(3).sort(), Sort::Int);
+        assert_eq!(Value::from(true).sort(), Sort::Bool);
+        assert_eq!(
+            Value::pair(Value::from(1), Value::from(false)).sort(),
+            Sort::pair(Sort::Int, Sort::Bool)
+        );
+    }
+
+    #[test]
+    fn empty_containers_have_unknown_elements() {
+        assert_eq!(Value::seq_empty().sort(), Sort::seq(Sort::Unknown));
+        assert!(Value::seq_empty()
+            .sort()
+            .compatible(&Sort::seq(Sort::Int)));
+    }
+
+    #[test]
+    fn compatibility_is_structural() {
+        let a = Sort::map(Sort::Int, Sort::Unknown);
+        let b = Sort::map(Sort::Int, Sort::Bool);
+        assert!(a.compatible(&b));
+        assert!(!a.compatible(&Sort::set(Sort::Int)));
+        assert!(!Sort::Int.compatible(&Sort::Bool));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Sort::map(Sort::Int, Sort::Str).to_string(), "Map[Int, Str]");
+    }
+}

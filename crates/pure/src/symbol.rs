@@ -1,0 +1,112 @@
+//! Cheap clonable identifiers for variables, actions, and fields.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable identifier.
+///
+/// Symbols name program variables, symbolic-term variables, actions, and
+/// record fields throughout the workspace. They are thin wrappers around
+/// `Arc<str>` so cloning is a reference-count bump.
+///
+/// # Example
+///
+/// ```
+/// use commcsl_pure::Symbol;
+///
+/// let x = Symbol::new("x");
+/// assert_eq!(x.as_str(), "x");
+/// assert_eq!(x, Symbol::from("x"));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    /// Creates a symbol from anything string-like.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Symbol(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the symbol's textual name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns a derived symbol with `suffix` appended.
+    ///
+    /// Used to build the two per-execution copies of a variable in the
+    /// relational (product) encoding, e.g. `x` ↦ `x@1` / `x@2`.
+    pub fn suffixed(&self, suffix: &str) -> Self {
+        Symbol::new(format!("{}{}", self.0, suffix))
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn equality_is_by_content() {
+        assert_eq!(Symbol::new("abc"), Symbol::new(String::from("abc")));
+        assert_ne!(Symbol::new("abc"), Symbol::new("abd"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut set = BTreeSet::new();
+        set.insert(Symbol::new("b"));
+        set.insert(Symbol::new("a"));
+        let names: Vec<_> = set.iter().map(Symbol::as_str).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn suffixed_appends() {
+        assert_eq!(Symbol::new("x").suffixed("@1").as_str(), "x@1");
+    }
+
+    #[test]
+    fn borrow_str_lookup_works() {
+        let mut set = BTreeSet::new();
+        set.insert(Symbol::new("key"));
+        assert!(set.contains("key"));
+    }
+}

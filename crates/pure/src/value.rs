@@ -1,0 +1,757 @@
+//! The pure value universe.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::multiset::Multiset;
+use crate::ops::{sort_mismatch, PureError, PureResult};
+use crate::sort::Sort;
+use crate::symbol::Symbol;
+
+/// A pure mathematical value.
+///
+/// This is the universe over which resource specifications are stated:
+/// action functions map values to values, abstraction functions map values to
+/// values, and guard states record multisets/sequences of argument values
+/// (paper, Secs. 2.4, 3.2, 3.3).
+///
+/// All containers are ordered (`BTreeMap`/`BTreeSet`-backed) so that `Value`
+/// itself is `Ord` and can appear inside sets, multisets, and map keys.
+///
+/// # Example
+///
+/// ```
+/// use commcsl_pure::Value;
+///
+/// let xs = Value::seq([Value::from(3), Value::from(1)]);
+/// assert_eq!(xs.seq_len().unwrap(), 2);
+/// assert_eq!(xs.seq_sum().unwrap(), Value::from(4));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// The unit value (used as the argument of argument-less actions).
+    Unit,
+    /// A 64-bit integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An immutable string (used for record-ish keys such as `"nAdults"`).
+    Str(Symbol),
+    /// An ordered pair.
+    Pair(Box<Value>, Box<Value>),
+    /// Left injection of a sum (`Either`); used e.g. by the producer-consumer
+    /// ghost encoding (paper, Fig. 12).
+    Left(Box<Value>),
+    /// Right injection of a sum.
+    Right(Box<Value>),
+    /// A finite sequence.
+    Seq(Vec<Value>),
+    /// A finite set.
+    Set(BTreeSet<Value>),
+    /// A finite multiset.
+    Multiset(Multiset<Value>),
+    /// A finite partial map.
+    Map(BTreeMap<Value, Value>),
+}
+
+impl Value {
+    // ---------------------------------------------------------------- ctors
+
+    /// Creates an integer value.
+    pub fn int(n: i64) -> Self {
+        Value::Int(n)
+    }
+
+    /// Creates a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Symbol::new(s))
+    }
+
+    /// Creates a pair.
+    pub fn pair(fst: Value, snd: Value) -> Self {
+        Value::Pair(Box::new(fst), Box::new(snd))
+    }
+
+    /// Creates a left injection.
+    pub fn left(v: Value) -> Self {
+        Value::Left(Box::new(v))
+    }
+
+    /// Creates a right injection.
+    pub fn right(v: Value) -> Self {
+        Value::Right(Box::new(v))
+    }
+
+    /// Creates a sequence from an iterator.
+    pub fn seq(elems: impl IntoIterator<Item = Value>) -> Self {
+        Value::Seq(elems.into_iter().collect())
+    }
+
+    /// The empty sequence.
+    pub fn seq_empty() -> Self {
+        Value::Seq(Vec::new())
+    }
+
+    /// Creates a set from an iterator (duplicates collapse).
+    pub fn set(elems: impl IntoIterator<Item = Value>) -> Self {
+        Value::Set(elems.into_iter().collect())
+    }
+
+    /// The empty set.
+    pub fn set_empty() -> Self {
+        Value::Set(BTreeSet::new())
+    }
+
+    /// Creates a multiset from an iterator.
+    pub fn multiset(elems: impl IntoIterator<Item = Value>) -> Self {
+        Value::Multiset(elems.into_iter().collect())
+    }
+
+    /// The empty multiset.
+    pub fn multiset_empty() -> Self {
+        Value::Multiset(Multiset::new())
+    }
+
+    /// Creates a map from `(key, value)` pairs (later pairs win).
+    pub fn map(entries: impl IntoIterator<Item = (Value, Value)>) -> Self {
+        Value::Map(entries.into_iter().collect())
+    }
+
+    /// The empty map.
+    pub fn map_empty() -> Self {
+        Value::Map(BTreeMap::new())
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// Returns the integer payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PureError::SortMismatch`] when the value is not an integer.
+    pub fn as_int(&self) -> PureResult<i64> {
+        match self {
+            Value::Int(n) => Ok(*n),
+            other => sort_mismatch("as_int", other),
+        }
+    }
+
+    /// Returns the boolean payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PureError::SortMismatch`] when the value is not a boolean.
+    pub fn as_bool(&self) -> PureResult<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => sort_mismatch("as_bool", other),
+        }
+    }
+
+    /// Returns the sequence payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PureError::SortMismatch`] when the value is not a sequence.
+    pub fn as_seq(&self) -> PureResult<&[Value]> {
+        match self {
+            Value::Seq(xs) => Ok(xs),
+            other => sort_mismatch("as_seq", other),
+        }
+    }
+
+    /// Returns the set payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PureError::SortMismatch`] when the value is not a set.
+    pub fn as_set(&self) -> PureResult<&BTreeSet<Value>> {
+        match self {
+            Value::Set(s) => Ok(s),
+            other => sort_mismatch("as_set", other),
+        }
+    }
+
+    /// Returns the multiset payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PureError::SortMismatch`] when the value is not a multiset.
+    pub fn as_multiset(&self) -> PureResult<&Multiset<Value>> {
+        match self {
+            Value::Multiset(m) => Ok(m),
+            other => sort_mismatch("as_multiset", other),
+        }
+    }
+
+    /// Returns the map payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PureError::SortMismatch`] when the value is not a map.
+    pub fn as_map(&self) -> PureResult<&BTreeMap<Value, Value>> {
+        match self {
+            Value::Map(m) => Ok(m),
+            other => sort_mismatch("as_map", other),
+        }
+    }
+
+    /// Returns the components of a pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PureError::SortMismatch`] when the value is not a pair.
+    pub fn as_pair(&self) -> PureResult<(&Value, &Value)> {
+        match self {
+            Value::Pair(a, b) => Ok((a, b)),
+            other => sort_mismatch("as_pair", other),
+        }
+    }
+
+    /// Returns the [`Sort`] of this value.
+    ///
+    /// Empty containers get element sort [`Sort::Unknown`], which is
+    /// compatible with every sort.
+    pub fn sort(&self) -> Sort {
+        Sort::of_value(self)
+    }
+
+    // ----------------------------------------------------------- arithmetic
+
+    /// Checked integer addition.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-integers; [`PureError::Overflow`] on overflow.
+    pub fn int_add(&self, other: &Value) -> PureResult<Value> {
+        let (a, b) = (self.as_int()?, other.as_int()?);
+        a.checked_add(b)
+            .map(Value::Int)
+            .ok_or(PureError::Overflow("add"))
+    }
+
+    /// Checked integer subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-integers; [`PureError::Overflow`] on overflow.
+    pub fn int_sub(&self, other: &Value) -> PureResult<Value> {
+        let (a, b) = (self.as_int()?, other.as_int()?);
+        a.checked_sub(b)
+            .map(Value::Int)
+            .ok_or(PureError::Overflow("sub"))
+    }
+
+    /// Checked integer multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-integers; [`PureError::Overflow`] on overflow.
+    pub fn int_mul(&self, other: &Value) -> PureResult<Value> {
+        let (a, b) = (self.as_int()?, other.as_int()?);
+        a.checked_mul(b)
+            .map(Value::Int)
+            .ok_or(PureError::Overflow("mul"))
+    }
+
+    /// Euclidean integer division.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-integers; [`PureError::DivisionByZero`] when
+    /// `other` is zero.
+    pub fn int_div(&self, other: &Value) -> PureResult<Value> {
+        let (a, b) = (self.as_int()?, other.as_int()?);
+        if b == 0 {
+            return Err(PureError::DivisionByZero);
+        }
+        Ok(Value::Int(a.div_euclid(b)))
+    }
+
+    /// Euclidean integer remainder.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-integers; [`PureError::DivisionByZero`] when
+    /// `other` is zero.
+    pub fn int_mod(&self, other: &Value) -> PureResult<Value> {
+        let (a, b) = (self.as_int()?, other.as_int()?);
+        if b == 0 {
+            return Err(PureError::DivisionByZero);
+        }
+        Ok(Value::Int(a.rem_euclid(b)))
+    }
+
+    /// Integer maximum.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-integers.
+    pub fn int_max(&self, other: &Value) -> PureResult<Value> {
+        Ok(Value::Int(self.as_int()?.max(other.as_int()?)))
+    }
+
+    /// Integer minimum.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-integers.
+    pub fn int_min(&self, other: &Value) -> PureResult<Value> {
+        Ok(Value::Int(self.as_int()?.min(other.as_int()?)))
+    }
+
+    // ------------------------------------------------------------ sequences
+
+    /// Sequence length.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-sequences.
+    pub fn seq_len(&self) -> PureResult<usize> {
+        Ok(self.as_seq()?.len())
+    }
+
+    /// Appends an element, returning a new sequence.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-sequences.
+    pub fn seq_append(&self, elem: Value) -> PureResult<Value> {
+        let mut xs = self.as_seq()?.to_vec();
+        xs.push(elem);
+        Ok(Value::Seq(xs))
+    }
+
+    /// Concatenates two sequences.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-sequences.
+    pub fn seq_concat(&self, other: &Value) -> PureResult<Value> {
+        let mut xs = self.as_seq()?.to_vec();
+        xs.extend_from_slice(other.as_seq()?);
+        Ok(Value::Seq(xs))
+    }
+
+    /// Indexes a sequence.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-sequences; [`PureError::IndexOutOfRange`] for a
+    /// bad index.
+    pub fn seq_index(&self, index: i64) -> PureResult<Value> {
+        let xs = self.as_seq()?;
+        usize::try_from(index)
+            .ok()
+            .and_then(|i| xs.get(i))
+            .cloned()
+            .ok_or(PureError::IndexOutOfRange {
+                index,
+                len: xs.len(),
+            })
+    }
+
+    /// Tail of a sequence (total: the tail of the empty sequence is empty).
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-sequences.
+    pub fn seq_tail(&self) -> PureResult<Value> {
+        let xs = self.as_seq()?;
+        Ok(Value::Seq(xs.iter().skip(1).cloned().collect()))
+    }
+
+    /// Head of a sequence with a default for the empty sequence (total).
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-sequences.
+    pub fn seq_head_or(&self, default: Value) -> PureResult<Value> {
+        Ok(self.as_seq()?.first().cloned().unwrap_or(default))
+    }
+
+    /// Sum of an integer sequence (empty sum is zero).
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch when any element is not an integer; overflow.
+    pub fn seq_sum(&self) -> PureResult<Value> {
+        let mut acc = 0i64;
+        for v in self.as_seq()? {
+            acc = acc
+                .checked_add(v.as_int()?)
+                .ok_or(PureError::Overflow("seq_sum"))?;
+        }
+        Ok(Value::Int(acc))
+    }
+
+    /// Arithmetic mean of an integer sequence, rounded toward negative
+    /// infinity; the mean of the empty sequence is defined as zero (a total
+    /// stand-in, as required of abstraction functions).
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch when any element is not an integer; overflow.
+    pub fn seq_mean(&self) -> PureResult<Value> {
+        let xs = self.as_seq()?;
+        if xs.is_empty() {
+            return Ok(Value::Int(0));
+        }
+        let sum = self.seq_sum()?.as_int()?;
+        Ok(Value::Int(sum.div_euclid(xs.len() as i64)))
+    }
+
+    /// Sorted copy of the sequence.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-sequences.
+    pub fn seq_sorted(&self) -> PureResult<Value> {
+        let mut xs = self.as_seq()?.to_vec();
+        xs.sort();
+        Ok(Value::Seq(xs))
+    }
+
+    /// The multiset view of a sequence (forgets order).
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-sequences.
+    pub fn seq_to_multiset(&self) -> PureResult<Value> {
+        Ok(Value::Multiset(self.as_seq()?.iter().cloned().collect()))
+    }
+
+    /// The set view of a sequence (forgets order and multiplicity).
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-sequences.
+    pub fn seq_to_set(&self) -> PureResult<Value> {
+        Ok(Value::Set(self.as_seq()?.iter().cloned().collect()))
+    }
+
+    // ----------------------------------------------------------------- sets
+
+    /// Set cardinality.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-sets.
+    pub fn set_card(&self) -> PureResult<usize> {
+        Ok(self.as_set()?.len())
+    }
+
+    /// Inserts an element, returning a new set.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-sets.
+    pub fn set_add(&self, elem: Value) -> PureResult<Value> {
+        let mut s = self.as_set()?.clone();
+        s.insert(elem);
+        Ok(Value::Set(s))
+    }
+
+    /// Set union.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-sets.
+    pub fn set_union(&self, other: &Value) -> PureResult<Value> {
+        let mut s = self.as_set()?.clone();
+        s.extend(other.as_set()?.iter().cloned());
+        Ok(Value::Set(s))
+    }
+
+    /// Set membership.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-sets.
+    pub fn set_contains(&self, elem: &Value) -> PureResult<bool> {
+        Ok(self.as_set()?.contains(elem))
+    }
+
+    /// Sorted sequence of the set's elements.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-sets.
+    pub fn set_to_seq(&self) -> PureResult<Value> {
+        Ok(Value::Seq(self.as_set()?.iter().cloned().collect()))
+    }
+
+    // ------------------------------------------------------------ multisets
+
+    /// Multiset cardinality (counting multiplicity).
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-multisets.
+    pub fn multiset_card(&self) -> PureResult<usize> {
+        Ok(self.as_multiset()?.len())
+    }
+
+    /// Inserts one occurrence, returning a new multiset.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-multisets.
+    pub fn multiset_add(&self, elem: Value) -> PureResult<Value> {
+        let mut m = self.as_multiset()?.clone();
+        m.insert(elem);
+        Ok(Value::Multiset(m))
+    }
+
+    /// Sorted sequence of a multiset's elements (with multiplicity).
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-multisets.
+    pub fn multiset_to_sorted_seq(&self) -> PureResult<Value> {
+        Ok(Value::Seq(self.as_multiset()?.to_sorted_vec()))
+    }
+
+    /// Multiset union `∪#`.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-multisets.
+    pub fn multiset_union(&self, other: &Value) -> PureResult<Value> {
+        Ok(Value::Multiset(
+            self.as_multiset()?.union(other.as_multiset()?),
+        ))
+    }
+
+    // ----------------------------------------------------------------- maps
+
+    /// Map update `m[k ↦ v]`, returning a new map.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-maps.
+    pub fn map_put(&self, key: Value, val: Value) -> PureResult<Value> {
+        let mut m = self.as_map()?.clone();
+        m.insert(key, val);
+        Ok(Value::Map(m))
+    }
+
+    /// Map lookup.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-maps; [`PureError::MissingKey`] when absent.
+    pub fn map_get(&self, key: &Value) -> PureResult<Value> {
+        self.as_map()?
+            .get(key)
+            .cloned()
+            .ok_or_else(|| PureError::MissingKey(format!("{key:?}")))
+    }
+
+    /// Map lookup with a default for absent keys (total variant).
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-maps.
+    pub fn map_get_or(&self, key: &Value, default: Value) -> PureResult<Value> {
+        Ok(self.as_map()?.get(key).cloned().unwrap_or(default))
+    }
+
+    /// Domain of a map as a set.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-maps.
+    pub fn map_dom(&self) -> PureResult<Value> {
+        Ok(Value::Set(self.as_map()?.keys().cloned().collect()))
+    }
+
+    /// Returns `true` when the map contains `key`.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-maps.
+    pub fn map_contains(&self, key: &Value) -> PureResult<bool> {
+        Ok(self.as_map()?.contains_key(key))
+    }
+
+    /// Number of entries in a map.
+    ///
+    /// # Errors
+    ///
+    /// Sort mismatch for non-maps.
+    pub fn map_len(&self) -> PureResult<usize> {
+        Ok(self.as_map()?.len())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => f.write_str("()"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Pair(a, b) => write!(f, "({a:?}, {b:?})"),
+            Value::Left(v) => write!(f, "Left({v:?})"),
+            Value::Right(v) => write!(f, "Right({v:?})"),
+            Value::Seq(xs) => {
+                f.write_str("[")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{x:?}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Set(s) => {
+                f.write_str("{")?;
+                for (i, x) in s.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{x:?}")?;
+                }
+                f.write_str("}")
+            }
+            Value::Multiset(m) => write!(f, "{m:?}"),
+            Value::Map(m) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{k:?} ↦ {v:?}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_is_checked() {
+        assert_eq!(
+            Value::from(2).int_add(&Value::from(3)).unwrap(),
+            Value::from(5)
+        );
+        assert_eq!(
+            Value::from(i64::MAX).int_add(&Value::from(1)),
+            Err(PureError::Overflow("add"))
+        );
+        assert_eq!(
+            Value::from(1).int_div(&Value::from(0)),
+            Err(PureError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn division_is_euclidean() {
+        assert_eq!(
+            Value::from(-7).int_div(&Value::from(2)).unwrap(),
+            Value::from(-4)
+        );
+        assert_eq!(
+            Value::from(-7).int_mod(&Value::from(2)).unwrap(),
+            Value::from(1)
+        );
+    }
+
+    #[test]
+    fn seq_ops_roundtrip() {
+        let s = Value::seq_empty()
+            .seq_append(Value::from(2))
+            .unwrap()
+            .seq_append(Value::from(1))
+            .unwrap();
+        assert_eq!(s.seq_len().unwrap(), 2);
+        assert_eq!(s.seq_index(1).unwrap(), Value::from(1));
+        assert_eq!(
+            s.seq_sorted().unwrap(),
+            Value::seq([Value::from(1), Value::from(2)])
+        );
+        assert!(s.seq_index(5).is_err());
+    }
+
+    #[test]
+    fn seq_mean_total_on_empty() {
+        assert_eq!(Value::seq_empty().seq_mean().unwrap(), Value::from(0));
+        let s = Value::seq([Value::from(1), Value::from(2), Value::from(4)]);
+        assert_eq!(s.seq_mean().unwrap(), Value::from(2));
+    }
+
+    #[test]
+    fn multiset_view_forgets_order() {
+        let a = Value::seq([Value::from(1), Value::from(2)]);
+        let b = Value::seq([Value::from(2), Value::from(1)]);
+        assert_ne!(a, b);
+        assert_eq!(a.seq_to_multiset().unwrap(), b.seq_to_multiset().unwrap());
+    }
+
+    #[test]
+    fn map_put_overwrites_and_dom_ignores_values() {
+        let m = Value::map_empty()
+            .map_put(Value::from(1), Value::from(10))
+            .unwrap();
+        let m2 = m.map_put(Value::from(1), Value::from(20)).unwrap();
+        assert_eq!(m2.map_get(&Value::from(1)).unwrap(), Value::from(20));
+        assert_eq!(m.map_dom().unwrap(), m2.map_dom().unwrap());
+    }
+
+    #[test]
+    fn map_get_or_is_total() {
+        let m = Value::map_empty();
+        assert!(m.map_get(&Value::from(9)).is_err());
+        assert_eq!(
+            m.map_get_or(&Value::from(9), Value::from(0)).unwrap(),
+            Value::from(0)
+        );
+    }
+
+    #[test]
+    fn sort_mismatch_reported() {
+        assert!(matches!(
+            Value::Bool(true).int_add(&Value::from(1)),
+            Err(PureError::SortMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ordering_allows_nesting_in_sets() {
+        let s = Value::set([
+            Value::pair(Value::from(1), Value::from(2)),
+            Value::pair(Value::from(1), Value::from(2)),
+            Value::pair(Value::from(2), Value::from(1)),
+        ]);
+        assert_eq!(s.set_card().unwrap(), 2);
+    }
+}

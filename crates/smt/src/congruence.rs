@@ -1,0 +1,340 @@
+//! Congruence closure over ground terms (EUF).
+//!
+//! Implements the classic Nelson–Oppen congruence-closure algorithm over
+//! [`Term`]s: variables and literals are constants, applications are
+//! congruence nodes. Distinct [`Value`] literals are inherently disequal, so
+//! merging two classes with different literal representatives is a
+//! contradiction.
+//!
+//! The closure implements [`EqOracle`], which lets the normalizing rewriter
+//! consult learned (dis)equalities — the loop that makes the abstraction
+//! rewrite rules context-sensitive (e.g. `MapPut` reordering under a learned
+//! key disequality).
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+
+use commcsl_pure::rewrite::{decide_eq_syntactic, EqOracle};
+use commcsl_pure::{Func, Term, Value};
+
+use crate::union_find::UnionFind;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// A variable or literal (the term itself is the intern-map key).
+    Leaf,
+    /// An application with child node ids.
+    App(Func, Vec<usize>),
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    uf: UnionFind,
+    nodes: Vec<Node>,
+    intern: BTreeMap<Term, usize>,
+    /// Signature table: canonical `(f, child classes)` → node id.
+    sigs: HashMap<(Func, Vec<usize>), usize>,
+    /// For each node id, application nodes that have it as a child.
+    uses: Vec<Vec<usize>>,
+    /// Literal representative per class root (moved on union).
+    literal: Vec<Option<Value>>,
+    diseqs: Vec<(usize, usize)>,
+    contradiction: bool,
+}
+
+/// A congruence-closure context.
+///
+/// # Example
+///
+/// ```
+/// use commcsl_pure::Term;
+/// use commcsl_smt::congruence::Congruence;
+///
+/// let cc = Congruence::new();
+/// cc.assert_eq(&Term::var("x"), &Term::var("y"));
+/// let fx = Term::app(commcsl_pure::Func::SeqLen, [Term::var("x")]);
+/// let fy = Term::app(commcsl_pure::Func::SeqLen, [Term::var("y")]);
+/// assert_eq!(cc.decide(&fx, &fy), Some(true));
+/// ```
+#[derive(Debug, Default)]
+pub struct Congruence {
+    inner: RefCell<Inner>,
+}
+
+impl Congruence {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Congruence::default()
+    }
+
+    /// Asserts `a = b`.
+    pub fn assert_eq(&self, a: &Term, b: &Term) {
+        let mut inner = self.inner.borrow_mut();
+        let (ia, ib) = (inner.intern_term(a), inner.intern_term(b));
+        inner.merge(ia, ib);
+        inner.check_diseqs();
+    }
+
+    /// Asserts `a ≠ b`.
+    pub fn assert_neq(&self, a: &Term, b: &Term) {
+        let mut inner = self.inner.borrow_mut();
+        let (ia, ib) = (inner.intern_term(a), inner.intern_term(b));
+        inner.diseqs.push((ia, ib));
+        inner.check_diseqs();
+    }
+
+    /// Returns `true` when the asserted facts are contradictory.
+    pub fn contradictory(&self) -> bool {
+        self.inner.borrow().contradiction
+    }
+
+    /// Decides `a = b` from the closure: `Some(true)` when congruent,
+    /// `Some(false)` when separated by a disequality or distinct literals,
+    /// `None` otherwise.
+    pub fn decide(&self, a: &Term, b: &Term) -> Option<bool> {
+        if let Some(ans) = decide_eq_syntactic(a, b) {
+            return Some(ans);
+        }
+        let mut inner = self.inner.borrow_mut();
+        let (ia, ib) = (inner.intern_term(a), inner.intern_term(b));
+        let (ra, rb) = (inner.uf.find(ia), inner.uf.find(ib));
+        if ra == rb {
+            return Some(true);
+        }
+        match (&inner.literal[ra], &inner.literal[rb]) {
+            (Some(x), Some(y)) if x != y => return Some(false),
+            _ => {}
+        }
+        let separated = inner
+            .diseqs
+            .clone()
+            .into_iter()
+            .any(|(x, y)| {
+                let (rx, ry) = (inner.uf.find(x), inner.uf.find(y));
+                (rx == ra && ry == rb) || (rx == rb && ry == ra)
+            });
+        if separated {
+            return Some(false);
+        }
+        None
+    }
+
+    /// Returns the literal value of the class of `t`, if one is known.
+    pub fn literal_of(&self, t: &Term) -> Option<Value> {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.intern_term(t);
+        let root = inner.uf.find(id);
+        inner.literal[root].clone()
+    }
+
+    /// Returns a stable id for the congruence class of `t` at the time of the
+    /// call (classes may merge later). Used by the LIA layer to identify
+    /// arithmetic atoms up to congruence.
+    pub fn class_id(&self, t: &Term) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.intern_term(t);
+        inner.uf.find(id)
+    }
+}
+
+impl EqOracle for Congruence {
+    fn decide_eq(&self, a: &Term, b: &Term) -> Option<bool> {
+        self.decide(a, b)
+    }
+}
+
+impl Inner {
+    fn intern_term(&mut self, t: &Term) -> usize {
+        if let Some(&id) = self.intern.get(t) {
+            return id;
+        }
+        let node = match t {
+            Term::Var(_) | Term::Lit(_) => Node::Leaf,
+            Term::App(f, args) => {
+                let child_ids: Vec<usize> =
+                    args.iter().map(|a| self.intern_term(a)).collect();
+                Node::App(f.clone(), child_ids)
+            }
+        };
+        let id = self.push_node(node, t);
+        // Congruence check for fresh applications.
+        if let Node::App(f, child_ids) = self.nodes[id].clone() {
+            for &c in &child_ids {
+                let rc = self.uf.find(c);
+                self.uses[rc].push(id);
+            }
+            let sig = self.signature(&f, &child_ids);
+            if let Some(&existing) = self.sigs.get(&sig) {
+                self.merge(existing, id);
+            } else {
+                self.sigs.insert(sig, id);
+            }
+        }
+        id
+    }
+
+    fn push_node(&mut self, node: Node, t: &Term) -> usize {
+        let id = self.uf.push();
+        debug_assert_eq!(id, self.nodes.len());
+        self.nodes.push(node);
+        self.uses.push(Vec::new());
+        self.literal.push(match t {
+            Term::Lit(v) => Some(v.clone()),
+            _ => None,
+        });
+        self.intern.insert(t.clone(), id);
+        id
+    }
+
+    fn signature(&mut self, f: &Func, child_ids: &[usize]) -> (Func, Vec<usize>) {
+        let canon: Vec<usize> = child_ids.iter().map(|&c| self.uf.find(c)).collect();
+        (f.clone(), canon)
+    }
+
+    fn merge(&mut self, a: usize, b: usize) {
+        let mut queue = vec![(a, b)];
+        while let Some((x, y)) = queue.pop() {
+            let (rx, ry) = (self.uf.find(x), self.uf.find(y));
+            if rx == ry {
+                continue;
+            }
+            // Literal clash ⇒ contradiction.
+            if let (Some(lx), Some(ly)) = (&self.literal[rx], &self.literal[ry]) {
+                if lx != ly {
+                    self.contradiction = true;
+                    return;
+                }
+            }
+            let winner = match self.uf.union(rx, ry) {
+                Some(w) => w,
+                None => continue,
+            };
+            let loser = if winner == rx { ry } else { rx };
+            if self.literal[winner].is_none() {
+                self.literal[winner] = self.literal[loser].take();
+            }
+            // Re-canonicalize parents of the losing class.
+            let moved: Vec<usize> = std::mem::take(&mut self.uses[loser]);
+            for parent in moved {
+                if let Node::App(f, child_ids) = self.nodes[parent].clone() {
+                    let sig = self.signature(&f, &child_ids);
+                    if let Some(&existing) = self.sigs.get(&sig) {
+                        if self.uf.find(existing) != self.uf.find(parent) {
+                            queue.push((existing, parent));
+                        }
+                    } else {
+                        self.sigs.insert(sig, parent);
+                    }
+                }
+                self.uses[winner].push(parent);
+            }
+        }
+        self.check_diseqs();
+    }
+
+    fn check_diseqs(&mut self) {
+        if self.contradiction {
+            return;
+        }
+        let diseqs = self.diseqs.clone();
+        for (x, y) in diseqs {
+            if self.uf.find(x) == self.uf.find(y) {
+                self.contradiction = true;
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(name: &str, args: impl IntoIterator<Item = Term>) -> Term {
+        Term::app(Func::Uninterpreted(name.into()), args)
+    }
+
+    #[test]
+    fn congruence_propagates_through_applications() {
+        let cc = Congruence::new();
+        cc.assert_eq(&Term::var("a"), &Term::var("b"));
+        assert_eq!(
+            cc.decide(&f("g", [Term::var("a")]), &f("g", [Term::var("b")])),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn nested_congruence() {
+        let cc = Congruence::new();
+        cc.assert_eq(&Term::var("a"), &Term::var("b"));
+        let gga = f("g", [f("g", [Term::var("a")])]);
+        let ggb = f("g", [f("g", [Term::var("b")])]);
+        assert_eq!(cc.decide(&gga, &ggb), Some(true));
+    }
+
+    #[test]
+    fn transitivity() {
+        let cc = Congruence::new();
+        cc.assert_eq(&Term::var("a"), &Term::var("b"));
+        cc.assert_eq(&Term::var("b"), &Term::var("c"));
+        assert_eq!(cc.decide(&Term::var("a"), &Term::var("c")), Some(true));
+    }
+
+    #[test]
+    fn disequality_detects_contradiction() {
+        let cc = Congruence::new();
+        cc.assert_neq(&Term::var("a"), &Term::var("b"));
+        assert!(!cc.contradictory());
+        cc.assert_eq(&Term::var("a"), &Term::var("b"));
+        assert!(cc.contradictory());
+    }
+
+    #[test]
+    fn distinct_literals_clash() {
+        let cc = Congruence::new();
+        cc.assert_eq(&Term::var("a"), &Term::int(1));
+        cc.assert_eq(&Term::var("b"), &Term::int(2));
+        assert_eq!(cc.decide(&Term::var("a"), &Term::var("b")), Some(false));
+        cc.assert_eq(&Term::var("a"), &Term::var("b"));
+        assert!(cc.contradictory());
+    }
+
+    #[test]
+    fn congruence_induced_disequality_of_functions() {
+        // a ≠ b does NOT let us conclude g(a) ≠ g(b).
+        let cc = Congruence::new();
+        cc.assert_neq(&Term::var("a"), &Term::var("b"));
+        assert_eq!(
+            cc.decide(&f("g", [Term::var("a")]), &f("g", [Term::var("b")])),
+            None
+        );
+    }
+
+    #[test]
+    fn merge_discovered_by_later_equation() {
+        // Intern g(a), g(b) first, merge a=b afterwards: the use lists must
+        // propagate the congruence.
+        let cc = Congruence::new();
+        let (ga, gb) = (f("g", [Term::var("a")]), f("g", [Term::var("b")]));
+        assert_eq!(cc.decide(&ga, &gb), None);
+        cc.assert_eq(&Term::var("a"), &Term::var("b"));
+        assert_eq!(cc.decide(&ga, &gb), Some(true));
+    }
+
+    #[test]
+    fn literal_of_reports_class_literal() {
+        let cc = Congruence::new();
+        cc.assert_eq(&Term::var("x"), &Term::int(5));
+        assert_eq!(cc.literal_of(&Term::var("x")), Some(Value::Int(5)));
+        assert_eq!(cc.literal_of(&Term::var("y")), None);
+    }
+
+    #[test]
+    fn functions_of_disequal_literals() {
+        let cc = Congruence::new();
+        // g(1) and g(2) are unknown, but 1 ≠ 2 is decided.
+        assert_eq!(cc.decide(&Term::int(1), &Term::int(2)), Some(false));
+        assert_eq!(cc.decide(&f("g", [Term::int(1)]), &f("g", [Term::int(2)])), None);
+    }
+}

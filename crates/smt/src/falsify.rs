@@ -1,0 +1,254 @@
+//! Countermodel search by ground evaluation.
+//!
+//! When the symbolic layers cannot prove an entailment, the question remains
+//! whether it is *false*. This module hunts for counterexamples by
+//! evaluating the hypotheses and goal under concrete environments: first a
+//! bounded-exhaustive sweep over tiny values, then seeded random sampling.
+//! A returned environment is a *sound* refutation — the caller can replay it
+//! with [`Term::eval`].
+
+use std::collections::BTreeMap;
+
+use commcsl_pure::gen::{enumerate, GenConfig, ValueGen};
+use commcsl_pure::term::Env;
+use commcsl_pure::{Sort, Symbol, Term, Value};
+
+/// Configuration for countermodel search.
+#[derive(Debug, Clone)]
+pub struct FalsifyConfig {
+    /// RNG seed (search is deterministic per seed).
+    pub seed: u64,
+    /// Number of random environments to try after enumeration.
+    pub random_tries: usize,
+    /// Integer bound for the exhaustive sweep.
+    pub enum_int_bound: i64,
+    /// Container-length bound for the exhaustive sweep.
+    pub enum_max_len: usize,
+    /// Cap on the total number of enumerated environments.
+    pub enum_budget: usize,
+    /// Generator settings for the random phase.
+    pub gen: GenConfig,
+}
+
+impl Default for FalsifyConfig {
+    fn default() -> Self {
+        FalsifyConfig {
+            seed: 0xC0FFEE,
+            random_tries: 2000,
+            enum_int_bound: 1,
+            enum_max_len: 2,
+            enum_budget: 20_000,
+            gen: GenConfig::default(),
+        }
+    }
+}
+
+/// Searches for an environment under which all `hyps` evaluate to `true`
+/// and `goal` evaluates to `false`.
+///
+/// `sorts` must assign a sort to every free variable of the query.
+/// Environments under which any formula fails to evaluate (e.g. a partial
+/// operation) are skipped — evaluation errors are the validity checker's
+/// totality concern, not a countermodel.
+///
+/// # Example
+///
+/// ```
+/// use commcsl_pure::{Sort, Term};
+/// use commcsl_smt::falsify::{find_counterexample, FalsifyConfig};
+///
+/// // x ≤ x + 1 is valid: no counterexample.
+/// let goal = Term::le(Term::var("x"), Term::add(Term::var("x"), Term::int(1)));
+/// let sorts = [("x".into(), Sort::Int)].into_iter().collect();
+/// assert!(find_counterexample(&[], &goal, &sorts, &FalsifyConfig::default()).is_none());
+///
+/// // x ≤ 0 is not: a counterexample exists.
+/// let goal = Term::le(Term::var("x"), Term::int(0));
+/// assert!(find_counterexample(&[], &goal, &sorts, &FalsifyConfig::default()).is_some());
+/// ```
+pub fn find_counterexample(
+    hyps: &[Term],
+    goal: &Term,
+    sorts: &BTreeMap<Symbol, Sort>,
+    config: &FalsifyConfig,
+) -> Option<Env> {
+    let mut vars: Vec<Symbol> = goal.free_vars().into_iter().collect();
+    for h in hyps {
+        vars.extend(h.free_vars());
+    }
+    vars.sort();
+    vars.dedup();
+    for v in &vars {
+        assert!(
+            sorts.contains_key(v),
+            "falsify: no sort for free variable {v}"
+        );
+    }
+
+    // Phase 1: bounded-exhaustive.
+    let domains: Vec<Vec<Value>> = vars
+        .iter()
+        .map(|v| enumerate(&sorts[v.as_str()], config.enum_int_bound, config.enum_max_len))
+        .collect();
+    let total: usize = domains
+        .iter()
+        .map(Vec::len)
+        .try_fold(1usize, |acc, n| acc.checked_mul(n))
+        .unwrap_or(usize::MAX);
+    if total <= config.enum_budget {
+        let mut indices = vec![0usize; vars.len()];
+        loop {
+            let env: Env = vars
+                .iter()
+                .zip(&indices)
+                .map(|(v, &i)| (v.clone(), domains[vars.iter().position(|x| x == v).expect("var present")][i].clone()))
+                .collect();
+            if refutes(hyps, goal, &env) {
+                return Some(env);
+            }
+            // Odometer increment.
+            let mut pos = 0;
+            loop {
+                if pos == vars.len() {
+                    // Exhausted.
+                    break;
+                }
+                indices[pos] += 1;
+                if indices[pos] < domains[pos].len() {
+                    break;
+                }
+                indices[pos] = 0;
+                pos += 1;
+            }
+            if pos == vars.len() || vars.is_empty() {
+                break;
+            }
+        }
+    }
+
+    // Phase 2: random.
+    let mut gen = ValueGen::new(config.seed, config.gen.clone());
+    for _ in 0..config.random_tries {
+        let env: Env = vars
+            .iter()
+            .map(|v| (v.clone(), gen.value(&sorts[v.as_str()])))
+            .collect();
+        if refutes(hyps, goal, &env) {
+            return Some(env);
+        }
+    }
+    None
+}
+
+fn refutes(hyps: &[Term], goal: &Term, env: &Env) -> bool {
+    for h in hyps {
+        match h.eval(env) {
+            Ok(Value::Bool(true)) => {}
+            _ => return false,
+        }
+    }
+    matches!(goal.eval(env), Ok(Value::Bool(false)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commcsl_pure::Func;
+
+    fn sorts(pairs: &[(&str, Sort)]) -> BTreeMap<Symbol, Sort> {
+        pairs
+            .iter()
+            .map(|(n, s)| (Symbol::new(n), s.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn finds_arithmetic_counterexample() {
+        // hypothesis x ≥ 0; goal x ≤ 5 — refuted by x = 6 (random phase).
+        let hyp = Term::le(Term::int(0), Term::var("x"));
+        let goal = Term::le(Term::var("x"), Term::int(5));
+        let cx = find_counterexample(
+            &[hyp.clone()],
+            &goal,
+            &sorts(&[("x", Sort::Int)]),
+            &FalsifyConfig::default(),
+        )
+        .expect("counterexample exists");
+        assert_eq!(hyp.eval(&cx).unwrap(), Value::Bool(true));
+        assert_eq!(goal.eval(&cx).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn respects_hypotheses() {
+        // With hypothesis x = 0 the goal x ≤ 5 has no counterexample.
+        let hyp = Term::eq(Term::var("x"), Term::int(0));
+        let goal = Term::le(Term::var("x"), Term::int(5));
+        assert!(find_counterexample(
+            &[hyp],
+            &goal,
+            &sorts(&[("x", Sort::Int)]),
+            &FalsifyConfig::default(),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn finds_structural_counterexample() {
+        // put-put on the same key with different values differs: the
+        // enumeration phase must find tiny witnesses.
+        let put = |m: Term, k: &str, v: &str| {
+            Term::app(Func::MapPut, [m, Term::var(k), Term::var(v)])
+        };
+        let lhs = put(put(Term::var("m"), "k1", "v1"), "k2", "v2");
+        let rhs = put(put(Term::var("m"), "k2", "v2"), "k1", "v1");
+        let goal = Term::eq(lhs, rhs);
+        let cx = find_counterexample(
+            &[],
+            &goal,
+            &sorts(&[
+                ("m", Sort::map(Sort::Int, Sort::Int)),
+                ("k1", Sort::Int),
+                ("k2", Sort::Int),
+                ("v1", Sort::Int),
+                ("v2", Sort::Int),
+            ]),
+            &FalsifyConfig::default(),
+        )
+        .expect("maps with clashing keys differ");
+        assert_eq!(goal.eval(&cx).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn valid_structural_equality_survives() {
+        // dom(put(m,k,v)) = add(dom(m), k) is valid — no counterexample.
+        let lhs = Term::app(
+            Func::MapDom,
+            [Term::app(
+                Func::MapPut,
+                [Term::var("m"), Term::var("k"), Term::var("v")],
+            )],
+        );
+        let rhs = Term::app(
+            Func::SetAdd,
+            [Term::app(Func::MapDom, [Term::var("m")]), Term::var("k")],
+        );
+        assert!(find_counterexample(
+            &[],
+            &Term::eq(lhs, rhs),
+            &sorts(&[
+                ("m", Sort::map(Sort::Int, Sort::Int)),
+                ("k", Sort::Int),
+                ("v", Sort::Int),
+            ]),
+            &FalsifyConfig::default(),
+        )
+        .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no sort for free variable")]
+    fn missing_sort_panics() {
+        let goal = Term::eq(Term::var("zz"), Term::int(0));
+        let _ = find_counterexample(&[], &goal, &BTreeMap::new(), &FalsifyConfig::default());
+    }
+}

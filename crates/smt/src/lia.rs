@@ -1,0 +1,256 @@
+//! Linear integer arithmetic refutation.
+//!
+//! A small Fourier–Motzkin engine over constraints of the shape
+//! `Σ cᵢ·atomᵢ + k ≤ 0`, where atoms are congruence-class ids of non-linear
+//! integer terms. Elimination is exact over the rationals; an integer
+//! tightening step (dividing by the coefficient gcd and rounding the
+//! constant up) catches common integral infeasibilities. The engine only
+//! ever *refutes* — a "feasible" answer means "no contradiction found", not
+//! a model.
+
+use std::collections::BTreeMap;
+
+/// A linear constraint `Σ coeffs[x]·x + constant ≤ 0` over integer atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinConstraint {
+    /// Coefficients per atom id (no zero entries).
+    pub coeffs: BTreeMap<usize, i128>,
+    /// The constant offset.
+    pub constant: i128,
+}
+
+impl LinConstraint {
+    /// Creates a constraint, dropping zero coefficients.
+    pub fn new(coeffs: impl IntoIterator<Item = (usize, i128)>, constant: i128) -> Self {
+        let mut map = BTreeMap::new();
+        for (atom, c) in coeffs {
+            if c != 0 {
+                *map.entry(atom).or_insert(0) += c;
+            }
+        }
+        map.retain(|_, c| *c != 0);
+        LinConstraint {
+            coeffs: map,
+            constant,
+        }
+    }
+
+    /// A constraint with no atoms; infeasible iff `constant > 0`.
+    pub fn trivial(constant: i128) -> Self {
+        LinConstraint {
+            coeffs: BTreeMap::new(),
+            constant,
+        }
+    }
+
+    /// Returns `true` when the constraint is unsatisfiable on its own.
+    pub fn is_contradiction(&self) -> bool {
+        self.coeffs.is_empty() && self.constant > 0
+    }
+
+    /// Integer tightening: divide by the gcd of the coefficients and round
+    /// the constant up (sound for integer-valued atoms).
+    fn tighten(mut self) -> Self {
+        let g = self
+            .coeffs
+            .values()
+            .fold(0i128, |acc, &c| gcd(acc, c.unsigned_abs() as i128));
+        if g > 1 {
+            for c in self.coeffs.values_mut() {
+                *c /= g;
+            }
+            self.constant = div_ceil(self.constant, g);
+        }
+        self
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    if b == 0 {
+        a.abs()
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn div_ceil(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    if a >= 0 {
+        (a + b - 1) / b
+    } else {
+        a / b
+    }
+}
+
+/// Budget limits for elimination (guards against the quadratic blowup of
+/// Fourier–Motzkin).
+#[derive(Debug, Clone)]
+pub struct LiaConfig {
+    /// Maximum number of constraints kept at any point.
+    pub max_constraints: usize,
+}
+
+impl Default for LiaConfig {
+    fn default() -> Self {
+        LiaConfig {
+            max_constraints: 2048,
+        }
+    }
+}
+
+/// Decides whether the conjunction of `constraints` is infeasible over the
+/// integers.
+///
+/// Returns `true` only when a genuine contradiction is derived; `false`
+/// means "not refuted" (which includes "budget exceeded").
+///
+/// # Example
+///
+/// ```
+/// use commcsl_smt::lia::{infeasible, LiaConfig, LinConstraint};
+///
+/// // x ≤ 0 ∧ -x + 1 ≤ 0 (i.e. x ≥ 1): contradictory.
+/// let cs = vec![
+///     LinConstraint::new([(0, 1)], 0),
+///     LinConstraint::new([(0, -1)], 1),
+/// ];
+/// assert!(infeasible(&cs, &LiaConfig::default()));
+/// ```
+pub fn infeasible(constraints: &[LinConstraint], config: &LiaConfig) -> bool {
+    let mut cs: Vec<LinConstraint> = constraints
+        .iter()
+        .cloned()
+        .map(LinConstraint::tighten)
+        .collect();
+    if cs.iter().any(LinConstraint::is_contradiction) {
+        return true;
+    }
+    // Collect atoms in a deterministic order; eliminate one at a time.
+    let mut atoms: Vec<usize> = cs
+        .iter()
+        .flat_map(|c| c.coeffs.keys().copied())
+        .collect();
+    atoms.sort_unstable();
+    atoms.dedup();
+
+    for atom in atoms {
+        let (mut uppers, mut lowers, mut rest) = (Vec::new(), Vec::new(), Vec::new());
+        for c in cs {
+            match c.coeffs.get(&atom) {
+                Some(&k) if k > 0 => uppers.push(c),
+                Some(&k) if k < 0 => lowers.push(c),
+                _ => rest.push(c),
+            }
+        }
+        if uppers.len() * lowers.len() + rest.len() > config.max_constraints {
+            // Budget exceeded: give up on this atom (sound: we only refute).
+            cs = rest;
+            cs.extend(uppers);
+            cs.extend(lowers);
+            // Remove the atom's constraints entirely — we can no longer use
+            // them, but keeping them would block other eliminations.
+            cs.retain(|c| !c.coeffs.contains_key(&atom));
+            continue;
+        }
+        for u in &uppers {
+            for l in &lowers {
+                let cu = *u.coeffs.get(&atom).expect("upper");
+                let cl = -*l.coeffs.get(&atom).expect("lower");
+                debug_assert!(cu > 0 && cl > 0);
+                // cl·u + cu·l eliminates the atom.
+                let mut coeffs: BTreeMap<usize, i128> = BTreeMap::new();
+                for (&a, &c) in &u.coeffs {
+                    *coeffs.entry(a).or_insert(0) += cl.saturating_mul(c);
+                }
+                for (&a, &c) in &l.coeffs {
+                    *coeffs.entry(a).or_insert(0) += cu.saturating_mul(c);
+                }
+                coeffs.retain(|_, c| *c != 0);
+                let constant = cl
+                    .saturating_mul(u.constant)
+                    .saturating_add(cu.saturating_mul(l.constant));
+                let combined = LinConstraint { coeffs, constant }.tighten();
+                if combined.is_contradiction() {
+                    return true;
+                }
+                rest.push(combined);
+            }
+        }
+        cs = rest;
+    }
+    cs.iter().any(LinConstraint::is_contradiction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(coeffs: &[(usize, i128)], k: i128) -> LinConstraint {
+        LinConstraint::new(coeffs.iter().copied(), k)
+    }
+
+    #[test]
+    fn empty_is_feasible() {
+        assert!(!infeasible(&[], &LiaConfig::default()));
+    }
+
+    #[test]
+    fn direct_contradiction() {
+        assert!(infeasible(&[le(&[], 1)], &LiaConfig::default()));
+        assert!(!infeasible(&[le(&[], 0)], &LiaConfig::default()));
+    }
+
+    #[test]
+    fn bounds_clash() {
+        // x ≤ 3 ∧ x ≥ 5
+        let cs = vec![le(&[(0, 1)], -3), le(&[(0, -1)], 5)];
+        assert!(infeasible(&cs, &LiaConfig::default()));
+        // x ≤ 5 ∧ x ≥ 3 is fine.
+        let cs = vec![le(&[(0, 1)], -5), le(&[(0, -1)], 3)];
+        assert!(!infeasible(&cs, &LiaConfig::default()));
+    }
+
+    #[test]
+    fn chained_elimination() {
+        // x ≤ y ∧ y ≤ z ∧ z ≤ x - 1
+        let cs = vec![
+            le(&[(0, 1), (1, -1)], 0),
+            le(&[(1, 1), (2, -1)], 0),
+            le(&[(2, 1), (0, -1)], 1),
+        ];
+        assert!(infeasible(&cs, &LiaConfig::default()));
+    }
+
+    #[test]
+    fn integer_tightening_catches_parity_gap() {
+        // 2x ≤ 1 ∧ 2x ≥ 1 has the rational solution x = ½ but no integer
+        // one. With tightening: 2x - 1 ≤ 0 → x ≤ 0; -2x + 1 ≤ 0 → x ≥ 1.
+        let cs = vec![le(&[(0, 2)], -1), le(&[(0, -2)], 1)];
+        assert!(infeasible(&cs, &LiaConfig::default()));
+    }
+
+    #[test]
+    fn equalities_as_two_inequalities() {
+        // x + y = 2 ∧ x - y = 1 ∧ x ≤ 0: rationally x = 1.5 — already
+        // infeasible with x ≤ 0; check the refutation goes through.
+        let cs = vec![
+            le(&[(0, 1), (1, 1)], -2),
+            le(&[(0, -1), (1, -1)], 2),
+            le(&[(0, 1), (1, -1)], -1),
+            le(&[(0, -1), (1, 1)], 1),
+            le(&[(0, 1)], 0),
+        ];
+        assert!(infeasible(&cs, &LiaConfig::default()));
+    }
+
+    #[test]
+    fn feasible_system_is_not_refuted() {
+        // x ≥ 0 ∧ y ≥ 0 ∧ x + y ≤ 10
+        let cs = vec![
+            le(&[(0, -1)], 0),
+            le(&[(1, -1)], 0),
+            le(&[(0, 1), (1, 1)], -10),
+        ];
+        assert!(!infeasible(&cs, &LiaConfig::default()));
+    }
+}

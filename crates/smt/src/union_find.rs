@@ -1,0 +1,79 @@
+//! Union-find with path compression and union by rank.
+
+/// A classic disjoint-set forest over `usize` ids.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Adds a fresh singleton element and returns its id.
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.rank.push(0);
+        id
+    }
+
+    /// Number of elements.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Finds the representative of `x` (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the classes of `a` and `b`; returns the surviving root, or
+    /// `None` when they were already merged.
+    pub fn union(&mut self, a: usize, b: usize) -> Option<usize> {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return None;
+        }
+        let (winner, loser) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[loser] = winner;
+        if self.rank[winner] == self.rank[loser] {
+            self.rank[winner] += 1;
+        }
+        Some(winner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_find() {
+        let mut uf = UnionFind::default();
+        let a = uf.push();
+        let b = uf.push();
+        let c = uf.push();
+        assert_ne!(uf.find(a), uf.find(b));
+        uf.union(a, b);
+        assert_eq!(uf.find(a), uf.find(b));
+        assert_ne!(uf.find(a), uf.find(c));
+        assert!(uf.union(a, b).is_none());
+        uf.union(b, c);
+        assert_eq!(uf.find(a), uf.find(c));
+        assert_eq!(uf.len(), 3);
+    }
+}

@@ -1,0 +1,128 @@
+//! Verification reports.
+
+use std::fmt;
+
+use commcsl_logic::validity::ValidityConfig;
+use commcsl_smt::falsify::FalsifyConfig;
+use commcsl_smt::SolverConfig;
+
+/// Configuration for the verifier.
+#[derive(Debug, Clone, Default)]
+pub struct VerifierConfig {
+    /// Solver budgets for program obligations.
+    pub solver: SolverConfig,
+    /// Budgets for specification validity checking at `share`.
+    pub validity: ValidityConfig,
+    /// Countermodel search budgets for failed obligations.
+    pub falsify: FalsifyConfig,
+}
+
+/// The status of one proof obligation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObligationStatus {
+    /// Proved by the solver.
+    Proved,
+    /// Could not be proved (with an explanation; a countermodel when one
+    /// was found).
+    Failed(String),
+}
+
+/// One discharged (or failed) obligation.
+#[derive(Debug, Clone)]
+pub struct ObligationResult {
+    /// A human-readable description (e.g. `"pre of Put at worker 1"`).
+    pub description: String,
+    /// The outcome.
+    pub status: ObligationStatus,
+}
+
+/// The result of verifying one annotated program.
+#[derive(Debug, Clone)]
+pub struct VerifierReport {
+    /// Program name.
+    pub program: String,
+    /// Every obligation, in order of generation.
+    pub obligations: Vec<ObligationResult>,
+    /// Structural errors (guard misuse, malformed program) that prevent
+    /// verification regardless of the solver.
+    pub errors: Vec<String>,
+}
+
+impl VerifierReport {
+    /// `true` when the program verified: no structural errors and every
+    /// obligation proved.
+    pub fn verified(&self) -> bool {
+        self.errors.is_empty()
+            && self
+                .obligations
+                .iter()
+                .all(|o| o.status == ObligationStatus::Proved)
+    }
+
+    /// The failed obligations.
+    pub fn failures(&self) -> impl Iterator<Item = &ObligationResult> {
+        self.obligations
+            .iter()
+            .filter(|o| o.status != ObligationStatus::Proved)
+    }
+
+    /// Number of obligations discharged.
+    pub fn proved_count(&self) -> usize {
+        self.obligations
+            .iter()
+            .filter(|o| o.status == ObligationStatus::Proved)
+            .count()
+    }
+}
+
+impl fmt::Display for VerifierReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{}] {}: {}/{} obligations proved",
+            if self.verified() { "OK" } else { "FAIL" },
+            self.program,
+            self.proved_count(),
+            self.obligations.len()
+        )?;
+        for e in &self.errors {
+            writeln!(f, "  error: {e}")?;
+        }
+        for o in self.failures() {
+            if let ObligationStatus::Failed(why) = &o.status {
+                writeln!(f, "  failed: {} — {}", o.description, why)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verified_requires_all_proved_and_no_errors() {
+        let mut r = VerifierReport {
+            program: "p".into(),
+            obligations: vec![ObligationResult {
+                description: "d".into(),
+                status: ObligationStatus::Proved,
+            }],
+            errors: vec![],
+        };
+        assert!(r.verified());
+        r.errors.push("structural".into());
+        assert!(!r.verified());
+        r.errors.clear();
+        r.obligations.push(ObligationResult {
+            description: "bad".into(),
+            status: ObligationStatus::Failed("nope".into()),
+        });
+        assert!(!r.verified());
+        assert_eq!(r.failures().count(), 1);
+        let shown = r.to_string();
+        assert!(shown.contains("FAIL"));
+        assert!(shown.contains("bad"));
+    }
+}

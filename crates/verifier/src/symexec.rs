@@ -1,0 +1,996 @@
+//! Relational symbolic execution (the product construction).
+//!
+//! The verifier maintains, for every program variable, a pair of symbolic
+//! terms — its value in execution 1 and in execution 2 — together with a
+//! set of relational hypotheses (`facts`). `Low(e)` obligations become
+//! solver queries `facts ⊨ e⟨1⟩ = e⟨2⟩`. Control flow is handled as in
+//! modular product programs: effect-free conditionals are merged with
+//! `ite` per execution (so *high branching is allowed*, Sec. 3.6), while
+//! effectful conditionals and loops must have provably low conditions and
+//! execute in lockstep, which is also what justifies the PRE bijection for
+//! the actions performed inside (iteration `i` of execution 1 is matched
+//! with iteration `i` of execution 2 — the paper's Fig. 5 loop invariant).
+
+use std::collections::BTreeMap;
+
+use commcsl_logic::spec::ActionKind;
+use commcsl_logic::validity::check_validity;
+use commcsl_pure::{Symbol, Term};
+use commcsl_smt::{Solver, Verdict};
+
+use crate::program::{AnnotatedProgram, VStmt};
+use crate::report::{ObligationResult, ObligationStatus, VerifierConfig, VerifierReport};
+
+/// Verifies an annotated program; see the crate docs for the obligations
+/// generated.
+pub fn verify(program: &AnnotatedProgram, config: &VerifierConfig) -> VerifierReport {
+    let mut exec = Exec::new(program, config);
+    exec.run_body(&program.body);
+    exec.finish()
+}
+
+/// A recorded batch of action applications on a shared resource.
+#[derive(Debug, Clone)]
+struct Batch {
+    action: Symbol,
+    /// `true` when the batch was performed in lockstep (low control flow):
+    /// the PRE bijection is the iteration correspondence and the per-side
+    /// counts are equal by construction.
+    lockstep: bool,
+    /// Per-side repetition count (product of the enclosing multipliers).
+    count: (Term, Term),
+}
+
+#[derive(Debug, Clone)]
+enum ResState {
+    Idle,
+    Shared {
+        ledger: Vec<Batch>,
+        /// Unique action name → worker that owns it.
+        owners: BTreeMap<Symbol, Option<usize>>,
+        /// Consume-bindings: (bound per-side vars, per-side index terms).
+        /// At `unshare` these become facts `bound = index(snd(final), i)`.
+        reads: Vec<((Term, Term), (Term, Term))>,
+    },
+    Consumed,
+}
+
+struct Exec<'a> {
+    program: &'a AnnotatedProgram,
+    config: &'a VerifierConfig,
+    solver: Solver,
+    facts: Vec<Term>,
+    store: BTreeMap<Symbol, (Term, Term)>,
+    resources: Vec<ResState>,
+    fresh: usize,
+    /// Per-side multipliers from enclosing low conditionals and loops.
+    multipliers: Vec<(Term, Term)>,
+    current_worker: Option<usize>,
+    obligations: Vec<ObligationResult>,
+    errors: Vec<String>,
+    /// Retroactive obligations (description, goal), discharged at the end
+    /// of the program with the final fact set.
+    deferred: Vec<(String, Term)>,
+}
+
+impl<'a> Exec<'a> {
+    fn new(program: &'a AnnotatedProgram, config: &'a VerifierConfig) -> Self {
+        Exec {
+            program,
+            config,
+            solver: Solver::with_config(config.solver.clone()),
+            facts: Vec::new(),
+            store: BTreeMap::new(),
+            resources: vec![ResState::Idle; program.resources.len()],
+            fresh: 0,
+            multipliers: Vec::new(),
+            current_worker: None,
+            obligations: Vec::new(),
+            errors: Vec::new(),
+            deferred: Vec::new(),
+        }
+    }
+
+    fn finish(mut self) -> VerifierReport {
+        // Retroactive obligations: proved against the final fact set, which
+        // includes everything learned from later unshares.
+        let deferred = std::mem::take(&mut self.deferred);
+        for (description, goal) in deferred {
+            self.prove(description, goal);
+        }
+        for (i, r) in self.resources.iter().enumerate() {
+            if matches!(r, ResState::Shared { .. }) {
+                self.errors
+                    .push(format!("resource {i} is still shared at program end"));
+            }
+        }
+        VerifierReport {
+            program: self.program.name.clone(),
+            obligations: self.obligations,
+            errors: self.errors,
+        }
+    }
+
+    // ------------------------------------------------------------- helpers
+
+    fn fresh_low(&mut self, hint: &str) -> (Term, Term) {
+        self.fresh += 1;
+        let v = Term::var(format!("ν{}_{hint}", self.fresh));
+        (v.clone(), v)
+    }
+
+    fn fresh_high(&mut self, hint: &str) -> (Term, Term) {
+        self.fresh += 1;
+        (
+            Term::var(format!("ν{}_{hint}@1", self.fresh)),
+            Term::var(format!("ν{}_{hint}@2", self.fresh)),
+        )
+    }
+
+    /// Evaluates a program expression to its per-side symbolic terms.
+    fn eval(&mut self, e: &Term) -> (Term, Term) {
+        let mut bind1 = BTreeMap::new();
+        let mut bind2 = BTreeMap::new();
+        for x in e.free_vars() {
+            match self.store.get(&x) {
+                Some((t1, t2)) => {
+                    bind1.insert(x.clone(), t1.clone());
+                    bind2.insert(x.clone(), t2.clone());
+                }
+                None => {
+                    self.errors
+                        .push(format!("use of unbound program variable `{x}`"));
+                    let (t1, t2) = self.fresh_high(x.as_str());
+                    bind1.insert(x.clone(), t1);
+                    bind2.insert(x.clone(), t2);
+                }
+            }
+        }
+        (e.subst(&bind1), e.subst(&bind2))
+    }
+
+    fn prove(&mut self, description: impl Into<String>, goal: Term) {
+        let status = match self.solver.check_valid(&self.facts, &goal) {
+            Verdict::Proved => ObligationStatus::Proved,
+            _ => ObligationStatus::Failed(format!("not provable: {goal:?}")),
+        };
+        self.obligations.push(ObligationResult {
+            description: description.into(),
+            status,
+        });
+    }
+
+    fn prove_low(&mut self, description: impl Into<String>, e: &Term) {
+        let (e1, e2) = self.eval(e);
+        self.prove(description, Term::eq(e1, e2));
+    }
+
+    /// The per-side repetition count of an action performed at the current
+    /// control point (product of enclosing multipliers).
+    fn current_count(&self, extra: Option<&(Term, Term)>) -> (Term, Term) {
+        let mut c1 = Term::int(1);
+        let mut c2 = Term::int(1);
+        for (m1, m2) in self.multipliers.iter().chain(extra) {
+            c1 = Term::mul(c1, m1.clone());
+            c2 = Term::mul(c2, m2.clone());
+        }
+        (c1, c2)
+    }
+
+    // ---------------------------------------------------------- statements
+
+    fn run_body(&mut self, body: &[VStmt]) {
+        for stmt in body {
+            self.run_stmt(stmt);
+        }
+    }
+
+    fn run_stmt(&mut self, stmt: &VStmt) {
+        match stmt {
+            VStmt::Input { var, sort, low } => {
+                let pair = if *low {
+                    self.fresh_low(var.as_str())
+                } else {
+                    self.fresh_high(var.as_str())
+                };
+                let _ = sort;
+                self.store.insert(var.clone(), pair);
+            }
+            VStmt::Assign(x, e) => {
+                let pair = self.eval(e);
+                self.store.insert(x.clone(), pair);
+            }
+            VStmt::AssertLow(e) => self.prove_low(format!("assert Low({e:?})"), e),
+            VStmt::Output(e) => self.prove_low(format!("output requires Low({e:?})"), e),
+            VStmt::If {
+                cond,
+                then_b,
+                else_b,
+            } => self.run_if(cond, then_b, else_b),
+            VStmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => self.run_for(var, from, to, body),
+            VStmt::Share { resource, init } => self.run_share(*resource, init),
+            VStmt::Par { workers } => self.run_par(workers),
+            VStmt::Atomic {
+                resource,
+                action,
+                arg,
+            } => self.run_atomic(*resource, action, arg, None),
+            VStmt::AtomicBatch {
+                resource,
+                action,
+                arg,
+                count,
+            } => {
+                let count_pair = self.eval(count);
+                self.run_atomic(*resource, action, arg, Some(count_pair));
+            }
+            VStmt::AtomicDeferred {
+                resource,
+                action,
+                arg,
+            } => self.run_atomic_deferred(*resource, action, arg),
+            VStmt::ConsumeBind {
+                resource,
+                action,
+                var,
+                index,
+            } => self.run_consume_bind(*resource, action, var, index),
+            VStmt::Unshare { resource, into } => self.run_unshare(*resource, into),
+        }
+    }
+
+    /// Like [`Exec::run_atomic`], but queues the precondition for the end
+    /// of the program (the paper's retroactive check for the pipeline).
+    fn run_atomic_deferred(&mut self, resource: usize, action: &Symbol, arg: &Term) {
+        // Structural bookkeeping identical to a normal atomic...
+        self.run_atomic_inner(resource, action, arg, None, true);
+    }
+
+    fn run_consume_bind(
+        &mut self,
+        resource: usize,
+        action: &Symbol,
+        var: &Symbol,
+        index: &Term,
+    ) {
+        // Structurally a normal atomic with a unit argument.
+        self.run_atomic_inner(
+            resource,
+            action,
+            &Term::Lit(commcsl_pure::Value::Unit),
+            None,
+            false,
+        );
+        let bound = self.fresh_high(var.as_str());
+        let idx = self.eval(index);
+        if let ResState::Shared { reads, .. } = &mut self.resources[resource] {
+            reads.push((bound.clone(), idx));
+        }
+        self.store.insert(var.clone(), bound);
+    }
+
+    fn run_if(&mut self, cond: &Term, then_b: &[VStmt], else_b: &[VStmt]) {
+        let (c1, c2) = self.eval(cond);
+        let effectful = then_b.iter().chain(else_b).any(VStmt::has_effects);
+        if effectful {
+            // Lockstep conditional: the condition must be low.
+            self.prove(
+                format!("effectful branch condition Low({cond:?})"),
+                Term::eq(c1.clone(), c2.clone()),
+            );
+            // Both branches run with the appropriate multiplier; variables
+            // they assign are merged by ite.
+            let saved_store = self.store.clone();
+            let saved_facts = self.facts.len();
+
+            self.multipliers.push((
+                Term::ite(c1.clone(), Term::int(1), Term::int(0)),
+                Term::ite(c2.clone(), Term::int(1), Term::int(0)),
+            ));
+            self.facts.push(c1.clone());
+            self.facts.push(c2.clone());
+            self.run_body(then_b);
+            let then_store = std::mem::replace(&mut self.store, saved_store.clone());
+            self.facts.truncate(saved_facts);
+            self.multipliers.pop();
+
+            self.multipliers.push((
+                Term::ite(c1.clone(), Term::int(0), Term::int(1)),
+                Term::ite(c2.clone(), Term::int(0), Term::int(1)),
+            ));
+            self.facts.push(Term::not(c1.clone()));
+            self.facts.push(Term::not(c2.clone()));
+            self.run_body(else_b);
+            let else_store = std::mem::replace(&mut self.store, saved_store);
+            self.facts.truncate(saved_facts);
+            self.multipliers.pop();
+
+            self.merge_stores(&c1, &c2, then_store, else_store);
+        } else {
+            // Pure branches: evaluate both and merge per side — the
+            // executions may take different branches (high branching).
+            let saved_store = self.store.clone();
+            self.run_body(then_b);
+            let then_store = std::mem::replace(&mut self.store, saved_store.clone());
+            self.run_body(else_b);
+            let else_store = std::mem::replace(&mut self.store, saved_store);
+            self.merge_stores(&c1, &c2, then_store, else_store);
+        }
+    }
+
+    fn merge_stores(
+        &mut self,
+        c1: &Term,
+        c2: &Term,
+        then_store: BTreeMap<Symbol, (Term, Term)>,
+        else_store: BTreeMap<Symbol, (Term, Term)>,
+    ) {
+        let mut vars: Vec<Symbol> = then_store.keys().cloned().collect();
+        vars.extend(else_store.keys().cloned());
+        vars.sort();
+        vars.dedup();
+        for x in vars {
+            let base = self.store.get(&x).cloned();
+            let t = then_store.get(&x).cloned().or_else(|| base.clone());
+            let e = else_store.get(&x).cloned().or_else(|| base.clone());
+            match (t, e) {
+                (Some((t1, t2)), Some((e1, e2))) => {
+                    let v1 = if t1 == e1 {
+                        t1
+                    } else {
+                        Term::ite(c1.clone(), t1, e1)
+                    };
+                    let v2 = if t2 == e2 {
+                        t2
+                    } else {
+                        Term::ite(c2.clone(), t2, e2)
+                    };
+                    self.store.insert(x, (v1, v2));
+                }
+                (Some(only), None) | (None, Some(only)) => {
+                    // Assigned in one branch with no prior value: the
+                    // merged value is branch-dependent and unconstrained
+                    // otherwise; model with a fresh high pair refined by an
+                    // ite where possible. Conservative: fresh high.
+                    let _ = only;
+                    let fresh = self.fresh_high(x.as_str());
+                    self.store.insert(x, fresh);
+                }
+                (None, None) => {}
+            }
+        }
+    }
+
+    fn run_for(&mut self, var: &Symbol, from: &Term, to: &Term, body: &[VStmt]) {
+        let (f1, f2) = self.eval(from);
+        let (t1, t2) = self.eval(to);
+        self.prove(
+            format!("loop bounds Low({from:?}) and Low({to:?})"),
+            Term::and([
+                Term::eq(f1.clone(), f2.clone()),
+                Term::eq(t1.clone(), t2.clone()),
+            ]),
+        );
+        // One symbolic iteration at a fresh low index ι with f ≤ ι < t.
+        let saved_store = self.store.clone();
+        let saved_facts = self.facts.len();
+        let (i1, i2) = self.fresh_low("iter");
+        self.store.insert(var.clone(), (i1.clone(), i2.clone()));
+        self.facts.push(Term::le(f1.clone(), i1.clone()));
+        self.facts.push(Term::lt(i1, t1.clone()));
+        self.facts.push(Term::le(f2, i2.clone()));
+        self.facts.push(Term::lt(i2, t2));
+
+        let iterations = (
+            Term::sub(t1.clone(), f1.clone()),
+            Term::sub(t1, f1), // bounds proved low: same term is sound
+        );
+        self.multipliers.push(iterations);
+        self.run_body(body);
+        self.multipliers.pop();
+        self.facts.truncate(saved_facts);
+
+        // Restore the pre-loop store; variables the body assigned (and the
+        // loop variable) are havoced — their final value depends on the
+        // last iteration, which the single-iteration summary does not
+        // track.
+        let body_store = std::mem::replace(&mut self.store, saved_store);
+        let mut touched: Vec<Symbol> = body_store
+            .keys()
+            .filter(|x| body_store.get(*x) != self.store.get(*x))
+            .cloned()
+            .collect();
+        touched.push(var.clone());
+        touched.sort();
+        touched.dedup();
+        for x in touched {
+            let fresh = self.fresh_high(x.as_str());
+            self.store.insert(x, fresh);
+        }
+    }
+
+    fn run_share(&mut self, resource: usize, init: &Term) {
+        let Some(spec) = self.program.resources.get(resource) else {
+            self.errors.push(format!("share of unknown resource {resource}"));
+            return;
+        };
+        if !matches!(self.resources[resource], ResState::Idle) {
+            self.errors
+                .push(format!("resource {resource} shared twice"));
+            return;
+        }
+        // Specification validity (Def. 3.1) — checked once per share.
+        let report = check_validity(spec, &self.config.validity);
+        let status = if report.is_valid() {
+            ObligationStatus::Proved
+        } else {
+            let undecided: Vec<_> = report
+                .obligations
+                .iter()
+                .filter(|o| {
+                    !matches!(
+                        o.outcome,
+                        commcsl_logic::validity::ObligationOutcome::Proved
+                    )
+                })
+                .map(|o| o.obligation.clone())
+                .collect();
+            ObligationStatus::Failed(format!("invalid or undecided obligations: {undecided:?}"))
+        };
+        self.obligations.push(ObligationResult {
+            description: format!("resource spec `{}` is valid", spec.name),
+            status,
+        });
+        // Property (1): Low(α(init)).
+        let (v1, v2) = self.eval(init);
+        self.prove(
+            format!("initial abstraction low: Low(α({init:?}))"),
+            Term::eq(spec.alpha_term(&v1), spec.alpha_term(&v2)),
+        );
+        self.resources[resource] = ResState::Shared {
+            ledger: Vec::new(),
+            owners: BTreeMap::new(),
+            reads: Vec::new(),
+        };
+    }
+
+    fn run_par(&mut self, workers: &[Vec<VStmt>]) {
+        if self.current_worker.is_some() {
+            self.errors
+                .push("nested Par inside a worker is not supported".into());
+            return;
+        }
+        let saved_store = self.store.clone();
+        let mut all_assigned: Vec<Symbol> = Vec::new();
+        for (w, body) in workers.iter().enumerate() {
+            self.current_worker = Some(w);
+            self.store = saved_store.clone();
+            self.run_body(body);
+            let worker_store = std::mem::replace(&mut self.store, saved_store.clone());
+            all_assigned.extend(
+                worker_store
+                    .into_iter()
+                    .filter(|(x, v)| saved_store.get(x) != Some(v))
+                    .map(|(x, _)| x),
+            );
+        }
+        self.current_worker = None;
+        self.store = saved_store;
+        // Worker-local variables are havoced at the join (their final
+        // values are worker-private; cross-thread reads are data races the
+        // language forbids anyway).
+        all_assigned.sort();
+        all_assigned.dedup();
+        for x in all_assigned {
+            let fresh = self.fresh_high(x.as_str());
+            self.store.insert(x, fresh);
+        }
+    }
+
+    fn run_atomic(
+        &mut self,
+        resource: usize,
+        action: &Symbol,
+        arg: &Term,
+        batch_count: Option<(Term, Term)>,
+    ) {
+        self.run_atomic_inner(resource, action, arg, batch_count, false);
+    }
+
+    fn run_atomic_inner(
+        &mut self,
+        resource: usize,
+        action: &Symbol,
+        arg: &Term,
+        batch_count: Option<(Term, Term)>,
+        defer_pre: bool,
+    ) {
+        let Some(spec) = self.program.resources.get(resource) else {
+            self.errors
+                .push(format!("atomic on unknown resource {resource}"));
+            return;
+        };
+        let Some(act) = spec.action(action.as_str()).cloned() else {
+            self.errors.push(format!(
+                "action `{action}` is not declared by resource `{}`",
+                spec.name
+            ));
+            return;
+        };
+        let worker = self.current_worker;
+        if !matches!(self.resources[resource], ResState::Shared { .. }) {
+            self.errors.push(format!(
+                "atomic `{action}` while resource {resource} is not shared"
+            ));
+            return;
+        }
+        let lockstep = batch_count.is_none();
+        let count = self.current_count(batch_count.as_ref());
+        // Guard discipline and ledger recording (scoped mutable borrow).
+        {
+            let ResState::Shared { ledger, owners, .. } = &mut self.resources[resource] else {
+                unreachable!("checked above");
+            };
+            // A unique action's guard is unsplittable: one owner only.
+            if act.kind == ActionKind::Unique {
+                match owners.get(action) {
+                    None => {
+                        owners.insert(action.clone(), worker);
+                    }
+                    Some(owner) if *owner == worker => {}
+                    Some(owner) => {
+                        self.errors.push(format!(
+                            "unique action `{action}` used by worker {worker:?} but owned by {owner:?}"
+                        ));
+                        return;
+                    }
+                }
+            }
+            ledger.push(Batch {
+                action: action.clone(),
+                lockstep,
+                count,
+            });
+        }
+        // Property (3a): the relational precondition of the action, proved
+        // at the perform site (the lockstep bijection partner is the same
+        // syntactic occurrence in the other execution) — or queued for the
+        // end of the program when deferred.
+        let (a1, a2) = self.eval(arg);
+        let description = format!("pre of `{action}`({arg:?})");
+        let goal = act.pre_term(&a1, &a2);
+        if defer_pre {
+            self.deferred.push((format!("{description} [retroactive]"), goal));
+        } else {
+            self.prove(description, goal);
+        }
+    }
+
+    fn run_unshare(&mut self, resource: usize, into: &Symbol) {
+        let Some(spec) = self.program.resources.get(resource) else {
+            self.errors
+                .push(format!("unshare of unknown resource {resource}"));
+            return;
+        };
+        if self.current_worker.is_some() {
+            self.errors
+                .push("unshare inside a worker is not supported".into());
+            return;
+        }
+        let state = std::mem::replace(&mut self.resources[resource], ResState::Consumed);
+        let ResState::Shared { ledger, reads, .. } = state else {
+            self.errors.push(format!(
+                "unshare of resource {resource} which is not shared"
+            ));
+            self.resources[resource] = state;
+            return;
+        };
+        // Property (2): the number of performed actions is low. Lockstep
+        // batches have syntactically equal per-side counts (their
+        // multipliers were proved low); any non-lockstep batch triggers the
+        // retroactive total-count check per action.
+        let mut actions: Vec<Symbol> = ledger.iter().map(|b| b.action.clone()).collect();
+        actions.sort();
+        actions.dedup();
+        for action in actions {
+            let batches: Vec<&Batch> =
+                ledger.iter().filter(|b| b.action == action).collect();
+            if batches.iter().all(|b| b.lockstep) {
+                continue;
+            }
+            let total1 = Term::and([]); // placeholder to keep shape clear
+            let _ = total1;
+            let sum1 = batches
+                .iter()
+                .map(|b| b.count.0.clone())
+                .reduce(Term::add)
+                .unwrap_or_else(|| Term::int(0));
+            let sum2 = batches
+                .iter()
+                .map(|b| b.count.1.clone())
+                .reduce(Term::add)
+                .unwrap_or_else(|| Term::int(0));
+            self.prove(
+                format!("total count of `{action}` is low (retroactive)"),
+                Term::eq(sum1, sum2),
+            );
+        }
+        // The Share rule's postcondition: ∃x'. I(x') ∗ Low(α(x')). Bind the
+        // final value to a fresh high pair constrained by the abstraction
+        // equality.
+        let (w1, w2) = self.fresh_high(&format!("{into}_final"));
+        self.facts
+            .push(Term::eq(spec.alpha_term(&w1), spec.alpha_term(&w2)));
+        // Consume-bindings (single-consumer FIFO): the element bound at
+        // index i was the i-th element of the produced sequence (the pure
+        // value's second component). These facts are what let deferred
+        // preconditions conclude low-ness retroactively.
+        for ((b1, b2), (i1, i2)) in reads {
+            let f1 = Term::eq(
+                b1,
+                Term::app(
+                    commcsl_pure::Func::SeqIndexOr,
+                    [Term::snd(w1.clone()), i1, Term::int(0)],
+                ),
+            );
+            let f2 = Term::eq(
+                b2,
+                Term::app(
+                    commcsl_pure::Func::SeqIndexOr,
+                    [Term::snd(w2.clone()), i2, Term::int(0)],
+                ),
+            );
+            self.facts.push(f1);
+            self.facts.push(f2);
+        }
+        self.store.insert(into.clone(), (w1, w2));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commcsl_logic::spec::ResourceSpec;
+    use commcsl_pure::{Func, Sort};
+
+    fn cfg() -> VerifierConfig {
+        VerifierConfig::default()
+    }
+
+    fn counter_program(output_counter: bool) -> AnnotatedProgram {
+        AnnotatedProgram::new("counter")
+            .with_resource(ResourceSpec::counter_add())
+            .with_body([
+                VStmt::input("a", Sort::Int, true),
+                VStmt::input("b", Sort::Int, true),
+                VStmt::Share {
+                    resource: 0,
+                    init: Term::int(0),
+                },
+                VStmt::Par {
+                    workers: vec![
+                        vec![VStmt::atomic(0, "Add", Term::var("a"))],
+                        vec![VStmt::atomic(0, "Add", Term::var("b"))],
+                    ],
+                },
+                VStmt::Unshare {
+                    resource: 0,
+                    into: "c".into(),
+                },
+                if output_counter {
+                    VStmt::Output(Term::var("c"))
+                } else {
+                    VStmt::AssertLow(Term::int(0))
+                },
+            ])
+    }
+
+    #[test]
+    fn counter_with_low_addends_verifies() {
+        let report = verify(&counter_program(true), &cfg());
+        assert!(report.verified(), "{report}");
+    }
+
+    #[test]
+    fn high_addend_fails_pre_obligation() {
+        let mut p = counter_program(true);
+        p.body[0] = VStmt::input("a", Sort::Int, false); // high input
+        let report = verify(&p, &cfg());
+        assert!(!report.verified());
+        assert!(report
+            .failures()
+            .any(|f| f.description.contains("pre of `Add`")));
+    }
+
+    #[test]
+    fn direct_output_of_high_input_fails() {
+        let p = AnnotatedProgram::new("leak").with_body([
+            VStmt::input("h", Sort::Int, false),
+            VStmt::Output(Term::var("h")),
+        ]);
+        let report = verify(&p, &cfg());
+        assert!(!report.verified());
+    }
+
+    #[test]
+    fn high_branch_merging_keeps_low_results_low() {
+        // x := ite-shaped merge of equal values is still low; differing
+        // values under a high condition are not.
+        let p = AnnotatedProgram::new("merge").with_body([
+            VStmt::input("h", Sort::Bool, false),
+            VStmt::If {
+                cond: Term::var("h"),
+                then_b: vec![VStmt::assign("x", Term::int(1))],
+                else_b: vec![VStmt::assign("x", Term::int(1))],
+            },
+            VStmt::Output(Term::var("x")),
+        ]);
+        assert!(verify(&p, &cfg()).verified());
+
+        let p_leak = AnnotatedProgram::new("merge-leak").with_body([
+            VStmt::input("h", Sort::Bool, false),
+            VStmt::If {
+                cond: Term::var("h"),
+                then_b: vec![VStmt::assign("x", Term::int(1))],
+                else_b: vec![VStmt::assign("x", Term::int(2))],
+            },
+            VStmt::Output(Term::var("x")),
+        ]);
+        assert!(!verify(&p_leak, &cfg()).verified());
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_at_share() {
+        use commcsl_logic::spec::ActionDef;
+        // Fig. 1: arbitrary assignment, identity abstraction.
+        let set = ActionDef::shared(
+            "Set",
+            Sort::Int,
+            Term::var(ActionDef::ARG_VAR),
+            Term::eq(
+                Term::var(ActionDef::ARG1_VAR),
+                Term::var(ActionDef::ARG2_VAR),
+            ),
+        );
+        let spec = ResourceSpec::new(
+            "fig1-assign",
+            Sort::Int,
+            Term::var(ResourceSpec::VALUE_VAR),
+            [set],
+        );
+        let p = AnnotatedProgram::new("fig1")
+            .with_resource(spec)
+            .with_body([
+                VStmt::Share {
+                    resource: 0,
+                    init: Term::int(0),
+                },
+                VStmt::Par {
+                    workers: vec![
+                        vec![VStmt::atomic(0, "Set", Term::int(3))],
+                        vec![VStmt::atomic(0, "Set", Term::int(4))],
+                    ],
+                },
+                VStmt::Unshare {
+                    resource: 0,
+                    into: "s".into(),
+                },
+                VStmt::Output(Term::var("s")),
+            ]);
+        let report = verify(&p, &cfg());
+        assert!(!report.verified());
+        assert!(report
+            .failures()
+            .any(|f| f.description.contains("is valid")));
+    }
+
+    #[test]
+    fn unique_action_two_workers_is_a_guard_error() {
+        let p = AnnotatedProgram::new("unique-misuse")
+            .with_resource(ResourceSpec::disjoint_put_map(2))
+            .with_body([
+                VStmt::Share {
+                    resource: 0,
+                    init: Term::Lit(commcsl_pure::Value::map_empty()),
+                },
+                VStmt::Par {
+                    workers: vec![
+                        vec![VStmt::atomic(
+                            0,
+                            "Put0",
+                            Term::pair(Term::int(0), Term::int(1)),
+                        )],
+                        vec![VStmt::atomic(
+                            0,
+                            "Put0",
+                            Term::pair(Term::int(2), Term::int(1)),
+                        )],
+                    ],
+                },
+                VStmt::Unshare {
+                    resource: 0,
+                    into: "m".into(),
+                },
+            ]);
+        let report = verify(&p, &cfg());
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| e.contains("unique action `Put0`")), "{report}");
+    }
+
+    #[test]
+    fn loop_with_high_bound_fails() {
+        let p = AnnotatedProgram::new("high-bound")
+            .with_resource(ResourceSpec::counter_add())
+            .with_body([
+                VStmt::input("n", Sort::Int, false),
+                VStmt::Share {
+                    resource: 0,
+                    init: Term::int(0),
+                },
+                VStmt::for_range(
+                    "i",
+                    Term::int(0),
+                    Term::var("n"),
+                    [VStmt::atomic(0, "Add", Term::int(1))],
+                ),
+                VStmt::Unshare {
+                    resource: 0,
+                    into: "c".into(),
+                },
+                VStmt::Output(Term::var("c")),
+            ]);
+        let report = verify(&p, &cfg());
+        assert!(!report.verified());
+        assert!(report
+            .failures()
+            .any(|f| f.description.contains("loop bounds")));
+    }
+
+    #[test]
+    fn map_keyset_loop_program_verifies() {
+        // The Fig. 3/Fig. 5 shape: workers loop over low keys with high
+        // values, put into a shared map, and the sorted key list is output.
+        let worker = |lo: Term, hi: Term| {
+            vec![VStmt::for_range(
+                "i",
+                lo,
+                hi,
+                [
+                    VStmt::input("adr", Sort::Int, true),
+                    VStmt::input("rsn", Sort::Int, false),
+                    VStmt::atomic(0, "Put", Term::pair(Term::var("adr"), Term::var("rsn"))),
+                ],
+            )]
+        };
+        let p = AnnotatedProgram::new("fig3-map")
+            .with_resource(ResourceSpec::keyset_map())
+            .with_body([
+                VStmt::input("n", Sort::Int, true),
+                VStmt::Share {
+                    resource: 0,
+                    init: Term::Lit(commcsl_pure::Value::map_empty()),
+                },
+                VStmt::Par {
+                    workers: vec![
+                        worker(
+                            Term::int(0),
+                            Term::app(Func::Div, [Term::var("n"), Term::int(2)]),
+                        ),
+                        worker(
+                            Term::app(Func::Div, [Term::var("n"), Term::int(2)]),
+                            Term::var("n"),
+                        ),
+                    ],
+                },
+                VStmt::Unshare {
+                    resource: 0,
+                    into: "m".into(),
+                },
+                VStmt::Output(Term::app(
+                    Func::SeqSorted,
+                    [Term::app(
+                        Func::SetToSeq,
+                        [Term::app(Func::MapDom, [Term::var("m")])],
+                    )],
+                )),
+            ]);
+        let report = verify(&p, &cfg());
+        assert!(report.verified(), "{report}");
+    }
+
+    #[test]
+    fn leaking_map_values_fails() {
+        // Same program, but outputs the value at key 0: not derivable from
+        // the key-set abstraction.
+        let p = AnnotatedProgram::new("fig3-value-leak")
+            .with_resource(ResourceSpec::keyset_map())
+            .with_body([
+                VStmt::Share {
+                    resource: 0,
+                    init: Term::Lit(commcsl_pure::Value::map_empty()),
+                },
+                VStmt::Par {
+                    workers: vec![
+                        vec![VStmt::input("r1", Sort::Int, false), VStmt::atomic(
+                            0,
+                            "Put",
+                            Term::pair(Term::int(0), Term::var("r1")),
+                        )],
+                        vec![VStmt::input("r2", Sort::Int, false), VStmt::atomic(
+                            0,
+                            "Put",
+                            Term::pair(Term::int(1), Term::var("r2")),
+                        )],
+                    ],
+                },
+                VStmt::Unshare {
+                    resource: 0,
+                    into: "m".into(),
+                },
+                VStmt::Output(Term::app(
+                    Func::MapGetOr,
+                    [Term::var("m"), Term::int(0), Term::int(0)],
+                )),
+            ]);
+        let report = verify(&p, &cfg());
+        assert!(!report.verified(), "{report}");
+    }
+
+    #[test]
+    fn counted_batches_require_low_totals() {
+        // Two consumers whose individual counts are high but the total sum is low.
+        let spec = ResourceSpec::producer_consumer(true);
+        let init = Term::pair(
+            Term::app(Func::MkRight, [Term::Lit(commcsl_pure::Value::seq_empty())]),
+            Term::Lit(commcsl_pure::Value::seq_empty()),
+        );
+        let p = AnnotatedProgram::new("2p2c-counts")
+            .with_resource(spec)
+            .with_body([
+                VStmt::input("n", Sort::Int, true),
+                VStmt::input("k", Sort::Int, false), // schedule-dependent split
+                VStmt::Share {
+                    resource: 0,
+                    init: init.clone(),
+                },
+                VStmt::Par {
+                    workers: vec![
+                        vec![VStmt::AtomicBatch {
+                            resource: 0,
+                            action: "Cons".into(),
+                            arg: Term::Lit(commcsl_pure::Value::Unit),
+                            count: Term::var("k"),
+                        }],
+                        vec![VStmt::AtomicBatch {
+                            resource: 0,
+                            action: "Cons".into(),
+                            arg: Term::Lit(commcsl_pure::Value::Unit),
+                            count: Term::sub(Term::var("n"), Term::var("k")),
+                        }],
+                    ],
+                },
+                VStmt::Unshare {
+                    resource: 0,
+                    into: "q".into(),
+                },
+            ]);
+        let report = verify(&p, &cfg());
+        assert!(report.verified(), "{report}");
+
+        // If the total is high, the retroactive check fails.
+        let mut p_bad = p.clone();
+        p_bad.body[0] = VStmt::input("n", Sort::Int, false);
+        let report = verify(&p_bad, &cfg());
+        assert!(!report.verified());
+        assert!(report
+            .failures()
+            .any(|f| f.description.contains("total count")));
+    }
+}

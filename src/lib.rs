@@ -1,0 +1,5 @@
+//! Workspace-level crate hosting the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`); the library API lives in
+//! the [`commcsl`] facade.
+
+pub use commcsl;

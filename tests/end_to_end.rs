@@ -1,0 +1,147 @@
+//! Cross-crate integration tests: the verifier's verdicts must agree with
+//! the ground truth established by the operational semantics.
+
+use commcsl::fixtures::{self, rejected};
+use commcsl::lang::nicheck::{check_non_interference, NiConfig};
+use commcsl::prelude::*;
+
+#[test]
+fn table1_suite_verifies_end_to_end() {
+    let config = VerifierConfig::default();
+    for fixture in fixtures::all() {
+        let report = verify(&fixture.program, &config);
+        assert!(
+            report.verified(),
+            "Table 1 row `{}` must verify:\n{report}",
+            fixture.name
+        );
+        assert!(report.proved_count() > 0, "{} proved nothing", fixture.name);
+    }
+}
+
+#[test]
+fn verifier_and_harness_agree_on_secure_fixtures() {
+    let config = NiConfig {
+        random_seeds: 4,
+        fuel: 200_000,
+    };
+    for fixture in fixtures::all() {
+        let Some(ni) = &fixture.ni else { continue };
+        let report = check_non_interference(
+            &ni.program,
+            &ni.low_inputs,
+            &ni.high_inputs,
+            &ni.low_outputs,
+            &config,
+        );
+        assert_eq!(report.aborted, 0, "{}: abort", fixture.name);
+        assert!(
+            report.holds(),
+            "{}: verified program leaked empirically: {:?}",
+            fixture.name,
+            report.violation
+        );
+    }
+}
+
+#[test]
+fn verifier_and_harness_agree_on_the_insecure_program() {
+    // Rejected by the verifier…
+    let annotated = rejected::figure1_assignments();
+    assert!(!verify(&annotated, &VerifierConfig::default()).verified());
+    // …and the leak is real.
+    let (prog, low, high, outs) = rejected::figure1_assignments_executable();
+    let report = check_non_interference(
+        &prog,
+        &low,
+        &high,
+        &outs,
+        &NiConfig {
+            random_seeds: 4,
+            fuel: 100_000,
+        },
+    );
+    assert!(!report.holds(), "Fig. 1's timing channel must be observable");
+}
+
+#[test]
+fn all_rejected_variants_fail_with_reasons() {
+    for (name, program) in rejected::all_programs() {
+        let report = verify(&program, &VerifierConfig::default());
+        assert!(!report.verified(), "{name} must fail");
+        assert!(
+            report.failures().count() > 0 || !report.errors.is_empty(),
+            "{name}: failure must carry a reason"
+        );
+    }
+}
+
+#[test]
+fn parsed_programs_execute_deterministically_per_schedule() {
+    let prog = parse_program(
+        "x := 0;
+         par { atomic { x := x + 3 } } { atomic { x := x + 4 } };
+         output(x)",
+    )
+    .unwrap();
+    for seed in 0..8 {
+        let mut sched = RandomSched::new(seed);
+        match run(&prog, State::new(), &mut sched, 10_000) {
+            RunOutcome::Done(state) => assert_eq!(state.outputs, vec![Value::Int(7)]),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn exhaustive_interleavings_confirm_commutativity_claims() {
+    use commcsl::lang::interp::enumerate_interleavings;
+    // Commuting adds: exactly one final output.
+    let commuting = parse_program(
+        "par { atomic { x := x + 3 } } { atomic { x := x + 4 } }; output(x)",
+    )
+    .unwrap();
+    let ex = enumerate_interleavings(&commuting, &State::new(), 200, 100_000);
+    assert!(!ex.truncated);
+    let outs: std::collections::BTreeSet<_> =
+        ex.final_states.iter().map(|s| s.outputs.clone()).collect();
+    assert_eq!(outs.len(), 1);
+
+    // Non-commuting assignments: two distinct outputs.
+    let racy =
+        parse_program("par { atomic { x := 3 } } { atomic { x := 4 } }; output(x)").unwrap();
+    let ex = enumerate_interleavings(&racy, &State::new(), 200, 100_000);
+    let outs: std::collections::BTreeSet<_> =
+        ex.final_states.iter().map(|s| s.outputs.clone()).collect();
+    assert_eq!(outs.len(), 2);
+}
+
+#[test]
+fn spec_library_round_trips_through_validity() {
+    // Every spec used by a fixture is valid; the deliberately broken ones
+    // are not.
+    for spec in [
+        ResourceSpec::counter_add(),
+        ResourceSpec::keyset_map(),
+        ResourceSpec::opaque_int(),
+        ResourceSpec::list_multiset(),
+        ResourceSpec::list_length(),
+        ResourceSpec::list_sum(),
+        ResourceSpec::list_mean(),
+        ResourceSpec::set_insert(),
+        ResourceSpec::histogram(),
+        ResourceSpec::map_add_value(),
+        ResourceSpec::map_max_value(),
+        ResourceSpec::disjoint_put_map(2),
+        ResourceSpec::producer_consumer(true),
+        ResourceSpec::producer_consumer(false),
+    ] {
+        let report = check_validity(&spec, &ValidityConfig::default());
+        assert!(report.is_valid(), "{} must be valid: {report:?}", spec.name);
+    }
+    let report = check_validity(
+        &ResourceSpec::list_mean_literal(),
+        &ValidityConfig::default(),
+    );
+    assert!(report.is_invalid(), "literal mean must be refuted");
+}

@@ -1,0 +1,176 @@
+//! Property-based soundness tests: the executable counterparts of the
+//! paper's Isabelle lemmas, checked on randomized instances.
+
+use std::collections::BTreeSet;
+
+use commcsl::logic::consistency::{
+    interleaving_results, lemma_4_2_holds, records_pre_related, Record,
+};
+use commcsl::logic::matching::find_bijection;
+use commcsl::prelude::*;
+use proptest::prelude::*;
+
+fn small_int() -> impl Strategy<Value = i64> {
+    -4i64..=4
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 4.2 instance for the key-set map: any two PRE-related put
+    /// records starting from equal abstractions end with equal
+    /// abstractions on every interleaving.
+    #[test]
+    fn lemma_4_2_keyset_map(
+        keys in proptest::collection::vec(small_int(), 0..5),
+        vals1 in proptest::collection::vec(small_int(), 5),
+        vals2 in proptest::collection::vec(small_int(), 5),
+    ) {
+        let spec = ResourceSpec::keyset_map();
+        let args1: Vec<Value> = keys.iter().zip(&vals1)
+            .map(|(k, v)| Value::pair(Value::Int(*k), Value::Int(*v)))
+            .collect();
+        // Same key multiset, independently chosen (high) values.
+        let args2: Vec<Value> = keys.iter().zip(&vals2)
+            .map(|(k, v)| Value::pair(Value::Int(*k), Value::Int(*v)))
+            .collect();
+        let r1 = Record::new().with_shared("Put", args1);
+        let r2 = Record::new().with_shared("Put", args2);
+        prop_assert!(records_pre_related(&spec, &r1, &r2));
+        prop_assert!(lemma_4_2_holds(
+            &spec, &Value::map_empty(), &r1, &Value::map_empty(), &r2
+        ).unwrap());
+    }
+
+    /// Counter additions: every interleaving yields the same final value
+    /// (plain commutativity), hence a single abstraction.
+    #[test]
+    fn counter_interleavings_unique(adds in proptest::collection::vec(small_int(), 0..6)) {
+        let spec = ResourceSpec::counter_add();
+        let record = Record::new().with_shared("Add", adds.iter().map(|&n| Value::Int(n)));
+        let finals = interleaving_results(&spec, &Value::Int(0), &record).unwrap();
+        prop_assert_eq!(finals.len(), 1);
+        let expected: i64 = adds.iter().sum();
+        prop_assert_eq!(finals.into_iter().next().unwrap(), Value::Int(expected));
+    }
+
+    /// The histogram's increments commute concretely: one final map.
+    #[test]
+    fn histogram_interleavings_unique(buckets in proptest::collection::vec(0i64..4, 0..6)) {
+        let spec = ResourceSpec::histogram();
+        let record = Record::new()
+            .with_shared("IncBucket", buckets.iter().map(|&b| Value::Int(b)));
+        let finals = interleaving_results(&spec, &Value::map_empty(), &record).unwrap();
+        prop_assert_eq!(finals.len(), 1);
+    }
+
+    /// Bijection matching is symmetric and consistent with multiset
+    /// equality under the equality precondition.
+    #[test]
+    fn bijection_matches_iff_multisets_equal(
+        xs in proptest::collection::vec(small_int(), 0..6),
+        ys in proptest::collection::vec(small_int(), 0..6),
+    ) {
+        let l: Multiset<Value> = xs.iter().map(|&n| Value::Int(n)).collect();
+        let r: Multiset<Value> = ys.iter().map(|&n| Value::Int(n)).collect();
+        let found = find_bijection(&l, &r, |a, b| a == b).is_some();
+        prop_assert_eq!(found, l == r);
+        let back = find_bijection(&r, &l, |a, b| a == b).is_some();
+        prop_assert_eq!(found, back);
+    }
+
+    /// Normalization preserves ground semantics on randomly generated
+    /// arithmetic/boolean terms (the rewriter is equality-preserving).
+    #[test]
+    fn rewriting_preserves_semantics(
+        a in small_int(), b in small_int(), c in small_int(),
+    ) {
+        use commcsl::pure::rewrite::{normalize, SyntacticOracle};
+        let env: commcsl::pure::term::Env = [
+            ("a".into(), Value::Int(a)),
+            ("b".into(), Value::Int(b)),
+            ("c".into(), Value::Int(c)),
+        ].into_iter().collect();
+        let terms = [
+            Term::add(Term::mul(Term::var("a"), Term::int(2)), Term::sub(Term::var("b"), Term::var("c"))),
+            Term::eq(Term::add(Term::var("a"), Term::var("b")), Term::add(Term::var("b"), Term::var("a"))),
+            Term::ite(
+                Term::lt(Term::var("a"), Term::var("b")),
+                Term::app(Func::Max, [Term::var("a"), Term::var("b")]),
+                Term::app(Func::Max, [Term::var("b"), Term::var("a")]),
+            ),
+            Term::app(Func::Mod, [Term::add(Term::mul(Term::int(4), Term::var("a")), Term::var("b")), Term::int(2)]),
+        ];
+        for t in terms {
+            let n = normalize(&t, &SyntacticOracle);
+            prop_assert_eq!(t.eval(&env).unwrap(), n.eval(&env).unwrap(), "term {:?} vs {:?}", t, n);
+        }
+    }
+
+    /// The solver never proves a falsifiable arithmetic entailment
+    /// (soundness spot-check against brute force).
+    #[test]
+    fn solver_soundness_on_small_arithmetic(
+        k in small_int(), m in small_int(),
+    ) {
+        let solver = Solver::new();
+        let hyp = Term::le(Term::var("x"), Term::int(k));
+        let goal = Term::le(Term::var("x"), Term::int(m));
+        let verdict = solver.check_valid(&[hyp], &goal);
+        // The entailment x ≤ k ⊨ x ≤ m holds iff k ≤ m.
+        if verdict == Verdict::Proved {
+            prop_assert!(k <= m, "unsound proof: x ≤ {} ⊭ x ≤ {}", k, m);
+        } else {
+            prop_assert!(k > m, "incompleteness on decidable fragment: {} ≤ {}", k, m);
+        }
+    }
+}
+
+#[test]
+fn producer_consumer_lemma_4_2_with_debt_states() {
+    // The App. D scenario: consumes outnumber produces, driving the queue
+    // into debt; abstractions still agree across interleavings.
+    let spec = ResourceSpec::producer_consumer(true);
+    let empty = Value::pair(Value::right(Value::seq_empty()), Value::seq_empty());
+    let r1 = Record::new()
+        .with_shared("Prod", [Value::Int(5)])
+        .with_shared("Cons", [Value::Unit, Value::Unit, Value::Unit]);
+    let r2 = r1.clone();
+    assert!(records_pre_related(&spec, &r1, &r2));
+    assert!(lemma_4_2_holds(&spec, &empty, &r1, &empty, &r2).unwrap());
+    // Sanity: interleavings do produce multiple concrete states...
+    let finals = interleaving_results(&spec, &empty, &r1).unwrap();
+    // ...but a single abstraction.
+    let alphas: BTreeSet<Value> = finals
+        .iter()
+        .map(|v| spec.alpha_of(v).unwrap())
+        .collect();
+    assert_eq!(alphas.len(), 1);
+}
+
+#[test]
+fn invalid_spec_breaks_lemma_4_2_and_is_rejected() {
+    // The "first write wins vs last write wins" spec: identity abstraction
+    // over raw sets — Lemma 4.2's conclusion fails AND validity checking
+    // refutes it, demonstrating the two sides agree.
+    use commcsl::logic::spec::ActionDef;
+    let set = ActionDef::shared(
+        "Set",
+        Sort::Int,
+        Term::var(ActionDef::ARG_VAR),
+        Term::eq(
+            Term::var(ActionDef::ARG1_VAR),
+            Term::var(ActionDef::ARG2_VAR),
+        ),
+    );
+    let spec = ResourceSpec::new(
+        "raw-set",
+        Sort::Int,
+        Term::var(ResourceSpec::VALUE_VAR),
+        [set],
+    );
+    let report = check_validity(&spec, &ValidityConfig::default());
+    assert!(report.is_invalid());
+    let record = Record::new().with_shared("Set", [Value::Int(3), Value::Int(4)]);
+    assert!(!lemma_4_2_holds(&spec, &Value::Int(0), &record, &Value::Int(0), &record).unwrap());
+}

@@ -1,13 +1,31 @@
 //! Regenerates Table 1 of the paper: verifies all 18 evaluation examples
 //! five times each (as in the paper) and prints the averaged table.
 //!
-//! Run with `cargo run -p commcsl-bench --release --bin table1`.
+//! The suite runs through the parallel batch-verification pipeline
+//! (`commcsl-verifier::batch`); use `--threads 1` for the paper's
+//! sequential regime.
+//!
+//! Run with `cargo run -p commcsl-bench --release --bin table1 --
+//! [--runs N] [--threads N]`.
 
-use commcsl_bench::{render_table, table1_rows};
+use commcsl::verifier::batch::BatchConfig;
+use commcsl_bench::{render_table, table1_rows_parallel};
 
 fn main() {
-    let rows = table1_rows(5);
-    println!("Table 1 (reproduction) — verification times averaged over 5 runs\n");
+    let (runs, threads) = parse_args();
+    let rows = table1_rows_parallel(runs, threads);
+    let effective = BatchConfig::with_threads(threads).effective_threads(rows.len());
+    println!(
+        "Table 1 (reproduction) — verification times averaged over {runs} runs, \
+         batch-verified on {effective} thread(s)"
+    );
+    if effective > 1 {
+        println!(
+            "(times include multicore contention; use --threads 1 for the \
+             paper's sequential regime)"
+        );
+    }
+    println!();
     print!("{}", render_table(&rows));
     let all_ok = rows.iter().all(|r| r.verified);
     println!(
@@ -16,4 +34,37 @@ fn main() {
         rows.len()
     );
     std::process::exit(if all_ok { 0 } else { 1 });
+}
+
+/// Parses `[--runs N] [--threads N]`; defaults: 5 runs, all CPUs.
+fn parse_args() -> (u32, usize) {
+    let mut runs = 5u32;
+    let mut threads = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| die(&format!("{name} needs a number")))
+        };
+        match arg.as_str() {
+            "--runs" => {
+                runs = u32::try_from(take("--runs"))
+                    .ok()
+                    .filter(|&r| r > 0)
+                    .unwrap_or_else(|| die("--runs needs a positive number"));
+            }
+            "--threads" => {
+                threads = usize::try_from(take("--threads"))
+                    .unwrap_or_else(|_| die("--threads needs a reasonable number"));
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    (runs, threads)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("table1: {msg}\nusage: table1 [--runs N] [--threads N]");
+    std::process::exit(2);
 }

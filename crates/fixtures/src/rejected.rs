@@ -50,14 +50,19 @@ pub fn figure1_assignments() -> AnnotatedProgram {
         ])
 }
 
-/// The executable Fig. 1 (assignments, value printed): exhibits the
-/// internal timing channel under the scheduler battery.
-pub fn figure1_assignments_executable() -> (
+/// An executable insecure program for the empirical harness: the
+/// command, its low inputs, the high input assignments to compare, and
+/// the observed low output variables.
+pub type ExecutableCase = (
     Cmd,
     Vec<(Symbol, Value)>,
     Vec<Vec<(Symbol, Value)>>,
     Vec<Symbol>,
-) {
+);
+
+/// The executable Fig. 1 (assignments, value printed): exhibits the
+/// internal timing channel under the scheduler battery.
+pub fn figure1_assignments_executable() -> ExecutableCase {
     let prog = parse_program(
         "par {
              t1 := 0; while (t1 < 20) { t1 := t1 + 1 };

@@ -30,6 +30,7 @@ fn h_pair() -> Vec<Vec<(Symbol, Value)>> {
 /// A two-worker annotated program where each worker loops over half of a
 /// low-sized input and performs `action` with the given argument
 /// expression after reading the given per-iteration inputs.
+#[allow(clippy::too_many_arguments)] // private fixture builder mirroring the paper's table columns
 fn two_worker_loop(
     name: &str,
     spec: ResourceSpec,

@@ -443,7 +443,7 @@ fn witness_candidates(side: SideState<'_>, sort: &Sort, config: &SatConfig) -> V
             out.push(v.clone());
         }
     }
-    for (_, (_, v)) in &gh.perm {
+    for (_, v) in gh.perm.values() {
         if v.sort().compatible(sort) {
             out.push(v.clone());
         }
@@ -459,7 +459,7 @@ fn witness_candidates(side: SideState<'_>, sort: &Sort, config: &SatConfig) -> V
             }
         }
     }
-    for (_, seq) in &gh.unique.0 {
+    for seq in gh.unique.0.values() {
         let as_value = Value::Seq(seq.clone());
         if as_value.sort().compatible(sort) {
             out.push(as_value);

@@ -9,13 +9,13 @@
 //!   names):
 //!   `α(v) = α(v') ⟹ α(f_a'(f_a(v, arg), arg')) = α(f_a(f_a'(v', arg'), arg))`.
 //!
-//! Each obligation is first attempted *symbolically* (normalizing rewriter
-//! + congruence + case splits in `commcsl-smt`); when the prover cannot
-//! conclude, the *falsifier* hunts for a concrete countermodel by bounded
-//! enumeration and random search. Only a symbolic proof counts as
-//! [`Verdict::Proved`]; a countermodel makes the spec
-//! [`ValidityReport::is_invalid`]; anything else is an honest unknown and
-//! is treated as a verification failure.
+//! Each obligation is first attempted *symbolically* (normalizing
+//! rewriter plus congruence plus case splits in `commcsl-smt`); when the
+//! prover cannot conclude, the *falsifier* hunts for a concrete
+//! countermodel by bounded enumeration and random search. Only a symbolic
+//! proof counts as [`Verdict::Proved`]; a countermodel makes the spec
+//! [`ValidityReport::is_invalid`]; anything else is an honest unknown
+//! and is treated as a verification failure.
 //!
 //! This module replaces the Viper/Z3 encoding of HyperViper (see
 //! DESIGN.md, substitutions).

@@ -128,7 +128,7 @@ impl<T: Ord> Multiset<T> {
     pub fn iter_expanded(&self) -> impl Iterator<Item = &T> {
         self.counts
             .iter()
-            .flat_map(|(e, n)| std::iter::repeat(e).take(*n))
+            .flat_map(|(e, n)| std::iter::repeat_n(e, *n))
     }
 
     /// Returns the distinct elements in order.

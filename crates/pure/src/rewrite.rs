@@ -749,13 +749,11 @@ fn rewrite_map_put(args: Vec<Term>, oracle: &dyn EqOracle) -> Term {
                 // Inner put is overwritten.
                 return rewrite_map_put(vec![m0, k, v], oracle);
             }
-            Some(false) => {
-                if key_order(&k, &k0) == Ordering::Less {
-                    let inner_new = rewrite_map_put(vec![m0, k, v], oracle);
-                    return Term::app(Func::MapPut, [inner_new, k0, v0]);
-                }
+            Some(false) if key_order(&k, &k0) == Ordering::Less => {
+                let inner_new = rewrite_map_put(vec![m0, k, v], oracle);
+                return Term::app(Func::MapPut, [inner_new, k0, v0]);
             }
-            None => {}
+            _ => {}
         }
     }
     // Literal folding: put into a literal map with literal key/value.

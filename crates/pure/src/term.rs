@@ -224,16 +224,20 @@ impl Term {
     }
 
     /// `a + b`.
+    // Associated constructor (no `self`), not an operator method.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: Term, b: Term) -> Term {
         Term::app(Func::Add, [a, b])
     }
 
     /// `a - b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(a: Term, b: Term) -> Term {
         Term::app(Func::Sub, [a, b])
     }
 
     /// `a * b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: Term, b: Term) -> Term {
         Term::app(Func::Mul, [a, b])
     }
@@ -259,6 +263,7 @@ impl Term {
     }
 
     /// `¬a`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(a: Term) -> Term {
         Term::app(Func::Not, [a])
     }

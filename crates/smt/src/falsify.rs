@@ -168,7 +168,7 @@ mod tests {
         let hyp = Term::le(Term::int(0), Term::var("x"));
         let goal = Term::le(Term::var("x"), Term::int(5));
         let cx = find_counterexample(
-            &[hyp.clone()],
+            std::slice::from_ref(&hyp),
             &goal,
             &sorts(&[("x", Sort::Int)]),
             &FalsifyConfig::default(),

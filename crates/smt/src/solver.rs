@@ -598,7 +598,7 @@ mod tests {
             Term::eq(Term::var("x"), Term::int(1)),
             Term::eq(Term::var("x"), Term::int(2)),
         ]);
-        assert!(proved(&[hyp.clone()], &Term::le(Term::var("x"), Term::int(2))));
+        assert!(proved(std::slice::from_ref(&hyp), &Term::le(Term::var("x"), Term::int(2))));
         assert!(!proved(&[hyp], &Term::le(Term::var("x"), Term::int(1))));
     }
 

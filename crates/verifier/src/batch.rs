@@ -1,0 +1,237 @@
+//! Parallel batch verification.
+//!
+//! Verifying the Table 1 evaluation suite (and any future corpus of
+//! annotated programs) is embarrassingly parallel: every program's
+//! obligations are discharged independently, the verifier allocates its
+//! solver state per call, and all inputs are immutable. This module
+//! exploits that: [`verify_batch`] fans a batch of programs out over a
+//! configurable pool of OS threads (work-stealing via a shared atomic
+//! cursor, so long-running programs do not stall the queue) and returns
+//! per-program reports with wall-clock timings, **in input order**.
+//!
+//! Determinism: the verifier is a pure function of `(program, config)`,
+//! so batch results are identical to sequential [`verify`] results
+//! regardless of thread count or scheduling — a property pinned by unit
+//! tests here and by the fixture-wide integration test
+//! (`tests/batch_parallel.rs` at the workspace root).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::program::AnnotatedProgram;
+use crate::report::{VerifierConfig, VerifierReport};
+use crate::symexec::verify;
+
+/// Configuration for a batch run.
+#[derive(Debug, Clone, Default)]
+pub struct BatchConfig {
+    /// Worker threads. `0` (the default) means one per available CPU.
+    pub threads: usize,
+    /// The per-program verifier configuration.
+    pub verifier: VerifierConfig,
+}
+
+impl BatchConfig {
+    /// A batch configuration with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        BatchConfig { threads, ..Default::default() }
+    }
+
+    /// The effective pool size for a batch of `jobs` programs: never
+    /// zero, never more threads than jobs.
+    pub fn effective_threads(&self, jobs: usize) -> usize {
+        let requested = if self.threads == 0 {
+            thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        requested.min(jobs).max(1)
+    }
+}
+
+/// The outcome of verifying one program of a batch.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Position of the program in the input batch.
+    pub index: usize,
+    /// Program name (copied from the input for convenient reporting).
+    pub program: String,
+    /// The full verification report.
+    pub report: VerifierReport,
+    /// Wall-clock time spent verifying this program.
+    pub time: Duration,
+}
+
+/// Verifies every program of `programs` across a thread pool and returns
+/// one [`BatchResult`] per program, in input order.
+///
+/// Results are bit-identical to calling [`verify`] sequentially with
+/// `config.verifier` (only the `time` field varies run to run).
+///
+/// # Example
+///
+/// ```
+/// use commcsl_verifier::batch::{verify_batch, BatchConfig};
+/// use commcsl_verifier::program::AnnotatedProgram;
+///
+/// let programs = vec![AnnotatedProgram::new("a"), AnnotatedProgram::new("b")];
+/// let results = verify_batch(&programs, &BatchConfig::with_threads(2));
+/// assert_eq!(results.len(), 2);
+/// assert_eq!(results[0].program, "a");
+/// assert_eq!(results[1].program, "b");
+/// ```
+pub fn verify_batch(
+    programs: &[AnnotatedProgram],
+    config: &BatchConfig,
+) -> Vec<BatchResult> {
+    verify_batch_ref(&programs.iter().collect::<Vec<_>>(), config)
+}
+
+/// [`verify_batch`] over borrowed programs, for callers whose programs
+/// live inside larger structures (e.g. fixtures).
+pub fn verify_batch_ref(
+    programs: &[&AnnotatedProgram],
+    config: &BatchConfig,
+) -> Vec<BatchResult> {
+    let jobs = programs.len();
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let threads = config.effective_threads(jobs);
+
+    // Work-stealing over a shared cursor: each worker claims the next
+    // unclaimed index until the batch is drained. Slots are filled by
+    // input index, so output order is input order whatever the
+    // interleaving was.
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<BatchResult>>> =
+        (0..jobs).map(|_| Mutex::new(None)).collect();
+
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= jobs {
+                    break;
+                }
+                let program = programs[index];
+                let start = Instant::now();
+                let report = verify(program, &config.verifier);
+                let time = start.elapsed();
+                *slots[index].lock().expect("batch slot poisoned") = Some(BatchResult {
+                    index,
+                    program: program.name.clone(),
+                    report,
+                    time,
+                });
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("batch slot poisoned")
+                .expect("every claimed index is filled before scope exit")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use commcsl_pure::{Sort, Term};
+
+    use super::*;
+    use crate::program::VStmt;
+
+    /// A small, genuinely verifying program (low inputs into a shared
+    /// counter), plus a failing one (outputs a high input directly).
+    fn sample_programs() -> Vec<AnnotatedProgram> {
+        let ok = AnnotatedProgram::new("batch-ok")
+            .with_resource(commcsl_logic::spec::ResourceSpec::counter_add())
+            .with_body([
+                VStmt::input("a", Sort::Int, true),
+                VStmt::Share { resource: 0, init: Term::int(0) },
+                VStmt::Par {
+                    workers: vec![
+                        vec![VStmt::atomic(0, "Add", Term::var("a"))],
+                        vec![VStmt::atomic(0, "Add", Term::int(2))],
+                    ],
+                },
+                VStmt::Unshare { resource: 0, into: "total".into() },
+                VStmt::Output(Term::var("total")),
+            ]);
+        let leaky = AnnotatedProgram::new("batch-leaky")
+            .with_body([
+                VStmt::input("h", Sort::Int, false),
+                VStmt::Output(Term::var("h")),
+            ]);
+        vec![ok, leaky, ok_clone_with_name()]
+    }
+
+    fn ok_clone_with_name() -> AnnotatedProgram {
+        AnnotatedProgram::new("batch-trivial").with_body([
+            VStmt::input("x", Sort::Int, true),
+            VStmt::Output(Term::var("x")),
+        ])
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(verify_batch(&[], &BatchConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn batch_results_preserve_input_order() {
+        let programs = sample_programs();
+        let results = verify_batch(&programs, &BatchConfig::with_threads(3));
+        let names: Vec<&str> = results.iter().map(|r| r.program.as_str()).collect();
+        assert_eq!(names, vec!["batch-ok", "batch-leaky", "batch-trivial"]);
+        assert_eq!(
+            results.iter().map(|r| r.index).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn batch_agrees_with_sequential_for_any_thread_count() {
+        let programs = sample_programs();
+        let sequential: Vec<VerifierReport> = programs
+            .iter()
+            .map(|p| verify(p, &VerifierConfig::default()))
+            .collect();
+        for threads in [1, 2, 3, 8] {
+            let results = verify_batch(&programs, &BatchConfig::with_threads(threads));
+            assert_eq!(results.len(), sequential.len());
+            for (batch, seq) in results.iter().zip(&sequential) {
+                assert_eq!(batch.report.verified(), seq.verified(), "threads={threads}");
+                assert_eq!(
+                    batch.report.obligations.len(),
+                    seq.obligations.len(),
+                    "threads={threads}"
+                );
+                assert_eq!(batch.report.errors, seq.errors, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn effective_threads_is_clamped() {
+        assert_eq!(BatchConfig::with_threads(16).effective_threads(3), 3);
+        assert_eq!(BatchConfig::with_threads(2).effective_threads(3), 2);
+        assert!(BatchConfig::with_threads(0).effective_threads(100) >= 1);
+        assert_eq!(BatchConfig::with_threads(4).effective_threads(0), 1);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let programs = sample_programs();
+        let results = verify_batch(&programs, &BatchConfig::with_threads(64));
+        assert_eq!(results.len(), programs.len());
+        assert!(results[0].report.verified());
+        assert!(!results[1].report.verified());
+    }
+}

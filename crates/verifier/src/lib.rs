@@ -58,10 +58,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod program;
 pub mod report;
 pub mod symexec;
 
+pub use batch::{verify_batch, BatchConfig, BatchResult};
 pub use program::{AnnotatedProgram, VStmt};
 pub use report::{ObligationResult, VerifierConfig, VerifierReport};
 pub use symexec::verify;

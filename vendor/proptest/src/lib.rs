@@ -1,0 +1,511 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal property-testing harness that is
+//! API-compatible with the subset of `proptest` 1.x the test suites use:
+//! the [`proptest!`] macro, `prop_assert*`/[`prop_assume!`]/[`prop_oneof!`],
+//! range and tuple strategies, [`strategy::Just`], the `prop_map` /
+//! `prop_filter` / `prop_filter_map` combinators, and
+//! [`collection::vec`] / [`collection::btree_map`].
+//!
+//! Differences from real proptest: generation is purely random (no
+//! shrinking of failing cases) and the RNG seed is fixed, so runs are
+//! deterministic. Failures report the generated inputs via the panic
+//! message of the failing `prop_assert*`.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! The case runner: RNG, configuration, and rejection bookkeeping.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange, SeedableRng, Standard};
+
+    /// Marker returned by [`crate::prop_assume!`] when a case is rejected.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Rejected;
+
+    /// Run configuration; only `cases` is interpreted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// The RNG strategies draw from.
+    #[derive(Debug)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// A fixed-seed RNG: every `cargo test` run sees the same cases.
+        pub fn deterministic() -> Self {
+            TestRng(StdRng::seed_from_u64(0xC0CC_5E1D_2023_0601))
+        }
+
+        /// Samples uniformly from `range`.
+        pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+            self.0.gen_range(range)
+        }
+
+        /// Samples from the standard distribution.
+        pub fn gen<T: Standard>(&mut self) -> T {
+            self.0.gen()
+        }
+    }
+}
+
+pub mod strategy {
+    //! Strategies: composable random generators.
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// `gen_value` returns `None` when the sample was locally rejected
+    /// (by a filter); the runner then retries the whole case.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value, or `None` on a filtered-out sample.
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only samples satisfying `pred` (`_reason` is for
+        /// diagnostics in real proptest; ignored here).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            _reason: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, pred }
+        }
+
+        /// Maps through a partial function, rejecting `None` samples.
+        fn prop_filter_map<O, F: Fn(Self::Value) -> Option<O>>(
+            self,
+            _reason: &'static str,
+            f: F,
+        ) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FilterMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<O> {
+            self.inner.gen_value(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            self.inner.gen_value(rng).filter(|v| (self.pred)(v))
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    #[derive(Debug, Clone)]
+    pub struct FilterMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<O> {
+            self.inner.gen_value(rng).and_then(&self.f)
+        }
+    }
+
+    /// Object-safe strategy view backing [`BoxedStrategy`].
+    pub trait DynStrategy<V> {
+        /// Generates one value (see [`Strategy::gen_value`]).
+        fn gen_dyn(&self, rng: &mut TestRng) -> Option<V>;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn gen_dyn(&self, rng: &mut TestRng) -> Option<S::Value> {
+            self.gen_value(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<V> {
+            self.0.gen_dyn(rng)
+        }
+    }
+
+    /// Uniform choice between alternative strategies of one value type.
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over non-empty `options`.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<V> {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].gen_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                    Some(rng.gen_range(self.clone()))
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                    Some(rng.gen_range(self.clone()))
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident / $v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    let ($($s,)+) = self;
+                    $(let $v = $s.gen_value(rng)?;)+
+                    Some(($($v,)+))
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A / a);
+    impl_tuple_strategy!(A / a, B / b);
+    impl_tuple_strategy!(A / a, B / b, C / c);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use std::collections::BTreeMap;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive size band for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec`s of `size.into()` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap`s with up to `size.into()` entries (fewer
+    /// when generated keys collide, as in real proptest).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    /// See [`btree_map`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            let n = self.size.sample(rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..n {
+                out.insert(self.key.gen_value(rng)?, self.value.gen_value(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test module typically imports.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property-test functions whose arguments are drawn from
+/// strategies. Supports the `#![proptest_config(...)]` header and
+/// `name in strategy` argument bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs $config; $($rest)*);
+    };
+    (@funcs $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).saturating_add(1000);
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest: too many rejected samples ({} accepted of {} wanted)",
+                    accepted,
+                    config.cases,
+                );
+                $(
+                    let $arg = match $crate::strategy::Strategy::gen_value(&($strat), &mut rng) {
+                        ::core::option::Option::Some(v) => v,
+                        ::core::option::Option::None => continue,
+                    };
+                )+
+                let outcome: ::core::result::Result<(), $crate::test_runner::Rejected> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if outcome.is_ok() {
+                    accepted += 1;
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ::core::default::Default::default(); $($rest)*);
+    };
+}
+
+/// `assert!` that also works inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::core::assert!($($tt)*) };
+}
+
+/// `assert_eq!` that also works inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::core::assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` that also works inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::core::assert_ne!($($tt)*) };
+}
+
+/// Rejects the current case (it is regenerated and does not count).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in -5i64..=5, y in 0usize..3) {
+            prop_assert!((-5..=5).contains(&x));
+            prop_assert!(y < 3);
+        }
+
+        #[test]
+        fn vec_sizes_respected(xs in crate::collection::vec(0i64..10, 2..5)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+        }
+
+        #[test]
+        fn exact_vec_size(xs in crate::collection::vec(0i64..10, 4)) {
+            prop_assert_eq!(xs.len(), 4);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0i64..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1i64), 5i64..8]) {
+            prop_assert!(v == 1 || (5..8).contains(&v));
+        }
+
+        #[test]
+        fn filter_map_works(
+            p in (1i64..=4, 1i64..=4).prop_filter_map("nonzero", |(n, d)| {
+                if d >= n { Some((n, d)) } else { None }
+            }),
+        ) {
+            prop_assert!(p.1 >= p.0);
+        }
+    }
+
+    #[test]
+    fn btree_map_strategy_generates() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        let s = crate::collection::btree_map(1i64..=3, 0i64..5, 0..3);
+        for _ in 0..50 {
+            let m = s.gen_value(&mut rng).unwrap();
+            assert!(m.len() <= 2);
+        }
+    }
+}

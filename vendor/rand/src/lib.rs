@@ -1,0 +1,183 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal, API-compatible subset of `rand` 0.8: the
+//! [`Rng`]/[`SeedableRng`] traits, [`rngs::StdRng`], uniform range
+//! sampling, and Bernoulli sampling. The generator is SplitMix64 — not
+//! cryptographic, but deterministic per seed, which is all the schedulers
+//! and value generators require (every observed behaviour must be
+//! replayable from its seed).
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable "from the standard distribution" via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Samples one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Samples one value from the range. Panics on an empty range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// User-facing sampling interface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the standard distribution of its type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be a probability");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: i64 = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&x));
+            let y: usize = r.gen_range(0..3usize);
+            assert!(y < 3);
+            let z: u8 = r.gen_range(0..4u8);
+            assert!(z < 4);
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_bias() {
+        let mut r = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.9)).count();
+        assert!(hits > 8500 && hits < 9500, "got {hits}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+}

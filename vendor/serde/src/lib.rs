@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors marker versions of [`Serialize`] and
+//! [`Deserialize`] together with their derive macros. This keeps
+//! `#[derive(Serialize)]` annotations (and `T: Serialize` bounds)
+//! compiling; actual serialization is provided by hand-written renderers
+//! (e.g. `commcsl-bench::render_table`) until a real serde is available.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that would be serializable under real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable under real serde.
+pub trait Deserialize {}
+
+// The derive macros expand to `impl ::serde::Serialize for ...`, which
+// only resolves from *dependent* crates; the Serialize derive is pinned
+// by `serialize_derive_emits_marker_impl` in `commcsl-bench`. The
+// Deserialize derive is currently unused and untested.

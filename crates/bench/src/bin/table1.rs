@@ -3,16 +3,20 @@
 //!
 //! The suite runs through the parallel batch-verification pipeline
 //! (`commcsl-verifier::batch`); use `--threads 1` for the paper's
-//! sequential regime.
+//! sequential regime. With `--json <path>`, one single-line JSON snapshot
+//! of the run is *appended* to `<path>` (conventionally
+//! `BENCH_table1.json`), building up a perf trajectory run over run.
 //!
 //! Run with `cargo run -p commcsl-bench --release --bin table1 --
-//! [--runs N] [--threads N]`.
+//! [--runs N] [--threads N] [--json <path>]`.
+
+use std::io::Write;
 
 use commcsl::verifier::batch::BatchConfig;
-use commcsl_bench::{render_table, table1_rows_parallel};
+use commcsl_bench::{render_table, table1_json, table1_rows_parallel};
 
 fn main() {
-    let (runs, threads) = parse_args();
+    let (runs, threads, json_path) = parse_args();
     let rows = table1_rows_parallel(runs, threads);
     let effective = BatchConfig::with_threads(threads).effective_threads(rows.len());
     println!(
@@ -33,13 +37,26 @@ fn main() {
         rows.iter().filter(|r| r.verified).count(),
         rows.len()
     );
+    if let Some(path) = json_path {
+        let snapshot = table1_json(&rows, runs, threads);
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| die(&format!("cannot open {path}: {e}")));
+        writeln!(file, "{snapshot}")
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!("appended snapshot to {path}");
+    }
     std::process::exit(if all_ok { 0 } else { 1 });
 }
 
-/// Parses `[--runs N] [--threads N]`; defaults: 5 runs, all CPUs.
-fn parse_args() -> (u32, usize) {
+/// Parses `[--runs N] [--threads N] [--json <path>]`; defaults: 5 runs,
+/// all CPUs, no snapshot.
+fn parse_args() -> (u32, usize, Option<String>) {
     let mut runs = 5u32;
     let mut threads = 0usize;
+    let mut json_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| {
@@ -58,13 +75,17 @@ fn parse_args() -> (u32, usize) {
                 threads = usize::try_from(take("--threads"))
                     .unwrap_or_else(|_| die("--threads needs a reasonable number"));
             }
+            "--json" => {
+                json_path =
+                    Some(args.next().unwrap_or_else(|| die("--json needs a path")));
+            }
             other => die(&format!("unknown argument `{other}`")),
         }
     }
-    (runs, threads)
+    (runs, threads, json_path)
 }
 
 fn die(msg: &str) -> ! {
-    eprintln!("table1: {msg}\nusage: table1 [--runs N] [--threads N]");
+    eprintln!("table1: {msg}\nusage: table1 [--runs N] [--threads N] [--json <path>]");
     std::process::exit(2);
 }

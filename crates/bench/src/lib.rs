@@ -79,6 +79,36 @@ pub fn table1_rows_parallel(runs: u32, threads: usize) -> Vec<Table1Row> {
         .collect()
 }
 
+/// Renders rows as one JSON snapshot object (single line, no trailing
+/// newline) for append-style benchmark trajectories such as
+/// `BENCH_table1.json`: one run per line, each self-describing.
+pub fn table1_json(rows: &[Table1Row], runs: u32, threads: usize) -> String {
+    use commcsl::verifier::report::json_string;
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"example\":{},\"data_structure\":{},\"abstraction\":{},\
+                 \"loc\":{},\"annotations\":{},\"time_ms\":{:.6},\"verified\":{}}}",
+                json_string(r.example),
+                json_string(r.data_structure),
+                json_string(r.abstraction),
+                r.loc,
+                r.annotations,
+                r.time.as_secs_f64() * 1000.0,
+                r.verified,
+            )
+        })
+        .collect();
+    format!(
+        "{{\"bench\":\"table1\",\"runs\":{runs},\"threads\":{threads},\
+         \"total_ms\":{:.6},\"all_verified\":{},\"rows\":[{}]}}",
+        rows.iter().map(|r| r.time.as_secs_f64()).sum::<f64>() * 1000.0,
+        rows.iter().all(|r| r.verified),
+        rendered.join(","),
+    )
+}
+
 /// Renders rows in the paper's table layout.
 pub fn render_table(rows: &[Table1Row]) -> String {
     let mut out = String::new();
@@ -125,6 +155,19 @@ mod tests {
             assert_eq!(s.verified, p.verified);
             assert_eq!(s.loc, p.loc);
             assert_eq!(s.annotations, p.annotations);
+        }
+    }
+
+    #[test]
+    fn json_snapshot_is_single_line_and_complete() {
+        let rows = table1_rows(1);
+        let json = table1_json(&rows, 1, 0);
+        assert!(!json.contains('\n'));
+        assert!(json.starts_with("{\"bench\":\"table1\""));
+        assert!(json.contains("\"all_verified\":true"));
+        assert_eq!(json.matches("\"example\":").count(), 18);
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
         }
     }
 

@@ -18,6 +18,7 @@
 //! | [`logic`] | `commcsl-logic` | extended heaps, assertions, resource specs, validity |
 //! | [`verifier`] | `commcsl-verifier` | the HyperViper-style automated verifier |
 //! | [`fixtures`] | `commcsl-fixtures` | the 18 evaluation examples of Table 1 |
+//! | [`front`] | `commcsl-front` | the `.csl` surface language, lowering, pretty-printer, and `commcsl` CLI |
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub use commcsl_fixtures as fixtures;
+pub use commcsl_front as front;
 pub use commcsl_lang as lang;
 pub use commcsl_logic as logic;
 pub use commcsl_pure as pure;

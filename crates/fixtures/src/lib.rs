@@ -73,8 +73,20 @@ pub fn all() -> Vec<Fixture> {
     ]
 }
 
+/// Looks up a fixture by Table 1 row name (`"Figure 3"`) or by annotated
+/// program name (`"figure3-map-keyset"`) — the latter is what frontend
+/// tooling sees after parsing a `.csl` file. Program names are unique
+/// across the suite (pinned by a test here).
+pub fn find(name: &str) -> Option<Fixture> {
+    all()
+        .into_iter()
+        .find(|f| f.name == name || f.program.name == name)
+}
+
 #[cfg(test)]
 mod tests {
+    use std::collections::BTreeSet;
+
     use super::*;
     use commcsl_lang::nicheck::{check_non_interference, NiConfig};
     use commcsl_verifier::verify;
@@ -105,6 +117,19 @@ mod tests {
                 "2-Producers-2-Consumers",
             ]
         );
+    }
+
+    #[test]
+    fn program_names_are_unique_and_findable() {
+        let fixtures = all();
+        let names: BTreeSet<&str> =
+            fixtures.iter().map(|f| f.program.name.as_str()).collect();
+        assert_eq!(names.len(), fixtures.len(), "program names must be unique");
+        for f in &fixtures {
+            assert_eq!(find(f.name).unwrap().name, f.name);
+            assert_eq!(find(&f.program.name).unwrap().name, f.name);
+        }
+        assert!(find("no-such-example").is_none());
     }
 
     #[test]

@@ -1,0 +1,9 @@
+//! The `commcsl` binary: a thin wrapper over [`commcsl_front::cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    let code = commcsl_front::cli::run(&args, &mut out);
+    print!("{out}");
+    std::process::exit(code);
+}

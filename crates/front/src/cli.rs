@@ -1,0 +1,457 @@
+//! The `commcsl` command-line driver.
+//!
+//! ```text
+//! commcsl verify [--threads N] [--json] [--expect verified|rejected] PATH...
+//! commcsl fmt PATH...
+//! commcsl help
+//! ```
+//!
+//! `PATH` arguments may be `.csl` files, directories (searched recursively
+//! for `*.csl`), or simple `*`-globs in the final path component. `verify`
+//! pushes every program through the parallel batch-verification pipeline
+//! ([`commcsl_verifier::batch`]) and reports per-program results — human-
+//! readable by default, one machine-readable JSON document with `--json`.
+//! The process exit code is `0` exactly when every file parses and every
+//! program matches the expectation (`verified` unless `--expect rejected`).
+//!
+//! The driver is a library function ([`run`]) over an output sink so the
+//! workspace's integration tests can drive it in-process; the binary in
+//! `src/bin/commcsl.rs` is a thin wrapper.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use commcsl_verifier::batch::{verify_batch_ref, BatchConfig};
+use commcsl_verifier::program::AnnotatedProgram;
+use commcsl_verifier::report::json_string;
+
+use crate::compile;
+
+/// What `verify` expects of every program in the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expect {
+    /// Every program must verify (the default).
+    Verified,
+    /// Every program must *fail* verification (for known-insecure
+    /// corpora such as `examples/rejected/`).
+    Rejected,
+}
+
+const USAGE: &str = "\
+usage: commcsl <command> [options] <path>...
+
+commands:
+  verify    parse, lower, and verify annotated programs
+  fmt       parse and pretty-print programs to stdout (canonical form)
+  help      show this message
+
+options (verify):
+  --threads N                  worker threads (0 = one per CPU, default)
+  --json                       emit one JSON document instead of text
+  --expect verified|rejected   required verdict for exit code 0
+                               (default: verified)
+
+paths may be .csl files, directories (searched recursively), or simple
+*-globs in the final component (e.g. examples/programs/*.csl)";
+
+/// Runs the CLI. Returns the process exit code; all output goes to `out`.
+pub fn run(args: &[String], out: &mut String) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("verify") => run_verify(&args[1..], out),
+        Some("fmt") => run_fmt(&args[1..], out),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            let _ = writeln!(out, "{USAGE}");
+            i32::from(args.is_empty())
+        }
+        Some(other) => {
+            let _ = writeln!(out, "commcsl: unknown command `{other}`\n{USAGE}");
+            2
+        }
+    }
+}
+
+fn run_verify(args: &[String], out: &mut String) -> i32 {
+    let mut threads = 0usize;
+    let mut json = false;
+    let mut expect = Expect::Verified;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    let _ = writeln!(out, "commcsl: --threads needs a number");
+                    return 2;
+                };
+                threads = n;
+            }
+            "--json" => json = true,
+            "--expect" => match it.next().map(String::as_str) {
+                Some("verified") => expect = Expect::Verified,
+                Some("rejected") => expect = Expect::Rejected,
+                other => {
+                    let _ = writeln!(
+                        out,
+                        "commcsl: --expect needs `verified` or `rejected`, got {other:?}"
+                    );
+                    return 2;
+                }
+            },
+            flag if flag.starts_with("--") => {
+                let _ = writeln!(out, "commcsl: unknown option `{flag}`\n{USAGE}");
+                return 2;
+            }
+            path => paths.push(path.to_owned()),
+        }
+    }
+    if paths.is_empty() {
+        let _ = writeln!(out, "commcsl: verify needs at least one path\n{USAGE}");
+        return 2;
+    }
+    let files = match collect_files(&paths) {
+        Ok(files) => files,
+        Err(msg) => {
+            let _ = writeln!(out, "commcsl: {msg}");
+            return 2;
+        }
+    };
+    if files.is_empty() {
+        let _ = writeln!(out, "commcsl: no .csl files found");
+        return 2;
+    }
+
+    // Parse + lower everything first, then batch-verify the survivors.
+    let mut programs: Vec<(PathBuf, AnnotatedProgram)> = Vec::new();
+    let mut parse_errors: Vec<(PathBuf, String)> = Vec::new();
+    for file in files {
+        match fs::read_to_string(&file) {
+            Ok(src) => match compile(&src) {
+                Ok(program) => programs.push((file, program)),
+                Err(e) => parse_errors.push((file, e.to_string())),
+            },
+            Err(e) => parse_errors.push((file, format!("cannot read file: {e}"))),
+        }
+    }
+    let refs: Vec<&AnnotatedProgram> = programs.iter().map(|(_, p)| p).collect();
+    let results = verify_batch_ref(&refs, &BatchConfig::with_threads(threads));
+
+    let as_expected = |verified: bool| match expect {
+        Expect::Verified => verified,
+        Expect::Rejected => !verified,
+    };
+    let matching = results
+        .iter()
+        .filter(|r| as_expected(r.report.verified()))
+        .count();
+    let ok = parse_errors.is_empty() && matching == results.len();
+
+    if json {
+        let mut entries: Vec<String> = parse_errors
+            .iter()
+            .map(|(file, e)| {
+                format!(
+                    "{{\"file\":{},\"error\":{}}}",
+                    json_string(&file.display().to_string()),
+                    json_string(e)
+                )
+            })
+            .collect();
+        entries.extend(results.iter().map(|r| {
+            format!(
+                "{{\"file\":{},\"time_ms\":{:.3},\"report\":{}}}",
+                json_string(&programs[r.index].0.display().to_string()),
+                r.time.as_secs_f64() * 1000.0,
+                r.report.to_json()
+            )
+        }));
+        let _ = writeln!(
+            out,
+            "{{\"results\":[{}],\"summary\":{{\"total\":{},\"as_expected\":{},\
+             \"parse_errors\":{},\"expect\":{},\"ok\":{}}}}}",
+            entries.join(","),
+            results.len() + parse_errors.len(),
+            matching,
+            parse_errors.len(),
+            json_string(match expect {
+                Expect::Verified => "verified",
+                Expect::Rejected => "rejected",
+            }),
+            ok
+        );
+    } else {
+        for (file, e) in &parse_errors {
+            let _ = writeln!(out, "{}: {e}", file.display());
+        }
+        for r in &results {
+            let marker = if as_expected(r.report.verified()) { "" } else { " [UNEXPECTED]" };
+            let _ = write!(
+                out,
+                "{} ({:.3} ms){marker}: {}",
+                programs[r.index].0.display(),
+                r.time.as_secs_f64() * 1000.0,
+                r.report
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\n{matching}/{} programs {}{}",
+            results.len(),
+            match expect {
+                Expect::Verified => "verified",
+                Expect::Rejected => "rejected as required",
+            },
+            if parse_errors.is_empty() {
+                String::new()
+            } else {
+                format!(", {} file(s) failed to parse", parse_errors.len())
+            }
+        );
+    }
+    i32::from(!ok)
+}
+
+fn run_fmt(args: &[String], out: &mut String) -> i32 {
+    if args.is_empty() {
+        let _ = writeln!(out, "commcsl: fmt needs at least one path\n{USAGE}");
+        return 2;
+    }
+    let files = match collect_files(args) {
+        Ok(files) => files,
+        Err(msg) => {
+            let _ = writeln!(out, "commcsl: {msg}");
+            return 2;
+        }
+    };
+    if files.is_empty() {
+        let _ = writeln!(out, "commcsl: no .csl files found");
+        return 2;
+    }
+    let mut code = 0;
+    for file in files {
+        match fs::read_to_string(&file).map_err(|e| format!("cannot read file: {e}")) {
+            Ok(src) => match compile(&src) {
+                Ok(program) => out.push_str(&crate::pretty::pretty(&program)),
+                Err(e) => {
+                    let _ = writeln!(out, "{}: {e}", file.display());
+                    code = 1;
+                }
+            },
+            Err(e) => {
+                let _ = writeln!(out, "{}: {e}", file.display());
+                code = 1;
+            }
+        }
+    }
+    code
+}
+
+// ------------------------------------------------------------ file lookup
+
+/// Expands path arguments into a sorted, de-duplicated list of `.csl`
+/// files. Directories are searched recursively; the final component of a
+/// path may contain `*` wildcards.
+fn collect_files(paths: &[String]) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for raw in paths {
+        let path = Path::new(raw);
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if name.contains('*') {
+            let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+            let dir = dir.unwrap_or_else(|| Path::new("."));
+            let mut matched = false;
+            for entry in read_dir_sorted(dir)? {
+                let entry_name = entry
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                if entry.is_file() && glob_match(&name, &entry_name) {
+                    files.push(entry);
+                    matched = true;
+                }
+            }
+            if !matched {
+                return Err(format!("no files match `{raw}`"));
+            }
+        } else if path.is_dir() {
+            walk_csl(path, &mut files)?;
+        } else if path.is_file() {
+            files.push(path.to_path_buf());
+        } else {
+            return Err(format!("no such file or directory: `{raw}`"));
+        }
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory `{}`: {e}", dir.display()))?;
+    let mut out: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+fn walk_csl(dir: &Path, files: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in read_dir_sorted(dir)? {
+        if entry.is_dir() {
+            walk_csl(&entry, files)?;
+        } else if entry.extension().is_some_and(|e| e == "csl") {
+            files.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Matches `pattern` (with `*` wildcards) against an entire file name.
+fn glob_match(pattern: &str, name: &str) -> bool {
+    // Dynamic-programming match over characters; `*` matches any run.
+    let p: Vec<char> = pattern.chars().collect();
+    let n: Vec<char> = name.chars().collect();
+    let mut dp = vec![vec![false; n.len() + 1]; p.len() + 1];
+    dp[0][0] = true;
+    for i in 1..=p.len() {
+        if p[i - 1] == '*' {
+            dp[i][0] = dp[i - 1][0];
+        }
+    }
+    for i in 1..=p.len() {
+        for j in 1..=n.len() {
+            dp[i][j] = if p[i - 1] == '*' {
+                dp[i - 1][j] || dp[i][j - 1]
+            } else {
+                dp[i - 1][j - 1] && p[i - 1] == n[j - 1]
+            };
+        }
+    }
+    dp[p.len()][n.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_matching() {
+        assert!(glob_match("*.csl", "foo.csl"));
+        assert!(glob_match("fig*_*.csl", "fig3_map.csl"));
+        assert!(!glob_match("*.csl", "foo.rs"));
+        assert!(glob_match("*", "anything"));
+        assert!(!glob_match("a*b", "acd"));
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        let mut out = String::new();
+        assert_eq!(run(&["help".into()], &mut out), 0);
+        assert!(out.contains("usage"));
+        let mut out = String::new();
+        assert_eq!(run(&["bogus".into()], &mut out), 2);
+        let mut out = String::new();
+        assert_eq!(run(&[], &mut out), 1);
+    }
+
+    #[test]
+    fn verify_requires_paths_and_valid_flags() {
+        let mut out = String::new();
+        assert_eq!(run(&["verify".into()], &mut out), 2);
+        let mut out = String::new();
+        assert_eq!(
+            run(&["verify".into(), "--expect".into(), "nonsense".into()], &mut out),
+            2
+        );
+        let mut out = String::new();
+        assert_eq!(
+            run(&["verify".into(), "/nonexistent/x.csl".into()], &mut out),
+            2
+        );
+    }
+
+    #[test]
+    fn verify_a_temp_file_end_to_end() {
+        let dir = std::env::temp_dir().join("commcsl-cli-test");
+        fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.csl");
+        fs::write(
+            &good,
+            "program good;\ninput a: Int low;\noutput a;\n",
+        )
+        .unwrap();
+        let bad = dir.join("bad.csl");
+        fs::write(
+            &bad,
+            "program bad;\ninput h: Int high;\noutput h;\n",
+        )
+        .unwrap();
+
+        let mut out = String::new();
+        let code = run(
+            &["verify".into(), good.display().to_string()],
+            &mut out,
+        );
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("1/1 programs verified"));
+
+        // The leaky program fails under the default expectation...
+        let mut out = String::new();
+        let code = run(&["verify".into(), bad.display().to_string()], &mut out);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("UNEXPECTED"));
+
+        // ... and passes under --expect rejected.
+        let mut out = String::new();
+        let code = run(
+            &[
+                "verify".into(),
+                "--expect".into(),
+                "rejected".into(),
+                bad.display().to_string(),
+            ],
+            &mut out,
+        );
+        assert_eq!(code, 0, "{out}");
+
+        // JSON mode produces a single document mentioning both files.
+        let mut out = String::new();
+        let code = run(
+            &["verify".into(), "--json".into(), dir.display().to_string()],
+            &mut out,
+        );
+        assert_eq!(code, 1, "{out}"); // bad.csl does not verify
+        assert!(out.contains("\"results\":["));
+        assert!(out.contains("good.csl"));
+        assert!(out.contains("\"ok\":false"));
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fmt_is_idempotent_on_a_temp_file() {
+        let dir = std::env::temp_dir().join("commcsl-fmt-test");
+        fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("p.csl");
+        fs::write(
+            &f,
+            "program p;\nresource ctr: Int named \"counter-add\" {\n\
+             alpha(v) = v;\nshared action Add(arg: Int) = v + arg \
+             requires arg1 == arg2;\n}\nshare ctr = 0;\n\
+             with ctr performing Add(1);\nunshare ctr into c;\noutput c;\n",
+        )
+        .unwrap();
+        let mut once = String::new();
+        assert_eq!(run(&["fmt".into(), f.display().to_string()], &mut once), 0);
+        let f2 = dir.join("p2.csl");
+        fs::write(&f2, &once).unwrap();
+        let mut twice = String::new();
+        assert_eq!(run(&["fmt".into(), f2.display().to_string()], &mut twice), 0);
+        assert_eq!(once, twice);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,418 @@
+//! Lowering from the surface AST to the verifier's
+//! [`AnnotatedProgram`].
+//!
+//! Lowering resolves resource and action *names* to the indices the
+//! verifier works with, builds [`ResourceSpec`]s out of resource
+//! declarations, and performs the well-formedness checks that have natural
+//! surface-level diagnostics:
+//!
+//! * duplicate resource binders / action names,
+//! * free-variable discipline (`alpha` over `v`; action bodies over `v`,
+//!   `arg`; preconditions over `arg1`, `arg2`),
+//! * boolean-sortedness of `requires` clauses,
+//! * unknown resources and actions, action argument arity, and
+//! * sort compatibility of `share` initializers and action arguments.
+//!
+//! Every error is a [`ParseError`] carrying the `line:column` position of
+//! the offending surface construct.
+
+use std::collections::BTreeMap;
+
+use commcsl_lang::span::{ParseError, Pos};
+use commcsl_logic::spec::{ActionDef, ResourceSpec};
+use commcsl_pure::{Sort, Symbol, Term, Value};
+use commcsl_verifier::program::{AnnotatedProgram, VStmt};
+
+use crate::ast::{ResourceDecl, Stmt, SurfaceProgram, WithSuffix};
+use crate::sorts::infer;
+
+/// Lowers a parsed surface program into a verifiable annotated program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] (with position) on name-resolution or
+/// sort-discipline violations; see the module docs for the full list.
+pub fn lower(surface: &SurfaceProgram) -> Result<AnnotatedProgram, ParseError> {
+    let mut resources = Vec::new();
+    let mut index_of: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, decl) in surface.resources.iter().enumerate() {
+        if index_of.insert(&decl.binder, i).is_some() {
+            return Err(ParseError::new(
+                decl.binder_pos,
+                format!("duplicate resource `{}`", decl.binder),
+            ));
+        }
+        resources.push(lower_resource(decl)?);
+    }
+    let ctx = Ctx { index_of, specs: &resources };
+    let body = lower_body(&surface.body, &ctx)?;
+    Ok(AnnotatedProgram {
+        name: surface.name.clone(),
+        resources,
+        body,
+    })
+}
+
+fn check_free_vars(
+    term: &Term,
+    allowed: &[&str],
+    what: &str,
+    pos: Pos,
+) -> Result<(), ParseError> {
+    for v in term.free_vars() {
+        if !allowed.contains(&v.as_str()) {
+            return Err(ParseError::new(
+                pos,
+                format!(
+                    "{what} may only mention {}, found `{v}`",
+                    allowed
+                        .iter()
+                        .map(|a| format!("`{a}`"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn lower_resource(decl: &ResourceDecl) -> Result<ResourceSpec, ParseError> {
+    check_free_vars(&decl.alpha, &["v"], "the abstraction function", decl.alpha_pos)?;
+    let mut actions = Vec::new();
+    for action in &decl.actions {
+        if actions.iter().any(|a: &ActionDef| a.name.as_str() == action.name) {
+            return Err(ParseError::new(
+                action.name_pos,
+                format!("duplicate action `{}`", action.name),
+            ));
+        }
+        check_free_vars(
+            &action.body,
+            &["v", "arg"],
+            "an action body",
+            action.body_pos,
+        )?;
+        let pre = match &action.pre {
+            None => Term::tt(),
+            Some((pre, pre_pos)) => {
+                check_free_vars(pre, &["arg1", "arg2"], "a `requires` clause", *pre_pos)?;
+                let env: BTreeMap<Symbol, Sort> = [
+                    (Symbol::new("arg1"), action.arg_sort.clone()),
+                    (Symbol::new("arg2"), action.arg_sort.clone()),
+                ]
+                .into_iter()
+                .collect();
+                let sort = infer(pre, &env);
+                if !sort.compatible(&Sort::Bool) {
+                    return Err(ParseError::new(
+                        *pre_pos,
+                        format!(
+                            "ill-sorted `requires` clause: expected Bool, found {sort}"
+                        ),
+                    ));
+                }
+                pre.clone()
+            }
+        };
+        actions.push(ActionDef {
+            name: Symbol::new(&action.name),
+            kind: action.kind,
+            arg_sort: action.arg_sort.clone(),
+            body: action.body.clone(),
+            pre,
+        });
+    }
+    Ok(ResourceSpec::new(
+        decl.spec_name.as_deref().unwrap_or(&decl.binder),
+        decl.value_sort.clone(),
+        decl.alpha.clone(),
+        actions,
+    ))
+}
+
+struct Ctx<'a> {
+    index_of: BTreeMap<&'a str, usize>,
+    specs: &'a [ResourceSpec],
+}
+
+impl<'a> Ctx<'a> {
+    fn resolve(&self, name: &str, pos: Pos) -> Result<usize, ParseError> {
+        self.index_of.get(name).copied().ok_or_else(|| {
+            ParseError::new(pos, format!("unknown resource `{name}`"))
+        })
+    }
+}
+
+fn lower_body(stmts: &[Stmt], ctx: &Ctx<'_>) -> Result<Vec<VStmt>, ParseError> {
+    stmts.iter().map(|s| lower_stmt(s, ctx)).collect()
+}
+
+fn lower_stmt(stmt: &Stmt, ctx: &Ctx<'_>) -> Result<VStmt, ParseError> {
+    Ok(match stmt {
+        Stmt::Input { var, sort, low } => VStmt::Input {
+            var: Symbol::new(var),
+            sort: sort.clone(),
+            low: *low,
+        },
+        Stmt::Assign { var, expr } => VStmt::Assign(Symbol::new(var), expr.clone()),
+        Stmt::If { cond, then_b, else_b } => VStmt::If {
+            cond: cond.clone(),
+            then_b: lower_body(then_b, ctx)?,
+            else_b: lower_body(else_b, ctx)?,
+        },
+        Stmt::For { var, from, to, body } => VStmt::For {
+            var: Symbol::new(var),
+            from: from.clone(),
+            to: to.clone(),
+            body: lower_body(body, ctx)?,
+        },
+        Stmt::Share { resource, resource_pos, init, init_pos } => {
+            let index = ctx.resolve(resource, *resource_pos)?;
+            let spec = &ctx.specs[index];
+            let init_sort = infer(init, &BTreeMap::new());
+            if !init_sort.compatible(&spec.value_sort) {
+                return Err(ParseError::new(
+                    *init_pos,
+                    format!(
+                        "initial value has sort {init_sort}, but resource `{resource}` \
+                         holds {}",
+                        spec.value_sort
+                    ),
+                ));
+            }
+            VStmt::Share { resource: index, init: init.clone() }
+        }
+        Stmt::Par { workers } => VStmt::Par {
+            workers: workers
+                .iter()
+                .map(|w| lower_body(w, ctx))
+                .collect::<Result<_, _>>()?,
+        },
+        Stmt::With {
+            resource,
+            resource_pos,
+            action,
+            action_pos,
+            args,
+            args_pos,
+            suffix,
+        } => {
+            let index = ctx.resolve(resource, *resource_pos)?;
+            let spec = &ctx.specs[index];
+            let Some(action_def) = spec.action(action) else {
+                let known: Vec<&str> =
+                    spec.actions.iter().map(|a| a.name.as_str()).collect();
+                return Err(ParseError::new(
+                    *action_pos,
+                    format!(
+                        "resource `{resource}` (spec `{}`) has no action `{action}`; \
+                         available: {}",
+                        spec.name,
+                        known.join(", ")
+                    ),
+                ));
+            };
+            if matches!(suffix, WithSuffix::Binding { .. }) && !args.is_empty() {
+                return Err(ParseError::new(
+                    *args_pos,
+                    format!(
+                        "a consuming `binding` action takes no argument, got {}",
+                        args.len()
+                    ),
+                ));
+            }
+            if args.len() > 1 {
+                return Err(ParseError::new(
+                    *args_pos,
+                    format!(
+                        "action `{action}` takes at most one argument, got {}",
+                        args.len()
+                    ),
+                ));
+            }
+            let arg = args
+                .first()
+                .cloned()
+                .unwrap_or(Term::Lit(Value::Unit));
+            let arg_sort = infer(&arg, &BTreeMap::new());
+            if !matches!(suffix, WithSuffix::Binding { .. })
+                && !arg_sort.compatible(&action_def.arg_sort)
+            {
+                return Err(ParseError::new(
+                    *args_pos,
+                    format!(
+                        "action `{action}` expects an argument of sort {}, found {arg_sort}",
+                        action_def.arg_sort
+                    ),
+                ));
+            }
+            let action_sym = Symbol::new(action);
+            match suffix {
+                WithSuffix::None => VStmt::Atomic {
+                    resource: index,
+                    action: action_sym,
+                    arg,
+                },
+                WithSuffix::Deferred => VStmt::AtomicDeferred {
+                    resource: index,
+                    action: action_sym,
+                    arg,
+                },
+                WithSuffix::Times(count) => VStmt::AtomicBatch {
+                    resource: index,
+                    action: action_sym,
+                    arg,
+                    count: count.clone(),
+                },
+                WithSuffix::Binding { var, index: at } => VStmt::ConsumeBind {
+                    resource: index,
+                    action: action_sym,
+                    var: Symbol::new(var),
+                    index: at.clone(),
+                },
+            }
+        }
+        Stmt::Unshare { resource, resource_pos, into } => VStmt::Unshare {
+            resource: ctx.resolve(resource, *resource_pos)?,
+            into: Symbol::new(into),
+        },
+        Stmt::AssertLow(e) => VStmt::AssertLow(e.clone()),
+        Stmt::Output(e) => VStmt::Output(e.clone()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_surface;
+
+    fn compile(src: &str) -> Result<AnnotatedProgram, ParseError> {
+        lower(&parse_surface(src)?)
+    }
+
+    const COUNTER: &str = "program demo;\n\
+                           resource ctr: Int named \"counter-add\" {\n\
+                               alpha(v) = v;\n\
+                               shared action Add(arg: Int) = v + arg requires arg1 == arg2;\n\
+                           }\n";
+
+    #[test]
+    fn lowers_counter_program() {
+        let src = format!(
+            "{COUNTER}\
+             input a: Int low;\n\
+             share ctr = 0;\n\
+             par {{ with ctr performing Add(a); }} || {{ with ctr performing Add(2); }}\n\
+             unshare ctr into total;\n\
+             output total;"
+        );
+        let p = compile(&src).unwrap();
+        assert_eq!(p.name, "demo");
+        assert_eq!(p.resources.len(), 1);
+        assert_eq!(p.resources[0].name.as_str(), "counter-add");
+        assert_eq!(p.body.len(), 5);
+        assert!(matches!(p.body[1], VStmt::Share { resource: 0, .. }));
+        let VStmt::Par { workers } = &p.body[2] else {
+            panic!("expected par");
+        };
+        assert_eq!(
+            workers[0][0],
+            VStmt::atomic(0, "Add", Term::var("a"))
+        );
+        // The lowered program actually verifies.
+        let report = commcsl_verifier::verify(&p, &Default::default());
+        assert!(report.verified(), "{report}");
+    }
+
+    #[test]
+    fn unknown_resource_is_positioned() {
+        let err = compile("program p;\nshare ctr = 0;").unwrap_err();
+        assert_eq!((err.pos.line, err.pos.col), (2, 7));
+        assert!(err.message.contains("unknown resource `ctr`"));
+    }
+
+    #[test]
+    fn unknown_action_lists_alternatives() {
+        let src = format!("{COUNTER}share ctr = 0;\nwith ctr performing Sub(1);");
+        let err = compile(&src).unwrap_err();
+        assert_eq!(err.pos.line, 7);
+        assert!(err.message.contains("no action `Sub`"));
+        assert!(err.message.contains("available: Add"));
+    }
+
+    #[test]
+    fn arity_violation_is_positioned() {
+        let src = format!("{COUNTER}with ctr performing Add(1, 2);");
+        let err = compile(&src).unwrap_err();
+        assert_eq!(err.pos.line, 6);
+        assert!(err.message.contains("takes at most one argument, got 2"));
+    }
+
+    #[test]
+    fn ill_sorted_requires_is_rejected() {
+        let src = "program p;\n\
+                   resource ctr: Int {\n\
+                       alpha(v) = v;\n\
+                       shared action Add(arg: Int) = v + arg requires arg1 + arg2;\n\
+                   }";
+        let err = compile(src).unwrap_err();
+        assert_eq!((err.pos.line, err.pos.col), (4, 48));
+        assert!(err.message.contains("ill-sorted `requires`"));
+        assert!(err.message.contains("found Int"));
+    }
+
+    #[test]
+    fn foreign_variables_are_rejected() {
+        let src = "program p;\n\
+                   resource ctr: Int {\n\
+                       alpha(v) = v + x;\n\
+                   }";
+        let err = compile(src).unwrap_err();
+        assert!(err.message.contains("may only mention `v`"));
+        let src = "program p;\n\
+                   resource ctr: Int {\n\
+                       alpha(v) = v;\n\
+                       shared action A(arg: Int) = v + arg requires arg1 == other;\n\
+                   }";
+        let err = compile(src).unwrap_err();
+        assert!(err.message.contains("`requires` clause"));
+    }
+
+    #[test]
+    fn share_initializer_sort_is_checked() {
+        let src = format!("{COUNTER}share ctr = empty_seq;");
+        let err = compile(&src).unwrap_err();
+        assert!(err.message.contains("holds Int"));
+    }
+
+    #[test]
+    fn binding_rejects_arguments() {
+        let src = "program p;\n\
+                   resource q: Pair[Either[Int, Seq[Int]], Seq[Int]] {\n\
+                       alpha(v) = snd(v);\n\
+                       unique action Cons(arg: Unit) = v;\n\
+                   }\n\
+                   with q performing Cons(1) binding x at 0;";
+        let err = compile(src).unwrap_err();
+        assert_eq!(err.pos.line, 6);
+        assert!(err.message.contains("takes no argument"));
+    }
+
+    #[test]
+    fn duplicate_declarations_are_rejected() {
+        let src = "program p;\n\
+                   resource a: Int { alpha(v) = v; }\n\
+                   resource a: Int { alpha(v) = v; }";
+        let err = compile(src).unwrap_err();
+        assert!(err.message.contains("duplicate resource"));
+        let src = "program p;\n\
+                   resource a: Int {\n\
+                       alpha(v) = v;\n\
+                       shared action A(arg: Int) = v;\n\
+                       shared action A(arg: Int) = v;\n\
+                   }";
+        let err = compile(src).unwrap_err();
+        assert!(err.message.contains("duplicate action"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Lightweight sort inference for surface terms.
+//!
+//! The frontend checks a handful of sort constraints at lowering time —
+//! most importantly that a `requires` clause is boolean — without a full
+//! type system: [`infer`] computes a *best-effort* sort for a term, using
+//! [`Sort::Unknown`] wherever the answer depends on information it does
+//! not have (unbound variables, uninterpreted symbols, empty containers).
+//! `Unknown` is compatible with everything, so inference never rejects a
+//! term it cannot understand — it only rejects definite mismatches.
+
+use std::collections::BTreeMap;
+
+use commcsl_pure::{Func, Sort, Symbol, Term};
+
+/// Infers the sort of `term`, with `env` giving the sorts of known
+/// variables. Unknown variables infer as [`Sort::Unknown`].
+pub fn infer(term: &Term, env: &BTreeMap<Symbol, Sort>) -> Sort {
+    match term {
+        Term::Var(x) => env.get(x).cloned().unwrap_or(Sort::Unknown),
+        Term::Lit(v) => Sort::of_value(v),
+        Term::App(f, args) => infer_app(f, args, env),
+    }
+}
+
+fn elem_of(container: Sort) -> Sort {
+    match container {
+        Sort::Seq(e) | Sort::Set(e) | Sort::Multiset(e) => *e,
+        _ => Sort::Unknown,
+    }
+}
+
+fn join(a: Sort, b: Sort) -> Sort {
+    if a == Sort::Unknown {
+        b
+    } else {
+        a
+    }
+}
+
+fn infer_app(f: &Func, args: &[Term], env: &BTreeMap<Symbol, Sort>) -> Sort {
+    use Func::*;
+    let arg = |i: usize| args.get(i).map_or(Sort::Unknown, |t| infer(t, env));
+    if f.is_predicate() {
+        return Sort::Bool;
+    }
+    match f {
+        Add | Sub | Mul | Div | Mod | Neg | Max | Min => Sort::Int,
+        SeqLen | SeqSum | SeqMean | SetCard | MsCard | MapLen => Sort::Int,
+        Ite => join(arg(1), arg(2)),
+        MkPair => Sort::pair(arg(0), arg(1)),
+        Fst => match arg(0) {
+            Sort::Pair(a, _) => *a,
+            _ => Sort::Unknown,
+        },
+        Snd => match arg(0) {
+            Sort::Pair(_, b) => *b,
+            _ => Sort::Unknown,
+        },
+        MkLeft => Sort::either(arg(0), Sort::Unknown),
+        MkRight => Sort::either(Sort::Unknown, arg(0)),
+        FromLeft => match arg(0) {
+            Sort::Either(a, _) => *a,
+            _ => Sort::Unknown,
+        },
+        FromRight => match arg(0) {
+            Sort::Either(_, b) => *b,
+            _ => Sort::Unknown,
+        },
+        SeqAppend => join(arg(0), Sort::seq(arg(1))),
+        SeqConcat => join(arg(0), arg(1)),
+        SeqIndex => elem_of(arg(0)),
+        SeqIndexOr | SeqHeadOr => join(elem_of(arg(0)), arg(args.len() - 1)),
+        SeqTail | SeqSorted => arg(0),
+        SeqToMultiset => Sort::multiset(elem_of(arg(0))),
+        SeqToSet => Sort::set(elem_of(arg(0))),
+        SetAdd => join(arg(0), Sort::set(arg(1))),
+        SetUnion | MsUnion => join(arg(0), arg(1)),
+        SetToSeq | MsToSortedSeq => Sort::seq(elem_of(arg(0))),
+        MsAdd => join(arg(0), Sort::multiset(arg(1))),
+        MapPut => match arg(0) {
+            s @ Sort::Map(_, _) => s,
+            _ => Sort::map(arg(1), arg(2)),
+        },
+        MapGetOr => match arg(0) {
+            Sort::Map(_, v) => *v,
+            _ => arg(2),
+        },
+        MapDom => match arg(0) {
+            Sort::Map(k, _) => Sort::set(*k),
+            _ => Sort::set(Sort::Unknown),
+        },
+        Uninterpreted(_) => Sort::Unknown,
+        // Predicates were handled above; anything new defaults to Unknown.
+        _ => Sort::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commcsl_pure::Value;
+
+    fn env(pairs: &[(&str, Sort)]) -> BTreeMap<Symbol, Sort> {
+        pairs
+            .iter()
+            .map(|(n, s)| (Symbol::new(n), s.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn infers_arithmetic_and_predicates() {
+        let e = env(&[("x", Sort::Int)]);
+        assert_eq!(infer(&Term::add(Term::var("x"), Term::int(1)), &e), Sort::Int);
+        assert_eq!(infer(&Term::eq(Term::var("x"), Term::int(1)), &e), Sort::Bool);
+        assert_eq!(infer(&Term::var("y"), &e), Sort::Unknown);
+    }
+
+    #[test]
+    fn infers_container_shapes() {
+        let e = env(&[("m", Sort::map(Sort::Int, Sort::Bool))]);
+        let dom = Term::app(Func::MapDom, [Term::var("m")]);
+        assert_eq!(infer(&dom, &e), Sort::set(Sort::Int));
+        let get = Term::app(
+            Func::MapGetOr,
+            [Term::var("m"), Term::int(1), Term::bool(false)],
+        );
+        assert_eq!(infer(&get, &e), Sort::Bool);
+        let pair = Term::pair(Term::int(1), Term::tt());
+        assert_eq!(infer(&pair, &e), Sort::pair(Sort::Int, Sort::Bool));
+        assert_eq!(
+            infer(&Term::fst(pair), &e),
+            Sort::Int
+        );
+    }
+
+    #[test]
+    fn empty_literals_stay_compatible() {
+        let s = infer(&Term::Lit(Value::seq_empty()), &BTreeMap::new());
+        assert!(s.compatible(&Sort::seq(Sort::Int)));
+        assert!(!s.compatible(&Sort::Int));
+    }
+}

@@ -55,6 +55,7 @@ pub mod nicheck;
 pub mod parser;
 pub mod sched;
 pub mod semantics;
+pub mod span;
 pub mod state;
 
 pub use ast::Cmd;

@@ -20,31 +20,19 @@
 //! additive < multiplicative < unary), and container operations are spelled
 //! as function calls (`put(m, k, v)`, `dom(m)`, `append(s, e)`, `len(s)`,
 //! `to_ms(s)`, …).
-
-use std::fmt;
-use std::iter::Peekable;
-use std::str::CharIndices;
+//!
+//! Lexing and error positions use the shared machinery in [`crate::span`]:
+//! every [`ParseError`] carries a 1-based `line:column` [`Pos`]. The
+//! annotated-program frontend (`commcsl-front`) builds on the same lexer,
+//! the same [`Pos`]/[`ParseError`] types, and the same function-call table
+//! ([`func_by_name`] / [`func_surface_name`]).
 
 use commcsl_pure::{Func, Symbol, Term, Value};
 
 use crate::ast::Cmd;
+use crate::span::{Lexer, Pos, Token};
 
-/// A parse error with position information.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError {
-    /// Byte offset in the input.
-    pub offset: usize,
-    /// Description of the problem.
-    pub message: String,
-}
-
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.offset, self.message)
-    }
-}
-
-impl std::error::Error for ParseError {}
+pub use crate::span::ParseError;
 
 /// Parses a whole program.
 ///
@@ -61,7 +49,7 @@ impl std::error::Error for ParseError {}
 /// assert_eq!(prog.loc(), 4);
 /// ```
 pub fn parse_program(input: &str) -> Result<Cmd, ParseError> {
-    let mut p = Parser::new(input);
+    let mut p = Parser::new(input)?;
     let cmd = p.parse_stmts()?;
     p.expect_eof()?;
     Ok(cmd)
@@ -73,26 +61,16 @@ pub fn parse_program(input: &str) -> Result<Cmd, ParseError> {
 ///
 /// Returns a [`ParseError`] on malformed input, including trailing junk.
 pub fn parse_expr(input: &str) -> Result<Term, ParseError> {
-    let mut p = Parser::new(input);
+    let mut p = Parser::new(input)?;
     let e = p.parse_expr()?;
     p.expect_eof()?;
     Ok(e)
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Tok {
-    Ident(String),
-    Int(i64),
-    Str(String),
-    Sym(&'static str),
-    Eof,
-}
-
 struct Parser<'a> {
-    input: &'a str,
-    chars: Peekable<CharIndices<'a>>,
-    tok: Tok,
-    offset: usize,
+    lexer: Lexer<'a>,
+    tok: Token,
+    pos: Pos,
 }
 
 const SYMBOLS: &[&str] = &[
@@ -100,149 +78,115 @@ const SYMBOLS: &[&str] = &[
     "-", "*", "/", "%", "<", ">", "!", "=",
 ];
 
+/// The surface name ↔ [`Func`] table shared by the plain-program parser,
+/// the annotated-program frontend, and the pretty-printer.
+const CALL_TABLE: &[(&str, Func, usize)] = &[
+    ("pair", Func::MkPair, 2),
+    ("fst", Func::Fst, 1),
+    ("snd", Func::Snd, 1),
+    ("left", Func::MkLeft, 1),
+    ("right", Func::MkRight, 1),
+    ("is_left", Func::IsLeft, 1),
+    ("from_left", Func::FromLeft, 1),
+    ("from_right", Func::FromRight, 1),
+    ("append", Func::SeqAppend, 2),
+    ("concat", Func::SeqConcat, 2),
+    ("len", Func::SeqLen, 1),
+    ("index", Func::SeqIndex, 2),
+    ("index_or", Func::SeqIndexOr, 3),
+    ("tail", Func::SeqTail, 1),
+    ("head_or", Func::SeqHeadOr, 2),
+    ("sum", Func::SeqSum, 1),
+    ("mean", Func::SeqMean, 1),
+    ("sorted", Func::SeqSorted, 1),
+    ("to_ms", Func::SeqToMultiset, 1),
+    ("to_set", Func::SeqToSet, 1),
+    ("set_add", Func::SetAdd, 2),
+    ("set_union", Func::SetUnion, 2),
+    ("set_card", Func::SetCard, 1),
+    ("set_contains", Func::SetContains, 2),
+    ("set_to_seq", Func::SetToSeq, 1),
+    ("ms_add", Func::MsAdd, 2),
+    ("ms_union", Func::MsUnion, 2),
+    ("ms_card", Func::MsCard, 1),
+    ("ms_contains", Func::MsContains, 2),
+    ("ms_to_seq", Func::MsToSortedSeq, 1),
+    ("put", Func::MapPut, 3),
+    ("get_or", Func::MapGetOr, 3),
+    ("dom", Func::MapDom, 1),
+    ("map_contains", Func::MapContains, 2),
+    ("map_len", Func::MapLen, 1),
+    ("max", Func::Max, 2),
+    ("min", Func::Min, 2),
+    ("implies", Func::Implies, 2),
+    ("iff", Func::Iff, 2),
+    ("ite", Func::Ite, 3),
+];
+
+/// Looks up a surface function name, returning the [`Func`] and its arity.
+pub fn func_by_name(name: &str) -> Option<(Func, usize)> {
+    CALL_TABLE
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, f, a)| (f.clone(), *a))
+}
+
+/// The surface call name of a [`Func`], if it has one. Operators
+/// (`Add`, `Eq`, …) and uninterpreted symbols have none.
+pub fn func_surface_name(f: &Func) -> Option<&'static str> {
+    CALL_TABLE
+        .iter()
+        .find(|(_, func, _)| func == f)
+        .map(|(n, _, _)| *n)
+}
+
 impl<'a> Parser<'a> {
-    fn new(input: &'a str) -> Self {
-        let mut p = Parser {
-            input,
-            chars: input.char_indices().peekable(),
-            tok: Tok::Eof,
-            offset: 0,
-        };
-        p.advance().expect("first token");
-        p
+    fn new(input: &'a str) -> Result<Self, ParseError> {
+        let mut lexer = Lexer::new(input, SYMBOLS);
+        let (tok, pos) = lexer.next_token()?;
+        Ok(Parser { lexer, tok, pos })
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError {
-            offset: self.offset,
-            message: message.into(),
-        })
+        Err(ParseError::new(self.pos, message))
     }
 
     fn advance(&mut self) -> Result<(), ParseError> {
-        // Skip whitespace and `//` comments.
-        loop {
-            match self.chars.peek() {
-                Some((_, c)) if c.is_whitespace() => {
-                    self.chars.next();
-                }
-                Some((i, '/')) => {
-                    let i = *i;
-                    if self.input[i..].starts_with("//") {
-                        while let Some((_, c)) = self.chars.peek() {
-                            if *c == '\n' {
-                                break;
-                            }
-                            self.chars.next();
-                        }
-                    } else {
-                        break;
-                    }
-                }
-                _ => break,
-            }
-        }
-        let Some(&(i, c)) = self.chars.peek() else {
-            self.offset = self.input.len();
-            self.tok = Tok::Eof;
-            return Ok(());
-        };
-        self.offset = i;
-        if c.is_ascii_digit() {
-            self.chars.next();
-            let mut end = i + c.len_utf8();
-            while let Some(&(j, d)) = self.chars.peek() {
-                if d.is_ascii_digit() {
-                    end = j + d.len_utf8();
-                    self.chars.next();
-                } else {
-                    break;
-                }
-            }
-            let text = &self.input[i..end];
-            let n: i64 = text.parse().map_err(|_| ParseError {
-                offset: i,
-                message: format!("integer literal out of range: {text}"),
-            })?;
-            self.tok = Tok::Int(n);
-            return Ok(());
-        }
-        if c.is_alphabetic() || c == '_' {
-            self.chars.next();
-            let mut end = i + c.len_utf8();
-            while let Some(&(j, d)) = self.chars.peek() {
-                if d.is_alphanumeric() || d == '_' {
-                    end = j + d.len_utf8();
-                    self.chars.next();
-                } else {
-                    break;
-                }
-            }
-            self.tok = Tok::Ident(self.input[i..end].to_owned());
-            return Ok(());
-        }
-        if c == '"' {
-            self.chars.next();
-            let start = i + 1;
-            let end = loop {
-                match self.chars.next() {
-                    Some((j, '"')) => break j,
-                    Some(_) => continue,
-                    None => {
-                        return Err(ParseError {
-                            offset: i,
-                            message: "unterminated string literal".to_owned(),
-                        })
-                    }
-                }
-            };
-            self.tok = Tok::Str(self.input[start..end].to_owned());
-            return Ok(());
-        }
-        for sym in SYMBOLS {
-            if self.input[i..].starts_with(sym) {
-                for _ in 0..sym.chars().count() {
-                    self.chars.next();
-                }
-                self.tok = Tok::Sym(sym);
-                return Ok(());
-            }
-        }
-        Err(ParseError {
-            offset: i,
-            message: format!("unexpected character {c:?}"),
-        })
+        let (tok, pos) = self.lexer.next_token()?;
+        self.tok = tok;
+        self.pos = pos;
+        Ok(())
     }
 
     fn eat_sym(&mut self, sym: &'static str) -> Result<(), ParseError> {
-        if self.tok == Tok::Sym(sym) {
+        if self.tok == Token::Sym(sym) {
             self.advance()
         } else {
-            self.err(format!("expected `{sym}`, found {:?}", self.tok))
+            self.err(format!("expected `{sym}`, found {}", self.tok))
         }
     }
 
     fn at_sym(&self, sym: &'static str) -> bool {
-        self.tok == Tok::Sym(sym)
+        self.tok == Token::Sym(sym)
     }
 
     fn at_keyword(&self, kw: &str) -> bool {
-        matches!(&self.tok, Tok::Ident(s) if s == kw)
+        matches!(&self.tok, Token::Ident(s) if s == kw)
     }
 
     fn eat_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
         if self.at_keyword(kw) {
             self.advance()
         } else {
-            self.err(format!("expected keyword `{kw}`, found {:?}", self.tok))
+            self.err(format!("expected keyword `{kw}`, found {}", self.tok))
         }
     }
 
     fn expect_eof(&mut self) -> Result<(), ParseError> {
-        if self.tok == Tok::Eof {
+        if self.tok == Token::Eof {
             Ok(())
         } else {
-            self.err(format!("trailing input: {:?}", self.tok))
+            self.err(format!("trailing input: {}", self.tok))
         }
     }
 
@@ -252,7 +196,7 @@ impl<'a> Parser<'a> {
         let mut cmds = vec![self.parse_stmt()?];
         while self.at_sym(";") {
             self.advance()?;
-            if self.tok == Tok::Eof || self.at_sym("}") {
+            if self.tok == Token::Eof || self.at_sym("}") {
                 break; // trailing semicolon
             }
             cmds.push(self.parse_stmt()?);
@@ -273,11 +217,11 @@ impl<'a> Parser<'a> {
 
     fn parse_stmt(&mut self) -> Result<Cmd, ParseError> {
         match self.tok.clone() {
-            Tok::Ident(kw) if kw == "skip" => {
+            Token::Ident(kw) if kw == "skip" => {
                 self.advance()?;
                 Ok(Cmd::Skip)
             }
-            Tok::Ident(kw) if kw == "if" => {
+            Token::Ident(kw) if kw == "if" => {
                 self.advance()?;
                 self.eat_sym("(")?;
                 let cond = self.parse_expr()?;
@@ -287,7 +231,7 @@ impl<'a> Parser<'a> {
                 let else_c = self.parse_block()?;
                 Ok(Cmd::if_(cond, then_c, else_c))
             }
-            Tok::Ident(kw) if kw == "while" => {
+            Token::Ident(kw) if kw == "while" => {
                 self.advance()?;
                 self.eat_sym("(")?;
                 let cond = self.parse_expr()?;
@@ -295,25 +239,25 @@ impl<'a> Parser<'a> {
                 let body = self.parse_block()?;
                 Ok(Cmd::while_(cond, body))
             }
-            Tok::Ident(kw) if kw == "par" => {
+            Token::Ident(kw) if kw == "par" => {
                 self.advance()?;
                 let left = self.parse_block()?;
                 let right = self.parse_block()?;
                 Ok(Cmd::par(left, right))
             }
-            Tok::Ident(kw) if kw == "atomic" => {
+            Token::Ident(kw) if kw == "atomic" => {
                 self.advance()?;
                 let body = self.parse_block()?;
                 Ok(Cmd::atomic(body))
             }
-            Tok::Ident(kw) if kw == "output" => {
+            Token::Ident(kw) if kw == "output" => {
                 self.advance()?;
                 self.eat_sym("(")?;
                 let e = self.parse_expr()?;
                 self.eat_sym(")")?;
                 Ok(Cmd::Output(e))
             }
-            Tok::Ident(name) => {
+            Token::Ident(name) => {
                 // Assignment forms: x := e, x := [e], x := alloc(e).
                 self.advance()?;
                 self.eat_sym(":=")?;
@@ -333,7 +277,7 @@ impl<'a> Parser<'a> {
                 let e = self.parse_expr()?;
                 Ok(Cmd::Assign(Symbol::new(&name), e))
             }
-            Tok::Sym("[") => {
+            Token::Sym("[") => {
                 self.advance()?;
                 let addr = self.parse_expr()?;
                 self.eat_sym("]")?;
@@ -341,7 +285,7 @@ impl<'a> Parser<'a> {
                 let val = self.parse_expr()?;
                 Ok(Cmd::Store(addr, val))
             }
-            other => self.err(format!("expected a statement, found {other:?}")),
+            other => self.err(format!("expected a statement, found {other}")),
         }
     }
 
@@ -374,12 +318,12 @@ impl<'a> Parser<'a> {
     fn parse_cmp(&mut self) -> Result<Term, ParseError> {
         let lhs = self.parse_add()?;
         let op = match self.tok {
-            Tok::Sym("==") => Some("=="),
-            Tok::Sym("!=") => Some("!="),
-            Tok::Sym("<") => Some("<"),
-            Tok::Sym("<=") => Some("<="),
-            Tok::Sym(">") => Some(">"),
-            Tok::Sym(">=") => Some(">="),
+            Token::Sym("==") => Some("=="),
+            Token::Sym("!=") => Some("!="),
+            Token::Sym("<") => Some("<"),
+            Token::Sym("<=") => Some("<="),
+            Token::Sym(">") => Some(">"),
+            Token::Sym(">=") => Some(">="),
             _ => None,
         };
         let Some(op) = op else {
@@ -445,21 +389,21 @@ impl<'a> Parser<'a> {
 
     fn parse_primary(&mut self) -> Result<Term, ParseError> {
         match self.tok.clone() {
-            Tok::Int(n) => {
+            Token::Int(n) => {
                 self.advance()?;
                 Ok(Term::int(n))
             }
-            Tok::Str(s) => {
+            Token::Str(s) => {
                 self.advance()?;
                 Ok(Term::Lit(Value::str(s)))
             }
-            Tok::Sym("(") => {
+            Token::Sym("(") => {
                 self.advance()?;
                 let e = self.parse_expr()?;
                 self.eat_sym(")")?;
                 Ok(e)
             }
-            Tok::Ident(name) => {
+            Token::Ident(name) => {
                 self.advance()?;
                 match name.as_str() {
                     "true" => return Ok(Term::tt()),
@@ -486,52 +430,13 @@ impl<'a> Parser<'a> {
                 self.eat_sym(")")?;
                 self.make_call(&name, args)
             }
-            other => self.err(format!("expected an expression, found {other:?}")),
+            other => self.err(format!("expected an expression, found {other}")),
         }
     }
 
     fn make_call(&self, name: &str, args: Vec<Term>) -> Result<Term, ParseError> {
-        let (func, arity) = match name {
-            "pair" => (Func::MkPair, 2),
-            "fst" => (Func::Fst, 1),
-            "snd" => (Func::Snd, 1),
-            "left" => (Func::MkLeft, 1),
-            "right" => (Func::MkRight, 1),
-            "is_left" => (Func::IsLeft, 1),
-            "from_left" => (Func::FromLeft, 1),
-            "from_right" => (Func::FromRight, 1),
-            "append" => (Func::SeqAppend, 2),
-            "concat" => (Func::SeqConcat, 2),
-            "len" => (Func::SeqLen, 1),
-            "index" => (Func::SeqIndex, 2),
-            "tail" => (Func::SeqTail, 1),
-            "head_or" => (Func::SeqHeadOr, 2),
-            "sum" => (Func::SeqSum, 1),
-            "mean" => (Func::SeqMean, 1),
-            "sorted" => (Func::SeqSorted, 1),
-            "to_ms" => (Func::SeqToMultiset, 1),
-            "to_set" => (Func::SeqToSet, 1),
-            "set_add" => (Func::SetAdd, 2),
-            "set_union" => (Func::SetUnion, 2),
-            "set_card" => (Func::SetCard, 1),
-            "set_contains" => (Func::SetContains, 2),
-            "set_to_seq" => (Func::SetToSeq, 1),
-            "ms_add" => (Func::MsAdd, 2),
-            "ms_union" => (Func::MsUnion, 2),
-            "ms_card" => (Func::MsCard, 1),
-            "ms_contains" => (Func::MsContains, 2),
-            "ms_to_seq" => (Func::MsToSortedSeq, 1),
-            "put" => (Func::MapPut, 3),
-            "get_or" => (Func::MapGetOr, 3),
-            "dom" => (Func::MapDom, 1),
-            "map_contains" => (Func::MapContains, 2),
-            "map_len" => (Func::MapLen, 1),
-            "max" => (Func::Max, 2),
-            "min" => (Func::Min, 2),
-            "ite" => (Func::Ite, 3),
-            _ => {
-                return self.err(format!("unknown function `{name}`"));
-            }
+        let Some((func, arity)) = func_by_name(name) else {
+            return self.err(format!("unknown function `{name}`"));
         };
         if args.len() != arity {
             return self.err(format!(
@@ -641,10 +546,19 @@ mod tests {
     }
 
     #[test]
-    fn error_reports_offset() {
+    fn error_reports_position() {
         let err = parse_program("x := ").unwrap_err();
-        assert!(err.offset >= 4);
+        assert_eq!(err.pos.line, 1);
+        assert!(err.pos.col >= 5);
+        assert!(err.pos.offset >= 4);
         assert!(err.to_string().contains("expected an expression"));
+    }
+
+    #[test]
+    fn error_positions_span_lines() {
+        let err = parse_program("x := 1;\ny := !!").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+        assert_eq!(err.pos.col, 8);
     }
 
     #[test]
@@ -668,5 +582,15 @@ mod tests {
     fn empty_block_is_skip() {
         let c = parse_program("par { } { skip }").unwrap();
         assert_eq!(c, Cmd::par(Cmd::Skip, Cmd::Skip));
+    }
+
+    #[test]
+    fn call_table_roundtrips() {
+        for name in ["put", "dom", "append", "ite", "implies"] {
+            let (func, _) = func_by_name(name).unwrap();
+            assert_eq!(func_surface_name(&func), Some(name));
+        }
+        assert!(func_by_name("nonsense").is_none());
+        assert_eq!(func_surface_name(&Func::Add), None);
     }
 }

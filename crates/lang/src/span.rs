@@ -1,0 +1,331 @@
+//! Source positions, spans, and the shared lexer.
+//!
+//! Both surface parsers of the workspace — the plain-program parser in
+//! [`crate::parser`] and the annotated-program parser in `commcsl-front` —
+//! report diagnostics in `line:column` form and tokenize the same lexical
+//! classes (identifiers, integer and string literals, punctuation,
+//! `//`-comments). This module holds the machinery they share: [`Pos`]
+//! positions, the [`ParseError`] type, and a [`Lexer`] parameterized by
+//! the punctuation table of the language at hand.
+
+use std::fmt;
+use std::iter::Peekable;
+use std::str::CharIndices;
+
+/// A position in a source text: 1-based line and column, plus the byte
+/// offset (columns count characters, not bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in characters).
+    pub col: u32,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl Pos {
+    /// The start of any input.
+    pub fn start() -> Pos {
+        Pos { line: 1, col: 1, offset: 0 }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A parse (or lowering) error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the problem was detected.
+    pub pos: Pos,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error at a position.
+    pub fn new(pos: Pos, message: impl Into<String>) -> Self {
+        ParseError { pos, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A lexical token. Punctuation is interned as the `&'static str` entry of
+/// the lexer's symbol table, so parsers can match on it cheaply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer literal (unsigned; sign is applied by the parser).
+    Int(i64),
+    /// A string literal (after unescaping; see [`Lexer::next_token`]).
+    Str(String),
+    /// A punctuation symbol from the lexer's table.
+    Sym(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "`{s}`"),
+            Token::Int(n) => write!(f, "`{n}`"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Sym(s) => write!(f, "`{s}`"),
+            Token::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A lexer over a source text, tracking line:column positions.
+///
+/// Symbols are matched against `symbols` in table order, so multi-character
+/// punctuation must precede its prefixes (`":="` before `":"`, `".."`
+/// before `"."`).
+pub struct Lexer<'a> {
+    input: &'a str,
+    chars: Peekable<CharIndices<'a>>,
+    symbols: &'static [&'static str],
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `input` with the given punctuation table.
+    pub fn new(input: &'a str, symbols: &'static [&'static str]) -> Self {
+        Lexer {
+            input,
+            chars: input.char_indices().peekable(),
+            symbols,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// The position of the next unconsumed character.
+    pub fn pos(&mut self) -> Pos {
+        let offset = self
+            .chars
+            .peek()
+            .map_or(self.input.len(), |&(i, _)| i);
+        Pos { line: self.line, col: self.col, offset }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let (_, c) = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.chars.peek() {
+                Some((_, c)) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some((i, '/')) if self.input[*i..].starts_with("//") => {
+                    while let Some((_, c)) = self.chars.peek() {
+                        if *c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Lexes the next token, returning it with its start position.
+    ///
+    /// String literals support the escape sequences `\"`, `\\`, and `\n`;
+    /// the returned [`Token::Str`] holds the unescaped content.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed input (unknown characters,
+    /// unknown escapes, unterminated strings, out-of-range integer
+    /// literals).
+    pub fn next_token(&mut self) -> Result<(Token, Pos), ParseError> {
+        self.skip_trivia();
+        let start = self.pos();
+        let Some(&(i, c)) = self.chars.peek() else {
+            return Ok((Token::Eof, start));
+        };
+        if c.is_ascii_digit() {
+            let mut end = i;
+            while let Some(&(j, d)) = self.chars.peek() {
+                if d.is_ascii_digit() {
+                    end = j + d.len_utf8();
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = &self.input[i..end];
+            let n: i64 = text.parse().map_err(|_| {
+                ParseError::new(start, format!("integer literal out of range: {text}"))
+            })?;
+            return Ok((Token::Int(n), start));
+        }
+        if c.is_alphabetic() || c == '_' {
+            let mut end = i;
+            while let Some(&(j, d)) = self.chars.peek() {
+                if d.is_alphanumeric() || d == '_' {
+                    end = j + d.len_utf8();
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return Ok((Token::Ident(self.input[i..end].to_owned()), start));
+        }
+        if c == '"' {
+            self.bump();
+            let mut s = String::new();
+            loop {
+                let at = self.pos();
+                match self.bump() {
+                    Some('"') => return Ok((Token::Str(s), start)),
+                    Some('\\') => match self.bump() {
+                        Some('"') => s.push('"'),
+                        Some('\\') => s.push('\\'),
+                        Some('n') => s.push('\n'),
+                        Some(other) => {
+                            return Err(ParseError::new(
+                                at,
+                                format!("unknown escape sequence `\\{other}`"),
+                            ))
+                        }
+                        None => {
+                            return Err(ParseError::new(
+                                start,
+                                "unterminated string literal".to_owned(),
+                            ))
+                        }
+                    },
+                    Some(c) => s.push(c),
+                    None => {
+                        return Err(ParseError::new(
+                            start,
+                            "unterminated string literal".to_owned(),
+                        ))
+                    }
+                }
+            }
+        }
+        for sym in self.symbols {
+            if self.input[i..].starts_with(sym) {
+                for _ in 0..sym.chars().count() {
+                    self.bump();
+                }
+                return Ok((Token::Sym(sym), start));
+            }
+        }
+        Err(ParseError::new(start, format!("unexpected character {c:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SYMS: &[&str] = &["..", ":=", "==", ":", "+", "(", ")", "."];
+
+    fn lex_all(input: &str) -> Vec<(Token, Pos)> {
+        let mut lexer = Lexer::new(input, SYMS);
+        let mut out = Vec::new();
+        loop {
+            let (tok, pos) = lexer.next_token().unwrap();
+            let eof = tok == Token::Eof;
+            out.push((tok, pos));
+            if eof {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn tracks_lines_and_columns() {
+        let toks = lex_all("ab := 1\n  cd");
+        assert_eq!(toks[0].0, Token::Ident("ab".into()));
+        assert_eq!((toks[0].1.line, toks[0].1.col), (1, 1));
+        assert_eq!(toks[1].0, Token::Sym(":="));
+        assert_eq!((toks[1].1.line, toks[1].1.col), (1, 4));
+        assert_eq!(toks[2].0, Token::Int(1));
+        assert_eq!((toks[2].1.line, toks[2].1.col), (1, 7));
+        assert_eq!(toks[3].0, Token::Ident("cd".into()));
+        assert_eq!((toks[3].1.line, toks[3].1.col), (2, 3));
+    }
+
+    #[test]
+    fn longest_symbol_wins_in_table_order() {
+        let toks = lex_all("1 .. 2 . 3 := x == y");
+        let syms: Vec<&Token> = toks.iter().map(|(t, _)| t).collect();
+        assert!(matches!(syms[1], Token::Sym("..")));
+        assert!(matches!(syms[3], Token::Sym(".")));
+        assert!(matches!(syms[5], Token::Sym(":=")));
+        assert!(matches!(syms[7], Token::Sym("==")));
+    }
+
+    #[test]
+    fn comments_are_skipped_and_positions_survive() {
+        let toks = lex_all("// first line\nx");
+        assert_eq!(toks[0].0, Token::Ident("x".into()));
+        assert_eq!((toks[0].1.line, toks[0].1.col), (2, 1));
+    }
+
+    #[test]
+    fn string_literals_and_errors() {
+        let toks = lex_all("\"hi\"");
+        assert_eq!(toks[0].0, Token::Str("hi".into()));
+        let err = Lexer::new("\"open", SYMS).next_token().unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        let err = Lexer::new("@", SYMS).next_token().unwrap_err();
+        assert_eq!((err.pos.line, err.pos.col), (1, 1));
+    }
+
+    #[test]
+    fn string_escapes_unescape() {
+        let toks = lex_all(r#""a\"b\\c\nd""#);
+        assert_eq!(toks[0].0, Token::Str("a\"b\\c\nd".into()));
+        let err = Lexer::new(r#""\q""#, SYMS).next_token().unwrap_err();
+        assert!(err.message.contains("unknown escape"));
+        let err = Lexer::new("\"x\\", SYMS).next_token().unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn offsets_are_bytes_columns_are_chars() {
+        // 'α' is 2 bytes but 1 column.
+        let toks = lex_all("αβ + x");
+        assert_eq!(toks[0].0, Token::Ident("αβ".into()));
+        assert_eq!(toks[1].0, Token::Sym("+"));
+        assert_eq!(toks[1].1.col, 4);
+        assert_eq!(toks[1].1.offset, 5);
+    }
+
+    #[test]
+    fn error_display_is_line_colon_column() {
+        let e = ParseError::new(Pos { line: 3, col: 7, offset: 40 }, "boom");
+        assert_eq!(e.to_string(), "parse error at 3:7: boom");
+    }
+}

@@ -34,7 +34,7 @@ pub enum ActionKind {
 }
 
 /// One action of a resource specification.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ActionDef {
     /// The action's name (guard index).
     pub name: Symbol,
@@ -137,7 +137,7 @@ impl ActionDef {
 }
 
 /// A full resource specification.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResourceSpec {
     /// Name for reports.
     pub name: Symbol,

@@ -11,7 +11,7 @@ use commcsl_logic::spec::ResourceSpec;
 use commcsl_pure::{Sort, Symbol, Term};
 
 /// A statement of the annotated language.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VStmt {
     /// Reads a program input: `low` inputs are equal across the two
     /// executions, high inputs are unconstrained.
@@ -211,7 +211,7 @@ fn body_loc(body: &[VStmt]) -> usize {
 }
 
 /// A verifiable annotated program.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnnotatedProgram {
     /// Program name (for reports).
     pub name: String,

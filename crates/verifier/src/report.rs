@@ -75,6 +75,62 @@ impl VerifierReport {
     }
 }
 
+/// Escapes a string for inclusion in a JSON document (quotes included).
+///
+/// The workspace's vendored `serde` stub derives marker impls only, so the
+/// machine-readable outputs (the `commcsl` CLI's `--json` mode, the
+/// `table1` bench snapshots) are rendered by hand through this helper.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl VerifierReport {
+    /// Renders the report as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let obligations: Vec<String> = self
+            .obligations
+            .iter()
+            .map(|o| {
+                let mut fields = vec![
+                    format!("\"description\":{}", json_string(&o.description)),
+                    format!(
+                        "\"proved\":{}",
+                        o.status == ObligationStatus::Proved
+                    ),
+                ];
+                if let ObligationStatus::Failed(why) = &o.status {
+                    fields.push(format!("\"reason\":{}", json_string(why)));
+                }
+                format!("{{{}}}", fields.join(","))
+            })
+            .collect();
+        let errors: Vec<String> =
+            self.errors.iter().map(|e| json_string(e)).collect();
+        format!(
+            "{{\"program\":{},\"verified\":{},\"proved\":{},\"obligations\":[{}],\"errors\":[{}]}}",
+            json_string(&self.program),
+            self.verified(),
+            self.proved_count(),
+            obligations.join(","),
+            errors.join(","),
+        )
+    }
+}
+
 impl fmt::Display for VerifierReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -124,5 +180,44 @@ mod tests {
         let shown = r.to_string();
         assert!(shown.contains("FAIL"));
         assert!(shown.contains("bad"));
+    }
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let r = VerifierReport {
+            program: "p \"q\"".into(),
+            obligations: vec![
+                ObligationResult {
+                    description: "pre of Put".into(),
+                    status: ObligationStatus::Proved,
+                },
+                ObligationResult {
+                    description: "Low(output)".into(),
+                    status: ObligationStatus::Failed("countermodel".into()),
+                },
+            ],
+            errors: vec!["guard misuse".into()],
+        };
+        let json = r.to_json();
+        assert!(json.starts_with("{\"program\":\"p \\\"q\\\"\""));
+        assert!(json.contains("\"verified\":false"));
+        assert!(json.contains("\"proved\":1"));
+        assert!(json.contains("\"reason\":\"countermodel\""));
+        assert!(json.contains("\"errors\":[\"guard misuse\"]"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count()
+            );
+        }
     }
 }

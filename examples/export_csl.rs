@@ -1,0 +1,63 @@
+//! Regenerates the `.csl` fixture corpus under `examples/programs/` (the
+//! 18 Table 1 rows) and `examples/rejected/` (the known-insecure
+//! variants) from the builder-based fixtures, via the frontend's
+//! pretty-printer.
+//!
+//! Run from the workspace root after changing the builders:
+//!
+//! ```sh
+//! cargo run --example export_csl
+//! ```
+//!
+//! The files are committed; `tests/frontend_fidelity.rs` pins that each
+//! one still compiles to a program *structurally equal* to its builder
+//! twin, so a stale corpus fails CI rather than drifting silently.
+
+use std::fs;
+use std::path::Path;
+
+use commcsl::fixtures;
+use commcsl::front::pretty::pretty;
+
+fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect()
+}
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+
+    let programs = root.join("examples/programs");
+    fs::create_dir_all(&programs).expect("create examples/programs");
+    for (i, fixture) in fixtures::all().iter().enumerate() {
+        let file = programs.join(format!(
+            "{:02}_{}.csl",
+            i + 1,
+            slug(&fixture.program.name)
+        ));
+        let header = format!(
+            "// Table 1, row {}: {} — data structure: {}; abstraction: {}.\n\
+             // Generated from the builder fixture by `cargo run --example export_csl`.\n\n",
+            i + 1,
+            fixture.name,
+            fixture.data_structure,
+            fixture.abstraction,
+        );
+        fs::write(&file, header + &pretty(&fixture.program)).expect("write .csl");
+        println!("wrote {}", file.display());
+    }
+
+    let rejected = root.join("examples/rejected");
+    fs::create_dir_all(&rejected).expect("create examples/rejected");
+    for (name, program) in fixtures::rejected::all_programs() {
+        let file = rejected.join(format!("{}.csl", slug(name)));
+        let header = format!(
+            "// Known-insecure variant `{name}`: the verifier must reject this\n\
+             // program with named failing obligations.\n\
+             // Generated from the builder fixture by `cargo run --example export_csl`.\n\n",
+        );
+        fs::write(&file, header + &pretty(&program)).expect("write .csl");
+        println!("wrote {}", file.display());
+    }
+}

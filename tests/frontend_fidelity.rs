@@ -1,0 +1,158 @@
+//! Frontend fidelity: the committed `.csl` corpus under
+//! `examples/programs/` (and `examples/rejected/`) is equivalent to the
+//! builder-based fixtures.
+//!
+//! For every file we check, against its builder twin (matched by program
+//! name): *structural* equality of the compiled program, and *verdict*
+//! equality — same `verified()`, same per-obligation statuses — so the
+//! surface pipeline provably reproduces Table 1. The `commcsl` CLI is
+//! also driven in-process over both corpora.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+use commcsl::front::{cli, compile};
+use commcsl::verifier::program::AnnotatedProgram;
+use commcsl::verifier::report::ObligationStatus;
+use commcsl::verifier::verify;
+use commcsl::fixtures;
+
+fn corpus_dir(sub: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(sub)
+}
+
+fn read_corpus(sub: &str) -> Vec<(PathBuf, AnnotatedProgram)> {
+    let dir = corpus_dir(sub);
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "csl"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|file| {
+            let src = fs::read_to_string(&file).expect("read .csl file");
+            let program = compile(&src)
+                .unwrap_or_else(|e| panic!("{}: {e}", file.display()));
+            (file, program)
+        })
+        .collect()
+}
+
+fn statuses(program: &AnnotatedProgram) -> (bool, Vec<(String, bool)>) {
+    let report = verify(program, &Default::default());
+    let obligations = report
+        .obligations
+        .iter()
+        .map(|o| {
+            (
+                o.description.clone(),
+                o.status == ObligationStatus::Proved,
+            )
+        })
+        .collect();
+    (report.verified(), obligations)
+}
+
+#[test]
+fn table1_corpus_matches_builder_fixtures() {
+    let twins: BTreeMap<String, AnnotatedProgram> = fixtures::all()
+        .into_iter()
+        .map(|f| (f.program.name.clone(), f.program))
+        .collect();
+    assert_eq!(twins.len(), 18, "fixture program names must be unique");
+
+    let corpus = read_corpus("examples/programs");
+    assert_eq!(corpus.len(), 18, "all 18 Table 1 rows must exist as .csl");
+
+    for (file, parsed) in corpus {
+        let twin = twins.get(&parsed.name).unwrap_or_else(|| {
+            panic!("{}: no builder fixture named `{}`", file.display(), parsed.name)
+        });
+        assert_eq!(
+            &parsed, twin,
+            "{}: parsed program differs structurally from its builder twin \
+             (regenerate with `cargo run --example export_csl`)",
+            file.display()
+        );
+        let (parsed_ok, parsed_obls) = statuses(&parsed);
+        let (twin_ok, twin_obls) = statuses(twin);
+        assert!(parsed_ok, "{}: must verify", file.display());
+        assert_eq!(parsed_ok, twin_ok, "{}", file.display());
+        assert_eq!(parsed_obls, twin_obls, "{}", file.display());
+    }
+}
+
+#[test]
+fn rejected_corpus_fails_with_named_obligations() {
+    let twins: BTreeMap<String, AnnotatedProgram> = fixtures::rejected::all_programs()
+        .into_iter()
+        .map(|(_, p)| (p.name.clone(), p))
+        .collect();
+
+    let corpus = read_corpus("examples/rejected");
+    assert_eq!(corpus.len(), twins.len());
+
+    for (file, parsed) in corpus {
+        let twin = twins.get(&parsed.name).unwrap_or_else(|| {
+            panic!("{}: no rejected fixture named `{}`", file.display(), parsed.name)
+        });
+        assert_eq!(&parsed, twin, "{}", file.display());
+        let report = verify(&parsed, &Default::default());
+        assert!(!report.verified(), "{}: must be rejected", file.display());
+        // The rejection names concrete obligations (or structural errors).
+        let named_failures: Vec<String> = report
+            .failures()
+            .map(|o| o.description.clone())
+            .chain(report.errors.iter().cloned())
+            .collect();
+        assert!(
+            !named_failures.is_empty(),
+            "{}: rejection must name obligations",
+            file.display()
+        );
+        let (parsed_ok, parsed_obls) = statuses(&parsed);
+        let (twin_ok, twin_obls) = statuses(twin);
+        assert_eq!(parsed_ok, twin_ok, "{}", file.display());
+        assert_eq!(parsed_obls, twin_obls, "{}", file.display());
+    }
+}
+
+#[test]
+fn cli_verifies_both_corpora_end_to_end() {
+    let programs = corpus_dir("examples/programs").display().to_string();
+    let mut out = String::new();
+    let code = cli::run(
+        &["verify".into(), "--threads".into(), "2".into(), programs.clone()],
+        &mut out,
+    );
+    assert_eq!(code, 0, "CLI must verify the Table 1 corpus:\n{out}");
+    assert!(out.contains("18/18 programs verified"), "{out}");
+
+    let rejected = corpus_dir("examples/rejected").display().to_string();
+    let mut out = String::new();
+    let code = cli::run(
+        &[
+            "verify".into(),
+            "--expect".into(),
+            "rejected".into(),
+            rejected,
+        ],
+        &mut out,
+    );
+    assert_eq!(code, 0, "CLI must reject the insecure corpus:\n{out}");
+    assert!(out.contains("4/4 programs rejected as required"), "{out}");
+
+    // Glob expansion + JSON mode over the same corpus.
+    let glob = corpus_dir("examples/programs")
+        .join("*.csl")
+        .display()
+        .to_string();
+    let mut out = String::new();
+    let code = cli::run(&["verify".into(), "--json".into(), glob], &mut out);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("\"as_expected\":18"), "{out}");
+    assert!(out.contains("\"ok\":true"), "{out}");
+}

@@ -109,6 +109,115 @@ pub fn table1_json(rows: &[Table1Row], runs: u32, threads: usize) -> String {
     )
 }
 
+// ----------------------------------------------------------- cold vs warm
+
+/// Results of the cold-vs-warm cache benchmark over the full corpus
+/// (18 Table 1 fixtures plus the rejected variants).
+#[derive(Debug, Clone)]
+pub struct ColdWarm {
+    /// Programs in the corpus.
+    pub programs: usize,
+    /// Wall-clock ms for the cold pass (empty cache, full verification).
+    pub cold_ms: f64,
+    /// Wall-clock ms for the warm pass (same process, memory tier).
+    pub warm_ms: f64,
+    /// Wall-clock ms after a simulated daemon restart (fresh
+    /// [`CachedVerifier`], same disk dir — every hit from the disk tier).
+    pub restart_ms: f64,
+    /// Whether every cached verdict (warm *and* restart) was
+    /// byte-identical to direct, uncached verification.
+    pub identical: bool,
+    /// Whether the warm/restart passes were fully served from cache.
+    pub fully_cached: bool,
+}
+
+impl ColdWarm {
+    /// Cold-over-warm speedup (memory tier).
+    pub fn speedup_warm(&self) -> f64 {
+        self.cold_ms / self.warm_ms.max(f64::EPSILON)
+    }
+
+    /// Cold-over-restart speedup (disk tier).
+    pub fn speedup_restart(&self) -> f64 {
+        self.cold_ms / self.restart_ms.max(f64::EPSILON)
+    }
+}
+
+/// Runs the cold/warm/restart passes against a cache rooted at
+/// `cache_dir` (which should start empty; typically a temp dir).
+pub fn cold_warm_bench(threads: usize, cache_dir: &std::path::Path) -> ColdWarm {
+    use commcsl::verifier::cache::{CacheConfig, CachedVerifier};
+    use commcsl::verifier::verify;
+    use std::time::Instant;
+
+    let fixtures = fixtures::all();
+    let rejected = fixtures::rejected::all_programs();
+    let programs: Vec<&commcsl::verifier::AnnotatedProgram> = fixtures
+        .iter()
+        .map(|f| &f.program)
+        .chain(rejected.iter().map(|(_, p)| p))
+        .collect();
+
+    let batch = BatchConfig::with_threads(threads);
+    let cached = CachedVerifier::new(batch.clone(), CacheConfig::persistent(cache_dir));
+
+    let started = Instant::now();
+    let cold = cached.verify_batch(&programs);
+    let cold_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+    let started = Instant::now();
+    let warm = cached.verify_batch(&programs);
+    let warm_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+    // Simulated restart: a fresh verifier over the same disk tier.
+    let restarted = CachedVerifier::new(batch, CacheConfig::persistent(cache_dir));
+    let started = Instant::now();
+    let after_restart = restarted.verify_batch(&programs);
+    let restart_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+    let mut identical = true;
+    let mut fully_cached = true;
+    for ((program, c), (w, r)) in programs
+        .iter()
+        .zip(&cold)
+        .zip(warm.iter().zip(&after_restart))
+    {
+        fully_cached &= w.cached && r.cached && !c.cached;
+        let direct = verify(program, cached.verifier_config()).to_json();
+        identical &= c.report.to_json() == direct
+            && w.report.to_json() == direct
+            && r.report.to_json() == direct;
+    }
+
+    ColdWarm {
+        programs: programs.len(),
+        cold_ms,
+        warm_ms,
+        restart_ms,
+        identical,
+        fully_cached,
+    }
+}
+
+/// Renders a [`ColdWarm`] run as one appendable JSON snapshot line (same
+/// trajectory file as [`table1_json`], distinguished by `"bench"`).
+pub fn cold_warm_json(run: &ColdWarm, threads: usize) -> String {
+    format!(
+        "{{\"bench\":\"cold_warm\",\"threads\":{threads},\"programs\":{},\
+         \"cold_ms\":{:.6},\"warm_ms\":{:.6},\"restart_ms\":{:.6},\
+         \"speedup_warm\":{:.3},\"speedup_restart\":{:.3},\
+         \"identical\":{},\"fully_cached\":{}}}",
+        run.programs,
+        run.cold_ms,
+        run.warm_ms,
+        run.restart_ms,
+        run.speedup_warm(),
+        run.speedup_restart(),
+        run.identical,
+        run.fully_cached,
+    )
+}
+
 /// Renders rows in the paper's table layout.
 pub fn render_table(rows: &[Table1Row]) -> String {
     let mut out = String::new();
@@ -169,6 +278,23 @@ mod tests {
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(json.matches(open).count(), json.matches(close).count());
         }
+    }
+
+    #[test]
+    fn cold_warm_is_cached_and_identical() {
+        let dir = std::env::temp_dir().join(format!(
+            "commcsl-coldwarm-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let run = cold_warm_bench(0, &dir);
+        assert_eq!(run.programs, 22); // 18 fixtures + 4 rejected variants
+        assert!(run.identical, "cached verdicts must be byte-identical");
+        assert!(run.fully_cached, "warm and restart passes must hit");
+        let json = cold_warm_json(&run, 0);
+        assert!(json.starts_with("{\"bench\":\"cold_warm\""));
+        assert!(!json.contains('\n'));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     // Nothing else in the workspace demands the `Serialize` bound, so

@@ -17,6 +17,7 @@
 //! | [`lang`] | `commcsl-lang` | the concurrent language, schedulers, empirical NI harness |
 //! | [`logic`] | `commcsl-logic` | extended heaps, assertions, resource specs, validity |
 //! | [`verifier`] | `commcsl-verifier` | the HyperViper-style automated verifier |
+//! | [`server`] | `commcsl-server` | the persistent verification daemon and its client |
 //! | [`fixtures`] | `commcsl-fixtures` | the 18 evaluation examples of Table 1 |
 //! | [`front`] | `commcsl-front` | the `.csl` surface language, lowering, pretty-printer, and `commcsl` CLI |
 //!
@@ -58,6 +59,7 @@ pub use commcsl_front as front;
 pub use commcsl_lang as lang;
 pub use commcsl_logic as logic;
 pub use commcsl_pure as pure;
+pub use commcsl_server as server;
 pub use commcsl_smt as smt;
 pub use commcsl_verifier as verifier;
 

@@ -83,6 +83,42 @@ pub fn find(name: &str) -> Option<Fixture> {
         .find(|f| f.name == name || f.program.name == name)
 }
 
+/// For a name [`find`] does not know, the closest known name (row or
+/// program name, case-insensitively) — the "did you mean …?" candidate
+/// for CLI error paths. `None` when nothing is plausibly close (edit
+/// distance more than half the query length).
+pub fn suggest(name: &str) -> Option<String> {
+    let query = name.to_lowercase();
+    let mut best: Option<(usize, String)> = None;
+    for f in all() {
+        for candidate in [f.name.to_owned(), f.program.name.clone()] {
+            let d = edit_distance(&query, &candidate.to_lowercase());
+            if best.as_ref().is_none_or(|(b, _)| d < *b) {
+                best = Some((d, candidate));
+            }
+        }
+    }
+    let (distance, candidate) = best?;
+    (distance <= name.chars().count().div_ceil(2)).then_some(candidate)
+}
+
+/// Levenshtein distance over characters (two-row dynamic program).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut row = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            row[j + 1] = subst.min(prev[j + 1] + 1).min(row[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut row);
+    }
+    prev[b.len()]
+}
+
 #[cfg(test)]
 mod tests {
     use std::collections::BTreeSet;
@@ -130,6 +166,35 @@ mod tests {
             assert_eq!(find(&f.program.name).unwrap().name, f.name);
         }
         assert!(find("no-such-example").is_none());
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("figure3", "figure2"), 1);
+    }
+
+    #[test]
+    fn suggestions_catch_typos_but_not_noise() {
+        // Typos in row names and program names both resolve.
+        assert_eq!(suggest("Figure 33").as_deref(), Some("Figure 3"));
+        assert_eq!(suggest("figure 2").as_deref(), Some("Figure 2"));
+        assert_eq!(
+            suggest("mean-salery").as_deref(),
+            Some("Mean-Salary")
+        );
+        assert_eq!(
+            suggest("pipelin").as_deref(),
+            Some("Pipeline")
+        );
+        // Exact names suggest themselves (callers only consult `suggest`
+        // after `find` failed, so this is harmless).
+        assert_eq!(suggest("Pipeline").as_deref(), Some("Pipeline"));
+        // Garbage is not "corrected".
+        assert_eq!(suggest("zzzzzzzzzzzzzzzzzzzzzz"), None);
     }
 
     #[test]

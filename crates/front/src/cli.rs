@@ -1,7 +1,11 @@
 //! The `commcsl` command-line driver.
 //!
 //! ```text
-//! commcsl verify [--threads N] [--json] [--expect verified|rejected] PATH...
+//! commcsl verify [--threads N] [--json] [--expect verified|rejected]
+//!                [--daemon] [--no-start] [--socket PATH] [--cache-dir DIR] PATH...
+//! commcsl serve  [--socket PATH] [--cache-dir DIR] [--threads N] [--stdio]
+//! commcsl daemon status|stop [--socket PATH] [--json]
+//! commcsl fixture NAME [--json]
 //! commcsl fmt PATH...
 //! commcsl help
 //! ```
@@ -11,22 +15,49 @@
 //! pushes every program through the parallel batch-verification pipeline
 //! ([`commcsl_verifier::batch`]) and reports per-program results — human-
 //! readable by default, one machine-readable JSON document with `--json`.
-//! The process exit code is `0` exactly when every file parses and every
-//! program matches the expectation (`verified` unless `--expect rejected`).
+//!
+//! With `--daemon`, `verify` connects to the persistent verification
+//! service of `commcsl-server` instead (starting one on demand unless
+//! `--no-start` is given) and lets its content-addressed cache answer
+//! unchanged programs without re-running symbolic execution; on any
+//! connection failure it falls back to in-process verification, so the
+//! flag is always safe. `serve` runs the daemon in the foreground;
+//! `daemon status` / `daemon stop` poke a running one.
+//!
+//! **Exit codes** (uniform across commands):
+//!
+//! * `0` — every program parsed and matched the expectation
+//!   (`verified`, or `rejected` under `--expect rejected`),
+//! * `1` — at least one verdict mismatched the expectation,
+//! * `2` — a parse, lowering, I/O, or usage error.
 //!
 //! The driver is a library function ([`run`]) over an output sink so the
 //! workspace's integration tests can drive it in-process; the binary in
-//! `src/bin/commcsl.rs` is a thin wrapper.
+//! `src/bin/commcsl.rs` is a thin wrapper. The only exception is
+//! `serve`, which streams protocol responses to its peers directly and
+//! only reports startup/shutdown through the sink.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
+use commcsl_server::client::{connect_or_start, Client};
+use commcsl_server::daemon::{Server, ServerConfig};
+use commcsl_server::protocol::VerifyItem;
 use commcsl_verifier::batch::{verify_batch_ref, BatchConfig};
+use commcsl_verifier::cache::CacheConfig;
 use commcsl_verifier::program::AnnotatedProgram;
-use commcsl_verifier::report::json_string;
+use commcsl_verifier::report::{json_string, VerifierConfig, VerifierReport};
 
 use crate::compile;
+
+/// Exit code: everything as expected.
+pub const EXIT_OK: i32 = 0;
+/// Exit code: at least one verdict mismatch.
+pub const EXIT_MISMATCH: i32 = 1;
+/// Exit code: parse, lowering, I/O, or usage error.
+pub const EXIT_ERROR: i32 = 2;
 
 /// What `verify` expects of every program in the batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +74,9 @@ usage: commcsl <command> [options] <path>...
 
 commands:
   verify    parse, lower, and verify annotated programs
+  serve     run the persistent verification daemon (foreground)
+  daemon    control a running daemon: `daemon status`, `daemon stop`
+  fixture   verify a built-in Table 1 fixture by name
   fmt       parse and pretty-print programs to stdout (canonical form)
   help      show this message
 
@@ -51,92 +85,384 @@ options (verify):
   --json                       emit one JSON document instead of text
   --expect verified|rejected   required verdict for exit code 0
                                (default: verified)
+  --daemon                     verify through the persistent daemon
+                               (starts one on demand; falls back to
+                               in-process verification on failure)
+  --no-start                   with --daemon: never start a daemon, only
+                               use one that is already running
+  --socket PATH                daemon socket (default: <cache-dir>/commcsl.sock)
+  --cache-dir DIR              verdict-cache directory (default: .commcsl-cache)
+
+options (serve):
+  --socket PATH / --cache-dir DIR / --threads N   as above
+  --memory N                   in-memory cache capacity (default 4096)
+  --stdio                      serve one NDJSON session on stdin/stdout
+                               instead of listening on the socket
+
+exit codes: 0 = all programs matched the expectation, 1 = at least one
+verdict mismatch, 2 = parse/lower/IO/usage error
 
 paths may be .csl files, directories (searched recursively), or simple
 *-globs in the final component (e.g. examples/programs/*.csl)";
 
-/// Runs the CLI. Returns the process exit code; all output goes to `out`.
+/// Runs the CLI. Returns the process exit code; all output goes to `out`
+/// (except `serve`, which talks to its peers directly).
 pub fn run(args: &[String], out: &mut String) -> i32 {
     match args.first().map(String::as_str) {
         Some("verify") => run_verify(&args[1..], out),
+        Some("serve") => run_serve(&args[1..], out),
+        Some("daemon") => run_daemon(&args[1..], out),
+        Some("fixture") => run_fixture(&args[1..], out),
         Some("fmt") => run_fmt(&args[1..], out),
         Some("help") | Some("--help") | Some("-h") | None => {
             let _ = writeln!(out, "{USAGE}");
-            i32::from(args.is_empty())
+            if args.is_empty() {
+                EXIT_ERROR
+            } else {
+                EXIT_OK
+            }
         }
         Some(other) => {
             let _ = writeln!(out, "commcsl: unknown command `{other}`\n{USAGE}");
-            2
+            EXIT_ERROR
         }
     }
 }
 
-fn run_verify(args: &[String], out: &mut String) -> i32 {
-    let mut threads = 0usize;
-    let mut json = false;
-    let mut expect = Expect::Verified;
-    let mut paths: Vec<String> = Vec::new();
+// ------------------------------------------------------------------ verify
+
+/// The `--socket` / `--cache-dir` pair shared by every daemon-facing
+/// command (`verify --daemon`, `serve`, `daemon status|stop`), with the
+/// one place that knows the default socket location.
+#[derive(Debug)]
+struct DaemonPaths {
+    socket: Option<PathBuf>,
+    cache_dir: PathBuf,
+}
+
+impl DaemonPaths {
+    fn new() -> Self {
+        DaemonPaths {
+            socket: None,
+            cache_dir: PathBuf::from(".commcsl-cache"),
+        }
+    }
+
+    /// The effective socket: explicit, or `<cache-dir>/commcsl.sock`.
+    fn socket_path(&self) -> PathBuf {
+        self.socket
+            .clone()
+            .unwrap_or_else(|| self.cache_dir.join("commcsl.sock"))
+    }
+
+    /// Consumes `arg` if it is one of the shared flags. `Ok(true)` when
+    /// handled, `Ok(false)` when the caller should match it, `Err` with
+    /// the exit code on a missing value.
+    fn take_flag(
+        &mut self,
+        arg: &str,
+        it: &mut std::slice::Iter<'_, String>,
+        out: &mut String,
+    ) -> Result<bool, i32> {
+        match arg {
+            "--socket" => {
+                self.socket = Some(take_path_value(it, "--socket", out)?);
+                Ok(true)
+            }
+            "--cache-dir" => {
+                self.cache_dir = take_path_value(it, "--cache-dir", out)?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+}
+
+fn take_path_value(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+    out: &mut String,
+) -> Result<PathBuf, i32> {
+    match it.next() {
+        Some(v) => Ok(PathBuf::from(v)),
+        None => {
+            let _ = writeln!(out, "commcsl: {flag} needs a path");
+            Err(EXIT_ERROR)
+        }
+    }
+}
+
+#[derive(Debug)]
+struct VerifyFlags {
+    threads: usize,
+    json: bool,
+    expect: Expect,
+    daemon: bool,
+    no_start: bool,
+    locations: DaemonPaths,
+    paths: Vec<String>,
+}
+
+fn parse_verify_flags(args: &[String], out: &mut String) -> Result<VerifyFlags, i32> {
+    let mut flags = VerifyFlags {
+        threads: 0,
+        json: false,
+        expect: Expect::Verified,
+        daemon: false,
+        no_start: false,
+        locations: DaemonPaths::new(),
+        paths: Vec::new(),
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if flags.locations.take_flag(arg, &mut it, out)? {
+            continue;
+        }
         match arg.as_str() {
             "--threads" => {
                 let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
                     let _ = writeln!(out, "commcsl: --threads needs a number");
-                    return 2;
+                    return Err(EXIT_ERROR);
                 };
-                threads = n;
+                flags.threads = n;
             }
-            "--json" => json = true,
+            "--json" => flags.json = true,
+            "--daemon" => flags.daemon = true,
+            "--no-start" => flags.no_start = true,
             "--expect" => match it.next().map(String::as_str) {
-                Some("verified") => expect = Expect::Verified,
-                Some("rejected") => expect = Expect::Rejected,
+                Some("verified") => flags.expect = Expect::Verified,
+                Some("rejected") => flags.expect = Expect::Rejected,
                 other => {
                     let _ = writeln!(
                         out,
                         "commcsl: --expect needs `verified` or `rejected`, got {other:?}"
                     );
-                    return 2;
+                    return Err(EXIT_ERROR);
                 }
             },
             flag if flag.starts_with("--") => {
                 let _ = writeln!(out, "commcsl: unknown option `{flag}`\n{USAGE}");
-                return 2;
+                return Err(EXIT_ERROR);
             }
-            path => paths.push(path.to_owned()),
+            path => flags.paths.push(path.to_owned()),
         }
     }
-    if paths.is_empty() {
+    if flags.paths.is_empty() {
         let _ = writeln!(out, "commcsl: verify needs at least one path\n{USAGE}");
-        return 2;
+        return Err(EXIT_ERROR);
     }
-    let files = match collect_files(&paths) {
+    Ok(flags)
+}
+
+/// Per-file read/parse/lower failures (path, message).
+type FileErrors = Vec<(PathBuf, String)>;
+
+/// One verified file, whichever engine produced it.
+struct FileResult {
+    file: PathBuf,
+    time_ms: f64,
+    /// `Some(..)` in daemon mode (cache status known), `None` in-process.
+    cached: Option<bool>,
+    report: VerifierReport,
+}
+
+/// How the batch was executed (reported in `--json` summaries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    InProcess,
+    Daemon,
+    /// `--daemon` was requested but the connection failed.
+    Fallback,
+}
+
+impl Engine {
+    fn as_str(self) -> &'static str {
+        match self {
+            Engine::InProcess => "in-process",
+            Engine::Daemon => "daemon",
+            Engine::Fallback => "fallback",
+        }
+    }
+}
+
+fn run_verify(args: &[String], out: &mut String) -> i32 {
+    let flags = match parse_verify_flags(args, out) {
+        Ok(flags) => flags,
+        Err(code) => return code,
+    };
+    let files = match collect_files(&flags.paths) {
+        Ok(files) if files.is_empty() => {
+            let _ = writeln!(out, "commcsl: no .csl files found");
+            return EXIT_ERROR;
+        }
         Ok(files) => files,
         Err(msg) => {
             let _ = writeln!(out, "commcsl: {msg}");
-            return 2;
+            return EXIT_ERROR;
         }
     };
-    if files.is_empty() {
-        let _ = writeln!(out, "commcsl: no .csl files found");
-        return 2;
-    }
 
-    // Parse + lower everything first, then batch-verify the survivors.
-    let mut programs: Vec<(PathBuf, AnnotatedProgram)> = Vec::new();
-    let mut parse_errors: Vec<(PathBuf, String)> = Vec::new();
+    // Read every file up front; unreadable files are hard errors either way.
+    let mut sources: Vec<(PathBuf, String)> = Vec::new();
+    let mut file_errors: FileErrors = Vec::new();
     for file in files {
         match fs::read_to_string(&file) {
-            Ok(src) => match compile(&src) {
-                Ok(program) => programs.push((file, program)),
-                Err(e) => parse_errors.push((file, e.to_string())),
-            },
-            Err(e) => parse_errors.push((file, format!("cannot read file: {e}"))),
+            Ok(src) => sources.push((file, src)),
+            Err(e) => file_errors.push((file, format!("cannot read file: {e}"))),
+        }
+    }
+
+    let mut engine = Engine::InProcess;
+    let mut results: Vec<FileResult> = Vec::new();
+    if flags.daemon {
+        match verify_via_daemon(&flags, &sources) {
+            Ok((daemon_results, daemon_errors)) => {
+                engine = Engine::Daemon;
+                results = daemon_results;
+                file_errors.extend(daemon_errors);
+            }
+            Err(why) => {
+                engine = Engine::Fallback;
+                if !flags.json {
+                    let _ = writeln!(
+                        out,
+                        "commcsl: daemon unavailable ({why}); verifying in-process"
+                    );
+                }
+            }
+        }
+    }
+    if engine != Engine::Daemon {
+        let (local_results, local_errors) = verify_in_process(&flags, &sources);
+        results = local_results;
+        file_errors.extend(local_errors);
+    }
+
+    render_verify(&flags, engine, &file_errors, &results, out)
+}
+
+/// In-process engine: compile, then batch-verify the survivors.
+fn verify_in_process(
+    flags: &VerifyFlags,
+    sources: &[(PathBuf, String)],
+) -> (Vec<FileResult>, FileErrors) {
+    let mut programs: Vec<(usize, AnnotatedProgram)> = Vec::new();
+    let mut errors: FileErrors = Vec::new();
+    for (i, (file, src)) in sources.iter().enumerate() {
+        match compile(src) {
+            Ok(program) => programs.push((i, program)),
+            Err(e) => errors.push((file.clone(), e.to_string())),
         }
     }
     let refs: Vec<&AnnotatedProgram> = programs.iter().map(|(_, p)| p).collect();
-    let results = verify_batch_ref(&refs, &BatchConfig::with_threads(threads));
+    let batch = verify_batch_ref(&refs, &BatchConfig::with_threads(flags.threads));
+    let results = programs
+        .iter()
+        .zip(batch)
+        .map(|((i, _), r)| FileResult {
+            file: sources[*i].0.clone(),
+            time_ms: r.time.as_secs_f64() * 1000.0,
+            cached: None,
+            report: r.report,
+        })
+        .collect();
+    (results, errors)
+}
 
-    let as_expected = |verified: bool| match expect {
+/// Daemon engine: ship sources to the verification service.
+fn verify_via_daemon(
+    flags: &VerifyFlags,
+    sources: &[(PathBuf, String)],
+) -> Result<(Vec<FileResult>, FileErrors), String> {
+    let socket = flags.locations.socket_path();
+    let mut client = connect_or_start(&socket, Duration::from_secs(5), || {
+        if flags.no_start {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "no daemon running and --no-start given",
+            ));
+        }
+        spawn_daemon(flags, &socket)
+    })
+    .map_err(|e| e.to_string())?;
+
+    // Version handshake: a daemon left over from an older binary would
+    // compile, hash, and verify with *outdated* semantics — exactly the
+    // staleness the format version exists to prevent. Fall back to
+    // in-process verification; when this invocation manages the daemon
+    // lifecycle (no `--no-start`), also ask the stale one to retire so
+    // the next invocation spawns a fresh one.
+    let status = client.status().map_err(|e| e.to_string())?;
+    if status.format_version != u64::from(commcsl_verifier::hash::HASH_FORMAT_VERSION)
+        || status.version != env!("CARGO_PKG_VERSION")
+    {
+        let action = if flags.no_start {
+            "left running (--no-start)"
+        } else {
+            let _ = client.shutdown();
+            "asked it to shut down"
+        };
+        return Err(format!(
+            "daemon is v{} (format v{}), this binary is v{} (format v{}); {action}",
+            status.version,
+            status.format_version,
+            env!("CARGO_PKG_VERSION"),
+            commcsl_verifier::hash::HASH_FORMAT_VERSION,
+        ));
+    }
+
+    let items: Vec<VerifyItem> = sources
+        .iter()
+        .map(|(file, src)| VerifyItem {
+            name: file.display().to_string(),
+            source: src.clone(),
+        })
+        .collect();
+    let outcomes = client.verify_batch(items).map_err(|e| e.to_string())?;
+
+    let mut results = Vec::new();
+    let mut errors = Vec::new();
+    for ((file, _), outcome) in sources.iter().zip(outcomes) {
+        match outcome {
+            Ok(ok) => results.push(FileResult {
+                file: file.clone(),
+                time_ms: ok.time_ms,
+                cached: Some(ok.cached),
+                report: ok.report,
+            }),
+            Err(e) => errors.push((file.clone(), e)),
+        }
+    }
+    Ok((results, errors))
+}
+
+/// Starts a background daemon process (the `serve` subcommand of this
+/// very binary) for transparent `--daemon` mode.
+fn spawn_daemon(flags: &VerifyFlags, socket: &Path) -> std::io::Result<()> {
+    let exe = std::env::current_exe()?;
+    std::process::Command::new(exe)
+        .arg("serve")
+        .arg("--socket")
+        .arg(socket)
+        .arg("--cache-dir")
+        .arg(&flags.locations.cache_dir)
+        .arg("--threads")
+        .arg(flags.threads.to_string())
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .map(drop)
+}
+
+fn render_verify(
+    flags: &VerifyFlags,
+    engine: Engine,
+    file_errors: &[(PathBuf, String)],
+    results: &[FileResult],
+    out: &mut String,
+) -> i32 {
+    let as_expected = |verified: bool| match flags.expect {
         Expect::Verified => verified,
         Expect::Rejected => !verified,
     };
@@ -144,10 +470,16 @@ fn run_verify(args: &[String], out: &mut String) -> i32 {
         .iter()
         .filter(|r| as_expected(r.report.verified()))
         .count();
-    let ok = parse_errors.is_empty() && matching == results.len();
+    let code = if !file_errors.is_empty() {
+        EXIT_ERROR
+    } else if matching < results.len() {
+        EXIT_MISMATCH
+    } else {
+        EXIT_OK
+    };
 
-    if json {
-        let mut entries: Vec<String> = parse_errors
+    if flags.json {
+        let mut entries: Vec<String> = file_errors
             .iter()
             .map(|(file, e)| {
                 format!(
@@ -158,38 +490,48 @@ fn run_verify(args: &[String], out: &mut String) -> i32 {
             })
             .collect();
         entries.extend(results.iter().map(|r| {
+            let cached = r
+                .cached
+                .map(|c| format!("\"cached\":{c},"))
+                .unwrap_or_default();
             format!(
-                "{{\"file\":{},\"time_ms\":{:.3},\"report\":{}}}",
-                json_string(&programs[r.index].0.display().to_string()),
-                r.time.as_secs_f64() * 1000.0,
+                "{{\"file\":{},\"time_ms\":{:.3},{cached}\"report\":{}}}",
+                json_string(&r.file.display().to_string()),
+                r.time_ms,
                 r.report.to_json()
             )
         }));
         let _ = writeln!(
             out,
             "{{\"results\":[{}],\"summary\":{{\"total\":{},\"as_expected\":{},\
-             \"parse_errors\":{},\"expect\":{},\"ok\":{}}}}}",
+             \"errors\":{},\"expect\":{},\"engine\":{},\"ok\":{},\"exit_code\":{}}}}}",
             entries.join(","),
-            results.len() + parse_errors.len(),
+            results.len() + file_errors.len(),
             matching,
-            parse_errors.len(),
-            json_string(match expect {
+            file_errors.len(),
+            json_string(match flags.expect {
                 Expect::Verified => "verified",
                 Expect::Rejected => "rejected",
             }),
-            ok
+            json_string(engine.as_str()),
+            code == EXIT_OK,
+            code
         );
     } else {
-        for (file, e) in &parse_errors {
+        for (file, e) in file_errors {
             let _ = writeln!(out, "{}: {e}", file.display());
         }
-        for r in &results {
+        for r in results {
             let marker = if as_expected(r.report.verified()) { "" } else { " [UNEXPECTED]" };
+            let cached = match r.cached {
+                Some(true) => ", cached",
+                _ => "",
+            };
             let _ = write!(
                 out,
-                "{} ({:.3} ms){marker}: {}",
-                programs[r.index].0.display(),
-                r.time.as_secs_f64() * 1000.0,
+                "{} ({:.3} ms{cached}){marker}: {}",
+                r.file.display(),
+                r.time_ms,
                 r.report
             );
         }
@@ -197,49 +539,294 @@ fn run_verify(args: &[String], out: &mut String) -> i32 {
             out,
             "\n{matching}/{} programs {}{}",
             results.len(),
-            match expect {
+            match flags.expect {
                 Expect::Verified => "verified",
                 Expect::Rejected => "rejected as required",
             },
-            if parse_errors.is_empty() {
+            if file_errors.is_empty() {
                 String::new()
             } else {
-                format!(", {} file(s) failed to parse", parse_errors.len())
+                format!(", {} file(s) failed to parse", file_errors.len())
             }
         );
     }
-    i32::from(!ok)
+    code
 }
+
+// ------------------------------------------------------------------- serve
+
+fn run_serve(args: &[String], out: &mut String) -> i32 {
+    let mut locations = DaemonPaths::new();
+    let mut threads = 0usize;
+    let mut memory = 4096usize;
+    let mut stdio = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match locations.take_flag(arg, &mut it, out) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(code) => return code,
+        }
+        match arg.as_str() {
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => threads = n,
+                None => {
+                    let _ = writeln!(out, "commcsl: --threads needs a number");
+                    return EXIT_ERROR;
+                }
+            },
+            "--memory" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => memory = n,
+                None => {
+                    let _ = writeln!(out, "commcsl: --memory needs a number");
+                    return EXIT_ERROR;
+                }
+            },
+            "--stdio" => stdio = true,
+            other => {
+                let _ = writeln!(out, "commcsl: unknown serve option `{other}`\n{USAGE}");
+                return EXIT_ERROR;
+            }
+        }
+    }
+    let socket = locations.socket_path();
+    let cache_dir = locations.cache_dir;
+
+    let server = Server::new(
+        ServerConfig {
+            threads,
+            cache: CacheConfig {
+                memory_capacity: memory.max(1),
+                disk_dir: Some(cache_dir.clone()),
+            },
+            verifier: VerifierConfig::default(),
+        },
+        Box::new(|src| compile(src).map_err(|e| e.to_string())),
+    );
+
+    if stdio {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        return match server.serve_stream(stdin.lock(), stdout.lock()) {
+            Ok(()) => {
+                let _ = writeln!(out, "commcsl: stdio session ended");
+                EXIT_OK
+            }
+            Err(e) => {
+                let _ = writeln!(out, "commcsl: stdio session failed: {e}");
+                EXIT_ERROR
+            }
+        };
+    }
+
+    // Bind first, announce after: the "listening" line is a readiness
+    // signal for wrappers (CI smoke test, `--daemon` auto-start), so it
+    // must only appear once the socket actually accepts connections.
+    let listener = match Server::bind_unix(&socket) {
+        Ok(listener) => listener,
+        Err(e) => {
+            let _ = writeln!(out, "commcsl: cannot bind {}: {e}", socket.display());
+            return EXIT_ERROR;
+        }
+    };
+    println!(
+        "commcsl: daemon listening on {} (cache {})",
+        socket.display(),
+        cache_dir.display()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match server.serve_bound(listener, &socket) {
+        Ok(()) => {
+            let _ = writeln!(out, "commcsl: daemon shut down cleanly");
+            EXIT_OK
+        }
+        Err(e) => {
+            let _ = writeln!(out, "commcsl: daemon failed: {e}");
+            EXIT_ERROR
+        }
+    }
+}
+
+// ------------------------------------------------------------------ daemon
+
+fn run_daemon(args: &[String], out: &mut String) -> i32 {
+    let mut action: Option<&str> = None;
+    let mut locations = DaemonPaths::new();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match locations.take_flag(arg, &mut it, out) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(code) => return code,
+        }
+        match arg.as_str() {
+            "status" | "stop" if action.is_none() => action = Some(arg.as_str()),
+            "--json" => json = true,
+            other => {
+                let _ = writeln!(out, "commcsl: unknown daemon action `{other}`\n{USAGE}");
+                return EXIT_ERROR;
+            }
+        }
+    }
+    let socket = locations.socket_path();
+    let Some(action) = action else {
+        let _ = writeln!(out, "commcsl: daemon needs `status` or `stop`\n{USAGE}");
+        return EXIT_ERROR;
+    };
+
+    let mut client = match Client::connect(&socket) {
+        Ok(client) => client,
+        Err(e) => {
+            if action == "stop" {
+                // Idempotent: stopping a daemon that is not there is fine.
+                let _ = writeln!(out, "commcsl: no daemon on {}", socket.display());
+                return EXIT_OK;
+            }
+            let _ = writeln!(
+                out,
+                "commcsl: cannot reach a daemon on {}: {e}",
+                socket.display()
+            );
+            return EXIT_ERROR;
+        }
+    };
+
+    match action {
+        "status" => match client.status() {
+            Ok(status) => {
+                if json {
+                    let _ = writeln!(out, "{}", status.to_json());
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "daemon v{} (format v{}) up {:.1}s on {}\n\
+                         requests: {}  programs: {}\n\
+                         cache: {} memory + {} disk hits, {} misses \
+                         ({:.1}% hit rate), {} entries in memory, {} evictions",
+                        status.version,
+                        status.format_version,
+                        status.uptime_ms / 1000.0,
+                        socket.display(),
+                        status.requests,
+                        status.programs,
+                        status.memory_hits,
+                        status.disk_hits,
+                        status.misses,
+                        status.hit_rate() * 100.0,
+                        status.memory_entries,
+                        status.evictions,
+                    );
+                }
+                EXIT_OK
+            }
+            Err(e) => {
+                let _ = writeln!(out, "commcsl: status failed: {e}");
+                EXIT_ERROR
+            }
+        },
+        "stop" => match client.shutdown() {
+            Ok(()) => {
+                let _ = writeln!(out, "commcsl: daemon on {} stopped", socket.display());
+                EXIT_OK
+            }
+            Err(e) => {
+                let _ = writeln!(out, "commcsl: stop failed: {e}");
+                EXIT_ERROR
+            }
+        },
+        _ => unreachable!("action is validated above"),
+    }
+}
+
+// ----------------------------------------------------------------- fixture
+
+fn run_fixture(args: &[String], out: &mut String) -> i32 {
+    let mut name: Option<&str> = None;
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            flag if flag.starts_with("--") => {
+                let _ = writeln!(out, "commcsl: unknown fixture option `{flag}`\n{USAGE}");
+                return EXIT_ERROR;
+            }
+            n if name.is_none() => name = Some(n),
+            extra => {
+                let _ = writeln!(out, "commcsl: fixture takes one name, got also `{extra}`");
+                return EXIT_ERROR;
+            }
+        }
+    }
+    let Some(name) = name else {
+        let _ = writeln!(out, "commcsl: fixture needs a Table 1 row or program name\n{USAGE}");
+        return EXIT_ERROR;
+    };
+    let Some(fixture) = commcsl_fixtures::find(name) else {
+        let hint = commcsl_fixtures::suggest(name)
+            .map(|s| format!("; did you mean `{s}`?"))
+            .unwrap_or_default();
+        let _ = writeln!(out, "commcsl: unknown fixture `{name}`{hint}");
+        return EXIT_ERROR;
+    };
+
+    let report = commcsl_verifier::verify(&fixture.program, &VerifierConfig::default());
+    if json {
+        let _ = writeln!(
+            out,
+            "{{\"fixture\":{},\"data_structure\":{},\"abstraction\":{},\"report\":{}}}",
+            json_string(fixture.name),
+            json_string(fixture.data_structure),
+            json_string(fixture.abstraction),
+            report.to_json()
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "{} — {} abstracted to {}",
+            fixture.name, fixture.data_structure, fixture.abstraction
+        );
+        let _ = write!(out, "{report}");
+    }
+    if report.verified() {
+        EXIT_OK
+    } else {
+        EXIT_MISMATCH
+    }
+}
+
+// --------------------------------------------------------------------- fmt
 
 fn run_fmt(args: &[String], out: &mut String) -> i32 {
     if args.is_empty() {
         let _ = writeln!(out, "commcsl: fmt needs at least one path\n{USAGE}");
-        return 2;
+        return EXIT_ERROR;
     }
     let files = match collect_files(args) {
         Ok(files) => files,
         Err(msg) => {
             let _ = writeln!(out, "commcsl: {msg}");
-            return 2;
+            return EXIT_ERROR;
         }
     };
     if files.is_empty() {
         let _ = writeln!(out, "commcsl: no .csl files found");
-        return 2;
+        return EXIT_ERROR;
     }
-    let mut code = 0;
+    let mut code = EXIT_OK;
     for file in files {
         match fs::read_to_string(&file).map_err(|e| format!("cannot read file: {e}")) {
             Ok(src) => match compile(&src) {
                 Ok(program) => out.push_str(&crate::pretty::pretty(&program)),
                 Err(e) => {
                     let _ = writeln!(out, "{}: {e}", file.display());
-                    code = 1;
+                    code = EXIT_ERROR;
                 }
             },
             Err(e) => {
                 let _ = writeln!(out, "{}: {e}", file.display());
-                code = 1;
+                code = EXIT_ERROR;
             }
         }
     }
@@ -350,86 +937,250 @@ mod tests {
     #[test]
     fn help_and_unknown_commands() {
         let mut out = String::new();
-        assert_eq!(run(&["help".into()], &mut out), 0);
+        assert_eq!(run(&["help".into()], &mut out), EXIT_OK);
         assert!(out.contains("usage"));
         let mut out = String::new();
-        assert_eq!(run(&["bogus".into()], &mut out), 2);
+        assert_eq!(run(&["bogus".into()], &mut out), EXIT_ERROR);
         let mut out = String::new();
-        assert_eq!(run(&[], &mut out), 1);
+        assert_eq!(run(&[], &mut out), EXIT_ERROR);
     }
 
     #[test]
     fn verify_requires_paths_and_valid_flags() {
         let mut out = String::new();
-        assert_eq!(run(&["verify".into()], &mut out), 2);
+        assert_eq!(run(&["verify".into()], &mut out), EXIT_ERROR);
         let mut out = String::new();
         assert_eq!(
             run(&["verify".into(), "--expect".into(), "nonsense".into()], &mut out),
-            2
+            EXIT_ERROR
         );
         let mut out = String::new();
         assert_eq!(
             run(&["verify".into(), "/nonexistent/x.csl".into()], &mut out),
-            2
+            EXIT_ERROR
+        );
+        let mut out = String::new();
+        assert_eq!(
+            run(&["verify".into(), "--socket".into()], &mut out),
+            EXIT_ERROR
         );
     }
 
-    #[test]
-    fn verify_a_temp_file_end_to_end() {
-        let dir = std::env::temp_dir().join("commcsl-cli-test");
+    fn temp_corpus(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "commcsl-cli-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
-        let good = dir.join("good.csl");
         fs::write(
-            &good,
+            dir.join("good.csl"),
             "program good;\ninput a: Int low;\noutput a;\n",
         )
         .unwrap();
-        let bad = dir.join("bad.csl");
         fs::write(
-            &bad,
+            dir.join("bad.csl"),
             "program bad;\ninput h: Int high;\noutput h;\n",
         )
         .unwrap();
+        dir
+    }
 
+    #[test]
+    fn verify_exit_codes_distinguish_mismatch_from_parse_error() {
+        let dir = temp_corpus("codes");
+        let good = dir.join("good.csl").display().to_string();
+        let bad = dir.join("bad.csl").display().to_string();
+
+        // 0: all as expected.
         let mut out = String::new();
-        let code = run(
-            &["verify".into(), good.display().to_string()],
-            &mut out,
-        );
-        assert_eq!(code, 0, "{out}");
+        assert_eq!(run(&["verify".into(), good.clone()], &mut out), EXIT_OK, "{out}");
         assert!(out.contains("1/1 programs verified"));
 
-        // The leaky program fails under the default expectation...
+        // 1: verdict mismatch (the program parses fine, but leaks).
         let mut out = String::new();
-        let code = run(&["verify".into(), bad.display().to_string()], &mut out);
-        assert_eq!(code, 1, "{out}");
+        assert_eq!(run(&["verify".into(), bad.clone()], &mut out), EXIT_MISMATCH, "{out}");
         assert!(out.contains("UNEXPECTED"));
 
-        // ... and passes under --expect rejected.
+        // 0 again under --expect rejected.
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &["verify".into(), "--expect".into(), "rejected".into(), bad],
+                &mut out
+            ),
+            EXIT_OK,
+            "{out}"
+        );
+
+        // 2: a parse error dominates, even when other files mismatch.
+        fs::write(dir.join("broken.csl"), "program ; nonsense !!!\n").unwrap();
+        let mut out = String::new();
+        assert_eq!(
+            run(&["verify".into(), dir.display().to_string()], &mut out),
+            EXIT_ERROR,
+            "{out}"
+        );
+        assert!(out.contains("failed to parse"));
+
+        // JSON mode reports the same classification.
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &["verify".into(), "--json".into(), dir.display().to_string()],
+                &mut out
+            ),
+            EXIT_ERROR
+        );
+        assert!(out.contains("\"exit_code\":2"));
+        assert!(out.contains("\"engine\":\"in-process\""));
+        assert!(out.contains("\"ok\":false"));
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn verify_daemon_mode_against_a_live_daemon_and_fallback_without_one() {
+        let dir = temp_corpus("daemon");
+        let socket = dir.join("test.sock");
+        let cache_dir = dir.join("cache");
+
+        // Fallback: --daemon --no-start with no daemon behind the socket
+        // still verifies (in-process) and says so.
         let mut out = String::new();
         let code = run(
             &[
                 "verify".into(),
-                "--expect".into(),
-                "rejected".into(),
-                bad.display().to_string(),
+                "--daemon".into(),
+                "--no-start".into(),
+                "--socket".into(),
+                socket.display().to_string(),
+                dir.join("good.csl").display().to_string(),
             ],
             &mut out,
         );
-        assert_eq!(code, 0, "{out}");
+        assert_eq!(code, EXIT_OK, "{out}");
+        assert!(out.contains("daemon unavailable"), "{out}");
+        assert!(out.contains("1/1 programs verified"));
 
-        // JSON mode produces a single document mentioning both files.
-        let mut out = String::new();
-        let code = run(
-            &["verify".into(), "--json".into(), dir.display().to_string()],
-            &mut out,
+        // Live daemon: the same invocation is served remotely; a second
+        // run is answered from cache.
+        let server = Server::new(
+            ServerConfig {
+                threads: 1,
+                cache: CacheConfig::persistent(&cache_dir),
+                verifier: VerifierConfig::default(),
+            },
+            Box::new(|src| compile(src).map_err(|e| e.to_string())),
         );
-        assert_eq!(code, 1, "{out}"); // bad.csl does not verify
-        assert!(out.contains("\"results\":["));
-        assert!(out.contains("good.csl"));
-        assert!(out.contains("\"ok\":false"));
+        struct StopOnDrop<'a>(&'a Server);
+        impl Drop for StopOnDrop<'_> {
+            fn drop(&mut self) {
+                // A panicking assertion must still end the serve thread,
+                // or thread::scope joins forever.
+                self.0.request_shutdown();
+            }
+        }
+        std::thread::scope(|scope| {
+            let _stop = StopOnDrop(&server);
+            scope.spawn(|| server.serve_unix(&socket));
+            // Wait for the socket to accept.
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while Client::connect(&socket).is_err() {
+                assert!(std::time::Instant::now() < deadline, "daemon never came up");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+
+            let args = [
+                "verify".to_owned(),
+                "--daemon".to_owned(),
+                "--json".to_owned(),
+                "--socket".to_owned(),
+                socket.display().to_string(),
+                dir.join("good.csl").display().to_string(),
+            ];
+            let mut cold = String::new();
+            assert_eq!(run(&args, &mut cold), EXIT_OK, "{cold}");
+            assert!(cold.contains("\"engine\":\"daemon\""), "{cold}");
+            assert!(cold.contains("\"cached\":false"), "{cold}");
+            let mut warm = String::new();
+            assert_eq!(run(&args, &mut warm), EXIT_OK, "{warm}");
+            assert!(warm.contains("\"cached\":true"), "{warm}");
+
+            // `daemon status` sees the traffic; `daemon stop` ends it.
+            let mut status = String::new();
+            assert_eq!(
+                run(
+                    &[
+                        "daemon".into(),
+                        "status".into(),
+                        "--socket".into(),
+                        socket.display().to_string(),
+                    ],
+                    &mut status
+                ),
+                EXIT_OK,
+                "{status}"
+            );
+            assert!(status.contains("hit rate"), "{status}");
+            let mut stop = String::new();
+            assert_eq!(
+                run(
+                    &[
+                        "daemon".into(),
+                        "stop".into(),
+                        "--socket".into(),
+                        socket.display().to_string(),
+                    ],
+                    &mut stop
+                ),
+                EXIT_OK,
+                "{stop}"
+            );
+        });
+
+        // Idempotent stop with nothing running.
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &[
+                    "daemon".into(),
+                    "stop".into(),
+                    "--socket".into(),
+                    socket.display().to_string(),
+                ],
+                &mut out
+            ),
+            EXIT_OK
+        );
+        assert!(out.contains("no daemon"));
 
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fixture_lookup_verifies_and_suggests() {
+        let mut out = String::new();
+        assert_eq!(run(&["fixture".into(), "Figure 2".into()], &mut out), EXIT_OK);
+        assert!(out.contains("[OK]"), "{out}");
+
+        let mut out = String::new();
+        assert_eq!(
+            run(&["fixture".into(), "figure3-map-keyset".into(), "--json".into()], &mut out),
+            EXIT_OK
+        );
+        assert!(out.contains("\"verified\":true"), "{out}");
+
+        let mut out = String::new();
+        assert_eq!(
+            run(&["fixture".into(), "Figure 22".into()], &mut out),
+            EXIT_ERROR
+        );
+        assert!(out.contains("did you mean `Figure 2`?"), "{out}");
+
+        let mut out = String::new();
+        assert_eq!(run(&["fixture".into()], &mut out), EXIT_ERROR);
     }
 
     #[test]
@@ -446,12 +1197,29 @@ mod tests {
         )
         .unwrap();
         let mut once = String::new();
-        assert_eq!(run(&["fmt".into(), f.display().to_string()], &mut once), 0);
+        assert_eq!(run(&["fmt".into(), f.display().to_string()], &mut once), EXIT_OK);
         let f2 = dir.join("p2.csl");
         fs::write(&f2, &once).unwrap();
         let mut twice = String::new();
-        assert_eq!(run(&["fmt".into(), f2.display().to_string()], &mut twice), 0);
+        assert_eq!(run(&["fmt".into(), f2.display().to_string()], &mut twice), EXIT_OK);
         assert_eq!(once, twice);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fmt_parse_errors_exit_2() {
+        let dir = std::env::temp_dir().join(format!(
+            "commcsl-fmt-err-{}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("broken.csl");
+        fs::write(&f, "program ; nonsense\n").unwrap();
+        let mut out = String::new();
+        assert_eq!(
+            run(&["fmt".into(), f.display().to_string()], &mut out),
+            EXIT_ERROR
+        );
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -18,7 +18,10 @@
 //! * [`pretty`] — the inverse printer; `compile(&pretty(p)) == p` for
 //!   surface-expressible programs (see its docs for the caveats).
 //! * [`cli`] — the `commcsl` binary: batch-verifies files, directories,
-//!   and globs in parallel, with human-readable or `--json` reports.
+//!   and globs in parallel, with human-readable or `--json` reports;
+//!   `serve` / `verify --daemon` / `daemon status|stop` expose the
+//!   persistent verification service of `commcsl-server` (content-
+//!   addressed verdict cache, transparent in-process fallback).
 //!
 //! # Example
 //!

@@ -1,0 +1,206 @@
+//! Client plumbing for the verification daemon.
+//!
+//! [`Client`] speaks the NDJSON protocol over a Unix domain socket (or,
+//! generically, any reader/writer pair via [`Client::over`], which is
+//! how a stdio-transport child process is driven). The
+//! [`connect_or_start`] helper implements the CLI's transparent daemon
+//! mode: connect if a daemon is live, otherwise invoke a caller-supplied
+//! launcher and poll until the socket answers.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::protocol::{
+    verify_outcome_from_json, Request, StatusInfo, VerifyItem, VerifyOutcome,
+};
+
+/// An error talking to the daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, premature EOF).
+    Io(io::Error),
+    /// The daemon answered, but not with what the protocol promises.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "daemon transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "daemon protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<String> for ClientError {
+    fn from(e: String) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// A protocol session with a daemon.
+pub struct Client {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl Client {
+    /// Wraps an arbitrary transport (a spawned child's stdio, an
+    /// in-memory pipe in tests, …).
+    pub fn over(
+        reader: impl Read + Send + 'static,
+        writer: impl Write + Send + 'static,
+    ) -> Client {
+        Client {
+            reader: BufReader::new(Box::new(reader)),
+            writer: Box::new(writer),
+        }
+    }
+
+    /// Sends one request and reads one response.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Json, ClientError> {
+        writeln!(self.writer, "{}", request.encode())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            )));
+        }
+        Json::parse(line.trim()).map_err(ClientError::Protocol)
+    }
+
+    /// Verifies one named source.
+    pub fn verify(
+        &mut self,
+        name: impl Into<String>,
+        source: impl Into<String>,
+    ) -> Result<VerifyOutcome, ClientError> {
+        let response = self.roundtrip(&Request::Verify(VerifyItem {
+            name: name.into(),
+            source: source.into(),
+        }))?;
+        Ok(verify_outcome_from_json(&response)?)
+    }
+
+    /// Verifies a batch; outcomes are in input order.
+    pub fn verify_batch(
+        &mut self,
+        items: Vec<VerifyItem>,
+    ) -> Result<Vec<VerifyOutcome>, ClientError> {
+        let expected = items.len();
+        let response = self.roundtrip(&Request::VerifyBatch(items))?;
+        if response.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(ClientError::Protocol(
+                response
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("batch request failed")
+                    .to_owned(),
+            ));
+        }
+        let results = response
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| {
+                ClientError::Protocol("batch response needs `results`".into())
+            })?;
+        // One outcome per item, or the response cannot be trusted —
+        // silently dropping trailing items would report unverified
+        // programs as "all verified".
+        if results.len() != expected {
+            return Err(ClientError::Protocol(format!(
+                "batch response has {} results for {expected} items",
+                results.len()
+            )));
+        }
+        results
+            .iter()
+            .map(|doc| verify_outcome_from_json(doc).map_err(ClientError::Protocol))
+            .collect()
+    }
+
+    /// Fetches daemon statistics.
+    pub fn status(&mut self) -> Result<StatusInfo, ClientError> {
+        let response = self.roundtrip(&Request::Status)?;
+        Ok(StatusInfo::from_json(&response)?)
+    }
+
+    /// Asks the daemon to exit; returns once acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let response = self.roundtrip(&Request::Shutdown)?;
+        if response.get("ok").and_then(Json::as_bool) == Some(true) {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol("shutdown not acknowledged".into()))
+        }
+    }
+}
+
+#[cfg(unix)]
+mod unix_transport {
+    use std::os::unix::net::UnixStream;
+    use std::path::Path;
+
+    use super::*;
+
+    /// Bound on waiting for any single daemon response. Generous — a
+    /// cold batch over a large corpus verifies in milliseconds-per-
+    /// program — but finite, so a wedged daemon (deadlocked, SIGSTOPped)
+    /// surfaces as a transport error and the CLI's in-process fallback
+    /// can take over instead of hanging forever.
+    const RESPONSE_TIMEOUT: Duration = Duration::from_secs(120);
+
+    impl Client {
+        /// Connects to a daemon's Unix socket.
+        pub fn connect(socket_path: &Path) -> io::Result<Client> {
+            let stream = UnixStream::connect(socket_path)?;
+            stream.set_read_timeout(Some(RESPONSE_TIMEOUT))?;
+            stream.set_write_timeout(Some(RESPONSE_TIMEOUT))?;
+            let writer = stream.try_clone()?;
+            Ok(Client::over(stream, writer))
+        }
+    }
+
+    /// Connects to `socket_path`, or — when nothing answers — runs
+    /// `launch` (which should start a daemon in the background) and polls
+    /// the socket until it accepts or `wait` elapses.
+    ///
+    /// # Errors
+    ///
+    /// The launcher's error, or the last connect error after the wait
+    /// budget is exhausted — callers fall back to in-process
+    /// verification on any error.
+    pub fn connect_or_start(
+        socket_path: &Path,
+        wait: Duration,
+        launch: impl FnOnce() -> io::Result<()>,
+    ) -> io::Result<Client> {
+        match Client::connect(socket_path) {
+            Ok(client) => return Ok(client),
+            Err(_) => launch()?,
+        }
+        let deadline = Instant::now() + wait;
+        loop {
+            match Client::connect(socket_path) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+pub use unix_transport::connect_or_start;

@@ -1,0 +1,499 @@
+//! The long-running verification daemon.
+//!
+//! A [`Server`] owns a [`CachedVerifier`] (two-tier content-addressed
+//! verdict cache in front of the work-stealing batch pool) and a
+//! *compile function* injected by the caller — the daemon is agnostic to
+//! the surface syntax; `commcsl-front` passes its `.csl` compiler in.
+//! Sessions speak the NDJSON protocol of [`crate::protocol`] over either
+//! transport:
+//!
+//! * [`Server::serve_unix`] — a Unix-domain-socket accept loop, one
+//!   thread per connection, all sessions sharing the cache. This is the
+//!   `commcsl serve` daemon.
+//! * [`Server::serve_stream`] — a single session over any
+//!   reader/writer pair; wired to stdin/stdout it is the portable
+//!   `commcsl serve --stdio` fallback (also used by the tests).
+//!
+//! Shutdown is cooperative: a `shutdown` request is acknowledged on its
+//! own session, then the accept loop stops, in-flight sessions drain
+//! (their reads poll a shared flag), and the socket file is removed.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use commcsl_verifier::batch::BatchConfig;
+use commcsl_verifier::cache::{CacheConfig, CachedVerifier};
+use commcsl_verifier::hash::HASH_FORMAT_VERSION;
+use commcsl_verifier::program::AnnotatedProgram;
+use commcsl_verifier::report::VerifierConfig;
+
+use crate::json::Json;
+use crate::protocol::{
+    error_json, verify_response_json, Request, StatusInfo, VerifyItem, VerifyOk,
+    VerifyOutcome,
+};
+
+/// Compiles surface source text to a lowered program. Errors are
+/// reported to the client verbatim (conventionally `line:col: message`).
+pub type CompileFn = Box<dyn Fn(&str) -> Result<AnnotatedProgram, String> + Send + Sync>;
+
+/// Daemon configuration.
+#[derive(Default)]
+pub struct ServerConfig {
+    /// Worker threads for cache misses (0 = one per CPU).
+    pub threads: usize,
+    /// Verdict-cache tiers.
+    pub cache: CacheConfig,
+    /// Verifier budgets (part of every cache key).
+    pub verifier: VerifierConfig,
+}
+
+/// The verification daemon: shared cache, counters, session loops.
+pub struct Server {
+    verifier: CachedVerifier,
+    compile: CompileFn,
+    threads: usize,
+    started: Instant,
+    requests: AtomicU64,
+    programs: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Server {
+    /// Creates a daemon with the given compiler for incoming sources.
+    pub fn new(config: ServerConfig, compile: CompileFn) -> Self {
+        let batch = BatchConfig {
+            threads: config.threads,
+            verifier: config.verifier,
+        };
+        Server {
+            verifier: CachedVerifier::new(batch, config.cache),
+            compile,
+            threads: config.threads,
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            programs: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// `true` once a `shutdown` request has been served (or
+    /// [`Server::request_shutdown`] was called).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Asks every session loop and the accept loop to wind down.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Current daemon statistics.
+    pub fn status(&self) -> StatusInfo {
+        let cache = self.verifier.stats();
+        StatusInfo {
+            version: env!("CARGO_PKG_VERSION").to_owned(),
+            format_version: u64::from(HASH_FORMAT_VERSION),
+            uptime_ms: self.started.elapsed().as_secs_f64() * 1000.0,
+            requests: self.requests.load(Ordering::Relaxed),
+            programs: self.programs.load(Ordering::Relaxed),
+            memory_hits: cache.memory_hits,
+            disk_hits: cache.disk_hits,
+            misses: cache.misses,
+            evictions: cache.evictions,
+            memory_entries: self.verifier.memory_entries() as u64,
+            threads: self.threads as u64,
+        }
+    }
+
+    /// Compiles and verifies a batch of items; cache misses ride the
+    /// parallel pipeline together. Outcomes are in input order.
+    pub fn verify_items(&self, items: &[VerifyItem]) -> Vec<VerifyOutcome> {
+        // Per-item compile timing, so a cache hit's reported time stays
+        // its own microseconds instead of inheriting a batch average.
+        let compiled: Vec<(Result<AnnotatedProgram, String>, f64)> = items
+            .iter()
+            .map(|item| {
+                let start = Instant::now();
+                let result = (self.compile)(&item.source);
+                (result, start.elapsed().as_secs_f64() * 1000.0)
+            })
+            .collect();
+
+        let programs: Vec<&AnnotatedProgram> = compiled
+            .iter()
+            .filter_map(|(c, _)| c.as_ref().ok())
+            .collect();
+        let mut verified = self.verifier.verify_batch(&programs).into_iter();
+        self.programs
+            .fetch_add(programs.len() as u64, Ordering::Relaxed);
+
+        compiled
+            .iter()
+            .map(|(c, compile_ms)| match c {
+                Ok(_) => {
+                    let r = verified.next().expect("one result per compiled program");
+                    Ok(VerifyOk {
+                        cached: r.cached,
+                        key: r.key,
+                        time_ms: r.time.as_secs_f64() * 1000.0 + compile_ms,
+                        report: r.report,
+                    })
+                }
+                Err(e) => Err(e.clone()),
+            })
+            .collect()
+    }
+
+    /// Serves one protocol request. Returns the response document and
+    /// whether the daemon should shut down after sending it.
+    pub fn handle_request(&self, request: &Request) -> (Json, bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match request {
+            Request::Verify(item) => {
+                let outcome = self.verify_items(std::slice::from_ref(item)).remove(0);
+                (verify_response_json(&outcome), false)
+            }
+            Request::VerifyBatch(items) => {
+                let results: Vec<Json> = self
+                    .verify_items(items)
+                    .iter()
+                    .map(verify_response_json)
+                    .collect();
+                (
+                    Json::obj([("ok", Json::Bool(true)), ("results", Json::Arr(results))]),
+                    false,
+                )
+            }
+            Request::Status => (self.status().to_json(), false),
+            Request::Shutdown => {
+                self.request_shutdown();
+                (
+                    Json::obj([
+                        ("ok", Json::Bool(true)),
+                        ("shutting_down", Json::Bool(true)),
+                    ]),
+                    true,
+                )
+            }
+        }
+    }
+
+    /// Serves one protocol line (malformed input yields an `"ok":false`
+    /// response rather than closing the session).
+    pub fn handle_line(&self, line: &str) -> (Json, bool) {
+        match Request::decode(line.trim()) {
+            Ok(request) => self.handle_request(&request),
+            Err(e) => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                (error_json(&format!("bad request: {e}")), false)
+            }
+        }
+    }
+
+    /// Runs one NDJSON session over a reader/writer pair until EOF or
+    /// shutdown. This is the stdio transport (`commcsl serve --stdio`)
+    /// and the per-connection loop of the socket transport.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport I/O errors; timeout-flavored read errors
+    /// (`WouldBlock`/`TimedOut`) poll the shutdown flag and continue, so
+    /// socket sessions with a read timeout drain promptly on shutdown.
+    pub fn serve_stream(
+        &self,
+        reader: impl io::Read,
+        mut writer: impl Write,
+    ) -> io::Result<()> {
+        let mut reader = BufReader::new(reader);
+        // Lines accumulate as raw bytes: `read_until` keeps partial input
+        // across read timeouts, whereas `read_line` would roll back (and
+        // lose) bytes that end mid-UTF-8-sequence on a timed-out call.
+        let mut line: Vec<u8> = Vec::new();
+        loop {
+            match reader.read_until(b'\n', &mut line) {
+                Ok(0) => return Ok(()), // client hung up
+                Ok(_) if !line.ends_with(b"\n") => {
+                    // EOF in the middle of a line: nothing more is coming.
+                    return Ok(());
+                }
+                Ok(_) => {
+                    let (response, stop) = match std::str::from_utf8(&line) {
+                        Ok(text) if text.trim().is_empty() => {
+                            line.clear();
+                            continue;
+                        }
+                        Ok(text) => self.handle_line(text),
+                        Err(_) => (error_json("bad request: line is not UTF-8"), false),
+                    };
+                    writeln!(writer, "{response}")?;
+                    writer.flush()?;
+                    line.clear();
+                    if stop || self.shutdown_requested() {
+                        return Ok(());
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    // Read timeout: partial input (if any) stays buffered
+                    // in `line`; bail out only on daemon shutdown.
+                    if self.shutdown_requested() {
+                        return Ok(());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+mod unix_transport {
+    use std::fs;
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::path::Path;
+    use std::thread;
+
+    use super::*;
+
+    /// `EMFILE`/`ENFILE` (process/system fd table full) have no stable
+    /// `io::ErrorKind` mapping; both are transient under load and the
+    /// accept loop must ride them out rather than die.
+    fn is_fd_exhaustion(e: &io::Error) -> bool {
+        const ENFILE: i32 = 23;
+        const EMFILE: i32 = 24;
+        matches!(e.raw_os_error(), Some(code) if code == EMFILE || code == ENFILE)
+    }
+
+    impl Server {
+        /// Claims `socket_path`: refuses when a live daemon already owns
+        /// it, silently replaces a stale socket file left by a crashed
+        /// one, and returns the bound (nonblocking) listener. Callers
+        /// that announce readiness should do so only after this
+        /// succeeds, then hand the listener to [`Server::serve_bound`].
+        pub fn bind_unix(socket_path: &Path) -> io::Result<UnixListener> {
+            if socket_path.exists() {
+                if UnixStream::connect(socket_path).is_ok() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!(
+                            "a daemon is already listening on {}",
+                            socket_path.display()
+                        ),
+                    ));
+                }
+                fs::remove_file(socket_path)?;
+            }
+            if let Some(dir) = socket_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                fs::create_dir_all(dir)?;
+            }
+            let listener = UnixListener::bind(socket_path)?;
+            listener.set_nonblocking(true)?;
+            Ok(listener)
+        }
+
+        /// Binds `socket_path` and serves connections until a `shutdown`
+        /// request arrives ([`Server::bind_unix`] + [`Server::serve_bound`]).
+        pub fn serve_unix(&self, socket_path: &Path) -> io::Result<()> {
+            self.serve_bound(Self::bind_unix(socket_path)?, socket_path)
+        }
+
+        /// Serves connections on an already-bound listener until a
+        /// `shutdown` request arrives, then removes the socket file.
+        pub fn serve_bound(
+            &self,
+            listener: UnixListener,
+            socket_path: &Path,
+        ) -> io::Result<()> {
+            let result = thread::scope(|scope| -> io::Result<()> {
+                while !self.shutdown_requested() {
+                    match listener.accept() {
+                        Ok((stream, _addr)) => {
+                            scope.spawn(move || {
+                                let _ = self.serve_connection(stream);
+                            });
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(20));
+                        }
+                        // Transient per-connection failures (peer hung up
+                        // before accept, fd pressure) must not kill the
+                        // daemon; back off and keep accepting.
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                io::ErrorKind::Interrupted
+                                    | io::ErrorKind::ConnectionAborted
+                                    | io::ErrorKind::ConnectionReset
+                            ) || is_fd_exhaustion(&e) =>
+                        {
+                            thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(e) => {
+                            // Fatal: stop accepting AND release the
+                            // in-flight sessions (they poll this flag),
+                            // or the scope would join forever.
+                            self.request_shutdown();
+                            return Err(e);
+                        }
+                    }
+                }
+                Ok(())
+            });
+            let _ = fs::remove_file(socket_path);
+            result
+        }
+
+        fn serve_connection(&self, stream: UnixStream) -> io::Result<()> {
+            stream.set_nonblocking(false)?;
+            // Short read timeout so idle sessions notice shutdown.
+            stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+            let writer = stream.try_clone()?;
+            self.serve_stream(stream, writer)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use commcsl_pure::{Sort, Term};
+    use commcsl_verifier::program::VStmt;
+    use commcsl_verifier::report::json_string;
+
+    use super::*;
+
+    /// A toy "compiler": `ok NAME` → a verifying program, `leak NAME` →
+    /// a rejected one, anything else → a compile error.
+    fn toy_compiler() -> CompileFn {
+        Box::new(|source: &str| {
+            let mut words = source.split_whitespace();
+            let kind = words.next().unwrap_or_default();
+            let name = words.next().unwrap_or("anon").to_owned();
+            match kind {
+                "ok" => Ok(AnnotatedProgram::new(name).with_body([
+                    VStmt::input("x", Sort::Int, true),
+                    VStmt::Output(Term::var("x")),
+                ])),
+                "leak" => Ok(AnnotatedProgram::new(name).with_body([
+                    VStmt::input("h", Sort::Int, false),
+                    VStmt::Output(Term::var("h")),
+                ])),
+                other => Err(format!("1:1: unknown directive `{other}`")),
+            }
+        })
+    }
+
+    fn server() -> Server {
+        Server::new(
+            ServerConfig {
+                threads: 2,
+                cache: CacheConfig::memory_only(64),
+                verifier: VerifierConfig::default(),
+            },
+            toy_compiler(),
+        )
+    }
+
+    #[test]
+    fn verify_then_cached_verify_then_status() {
+        let server = server();
+        let req = Request::Verify(VerifyItem {
+            name: "a".into(),
+            source: "ok prog-a".into(),
+        });
+
+        let (cold, stop) = server.handle_request(&req);
+        assert!(!stop);
+        assert_eq!(cold.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(cold.get("cached").and_then(Json::as_bool), Some(false));
+
+        let (warm, _) = server.handle_request(&req);
+        assert_eq!(warm.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            warm.get("report").map(ToString::to_string),
+            cold.get("report").map(ToString::to_string),
+            "cached verdicts must be byte-identical"
+        );
+
+        let status = server.status();
+        assert_eq!(status.requests, 2);
+        assert_eq!(status.programs, 2);
+        assert_eq!(status.misses, 1);
+        assert_eq!(status.memory_hits, 1);
+    }
+
+    #[test]
+    fn batch_mixes_compiled_and_failed_slots_in_order() {
+        let server = server();
+        let (response, _) = server.handle_request(&Request::VerifyBatch(vec![
+            VerifyItem { name: "a".into(), source: "ok a".into() },
+            VerifyItem { name: "b".into(), source: "syntax error here".into() },
+            VerifyItem { name: "c".into(), source: "leak c".into() },
+        ]));
+        let results = response.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(results[1].get("ok").and_then(Json::as_bool), Some(false));
+        assert!(results[1]
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("unknown directive"));
+        let c_report = results[2].get("report").unwrap();
+        assert_eq!(c_report.get("verified").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn stdio_session_end_to_end_with_shutdown() {
+        let server = server();
+        let input = format!(
+            "{}\nnot json at all\n{}\n{}\n",
+            Request::Verify(VerifyItem {
+                name: "a".into(),
+                source: "ok a".into()
+            })
+            .encode(),
+            Request::Status.encode(),
+            Request::Shutdown.encode(),
+        );
+        let mut output = Vec::new();
+        server
+            .serve_stream(input.as_bytes(), &mut output)
+            .expect("session runs");
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(lines[0].contains("\"verified\":true"));
+        assert!(lines[1].contains("bad request"));
+        assert!(lines[2].contains("\"requests\":"));
+        assert!(lines[3].contains("\"shutting_down\":true"));
+        assert!(server.shutdown_requested());
+    }
+
+    #[test]
+    fn per_item_compile_names_do_not_leak_between_slots() {
+        // The report's program name comes from the *source*, not the
+        // item name; two items with identical source share a cache slot.
+        let server = server();
+        let items = vec![
+            VerifyItem { name: "one.csl".into(), source: "ok same".into() },
+            VerifyItem { name: "two.csl".into(), source: "ok same".into() },
+        ];
+        let outcomes = server.verify_items(&items);
+        let a = outcomes[0].as_ref().unwrap();
+        let b = outcomes[1].as_ref().unwrap();
+        assert_eq!(a.key, b.key);
+        assert!(!a.cached && b.cached, "second identical job hits in-batch");
+        assert_eq!(
+            json_string(&a.report.program),
+            json_string(&b.report.program)
+        );
+    }
+}

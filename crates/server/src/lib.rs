@@ -1,0 +1,64 @@
+//! `commcsl-server` — the persistent verification service.
+//!
+//! CommCSL verification (journals_pacmpl_EilersD023) is a pure function
+//! of the lowered program, its resource specifications, and the solver
+//! budgets. This crate exploits that purity to turn the one-shot
+//! pipeline into a **daemon with a content-addressed verdict cache**:
+//! unchanged programs are answered from memory (or from the on-disk tier
+//! after a restart) without re-running symbolic execution, and only
+//! genuinely new content rides the work-stealing batch pool.
+//!
+//! The pieces:
+//!
+//! * [`json`] — a dependency-free JSON parser/writer (the vendored
+//!   `serde` is a stub),
+//! * [`protocol`] — the newline-delimited JSON request/response schema
+//!   (`verify`, `verify_batch`, `status`, `shutdown`) and the codec that
+//!   round-trips [`commcsl_verifier::report::VerifierReport`]
+//!   byte-identically,
+//! * [`daemon`] — the [`Server`](daemon::Server): session loops over a
+//!   Unix domain socket (with per-connection threads) or any
+//!   reader/writer pair (the stdio fallback), sharing one
+//!   [`CachedVerifier`](commcsl_verifier::cache::CachedVerifier),
+//! * [`client`] — the matching [`Client`](client::Client) plus
+//!   [`connect_or_start`](client::connect_or_start), the transparent
+//!   auto-spawn used by `commcsl verify --daemon`.
+//!
+//! The daemon is surface-syntax agnostic: it is constructed with a
+//! *compile function* (`&str → AnnotatedProgram`), which `commcsl-front`
+//! provides from its `.csl` compiler. See `docs/server.md` for the wire
+//! protocol, the cache layout, and the invalidation rules.
+//!
+//! # Example (in-process, stdio-style transport)
+//!
+//! ```
+//! use commcsl_server::daemon::{Server, ServerConfig};
+//! use commcsl_server::protocol::{Request, VerifyItem};
+//! use commcsl_verifier::{AnnotatedProgram, VStmt};
+//! use commcsl_pure::{Sort, Term};
+//!
+//! let server = Server::new(ServerConfig::default(), Box::new(|_src| {
+//!     Ok(AnnotatedProgram::new("demo").with_body([
+//!         VStmt::input("x", Sort::Int, true),
+//!         VStmt::Output(Term::var("x")),
+//!     ]))
+//! }));
+//! let item = VerifyItem { name: "demo".into(), source: "…".into() };
+//! let (cold, _) = server.handle_request(&Request::Verify(item.clone()));
+//! let (warm, _) = server.handle_request(&Request::Verify(item));
+//! assert_eq!(cold.get("cached").and_then(|j| j.as_bool()), Some(false));
+//! assert_eq!(warm.get("cached").and_then(|j| j.as_bool()), Some(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod json;
+pub mod protocol;
+
+pub use client::{Client, ClientError};
+pub use daemon::{CompileFn, Server, ServerConfig};
+pub use json::Json;
+pub use protocol::{Request, StatusInfo, VerifyItem, VerifyOk, VerifyOutcome};

@@ -1,0 +1,529 @@
+//! The newline-delimited JSON protocol of the verification daemon.
+//!
+//! One request per line, one response per line, always in order — no
+//! framing beyond `\n`, no pipelining requirements, so a session can be
+//! driven by a Unix-socket client, a stdio child process, or `nc -U`.
+//!
+//! Requests (`op` selects the operation):
+//!
+//! ```json
+//! {"op":"verify","name":"examples/x.csl","source":"program x; ..."}
+//! {"op":"verify_batch","items":[{"name":"a","source":"..."}, ...]}
+//! {"op":"status"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses always carry `"ok"`. A `verify` response embeds the
+//! [`VerifierReport`] in exactly the JSON shape of
+//! [`VerifierReport::to_json`], plus the content-address `key`, the
+//! `cached` flag, and the server-side `time_ms`:
+//!
+//! ```json
+//! {"ok":true,"cached":false,"key":"6c62…","time_ms":1.25,"report":{…}}
+//! {"ok":false,"error":"3:7: unknown resource `ctr`"}
+//! ```
+//!
+//! `verify_batch` responds `{"ok":true,"results":[…]}` with one
+//! `verify`-shaped object per item, in input order (a compile failure
+//! occupies its slot as an `"ok":false` object; the batch itself still
+//! succeeds). `status` reports cache counters; `shutdown` acknowledges
+//! with `{"ok":true,"shutting_down":true}` before the daemon exits.
+
+use commcsl_verifier::hash::ProgramHash;
+use commcsl_verifier::report::{ObligationResult, ObligationStatus, VerifierReport};
+
+use crate::json::Json;
+
+/// One verification job: a display name (usually the file path) and the
+/// `.csl` source text. The *server* compiles — the cache key is the
+/// lowered program, so formatting-only edits still hit the cache only if
+/// they lower identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyItem {
+    /// Display name, echoed in reports and logs.
+    pub name: String,
+    /// `.csl` source text.
+    pub source: String,
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Verify one program.
+    Verify(VerifyItem),
+    /// Verify a batch of programs (served concurrently server-side).
+    VerifyBatch(Vec<VerifyItem>),
+    /// Report daemon and cache statistics.
+    Status,
+    /// Acknowledge, then stop accepting connections and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Renders the request as one protocol line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let item_json = |item: &VerifyItem| {
+            Json::obj([
+                ("name", Json::str(&item.name)),
+                ("source", Json::str(&item.source)),
+            ])
+        };
+        let doc = match self {
+            Request::Verify(item) => Json::obj([
+                ("op", Json::str("verify")),
+                ("name", Json::str(&item.name)),
+                ("source", Json::str(&item.source)),
+            ]),
+            Request::VerifyBatch(items) => Json::obj([
+                ("op", Json::str("verify_batch")),
+                ("items", Json::Arr(items.iter().map(item_json).collect())),
+            ]),
+            Request::Status => Json::obj([("op", Json::str("status"))]),
+            Request::Shutdown => Json::obj([("op", Json::str("shutdown"))]),
+        };
+        doc.to_string()
+    }
+
+    /// Parses one protocol line.
+    pub fn decode(line: &str) -> Result<Request, String> {
+        let doc = Json::parse(line)?;
+        let op = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string `op` field")?;
+        match op {
+            "verify" => Ok(Request::Verify(VerifyItem {
+                name: doc
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("verify needs `name`")?
+                    .to_owned(),
+                source: doc
+                    .get("source")
+                    .and_then(Json::as_str)
+                    .ok_or("verify needs `source`")?
+                    .to_owned(),
+            })),
+            "verify_batch" => {
+                let items = doc
+                    .get("items")
+                    .and_then(Json::as_arr)
+                    .ok_or("verify_batch needs an `items` array")?;
+                items
+                    .iter()
+                    .map(|item| {
+                        Ok(VerifyItem {
+                            name: item
+                                .get("name")
+                                .and_then(Json::as_str)
+                                .ok_or("batch item needs `name`")?
+                                .to_owned(),
+                            source: item
+                                .get("source")
+                                .and_then(Json::as_str)
+                                .ok_or("batch item needs `source`")?
+                                .to_owned(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()
+                    .map(Request::VerifyBatch)
+            }
+            "status" => Ok(Request::Status),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+}
+
+// ----------------------------------------------------------- report codec
+
+/// Renders a report in exactly the shape of [`VerifierReport::to_json`].
+pub fn report_to_json(report: &VerifierReport) -> Json {
+    let obligations = report
+        .obligations
+        .iter()
+        .map(|o| {
+            let mut fields = vec![
+                ("description".to_owned(), Json::str(&o.description)),
+                (
+                    "proved".to_owned(),
+                    Json::Bool(o.status == ObligationStatus::Proved),
+                ),
+            ];
+            if let ObligationStatus::Failed(why) = &o.status {
+                fields.push(("reason".to_owned(), Json::str(why)));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::obj([
+        ("program", Json::str(&report.program)),
+        ("verified", Json::Bool(report.verified())),
+        ("proved", Json::Num(report.proved_count() as f64)),
+        ("obligations", Json::Arr(obligations)),
+        (
+            "errors",
+            Json::Arr(report.errors.iter().map(Json::str).collect()),
+        ),
+    ])
+}
+
+/// Parses a report back from its JSON shape. The derived fields
+/// (`verified`, `proved`) are recomputed, so
+/// `report_from_json(&Json::parse(&r.to_json())?)` reproduces `r`
+/// byte-identically under `to_json`.
+pub fn report_from_json(doc: &Json) -> Result<VerifierReport, String> {
+    let program = doc
+        .get("program")
+        .and_then(Json::as_str)
+        .ok_or("report needs `program`")?
+        .to_owned();
+    let obligations = doc
+        .get("obligations")
+        .and_then(Json::as_arr)
+        .ok_or("report needs `obligations`")?
+        .iter()
+        .map(|o| {
+            let description = o
+                .get("description")
+                .and_then(Json::as_str)
+                .ok_or("obligation needs `description`")?
+                .to_owned();
+            let proved = o
+                .get("proved")
+                .and_then(Json::as_bool)
+                .ok_or("obligation needs `proved`")?;
+            let status = if proved {
+                ObligationStatus::Proved
+            } else {
+                ObligationStatus::Failed(
+                    o.get("reason")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_owned(),
+                )
+            };
+            Ok(ObligationResult {
+                description,
+                status,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let errors = doc
+        .get("errors")
+        .and_then(Json::as_arr)
+        .ok_or("report needs `errors`")?
+        .iter()
+        .map(|e| {
+            e.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| "errors must be strings".to_owned())
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(VerifierReport {
+        program,
+        obligations,
+        errors,
+    })
+}
+
+// -------------------------------------------------------------- responses
+
+/// A successful `verify` outcome.
+#[derive(Debug, Clone)]
+pub struct VerifyOk {
+    /// Whether the verdict came from the cache.
+    pub cached: bool,
+    /// The content address of the job.
+    pub key: ProgramHash,
+    /// Server-side wall-clock milliseconds for this job.
+    pub time_ms: f64,
+    /// The verdict, identical to in-process verification.
+    pub report: VerifierReport,
+}
+
+/// One `verify` response: a verdict, or a compile (parse/lower) error.
+pub type VerifyOutcome = Result<VerifyOk, String>;
+
+/// Renders a `verify`(-slot) response.
+pub fn verify_response_json(outcome: &VerifyOutcome) -> Json {
+    match outcome {
+        Ok(ok) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("cached", Json::Bool(ok.cached)),
+            ("key", Json::str(ok.key.to_string())),
+            ("time_ms", Json::Num(ok.time_ms)),
+            ("report", report_to_json(&ok.report)),
+        ]),
+        Err(error) => error_json(error),
+    }
+}
+
+/// Parses a `verify`(-slot) response.
+pub fn verify_outcome_from_json(doc: &Json) -> Result<VerifyOutcome, String> {
+    match doc.get("ok").and_then(Json::as_bool) {
+        Some(true) => Ok(Ok(VerifyOk {
+            cached: doc
+                .get("cached")
+                .and_then(Json::as_bool)
+                .ok_or("verify response needs `cached`")?,
+            key: doc
+                .get("key")
+                .and_then(Json::as_str)
+                .ok_or("verify response needs `key`")?
+                .parse()?,
+            time_ms: doc
+                .get("time_ms")
+                .and_then(Json::as_num)
+                .ok_or("verify response needs `time_ms`")?,
+            report: report_from_json(
+                doc.get("report").ok_or("verify response needs `report`")?,
+            )?,
+        })),
+        Some(false) => Ok(Err(doc
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown server error")
+            .to_owned())),
+        None => Err("response needs a boolean `ok`".into()),
+    }
+}
+
+/// A generic `{"ok":false,"error":…}` response document.
+pub fn error_json(message: &str) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))])
+}
+
+/// Daemon statistics, as reported by the `status` request.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatusInfo {
+    /// Crate version of the daemon.
+    pub version: String,
+    /// [`commcsl_verifier::hash::HASH_FORMAT_VERSION`] of the daemon.
+    pub format_version: u64,
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: f64,
+    /// Protocol requests served (all ops).
+    pub requests: u64,
+    /// Programs verified or served from cache (batch items count
+    /// individually; compile failures do not count).
+    pub programs: u64,
+    /// Lookups answered from the in-memory tier.
+    pub memory_hits: u64,
+    /// Lookups answered from the on-disk tier.
+    pub disk_hits: u64,
+    /// Lookups answered by neither tier (verified from scratch).
+    pub misses: u64,
+    /// In-memory LRU evictions.
+    pub evictions: u64,
+    /// Verdicts currently held in memory.
+    pub memory_entries: u64,
+    /// Worker threads for cache misses (0 = one per CPU).
+    pub threads: u64,
+}
+
+impl StatusInfo {
+    /// Total cache hits.
+    pub fn hits(&self) -> u64 {
+        self.memory_hits + self.disk_hits
+    }
+
+    /// Fraction of lookups served from cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits() + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / lookups as f64
+        }
+    }
+
+    /// Renders the `status` response document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("version", Json::str(&self.version)),
+            ("format_version", Json::Num(self.format_version as f64)),
+            ("uptime_ms", Json::Num(self.uptime_ms)),
+            ("requests", Json::Num(self.requests as f64)),
+            ("programs", Json::Num(self.programs as f64)),
+            ("memory_hits", Json::Num(self.memory_hits as f64)),
+            ("disk_hits", Json::Num(self.disk_hits as f64)),
+            ("misses", Json::Num(self.misses as f64)),
+            ("evictions", Json::Num(self.evictions as f64)),
+            ("memory_entries", Json::Num(self.memory_entries as f64)),
+            ("threads", Json::Num(self.threads as f64)),
+            ("hit_rate", Json::Num(self.hit_rate())),
+        ])
+    }
+
+    /// Parses a `status` response document.
+    pub fn from_json(doc: &Json) -> Result<StatusInfo, String> {
+        if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(doc
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("status request failed")
+                .to_owned());
+        }
+        let num =
+            |key: &str| doc.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                format!("status response needs numeric `{key}`")
+            });
+        Ok(StatusInfo {
+            version: doc
+                .get("version")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+            format_version: num("format_version")?,
+            uptime_ms: doc
+                .get("uptime_ms")
+                .and_then(Json::as_num)
+                .unwrap_or_default(),
+            requests: num("requests")?,
+            programs: num("programs")?,
+            memory_hits: num("memory_hits")?,
+            disk_hits: num("disk_hits")?,
+            misses: num("misses")?,
+            evictions: num("evictions")?,
+            memory_entries: num("memory_entries")?,
+            threads: num("threads")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use commcsl_verifier::report::{ObligationResult, ObligationStatus};
+
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let requests = [
+            Request::Verify(VerifyItem {
+                name: "a \"quoted\" name".into(),
+                source: "program p;\noutput 1;\n".into(),
+            }),
+            Request::VerifyBatch(vec![
+                VerifyItem {
+                    name: "x".into(),
+                    source: "s1".into(),
+                },
+                VerifyItem {
+                    name: "y\t".into(),
+                    source: "s2\\n".into(),
+                },
+            ]),
+            Request::Status,
+            Request::Shutdown,
+        ];
+        for r in requests {
+            let line = r.encode();
+            assert!(!line.contains('\n'), "one line per request: {line}");
+            assert_eq!(Request::decode(&line).unwrap(), r);
+        }
+        assert!(Request::decode("{\"op\":\"nope\"}").is_err());
+        assert!(Request::decode("not json").is_err());
+    }
+
+    fn nasty_report() -> VerifierReport {
+        VerifierReport {
+            program: "p \"q\" \\ \n\t\u{1}".into(),
+            obligations: vec![
+                ObligationResult {
+                    description: "pre of Put at worker 1".into(),
+                    status: ObligationStatus::Proved,
+                },
+                ObligationResult {
+                    description: "Low(output \"x\")".into(),
+                    status: ObligationStatus::Failed("countermodel: h\u{2}=1".into()),
+                },
+            ],
+            errors: vec!["guard \\ misuse\nsecond line".into()],
+        }
+    }
+
+    #[test]
+    fn report_json_codec_is_byte_identical_to_to_json() {
+        let report = nasty_report();
+        // Our writer renders the identical bytes...
+        assert_eq!(report_to_json(&report).to_string(), report.to_json());
+        // ...and parsing `to_json` output back reproduces the report.
+        let parsed = Json::parse(&report.to_json()).unwrap();
+        let recovered = report_from_json(&parsed).unwrap();
+        assert_eq!(recovered.to_json(), report.to_json());
+        assert_eq!(recovered.program, report.program);
+        assert_eq!(recovered.errors, report.errors);
+    }
+
+    #[test]
+    fn report_parse_back_roundtrips_exhaustive_control_chars() {
+        // Every C0 control character, plus quote/backslash runs, in every
+        // string position of a report: `to_json` must parse back to an
+        // identical report (the cache's byte-identical guarantee depends
+        // on this codec being lossless).
+        let mut nasty = String::from("q\" b\\ run\\\\ ");
+        nasty.extend((0u32..0x20).map(|c| char::from_u32(c).unwrap()));
+        let report = VerifierReport {
+            program: nasty.clone(),
+            obligations: vec![ObligationResult {
+                description: nasty.clone(),
+                status: ObligationStatus::Failed(nasty.clone()),
+            }],
+            errors: vec![nasty.clone()],
+        };
+        let parsed = Json::parse(&report.to_json()).unwrap();
+        let recovered = report_from_json(&parsed).unwrap();
+        assert_eq!(recovered.program, report.program);
+        assert_eq!(recovered.errors, report.errors);
+        assert_eq!(recovered.obligations.len(), 1);
+        assert_eq!(recovered.obligations[0].description, nasty);
+        assert_eq!(recovered.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn verify_responses_roundtrip() {
+        let ok: VerifyOutcome = Ok(VerifyOk {
+            cached: true,
+            key: ProgramHash(0xDEADBEEF),
+            time_ms: 0.125,
+            report: nasty_report(),
+        });
+        let doc = Json::parse(&verify_response_json(&ok).to_string()).unwrap();
+        let back = verify_outcome_from_json(&doc).unwrap().unwrap();
+        assert!(back.cached);
+        assert_eq!(back.key, ProgramHash(0xDEADBEEF));
+        assert_eq!(back.report.to_json(), nasty_report().to_json());
+
+        let err: VerifyOutcome = Err("1:2: unknown resource `q`".into());
+        let doc = Json::parse(&verify_response_json(&err).to_string()).unwrap();
+        assert_eq!(
+            verify_outcome_from_json(&doc).unwrap().unwrap_err(),
+            "1:2: unknown resource `q`"
+        );
+    }
+
+    #[test]
+    fn status_roundtrips_and_computes_hit_rate() {
+        let status = StatusInfo {
+            version: "0.1.0".into(),
+            format_version: 1,
+            uptime_ms: 12.5,
+            requests: 4,
+            programs: 36,
+            memory_hits: 17,
+            disk_hits: 1,
+            misses: 18,
+            evictions: 0,
+            memory_entries: 18,
+            threads: 0,
+        };
+        let doc = Json::parse(&status.to_json().to_string()).unwrap();
+        let back = StatusInfo::from_json(&doc).unwrap();
+        assert_eq!(back, status);
+        assert!((back.hit_rate() - 0.5).abs() < 1e-9);
+        assert!(StatusInfo::from_json(&error_json("down")).is_err());
+    }
+}

@@ -1,0 +1,803 @@
+//! Content-addressed verdict caching.
+//!
+//! Verification verdicts are pure functions of the
+//! [`program_hash`](crate::hash::program_hash) content address, so they
+//! can be cached and replayed **byte-identically** without re-running
+//! symbolic execution. [`VerdictCache`] is the two-tier store used by the
+//! `commcsl-server` daemon and the `--daemon` CLI path:
+//!
+//! * an **in-memory LRU tier** (capacity-bounded, stamp-based eviction),
+//! * an optional **on-disk tier** under a cache directory (conventionally
+//!   `.commcsl-cache/`), one file per verdict, written atomically
+//!   (temp file + rename) so a crash mid-write never leaves a readable
+//!   half-verdict.
+//!
+//! Invalidation is structural, never temporal: a verdict file is only
+//! served when its header version matches, its embedded key matches the
+//! requested hash, and its body parses completely. Any mismatch —
+//! including a [`HASH_FORMAT_VERSION`](crate::hash::HASH_FORMAT_VERSION)
+//! bump, which changes every key and the tier directory name — is a
+//! cache **miss**, never a stale verdict.
+//!
+//! [`CachedVerifier`] wraps the pipeline end-to-end: single-program
+//! lookups, and batch verification that routes only the misses through
+//! the work-stealing pool of [`crate::batch`].
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::batch::{verify_batch_ref, BatchConfig};
+use crate::hash::{program_hash, ProgramHash, HASH_FORMAT_VERSION};
+use crate::program::AnnotatedProgram;
+use crate::report::{ObligationResult, ObligationStatus, VerifierConfig, VerifierReport};
+
+// ---------------------------------------------------------------- verdict
+// file format: a line-based, escaped, self-validating encoding.
+
+const VERDICT_MAGIC: &str = "commcsl-verdict";
+
+/// Escapes one field for the verdict file (tabs, newlines, backslashes).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`]; `None` on malformed escapes (treated as a
+/// corrupt file ⇒ cache miss).
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Serializes a verdict to the on-disk format. The embedded `key` makes
+/// the file self-validating: a file renamed or copied to the wrong
+/// address is rejected on load.
+fn encode_verdict(key: ProgramHash, report: &VerifierReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{VERDICT_MAGIC} {HASH_FORMAT_VERSION}\n"));
+    out.push_str(&format!("key {key}\n"));
+    out.push_str(&format!("program {}\n", escape(&report.program)));
+    for e in &report.errors {
+        out.push_str(&format!("error {}\n", escape(e)));
+    }
+    for o in &report.obligations {
+        match &o.status {
+            ObligationStatus::Proved => {
+                out.push_str(&format!("proved {}\n", escape(&o.description)));
+            }
+            ObligationStatus::Failed(why) => {
+                out.push_str(&format!(
+                    "failed {}\t{}\n",
+                    escape(&o.description),
+                    escape(why)
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Parses a verdict file; `None` on any version/key/format mismatch.
+fn decode_verdict(key: ProgramHash, text: &str) -> Option<VerifierReport> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    if header != format!("{VERDICT_MAGIC} {HASH_FORMAT_VERSION}") {
+        return None;
+    }
+    let stored_key = lines.next()?.strip_prefix("key ")?;
+    if stored_key.parse::<ProgramHash>().ok()? != key {
+        return None;
+    }
+    let program = unescape(lines.next()?.strip_prefix("program ")?)?;
+    let mut errors = Vec::new();
+    let mut obligations = Vec::new();
+    for line in lines {
+        if let Some(rest) = line.strip_prefix("error ") {
+            // Errors precede obligations in the encoding; an error line
+            // after an obligation line means the file was hand-edited.
+            if !obligations.is_empty() {
+                return None;
+            }
+            errors.push(unescape(rest)?);
+        } else if let Some(rest) = line.strip_prefix("proved ") {
+            obligations.push(ObligationResult {
+                description: unescape(rest)?,
+                status: ObligationStatus::Proved,
+            });
+        } else if let Some(rest) = line.strip_prefix("failed ") {
+            let (desc, why) = rest.split_once('\t')?;
+            obligations.push(ObligationResult {
+                description: unescape(desc)?,
+                status: ObligationStatus::Failed(unescape(why)?),
+            });
+        } else {
+            return None;
+        }
+    }
+    Some(VerifierReport {
+        program,
+        obligations,
+        errors,
+    })
+}
+
+// ------------------------------------------------------------------ cache
+
+/// Configuration of a [`VerdictCache`].
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Maximum number of verdicts held in the in-memory tier.
+    pub memory_capacity: usize,
+    /// Root of the on-disk tier (`None` disables persistence). Verdicts
+    /// live under `<disk_dir>/v<HASH_FORMAT_VERSION>/<hash>.verdict`, so
+    /// a format-version bump orphans (never misreads) old entries.
+    pub disk_dir: Option<PathBuf>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            memory_capacity: 4096,
+            disk_dir: None,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A memory-only cache with the given capacity.
+    pub fn memory_only(capacity: usize) -> Self {
+        CacheConfig {
+            memory_capacity: capacity.max(1),
+            disk_dir: None,
+        }
+    }
+
+    /// A two-tier cache persisting under `dir`.
+    pub fn persistent(dir: impl Into<PathBuf>) -> Self {
+        CacheConfig {
+            disk_dir: Some(dir.into()),
+            ..Default::default()
+        }
+    }
+}
+
+/// Cache effectiveness counters (cumulative since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the in-memory tier.
+    pub memory_hits: u64,
+    /// Lookups answered from the on-disk tier (and promoted to memory).
+    pub disk_hits: u64,
+    /// Lookups answered by neither tier.
+    pub misses: u64,
+    /// Verdicts inserted.
+    pub stores: u64,
+    /// In-memory entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total hits across both tiers.
+    pub fn hits(&self) -> u64 {
+        self.memory_hits + self.disk_hits
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.misses
+    }
+
+    /// Fraction of lookups served from cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// The two-tier content-addressed verdict store.
+#[derive(Debug)]
+pub struct VerdictCache {
+    config: CacheConfig,
+    /// hash → (LRU stamp, verdict).
+    entries: HashMap<ProgramHash, (u64, VerifierReport)>,
+    /// stamp → hash, the eviction order (oldest stamp first).
+    lru: BTreeMap<u64, ProgramHash>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl VerdictCache {
+    /// Creates a cache; the disk directory is created lazily on first
+    /// store.
+    pub fn new(config: CacheConfig) -> Self {
+        VerdictCache {
+            config,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The directory holding this format version's verdict files.
+    fn tier_dir(&self) -> Option<PathBuf> {
+        self.config
+            .disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("v{HASH_FORMAT_VERSION}")))
+    }
+
+    fn verdict_path(&self, key: ProgramHash) -> Option<PathBuf> {
+        self.tier_dir().map(|d| d.join(format!("{key}.verdict")))
+    }
+
+    fn touch(&mut self, key: ProgramHash) {
+        if let Some((stamp, _)) = self.entries.get_mut(&key) {
+            self.lru.remove(stamp);
+            self.clock += 1;
+            *stamp = self.clock;
+            self.lru.insert(self.clock, key);
+        }
+    }
+
+    /// Looks up a verdict: memory first, then disk (with promotion).
+    ///
+    /// Concurrent wrappers ([`CachedVerifier`]) should prefer
+    /// [`VerdictCache::probe_memory`] / [`VerdictCache::admit_disk`] so
+    /// the file I/O between them can run outside their lock.
+    pub fn get(&mut self, key: ProgramHash) -> Option<VerifierReport> {
+        match self.probe_memory(key) {
+            Ok(report) => Some(report),
+            Err(path) => {
+                let text = path.as_deref().and_then(|p| fs::read_to_string(p).ok());
+                self.admit_disk(key, text.as_deref())
+            }
+        }
+    }
+
+    /// Memory-tier-only lookup. A hit is counted and returned; a miss
+    /// returns the disk path the caller should try (`None` inside the
+    /// `Err` when the cache has no disk tier) *without* counting a miss
+    /// yet — [`VerdictCache::admit_disk`] settles the statistics.
+    pub fn probe_memory(
+        &mut self,
+        key: ProgramHash,
+    ) -> Result<VerifierReport, Option<PathBuf>> {
+        if self.entries.contains_key(&key) {
+            self.touch(key);
+            self.stats.memory_hits += 1;
+            return Ok(self
+                .entries
+                .get(&key)
+                .map(|(_, r)| r.clone())
+                .expect("entry just probed"));
+        }
+        Err(self.verdict_path(key))
+    }
+
+    /// Completes a [`VerdictCache::probe_memory`] miss with the disk
+    /// file's content (`None` when the file was absent or unreadable):
+    /// a valid verdict is promoted to memory and counted as a disk hit,
+    /// anything else is counted as a miss (and a corrupt file deleted so
+    /// it cannot shadow a future store).
+    pub fn admit_disk(
+        &mut self,
+        key: ProgramHash,
+        text: Option<&str>,
+    ) -> Option<VerifierReport> {
+        if let Some(text) = text {
+            match decode_verdict(key, text) {
+                Some(report) => {
+                    self.stats.disk_hits += 1;
+                    self.insert_memory(key, report.clone());
+                    return Some(report);
+                }
+                None => {
+                    if let Some(path) = self.verdict_path(key) {
+                        let _ = fs::remove_file(&path);
+                    }
+                }
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Stores a verdict in both tiers.
+    ///
+    /// Concurrent wrappers should [`VerdictCache::insert`] under their
+    /// lock and perform the [`write_verdict_file`] outside it.
+    pub fn put(&mut self, key: ProgramHash, report: &VerifierReport) {
+        if let Some(path) = self.verdict_path(key) {
+            let _ = write_verdict_file(&path, key, report);
+        }
+        self.insert(key, report);
+    }
+
+    /// Stores a verdict in the memory tier only (counted as a store).
+    pub fn insert(&mut self, key: ProgramHash, report: &VerifierReport) {
+        self.stats.stores += 1;
+        self.insert_memory(key, report.clone());
+    }
+
+    /// The disk-tier file for `key`, if this cache has a disk tier.
+    pub fn disk_path(&self, key: ProgramHash) -> Option<PathBuf> {
+        self.verdict_path(key)
+    }
+
+    fn insert_memory(&mut self, key: ProgramHash, report: VerifierReport) {
+        if let Some((stamp, _)) = self.entries.remove(&key) {
+            self.lru.remove(&stamp);
+        }
+        while self.entries.len() >= self.config.memory_capacity.max(1) {
+            let Some((&oldest, &victim)) = self.lru.iter().next() else {
+                break;
+            };
+            self.lru.remove(&oldest);
+            self.entries.remove(&victim);
+            self.stats.evictions += 1;
+        }
+        self.clock += 1;
+        self.entries.insert(key, (self.clock, report));
+        self.lru.insert(self.clock, key);
+    }
+
+    /// Number of verdicts currently in memory.
+    pub fn memory_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// Encodes and writes one verdict file atomically (temp file + rename).
+pub fn write_verdict_file(
+    path: &Path,
+    key: ProgramHash,
+    report: &VerifierReport,
+) -> std::io::Result<()> {
+    write_atomically(path, &encode_verdict(key, report))
+}
+
+/// Writes `content` to `path` atomically: the data lands under a unique
+/// temporary name first and is `rename`d into place, so readers (and
+/// crash recovery) only ever see complete files.
+fn write_atomically(path: &Path, content: &str) -> std::io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    fs::create_dir_all(dir)?;
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+    let tmp = dir.join(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::write(&tmp, content)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+// -------------------------------------------------------- cached verifier
+
+/// The outcome of one program in a cached batch.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// Position in the input batch.
+    pub index: usize,
+    /// The content address of the job.
+    pub key: ProgramHash,
+    /// The verdict (identical whether cached or computed).
+    pub report: VerifierReport,
+    /// `true` when the verdict was served from cache.
+    pub cached: bool,
+    /// Wall-clock time for this program (lookup or verification).
+    pub time: Duration,
+}
+
+/// A verifier with a content-addressed cache in front of it.
+///
+/// Lookups and verification results are keyed by
+/// [`program_hash`](crate::hash::program_hash) over the program *and* the
+/// verifier configuration, so one `CachedVerifier` always returns
+/// verdicts byte-identical to running [`crate::symexec::verify`] directly
+/// with its configuration. Internally synchronized; share it behind an
+/// `Arc` across daemon sessions.
+#[derive(Debug)]
+pub struct CachedVerifier {
+    batch: BatchConfig,
+    cache: Mutex<VerdictCache>,
+}
+
+impl CachedVerifier {
+    /// Creates a cached verifier.
+    pub fn new(batch: BatchConfig, cache: CacheConfig) -> Self {
+        CachedVerifier {
+            batch,
+            cache: Mutex::new(VerdictCache::new(cache)),
+        }
+    }
+
+    /// The verifier configuration used for cache misses (and for keys).
+    pub fn verifier_config(&self) -> &VerifierConfig {
+        &self.batch.verifier
+    }
+
+    /// Verifies one program through the cache.
+    pub fn verify(&self, program: &AnnotatedProgram) -> CachedResult {
+        self.verify_batch(&[program]).remove(0)
+    }
+
+    /// Verifies a batch: cache hits are answered immediately, misses are
+    /// routed through the parallel pipeline of [`crate::batch`], stored,
+    /// and merged back **in input order**.
+    ///
+    /// The cache lock is held only for the in-memory tier; disk reads,
+    /// disk writes, and verification itself run outside it, so
+    /// concurrent callers (daemon sessions) do not serialize on file
+    /// I/O.
+    pub fn verify_batch(&self, programs: &[&AnnotatedProgram]) -> Vec<CachedResult> {
+        let keys: Vec<ProgramHash> = programs
+            .iter()
+            .map(|p| program_hash(p, &self.batch.verifier))
+            .collect();
+
+        // Memory probes, under one short lock hold. Misses keep their
+        // disk path (if any) for the unlocked read below.
+        let mut results: Vec<Option<CachedResult>> = Vec::with_capacity(programs.len());
+        let mut disk_probes: Vec<(usize, Option<PathBuf>)> = Vec::new();
+        {
+            let mut cache = self.cache.lock().expect("verdict cache poisoned");
+            for (index, &key) in keys.iter().enumerate() {
+                let start = Instant::now();
+                match cache.probe_memory(key) {
+                    Ok(report) => results.push(Some(CachedResult {
+                        index,
+                        key,
+                        report,
+                        cached: true,
+                        time: start.elapsed(),
+                    })),
+                    Err(path) => {
+                        results.push(None);
+                        disk_probes.push((index, path));
+                    }
+                }
+            }
+        }
+
+        // Disk reads with the lock released; then settle hits/misses.
+        let loaded: Vec<(usize, Instant, Option<String>)> = disk_probes
+            .iter()
+            .map(|(index, path)| {
+                let start = Instant::now();
+                let text = path.as_deref().and_then(|p| fs::read_to_string(p).ok());
+                (*index, start, text)
+            })
+            .collect();
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let mut cache = self.cache.lock().expect("verdict cache poisoned");
+            for (index, start, text) in loaded {
+                match cache.admit_disk(keys[index], text.as_deref()) {
+                    Some(report) => {
+                        results[index] = Some(CachedResult {
+                            index,
+                            key: keys[index],
+                            report,
+                            cached: true,
+                            time: start.elapsed(),
+                        })
+                    }
+                    None => misses.push(index),
+                }
+            }
+        }
+
+        // Verify the misses in parallel, lock released. Duplicate keys
+        // within one batch are verified once; the extra occurrences are
+        // served from the freshly computed verdicts (NOT from the cache,
+        // whose LRU may already have evicted them).
+        if !misses.is_empty() {
+            let disk_paths: HashMap<usize, Option<PathBuf>> =
+                disk_probes.into_iter().collect();
+            let mut unique: Vec<usize> = Vec::new();
+            let mut seen: HashSet<ProgramHash> = HashSet::new();
+            for &slot in &misses {
+                if seen.insert(keys[slot]) {
+                    unique.push(slot);
+                }
+            }
+            let miss_programs: Vec<&AnnotatedProgram> =
+                unique.iter().map(|&i| programs[i]).collect();
+            let verified = verify_batch_ref(&miss_programs, &self.batch);
+
+            let mut fresh: HashMap<ProgramHash, VerifierReport> = HashMap::new();
+            for (slot, result) in unique.iter().zip(verified) {
+                let key = keys[*slot];
+                // Disk write outside the lock; a failed write only means
+                // the verdict will be recomputed after a restart.
+                if let Some(Some(path)) = disk_paths.get(slot) {
+                    let _ = write_verdict_file(path, key, &result.report);
+                }
+                fresh.insert(key, result.report.clone());
+                results[*slot] = Some(CachedResult {
+                    index: *slot,
+                    key,
+                    report: result.report,
+                    cached: false,
+                    time: result.time,
+                });
+            }
+            {
+                let mut cache = self.cache.lock().expect("verdict cache poisoned");
+                for (&key, report) in &fresh {
+                    cache.insert(key, report);
+                }
+            }
+            for &slot in &misses {
+                if results[slot].is_none() {
+                    let key = keys[slot];
+                    let report = fresh
+                        .get(&key)
+                        .expect("duplicate of a key verified in this batch")
+                        .clone();
+                    results[slot] = Some(CachedResult {
+                        index: slot,
+                        key,
+                        report,
+                        cached: true,
+                        time: Duration::ZERO,
+                    });
+                }
+            }
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot is a hit or a verified miss"))
+            .collect()
+    }
+
+    /// Cumulative cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.lock().expect("verdict cache poisoned").stats()
+    }
+
+    /// Number of verdicts currently in the in-memory tier.
+    pub fn memory_entries(&self) -> usize {
+        self.cache
+            .lock()
+            .expect("verdict cache poisoned")
+            .memory_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use commcsl_pure::{Sort, Term};
+
+    use super::*;
+    use crate::program::VStmt;
+    use crate::symexec::verify;
+
+    fn ok_program(name: &str) -> AnnotatedProgram {
+        AnnotatedProgram::new(name).with_body([
+            VStmt::input("x", Sort::Int, true),
+            VStmt::Output(Term::var("x")),
+        ])
+    }
+
+    fn leaky_program(name: &str) -> AnnotatedProgram {
+        AnnotatedProgram::new(name).with_body([
+            VStmt::input("h", Sort::Int, false),
+            VStmt::Output(Term::var("h")),
+        ])
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "commcsl-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn verdict_encoding_roundtrips_nasty_strings() {
+        let report = VerifierReport {
+            program: "tab\there \"and\" newline\nand \\backslash\\".into(),
+            obligations: vec![
+                ObligationResult {
+                    description: "pre of Put\tat worker 1".into(),
+                    status: ObligationStatus::Proved,
+                },
+                ObligationResult {
+                    description: "Low(out)".into(),
+                    status: ObligationStatus::Failed("ctr\r\nmodel".into()),
+                },
+            ],
+            errors: vec!["guard \\ misuse".into()],
+        };
+        let key = ProgramHash(42);
+        let decoded = decode_verdict(key, &encode_verdict(key, &report)).unwrap();
+        assert_eq!(decoded.program, report.program);
+        assert_eq!(decoded.errors, report.errors);
+        assert_eq!(decoded.obligations.len(), 2);
+        assert_eq!(decoded.obligations[0].status, ObligationStatus::Proved);
+        assert_eq!(
+            decoded.obligations[1].status,
+            ObligationStatus::Failed("ctr\r\nmodel".into())
+        );
+        // Byte-identical JSON rendering — the cache's core guarantee.
+        assert_eq!(decoded.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn verdict_decoding_rejects_mismatches() {
+        let report = VerifierReport {
+            program: "p".into(),
+            obligations: vec![],
+            errors: vec![],
+        };
+        let good = encode_verdict(ProgramHash(7), &report);
+        // Wrong key.
+        assert!(decode_verdict(ProgramHash(8), &good).is_none());
+        // Wrong version.
+        let bumped = good.replace(
+            &format!("{VERDICT_MAGIC} {HASH_FORMAT_VERSION}"),
+            &format!("{VERDICT_MAGIC} {}", HASH_FORMAT_VERSION + 1),
+        );
+        assert!(decode_verdict(ProgramHash(7), &bumped).is_none());
+        // Truncation and garbage.
+        assert!(decode_verdict(ProgramHash(7), "").is_none());
+        assert!(decode_verdict(ProgramHash(7), &good[..good.len() / 2]).is_none());
+        assert!(decode_verdict(ProgramHash(7), &format!("{good}garbage\n")).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_counts() {
+        let mut cache = VerdictCache::new(CacheConfig::memory_only(2));
+        let r = VerifierReport {
+            program: "p".into(),
+            obligations: vec![],
+            errors: vec![],
+        };
+        cache.put(ProgramHash(1), &r);
+        cache.put(ProgramHash(2), &r);
+        assert!(cache.get(ProgramHash(1)).is_some()); // 1 is now fresher than 2
+        cache.put(ProgramHash(3), &r); // evicts 2
+        assert_eq!(cache.memory_len(), 2);
+        assert!(cache.get(ProgramHash(2)).is_none());
+        assert!(cache.get(ProgramHash(1)).is_some());
+        assert!(cache.get(ProgramHash(3)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.memory_hits, 3);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_fresh_cache() {
+        let dir = temp_dir("disk");
+        let program = ok_program("disk-tier");
+        let config = VerifierConfig::default();
+        let key = program_hash(&program, &config);
+        let report = verify(&program, &config);
+
+        {
+            let mut cache = VerdictCache::new(CacheConfig::persistent(&dir));
+            cache.put(key, &report);
+        }
+        // A fresh cache (fresh process, conceptually) hits via disk.
+        let mut cache = VerdictCache::new(CacheConfig::persistent(&dir));
+        let loaded = cache.get(key).expect("disk hit");
+        assert_eq!(loaded.to_json(), report.to_json());
+        assert_eq!(cache.stats().disk_hits, 1);
+        // Promotion: the second lookup is a memory hit.
+        assert!(cache.get(key).is_some());
+        assert_eq!(cache.stats().memory_hits, 1);
+
+        // Corrupt the file: the next fresh cache treats it as a miss and
+        // removes it.
+        let path = cache.verdict_path(key).unwrap();
+        fs::write(&path, "commcsl-verdict 999\nnot a verdict").unwrap();
+        let mut fresh = VerdictCache::new(CacheConfig::persistent(&dir));
+        assert!(fresh.get(key).is_none());
+        assert!(!path.exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cached_verifier_hits_and_verdicts_are_identical() {
+        let verifier =
+            CachedVerifier::new(BatchConfig::with_threads(2), CacheConfig::memory_only(64));
+        let ok = ok_program("cv-ok");
+        let leaky = leaky_program("cv-leaky");
+        let programs: Vec<&AnnotatedProgram> = vec![&ok, &leaky];
+
+        let cold = verifier.verify_batch(&programs);
+        assert!(cold.iter().all(|r| !r.cached));
+        let warm = verifier.verify_batch(&programs);
+        assert!(warm.iter().all(|r| r.cached));
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.key, w.key);
+            assert_eq!(c.report.to_json(), w.report.to_json());
+        }
+        // Cached verdicts equal direct verification byte-for-byte.
+        let direct = verify(&leaky, verifier.verifier_config());
+        assert_eq!(warm[1].report.to_json(), direct.to_json());
+
+        let stats = verifier.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.memory_hits, 2);
+        assert_eq!(stats.stores, 2);
+    }
+
+    #[test]
+    fn duplicate_keys_survive_immediate_lru_eviction() {
+        // Regression: with a capacity-1 memory tier and no disk tier,
+        // verifying [A, B, A] evicts A's fresh verdict before the
+        // duplicate slot is served; the duplicate must be answered from
+        // the batch's own results, not the (already-evicted) cache.
+        let verifier = CachedVerifier::new(
+            BatchConfig::with_threads(1),
+            CacheConfig::memory_only(1),
+        );
+        let a = ok_program("dup-a");
+        let b = ok_program("dup-b");
+        let results = verifier.verify_batch(&[&a, &b, &a]);
+        assert_eq!(results.len(), 3);
+        assert!(!results[0].cached && !results[1].cached);
+        assert!(results[2].cached, "duplicate slot is served, not recomputed");
+        assert_eq!(results[0].key, results[2].key);
+        assert_eq!(results[0].report.to_json(), results[2].report.to_json());
+    }
+
+    #[test]
+    fn same_body_different_name_is_a_different_address() {
+        let verifier =
+            CachedVerifier::new(BatchConfig::default(), CacheConfig::memory_only(64));
+        let a = verifier.verify(&ok_program("name-a"));
+        let b = verifier.verify(&ok_program("name-b"));
+        assert_ne!(a.key, b.key);
+        assert!(!b.cached, "a renamed program must not hit a's verdict");
+    }
+}

@@ -59,11 +59,15 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cache;
+pub mod hash;
 pub mod program;
 pub mod report;
 pub mod symexec;
 
 pub use batch::{verify_batch, BatchConfig, BatchResult};
+pub use cache::{CacheConfig, CacheStats, CachedResult, CachedVerifier, VerdictCache};
+pub use hash::{program_hash, ProgramHash, StableHash, StableHasher};
 pub use program::{AnnotatedProgram, VStmt};
 pub use report::{ObligationResult, VerifierConfig, VerifierReport};
 pub use symexec::verify;

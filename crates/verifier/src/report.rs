@@ -191,6 +191,58 @@ mod tests {
     }
 
     #[test]
+    fn json_escaping_edge_cases() {
+        // Every C0 control character must come out escaped; the named
+        // short forms win where JSON defines them.
+        for c in (0u32..0x20).map(|c| char::from_u32(c).unwrap()) {
+            let rendered = json_string(&c.to_string());
+            let expected = match c {
+                '\n' => "\"\\n\"".to_owned(),
+                '\r' => "\"\\r\"".to_owned(),
+                '\t' => "\"\\t\"".to_owned(),
+                _ => format!("\"\\u{:04x}\"", c as u32),
+            };
+            assert_eq!(rendered, expected, "control char {:#x}", c as u32);
+        }
+        // Backslash runs and quote/backslash adjacency do not collapse.
+        assert_eq!(json_string("\\\\"), "\"\\\\\\\\\"");
+        assert_eq!(json_string("\\\""), "\"\\\\\\\"\"");
+        // Non-ASCII passes through raw (JSON strings are UTF-8).
+        assert_eq!(json_string("αβ 中 🦀"), "\"αβ 中 🦀\"");
+        // DEL (0x7f) is not a C0 control and needs no escape.
+        assert_eq!(json_string("\u{7f}"), "\"\u{7f}\"");
+    }
+
+    #[test]
+    fn report_json_with_nasty_program_names_stays_balanced() {
+        for name in [
+            "quotes \"inside\" the name",
+            "back\\slash \\\" combo",
+            "newline\nand\ttab and \u{0}null",
+            "trailing backslash \\",
+        ] {
+            let r = VerifierReport {
+                program: name.into(),
+                obligations: vec![ObligationResult {
+                    description: format!("pre of {name}"),
+                    status: ObligationStatus::Failed(format!("why: {name}")),
+                }],
+                errors: vec![name.into()],
+            };
+            let json = r.to_json();
+            // No raw control characters or unescaped quotes survive.
+            assert!(json.chars().all(|c| (c as u32) >= 0x20), "{json}");
+            for (open, close) in [('{', '}'), ('[', ']')] {
+                assert_eq!(
+                    json.matches(open).count(),
+                    json.matches(close).count(),
+                    "{json}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn report_json_is_well_formed() {
         let r = VerifierReport {
             program: "p \"q\"".into(),

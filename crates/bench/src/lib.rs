@@ -218,6 +218,272 @@ pub fn cold_warm_json(run: &ColdWarm, threads: usize) -> String {
     )
 }
 
+// --------------------------------------------------- incremental backend
+
+/// One workload of the incremental-vs-fresh solver benchmark: a
+/// program's recorded solver-session event stream, replayed through each
+/// backend.
+#[derive(Debug, Clone)]
+pub struct IncrementalRow {
+    /// Workload name (a Table 1 fixture, or a `scale-*` stress program).
+    pub example: String,
+    /// Number of `Check` events (program proof obligations) in the stream.
+    pub checks: usize,
+    /// Median wall-clock ms replaying through the stateless `fresh`
+    /// backend (one full re-solve per obligation).
+    pub fresh_ms: f64,
+    /// Median wall-clock ms replaying through the `incremental` backend.
+    pub incremental_ms: f64,
+}
+
+impl IncrementalRow {
+    /// Fresh-over-incremental speedup for this workload.
+    pub fn speedup(&self) -> f64 {
+        self.fresh_ms / self.incremental_ms.max(f64::EPSILON)
+    }
+}
+
+/// Results of the incremental-solver benchmark.
+#[derive(Debug, Clone)]
+pub struct IncrementalBench {
+    /// Per-workload medians, obligation-heaviest first.
+    pub rows: Vec<IncrementalRow>,
+    /// Median of the per-workload speedups.
+    pub median_speedup: f64,
+    /// Whether both backends produced byte-identical report JSON on the
+    /// *full* corpus (all fixtures + rejected variants + the stress
+    /// programs), cross-checked against the legacy free-function path,
+    /// and identical verdict streams on every replay.
+    pub identical: bool,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+/// Obligation-heavy stress programs in the style of the Table 1 examples
+/// — the per-path obligation counts a production verifier sees on real
+/// method bodies, rather than the papers' minimal exhibits. Both verify.
+pub fn scale_programs() -> Vec<commcsl::verifier::AnnotatedProgram> {
+    use commcsl::prelude::{ResourceSpec, Sort, Term, VStmt};
+    use commcsl::pure::{Func, Value};
+
+    let map_audit = |puts_per_iter: usize, outputs: usize| {
+        let worker = |lo: Term, hi: Term| {
+            let mut body = vec![
+                VStmt::input("adr", Sort::Int, true),
+                VStmt::input("rsn", Sort::Int, false),
+            ];
+            for j in 0..puts_per_iter {
+                // Distinct low keys, high values: every put is its own
+                // precondition obligation under the shared loop facts.
+                body.push(VStmt::atomic(
+                    0,
+                    "Put",
+                    Term::pair(
+                        Term::add(Term::var("adr"), Term::int(j as i64)),
+                        Term::var("rsn"),
+                    ),
+                ));
+            }
+            vec![VStmt::for_range("i", lo, hi, body)]
+        };
+        let mut body = vec![
+            VStmt::input("n", Sort::Int, true),
+            VStmt::Share {
+                resource: 0,
+                init: Term::Lit(Value::map_empty()),
+            },
+            VStmt::Par {
+                workers: vec![
+                    worker(
+                        Term::int(0),
+                        Term::app(Func::Div, [Term::var("n"), Term::int(2)]),
+                    ),
+                    worker(
+                        Term::app(Func::Div, [Term::var("n"), Term::int(2)]),
+                        Term::var("n"),
+                    ),
+                ],
+            },
+            VStmt::Unshare {
+                resource: 0,
+                into: "m".into(),
+            },
+        ];
+        for j in 0..outputs {
+            // Audit outputs over the key-set abstraction, all discharged
+            // against the same unshare facts.
+            body.push(VStmt::Output(Term::app(
+                Func::SetCard,
+                [Term::app(
+                    Func::SetAdd,
+                    [
+                        Term::app(Func::MapDom, [Term::var("m")]),
+                        Term::int(j as i64),
+                    ],
+                )],
+            )));
+        }
+        AnnotatedProgram::new(format!("scale-map-audit-{puts_per_iter}x{outputs}"))
+            .with_resource(ResourceSpec::keyset_map())
+            .with_body(body)
+    };
+
+    use commcsl::verifier::AnnotatedProgram;
+    vec![map_audit(6, 6), map_audit(12, 12)]
+}
+
+/// Replays a recorded solver-event stream through a backend session,
+/// returning the verdict of every `Check` event.
+pub fn replay_trace(
+    events: &[commcsl::verifier::SolverEvent],
+    kind: commcsl::prelude::BackendKind,
+) -> Vec<commcsl::prelude::Verdict> {
+    use commcsl::verifier::SolverEvent;
+    let mut session = kind.open_session(Default::default());
+    let mut verdicts = Vec::new();
+    for event in events {
+        match event {
+            SolverEvent::Push => session.push(),
+            SolverEvent::Pop => session.pop(),
+            SolverEvent::Assert(fact) => session.assert(fact.clone()),
+            SolverEvent::Check { assumptions, goal } => {
+                verdicts.push(session.check_assuming(assumptions.clone(), goal));
+            }
+        }
+    }
+    verdicts
+}
+
+/// Benchmarks the incremental solver backend against fresh-per-obligation
+/// solving on the `top` obligation-heaviest workloads (Table 1 fixtures
+/// plus the [`scale_programs`] stress programs, ranked by obligation
+/// count), taking the median over `runs` interleaved replays per backend.
+///
+/// Each workload is the program's *recorded* solver interaction
+/// ([`commcsl::verifier::solver_trace`]): identical event streams go to
+/// both backends, so the comparison isolates the solving seam itself.
+/// Correctness is pinned first: replayed verdict streams must agree, and
+/// both backends (driven through the unified `Verifier` API) must produce
+/// report JSON byte-identical to the legacy `verify` shim over the whole
+/// corpus — the 18 fixtures, the rejected variants, and the stress
+/// programs.
+pub fn incremental_bench(runs: u32, top: usize) -> IncrementalBench {
+    use commcsl::prelude::{BackendKind, Verifier};
+    use commcsl::verifier::{solver_trace, SolverEvent};
+    use std::time::Instant;
+
+    assert!(runs > 0, "need at least one run to take a median over");
+    let fixtures = fixtures::all();
+    let rejected = fixtures::rejected::all_programs();
+    let stress = scale_programs();
+
+    // Correctness first: byte-identical reports across backends and the
+    // legacy shim, over every program in the corpus.
+    let fresh = Verifier::new().with_backend(BackendKind::Fresh).with_threads(1);
+    let incremental = Verifier::new()
+        .with_backend(BackendKind::Incremental)
+        .with_threads(1);
+    let mut identical = true;
+    for program in fixtures
+        .iter()
+        .map(|f| &f.program)
+        .chain(rejected.iter().map(|(_, p)| p))
+        .chain(stress.iter())
+    {
+        let via_fresh = fresh.verify(program).report.to_json();
+        let via_incremental = incremental.verify(program).report.to_json();
+        let legacy = commcsl::verifier::verify(program, fresh.config()).to_json();
+        identical &= via_fresh == via_incremental && via_fresh == legacy;
+    }
+
+    // Record every workload's solver stream and rank by obligation count.
+    let config = incremental.config().clone();
+    let mut workloads: Vec<(String, Vec<SolverEvent>)> = fixtures
+        .iter()
+        .map(|f| (f.name.to_owned(), solver_trace(&f.program, &config)))
+        .chain(
+            stress
+                .iter()
+                .map(|p| (p.name.clone(), solver_trace(p, &config))),
+        )
+        .collect();
+    let checks =
+        |events: &[SolverEvent]| events.iter().filter(|e| matches!(e, SolverEvent::Check { .. })).count();
+    workloads.sort_by_key(|(name, events)| (std::cmp::Reverse(checks(events)), name.clone()));
+    workloads.truncate(top.max(1));
+
+    let rows = workloads
+        .into_iter()
+        .map(|(example, events)| {
+            identical &= replay_trace(&events, BackendKind::Fresh)
+                == replay_trace(&events, BackendKind::Incremental);
+            let mut fresh_samples = Vec::with_capacity(runs as usize);
+            let mut incremental_samples = Vec::with_capacity(runs as usize);
+            // Interleave the backends so drift (thermal, cache) hits both.
+            for _ in 0..runs {
+                let start = Instant::now();
+                let _ = replay_trace(&events, BackendKind::Fresh);
+                fresh_samples.push(start.elapsed().as_secs_f64() * 1000.0);
+                let start = Instant::now();
+                let _ = replay_trace(&events, BackendKind::Incremental);
+                incremental_samples.push(start.elapsed().as_secs_f64() * 1000.0);
+            }
+            IncrementalRow {
+                checks: checks(&events),
+                example,
+                fresh_ms: median(&mut fresh_samples),
+                incremental_ms: median(&mut incremental_samples),
+            }
+        })
+        .collect::<Vec<_>>();
+
+    let mut speedups: Vec<f64> = rows.iter().map(IncrementalRow::speedup).collect();
+    IncrementalBench {
+        rows,
+        median_speedup: median(&mut speedups),
+        identical,
+    }
+}
+
+/// Renders the incremental bench as one JSON snapshot line for
+/// `BENCH_table1.json`.
+pub fn incremental_json(run: &IncrementalBench, runs: u32) -> String {
+    use commcsl::verifier::report::json_string;
+    let rows: Vec<String> = run
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"example\":{},\"checks\":{},\"fresh_ms\":{:.6},\
+                 \"incremental_ms\":{:.6},\"speedup\":{:.3}}}",
+                json_string(&r.example),
+                r.checks,
+                r.fresh_ms,
+                r.incremental_ms,
+                r.speedup(),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"bench\":\"incremental_solver\",\"runs\":{runs},\
+         \"median_speedup\":{:.3},\"identical\":{},\"rows\":[{}]}}",
+        run.median_speedup,
+        run.identical,
+        rows.join(","),
+    )
+}
+
 /// Renders rows in the paper's table layout.
 pub fn render_table(rows: &[Table1Row]) -> String {
     let mut out = String::new();
@@ -304,5 +570,38 @@ mod tests {
     fn serialize_derive_emits_marker_impl() {
         fn assert_serialize<T: serde::Serialize>() {}
         assert_serialize::<Table1Row>();
+    }
+
+    #[test]
+    fn incremental_bench_is_identical_and_ranked() {
+        let run = incremental_bench(1, 3);
+        assert!(run.identical, "backends must agree byte-for-byte");
+        assert_eq!(run.rows.len(), 3);
+        // Ranked by obligation count, heaviest first: the stress programs
+        // outrank every paper fixture.
+        assert!(run.rows[0].checks >= run.rows[1].checks);
+        assert!(run.rows[0].example.starts_with("scale-"));
+        let json = incremental_json(&run, 1);
+        assert!(json.starts_with("{\"bench\":\"incremental_solver\""));
+        assert!(!json.contains('\n'));
+        assert!(json.contains("\"median_speedup\":"));
+        assert!(json.contains("\"identical\":true"));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
+        }
+    }
+
+    #[test]
+    fn scale_programs_verify_and_are_obligation_heavy() {
+        for program in scale_programs() {
+            let report =
+                commcsl::verifier::verify(&program, &Default::default());
+            assert!(report.verified(), "{}: {report}", program.name);
+            assert!(
+                report.obligations.len() >= 15,
+                "{} is supposed to be obligation-heavy",
+                program.name
+            );
+        }
     }
 }

@@ -74,8 +74,8 @@ pub mod prelude {
     pub use commcsl_logic::spec::{ActionDef, ActionKind, ResourceSpec};
     pub use commcsl_logic::validity::{check_validity, ValidityConfig};
     pub use commcsl_pure::{Func, Multiset, Sort, Symbol, Term, Value};
-    pub use commcsl_smt::{Solver, Verdict};
-    pub use commcsl_verifier::{verify, AnnotatedProgram, VStmt, VerifierConfig};
+    pub use commcsl_smt::{BackendKind, Solver, SolverSession, Verdict};
+    pub use commcsl_verifier::{verify, AnnotatedProgram, VStmt, Verifier, VerifierConfig};
 }
 
 #[cfg(test)]

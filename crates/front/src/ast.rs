@@ -81,9 +81,22 @@ pub enum WithSuffix {
     },
 }
 
-/// A surface statement.
+/// A surface statement: its source position plus the statement proper.
+///
+/// The position is the first token of the statement; the lowering
+/// threads it into the verifier's span table so obligations point back
+/// at the `.csl` line that generated them.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Stmt {
+pub struct Stmt {
+    /// Position of the statement's first token.
+    pub pos: Pos,
+    /// The statement.
+    pub kind: StmtKind,
+}
+
+/// A surface statement's payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
     /// `input x: Sort low|high;`
     Input {
         /// Variable bound.

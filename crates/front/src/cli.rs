@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! commcsl verify [--threads N] [--json] [--expect verified|rejected]
+//!                [--fail-fast] [--backend fresh|incremental]
 //!                [--daemon] [--no-start] [--socket PATH] [--cache-dir DIR] PATH...
 //! commcsl serve  [--socket PATH] [--cache-dir DIR] [--threads N] [--stdio]
 //! commcsl daemon status|stop [--socket PATH] [--json]
@@ -45,7 +46,8 @@ use std::time::Duration;
 use commcsl_server::client::{connect_or_start, Client};
 use commcsl_server::daemon::{Server, ServerConfig};
 use commcsl_server::protocol::VerifyItem;
-use commcsl_verifier::batch::{verify_batch_ref, BatchConfig};
+use commcsl_smt::BackendKind;
+use commcsl_verifier::api::Verifier;
 use commcsl_verifier::cache::CacheConfig;
 use commcsl_verifier::program::AnnotatedProgram;
 use commcsl_verifier::report::{json_string, VerifierConfig, VerifierReport};
@@ -85,6 +87,11 @@ options (verify):
   --json                       emit one JSON document instead of text
   --expect verified|rejected   required verdict for exit code 0
                                (default: verified)
+  --fail-fast                  stop dispatching programs after the first
+                               failing one; the rest report as skipped
+  --backend fresh|incremental  solver backend for in-process verification
+                               (default: incremental; both are sound and
+                               pinned verdict-identical on the corpus)
   --daemon                     verify through the persistent daemon
                                (starts one on demand; falls back to
                                in-process verification on failure)
@@ -197,6 +204,8 @@ struct VerifyFlags {
     threads: usize,
     json: bool,
     expect: Expect,
+    fail_fast: bool,
+    backend: BackendKind,
     daemon: bool,
     no_start: bool,
     locations: DaemonPaths,
@@ -208,6 +217,8 @@ fn parse_verify_flags(args: &[String], out: &mut String) -> Result<VerifyFlags, 
         threads: 0,
         json: false,
         expect: Expect::Verified,
+        fail_fast: false,
+        backend: BackendKind::default(),
         daemon: false,
         no_start: false,
         locations: DaemonPaths::new(),
@@ -227,6 +238,17 @@ fn parse_verify_flags(args: &[String], out: &mut String) -> Result<VerifyFlags, 
                 flags.threads = n;
             }
             "--json" => flags.json = true,
+            "--fail-fast" => flags.fail_fast = true,
+            "--backend" => match it.next().and_then(|v| BackendKind::from_name(v)) {
+                Some(backend) => flags.backend = backend,
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "commcsl: --backend needs `fresh` or `incremental`"
+                    );
+                    return Err(EXIT_ERROR);
+                }
+            },
             "--daemon" => flags.daemon = true,
             "--no-start" => flags.no_start = true,
             "--expect" => match it.next().map(String::as_str) {
@@ -263,6 +285,8 @@ struct FileResult {
     time_ms: f64,
     /// `Some(..)` in daemon mode (cache status known), `None` in-process.
     cached: Option<bool>,
+    /// `true` when `--fail-fast` stopped the batch before this file ran.
+    skipped: bool,
     report: VerifierReport,
 }
 
@@ -341,7 +365,8 @@ fn run_verify(args: &[String], out: &mut String) -> i32 {
     render_verify(&flags, engine, &file_errors, &results, out)
 }
 
-/// In-process engine: compile, then batch-verify the survivors.
+/// In-process engine: compile, then push the survivors through the
+/// unified [`Verifier`] pipeline.
 fn verify_in_process(
     flags: &VerifyFlags,
     sources: &[(PathBuf, String)],
@@ -355,15 +380,20 @@ fn verify_in_process(
         }
     }
     let refs: Vec<&AnnotatedProgram> = programs.iter().map(|(_, p)| p).collect();
-    let batch = verify_batch_ref(&refs, &BatchConfig::with_threads(flags.threads));
+    let verifier = Verifier::new()
+        .with_threads(flags.threads)
+        .with_backend(flags.backend)
+        .with_fail_fast(flags.fail_fast);
+    let outcomes = verifier.verify_batch(&refs);
     let results = programs
         .iter()
-        .zip(batch)
-        .map(|((i, _), r)| FileResult {
+        .zip(outcomes)
+        .map(|((i, _), o)| FileResult {
             file: sources[*i].0.clone(),
-            time_ms: r.time.as_secs_f64() * 1000.0,
-            cached: None,
-            report: r.report,
+            time_ms: o.time.as_secs_f64() * 1000.0,
+            cached: o.cached,
+            skipped: o.skipped,
+            report: o.report,
         })
         .collect();
     (results, errors)
@@ -418,7 +448,9 @@ fn verify_via_daemon(
             source: src.clone(),
         })
         .collect();
-    let outcomes = client.verify_batch(items).map_err(|e| e.to_string())?;
+    let outcomes = client
+        .verify_batch_opts(items, flags.fail_fast)
+        .map_err(|e| e.to_string())?;
 
     let mut results = Vec::new();
     let mut errors = Vec::new();
@@ -428,6 +460,7 @@ fn verify_via_daemon(
                 file: file.clone(),
                 time_ms: ok.time_ms,
                 cached: Some(ok.cached),
+                skipped: ok.skipped,
                 report: ok.report,
             }),
             Err(e) => errors.push((file.clone(), e)),
@@ -466,9 +499,11 @@ fn render_verify(
         Expect::Verified => verified,
         Expect::Rejected => !verified,
     };
+    // A skipped program never matches the expectation: its placeholder
+    // report is not a verdict in either direction.
     let matching = results
         .iter()
-        .filter(|r| as_expected(r.report.verified()))
+        .filter(|r| !r.skipped && as_expected(r.report.verified()))
         .count();
     let code = if !file_errors.is_empty() {
         EXIT_ERROR
@@ -494,8 +529,9 @@ fn render_verify(
                 .cached
                 .map(|c| format!("\"cached\":{c},"))
                 .unwrap_or_default();
+            let skipped = if r.skipped { "\"skipped\":true," } else { "" };
             format!(
-                "{{\"file\":{},\"time_ms\":{:.3},{cached}\"report\":{}}}",
+                "{{\"file\":{},\"time_ms\":{:.3},{cached}{skipped}\"report\":{}}}",
                 json_string(&r.file.display().to_string()),
                 r.time_ms,
                 r.report.to_json()
@@ -522,6 +558,14 @@ fn render_verify(
             let _ = writeln!(out, "{}: {e}", file.display());
         }
         for r in results {
+            if r.skipped {
+                let _ = writeln!(
+                    out,
+                    "{}: skipped (fail-fast stopped the batch)",
+                    r.file.display()
+                );
+                continue;
+            }
             let marker = if as_expected(r.report.verified()) { "" } else { " [UNEXPECTED]" };
             let cached = match r.cached {
                 Some(true) => ", cached",
@@ -1155,6 +1199,71 @@ mod tests {
             EXIT_OK
         );
         assert!(out.contains("no daemon"));
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fail_fast_skips_and_backend_selects() {
+        let dir = temp_corpus("failfast");
+        // Alphabetical dispatch order: bad.csl (fails) before good.csl.
+        let mut out = String::new();
+        let code = run(
+            &[
+                "verify".into(),
+                "--threads".into(),
+                "1".into(),
+                "--fail-fast".into(),
+                dir.display().to_string(),
+            ],
+            &mut out,
+        );
+        assert_eq!(code, EXIT_MISMATCH, "{out}");
+        assert!(out.contains("skipped (fail-fast"), "{out}");
+        assert!(out.contains("0/2 programs verified"), "{out}");
+
+        // JSON mode marks the skipped slot.
+        let mut out = String::new();
+        let code = run(
+            &[
+                "verify".into(),
+                "--threads".into(),
+                "1".into(),
+                "--fail-fast".into(),
+                "--json".into(),
+                dir.display().to_string(),
+            ],
+            &mut out,
+        );
+        assert_eq!(code, EXIT_MISMATCH);
+        assert!(out.contains("\"skipped\":true"), "{out}");
+
+        // Both backends accept and agree; unknown names are usage errors.
+        for backend in ["fresh", "incremental"] {
+            let mut out = String::new();
+            assert_eq!(
+                run(
+                    &[
+                        "verify".into(),
+                        "--backend".into(),
+                        backend.into(),
+                        dir.join("good.csl").display().to_string(),
+                    ],
+                    &mut out
+                ),
+                EXIT_OK,
+                "{backend}: {out}"
+            );
+        }
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &["verify".into(), "--backend".into(), "z3".into(), "x.csl".into()],
+                &mut out
+            ),
+            EXIT_ERROR
+        );
+        assert!(out.contains("--backend needs"));
 
         fs::remove_dir_all(&dir).ok();
     }

@@ -21,12 +21,18 @@ use std::collections::BTreeMap;
 use commcsl_lang::span::{ParseError, Pos};
 use commcsl_logic::spec::{ActionDef, ResourceSpec};
 use commcsl_pure::{Sort, Symbol, Term, Value};
-use commcsl_verifier::program::{AnnotatedProgram, VStmt};
+use commcsl_verifier::diag::SourceSpan;
+use commcsl_verifier::program::{AnnotatedProgram, StmtPath, VStmt};
 
-use crate::ast::{ResourceDecl, Stmt, SurfaceProgram, WithSuffix};
+use crate::ast::{ResourceDecl, Stmt, StmtKind, SurfaceProgram, WithSuffix};
 use crate::sorts::infer;
 
 /// Lowers a parsed surface program into a verifiable annotated program.
+///
+/// Every lowered statement's source position lands in the program's span
+/// table (keyed by [`StmtPath`], mirroring the verifier's traversal), so
+/// verification reports can point back at the `.csl` line of a failed
+/// obligation.
 ///
 /// # Errors
 ///
@@ -45,11 +51,14 @@ pub fn lower(surface: &SurfaceProgram) -> Result<AnnotatedProgram, ParseError> {
         resources.push(lower_resource(decl)?);
     }
     let ctx = Ctx { index_of, specs: &resources };
-    let body = lower_body(&surface.body, &ctx)?;
+    let mut spans: BTreeMap<StmtPath, SourceSpan> = BTreeMap::new();
+    let mut path: StmtPath = Vec::new();
+    let body = lower_body(&surface.body, &ctx, &mut path, 0, &mut spans)?;
     Ok(AnnotatedProgram {
         name: surface.name.clone(),
         resources,
         body,
+        spans,
     })
 }
 
@@ -144,30 +153,55 @@ impl<'a> Ctx<'a> {
     }
 }
 
-fn lower_body(stmts: &[Stmt], ctx: &Ctx<'_>) -> Result<Vec<VStmt>, ParseError> {
-    stmts.iter().map(|s| lower_stmt(s, ctx)).collect()
+/// Lowers a statement list whose members live at path components
+/// `offset..offset + stmts.len()` under `path`, recording every
+/// statement's source position in `spans`. The offset conventions match
+/// [`StmtPath`]'s documentation (and the verifier's traversal) exactly.
+fn lower_body(
+    stmts: &[Stmt],
+    ctx: &Ctx<'_>,
+    path: &mut StmtPath,
+    offset: u32,
+    spans: &mut BTreeMap<StmtPath, SourceSpan>,
+) -> Result<Vec<VStmt>, ParseError> {
+    stmts
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            path.push(offset + i as u32);
+            spans.insert(path.clone(), SourceSpan::new(s.pos.line, s.pos.col));
+            let lowered = lower_stmt(s, ctx, path, spans);
+            path.pop();
+            lowered
+        })
+        .collect()
 }
 
-fn lower_stmt(stmt: &Stmt, ctx: &Ctx<'_>) -> Result<VStmt, ParseError> {
-    Ok(match stmt {
-        Stmt::Input { var, sort, low } => VStmt::Input {
+fn lower_stmt(
+    stmt: &Stmt,
+    ctx: &Ctx<'_>,
+    path: &mut StmtPath,
+    spans: &mut BTreeMap<StmtPath, SourceSpan>,
+) -> Result<VStmt, ParseError> {
+    Ok(match &stmt.kind {
+        StmtKind::Input { var, sort, low } => VStmt::Input {
             var: Symbol::new(var),
             sort: sort.clone(),
             low: *low,
         },
-        Stmt::Assign { var, expr } => VStmt::Assign(Symbol::new(var), expr.clone()),
-        Stmt::If { cond, then_b, else_b } => VStmt::If {
+        StmtKind::Assign { var, expr } => VStmt::Assign(Symbol::new(var), expr.clone()),
+        StmtKind::If { cond, then_b, else_b } => VStmt::If {
             cond: cond.clone(),
-            then_b: lower_body(then_b, ctx)?,
-            else_b: lower_body(else_b, ctx)?,
+            then_b: lower_body(then_b, ctx, path, 0, spans)?,
+            else_b: lower_body(else_b, ctx, path, then_b.len() as u32, spans)?,
         },
-        Stmt::For { var, from, to, body } => VStmt::For {
+        StmtKind::For { var, from, to, body } => VStmt::For {
             var: Symbol::new(var),
             from: from.clone(),
             to: to.clone(),
-            body: lower_body(body, ctx)?,
+            body: lower_body(body, ctx, path, 0, spans)?,
         },
-        Stmt::Share { resource, resource_pos, init, init_pos } => {
+        StmtKind::Share { resource, resource_pos, init, init_pos } => {
             let index = ctx.resolve(resource, *resource_pos)?;
             let spec = &ctx.specs[index];
             let init_sort = infer(init, &BTreeMap::new());
@@ -183,13 +217,19 @@ fn lower_stmt(stmt: &Stmt, ctx: &Ctx<'_>) -> Result<VStmt, ParseError> {
             }
             VStmt::Share { resource: index, init: init.clone() }
         }
-        Stmt::Par { workers } => VStmt::Par {
+        StmtKind::Par { workers } => VStmt::Par {
             workers: workers
                 .iter()
-                .map(|w| lower_body(w, ctx))
+                .enumerate()
+                .map(|(w, worker)| {
+                    path.push(w as u32);
+                    let lowered = lower_body(worker, ctx, path, 0, spans);
+                    path.pop();
+                    lowered
+                })
                 .collect::<Result<_, _>>()?,
         },
-        Stmt::With {
+        StmtKind::With {
             resource,
             resource_pos,
             action,
@@ -273,12 +313,12 @@ fn lower_stmt(stmt: &Stmt, ctx: &Ctx<'_>) -> Result<VStmt, ParseError> {
                 },
             }
         }
-        Stmt::Unshare { resource, resource_pos, into } => VStmt::Unshare {
+        StmtKind::Unshare { resource, resource_pos, into } => VStmt::Unshare {
             resource: ctx.resolve(resource, *resource_pos)?,
             into: Symbol::new(into),
         },
-        Stmt::AssertLow(e) => VStmt::AssertLow(e.clone()),
-        Stmt::Output(e) => VStmt::Output(e.clone()),
+        StmtKind::AssertLow(e) => VStmt::AssertLow(e.clone()),
+        StmtKind::Output(e) => VStmt::Output(e.clone()),
     })
 }
 

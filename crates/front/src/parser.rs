@@ -46,7 +46,7 @@ use commcsl_lang::span::{Lexer, ParseError, Pos, Token};
 use commcsl_logic::spec::ActionKind;
 use commcsl_pure::{Func, Sort, Term, Value};
 
-use crate::ast::{ActionDecl, ResourceDecl, Stmt, SurfaceProgram, WithSuffix};
+use crate::ast::{ActionDecl, ResourceDecl, Stmt, StmtKind, SurfaceProgram, WithSuffix};
 
 /// Words that cannot open an assignment statement or bind a resource.
 pub const KEYWORDS: &[&str] = &[
@@ -334,6 +334,12 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.pos;
+        let kind = self.parse_stmt_kind()?;
+        Ok(Stmt { pos, kind })
+    }
+
+    fn parse_stmt_kind(&mut self) -> Result<StmtKind, ParseError> {
         match self.tok.clone() {
             Token::Ident(kw) if kw == "input" => {
                 self.advance()?;
@@ -352,7 +358,7 @@ impl<'a> Parser<'a> {
                 };
                 self.advance()?;
                 self.eat_sym(";")?;
-                Ok(Stmt::Input { var, sort, low })
+                Ok(StmtKind::Input { var, sort, low })
             }
             Token::Ident(kw) if kw == "if" => {
                 self.advance()?;
@@ -366,7 +372,7 @@ impl<'a> Parser<'a> {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If { cond, then_b, else_b })
+                Ok(StmtKind::If { cond, then_b, else_b })
             }
             Token::Ident(kw) if kw == "for" => {
                 self.advance()?;
@@ -376,7 +382,7 @@ impl<'a> Parser<'a> {
                 self.eat_sym("..")?;
                 let to = self.parse_expr()?;
                 let body = self.parse_block()?;
-                Ok(Stmt::For { var, from, to, body })
+                Ok(StmtKind::For { var, from, to, body })
             }
             Token::Ident(kw) if kw == "share" => {
                 self.advance()?;
@@ -385,7 +391,7 @@ impl<'a> Parser<'a> {
                 let init_pos = self.pos;
                 let init = self.parse_expr()?;
                 self.eat_sym(";")?;
-                Ok(Stmt::Share { resource, resource_pos, init, init_pos })
+                Ok(StmtKind::Share { resource, resource_pos, init, init_pos })
             }
             Token::Ident(kw) if kw == "par" => {
                 self.advance()?;
@@ -394,7 +400,7 @@ impl<'a> Parser<'a> {
                     self.advance()?;
                     workers.push(self.parse_block()?);
                 }
-                Ok(Stmt::Par { workers })
+                Ok(StmtKind::Par { workers })
             }
             Token::Ident(kw) if kw == "with" => {
                 self.advance()?;
@@ -428,7 +434,7 @@ impl<'a> Parser<'a> {
                     WithSuffix::None
                 };
                 self.eat_sym(";")?;
-                Ok(Stmt::With {
+                Ok(StmtKind::With {
                     resource,
                     resource_pos,
                     action,
@@ -444,7 +450,7 @@ impl<'a> Parser<'a> {
                 self.eat_keyword("into")?;
                 let (into, _) = self.eat_ident("a variable")?;
                 self.eat_sym(";")?;
-                Ok(Stmt::Unshare { resource, resource_pos, into })
+                Ok(StmtKind::Unshare { resource, resource_pos, into })
             }
             Token::Ident(kw) if kw == "assert" => {
                 self.advance()?;
@@ -453,13 +459,13 @@ impl<'a> Parser<'a> {
                 let e = self.parse_expr()?;
                 self.eat_sym(")")?;
                 self.eat_sym(";")?;
-                Ok(Stmt::AssertLow(e))
+                Ok(StmtKind::AssertLow(e))
             }
             Token::Ident(kw) if kw == "output" => {
                 self.advance()?;
                 let e = self.parse_expr()?;
                 self.eat_sym(";")?;
-                Ok(Stmt::Output(e))
+                Ok(StmtKind::Output(e))
             }
             Token::Ident(name) => {
                 if KEYWORDS.contains(&name.as_str()) {
@@ -469,7 +475,7 @@ impl<'a> Parser<'a> {
                 self.eat_sym(":=")?;
                 let expr = self.parse_expr()?;
                 self.eat_sym(";")?;
-                Ok(Stmt::Assign { var: name, expr })
+                Ok(StmtKind::Assign { var: name, expr })
             }
             other => self.err(format!("expected a statement, found {other}")),
         }
@@ -651,7 +657,9 @@ mod tests {
         let p = parse_surface("program demo;\noutput 1;").unwrap();
         assert_eq!(p.name, "demo");
         assert!(p.resources.is_empty());
-        assert_eq!(p.body, vec![Stmt::Output(Term::int(1))]);
+        assert_eq!(p.body.len(), 1);
+        assert_eq!(p.body[0].kind, StmtKind::Output(Term::int(1)));
+        assert_eq!((p.body[0].pos.line, p.body[0].pos.col), (2, 1));
     }
 
     #[test]
@@ -712,16 +720,16 @@ mod tests {
                        with q performing Cons() binding y at i;\n\
                    }";
         let p = parse_surface(src).unwrap();
-        let Stmt::Par { workers } = &p.body[0] else {
+        let StmtKind::Par { workers } = &p.body[0].kind else {
             panic!("expected par");
         };
         assert_eq!(workers.len(), 2);
-        let Stmt::With { suffix, args, .. } = &workers[0][1] else {
+        let StmtKind::With { suffix, args, .. } = &workers[0][1].kind else {
             panic!("expected with");
         };
         assert_eq!(*suffix, WithSuffix::Deferred);
         assert_eq!(args.len(), 1);
-        let Stmt::With { suffix, args, .. } = &workers[1][1] else {
+        let StmtKind::With { suffix, args, .. } = &workers[1][1].kind else {
             panic!("expected with");
         };
         assert!(args.is_empty());
@@ -739,7 +747,7 @@ mod tests {
                    }";
         let p = parse_surface(src).unwrap();
         assert_eq!(p.body.len(), 3);
-        let Stmt::For { from, to, body, .. } = &p.body[2] else {
+        let StmtKind::For { from, to, body, .. } = &p.body[2].kind else {
             panic!("expected for");
         };
         assert_eq!(*from, Term::int(0));

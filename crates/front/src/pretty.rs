@@ -554,6 +554,7 @@ mod tests {
                 [],
             )],
             body: vec![VStmt::Output(Term::int(0))],
+            spans: Default::default(),
         };
         let printed = pretty(&program);
         let reparsed = compile(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));

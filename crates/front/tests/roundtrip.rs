@@ -217,6 +217,7 @@ fn gen_program(seed: u64) -> AnnotatedProgram {
         },
         resources,
         body,
+        spans: Default::default(),
     }
 }
 

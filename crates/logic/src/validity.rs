@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 use commcsl_pure::term::Env;
 use commcsl_pure::{Sort, Symbol, Term};
 use commcsl_smt::falsify::{find_counterexample, FalsifyConfig};
-use commcsl_smt::{Solver, SolverConfig, Verdict};
+use commcsl_smt::{BackendKind, SolverConfig, SolverSession, Verdict};
 
 use crate::spec::{ActionDef, ActionKind, ResourceSpec};
 
@@ -36,6 +36,11 @@ pub struct ValidityConfig {
     pub solver: SolverConfig,
     /// Falsifier budgets.
     pub falsify: FalsifyConfig,
+    /// Which solver backend discharges the obligations. All obligations of
+    /// one specification run in a single session: the shared
+    /// `α(v1) = α(v2)` hypothesis is asserted once at the root scope and
+    /// each obligation's preconditions live in their own push/pop scope.
+    pub backend: BackendKind,
 }
 
 /// The two kinds of obligations of Def. 3.1.
@@ -117,11 +122,19 @@ impl ValidityReport {
 /// ```
 pub fn check_validity(spec: &ResourceSpec, config: &ValidityConfig) -> ValidityReport {
     let mut obligations = Vec::new();
-    let solver = Solver::with_config(config.solver.clone());
+    // One solver session per specification: every obligation of Def. 3.1
+    // hypothesizes `α(v1) = α(v2)`, so that (potentially large) relational
+    // fact is asserted once at the root scope and saturated once by an
+    // incremental backend; the per-obligation preconditions come and go in
+    // their own scope.
+    let mut session = config.backend.open_session(config.solver.clone());
+    let alpha_eq = Term::eq(spec.alpha_term(&var("v1")), spec.alpha_term(&var("v2")));
+    session.assert(alpha_eq.clone());
 
     // (A) precondition preservation, per action.
     for action in &spec.actions {
-        let outcome = check_precondition_preservation(spec, action, &solver, config);
+        let outcome =
+            check_precondition_preservation(spec, action, session.as_mut(), &alpha_eq, config);
         obligations.push(ObligationReport {
             obligation: Obligation::PreconditionPreservation(action.name.clone()),
             outcome,
@@ -130,7 +143,7 @@ pub fn check_validity(spec: &ResourceSpec, config: &ValidityConfig) -> ValidityR
 
     // (B) commutativity for relevant pairs.
     for (a, b) in relevant_pairs(spec) {
-        let outcome = check_commutativity(spec, a, b, &solver, config);
+        let outcome = check_commutativity(spec, a, b, session.as_mut(), &alpha_eq, config);
         obligations.push(ObligationReport {
             obligation: Obligation::Commutativity(a.name.clone(), b.name.clone()),
             outcome,
@@ -174,49 +187,48 @@ fn var(name: &str) -> Term {
 fn check_precondition_preservation(
     spec: &ResourceSpec,
     action: &ActionDef,
-    solver: &Solver,
+    session: &mut dyn SolverSession,
+    alpha_eq: &Term,
     config: &ValidityConfig,
 ) -> ObligationOutcome {
-    // Hypotheses: α(v1) = α(v2), pre(x1, x2).
+    // Hypotheses: α(v1) = α(v2) (already in the session), pre(x1, x2).
     // Goal: α(f(v1, x1)) = α(f(v2, x2)).
-    let hyps = vec![
-        Term::eq(spec.alpha_term(&var("v1")), spec.alpha_term(&var("v2"))),
-        action.pre_term(&var("x1"), &var("x2")),
-    ];
+    let pre = action.pre_term(&var("x1"), &var("x2"));
     let goal = Term::eq(
         spec.alpha_term(&action.apply_term(&var("v1"), &var("x1"))),
         spec.alpha_term(&action.apply_term(&var("v2"), &var("x2"))),
     );
     let sorts = sorts_for(spec, [("x1", action), ("x2", action)]);
-    decide(solver, &hyps, &goal, &sorts, config)
+    let hyps = vec![alpha_eq.clone(), pre.clone()];
+    decide(session, [pre], &hyps, &goal, &sorts, config)
 }
 
 fn check_commutativity(
     spec: &ResourceSpec,
     a: &ActionDef,
     b: &ActionDef,
-    solver: &Solver,
+    session: &mut dyn SolverSession,
+    alpha_eq: &Term,
     config: &ValidityConfig,
 ) -> ObligationOutcome {
-    // Hypotheses: α(v1) = α(v2), plus the *unary shadow* of each action's
-    // relational precondition: the soundness argument (Lemma 4.2) only ever
-    // swaps recorded actions, and every recorded argument `x` satisfies
-    // `∃x'. pre(x, x')` via its PRE-bijection partner. We introduce fresh
-    // witness variables `w1`, `w2` for the existentials. (Def. 3.1 as
-    // printed omits these hypotheses, which would reject the paper's own
-    // Fig. 4-right example — disjoint key ranges commute only because of
-    // their preconditions; HyperViper's encoding includes them.)
-    let hyps = vec![
-        Term::eq(spec.alpha_term(&var("v1")), spec.alpha_term(&var("v2"))),
-        a.pre_term(&var("x1"), &var("w1")),
-        b.pre_term(&var("x2"), &var("w2")),
-    ];
+    // Hypotheses: α(v1) = α(v2) (already in the session), plus the *unary
+    // shadow* of each action's relational precondition: the soundness
+    // argument (Lemma 4.2) only ever swaps recorded actions, and every
+    // recorded argument `x` satisfies `∃x'. pre(x, x')` via its
+    // PRE-bijection partner. We introduce fresh witness variables `w1`,
+    // `w2` for the existentials. (Def. 3.1 as printed omits these
+    // hypotheses, which would reject the paper's own Fig. 4-right example
+    // — disjoint key ranges commute only because of their preconditions;
+    // HyperViper's encoding includes them.)
+    let pre_a = a.pre_term(&var("x1"), &var("w1"));
+    let pre_b = b.pre_term(&var("x2"), &var("w2"));
     // Goal: α(f_b(f_a(v1, x1), x2)) = α(f_a(f_b(v2, x2), x1)).
     let lhs = b.apply_term(&a.apply_term(&var("v1"), &var("x1")), &var("x2"));
     let rhs = a.apply_term(&b.apply_term(&var("v2"), &var("x2")), &var("x1"));
     let goal = Term::eq(spec.alpha_term(&lhs), spec.alpha_term(&rhs));
     let sorts = sorts_for(spec, [("x1", a), ("w1", a), ("x2", b), ("w2", b)]);
-    decide(solver, &hyps, &goal, &sorts, config)
+    let hyps = vec![alpha_eq.clone(), pre_a.clone(), pre_b.clone()];
+    decide(session, [pre_a, pre_b], &hyps, &goal, &sorts, config)
 }
 
 fn sorts_for<'a>(
@@ -235,16 +247,24 @@ fn sorts_for<'a>(
     sorts
 }
 
+/// Discharges one obligation: the obligation-local hypotheses ride along
+/// as check-time *assumptions* (the session's shared base state — the
+/// saturated `α(v1) = α(v2)` hypothesis and the normalization work cached
+/// against it — stays untouched across obligations). `hyps` is the full
+/// hypothesis list (shared + assumed) for the falsifier, which replays
+/// queries on concrete environments and has no session state.
 fn decide(
-    solver: &Solver,
+    session: &mut dyn SolverSession,
+    assumptions: impl IntoIterator<Item = Term>,
     hyps: &[Term],
     goal: &Term,
     sorts: &BTreeMap<Symbol, Sort>,
     config: &ValidityConfig,
 ) -> ObligationOutcome {
-    match solver.check_valid(hyps, goal) {
+    let verdict = session.check_assuming(assumptions.into_iter().collect(), goal);
+    match verdict {
         Verdict::Proved => ObligationOutcome::Proved,
-        Verdict::Disproved => unreachable!("check_valid never answers Disproved"),
+        Verdict::Disproved => unreachable!("session check never answers Disproved"),
         Verdict::Unknown => {
             match find_counterexample(hyps, goal, sorts, &config.falsify) {
                 Some(env) => ObligationOutcome::Refuted(env),

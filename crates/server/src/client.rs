@@ -99,8 +99,19 @@ impl Client {
         &mut self,
         items: Vec<VerifyItem>,
     ) -> Result<Vec<VerifyOutcome>, ClientError> {
+        self.verify_batch_opts(items, false)
+    }
+
+    /// Verifies a batch with an explicit fail-fast flag: the server stops
+    /// dispatching after the first failing verdict and answers the rest
+    /// with `skipped` placeholders.
+    pub fn verify_batch_opts(
+        &mut self,
+        items: Vec<VerifyItem>,
+        fail_fast: bool,
+    ) -> Result<Vec<VerifyOutcome>, ClientError> {
         let expected = items.len();
-        let response = self.roundtrip(&Request::VerifyBatch(items))?;
+        let response = self.roundtrip(&Request::VerifyBatch { items, fail_fast })?;
         if response.get("ok").and_then(Json::as_bool) != Some(true) {
             return Err(ClientError::Protocol(
                 response

@@ -66,6 +66,8 @@ impl Server {
         let batch = BatchConfig {
             threads: config.threads,
             verifier: config.verifier,
+            // Fail-fast is a per-request protocol flag, not server state.
+            fail_fast: false,
         };
         Server {
             verifier: CachedVerifier::new(batch, config.cache),
@@ -108,8 +110,10 @@ impl Server {
     }
 
     /// Compiles and verifies a batch of items; cache misses ride the
-    /// parallel pipeline together. Outcomes are in input order.
-    pub fn verify_items(&self, items: &[VerifyItem]) -> Vec<VerifyOutcome> {
+    /// parallel pipeline together. Outcomes are in input order. With
+    /// `fail_fast`, dispatch stops after the first failing verdict and
+    /// later items answer as skipped placeholders.
+    pub fn verify_items(&self, items: &[VerifyItem], fail_fast: bool) -> Vec<VerifyOutcome> {
         // Per-item compile timing, so a cache hit's reported time stays
         // its own microseconds instead of inheriting a batch average.
         let compiled: Vec<(Result<AnnotatedProgram, String>, f64)> = items
@@ -125,9 +129,10 @@ impl Server {
             .iter()
             .filter_map(|(c, _)| c.as_ref().ok())
             .collect();
-        let mut verified = self.verifier.verify_batch(&programs).into_iter();
-        self.programs
-            .fetch_add(programs.len() as u64, Ordering::Relaxed);
+        let verified = self.verifier.verify_batch_opts(&programs, fail_fast);
+        let attempted = verified.iter().filter(|r| !r.skipped).count();
+        self.programs.fetch_add(attempted as u64, Ordering::Relaxed);
+        let mut verified = verified.into_iter();
 
         compiled
             .iter()
@@ -138,6 +143,7 @@ impl Server {
                         cached: r.cached,
                         key: r.key,
                         time_ms: r.time.as_secs_f64() * 1000.0 + compile_ms,
+                        skipped: r.skipped,
                         report: r.report,
                     })
                 }
@@ -152,12 +158,14 @@ impl Server {
         self.requests.fetch_add(1, Ordering::Relaxed);
         match request {
             Request::Verify(item) => {
-                let outcome = self.verify_items(std::slice::from_ref(item)).remove(0);
+                let outcome = self
+                    .verify_items(std::slice::from_ref(item), false)
+                    .remove(0);
                 (verify_response_json(&outcome), false)
             }
-            Request::VerifyBatch(items) => {
+            Request::VerifyBatch { items, fail_fast } => {
                 let results: Vec<Json> = self
-                    .verify_items(items)
+                    .verify_items(items, *fail_fast)
                     .iter()
                     .map(verify_response_json)
                     .collect();
@@ -432,11 +440,14 @@ mod tests {
     #[test]
     fn batch_mixes_compiled_and_failed_slots_in_order() {
         let server = server();
-        let (response, _) = server.handle_request(&Request::VerifyBatch(vec![
-            VerifyItem { name: "a".into(), source: "ok a".into() },
-            VerifyItem { name: "b".into(), source: "syntax error here".into() },
-            VerifyItem { name: "c".into(), source: "leak c".into() },
-        ]));
+        let (response, _) = server.handle_request(&Request::VerifyBatch {
+            items: vec![
+                VerifyItem { name: "a".into(), source: "ok a".into() },
+                VerifyItem { name: "b".into(), source: "syntax error here".into() },
+                VerifyItem { name: "c".into(), source: "leak c".into() },
+            ],
+            fail_fast: false,
+        });
         let results = response.get("results").and_then(Json::as_arr).unwrap();
         assert_eq!(results.len(), 3);
         assert_eq!(results[0].get("ok").and_then(Json::as_bool), Some(true));
@@ -448,6 +459,58 @@ mod tests {
             .contains("unknown directive"));
         let c_report = results[2].get("report").unwrap();
         assert_eq!(c_report.get("verified").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn batch_fail_fast_skips_later_items_and_never_caches_skips() {
+        let server = Server::new(
+            ServerConfig {
+                threads: 1, // deterministic dispatch order
+                cache: CacheConfig::memory_only(64),
+                verifier: VerifierConfig::default(),
+            },
+            toy_compiler(),
+        );
+        let batch = |fail_fast: bool, items: Vec<VerifyItem>| {
+            let (response, _) =
+                server.handle_request(&Request::VerifyBatch { items, fail_fast });
+            response
+        };
+        let item = |name: &str, source: &str| VerifyItem {
+            name: name.into(),
+            source: source.into(),
+        };
+
+        let response = batch(
+            true,
+            vec![item("a", "leak bad"), item("b", "ok good")],
+        );
+        let results = response.get("results").and_then(Json::as_arr).unwrap();
+        let report_verified = |slot: &Json| {
+            slot.get("report")
+                .and_then(|r| r.get("verified"))
+                .and_then(Json::as_bool)
+        };
+        assert_eq!(results[0].get("skipped"), None);
+        assert_eq!(report_verified(&results[0]), Some(false));
+        assert_eq!(results[1].get("skipped").and_then(Json::as_bool), Some(true));
+        assert_eq!(report_verified(&results[1]), Some(false));
+
+        // The skipped item was never cached: verifying it alone is a miss
+        // that succeeds.
+        let response = batch(false, vec![item("b", "ok good")]);
+        let results = response.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(results[0].get("cached").and_then(Json::as_bool), Some(false));
+        assert_eq!(report_verified(&results[0]), Some(true));
+
+        // A failing cache *hit* also stops dispatch of later misses.
+        let response = batch(
+            true,
+            vec![item("a", "leak bad"), item("c", "ok fresh")],
+        );
+        let results = response.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(results[0].get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(results[1].get("skipped").and_then(Json::as_bool), Some(true));
     }
 
     #[test]
@@ -486,7 +549,7 @@ mod tests {
             VerifyItem { name: "one.csl".into(), source: "ok same".into() },
             VerifyItem { name: "two.csl".into(), source: "ok same".into() },
         ];
-        let outcomes = server.verify_items(&items);
+        let outcomes = server.verify_items(&items, false);
         let a = outcomes[0].as_ref().unwrap();
         let b = outcomes[1].as_ref().unwrap();
         assert_eq!(a.key, b.key);

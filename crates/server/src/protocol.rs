@@ -8,15 +8,21 @@
 //!
 //! ```json
 //! {"op":"verify","name":"examples/x.csl","source":"program x; ..."}
-//! {"op":"verify_batch","items":[{"name":"a","source":"..."}, ...]}
+//! {"op":"verify_batch","items":[{"name":"a","source":"..."}, ...],"fail_fast":true}
 //! {"op":"status"}
 //! {"op":"shutdown"}
 //! ```
 //!
+//! (`fail_fast` is optional and defaults to `false`: the server stops
+//! dispatching batch items after the first failing verdict and answers
+//! the rest with `"skipped":true` placeholders.)
+//!
 //! Responses always carry `"ok"`. A `verify` response embeds the
 //! [`VerifierReport`] in exactly the JSON shape of
-//! [`VerifierReport::to_json`], plus the content-address `key`, the
-//! `cached` flag, and the server-side `time_ms`:
+//! [`VerifierReport::to_json`] — including each obligation's stable
+//! diagnostic `code`, optional source `span`, and per-execution
+//! `counterexample` — plus the content-address `key`, the `cached` flag,
+//! and the server-side `time_ms`:
 //!
 //! ```json
 //! {"ok":true,"cached":false,"key":"6c62…","time_ms":1.25,"report":{…}}
@@ -29,6 +35,7 @@
 //! succeeds). `status` reports cache counters; `shutdown` acknowledges
 //! with `{"ok":true,"shutting_down":true}` before the daemon exits.
 
+use commcsl_verifier::diag::{CexBinding, Counterexample, DiagnosticCode, Failure, SourceSpan};
 use commcsl_verifier::hash::ProgramHash;
 use commcsl_verifier::report::{ObligationResult, ObligationStatus, VerifierReport};
 
@@ -36,8 +43,9 @@ use crate::json::Json;
 
 /// One verification job: a display name (usually the file path) and the
 /// `.csl` source text. The *server* compiles — the cache key is the
-/// lowered program, so formatting-only edits still hit the cache only if
-/// they lower identically.
+/// lowered program (including its statement span table: reports embed
+/// source positions, so an edit that moves statements is a different
+/// address even when the structure is unchanged).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyItem {
     /// Display name, echoed in reports and logs.
@@ -52,7 +60,13 @@ pub enum Request {
     /// Verify one program.
     Verify(VerifyItem),
     /// Verify a batch of programs (served concurrently server-side).
-    VerifyBatch(Vec<VerifyItem>),
+    VerifyBatch {
+        /// The jobs, answered in input order.
+        items: Vec<VerifyItem>,
+        /// Stop dispatching after the first failing program; skipped
+        /// slots answer with `"skipped":true` placeholders.
+        fail_fast: bool,
+    },
     /// Report daemon and cache statistics.
     Status,
     /// Acknowledge, then stop accepting connections and exit.
@@ -74,10 +88,19 @@ impl Request {
                 ("name", Json::str(&item.name)),
                 ("source", Json::str(&item.source)),
             ]),
-            Request::VerifyBatch(items) => Json::obj([
-                ("op", Json::str("verify_batch")),
-                ("items", Json::Arr(items.iter().map(item_json).collect())),
-            ]),
+            Request::VerifyBatch { items, fail_fast } => {
+                let mut fields = vec![
+                    ("op".to_owned(), Json::str("verify_batch")),
+                    (
+                        "items".to_owned(),
+                        Json::Arr(items.iter().map(item_json).collect()),
+                    ),
+                ];
+                if *fail_fast {
+                    fields.push(("fail_fast".to_owned(), Json::Bool(true)));
+                }
+                Json::Obj(fields)
+            }
             Request::Status => Json::obj([("op", Json::str("status"))]),
             Request::Shutdown => Json::obj([("op", Json::str("shutdown"))]),
         };
@@ -109,6 +132,11 @@ impl Request {
                     .get("items")
                     .and_then(Json::as_arr)
                     .ok_or("verify_batch needs an `items` array")?;
+                let fail_fast = doc
+                    .get("fail_fast")
+                    .map(|v| v.as_bool().ok_or("`fail_fast` must be a boolean"))
+                    .transpose()?
+                    .unwrap_or(false);
                 items
                     .iter()
                     .map(|item| {
@@ -126,7 +154,7 @@ impl Request {
                         })
                     })
                     .collect::<Result<Vec<_>, String>>()
-                    .map(Request::VerifyBatch)
+                    .map(|items| Request::VerifyBatch { items, fail_fast })
             }
             "status" => Ok(Request::Status),
             "shutdown" => Ok(Request::Shutdown),
@@ -137,7 +165,8 @@ impl Request {
 
 // ----------------------------------------------------------- report codec
 
-/// Renders a report in exactly the shape of [`VerifierReport::to_json`].
+/// Renders a report in exactly the shape of [`VerifierReport::to_json`]
+/// (field order included — the cache and the daemon pin byte-identity).
 pub fn report_to_json(report: &VerifierReport) -> Json {
     let obligations = report
         .obligations
@@ -145,13 +174,31 @@ pub fn report_to_json(report: &VerifierReport) -> Json {
         .map(|o| {
             let mut fields = vec![
                 ("description".to_owned(), Json::str(&o.description)),
-                (
-                    "proved".to_owned(),
-                    Json::Bool(o.status == ObligationStatus::Proved),
-                ),
+                ("code".to_owned(), Json::str(o.code.as_str())),
             ];
-            if let ObligationStatus::Failed(why) = &o.status {
-                fields.push(("reason".to_owned(), Json::str(why)));
+            if let Some(span) = &o.span {
+                fields.push(("span".to_owned(), Json::str(span.to_string())));
+            }
+            fields.push((
+                "proved".to_owned(),
+                Json::Bool(o.status == ObligationStatus::Proved),
+            ));
+            if let ObligationStatus::Failed(failure) = &o.status {
+                fields.push(("reason".to_owned(), Json::str(&failure.reason)));
+                if let Some(cex) = &failure.counterexample {
+                    let bindings = cex
+                        .bindings
+                        .iter()
+                        .map(|b| {
+                            Json::Obj(vec![
+                                ("var".to_owned(), Json::str(&b.var)),
+                                ("exec1".to_owned(), Json::str(&b.exec1)),
+                                ("exec2".to_owned(), Json::str(&b.exec2)),
+                            ])
+                        })
+                        .collect();
+                    fields.push(("counterexample".to_owned(), Json::Arr(bindings)));
+                }
             }
             Json::Obj(fields)
         })
@@ -189,6 +236,19 @@ pub fn report_from_json(doc: &Json) -> Result<VerifierReport, String> {
                 .and_then(Json::as_str)
                 .ok_or("obligation needs `description`")?
                 .to_owned();
+            let code = o
+                .get("code")
+                .and_then(Json::as_str)
+                .ok_or("obligation needs `code`")?
+                .parse::<DiagnosticCode>()?;
+            let span = o
+                .get("span")
+                .map(|s| {
+                    s.as_str()
+                        .ok_or("`span` must be a string")?
+                        .parse::<SourceSpan>()
+                })
+                .transpose()?;
             let proved = o
                 .get("proved")
                 .and_then(Json::as_bool)
@@ -196,15 +256,39 @@ pub fn report_from_json(doc: &Json) -> Result<VerifierReport, String> {
             let status = if proved {
                 ObligationStatus::Proved
             } else {
-                ObligationStatus::Failed(
+                let mut failure = Failure::new(
                     o.get("reason")
                         .and_then(Json::as_str)
                         .unwrap_or_default()
                         .to_owned(),
-                )
+                );
+                if let Some(cex) = o.get("counterexample") {
+                    let bindings = cex
+                        .as_arr()
+                        .ok_or("`counterexample` must be an array")?
+                        .iter()
+                        .map(|b| {
+                            let field = |key: &str| {
+                                b.get(key)
+                                    .and_then(Json::as_str)
+                                    .map(str::to_owned)
+                                    .ok_or(format!("counterexample binding needs `{key}`"))
+                            };
+                            Ok(CexBinding {
+                                var: field("var")?,
+                                exec1: field("exec1")?,
+                                exec2: field("exec2")?,
+                            })
+                        })
+                        .collect::<Result<Vec<_>, String>>()?;
+                    failure = failure.with_counterexample(Counterexample { bindings });
+                }
+                ObligationStatus::Failed(failure)
             };
             Ok(ObligationResult {
                 description,
+                code,
+                span,
                 status,
             })
         })
@@ -238,7 +322,11 @@ pub struct VerifyOk {
     pub key: ProgramHash,
     /// Server-side wall-clock milliseconds for this job.
     pub time_ms: f64,
-    /// The verdict, identical to in-process verification.
+    /// `true` when fail-fast stopped the batch before this job ran; the
+    /// report is then a placeholder, not a verdict.
+    pub skipped: bool,
+    /// The verdict, identical to in-process verification (a placeholder
+    /// when `skipped`).
     pub report: VerifierReport,
 }
 
@@ -248,13 +336,19 @@ pub type VerifyOutcome = Result<VerifyOk, String>;
 /// Renders a `verify`(-slot) response.
 pub fn verify_response_json(outcome: &VerifyOutcome) -> Json {
     match outcome {
-        Ok(ok) => Json::obj([
-            ("ok", Json::Bool(true)),
-            ("cached", Json::Bool(ok.cached)),
-            ("key", Json::str(ok.key.to_string())),
-            ("time_ms", Json::Num(ok.time_ms)),
-            ("report", report_to_json(&ok.report)),
-        ]),
+        Ok(ok) => {
+            let mut fields = vec![
+                ("ok".to_owned(), Json::Bool(true)),
+                ("cached".to_owned(), Json::Bool(ok.cached)),
+                ("key".to_owned(), Json::str(ok.key.to_string())),
+                ("time_ms".to_owned(), Json::Num(ok.time_ms)),
+            ];
+            if ok.skipped {
+                fields.push(("skipped".to_owned(), Json::Bool(true)));
+            }
+            fields.push(("report".to_owned(), report_to_json(&ok.report)));
+            Json::Obj(fields)
+        }
         Err(error) => error_json(error),
     }
 }
@@ -276,6 +370,10 @@ pub fn verify_outcome_from_json(doc: &Json) -> Result<VerifyOutcome, String> {
                 .get("time_ms")
                 .and_then(Json::as_num)
                 .ok_or("verify response needs `time_ms`")?,
+            skipped: doc
+                .get("skipped")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
             report: report_from_json(
                 doc.get("report").ok_or("verify response needs `report`")?,
             )?,
@@ -406,16 +504,26 @@ mod tests {
                 name: "a \"quoted\" name".into(),
                 source: "program p;\noutput 1;\n".into(),
             }),
-            Request::VerifyBatch(vec![
-                VerifyItem {
-                    name: "x".into(),
-                    source: "s1".into(),
-                },
-                VerifyItem {
-                    name: "y\t".into(),
-                    source: "s2\\n".into(),
-                },
-            ]),
+            Request::VerifyBatch {
+                items: vec![
+                    VerifyItem {
+                        name: "x".into(),
+                        source: "s1".into(),
+                    },
+                    VerifyItem {
+                        name: "y\t".into(),
+                        source: "s2\\n".into(),
+                    },
+                ],
+                fail_fast: false,
+            },
+            Request::VerifyBatch {
+                items: vec![VerifyItem {
+                    name: "z".into(),
+                    source: "s3".into(),
+                }],
+                fail_fast: true,
+            },
             Request::Status,
             Request::Shutdown,
         ];
@@ -434,11 +542,25 @@ mod tests {
             obligations: vec![
                 ObligationResult {
                     description: "pre of Put at worker 1".into(),
+                    code: DiagnosticCode::ActionPre,
+                    span: Some(SourceSpan::new(12, 7)),
                     status: ObligationStatus::Proved,
                 },
                 ObligationResult {
                     description: "Low(output \"x\")".into(),
-                    status: ObligationStatus::Failed("countermodel: h\u{2}=1".into()),
+                    code: DiagnosticCode::LowOutput,
+                    span: None,
+                    status: ObligationStatus::Failed(
+                        Failure::new("countermodel: h\u{2}=1").with_counterexample(
+                            Counterexample {
+                                bindings: vec![CexBinding {
+                                    var: "h \"quoted\"\t".into(),
+                                    exec1: "0".into(),
+                                    exec2: "1\n".into(),
+                                }],
+                            },
+                        ),
+                    ),
                 },
             ],
             errors: vec!["guard \\ misuse\nsecond line".into()],
@@ -470,7 +592,17 @@ mod tests {
             program: nasty.clone(),
             obligations: vec![ObligationResult {
                 description: nasty.clone(),
-                status: ObligationStatus::Failed(nasty.clone()),
+                code: DiagnosticCode::LowAssert,
+                span: Some(SourceSpan::new(1, 999)),
+                status: ObligationStatus::Failed(
+                    Failure::new(nasty.clone()).with_counterexample(Counterexample {
+                        bindings: vec![CexBinding {
+                            var: nasty.clone(),
+                            exec1: nasty.clone(),
+                            exec2: nasty.clone(),
+                        }],
+                    }),
+                ),
             }],
             errors: vec![nasty.clone()],
         };
@@ -480,6 +612,7 @@ mod tests {
         assert_eq!(recovered.errors, report.errors);
         assert_eq!(recovered.obligations.len(), 1);
         assert_eq!(recovered.obligations[0].description, nasty);
+        assert_eq!(recovered.obligations, report.obligations);
         assert_eq!(recovered.to_json(), report.to_json());
     }
 
@@ -489,13 +622,25 @@ mod tests {
             cached: true,
             key: ProgramHash(0xDEADBEEF),
             time_ms: 0.125,
+            skipped: false,
             report: nasty_report(),
         });
         let doc = Json::parse(&verify_response_json(&ok).to_string()).unwrap();
         let back = verify_outcome_from_json(&doc).unwrap().unwrap();
         assert!(back.cached);
+        assert!(!back.skipped);
         assert_eq!(back.key, ProgramHash(0xDEADBEEF));
         assert_eq!(back.report.to_json(), nasty_report().to_json());
+
+        let skipped: VerifyOutcome = Ok(VerifyOk {
+            cached: false,
+            key: ProgramHash(1),
+            time_ms: 0.0,
+            skipped: true,
+            report: nasty_report(),
+        });
+        let doc = Json::parse(&verify_response_json(&skipped).to_string()).unwrap();
+        assert!(verify_outcome_from_json(&doc).unwrap().unwrap().skipped);
 
         let err: VerifyOutcome = Err("1:2: unknown resource `q`".into());
         let doc = Json::parse(&verify_response_json(&err).to_string()).unwrap();

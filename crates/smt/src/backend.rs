@@ -1,0 +1,611 @@
+//! Pluggable solver backends with incremental check sessions.
+//!
+//! [`Solver::check_valid`](crate::Solver::check_valid) is stateless: every
+//! query rebuilds congruence and linear-arithmetic state from the full
+//! hypothesis set. Verification workloads are the opposite shape —
+//! consecutive obligations along one symbolic path share almost all of
+//! their facts and differ only in the goal. This module is the seam that
+//! exploits it:
+//!
+//! * [`SolverSession`] — the incremental interface:
+//!   `push`/`pop` scopes, `assert` facts, `check` goals, with
+//!   [`SessionStats`] telemetry (query counts, wall-clock time).
+//! * [`SolverBackend`] — a factory for sessions plus a static
+//!   [`BackendInfo`] capability record, so new engines (an external SMT
+//!   process, a portfolio, …) can be plugged in without touching callers.
+//! * [`BackendKind`] — the serializable choice between the built-in
+//!   backends; it is a *verdict-relevant configuration knob* and is folded
+//!   into the verifier's content hash.
+//!
+//! Two built-in backends exist:
+//!
+//! * [`BackendKind::Fresh`] replays the legacy behavior exactly: `check`
+//!   calls [`Solver::check_valid`](crate::Solver::check_valid) with the
+//!   accumulated fact list, bit-for-bit compatible with the historical
+//!   free-function path.
+//! * [`BackendKind::Incremental`] (the default) keeps per-scope state:
+//!   asserted facts are normalized, flattened, and asserted into a
+//!   *backtrackable* congruence closure exactly once; `push`/`pop` and
+//!   every `check` are snapshot/rollback pairs on that closure (O(work
+//!   done), never O(state size)), only the goal literals are normalized
+//!   per check, and every fixpoint loop (including per-branch loops under
+//!   case splits) stops as soon as a round is provably quiescent.
+//!
+//! # Completeness contract
+//!
+//! Both backends are *sound*: every `Proved` is a genuine refutation of
+//! `facts ∧ ¬goal`. They are pinned byte-identical across the full
+//! verification corpus — the Table 1 fixtures, the rejected variants,
+//! the compiled `.csl` corpus, random proptest programs, and every
+//! recorded obligation stream (`tests/backend_equivalence.rs`). The one
+//! place their *completeness* can differ by construction: the
+//! incremental engine saturates each batch of asserted facts once (the
+//! batch's facts rewrite under each other and under enclosing scopes),
+//! but does not re-normalize facts of **earlier** batches when later
+//! facts would unlock further rewriting of them, and may then answer a
+//! conservative `Unknown` where the stateless joint fixpoint proves.
+//! Callers treat `Unknown` as a verification failure, so this can only
+//! make verification stricter, never unsound.
+//!
+//! # Example
+//!
+//! ```
+//! use commcsl_pure::Term;
+//! use commcsl_smt::backend::BackendKind;
+//! use commcsl_smt::{SolverConfig, Verdict};
+//!
+//! let mut session = BackendKind::Incremental.open_session(SolverConfig::default());
+//! session.assert(Term::eq(Term::var("x"), Term::var("y")));
+//! // Many goals against the same fact base: the base is saturated once.
+//! let goal = Term::eq(
+//!     Term::add(Term::var("x"), Term::int(1)),
+//!     Term::add(Term::var("y"), Term::int(1)),
+//! );
+//! assert_eq!(session.check(&goal), Verdict::Proved);
+//! session.push();
+//! session.assert(Term::le(Term::var("x"), Term::int(3)));
+//! assert_eq!(session.check(&Term::le(Term::var("y"), Term::int(3))), Verdict::Proved);
+//! session.pop(); // the scoped bound is gone
+//! assert_eq!(session.check(&Term::le(Term::var("y"), Term::int(3))), Verdict::Unknown);
+//! assert_eq!(session.stats().checks, 3);
+//! ```
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use commcsl_pure::Term;
+
+use crate::congruence::Congruence;
+use crate::solver::{Saturation, Solver, SolverConfig, Verdict};
+
+/// Static description of a backend's capabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendInfo {
+    /// Stable backend name (also the config-file / CLI spelling).
+    pub name: &'static str,
+    /// Whether assert/check state is genuinely reused across checks.
+    pub incremental: bool,
+}
+
+/// Cumulative telemetry for one session.
+///
+/// Times cover [`SolverSession::check`] calls only (assertion bookkeeping
+/// is deferred and attributed to the check that forces it). Stats are
+/// observability, not semantics: they never feed back into verdicts and
+/// are deliberately kept out of verification reports so cached and fresh
+/// verdicts stay byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Goals checked.
+    pub checks: u64,
+    /// Checks answered [`Verdict::Proved`].
+    pub proved: u64,
+    /// Checks answered [`Verdict::Unknown`].
+    pub unknown: u64,
+    /// Facts asserted.
+    pub asserts: u64,
+    /// Scopes pushed.
+    pub pushes: u64,
+    /// Total wall-clock time spent inside `check`.
+    pub check_time: Duration,
+}
+
+/// An incremental proof session: a stack of fact scopes and a stream of
+/// goal checks against them.
+///
+/// The contract mirrors SMT-LIB's `push`/`pop`/`assert`/`check-sat`:
+/// facts asserted in a scope vanish when the scope is popped; `check`
+/// never perturbs the asserted state. `check` answers
+/// [`Verdict::Proved`] when `facts ⊨ goal` and [`Verdict::Unknown`]
+/// otherwise (countermodel search stays a separate concern, see
+/// [`crate::falsify`]).
+pub trait SolverSession: fmt::Debug {
+    /// Opens a new fact scope.
+    fn push(&mut self);
+    /// Discards the most recent scope and every fact asserted in it.
+    /// Popping the root scope is a no-op.
+    fn pop(&mut self);
+    /// Asserts `fact` in the current scope.
+    fn assert(&mut self, fact: Term);
+    /// Checks whether the asserted facts entail `goal`.
+    fn check(&mut self, goal: &Term) -> Verdict;
+    /// Checks whether `facts ∧ assumptions ⊨ goal` without touching the
+    /// asserted state — SMT-LIB's `check-sat-assuming`. Observationally
+    /// equivalent to `push`/`assert`/`check`/`pop`, but lets an
+    /// incremental backend keep its base state (and the normalization
+    /// work cached against it) untouched across obligations that differ
+    /// only in their local hypotheses.
+    fn check_assuming(&mut self, assumptions: Vec<Term>, goal: &Term) -> Verdict;
+    /// Current scope depth (0 = root).
+    fn depth(&self) -> usize;
+    /// Cumulative telemetry.
+    fn stats(&self) -> SessionStats;
+}
+
+/// A factory for [`SolverSession`]s.
+///
+/// Implement this to plug a new engine into the verifier; the built-in
+/// implementations are [`FreshBackend`] and [`IncrementalBackend`].
+pub trait SolverBackend: fmt::Debug + Send + Sync {
+    /// Capability record.
+    fn info(&self) -> BackendInfo;
+    /// Opens a fresh session with the given budgets.
+    fn open_session(&self, config: SolverConfig) -> Box<dyn SolverSession>;
+}
+
+/// The serializable choice between the built-in backends.
+///
+/// This is the knob carried by verifier configurations: it must be
+/// `Copy`, comparable, and stably hashable, because a backend change is a
+/// *cache-address* change (verdicts produced by different backends are
+/// never allowed to shadow each other).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum BackendKind {
+    /// Stateless legacy engine: every check rebuilds from scratch.
+    Fresh,
+    /// Per-scope incremental engine (the default).
+    #[default]
+    Incremental,
+}
+
+impl BackendKind {
+    /// All built-in kinds.
+    pub const ALL: [BackendKind; 2] = [BackendKind::Fresh, BackendKind::Incremental];
+
+    /// The stable name (`"fresh"` / `"incremental"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Fresh => "fresh",
+            BackendKind::Incremental => "incremental",
+        }
+    }
+
+    /// Parses a stable name back into a kind.
+    pub fn from_name(name: &str) -> Option<BackendKind> {
+        BackendKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// The backend singleton for this kind.
+    pub fn backend(self) -> &'static dyn SolverBackend {
+        match self {
+            BackendKind::Fresh => &FreshBackend,
+            BackendKind::Incremental => &IncrementalBackend,
+        }
+    }
+
+    /// Opens a session on this kind's backend.
+    pub fn open_session(self, config: SolverConfig) -> Box<dyn SolverSession> {
+        self.backend().open_session(config)
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ------------------------------------------------------------------- fresh
+
+/// The stateless backend: sessions merely accumulate facts and call
+/// [`Solver::check_valid`] per goal, reproducing the legacy free-function
+/// path bit for bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FreshBackend;
+
+impl SolverBackend for FreshBackend {
+    fn info(&self) -> BackendInfo {
+        BackendInfo {
+            name: "fresh",
+            incremental: false,
+        }
+    }
+
+    fn open_session(&self, config: SolverConfig) -> Box<dyn SolverSession> {
+        Box::new(FreshSession {
+            solver: Solver::with_config(config),
+            facts: Vec::new(),
+            marks: Vec::new(),
+            stats: SessionStats::default(),
+        })
+    }
+}
+
+#[derive(Debug)]
+struct FreshSession {
+    solver: Solver,
+    facts: Vec<Term>,
+    marks: Vec<usize>,
+    stats: SessionStats,
+}
+
+impl SolverSession for FreshSession {
+    fn push(&mut self) {
+        self.stats.pushes += 1;
+        self.marks.push(self.facts.len());
+    }
+
+    fn pop(&mut self) {
+        if let Some(mark) = self.marks.pop() {
+            self.facts.truncate(mark);
+        }
+    }
+
+    fn assert(&mut self, fact: Term) {
+        self.stats.asserts += 1;
+        self.facts.push(fact);
+    }
+
+    fn check(&mut self, goal: &Term) -> Verdict {
+        let start = Instant::now();
+        let verdict = self.solver.check_valid(&self.facts, goal);
+        self.stats.checks += 1;
+        match verdict {
+            Verdict::Proved => self.stats.proved += 1,
+            _ => self.stats.unknown += 1,
+        }
+        self.stats.check_time += start.elapsed();
+        verdict
+    }
+
+    fn check_assuming(&mut self, assumptions: Vec<Term>, goal: &Term) -> Verdict {
+        let start = Instant::now();
+        // Exactly the legacy literal order: facts, assumptions, ¬goal.
+        let mut hyps = self.facts.clone();
+        hyps.extend(assumptions);
+        let verdict = self.solver.check_valid(&hyps, goal);
+        self.stats.checks += 1;
+        match verdict {
+            Verdict::Proved => self.stats.proved += 1,
+            _ => self.stats.unknown += 1,
+        }
+        self.stats.check_time += start.elapsed();
+        verdict
+    }
+
+    fn depth(&self) -> usize {
+        self.marks.len()
+    }
+
+    fn stats(&self) -> SessionStats {
+        self.stats
+    }
+}
+
+// ------------------------------------------------------------- incremental
+
+/// The incremental backend: per-scope saturated fact state shared across
+/// checks, on a persistent *backtrackable* congruence closure.
+///
+/// The session's asset is its **saturated base**: every asserted fact is
+/// normalized, flattened, and asserted into the closure exactly once per
+/// scope, however many goals are later checked against it (the stateless
+/// engine re-normalizes the full hypothesis set for every single check).
+/// `push` captures a [`Congruence::snapshot`]; `pop` rolls the closure
+/// back through its undo trail — no re-interning, no rebuild. Each
+/// `check` likewise snapshots, saturates *only* the goal literals
+/// against the live closure, falls through to the common
+/// linear-arithmetic and case-split phases, and rolls the goal-local
+/// mutations back, so checks never perturb the asserted state. All
+/// fixpoint loops stop at the first provably quiescent round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IncrementalBackend;
+
+impl SolverBackend for IncrementalBackend {
+    fn info(&self) -> BackendInfo {
+        BackendInfo {
+            name: "incremental",
+            incremental: true,
+        }
+    }
+
+    fn open_session(&self, config: SolverConfig) -> Box<dyn SolverSession> {
+        Box::new(IncrementalSession {
+            solver: Solver::with_config(config),
+            cc: Congruence::new(),
+            base_lits: Vec::new(),
+            pending: Vec::new(),
+            frames: Vec::new(),
+            contradictory: false,
+            stats: SessionStats::default(),
+        })
+    }
+}
+
+/// A scope boundary: the session state to restore at `pop`.
+#[derive(Debug)]
+struct FrameMark {
+    snapshot: crate::congruence::CongruenceSnapshot,
+    base_len: usize,
+    contradictory: bool,
+}
+
+#[derive(Debug)]
+struct IncrementalSession {
+    solver: Solver,
+    /// The persistent, backtrackable closure holding every saturated
+    /// base literal. Scope pops and goal-local check work are rolled
+    /// back via the closure's undo trail.
+    cc: Congruence,
+    /// The saturated, flattened base literals, in assertion order.
+    base_lits: Vec<Term>,
+    /// Facts asserted but not yet saturated (batched until the next
+    /// check or push, so one pass covers them together).
+    pending: Vec<Term>,
+    frames: Vec<FrameMark>,
+    contradictory: bool,
+    stats: SessionStats,
+}
+
+impl IncrementalSession {
+    /// Saturates any pending facts into the base state: the full
+    /// normalize/assert fixpoint over the batch against the live closure
+    /// (so facts of one batch rewrite under each other and under the
+    /// enclosing scopes' facts — e.g. a `MapPut` chain sorting once a
+    /// sibling key disequality is asserted), with quiescent rounds
+    /// skipped — paid once per scope instead of once per check.
+    ///
+    /// Already-recorded base literals of *earlier* batches are not
+    /// re-normalized under the new facts; see the module docs for the
+    /// completeness contract.
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        if self.contradictory {
+            // Every check proves while the contradiction is live, and the
+            // dropped facts can never outlive it: they belong to the
+            // current (top) frame, which pops no later than the frame
+            // whose facts contradict.
+            return;
+        }
+        match self.solver.saturate(&self.cc, pending, true) {
+            Saturation::Refuted => self.contradictory = true,
+            Saturation::Open(lits) => self.base_lits.extend(lits),
+        }
+    }
+
+    fn record(&mut self, verdict: Verdict, start: Instant) -> Verdict {
+        self.stats.checks += 1;
+        match verdict {
+            Verdict::Proved => self.stats.proved += 1,
+            _ => self.stats.unknown += 1,
+        }
+        self.stats.check_time += start.elapsed();
+        verdict
+    }
+
+    fn check_with(&mut self, assumptions: Vec<Term>, goal: &Term) -> Verdict {
+        let start = Instant::now();
+        self.flush();
+        if self.contradictory {
+            // Contradictory facts entail anything (same as the legacy
+            // refutation of `hyps ∧ ¬goal` with unsatisfiable `hyps`).
+            return self.record(Verdict::Proved, start);
+        }
+        let snapshot = self.cc.snapshot();
+        let mut extra = assumptions;
+        extra.push(Term::not(goal.clone()));
+        let refuted = self.solver.refute_seeded(&self.cc, &self.base_lits, extra);
+        self.cc.rollback_to(&snapshot);
+        let verdict = if refuted {
+            Verdict::Proved
+        } else {
+            Verdict::Unknown
+        };
+        self.record(verdict, start)
+    }
+}
+
+impl SolverSession for IncrementalSession {
+    fn push(&mut self) {
+        self.stats.pushes += 1;
+        self.flush();
+        self.frames.push(FrameMark {
+            snapshot: self.cc.snapshot(),
+            base_len: self.base_lits.len(),
+            contradictory: self.contradictory,
+        });
+    }
+
+    fn pop(&mut self) {
+        let Some(frame) = self.frames.pop() else {
+            return;
+        };
+        self.pending.clear();
+        self.cc.rollback_to(&frame.snapshot);
+        self.base_lits.truncate(frame.base_len);
+        self.contradictory = frame.contradictory;
+    }
+
+    fn assert(&mut self, fact: Term) {
+        self.stats.asserts += 1;
+        self.pending.push(fact);
+    }
+
+    fn check(&mut self, goal: &Term) -> Verdict {
+        self.check_with(Vec::new(), goal)
+    }
+
+    fn check_assuming(&mut self, assumptions: Vec<Term>, goal: &Term) -> Verdict {
+        self.check_with(assumptions, goal)
+    }
+
+    fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn stats(&self) -> SessionStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(kind: BackendKind) -> Box<dyn SolverSession> {
+        kind.open_session(SolverConfig::default())
+    }
+
+    #[test]
+    fn backend_kind_names_roundtrip() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.backend().info().name, kind.name());
+        }
+        assert_eq!(BackendKind::from_name("z3"), None);
+        assert_eq!(BackendKind::default(), BackendKind::Incremental);
+        assert!(IncrementalBackend.info().incremental);
+        assert!(!FreshBackend.info().incremental);
+    }
+
+    #[test]
+    fn both_backends_prove_and_scope_identically() {
+        for kind in BackendKind::ALL {
+            let mut s = session(kind);
+            assert_eq!(s.depth(), 0);
+            s.assert(Term::eq(Term::var("x"), Term::var("y")));
+            let congruent = Term::eq(
+                Term::app(commcsl_pure::Func::SeqLen, [Term::var("x")]),
+                Term::app(commcsl_pure::Func::SeqLen, [Term::var("y")]),
+            );
+            assert_eq!(s.check(&congruent), Verdict::Proved, "{kind}");
+
+            s.push();
+            s.assert(Term::le(Term::var("x"), Term::int(3)));
+            s.assert(Term::eq(
+                Term::var("z"),
+                Term::add(Term::var("x"), Term::int(1)),
+            ));
+            assert_eq!(s.depth(), 1);
+            assert_eq!(
+                s.check(&Term::le(Term::var("z"), Term::int(4))),
+                Verdict::Proved,
+                "{kind}"
+            );
+            s.pop();
+            assert_eq!(
+                s.check(&Term::le(Term::var("z"), Term::int(4))),
+                Verdict::Unknown,
+                "{kind}: popped bound must be gone"
+            );
+            // Check never pollutes the fact base.
+            assert_eq!(s.check(&congruent), Verdict::Proved, "{kind}");
+
+            let stats = s.stats();
+            assert_eq!(stats.checks, 4);
+            assert_eq!(stats.proved, 3);
+            assert_eq!(stats.unknown, 1);
+            assert_eq!(stats.asserts, 3);
+            assert_eq!(stats.pushes, 1);
+        }
+    }
+
+    #[test]
+    fn contradictory_scope_proves_anything_until_popped() {
+        for kind in BackendKind::ALL {
+            let mut s = session(kind);
+            s.assert(Term::le(Term::var("n"), Term::int(0)));
+            s.push();
+            s.assert(Term::le(Term::int(1), Term::var("n")));
+            assert_eq!(s.check(&Term::ff()), Verdict::Proved, "{kind}");
+            s.pop();
+            assert_eq!(s.check(&Term::ff()), Verdict::Unknown, "{kind}");
+            assert_eq!(
+                s.check(&Term::le(Term::var("n"), Term::int(5))),
+                Verdict::Proved,
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn pop_on_root_scope_is_a_noop() {
+        for kind in BackendKind::ALL {
+            let mut s = session(kind);
+            s.assert(Term::eq(Term::var("a"), Term::var("b")));
+            s.pop();
+            s.pop();
+            assert_eq!(
+                s.check(&Term::eq(Term::var("a"), Term::var("b"))),
+                Verdict::Proved,
+                "{kind}: root facts survive stray pops"
+            );
+        }
+    }
+
+    #[test]
+    fn facts_of_one_batch_rewrite_under_each_other() {
+        // Regression (found in review): a MapPut chain asserted alongside
+        // the key disequality that sorts it must saturate to the canonical
+        // chain, or the incremental backend answers Unknown where the
+        // stateless joint fixpoint proves. Both orders of the facts, and
+        // both backends, must prove.
+        let put = |m: Term, k: &str, v: i64| {
+            Term::app(commcsl_pure::Func::MapPut, [m, Term::var(k), Term::int(v)])
+        };
+        let m = || Term::var("m");
+        let unsorted = put(put(m(), "k2", 2), "k1", 1);
+        let sorted = put(put(m(), "k1", 1), "k2", 2);
+        for kind in BackendKind::ALL {
+            for diseq_first in [true, false] {
+                let mut s = session(kind);
+                let diseq = Term::not(Term::eq(Term::var("k1"), Term::var("k2")));
+                let chain = Term::eq(unsorted.clone(), Term::var("w"));
+                if diseq_first {
+                    s.assert(diseq);
+                    s.assert(chain);
+                } else {
+                    s.assert(chain);
+                    s.assert(diseq);
+                }
+                assert_eq!(
+                    s.check(&Term::eq(sorted.clone(), Term::var("w"))),
+                    Verdict::Proved,
+                    "{kind}, diseq_first={diseq_first}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_asserts_and_checks_accumulate() {
+        for kind in BackendKind::ALL {
+            let mut s = session(kind);
+            s.assert(Term::le(Term::var("a"), Term::var("b")));
+            assert_eq!(
+                s.check(&Term::le(Term::var("a"), Term::var("c"))),
+                Verdict::Unknown,
+                "{kind}"
+            );
+            s.assert(Term::le(Term::var("b"), Term::var("c")));
+            assert_eq!(
+                s.check(&Term::le(Term::var("a"), Term::var("c"))),
+                Verdict::Proved,
+                "{kind}: later asserts are visible to later checks"
+            );
+        }
+    }
+}

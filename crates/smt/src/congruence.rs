@@ -1,4 +1,4 @@
-//! Congruence closure over ground terms (EUF).
+//! Congruence closure over ground terms (EUF), with O(1) backtracking.
 //!
 //! Implements the classic Nelson–Oppen congruence-closure algorithm over
 //! [`Term`]s: variables and literals are constants, applications are
@@ -10,14 +10,27 @@
 //! consult learned (dis)equalities — the loop that makes the abstraction
 //! rewrite rules context-sensitive (e.g. `MapPut` reordering under a learned
 //! key disequality).
+//!
+//! # Backtracking
+//!
+//! Incremental solver sessions interleave long-lived fact scopes with
+//! goal-local assertions, so the closure is **backtrackable**: every
+//! mutation (node creation, union, disequality, literal move) is recorded
+//! on an undo trail, [`Congruence::snapshot`] captures the current trail
+//! position, and [`Congruence::rollback_to`] restores the closure to that
+//! exact state — no cloning, no re-interning. Union-find runs union-by-
+//! rank *without* path compression precisely so unions undo in O(1) (see
+//! `union_find.rs`); roots, and therefore [`Congruence::class_id`]
+//! values, are unaffected.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
 
 use commcsl_pure::rewrite::{decide_eq_syntactic, EqOracle};
 use commcsl_pure::{Func, Term, Value};
 
-use crate::union_find::UnionFind;
+use crate::union_find::{UnionFind, UnionUndo};
 
 #[derive(Debug, Clone)]
 enum Node {
@@ -27,18 +40,63 @@ enum Node {
     App(Func, Vec<usize>),
 }
 
-#[derive(Debug, Default)]
+/// One undoable mutation.
+#[derive(Debug, Clone)]
+enum TrailOp {
+    /// A class union (undone via the union-find's own record).
+    Union(UnionUndo),
+    /// `uses[node]` gained one entry (a fresh application child-link).
+    UsesPush(usize),
+    /// All `count` use-entries of `loser` moved to the tail of
+    /// `winner`'s list during a merge.
+    UsesMove {
+        winner: usize,
+        loser: usize,
+        count: usize,
+    },
+    /// The class literal moved from `loser` to `winner` during a merge.
+    LiteralMove { winner: usize, loser: usize },
+}
+
+#[derive(Debug, Default, Clone)]
 struct Inner {
     uf: UnionFind,
     nodes: Vec<Node>,
-    intern: BTreeMap<Term, usize>,
+    intern: BTreeMap<Rc<Term>, usize>,
+    /// Interned terms in creation order (rollback removes a suffix).
+    intern_order: Vec<Rc<Term>>,
     /// Signature table: canonical `(f, child classes)` → node id.
+    /// Insert-only while live — stale entries are unreachable, never
+    /// overwritten — so rollback removes a suffix of `sig_order`.
     sigs: HashMap<(Func, Vec<usize>), usize>,
+    sig_order: Vec<(Func, Vec<usize>)>,
     /// For each node id, application nodes that have it as a child.
     uses: Vec<Vec<usize>>,
     /// Literal representative per class root (moved on union).
     literal: Vec<Option<Value>>,
     diseqs: Vec<(usize, usize)>,
+    trail: Vec<TrailOp>,
+    contradiction: bool,
+    /// Bumped on every *semantic* mutation: a class union, a fresh
+    /// disequality, or a derived contradiction. Interning alone does not
+    /// change what [`Congruence::decide`] answers, but interning can
+    /// trigger congruence unions, which do count.
+    version: u64,
+}
+
+/// A point-in-time marker for [`Congruence::rollback_to`].
+///
+/// Only meaningful for the closure that produced it, and only while no
+/// *earlier* snapshot has been rolled back past; the incremental session
+/// uses strictly nested snapshot/rollback pairs.
+#[derive(Debug, Clone, Copy)]
+pub struct CongruenceSnapshot {
+    nodes: usize,
+    interned: usize,
+    sigs: usize,
+    diseqs: usize,
+    trail: usize,
+    version: u64,
     contradiction: bool,
 }
 
@@ -51,12 +109,15 @@ struct Inner {
 /// use commcsl_smt::congruence::Congruence;
 ///
 /// let cc = Congruence::new();
+/// let snap = cc.snapshot();
 /// cc.assert_eq(&Term::var("x"), &Term::var("y"));
 /// let fx = Term::app(commcsl_pure::Func::SeqLen, [Term::var("x")]);
 /// let fy = Term::app(commcsl_pure::Func::SeqLen, [Term::var("y")]);
 /// assert_eq!(cc.decide(&fx, &fy), Some(true));
+/// cc.rollback_to(&snap);
+/// assert_eq!(cc.decide(&fx, &fy), None);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Congruence {
     inner: RefCell<Inner>,
 }
@@ -75,17 +136,94 @@ impl Congruence {
         inner.check_diseqs();
     }
 
-    /// Asserts `a ≠ b`.
+    /// Asserts `a ≠ b`. Re-asserting a disequality already separating the
+    /// same pair of classes is a no-op (and does not bump the mutation
+    /// [`Congruence::version`]).
     pub fn assert_neq(&self, a: &Term, b: &Term) {
         let mut inner = self.inner.borrow_mut();
         let (ia, ib) = (inner.intern_term(a), inner.intern_term(b));
+        let (ra, rb) = (inner.uf.find(ia), inner.uf.find(ib));
+        if inner.separated(ra, rb) {
+            return;
+        }
         inner.diseqs.push((ia, ib));
+        inner.version += 1;
         inner.check_diseqs();
     }
 
     /// Returns `true` when the asserted facts are contradictory.
     pub fn contradictory(&self) -> bool {
         self.inner.borrow().contradiction
+    }
+
+    /// A counter bumped on every semantic mutation (union, fresh
+    /// disequality, contradiction). Two states with the same version that
+    /// evolved from a common ancestor answer every [`Congruence::decide`]
+    /// query identically, which is what lets the incremental solver
+    /// sessions detect a quiescent normalization round and skip the
+    /// remaining ones exactly.
+    pub fn version(&self) -> u64 {
+        self.inner.borrow().version
+    }
+
+    /// Captures the current state for a later [`Congruence::rollback_to`].
+    pub fn snapshot(&self) -> CongruenceSnapshot {
+        let inner = self.inner.borrow();
+        CongruenceSnapshot {
+            nodes: inner.nodes.len(),
+            interned: inner.intern_order.len(),
+            sigs: inner.sig_order.len(),
+            diseqs: inner.diseqs.len(),
+            trail: inner.trail.len(),
+            version: inner.version,
+            contradiction: inner.contradiction,
+        }
+    }
+
+    /// Restores the closure to the exact state captured by `snap`:
+    /// trailing mutations are undone in reverse, fresh nodes and
+    /// disequalities are discarded. O(work since the snapshot), not
+    /// O(closure size).
+    pub fn rollback_to(&self, snap: &CongruenceSnapshot) {
+        let mut inner = self.inner.borrow_mut();
+        while inner.trail.len() > snap.trail {
+            let op = inner.trail.pop().expect("trail length checked");
+            match op {
+                TrailOp::Union(undo) => inner.uf.undo_union(undo),
+                TrailOp::UsesPush(node) => {
+                    inner.uses[node].pop();
+                }
+                TrailOp::UsesMove {
+                    winner,
+                    loser,
+                    count,
+                } => {
+                    let at = inner.uses[winner].len() - count;
+                    let moved: Vec<usize> = inner.uses[winner].split_off(at);
+                    debug_assert!(inner.uses[loser].is_empty());
+                    inner.uses[loser] = moved;
+                }
+                TrailOp::LiteralMove { winner, loser } => {
+                    let value = inner.literal[winner].take();
+                    inner.literal[loser] = value;
+                }
+            }
+        }
+        while inner.intern_order.len() > snap.interned {
+            let key = inner.intern_order.pop().expect("length checked");
+            inner.intern.remove(&*key);
+        }
+        while inner.sig_order.len() > snap.sigs {
+            let key = inner.sig_order.pop().expect("length checked");
+            inner.sigs.remove(&key);
+        }
+        inner.diseqs.truncate(snap.diseqs);
+        inner.nodes.truncate(snap.nodes);
+        inner.uses.truncate(snap.nodes);
+        inner.literal.truncate(snap.nodes);
+        inner.uf.truncate(snap.nodes);
+        inner.version = snap.version;
+        inner.contradiction = snap.contradiction;
     }
 
     /// Decides `a = b` from the closure: `Some(true)` when congruent,
@@ -105,15 +243,7 @@ impl Congruence {
             (Some(x), Some(y)) if x != y => return Some(false),
             _ => {}
         }
-        let separated = inner
-            .diseqs
-            .clone()
-            .into_iter()
-            .any(|(x, y)| {
-                let (rx, ry) = (inner.uf.find(x), inner.uf.find(y));
-                (rx == ra && ry == rb) || (rx == rb && ry == ra)
-            });
-        if separated {
+        if inner.separated(ra, rb) {
             return Some(false);
         }
         None
@@ -144,6 +274,17 @@ impl EqOracle for Congruence {
 }
 
 impl Inner {
+    /// `true` when an asserted disequality separates the two class roots
+    /// (in either orientation). Shared by `assert_neq`'s dedup (which
+    /// suppresses the version bump the quiescence skip relies on) and
+    /// `decide`'s separation answer, so the two can never drift apart.
+    fn separated(&self, ra: usize, rb: usize) -> bool {
+        self.diseqs.iter().any(|&(x, y)| {
+            let (rx, ry) = (self.uf.find(x), self.uf.find(y));
+            (rx == ra && ry == rb) || (rx == rb && ry == ra)
+        })
+    }
+
     fn intern_term(&mut self, t: &Term) -> usize {
         if let Some(&id) = self.intern.get(t) {
             return id;
@@ -162,11 +303,13 @@ impl Inner {
             for &c in &child_ids {
                 let rc = self.uf.find(c);
                 self.uses[rc].push(id);
+                self.trail.push(TrailOp::UsesPush(rc));
             }
             let sig = self.signature(&f, &child_ids);
             if let Some(&existing) = self.sigs.get(&sig) {
                 self.merge(existing, id);
             } else {
+                self.sig_order.push(sig.clone());
                 self.sigs.insert(sig, id);
             }
         }
@@ -182,7 +325,9 @@ impl Inner {
             Term::Lit(v) => Some(v.clone()),
             _ => None,
         });
-        self.intern.insert(t.clone(), id);
+        let key = Rc::new(t.clone());
+        self.intern_order.push(key.clone());
+        self.intern.insert(key, id);
         id
     }
 
@@ -202,19 +347,25 @@ impl Inner {
             if let (Some(lx), Some(ly)) = (&self.literal[rx], &self.literal[ry]) {
                 if lx != ly {
                     self.contradiction = true;
+                    self.version += 1;
                     return;
                 }
             }
-            let winner = match self.uf.union(rx, ry) {
-                Some(w) => w,
+            let undo = match self.uf.union(rx, ry) {
+                Some(undo) => undo,
                 None => continue,
             };
-            let loser = if winner == rx { ry } else { rx };
-            if self.literal[winner].is_none() {
+            let winner = undo.winner;
+            let loser = undo.loser;
+            self.trail.push(TrailOp::Union(undo));
+            self.version += 1;
+            if self.literal[winner].is_none() && self.literal[loser].is_some() {
                 self.literal[winner] = self.literal[loser].take();
+                self.trail.push(TrailOp::LiteralMove { winner, loser });
             }
             // Re-canonicalize parents of the losing class.
             let moved: Vec<usize> = std::mem::take(&mut self.uses[loser]);
+            let count = moved.len();
             for parent in moved {
                 if let Node::App(f, child_ids) = self.nodes[parent].clone() {
                     let sig = self.signature(&f, &child_ids);
@@ -223,10 +374,18 @@ impl Inner {
                             queue.push((existing, parent));
                         }
                     } else {
+                        self.sig_order.push(sig.clone());
                         self.sigs.insert(sig, parent);
                     }
                 }
                 self.uses[winner].push(parent);
+            }
+            if count > 0 {
+                self.trail.push(TrailOp::UsesMove {
+                    winner,
+                    loser,
+                    count,
+                });
             }
         }
         self.check_diseqs();
@@ -236,12 +395,13 @@ impl Inner {
         if self.contradiction {
             return;
         }
-        let diseqs = self.diseqs.clone();
-        for (x, y) in diseqs {
-            if self.uf.find(x) == self.uf.find(y) {
-                self.contradiction = true;
-                return;
-            }
+        let clash = self
+            .diseqs
+            .iter()
+            .any(|&(x, y)| self.uf.find(x) == self.uf.find(y));
+        if clash {
+            self.contradiction = true;
+            self.version += 1;
         }
     }
 }
@@ -336,5 +496,73 @@ mod tests {
         // g(1) and g(2) are unknown, but 1 ≠ 2 is decided.
         assert_eq!(cc.decide(&Term::int(1), &Term::int(2)), Some(false));
         assert_eq!(cc.decide(&f("g", [Term::int(1)]), &f("g", [Term::int(2)])), None);
+    }
+
+    #[test]
+    fn rollback_restores_everything() {
+        let cc = Congruence::new();
+        cc.assert_eq(&Term::var("a"), &Term::var("b"));
+        let (ga, gb) = (f("g", [Term::var("a")]), f("g", [Term::var("b")]));
+        assert_eq!(cc.decide(&ga, &gb), Some(true));
+        let version_before = cc.version();
+
+        let snap = cc.snapshot();
+        // Goal-local work: new terms, unions, a literal pin, a diseq, and
+        // finally a contradiction.
+        cc.assert_eq(&Term::var("c"), &Term::int(7));
+        cc.assert_neq(&Term::var("c"), &Term::var("d"));
+        cc.assert_eq(&f("h", [Term::var("a")]), &Term::var("d"));
+        assert_eq!(cc.decide(&Term::var("c"), &Term::var("d")), Some(false));
+        assert_eq!(cc.literal_of(&Term::var("c")), Some(Value::Int(7)));
+        cc.assert_eq(&Term::var("c"), &Term::var("d"));
+        assert!(cc.contradictory());
+
+        cc.rollback_to(&snap);
+        assert!(!cc.contradictory());
+        assert_eq!(cc.version(), version_before);
+        // Pre-snapshot state survives...
+        assert_eq!(cc.decide(&ga, &gb), Some(true));
+        // ...and post-snapshot facts are gone.
+        assert_eq!(cc.decide(&Term::var("c"), &Term::var("d")), None);
+        assert_eq!(cc.literal_of(&Term::var("c")), None);
+
+        // The closure is fully usable after rollback, including re-learning
+        // the same facts.
+        cc.assert_eq(&Term::var("c"), &Term::int(7));
+        assert_eq!(cc.literal_of(&Term::var("c")), Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn nested_snapshots_roll_back_in_order() {
+        let cc = Congruence::new();
+        cc.assert_eq(&Term::var("x"), &Term::var("y"));
+        let outer = cc.snapshot();
+        cc.assert_eq(&Term::var("y"), &Term::var("z"));
+        let inner = cc.snapshot();
+        cc.assert_neq(&Term::var("x"), &Term::var("w"));
+        assert_eq!(cc.decide(&Term::var("z"), &Term::var("w")), Some(false));
+        cc.rollback_to(&inner);
+        assert_eq!(cc.decide(&Term::var("z"), &Term::var("w")), None);
+        assert_eq!(cc.decide(&Term::var("x"), &Term::var("z")), Some(true));
+        cc.rollback_to(&outer);
+        assert_eq!(cc.decide(&Term::var("x"), &Term::var("z")), None);
+        assert_eq!(cc.decide(&Term::var("x"), &Term::var("y")), Some(true));
+    }
+
+    #[test]
+    fn rollback_restores_uses_so_later_merges_still_propagate() {
+        // Regression shape: the `uses` lists must survive a rollback that
+        // undoes a merge, or congruences discovered after the rollback
+        // would be missed.
+        let cc = Congruence::new();
+        let (ga, gb) = (f("g", [Term::var("a")]), f("g", [Term::var("b")]));
+        assert_eq!(cc.decide(&ga, &gb), None);
+        let snap = cc.snapshot();
+        cc.assert_eq(&Term::var("a"), &Term::var("b"));
+        assert_eq!(cc.decide(&ga, &gb), Some(true));
+        cc.rollback_to(&snap);
+        assert_eq!(cc.decide(&ga, &gb), None);
+        cc.assert_eq(&Term::var("a"), &Term::var("b"));
+        assert_eq!(cc.decide(&ga, &gb), Some(true));
     }
 }

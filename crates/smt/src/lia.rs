@@ -117,6 +117,31 @@ impl Default for LiaConfig {
 /// assert!(infeasible(&cs, &LiaConfig::default()));
 /// ```
 pub fn infeasible(constraints: &[LinConstraint], config: &LiaConfig) -> bool {
+    // Collect atoms in a deterministic order; eliminate one at a time.
+    let mut atoms: Vec<usize> = constraints
+        .iter()
+        .flat_map(|c| c.coeffs.keys().copied())
+        .collect();
+    atoms.sort_unstable();
+    atoms.dedup();
+    infeasible_with_order(constraints, &atoms, config)
+}
+
+/// [`infeasible`] with an explicit elimination order.
+///
+/// The solver passes the atoms' *first-seen traversal order* over the
+/// literal set: atom ids are congruence-class ids, whose numeric values
+/// depend on term-interning history, so eliminating in id order would make
+/// the refutation depend on how the closure was built. With an explicit,
+/// history-independent order, the fresh and incremental backends derive
+/// the identical constraint sequence. Atoms appearing in `constraints`
+/// but missing from `order` are appended in sorted-id order (they can
+/// only come from callers assembling constraints by hand).
+pub fn infeasible_with_order(
+    constraints: &[LinConstraint],
+    order: &[usize],
+    config: &LiaConfig,
+) -> bool {
     let mut cs: Vec<LinConstraint> = constraints
         .iter()
         .cloned()
@@ -125,13 +150,15 @@ pub fn infeasible(constraints: &[LinConstraint], config: &LiaConfig) -> bool {
     if cs.iter().any(LinConstraint::is_contradiction) {
         return true;
     }
-    // Collect atoms in a deterministic order; eliminate one at a time.
-    let mut atoms: Vec<usize> = cs
+    let mut atoms: Vec<usize> = order.to_vec();
+    let mut stragglers: Vec<usize> = cs
         .iter()
         .flat_map(|c| c.coeffs.keys().copied())
+        .filter(|a| !order.contains(a))
         .collect();
-    atoms.sort_unstable();
-    atoms.dedup();
+    stragglers.sort_unstable();
+    stragglers.dedup();
+    atoms.extend(stragglers);
 
     for atom in atoms {
         let (mut uppers, mut lowers, mut rest) = (Vec::new(), Vec::new(), Vec::new());

@@ -17,6 +17,10 @@
 //!    conditions and disjunctions with a bounded budget.
 //! 5. **Falsification** ([`falsify`]) — randomized and bounded-exhaustive
 //!    countermodel search by ground evaluation.
+//! 6. **Backends** ([`backend`]) — the pluggable incremental-session seam
+//!    ([`SolverSession`]: `push`/`pop`/`assert`/`check`), with the
+//!    stateless `fresh` engine and the default `incremental` engine that
+//!    keeps per-scope state on a backtrackable congruence closure.
 //!
 //! The solver is *three-valued*: [`Verdict::Proved`] and
 //! [`Verdict::Disproved`] are definitive; [`Verdict::Unknown`] is an honest
@@ -42,10 +46,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod congruence;
 pub mod falsify;
 pub mod lia;
 pub mod solver;
 mod union_find;
 
+pub use backend::{
+    BackendInfo, BackendKind, FreshBackend, IncrementalBackend, SessionStats, SolverBackend,
+    SolverSession,
+};
 pub use solver::{Solver, SolverConfig, Verdict};

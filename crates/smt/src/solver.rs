@@ -12,11 +12,12 @@
 use std::cell::Cell;
 use std::collections::BTreeMap;
 
+
 use commcsl_pure::rewrite::normalize;
 use commcsl_pure::{Func, Term, Value};
 
 use crate::congruence::Congruence;
-use crate::lia::{infeasible, LiaConfig, LinConstraint};
+use crate::lia::{infeasible_with_order, LiaConfig, LinConstraint};
 
 /// Outcome of a validity query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,9 +56,24 @@ impl Default for SolverConfig {
 }
 
 /// The solver. Stateless between queries; cheap to clone.
+///
+/// This type is the *fresh-per-query* engine: every [`Solver::check_valid`]
+/// rebuilds congruence and arithmetic state from the full hypothesis set.
+/// Callers discharging many goals against a shared, slowly-growing fact set
+/// should prefer an incremental session from
+/// [`crate::backend::BackendKind::Incremental`], which keeps per-scope
+/// state and is pinned verdict-identical on the verification corpus.
 #[derive(Debug, Clone, Default)]
 pub struct Solver {
     config: SolverConfig,
+}
+
+/// Outcome of the normalization/assertion fixpoint.
+pub(crate) enum Saturation {
+    /// A contradiction surfaced while saturating (sound refutation).
+    Refuted,
+    /// The saturated, flattened literal set.
+    Open(Vec<Term>),
 }
 
 impl Solver {
@@ -69,6 +85,11 @@ impl Solver {
     /// Creates a solver with explicit budgets.
     pub fn with_config(config: SolverConfig) -> Self {
         Solver { config }
+    }
+
+    /// The configured budgets.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
     }
 
     /// Checks whether `hyps ⊨ goal`.
@@ -90,10 +111,46 @@ impl Solver {
     /// conjunction is unsatisfiable (sound); `false` means "not refuted".
     pub fn refute(&self, literals: Vec<Term>) -> bool {
         let branches = Cell::new(0usize);
-        self.refute_rec(literals, self.config.max_depth, &branches)
+        self.refute_rec(literals, self.config.max_depth, &branches, false)
     }
 
-    fn refute_rec(&self, literals: Vec<Term>, depth: usize, branches: &Cell<usize>) -> bool {
+    /// Incremental-session entry point: refutes `base ∧ extra` where the
+    /// `base` literals are already saturated and asserted into `cc` (the
+    /// session's backtrackable per-scope closure — the caller rolls back
+    /// the goal-local mutations afterwards), so only the `extra` (goal)
+    /// literals are normalized at the top level. The base literals are
+    /// not copied unless the query survives to the case-split phase.
+    /// Case splits below the top level re-run the full fixpoint per
+    /// branch exactly as [`Solver::refute`] does, with quiescent rounds
+    /// skipped.
+    pub(crate) fn refute_seeded(&self, cc: &Congruence, base: &[Term], extra: Vec<Term>) -> bool {
+        if self.config.max_branches == 0 {
+            return false;
+        }
+        let branches = Cell::new(1usize);
+        let extra = match self.saturate(cc, extra, true) {
+            Saturation::Refuted => return true,
+            Saturation::Open(lits) => lits,
+        };
+        if self.lia_refutes_parts(cc, &[base, &extra]) {
+            return true;
+        }
+        if self.config.max_depth == 0 {
+            return false;
+        }
+        let mut lits = Vec::with_capacity(base.len() + extra.len());
+        lits.extend_from_slice(base);
+        lits.extend(extra);
+        self.split(cc, lits, self.config.max_depth, &branches, true)
+    }
+
+    fn refute_rec(
+        &self,
+        literals: Vec<Term>,
+        depth: usize,
+        branches: &Cell<usize>,
+        quiescence_skip: bool,
+    ) -> bool {
         if branches.get() >= self.config.max_branches {
             return false;
         }
@@ -106,35 +163,10 @@ impl Solver {
         }
 
         let cc = Congruence::new();
-        let mut lits = literals;
-
-        // Normalization/assertion fixpoint: rewriting may expose new
-        // equalities; asserted equalities enable more rewriting.
-        // Note: asserting literals grows the closure, which can enable
-        // further rewriting (e.g. a learned key disequality unlocking a
-        // `MapPut` reorder), so the loop always runs its full budget even
-        // when the literals themselves look unchanged.
-        let mut atoms: Vec<Term> = Vec::new();
-        for _round in 0..self.config.normalize_rounds {
-            atoms.clear();
-            let mut next: Vec<Term> = Vec::new();
-            for lit in &lits {
-                next.push(normalize_literal(lit, &cc));
-            }
-            lits = Vec::new();
-            for lit in next {
-                flatten_literal(lit, &mut lits);
-            }
-            for lit in &lits {
-                if *lit == Term::ff() {
-                    return true;
-                }
-                assert_literal(&cc, lit, &mut atoms);
-                if cc.contradictory() {
-                    return true;
-                }
-            }
-        }
+        let lits = match self.saturate(&cc, literals, quiescence_skip) {
+            Saturation::Refuted => return true,
+            Saturation::Open(lits) => lits,
+        };
 
         // Linear arithmetic.
         if self.lia_refutes(&cc, &lits) {
@@ -145,12 +177,88 @@ impl Solver {
             return false;
         }
 
-        // Case split: disjunctions first, then Ite conditions.
+        self.split(&cc, lits, depth, branches, quiescence_skip)
+    }
+
+    /// Normalization/assertion fixpoint: rewriting may expose new
+    /// equalities; asserted equalities enable more rewriting. Asserting
+    /// literals grows the closure, which can enable further rewriting
+    /// (e.g. a learned key disequality unlocking a `MapPut` reorder), so
+    /// by default the loop always runs its full round budget even when the
+    /// literals themselves look unchanged.
+    ///
+    /// With `quiescence_skip`, a round that changed neither the literal
+    /// set nor the closure's [`Congruence::version`] ends the loop: the
+    /// next round would see the byte-identical literal list and an oracle
+    /// answering every query the same way, so its output is provably the
+    /// same — the skip is exact, not an approximation. An unchanged
+    /// literal list also skips the re-assert pass (asserting identical
+    /// literals into the same closure is a no-op).
+    pub(crate) fn saturate(
+        &self,
+        cc: &Congruence,
+        mut lits: Vec<Term>,
+        quiescence_skip: bool,
+    ) -> Saturation {
+        for round in 0..self.config.normalize_rounds {
+            let version_before = cc.version();
+            let mut next: Vec<Term> = Vec::new();
+            for lit in &lits {
+                if quiescence_skip && round > 0 && !oracle_sensitive(lit) {
+                    // The literal's entire rewrite path is oracle-free
+                    // (arithmetic/boolean symbols only), so normalization
+                    // is a pure function of the term: round `k` would
+                    // reproduce round `k-1`'s output exactly.
+                    next.push(lit.clone());
+                } else {
+                    next.push(normalize_literal(lit, cc));
+                }
+            }
+            let mut flattened = Vec::new();
+            for lit in next {
+                flatten_literal(lit, &mut flattened);
+            }
+            // Round-0 inputs were never ff-checked or asserted, so the
+            // assert pass may only be skipped from round 1 on.
+            let lits_unchanged = round > 0 && flattened == lits;
+            lits = flattened;
+            if !(quiescence_skip && lits_unchanged) {
+                for lit in &lits {
+                    if *lit == Term::ff() {
+                        return Saturation::Refuted;
+                    }
+                    assert_literal(cc, lit);
+                    if cc.contradictory() {
+                        return Saturation::Refuted;
+                    }
+                }
+            } else if cc.contradictory() {
+                // Interning during normalization can derive a congruence
+                // that clashes with a literal even without new asserts.
+                return Saturation::Refuted;
+            }
+            if quiescence_skip && lits_unchanged && cc.version() == version_before {
+                break;
+            }
+        }
+        Saturation::Open(lits)
+    }
+
+    /// Case split: disjunctions first, then `Ite` conditions, then
+    /// undecided adjacent `MapPut` keys, then boolean equivalences.
+    fn split(
+        &self,
+        cc: &Congruence,
+        lits: Vec<Term>,
+        depth: usize,
+        branches: &Cell<usize>,
+        quiescence_skip: bool,
+    ) -> bool {
         if let Some((idx, disjuncts)) = find_disjunction(&lits) {
             for d in disjuncts {
                 let mut branch = lits.clone();
                 branch[idx] = d;
-                if !self.refute_rec(branch, depth - 1, branches) {
+                if !self.refute_rec(branch, depth - 1, branches, quiescence_skip) {
                     return false;
                 }
             }
@@ -168,14 +276,14 @@ impl Solver {
             let mut pos: Vec<Term> =
                 lits.iter().map(|l| replace_subterm(l, &ite, &then_t)).collect();
             pos.push(cond.clone());
-            if !self.refute_rec(pos, depth - 1, branches) {
+            if !self.refute_rec(pos, depth - 1, branches, quiescence_skip) {
                 return false;
             }
             // Branch 2: ¬cond.
             let mut neg: Vec<Term> =
                 lits.iter().map(|l| replace_subterm(l, &ite, &else_t)).collect();
             neg.push(Term::not(cond));
-            return self.refute_rec(neg, depth - 1, branches);
+            return self.refute_rec(neg, depth - 1, branches, quiescence_skip);
         }
 
         // Adjacent map updates with undecided key equality: split on the
@@ -183,15 +291,15 @@ impl Solver {
         // branch the rewriter sorts the chain. (This is how disjoint-range
         // put specifications are proved: the disequality follows from the
         // preconditions only inside a branch.)
-        if let Some((k1, k2)) = find_put_key_split(&lits, &cc) {
+        if let Some((k1, k2)) = find_put_key_split(&lits, cc) {
             let mut pos = lits.clone();
             pos.push(Term::eq(k1.clone(), k2.clone()));
-            if !self.refute_rec(pos, depth - 1, branches) {
+            if !self.refute_rec(pos, depth - 1, branches, quiescence_skip) {
                 return false;
             }
             let mut neg = lits;
             neg.push(Term::not(Term::eq(k1, k2)));
-            return self.refute_rec(neg, depth - 1, branches);
+            return self.refute_rec(neg, depth - 1, branches, quiescence_skip);
         }
 
         // Undetermined boolean equalities (Iff/Eq-on-bool) as a last resort.
@@ -205,7 +313,7 @@ impl Solver {
                 let mut branch = lits.clone();
                 branch.push(x);
                 branch.push(y);
-                if !self.refute_rec(branch, depth - 1, branches) {
+                if !self.refute_rec(branch, depth - 1, branches, quiescence_skip) {
                     return false;
                 }
             }
@@ -218,13 +326,28 @@ impl Solver {
     /// Collects linear constraints from the literal set plus structural
     /// axioms (`len ≥ 0`, cardinalities ≥ 0, class literals) and runs the
     /// Fourier–Motzkin refutation.
-    fn lia_refutes(&self, cc: &Congruence, lits: &[Term]) -> bool {
+    ///
+    /// Atoms are collected (and later eliminated) in *first-seen traversal
+    /// order* of the literal list, never in class-id order: class ids
+    /// depend on the closure's interning history, which differs between
+    /// the fresh and incremental backends even when the literal sets are
+    /// identical. Traversal order is a pure function of the literals, so
+    /// both backends run the identical elimination sequence.
+    pub(crate) fn lia_refutes(&self, cc: &Congruence, lits: &[Term]) -> bool {
+        self.lia_refutes_parts(cc, &[lits])
+    }
+
+    /// [`Solver::lia_refutes`] over a literal list split into consecutive
+    /// parts (the incremental path passes `[base, goal]` without
+    /// concatenating — constraint and atom order match the concatenation
+    /// exactly).
+    pub(crate) fn lia_refutes_parts(&self, cc: &Congruence, parts: &[&[Term]]) -> bool {
         let mut constraints: Vec<LinConstraint> = Vec::new();
-        let mut seen_atoms: BTreeMap<usize, Term> = BTreeMap::new();
+        let mut seen_atoms: Vec<(usize, Term)> = Vec::new();
 
         let add_le = |a: &Term, b: &Term, offset: i128,
                           constraints: &mut Vec<LinConstraint>,
-                          seen: &mut BTreeMap<usize, Term>| {
+                          seen: &mut Vec<(usize, Term)>| {
             // a - b + offset ≤ 0
             let mut coeffs: BTreeMap<usize, i128> = BTreeMap::new();
             let mut constant = offset;
@@ -233,7 +356,7 @@ impl Solver {
             constraints.push(LinConstraint::new(coeffs, constant));
         };
 
-        for lit in lits {
+        for lit in parts.iter().flat_map(|part| part.iter()) {
             match lit {
                 Term::App(Func::Le, args) => {
                     add_le(&args[0], &args[1], 0, &mut constraints, &mut seen_atoms)
@@ -262,10 +385,9 @@ impl Solver {
             return false;
         }
 
-        // Structural axioms for collected atoms.
-        let atoms: Vec<(usize, Term)> =
-            seen_atoms.iter().map(|(k, v)| (*k, v.clone())).collect();
-        for (id, atom) in atoms {
+        // Structural axioms for collected atoms, in first-seen order.
+        let order: Vec<usize> = seen_atoms.iter().map(|(id, _)| *id).collect();
+        for (id, atom) in seen_atoms {
             if let Term::App(f, _) = &atom {
                 if matches!(
                     f,
@@ -282,7 +404,7 @@ impl Solver {
             }
         }
 
-        infeasible(&constraints, &self.config.lia)
+        infeasible_with_order(&constraints, &order, &self.config.lia)
     }
 }
 
@@ -296,11 +418,12 @@ impl Solver {
 /// collapse after normalization is still detected — equal sides refute a
 /// disequality and discharge an equality.
 fn normalize_literal(lit: &Term, cc: &Congruence) -> Term {
+    let norm = |t: &Term| normalize(t, cc);
     match lit {
         Term::App(Func::Not, inner) => {
             if let Term::App(Func::Eq, ab) = &inner[0] {
-                let a = normalize(&ab[0], cc);
-                let b = normalize(&ab[1], cc);
+                let a = norm(&ab[0]);
+                let b = norm(&ab[1]);
                 if a == b {
                     return Term::ff();
                 }
@@ -310,11 +433,11 @@ fn normalize_literal(lit: &Term, cc: &Congruence) -> Term {
                 }
                 return Term::not(Term::eq(a, b));
             }
-            normalize(lit, cc)
+            norm(lit)
         }
         Term::App(Func::Eq, ab) => {
-            let a = normalize(&ab[0], cc);
-            let b = normalize(&ab[1], cc);
+            let a = norm(&ab[0]);
+            let b = norm(&ab[1]);
             if a == b {
                 return Term::tt();
             }
@@ -324,7 +447,7 @@ fn normalize_literal(lit: &Term, cc: &Congruence) -> Term {
             }
             Term::eq(a, b)
         }
-        _ => normalize(lit, cc),
+        _ => norm(lit),
     }
 }
 
@@ -379,7 +502,7 @@ fn flatten_literal(lit: Term, out: &mut Vec<Term>) {
 /// Asserts one literal into the congruence closure. Arithmetic atoms are
 /// additionally handled by [`Solver::lia_refutes`]; boolean atoms are pinned
 /// to `true`/`false`.
-fn assert_literal(cc: &Congruence, lit: &Term, _atoms: &mut Vec<Term>) {
+pub(crate) fn assert_literal(cc: &Congruence, lit: &Term) {
     match lit {
         Term::App(Func::Eq, args) => cc.assert_eq(&args[0], &args[1]),
         Term::App(Func::Not, inner) => match &inner[0] {
@@ -396,6 +519,43 @@ fn assert_literal(cc: &Congruence, lit: &Term, _atoms: &mut Vec<Term>) {
     }
 }
 
+/// `true` when normalizing `t` may consult the equality oracle (and can
+/// therefore produce different output as the closure learns facts).
+///
+/// The whitelist below is exactly the set of symbols whose rewrite rules
+/// in `commcsl_pure::rewrite` are oracle-free (`rewrite_cmp`,
+/// `normalize_linear`, `rewrite_mul`, `rewrite_mod`, `rewrite_ac_minmax`,
+/// `rewrite_not`, `rewrite_ac_bool`, and the inline `Implies`/`Iff`
+/// arms take no oracle; constant folding is ground evaluation). Anything
+/// else — equalities, `Ite`, every collection symbol, uninterpreted
+/// applications — is conservatively sensitive.
+fn oracle_sensitive(t: &Term) -> bool {
+    match t {
+        Term::Var(_) | Term::Lit(_) => false,
+        Term::App(f, args) => {
+            let oracle_free = matches!(
+                f,
+                Func::Add
+                    | Func::Sub
+                    | Func::Mul
+                    | Func::Div
+                    | Func::Mod
+                    | Func::Neg
+                    | Func::Max
+                    | Func::Min
+                    | Func::Lt
+                    | Func::Le
+                    | Func::Not
+                    | Func::And
+                    | Func::Or
+                    | Func::Implies
+                    | Func::Iff
+            );
+            !oracle_free || args.iter().any(oracle_sensitive)
+        }
+    }
+}
+
 /// Decomposes a normalized integer term into linear (atom, coeff) pairs.
 fn decompose(
     t: &Term,
@@ -403,7 +563,7 @@ fn decompose(
     cc: &Congruence,
     coeffs: &mut BTreeMap<usize, i128>,
     constant: &mut i128,
-    seen: &mut BTreeMap<usize, Term>,
+    seen: &mut Vec<(usize, Term)>,
 ) {
     match t {
         Term::Lit(Value::Int(n)) => *constant += scale * (*n as i128),
@@ -432,12 +592,14 @@ fn add_atom(
     scale: i128,
     cc: &Congruence,
     coeffs: &mut BTreeMap<usize, i128>,
-    seen: &mut BTreeMap<usize, Term>,
+    seen: &mut Vec<(usize, Term)>,
 ) {
     // Atoms are identified up to congruence; a known integer literal for the
     // class folds into the constant via the pinning constraints added later.
     let id = cc.class_id(t);
-    seen.entry(id).or_insert_with(|| t.clone());
+    if !seen.iter().any(|(seen_id, _)| *seen_id == id) {
+        seen.push((id, t.clone()));
+    }
     *coeffs.entry(id).or_insert(0) += scale;
 }
 

@@ -1,10 +1,29 @@
-//! Union-find with path compression and union by rank.
+//! Union-find with union by rank — deliberately *without* path
+//! compression.
+//!
+//! The congruence closure supports snapshot/rollback (the incremental
+//! solver sessions backtrack goal-local state instead of cloning), and
+//! unions must therefore be undoable in O(1): `union` links root→root
+//! and is reversed by [`UnionFind::undo_union`]. Path compression would
+//! rewrite arbitrary parent edges through a link being undone, which is
+//! exactly the entanglement that makes compressed forests non-
+//! backtrackable; union by rank alone keeps every find at O(log n),
+//! which is plenty at this solver's scales — and roots (hence class
+//! ids) are identical with or without compression.
 
 /// A classic disjoint-set forest over `usize` ids.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct UnionFind {
     parent: Vec<usize>,
     rank: Vec<u32>,
+}
+
+/// What a [`UnionFind::union`] did, as needed to undo it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct UnionUndo {
+    pub winner: usize,
+    pub loser: usize,
+    pub old_winner_rank: u32,
 }
 
 impl UnionFind {
@@ -22,24 +41,18 @@ impl UnionFind {
         self.parent.len()
     }
 
-    /// Finds the representative of `x` (with path compression).
-    pub fn find(&mut self, x: usize) -> usize {
+    /// Finds the representative of `x` (no compression; see module docs).
+    pub fn find(&self, x: usize) -> usize {
         let mut root = x;
         while self.parent[root] != root {
             root = self.parent[root];
         }
-        let mut cur = x;
-        while self.parent[cur] != root {
-            let next = self.parent[cur];
-            self.parent[cur] = root;
-            cur = next;
-        }
         root
     }
 
-    /// Merges the classes of `a` and `b`; returns the surviving root, or
+    /// Merges the classes of `a` and `b`; returns the undo record, or
     /// `None` when they were already merged.
-    pub fn union(&mut self, a: usize, b: usize) -> Option<usize> {
+    pub fn union(&mut self, a: usize, b: usize) -> Option<UnionUndo> {
         let (ra, rb) = (self.find(a), self.find(b));
         if ra == rb {
             return None;
@@ -49,11 +62,37 @@ impl UnionFind {
         } else {
             (rb, ra)
         };
+        let undo = UnionUndo {
+            winner,
+            loser,
+            old_winner_rank: self.rank[winner],
+        };
         self.parent[loser] = winner;
         if self.rank[winner] == self.rank[loser] {
             self.rank[winner] += 1;
         }
-        Some(winner)
+        Some(undo)
+    }
+
+    /// Reverses a [`UnionFind::union`]. Undos must be applied in reverse
+    /// order of the unions (the congruence closure's trail guarantees
+    /// this), so at undo time `loser` is a direct child of `winner`.
+    pub fn undo_union(&mut self, undo: UnionUndo) {
+        debug_assert_eq!(self.parent[undo.loser], undo.winner);
+        self.parent[undo.loser] = undo.loser;
+        self.rank[undo.winner] = undo.old_winner_rank;
+    }
+
+    /// Discards the `n`-th element onward (rollback of fresh nodes; every
+    /// union involving them must already be undone).
+    pub fn truncate(&mut self, n: usize) {
+        debug_assert!(self
+            .parent
+            .iter()
+            .take(n)
+            .all(|&p| p < n));
+        self.parent.truncate(n);
+        self.rank.truncate(n);
     }
 }
 
@@ -75,5 +114,40 @@ mod tests {
         uf.union(b, c);
         assert_eq!(uf.find(a), uf.find(c));
         assert_eq!(uf.len(), 3);
+    }
+
+    #[test]
+    fn unions_undo_in_reverse_order() {
+        let mut uf = UnionFind::default();
+        let ids: Vec<usize> = (0..6).map(|_| uf.push()).collect();
+        let u1 = uf.union(ids[0], ids[1]).unwrap();
+        let u2 = uf.union(ids[2], ids[3]).unwrap();
+        let u3 = uf.union(ids[0], ids[2]).unwrap();
+        assert_eq!(uf.find(ids[1]), uf.find(ids[3]));
+        uf.undo_union(u3);
+        assert_ne!(uf.find(ids[1]), uf.find(ids[3]));
+        assert_eq!(uf.find(ids[0]), uf.find(ids[1]));
+        uf.undo_union(u2);
+        assert_ne!(uf.find(ids[2]), uf.find(ids[3]));
+        uf.undo_union(u1);
+        for (i, &x) in ids.iter().enumerate() {
+            assert_eq!(uf.find(x), x, "element {i} is a singleton again");
+        }
+    }
+
+    #[test]
+    fn truncate_discards_fresh_elements() {
+        let mut uf = UnionFind::default();
+        let a = uf.push();
+        let b = uf.push();
+        let undo_ab = uf.union(a, b).unwrap();
+        let c = uf.push();
+        let undo = uf.union(a, c).unwrap();
+        uf.undo_union(undo);
+        uf.truncate(2);
+        assert_eq!(uf.len(), 2);
+        assert_eq!(uf.find(a), uf.find(b));
+        uf.undo_union(undo_ab);
+        assert_ne!(uf.find(a), uf.find(b));
     }
 }

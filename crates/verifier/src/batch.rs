@@ -15,7 +15,7 @@
 //! tests here and by the fixture-wide integration test
 //! (`tests/batch_parallel.rs` at the workspace root).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -31,6 +31,12 @@ pub struct BatchConfig {
     pub threads: usize,
     /// The per-program verifier configuration.
     pub verifier: VerifierConfig,
+    /// Stop dispatching new programs once one has *failed* verification.
+    /// Programs already in flight on other workers still finish;
+    /// never-dispatched programs come back with
+    /// [`BatchResult::skipped`] set. With `threads: 1` the cut is
+    /// deterministic: everything after the first failure is skipped.
+    pub fail_fast: bool,
 }
 
 impl BatchConfig {
@@ -58,10 +64,24 @@ pub struct BatchResult {
     pub index: usize,
     /// Program name (copied from the input for convenient reporting).
     pub program: String,
-    /// The full verification report.
+    /// The full verification report. For a skipped program this is a
+    /// placeholder (no obligations, one explanatory error) that never
+    /// counts as verified and must never be cached.
     pub report: VerifierReport,
     /// Wall-clock time spent verifying this program.
     pub time: Duration,
+    /// `true` when fail-fast stopped the batch before this program was
+    /// dispatched; its `report` is a placeholder, not a verdict.
+    pub skipped: bool,
+}
+
+/// The placeholder report for a program skipped by fail-fast.
+pub(crate) fn skipped_report(name: &str) -> VerifierReport {
+    VerifierReport {
+        program: name.to_owned(),
+        obligations: Vec::new(),
+        errors: vec!["skipped: fail-fast stopped the batch after an earlier failure".into()],
+    }
 }
 
 /// Verifies every program of `programs` across a thread pool and returns
@@ -106,6 +126,7 @@ pub fn verify_batch_ref(
     // input index, so output order is input order whatever the
     // interleaving was.
     let cursor = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
     let slots: Vec<Mutex<Option<BatchResult>>> =
         (0..jobs).map(|_| Mutex::new(None)).collect();
 
@@ -117,14 +138,28 @@ pub fn verify_batch_ref(
                     break;
                 }
                 let program = programs[index];
+                if config.fail_fast && stop.load(Ordering::Relaxed) {
+                    *slots[index].lock().expect("batch slot poisoned") = Some(BatchResult {
+                        index,
+                        program: program.name.clone(),
+                        report: skipped_report(&program.name),
+                        time: Duration::ZERO,
+                        skipped: true,
+                    });
+                    continue;
+                }
                 let start = Instant::now();
                 let report = verify(program, &config.verifier);
                 let time = start.elapsed();
+                if config.fail_fast && !report.verified() {
+                    stop.store(true, Ordering::Relaxed);
+                }
                 *slots[index].lock().expect("batch slot poisoned") = Some(BatchResult {
                     index,
                     program: program.name.clone(),
                     report,
                     time,
+                    skipped: false,
                 });
             });
         }
@@ -224,6 +259,27 @@ mod tests {
         assert_eq!(BatchConfig::with_threads(2).effective_threads(3), 2);
         assert!(BatchConfig::with_threads(0).effective_threads(100) >= 1);
         assert_eq!(BatchConfig::with_threads(4).effective_threads(0), 1);
+    }
+
+    #[test]
+    fn fail_fast_skips_programs_after_the_first_failure() {
+        let programs = sample_programs(); // [ok, leaky, trivial]
+        let mut config = BatchConfig::with_threads(1);
+        config.fail_fast = true;
+        let results = verify_batch(&programs, &config);
+        assert!(!results[0].skipped && results[0].report.verified());
+        assert!(!results[1].skipped && !results[1].report.verified());
+        assert!(results[2].skipped, "third program is never dispatched");
+        assert!(
+            !results[2].report.verified(),
+            "skipped programs never count as verified"
+        );
+        assert!(results[2].report.errors[0].contains("fail-fast"));
+
+        // Without fail-fast everything runs.
+        let results = verify_batch(&programs, &BatchConfig::with_threads(1));
+        assert!(results.iter().all(|r| !r.skipped));
+        assert!(results[2].report.verified());
     }
 
     #[test]

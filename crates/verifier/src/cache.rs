@@ -31,6 +31,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::batch::{verify_batch_ref, BatchConfig};
+use crate::diag::{CexBinding, Counterexample, DiagnosticCode, Failure, SourceSpan};
 use crate::hash::{program_hash, ProgramHash, HASH_FORMAT_VERSION};
 use crate::program::AnnotatedProgram;
 use crate::report::{ObligationResult, ObligationStatus, VerifierConfig, VerifierReport};
@@ -76,9 +77,37 @@ fn unescape(s: &str) -> Option<String> {
     Some(out)
 }
 
+/// Renders an obligation's code and optional span as the two leading
+/// tab-separated fields shared by `proved`/`failed` lines (`-` = no span).
+fn encode_code_span(o: &ObligationResult) -> String {
+    let span = o
+        .span
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| "-".to_owned());
+    format!("{}\t{}", o.code.as_str(), span)
+}
+
+fn decode_code_span(code: &str, span: &str) -> Option<(DiagnosticCode, Option<SourceSpan>)> {
+    let code = code.parse::<DiagnosticCode>().ok()?;
+    let span = match span {
+        "-" => None,
+        s => Some(s.parse::<SourceSpan>().ok()?),
+    };
+    Some((code, span))
+}
+
 /// Serializes a verdict to the on-disk format. The embedded `key` makes
 /// the file self-validating: a file renamed or copied to the wrong
 /// address is rejected on load.
+///
+/// Obligation lines:
+///
+/// ```text
+/// proved <code>\t<span|->\t<description>
+/// failed <code>\t<span|->\t<description>\t<reason>
+/// failedc <n>\t<code>\t<span|->\t<description>\t<reason>
+/// cex <var>\t<exec1>\t<exec2>        (exactly n, after a failedc line)
+/// ```
 fn encode_verdict(key: ProgramHash, report: &VerifierReport) -> String {
     let mut out = String::new();
     out.push_str(&format!("{VERDICT_MAGIC} {HASH_FORMAT_VERSION}\n"));
@@ -90,15 +119,39 @@ fn encode_verdict(key: ProgramHash, report: &VerifierReport) -> String {
     for o in &report.obligations {
         match &o.status {
             ObligationStatus::Proved => {
-                out.push_str(&format!("proved {}\n", escape(&o.description)));
-            }
-            ObligationStatus::Failed(why) => {
                 out.push_str(&format!(
-                    "failed {}\t{}\n",
-                    escape(&o.description),
-                    escape(why)
+                    "proved {}\t{}\n",
+                    encode_code_span(o),
+                    escape(&o.description)
                 ));
             }
+            ObligationStatus::Failed(failure) => match &failure.counterexample {
+                None => {
+                    out.push_str(&format!(
+                        "failed {}\t{}\t{}\n",
+                        encode_code_span(o),
+                        escape(&o.description),
+                        escape(&failure.reason)
+                    ));
+                }
+                Some(cex) => {
+                    out.push_str(&format!(
+                        "failedc {}\t{}\t{}\t{}\n",
+                        cex.bindings.len(),
+                        encode_code_span(o),
+                        escape(&o.description),
+                        escape(&failure.reason)
+                    ));
+                    for b in &cex.bindings {
+                        out.push_str(&format!(
+                            "cex {}\t{}\t{}\n",
+                            escape(&b.var),
+                            escape(&b.exec1),
+                            escape(&b.exec2)
+                        ));
+                    }
+                }
+            },
         }
     }
     out
@@ -117,8 +170,37 @@ fn decode_verdict(key: ProgramHash, text: &str) -> Option<VerifierReport> {
     }
     let program = unescape(lines.next()?.strip_prefix("program ")?)?;
     let mut errors = Vec::new();
-    let mut obligations = Vec::new();
+    let mut obligations: Vec<ObligationResult> = Vec::new();
+    let mut pending_cex: usize = 0;
     for line in lines {
+        if let Some(rest) = line.strip_prefix("cex ") {
+            if pending_cex == 0 {
+                return None;
+            }
+            pending_cex -= 1;
+            let mut fields = rest.split('\t');
+            let binding = CexBinding {
+                var: unescape(fields.next()?)?,
+                exec1: unescape(fields.next()?)?,
+                exec2: unescape(fields.next()?)?,
+            };
+            if fields.next().is_some() {
+                return None;
+            }
+            match &mut obligations.last_mut()?.status {
+                ObligationStatus::Failed(failure) => failure
+                    .counterexample
+                    .as_mut()?
+                    .bindings
+                    .push(binding),
+                ObligationStatus::Proved => return None,
+            }
+            continue;
+        }
+        if pending_cex != 0 {
+            // Fewer `cex` lines than announced ⇒ corrupt.
+            return None;
+        }
         if let Some(rest) = line.strip_prefix("error ") {
             // Errors precede obligations in the encoding; an error line
             // after an obligation line means the file was hand-edited.
@@ -127,19 +209,56 @@ fn decode_verdict(key: ProgramHash, text: &str) -> Option<VerifierReport> {
             }
             errors.push(unescape(rest)?);
         } else if let Some(rest) = line.strip_prefix("proved ") {
+            let mut fields = rest.split('\t');
+            let (code, span) = decode_code_span(fields.next()?, fields.next()?)?;
+            let description = unescape(fields.next()?)?;
+            if fields.next().is_some() {
+                return None;
+            }
             obligations.push(ObligationResult {
-                description: unescape(rest)?,
+                description,
+                code,
+                span,
                 status: ObligationStatus::Proved,
             });
         } else if let Some(rest) = line.strip_prefix("failed ") {
-            let (desc, why) = rest.split_once('\t')?;
+            let mut fields = rest.split('\t');
+            let (code, span) = decode_code_span(fields.next()?, fields.next()?)?;
+            let description = unescape(fields.next()?)?;
+            let reason = unescape(fields.next()?)?;
+            if fields.next().is_some() {
+                return None;
+            }
             obligations.push(ObligationResult {
-                description: unescape(desc)?,
-                status: ObligationStatus::Failed(unescape(why)?),
+                description,
+                code,
+                span,
+                status: ObligationStatus::Failed(Failure::new(reason)),
             });
+        } else if let Some(rest) = line.strip_prefix("failedc ") {
+            let mut fields = rest.split('\t');
+            let count: usize = fields.next()?.parse().ok()?;
+            let (code, span) = decode_code_span(fields.next()?, fields.next()?)?;
+            let description = unescape(fields.next()?)?;
+            let reason = unescape(fields.next()?)?;
+            if fields.next().is_some() {
+                return None;
+            }
+            obligations.push(ObligationResult {
+                description,
+                code,
+                span,
+                status: ObligationStatus::Failed(
+                    Failure::new(reason).with_counterexample(Counterexample::default()),
+                ),
+            });
+            pending_cex = count;
         } else {
             return None;
         }
+    }
+    if pending_cex != 0 {
+        return None;
     }
     Some(VerifierReport {
         program,
@@ -423,10 +542,14 @@ pub struct CachedResult {
     pub index: usize,
     /// The content address of the job.
     pub key: ProgramHash,
-    /// The verdict (identical whether cached or computed).
+    /// The verdict (identical whether cached or computed). A placeholder
+    /// when `skipped`.
     pub report: VerifierReport,
     /// `true` when the verdict was served from cache.
     pub cached: bool,
+    /// `true` when fail-fast stopped the batch before this program ran;
+    /// skipped placeholders are never stored in the cache.
+    pub skipped: bool,
     /// Wall-clock time for this program (lookup or verification).
     pub time: Duration,
 }
@@ -473,6 +596,22 @@ impl CachedVerifier {
     /// concurrent callers (daemon sessions) do not serialize on file
     /// I/O.
     pub fn verify_batch(&self, programs: &[&AnnotatedProgram]) -> Vec<CachedResult> {
+        self.verify_batch_opts(programs, self.batch.fail_fast)
+    }
+
+    /// [`CachedVerifier::verify_batch`] with an explicit fail-fast
+    /// override (the daemon protocol carries the flag per request).
+    ///
+    /// Fail-fast semantics through a cache: hits are always answered
+    /// (they cost nothing); once a *hit* is known to fail, misses later
+    /// in the batch are skipped without dispatch, and the dispatched
+    /// misses themselves run under fail-fast. Skipped placeholders are
+    /// never stored.
+    pub fn verify_batch_opts(
+        &self,
+        programs: &[&AnnotatedProgram],
+        fail_fast: bool,
+    ) -> Vec<CachedResult> {
         let keys: Vec<ProgramHash> = programs
             .iter()
             .map(|p| program_hash(p, &self.batch.verifier))
@@ -492,6 +631,7 @@ impl CachedVerifier {
                         key,
                         report,
                         cached: true,
+                        skipped: false,
                         time: start.elapsed(),
                     })),
                     Err(path) => {
@@ -522,11 +662,37 @@ impl CachedVerifier {
                             key: keys[index],
                             report,
                             cached: true,
+                            skipped: false,
                             time: start.elapsed(),
                         })
                     }
                     None => misses.push(index),
                 }
+            }
+        }
+
+        // With fail-fast, a failing cache *hit* already stops dispatch:
+        // every miss after the first failing hit is answered with a
+        // skipped placeholder instead of being verified.
+        if fail_fast {
+            let first_failed_hit = results
+                .iter()
+                .flatten()
+                .filter(|r| !r.skipped && !r.report.verified())
+                .map(|r| r.index)
+                .min();
+            if let Some(stop) = first_failed_hit {
+                for &slot in misses.iter().filter(|&&s| s > stop) {
+                    results[slot] = Some(CachedResult {
+                        index: slot,
+                        key: keys[slot],
+                        report: crate::batch::skipped_report(&programs[slot].name),
+                        cached: false,
+                        skipped: true,
+                        time: Duration::ZERO,
+                    });
+                }
+                misses.retain(|&s| s < stop);
             }
         }
 
@@ -546,11 +712,27 @@ impl CachedVerifier {
             }
             let miss_programs: Vec<&AnnotatedProgram> =
                 unique.iter().map(|&i| programs[i]).collect();
-            let verified = verify_batch_ref(&miss_programs, &self.batch);
+            let mut batch_config = self.batch.clone();
+            batch_config.fail_fast = fail_fast;
+            let verified = verify_batch_ref(&miss_programs, &batch_config);
 
             let mut fresh: HashMap<ProgramHash, VerifierReport> = HashMap::new();
             for (slot, result) in unique.iter().zip(verified) {
                 let key = keys[*slot];
+                if result.skipped {
+                    // Fail-fast placeholder: surfaced to the caller but
+                    // never written to either cache tier — it is not a
+                    // verdict.
+                    results[*slot] = Some(CachedResult {
+                        index: *slot,
+                        key,
+                        report: result.report,
+                        cached: false,
+                        skipped: true,
+                        time: result.time,
+                    });
+                    continue;
+                }
                 // Disk write outside the lock; a failed write only means
                 // the verdict will be recomputed after a restart.
                 if let Some(Some(path)) = disk_paths.get(slot) {
@@ -562,6 +744,7 @@ impl CachedVerifier {
                     key,
                     report: result.report,
                     cached: false,
+                    skipped: false,
                     time: result.time,
                 });
             }
@@ -574,17 +757,30 @@ impl CachedVerifier {
             for &slot in &misses {
                 if results[slot].is_none() {
                     let key = keys[slot];
-                    let report = fresh
-                        .get(&key)
-                        .expect("duplicate of a key verified in this batch")
-                        .clone();
-                    results[slot] = Some(CachedResult {
-                        index: slot,
-                        key,
-                        report,
-                        cached: true,
-                        time: Duration::ZERO,
-                    });
+                    match fresh.get(&key) {
+                        Some(report) => {
+                            results[slot] = Some(CachedResult {
+                                index: slot,
+                                key,
+                                report: report.clone(),
+                                cached: true,
+                                skipped: false,
+                                time: Duration::ZERO,
+                            });
+                        }
+                        None => {
+                            // The duplicate's representative was skipped
+                            // by fail-fast; this slot is skipped too.
+                            results[slot] = Some(CachedResult {
+                                index: slot,
+                                key,
+                                report: crate::batch::skipped_report(&programs[slot].name),
+                                cached: false,
+                                skipped: true,
+                                time: Duration::ZERO,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -647,11 +843,38 @@ mod tests {
             obligations: vec![
                 ObligationResult {
                     description: "pre of Put\tat worker 1".into(),
+                    code: DiagnosticCode::ActionPre,
+                    span: Some(SourceSpan::new(4, 11)),
                     status: ObligationStatus::Proved,
                 },
                 ObligationResult {
                     description: "Low(out)".into(),
-                    status: ObligationStatus::Failed("ctr\r\nmodel".into()),
+                    code: DiagnosticCode::LowOutput,
+                    span: None,
+                    status: ObligationStatus::Failed(
+                        Failure::new("ctr\r\nmodel").with_counterexample(Counterexample {
+                            bindings: vec![
+                                CexBinding {
+                                    var: "h\twith tab".into(),
+                                    exec1: "Int(0)".into(),
+                                    exec2: "Int(\n1)".into(),
+                                },
+                                CexBinding {
+                                    var: "k".into(),
+                                    exec1: "Seq([])".into(),
+                                    exec2: "Seq([])".into(),
+                                },
+                            ],
+                        }),
+                    ),
+                },
+                ObligationResult {
+                    description: "empty cex stays Some".into(),
+                    code: DiagnosticCode::LowAssert,
+                    span: None,
+                    status: ObligationStatus::Failed(
+                        Failure::new("no witness").with_counterexample(Counterexample::default()),
+                    ),
                 },
             ],
             errors: vec!["guard \\ misuse".into()],
@@ -660,12 +883,7 @@ mod tests {
         let decoded = decode_verdict(key, &encode_verdict(key, &report)).unwrap();
         assert_eq!(decoded.program, report.program);
         assert_eq!(decoded.errors, report.errors);
-        assert_eq!(decoded.obligations.len(), 2);
-        assert_eq!(decoded.obligations[0].status, ObligationStatus::Proved);
-        assert_eq!(
-            decoded.obligations[1].status,
-            ObligationStatus::Failed("ctr\r\nmodel".into())
-        );
+        assert_eq!(decoded.obligations, report.obligations);
         // Byte-identical JSON rendering — the cache's core guarantee.
         assert_eq!(decoded.to_json(), report.to_json());
     }
@@ -690,6 +908,44 @@ mod tests {
         assert!(decode_verdict(ProgramHash(7), "").is_none());
         assert!(decode_verdict(ProgramHash(7), &good[..good.len() / 2]).is_none());
         assert!(decode_verdict(ProgramHash(7), &format!("{good}garbage\n")).is_none());
+
+        // A counterexample announcing more bindings than present, and
+        // stray `cex` lines, are corrupt.
+        let with_cex = VerifierReport {
+            program: "p".into(),
+            obligations: vec![ObligationResult {
+                description: "d".into(),
+                code: DiagnosticCode::LowOutput,
+                span: None,
+                status: ObligationStatus::Failed(
+                    Failure::new("r").with_counterexample(Counterexample {
+                        bindings: vec![
+                            CexBinding {
+                                var: "a".into(),
+                                exec1: "1".into(),
+                                exec2: "2".into(),
+                            },
+                            CexBinding {
+                                var: "b".into(),
+                                exec1: "1".into(),
+                                exec2: "1".into(),
+                            },
+                        ],
+                    }),
+                ),
+            }],
+            errors: vec![],
+        };
+        let encoded = encode_verdict(ProgramHash(7), &with_cex);
+        assert!(decode_verdict(ProgramHash(7), &encoded).is_some());
+        let truncated: String = encoded
+            .lines()
+            .take(encoded.lines().count() - 1)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(decode_verdict(ProgramHash(7), &truncated).is_none());
+        let stray = format!("{encoded}cex z\t0\t0\n");
+        assert!(decode_verdict(ProgramHash(7), &stray).is_none());
     }
 
     #[test]
@@ -789,6 +1045,41 @@ mod tests {
         assert!(results[2].cached, "duplicate slot is served, not recomputed");
         assert_eq!(results[0].key, results[2].key);
         assert_eq!(results[0].report.to_json(), results[2].report.to_json());
+    }
+
+    #[test]
+    fn backend_config_change_is_a_cache_miss_never_stale() {
+        use commcsl_smt::BackendKind;
+
+        let program = ok_program("backend-miss");
+        let incremental_config = VerifierConfig::default();
+        let fresh_config = VerifierConfig {
+            backend: BackendKind::Fresh,
+            ..Default::default()
+        };
+        let dir = temp_dir("backend-miss");
+        let mut cache = VerdictCache::new(CacheConfig::persistent(&dir));
+
+        let incremental_key = program_hash(&program, &incremental_config);
+        cache.put(incremental_key, &verify(&program, &incremental_config));
+
+        // A different backend (or counterexample knob) is a different
+        // address: the stored verdict is never served for it.
+        let fresh_key = program_hash(&program, &fresh_config);
+        assert_ne!(incremental_key, fresh_key);
+        assert!(cache.get(fresh_key).is_none(), "must miss, never stale");
+        assert!(cache.get(incremental_key).is_some());
+
+        let nocex_key = program_hash(
+            &program,
+            &VerifierConfig {
+                counterexamples: false,
+                ..Default::default()
+            },
+        );
+        assert_ne!(incremental_key, nocex_key);
+        assert!(cache.get(nocex_key).is_none());
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

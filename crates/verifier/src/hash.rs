@@ -35,7 +35,12 @@ use crate::report::VerifierConfig;
 
 /// Version of the hash encoding *and* of verdict semantics. Bumping this
 /// invalidates all cached verdicts (they key on the hash).
-pub const HASH_FORMAT_VERSION: u32 = 1;
+///
+/// v2: reports grew structured diagnostics (stable codes, source spans,
+/// per-execution counterexamples), the solver backend became pluggable,
+/// and the backend/counterexample knobs joined the hashed configuration —
+/// any v1 verdict would replay without those fields.
+pub const HASH_FORMAT_VERSION: u32 = 2;
 
 const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
 const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
@@ -461,6 +466,20 @@ impl StableHash for AnnotatedProgram {
         h.write_str(&self.name);
         hash_slice(&self.resources, h);
         hash_slice(&self.body, h);
+        // Source spans are report payload (failed obligations embed them),
+        // so they address the verdict even though program *equality*
+        // ignores them: a reformatted source must not replay a cached
+        // report carrying the old positions.
+        h.tag("spans");
+        h.write_usize(self.spans.len());
+        for (path, span) in &self.spans {
+            h.write_usize(path.len());
+            for component in path {
+                h.write_u32(*component);
+            }
+            h.write_u32(span.line);
+            h.write_u32(span.col);
+        }
     }
 }
 
@@ -485,6 +504,16 @@ impl StableHash for VerifierConfig {
             h.write_usize(falsify.gen.max_len);
             h.write_usize(falsify.gen.max_depth);
         }
+        // Backend choices and diagnostic knobs: backends are pinned
+        // verdict-identical on the corpus, but the cache must never bet on
+        // that — a backend (or counterexample-search) change is always a
+        // different address, a miss, never a stale verdict.
+        h.tag("backend");
+        h.write_str(self.backend.name());
+        h.tag("validity-backend");
+        h.write_str(self.validity.backend.name());
+        h.tag("counterexamples");
+        h.write(&[u8::from(self.counterexamples)]);
     }
 }
 
@@ -556,6 +585,36 @@ mod tests {
         let mut deep = VerifierConfig::default();
         deep.solver.max_depth += 1;
         assert_ne!(program_hash(&sample(), &deep), base);
+    }
+
+    #[test]
+    fn backend_and_diagnostic_knobs_address_the_verdict() {
+        use commcsl_smt::BackendKind;
+
+        let config = VerifierConfig::default();
+        let base = program_hash(&sample(), &config);
+
+        let fresh = VerifierConfig {
+            backend: BackendKind::Fresh,
+            ..Default::default()
+        };
+        assert_ne!(program_hash(&sample(), &fresh), base);
+
+        let mut vfresh = VerifierConfig::default();
+        vfresh.validity.backend = BackendKind::Fresh;
+        assert_ne!(program_hash(&sample(), &vfresh), base);
+
+        let nocex = VerifierConfig {
+            counterexamples: false,
+            ..Default::default()
+        };
+        assert_ne!(program_hash(&sample(), &nocex), base);
+
+        // Spans address the verdict even though program equality ignores
+        // them (reports embed the positions).
+        let spanned = sample().with_span(vec![0], crate::diag::SourceSpan::new(1, 1));
+        assert_eq!(spanned, sample(), "equality ignores spans");
+        assert_ne!(program_hash(&spanned, &config), base, "hash does not");
     }
 
     #[test]

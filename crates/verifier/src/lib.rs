@@ -58,16 +58,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod batch;
 pub mod cache;
+pub mod diag;
 pub mod hash;
 pub mod program;
 pub mod report;
 pub mod symexec;
 
+pub use api::{Outcome, Verifier};
 pub use batch::{verify_batch, BatchConfig, BatchResult};
 pub use cache::{CacheConfig, CacheStats, CachedResult, CachedVerifier, VerdictCache};
+pub use diag::{CexBinding, Counterexample, DiagnosticCode, Failure, SourceSpan};
 pub use hash::{program_hash, ProgramHash, StableHash, StableHasher};
-pub use program::{AnnotatedProgram, VStmt};
-pub use report::{ObligationResult, VerifierConfig, VerifierReport};
-pub use symexec::verify;
+pub use program::{AnnotatedProgram, StmtPath, VStmt};
+pub use report::{ObligationResult, ObligationStatus, VerifierConfig, VerifierReport};
+pub use symexec::{solver_trace, verify, SolverEvent};

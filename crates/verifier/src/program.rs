@@ -7,8 +7,23 @@
 //! form (for the verifier) and a plain `commcsl-lang` program (for the
 //! empirical non-interference harness).
 
+use std::collections::BTreeMap;
+
 use commcsl_logic::spec::ResourceSpec;
 use commcsl_pure::{Sort, Symbol, Term};
+
+use crate::diag::SourceSpan;
+
+/// Address of a statement inside a program body: one index per nesting
+/// level. The conventions (shared with the symbolic execution and the
+/// `commcsl-front` lowering, which must agree exactly):
+///
+/// * top-level statement `i` → `[i]`,
+/// * inside `If` at path `p`: `then_b[j]` → `p ++ [j]`,
+///   `else_b[j]` → `p ++ [then_b.len() + j]`,
+/// * inside `For` at `p`: `body[j]` → `p ++ [j]`,
+/// * inside `Par` at `p`: `workers[w][j]` → `p ++ [w, j]`.
+pub type StmtPath = Vec<u32>;
 
 /// A statement of the annotated language.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -211,7 +226,7 @@ fn body_loc(body: &[VStmt]) -> usize {
 }
 
 /// A verifiable annotated program.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct AnnotatedProgram {
     /// Program name (for reports).
     pub name: String,
@@ -219,6 +234,23 @@ pub struct AnnotatedProgram {
     pub resources: Vec<ResourceSpec>,
     /// The program body.
     pub body: Vec<VStmt>,
+    /// Source positions per statement, keyed by [`StmtPath`]. Populated
+    /// by the `commcsl-front` lowering; empty for builder-constructed
+    /// programs. Spans are diagnostic payload: they flow into failed
+    /// obligations' reports (and therefore into the content hash), but
+    /// two programs differing only in spans compare *equal* — the
+    /// pretty-printer cannot reproduce source positions, and
+    /// `compile(pretty(p)) == p` is a load-bearing invariant.
+    pub spans: BTreeMap<StmtPath, SourceSpan>,
+}
+
+// Equality deliberately ignores `spans`; see the field docs.
+impl PartialEq for AnnotatedProgram {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.resources == other.resources
+            && self.body == other.body
+    }
 }
 
 impl AnnotatedProgram {
@@ -228,7 +260,21 @@ impl AnnotatedProgram {
             name: name.into(),
             resources: Vec::new(),
             body: Vec::new(),
+            spans: BTreeMap::new(),
         }
+    }
+
+    /// Records a statement's source position (builder style; used by the
+    /// frontend lowering).
+    #[must_use]
+    pub fn with_span(mut self, path: StmtPath, span: SourceSpan) -> Self {
+        self.spans.insert(path, span);
+        self
+    }
+
+    /// The source position of the statement at `path`, if known.
+    pub fn span_at(&self, path: &[u32]) -> Option<SourceSpan> {
+        self.spans.get(path).copied()
     }
 
     /// Adds a resource specification (builder style).

@@ -1,20 +1,62 @@
-//! Verification reports.
+//! Verification reports with structured diagnostics.
+//!
+//! A [`VerifierReport`] lists every proof obligation the symbolic
+//! execution generated, each carrying a stable
+//! [`DiagnosticCode`], an optional [`SourceSpan`] (threaded from the
+//! `commcsl-front` lowering), and — on failure — a [`Failure`] with the
+//! reason and an optional falsifying [`Counterexample`]. The JSON shape
+//! produced by [`VerifierReport::to_json`] is the single wire format:
+//! the CLI `--json` mode embeds it verbatim, the daemon protocol streams
+//! it byte-identically, and the verdict cache round-trips it losslessly.
 
 use std::fmt;
 
 use commcsl_logic::validity::ValidityConfig;
 use commcsl_smt::falsify::FalsifyConfig;
-use commcsl_smt::SolverConfig;
+use commcsl_smt::{BackendKind, SolverConfig};
+
+pub use crate::diag::{CexBinding, Counterexample, DiagnosticCode, Failure, SourceSpan};
 
 /// Configuration for the verifier.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct VerifierConfig {
     /// Solver budgets for program obligations.
     pub solver: SolverConfig,
-    /// Budgets for specification validity checking at `share`.
+    /// Budgets for specification validity checking at `share` (including
+    /// the validity checker's own backend choice).
     pub validity: ValidityConfig,
     /// Countermodel search budgets for failed obligations.
     pub falsify: FalsifyConfig,
+    /// Which solver backend discharges program obligations. The symbolic
+    /// execution opens one session per program and mirrors its path
+    /// condition into solver scopes, so an incremental backend saturates
+    /// each path fact once however many goals are checked against it.
+    pub backend: BackendKind,
+    /// Whether failed obligations hunt for a concrete falsifying
+    /// assignment (surfaced as [`Counterexample`] in reports). Part of
+    /// the content hash: toggling it changes report bytes.
+    pub counterexamples: bool,
+}
+
+impl VerifierConfig {
+    /// The default configuration (incremental backend, counterexample
+    /// search enabled).
+    pub fn new() -> Self {
+        VerifierConfig::default()
+    }
+}
+
+// `Default` must enable counterexample search; deriving would pick `false`.
+impl Default for VerifierConfig {
+    fn default() -> Self {
+        VerifierConfig {
+            solver: SolverConfig::default(),
+            validity: ValidityConfig::default(),
+            falsify: FalsifyConfig::default(),
+            backend: BackendKind::default(),
+            counterexamples: true,
+        }
+    }
 }
 
 /// The status of one proof obligation.
@@ -22,18 +64,39 @@ pub struct VerifierConfig {
 pub enum ObligationStatus {
     /// Proved by the solver.
     Proved,
-    /// Could not be proved (with an explanation; a countermodel when one
-    /// was found).
-    Failed(String),
+    /// Could not be proved; carries the structured failure.
+    Failed(Failure),
+}
+
+impl ObligationStatus {
+    /// Convenience constructor for a reason-only failure.
+    pub fn failed(reason: impl Into<String>) -> ObligationStatus {
+        ObligationStatus::Failed(Failure::new(reason))
+    }
 }
 
 /// One discharged (or failed) obligation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObligationResult {
     /// A human-readable description (e.g. `"pre of Put at worker 1"`).
     pub description: String,
+    /// Stable machine-readable obligation kind.
+    pub code: DiagnosticCode,
+    /// Source position of the generating statement, when the program was
+    /// compiled from `.csl` source.
+    pub span: Option<SourceSpan>,
     /// The outcome.
     pub status: ObligationStatus,
+}
+
+impl ObligationResult {
+    /// The failure, if any.
+    pub fn failure(&self) -> Option<&Failure> {
+        match &self.status {
+            ObligationStatus::Proved => None,
+            ObligationStatus::Failed(failure) => Some(failure),
+        }
+    }
 }
 
 /// The result of verifying one annotated program.
@@ -100,6 +163,10 @@ pub fn json_string(s: &str) -> String {
 
 impl VerifierReport {
     /// Renders the report as one JSON object (no trailing newline).
+    ///
+    /// Field order and spelling are part of the tool's machine interface:
+    /// the daemon protocol (`commcsl_server::protocol::report_to_json`)
+    /// and the verdict cache reproduce these bytes exactly.
     pub fn to_json(&self) -> String {
         let obligations: Vec<String> = self
             .obligations
@@ -107,13 +174,35 @@ impl VerifierReport {
             .map(|o| {
                 let mut fields = vec![
                     format!("\"description\":{}", json_string(&o.description)),
-                    format!(
-                        "\"proved\":{}",
-                        o.status == ObligationStatus::Proved
-                    ),
+                    format!("\"code\":{}", json_string(o.code.as_str())),
                 ];
-                if let ObligationStatus::Failed(why) = &o.status {
-                    fields.push(format!("\"reason\":{}", json_string(why)));
+                if let Some(span) = &o.span {
+                    fields.push(format!("\"span\":{}", json_string(&span.to_string())));
+                }
+                fields.push(format!(
+                    "\"proved\":{}",
+                    o.status == ObligationStatus::Proved
+                ));
+                if let ObligationStatus::Failed(failure) = &o.status {
+                    fields.push(format!("\"reason\":{}", json_string(&failure.reason)));
+                    if let Some(cex) = &failure.counterexample {
+                        let bindings: Vec<String> = cex
+                            .bindings
+                            .iter()
+                            .map(|b| {
+                                format!(
+                                    "{{\"var\":{},\"exec1\":{},\"exec2\":{}}}",
+                                    json_string(&b.var),
+                                    json_string(&b.exec1),
+                                    json_string(&b.exec2)
+                                )
+                            })
+                            .collect();
+                        fields.push(format!(
+                            "\"counterexample\":[{}]",
+                            bindings.join(",")
+                        ));
+                    }
                 }
                 format!("{{{}}}", fields.join(","))
             })
@@ -145,8 +234,29 @@ impl fmt::Display for VerifierReport {
             writeln!(f, "  error: {e}")?;
         }
         for o in self.failures() {
-            if let ObligationStatus::Failed(why) = &o.status {
-                writeln!(f, "  failed: {} — {}", o.description, why)?;
+            if let ObligationStatus::Failed(failure) = &o.status {
+                let at = o
+                    .span
+                    .map(|s| format!(" at {s}"))
+                    .unwrap_or_default();
+                writeln!(
+                    f,
+                    "  failed [{}]{at}: {} — {}",
+                    o.code, o.description, failure.reason
+                )?;
+                if let Some(cex) = &failure.counterexample {
+                    for b in &cex.bindings {
+                        if b.exec1 == b.exec2 {
+                            writeln!(f, "    where {} = {}", b.var, b.exec1)?;
+                        } else {
+                            writeln!(
+                                f,
+                                "    where {} = {} vs {}",
+                                b.var, b.exec1, b.exec2
+                            )?;
+                        }
+                    }
+                }
             }
         }
         Ok(())
@@ -157,14 +267,20 @@ impl fmt::Display for VerifierReport {
 mod tests {
     use super::*;
 
+    fn proved(description: &str) -> ObligationResult {
+        ObligationResult {
+            description: description.into(),
+            code: DiagnosticCode::LowOutput,
+            span: None,
+            status: ObligationStatus::Proved,
+        }
+    }
+
     #[test]
     fn verified_requires_all_proved_and_no_errors() {
         let mut r = VerifierReport {
             program: "p".into(),
-            obligations: vec![ObligationResult {
-                description: "d".into(),
-                status: ObligationStatus::Proved,
-            }],
+            obligations: vec![proved("d")],
             errors: vec![],
         };
         assert!(r.verified());
@@ -173,13 +289,17 @@ mod tests {
         r.errors.clear();
         r.obligations.push(ObligationResult {
             description: "bad".into(),
-            status: ObligationStatus::Failed("nope".into()),
+            code: DiagnosticCode::ActionPre,
+            span: Some(SourceSpan::new(3, 1)),
+            status: ObligationStatus::failed("nope"),
         });
         assert!(!r.verified());
         assert_eq!(r.failures().count(), 1);
         let shown = r.to_string();
         assert!(shown.contains("FAIL"));
         assert!(shown.contains("bad"));
+        assert!(shown.contains("[action-pre]"));
+        assert!(shown.contains("at 3:1"));
     }
 
     #[test]
@@ -225,7 +345,19 @@ mod tests {
                 program: name.into(),
                 obligations: vec![ObligationResult {
                     description: format!("pre of {name}"),
-                    status: ObligationStatus::Failed(format!("why: {name}")),
+                    code: DiagnosticCode::ActionPre,
+                    span: None,
+                    status: ObligationStatus::Failed(
+                        Failure::new(format!("why: {name}")).with_counterexample(
+                            Counterexample {
+                                bindings: vec![CexBinding {
+                                    var: name.into(),
+                                    exec1: "Int(0)".into(),
+                                    exec2: name.into(),
+                                }],
+                            },
+                        ),
+                    ),
                 }],
                 errors: vec![name.into()],
             };
@@ -249,11 +381,23 @@ mod tests {
             obligations: vec![
                 ObligationResult {
                     description: "pre of Put".into(),
+                    code: DiagnosticCode::ActionPre,
+                    span: Some(SourceSpan::new(7, 5)),
                     status: ObligationStatus::Proved,
                 },
                 ObligationResult {
                     description: "Low(output)".into(),
-                    status: ObligationStatus::Failed("countermodel".into()),
+                    code: DiagnosticCode::LowOutput,
+                    span: None,
+                    status: ObligationStatus::Failed(
+                        Failure::new("countermodel").with_counterexample(Counterexample {
+                            bindings: vec![CexBinding {
+                                var: "h".into(),
+                                exec1: "Int(0)".into(),
+                                exec2: "Int(1)".into(),
+                            }],
+                        }),
+                    ),
                 },
             ],
             errors: vec!["guard misuse".into()],
@@ -262,7 +406,12 @@ mod tests {
         assert!(json.starts_with("{\"program\":\"p \\\"q\\\"\""));
         assert!(json.contains("\"verified\":false"));
         assert!(json.contains("\"proved\":1"));
+        assert!(json.contains("\"code\":\"action-pre\""));
+        assert!(json.contains("\"span\":\"7:5\""));
         assert!(json.contains("\"reason\":\"countermodel\""));
+        assert!(json.contains(
+            "\"counterexample\":[{\"var\":\"h\",\"exec1\":\"Int(0)\",\"exec2\":\"Int(1)\"}]"
+        ));
         assert!(json.contains("\"errors\":[\"guard misuse\"]"));
         // Balanced braces/brackets (cheap well-formedness check).
         for (open, close) in [('{', '}'), ('[', ']')] {

@@ -10,23 +10,128 @@
 //! execute in lockstep, which is also what justifies the PRE bijection for
 //! the actions performed inside (iteration `i` of execution 1 is matched
 //! with iteration `i` of execution 2 — the paper's Fig. 5 loop invariant).
+//!
+//! Obligations are discharged through a [`SolverSession`] opened from the
+//! configured backend: path facts are asserted once per control scope
+//! (mirrored into solver `push`/`pop`), so an incremental backend
+//! normalizes and asserts each fact a single time however many goals are
+//! checked under it. Failed obligations additionally run the falsifier
+//! over the collected facts to attach a concrete per-execution
+//! counterexample to the report.
 
 use std::collections::BTreeMap;
 
 use commcsl_logic::spec::ActionKind;
 use commcsl_logic::validity::check_validity;
-use commcsl_pure::{Symbol, Term};
-use commcsl_smt::{Solver, Verdict};
+use commcsl_pure::{Sort, Symbol, Term};
+use commcsl_smt::falsify::find_counterexample;
+use commcsl_smt::{SolverSession, Verdict};
 
+use crate::diag::{Counterexample, DiagnosticCode, Failure, SourceSpan};
 use crate::program::{AnnotatedProgram, VStmt};
 use crate::report::{ObligationResult, ObligationStatus, VerifierConfig, VerifierReport};
 
 /// Verifies an annotated program; see the crate docs for the obligations
 /// generated.
+///
+/// This is the single-program engine. Callers verifying batches, wanting
+/// caching, or configuring backends should prefer the unified
+/// [`Verifier`](crate::api::Verifier) builder, which routes through this
+/// function and guarantees byte-identical reports.
 pub fn verify(program: &AnnotatedProgram, config: &VerifierConfig) -> VerifierReport {
     let mut exec = Exec::new(program, config);
     exec.run_body(&program.body);
     exec.finish()
+}
+
+/// One event of a program's solver-session interaction, as recorded by
+/// [`solver_trace`]. The stream is the exact sequence of calls the
+/// symbolic execution makes on its [`SolverSession`]: scoped path facts,
+/// and one `Check` per program proof obligation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverEvent {
+    /// A fact scope opened (effectful branch, loop body).
+    Push,
+    /// The matching scope closed.
+    Pop,
+    /// A relational path fact asserted in the current scope.
+    Assert(Term),
+    /// A proof obligation checked against the accumulated facts.
+    Check {
+        /// Obligation-local hypotheses (empty for plain checks).
+        assumptions: Vec<Term>,
+        /// The goal.
+        goal: Term,
+    },
+}
+
+/// Records the solver-session event stream the symbolic execution of
+/// `program` produces — the incremental-solving workload itself, decoupled
+/// from the engine that discharges it. Replaying the stream against any
+/// [`SolverSession`] reproduces the program's obligation verdicts; the
+/// `commcsl-bench` `incremental_solver` harness uses exactly this to
+/// compare backends on identical workloads. (Specification-validity
+/// obligations run in their own session inside `commcsl-logic` and are
+/// not part of the stream.)
+pub fn solver_trace(program: &AnnotatedProgram, config: &VerifierConfig) -> Vec<SolverEvent> {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Debug)]
+    struct Recorder {
+        inner: Box<dyn SolverSession>,
+        log: Rc<RefCell<Vec<SolverEvent>>>,
+    }
+
+    impl SolverSession for Recorder {
+        fn push(&mut self) {
+            self.log.borrow_mut().push(SolverEvent::Push);
+            self.inner.push();
+        }
+        fn pop(&mut self) {
+            self.log.borrow_mut().push(SolverEvent::Pop);
+            self.inner.pop();
+        }
+        fn assert(&mut self, fact: Term) {
+            self.log.borrow_mut().push(SolverEvent::Assert(fact.clone()));
+            self.inner.assert(fact);
+        }
+        fn check(&mut self, goal: &Term) -> Verdict {
+            self.log.borrow_mut().push(SolverEvent::Check {
+                assumptions: Vec::new(),
+                goal: goal.clone(),
+            });
+            self.inner.check(goal)
+        }
+        fn check_assuming(&mut self, assumptions: Vec<Term>, goal: &Term) -> Verdict {
+            self.log.borrow_mut().push(SolverEvent::Check {
+                assumptions: assumptions.clone(),
+                goal: goal.clone(),
+            });
+            self.inner.check_assuming(assumptions, goal)
+        }
+        fn depth(&self) -> usize {
+            self.inner.depth()
+        }
+        fn stats(&self) -> commcsl_smt::SessionStats {
+            self.inner.stats()
+        }
+    }
+
+    // The event stream does not depend on verdicts (the execution never
+    // branches on an obligation's outcome), so trace without the
+    // falsifier to keep recording cheap.
+    let mut config = config.clone();
+    config.counterexamples = false;
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let mut exec = Exec::new(program, &config);
+    exec.session = Box::new(Recorder {
+        inner: config.backend.open_session(config.solver.clone()),
+        log: log.clone(),
+    });
+    exec.run_body(&program.body);
+    let _ = exec.finish();
+    Rc::try_unwrap(log).expect("recorder dropped with the exec").into_inner()
 }
 
 /// A recorded batch of action applications on a shared resource.
@@ -55,22 +160,41 @@ enum ResState {
     Consumed,
 }
 
+/// A queued retroactive obligation (description, code, span, goal).
+struct Deferred {
+    description: String,
+    code: DiagnosticCode,
+    span: Option<SourceSpan>,
+    goal: Term,
+}
+
 struct Exec<'a> {
     program: &'a AnnotatedProgram,
     config: &'a VerifierConfig,
-    solver: Solver,
+    /// The solver session mirroring the path condition. Facts are
+    /// asserted exactly once per scope; goals are checked against it.
+    session: Box<dyn SolverSession>,
+    /// The raw relational hypotheses, kept in parallel with the session
+    /// scopes for the falsifier (which replays them on ground values).
     facts: Vec<Term>,
     store: BTreeMap<Symbol, (Term, Term)>,
+    /// Sorts of the symbolic variables minted so far (for countermodel
+    /// search; `Sort::Unknown` disables falsification of goals that
+    /// mention the variable).
+    var_sorts: BTreeMap<Symbol, Sort>,
     resources: Vec<ResState>,
     fresh: usize,
     /// Per-side multipliers from enclosing low conditionals and loops.
     multipliers: Vec<(Term, Term)>,
     current_worker: Option<usize>,
+    /// Statement path of the statement currently executing (see
+    /// [`crate::program::StmtPath`]); used to look up source spans.
+    path: Vec<u32>,
     obligations: Vec<ObligationResult>,
     errors: Vec<String>,
-    /// Retroactive obligations (description, goal), discharged at the end
-    /// of the program with the final fact set.
-    deferred: Vec<(String, Term)>,
+    /// Retroactive obligations, discharged at the end of the program with
+    /// the final fact set.
+    deferred: Vec<Deferred>,
 }
 
 impl<'a> Exec<'a> {
@@ -78,13 +202,15 @@ impl<'a> Exec<'a> {
         Exec {
             program,
             config,
-            solver: Solver::with_config(config.solver.clone()),
+            session: config.backend.open_session(config.solver.clone()),
             facts: Vec::new(),
             store: BTreeMap::new(),
+            var_sorts: BTreeMap::new(),
             resources: vec![ResState::Idle; program.resources.len()],
             fresh: 0,
             multipliers: Vec::new(),
             current_worker: None,
+            path: Vec::new(),
             obligations: Vec::new(),
             errors: Vec::new(),
             deferred: Vec::new(),
@@ -95,8 +221,8 @@ impl<'a> Exec<'a> {
         // Retroactive obligations: proved against the final fact set, which
         // includes everything learned from later unshares.
         let deferred = std::mem::take(&mut self.deferred);
-        for (description, goal) in deferred {
-            self.prove(description, goal);
+        for d in deferred {
+            self.prove_with_span(d.description, d.code, d.span, d.goal);
         }
         for (i, r) in self.resources.iter().enumerate() {
             if matches!(r, ResState::Shared { .. }) {
@@ -113,18 +239,40 @@ impl<'a> Exec<'a> {
 
     // ------------------------------------------------------------- helpers
 
-    fn fresh_low(&mut self, hint: &str) -> (Term, Term) {
+    fn fresh_low(&mut self, hint: &str, sort: Sort) -> (Term, Term) {
         self.fresh += 1;
-        let v = Term::var(format!("ν{}_{hint}", self.fresh));
+        let name = Symbol::new(format!("ν{}_{hint}", self.fresh));
+        self.var_sorts.insert(name.clone(), sort);
+        let v = Term::Var(name);
         (v.clone(), v)
     }
 
-    fn fresh_high(&mut self, hint: &str) -> (Term, Term) {
+    fn fresh_high(&mut self, hint: &str, sort: Sort) -> (Term, Term) {
         self.fresh += 1;
-        (
-            Term::var(format!("ν{}_{hint}@1", self.fresh)),
-            Term::var(format!("ν{}_{hint}@2", self.fresh)),
-        )
+        let n1 = Symbol::new(format!("ν{}_{hint}@1", self.fresh));
+        let n2 = Symbol::new(format!("ν{}_{hint}@2", self.fresh));
+        self.var_sorts.insert(n1.clone(), sort.clone());
+        self.var_sorts.insert(n2.clone(), sort);
+        (Term::Var(n1), Term::Var(n2))
+    }
+
+    /// Records a relational fact: into the raw list (for the falsifier)
+    /// and into the solver session (for proofs).
+    fn push_fact(&mut self, fact: Term) {
+        self.facts.push(fact.clone());
+        self.session.assert(fact);
+    }
+
+    /// Opens a fact scope (solver session + raw list mark).
+    fn begin_scope(&mut self) -> usize {
+        self.session.push();
+        self.facts.len()
+    }
+
+    /// Closes a fact scope opened by [`Exec::begin_scope`].
+    fn end_scope(&mut self, mark: usize) {
+        self.session.pop();
+        self.facts.truncate(mark);
     }
 
     /// Evaluates a program expression to its per-side symbolic terms.
@@ -140,7 +288,7 @@ impl<'a> Exec<'a> {
                 None => {
                     self.errors
                         .push(format!("use of unbound program variable `{x}`"));
-                    let (t1, t2) = self.fresh_high(x.as_str());
+                    let (t1, t2) = self.fresh_high(x.as_str(), Sort::Unknown);
                     bind1.insert(x.clone(), t1);
                     bind2.insert(x.clone(), t2);
                 }
@@ -149,20 +297,64 @@ impl<'a> Exec<'a> {
         (e.subst(&bind1), e.subst(&bind2))
     }
 
-    fn prove(&mut self, description: impl Into<String>, goal: Term) {
-        let status = match self.solver.check_valid(&self.facts, &goal) {
+    fn prove(&mut self, description: impl Into<String>, code: DiagnosticCode, goal: Term) {
+        let span = self.program.span_at(&self.path);
+        self.prove_with_span(description.into(), code, span, goal);
+    }
+
+    fn prove_with_span(
+        &mut self,
+        description: String,
+        code: DiagnosticCode,
+        span: Option<SourceSpan>,
+        goal: Term,
+    ) {
+        let status = match self.session.check(&goal) {
             Verdict::Proved => ObligationStatus::Proved,
-            _ => ObligationStatus::Failed(format!("not provable: {goal:?}")),
+            _ => {
+                let mut failure = Failure::new(format!("not provable: {goal:?}"));
+                if let Some(env) = self.try_falsify(&goal) {
+                    failure = failure.with_counterexample(Counterexample::from_env(&env));
+                }
+                ObligationStatus::Failed(failure)
+            }
         };
         self.obligations.push(ObligationResult {
-            description: description.into(),
+            description,
+            code,
+            span,
             status,
         });
     }
 
-    fn prove_low(&mut self, description: impl Into<String>, e: &Term) {
+    /// Hunts for a concrete falsifying assignment for a failed goal.
+    /// Possible only when every free symbolic variable of the query has a
+    /// known sort (fresh variables minted for havocs and merges do not).
+    fn try_falsify(&self, goal: &Term) -> Option<commcsl_pure::term::Env> {
+        if !self.config.counterexamples {
+            return None;
+        }
+        let mut vars: Vec<Symbol> = goal.free_vars().into_iter().collect();
+        for fact in &self.facts {
+            vars.extend(fact.free_vars());
+        }
+        vars.sort();
+        vars.dedup();
+        let mut sorts: BTreeMap<Symbol, Sort> = BTreeMap::new();
+        for v in vars {
+            match self.var_sorts.get(&v) {
+                Some(sort) if *sort != Sort::Unknown => {
+                    sorts.insert(v, sort.clone());
+                }
+                _ => return None,
+            }
+        }
+        find_counterexample(&self.facts, goal, &sorts, &self.config.falsify)
+    }
+
+    fn prove_low(&mut self, description: impl Into<String>, code: DiagnosticCode, e: &Term) {
         let (e1, e2) = self.eval(e);
-        self.prove(description, Term::eq(e1, e2));
+        self.prove(description, code, Term::eq(e1, e2));
     }
 
     /// The per-side repetition count of an action performed at the current
@@ -180,8 +372,17 @@ impl<'a> Exec<'a> {
     // ---------------------------------------------------------- statements
 
     fn run_body(&mut self, body: &[VStmt]) {
-        for stmt in body {
+        self.run_body_at(body, 0);
+    }
+
+    /// Runs a statement list whose members live at path component
+    /// `offset..offset + body.len()` under the current path (see
+    /// [`crate::program::StmtPath`] for the offset conventions).
+    fn run_body_at(&mut self, body: &[VStmt], offset: u32) {
+        for (i, stmt) in body.iter().enumerate() {
+            self.path.push(offset + i as u32);
             self.run_stmt(stmt);
+            self.path.pop();
         }
     }
 
@@ -189,19 +390,24 @@ impl<'a> Exec<'a> {
         match stmt {
             VStmt::Input { var, sort, low } => {
                 let pair = if *low {
-                    self.fresh_low(var.as_str())
+                    self.fresh_low(var.as_str(), sort.clone())
                 } else {
-                    self.fresh_high(var.as_str())
+                    self.fresh_high(var.as_str(), sort.clone())
                 };
-                let _ = sort;
                 self.store.insert(var.clone(), pair);
             }
             VStmt::Assign(x, e) => {
                 let pair = self.eval(e);
                 self.store.insert(x.clone(), pair);
             }
-            VStmt::AssertLow(e) => self.prove_low(format!("assert Low({e:?})"), e),
-            VStmt::Output(e) => self.prove_low(format!("output requires Low({e:?})"), e),
+            VStmt::AssertLow(e) => {
+                self.prove_low(format!("assert Low({e:?})"), DiagnosticCode::LowAssert, e)
+            }
+            VStmt::Output(e) => self.prove_low(
+                format!("output requires Low({e:?})"),
+                DiagnosticCode::LowOutput,
+                e,
+            ),
             VStmt::If {
                 cond,
                 then_b,
@@ -266,7 +472,7 @@ impl<'a> Exec<'a> {
             None,
             false,
         );
-        let bound = self.fresh_high(var.as_str());
+        let bound = self.fresh_high(var.as_str(), Sort::Unknown);
         let idx = self.eval(index);
         if let ResState::Shared { reads, .. } = &mut self.resources[resource] {
             reads.push((bound.clone(), idx));
@@ -281,33 +487,35 @@ impl<'a> Exec<'a> {
             // Lockstep conditional: the condition must be low.
             self.prove(
                 format!("effectful branch condition Low({cond:?})"),
+                DiagnosticCode::LowBranch,
                 Term::eq(c1.clone(), c2.clone()),
             );
             // Both branches run with the appropriate multiplier; variables
             // they assign are merged by ite.
             let saved_store = self.store.clone();
-            let saved_facts = self.facts.len();
 
+            let mark = self.begin_scope();
             self.multipliers.push((
                 Term::ite(c1.clone(), Term::int(1), Term::int(0)),
                 Term::ite(c2.clone(), Term::int(1), Term::int(0)),
             ));
-            self.facts.push(c1.clone());
-            self.facts.push(c2.clone());
-            self.run_body(then_b);
+            self.push_fact(c1.clone());
+            self.push_fact(c2.clone());
+            self.run_body_at(then_b, 0);
             let then_store = std::mem::replace(&mut self.store, saved_store.clone());
-            self.facts.truncate(saved_facts);
+            self.end_scope(mark);
             self.multipliers.pop();
 
+            let mark = self.begin_scope();
             self.multipliers.push((
                 Term::ite(c1.clone(), Term::int(0), Term::int(1)),
                 Term::ite(c2.clone(), Term::int(0), Term::int(1)),
             ));
-            self.facts.push(Term::not(c1.clone()));
-            self.facts.push(Term::not(c2.clone()));
-            self.run_body(else_b);
+            self.push_fact(Term::not(c1.clone()));
+            self.push_fact(Term::not(c2.clone()));
+            self.run_body_at(else_b, then_b.len() as u32);
             let else_store = std::mem::replace(&mut self.store, saved_store);
-            self.facts.truncate(saved_facts);
+            self.end_scope(mark);
             self.multipliers.pop();
 
             self.merge_stores(&c1, &c2, then_store, else_store);
@@ -315,9 +523,9 @@ impl<'a> Exec<'a> {
             // Pure branches: evaluate both and merge per side — the
             // executions may take different branches (high branching).
             let saved_store = self.store.clone();
-            self.run_body(then_b);
+            self.run_body_at(then_b, 0);
             let then_store = std::mem::replace(&mut self.store, saved_store.clone());
-            self.run_body(else_b);
+            self.run_body_at(else_b, then_b.len() as u32);
             let else_store = std::mem::replace(&mut self.store, saved_store);
             self.merge_stores(&c1, &c2, then_store, else_store);
         }
@@ -358,7 +566,7 @@ impl<'a> Exec<'a> {
                     // otherwise; model with a fresh high pair refined by an
                     // ite where possible. Conservative: fresh high.
                     let _ = only;
-                    let fresh = self.fresh_high(x.as_str());
+                    let fresh = self.fresh_high(x.as_str(), Sort::Unknown);
                     self.store.insert(x, fresh);
                 }
                 (None, None) => {}
@@ -371,6 +579,7 @@ impl<'a> Exec<'a> {
         let (t1, t2) = self.eval(to);
         self.prove(
             format!("loop bounds Low({from:?}) and Low({to:?})"),
+            DiagnosticCode::LowLoopBounds,
             Term::and([
                 Term::eq(f1.clone(), f2.clone()),
                 Term::eq(t1.clone(), t2.clone()),
@@ -378,13 +587,13 @@ impl<'a> Exec<'a> {
         );
         // One symbolic iteration at a fresh low index ι with f ≤ ι < t.
         let saved_store = self.store.clone();
-        let saved_facts = self.facts.len();
-        let (i1, i2) = self.fresh_low("iter");
+        let mark = self.begin_scope();
+        let (i1, i2) = self.fresh_low("iter", Sort::Int);
         self.store.insert(var.clone(), (i1.clone(), i2.clone()));
-        self.facts.push(Term::le(f1.clone(), i1.clone()));
-        self.facts.push(Term::lt(i1, t1.clone()));
-        self.facts.push(Term::le(f2, i2.clone()));
-        self.facts.push(Term::lt(i2, t2));
+        self.push_fact(Term::le(f1.clone(), i1.clone()));
+        self.push_fact(Term::lt(i1, t1.clone()));
+        self.push_fact(Term::le(f2, i2.clone()));
+        self.push_fact(Term::lt(i2, t2));
 
         let iterations = (
             Term::sub(t1.clone(), f1.clone()),
@@ -393,7 +602,7 @@ impl<'a> Exec<'a> {
         self.multipliers.push(iterations);
         self.run_body(body);
         self.multipliers.pop();
-        self.facts.truncate(saved_facts);
+        self.end_scope(mark);
 
         // Restore the pre-loop store; variables the body assigned (and the
         // loop variable) are havoced — their final value depends on the
@@ -409,7 +618,7 @@ impl<'a> Exec<'a> {
         touched.sort();
         touched.dedup();
         for x in touched {
-            let fresh = self.fresh_high(x.as_str());
+            let fresh = self.fresh_high(x.as_str(), Sort::Unknown);
             self.store.insert(x, fresh);
         }
     }
@@ -440,16 +649,26 @@ impl<'a> Exec<'a> {
                 })
                 .map(|o| o.obligation.clone())
                 .collect();
-            ObligationStatus::Failed(format!("invalid or undecided obligations: {undecided:?}"))
+            let mut failure =
+                Failure::new(format!("invalid or undecided obligations: {undecided:?}"));
+            if self.config.counterexamples {
+                if let Some((_, env)) = report.first_counterexample() {
+                    failure = failure.with_counterexample(Counterexample::from_env(env));
+                }
+            }
+            ObligationStatus::Failed(failure)
         };
         self.obligations.push(ObligationResult {
             description: format!("resource spec `{}` is valid", spec.name),
+            code: DiagnosticCode::SpecValidity,
+            span: self.program.span_at(&self.path),
             status,
         });
         // Property (1): Low(α(init)).
         let (v1, v2) = self.eval(init);
         self.prove(
             format!("initial abstraction low: Low(α({init:?}))"),
+            DiagnosticCode::LowInit,
             Term::eq(spec.alpha_term(&v1), spec.alpha_term(&v2)),
         );
         self.resources[resource] = ResState::Shared {
@@ -470,7 +689,9 @@ impl<'a> Exec<'a> {
         for (w, body) in workers.iter().enumerate() {
             self.current_worker = Some(w);
             self.store = saved_store.clone();
+            self.path.push(w as u32);
             self.run_body(body);
+            self.path.pop();
             let worker_store = std::mem::replace(&mut self.store, saved_store.clone());
             all_assigned.extend(
                 worker_store
@@ -487,7 +708,7 @@ impl<'a> Exec<'a> {
         all_assigned.sort();
         all_assigned.dedup();
         for x in all_assigned {
-            let fresh = self.fresh_high(x.as_str());
+            let fresh = self.fresh_high(x.as_str(), Sort::Unknown);
             self.store.insert(x, fresh);
         }
     }
@@ -565,9 +786,14 @@ impl<'a> Exec<'a> {
         let description = format!("pre of `{action}`({arg:?})");
         let goal = act.pre_term(&a1, &a2);
         if defer_pre {
-            self.deferred.push((format!("{description} [retroactive]"), goal));
+            self.deferred.push(Deferred {
+                description: format!("{description} [retroactive]"),
+                code: DiagnosticCode::ActionPreRetro,
+                span: self.program.span_at(&self.path),
+                goal,
+            });
         } else {
-            self.prove(description, goal);
+            self.prove(description, DiagnosticCode::ActionPre, goal);
         }
     }
 
@@ -603,8 +829,6 @@ impl<'a> Exec<'a> {
             if batches.iter().all(|b| b.lockstep) {
                 continue;
             }
-            let total1 = Term::and([]); // placeholder to keep shape clear
-            let _ = total1;
             let sum1 = batches
                 .iter()
                 .map(|b| b.count.0.clone())
@@ -617,15 +841,15 @@ impl<'a> Exec<'a> {
                 .unwrap_or_else(|| Term::int(0));
             self.prove(
                 format!("total count of `{action}` is low (retroactive)"),
+                DiagnosticCode::LowBatchTotal,
                 Term::eq(sum1, sum2),
             );
         }
         // The Share rule's postcondition: ∃x'. I(x') ∗ Low(α(x')). Bind the
         // final value to a fresh high pair constrained by the abstraction
         // equality.
-        let (w1, w2) = self.fresh_high(&format!("{into}_final"));
-        self.facts
-            .push(Term::eq(spec.alpha_term(&w1), spec.alpha_term(&w2)));
+        let (w1, w2) = self.fresh_high(&format!("{into}_final"), spec.value_sort.clone());
+        self.push_fact(Term::eq(spec.alpha_term(&w1), spec.alpha_term(&w2)));
         // Consume-bindings (single-consumer FIFO): the element bound at
         // index i was the i-th element of the produced sequence (the pure
         // value's second component). These facts are what let deferred
@@ -645,8 +869,8 @@ impl<'a> Exec<'a> {
                     [Term::snd(w2.clone()), i2, Term::int(0)],
                 ),
             );
-            self.facts.push(f1);
-            self.facts.push(f2);
+            self.push_fact(f1);
+            self.push_fact(f2);
         }
         self.store.insert(into.clone(), (w1, w2));
     }
@@ -657,9 +881,22 @@ mod tests {
     use super::*;
     use commcsl_logic::spec::ResourceSpec;
     use commcsl_pure::{Func, Sort};
+    use commcsl_smt::BackendKind;
 
     fn cfg() -> VerifierConfig {
         VerifierConfig::default()
+    }
+
+    /// Every symexec test runs under both backends: the fixture suite pins
+    /// them verdict-identical, and these unit programs are the smallest
+    /// counterexamples if that ever regresses.
+    fn both_backends(f: impl Fn(&VerifierConfig)) {
+        for backend in BackendKind::ALL {
+            let mut config = cfg();
+            config.backend = backend;
+            config.validity.backend = backend;
+            f(&config);
+        }
     }
 
     fn counter_program(output_counter: bool) -> AnnotatedProgram {
@@ -692,305 +929,372 @@ mod tests {
 
     #[test]
     fn counter_with_low_addends_verifies() {
-        let report = verify(&counter_program(true), &cfg());
-        assert!(report.verified(), "{report}");
+        both_backends(|config| {
+            let report = verify(&counter_program(true), config);
+            assert!(report.verified(), "{report}");
+        });
     }
 
     #[test]
     fn high_addend_fails_pre_obligation() {
-        let mut p = counter_program(true);
-        p.body[0] = VStmt::input("a", Sort::Int, false); // high input
-        let report = verify(&p, &cfg());
-        assert!(!report.verified());
-        assert!(report
-            .failures()
-            .any(|f| f.description.contains("pre of `Add`")));
+        both_backends(|config| {
+            let mut p = counter_program(true);
+            p.body[0] = VStmt::input("a", Sort::Int, false); // high input
+            let report = verify(&p, config);
+            assert!(!report.verified());
+            assert!(report
+                .failures()
+                .any(|f| f.description.contains("pre of `Add`")));
+            assert!(report
+                .failures()
+                .all(|f| f.code == DiagnosticCode::ActionPre));
+        });
     }
 
     #[test]
-    fn direct_output_of_high_input_fails() {
-        let p = AnnotatedProgram::new("leak").with_body([
-            VStmt::input("h", Sort::Int, false),
-            VStmt::Output(Term::var("h")),
-        ]);
-        let report = verify(&p, &cfg());
-        assert!(!report.verified());
+    fn direct_output_of_high_input_fails_with_counterexample() {
+        both_backends(|config| {
+            let p = AnnotatedProgram::new("leak").with_body([
+                VStmt::input("h", Sort::Int, false),
+                VStmt::Output(Term::var("h")),
+            ]);
+            let report = verify(&p, config);
+            assert!(!report.verified());
+            let failure = report
+                .failures()
+                .next()
+                .and_then(ObligationResult::failure)
+                .expect("one failure");
+            // The falsifier finds a witness: h differs across executions.
+            let cex = failure
+                .counterexample
+                .as_ref()
+                .expect("counterexample for a direct leak");
+            let h = cex
+                .bindings
+                .iter()
+                .find(|b| b.var.contains("_h"))
+                .expect("binding for h");
+            assert_ne!(h.exec1, h.exec2, "{cex:?}");
+        });
     }
 
     #[test]
     fn high_branch_merging_keeps_low_results_low() {
         // x := ite-shaped merge of equal values is still low; differing
         // values under a high condition are not.
-        let p = AnnotatedProgram::new("merge").with_body([
-            VStmt::input("h", Sort::Bool, false),
-            VStmt::If {
-                cond: Term::var("h"),
-                then_b: vec![VStmt::assign("x", Term::int(1))],
-                else_b: vec![VStmt::assign("x", Term::int(1))],
-            },
-            VStmt::Output(Term::var("x")),
-        ]);
-        assert!(verify(&p, &cfg()).verified());
+        both_backends(|config| {
+            let p = AnnotatedProgram::new("merge").with_body([
+                VStmt::input("h", Sort::Bool, false),
+                VStmt::If {
+                    cond: Term::var("h"),
+                    then_b: vec![VStmt::assign("x", Term::int(1))],
+                    else_b: vec![VStmt::assign("x", Term::int(1))],
+                },
+                VStmt::Output(Term::var("x")),
+            ]);
+            assert!(verify(&p, config).verified());
 
-        let p_leak = AnnotatedProgram::new("merge-leak").with_body([
-            VStmt::input("h", Sort::Bool, false),
-            VStmt::If {
-                cond: Term::var("h"),
-                then_b: vec![VStmt::assign("x", Term::int(1))],
-                else_b: vec![VStmt::assign("x", Term::int(2))],
-            },
-            VStmt::Output(Term::var("x")),
-        ]);
-        assert!(!verify(&p_leak, &cfg()).verified());
+            let p_leak = AnnotatedProgram::new("merge-leak").with_body([
+                VStmt::input("h", Sort::Bool, false),
+                VStmt::If {
+                    cond: Term::var("h"),
+                    then_b: vec![VStmt::assign("x", Term::int(1))],
+                    else_b: vec![VStmt::assign("x", Term::int(2))],
+                },
+                VStmt::Output(Term::var("x")),
+            ]);
+            assert!(!verify(&p_leak, config).verified());
+        });
     }
 
     #[test]
     fn invalid_spec_is_rejected_at_share() {
         use commcsl_logic::spec::ActionDef;
-        // Fig. 1: arbitrary assignment, identity abstraction.
-        let set = ActionDef::shared(
-            "Set",
-            Sort::Int,
-            Term::var(ActionDef::ARG_VAR),
-            Term::eq(
-                Term::var(ActionDef::ARG1_VAR),
-                Term::var(ActionDef::ARG2_VAR),
-            ),
-        );
-        let spec = ResourceSpec::new(
-            "fig1-assign",
-            Sort::Int,
-            Term::var(ResourceSpec::VALUE_VAR),
-            [set],
-        );
-        let p = AnnotatedProgram::new("fig1")
-            .with_resource(spec)
-            .with_body([
-                VStmt::Share {
-                    resource: 0,
-                    init: Term::int(0),
-                },
-                VStmt::Par {
-                    workers: vec![
-                        vec![VStmt::atomic(0, "Set", Term::int(3))],
-                        vec![VStmt::atomic(0, "Set", Term::int(4))],
-                    ],
-                },
-                VStmt::Unshare {
-                    resource: 0,
-                    into: "s".into(),
-                },
-                VStmt::Output(Term::var("s")),
-            ]);
-        let report = verify(&p, &cfg());
-        assert!(!report.verified());
-        assert!(report
-            .failures()
-            .any(|f| f.description.contains("is valid")));
+        both_backends(|config| {
+            // Fig. 1: arbitrary assignment, identity abstraction.
+            let set = ActionDef::shared(
+                "Set",
+                Sort::Int,
+                Term::var(ActionDef::ARG_VAR),
+                Term::eq(
+                    Term::var(ActionDef::ARG1_VAR),
+                    Term::var(ActionDef::ARG2_VAR),
+                ),
+            );
+            let spec = ResourceSpec::new(
+                "fig1-assign",
+                Sort::Int,
+                Term::var(ResourceSpec::VALUE_VAR),
+                [set],
+            );
+            let p = AnnotatedProgram::new("fig1")
+                .with_resource(spec)
+                .with_body([
+                    VStmt::Share {
+                        resource: 0,
+                        init: Term::int(0),
+                    },
+                    VStmt::Par {
+                        workers: vec![
+                            vec![VStmt::atomic(0, "Set", Term::int(3))],
+                            vec![VStmt::atomic(0, "Set", Term::int(4))],
+                        ],
+                    },
+                    VStmt::Unshare {
+                        resource: 0,
+                        into: "s".into(),
+                    },
+                    VStmt::Output(Term::var("s")),
+                ]);
+            let report = verify(&p, config);
+            assert!(!report.verified());
+            let spec_failure = report
+                .failures()
+                .find(|f| f.description.contains("is valid"))
+                .expect("spec validity failure");
+            assert_eq!(spec_failure.code, DiagnosticCode::SpecValidity);
+            // The invalid spec's counterexample (two different assigned
+            // values) is surfaced on the share obligation.
+            let failure = spec_failure.failure().expect("failed status");
+            let cex = failure.counterexample.as_ref().expect("spec counterexample");
+            let x = cex.bindings.iter().find(|b| b.var == "x").expect("x binding");
+            assert_ne!(x.exec1, x.exec2);
+        });
     }
 
     #[test]
     fn unique_action_two_workers_is_a_guard_error() {
-        let p = AnnotatedProgram::new("unique-misuse")
-            .with_resource(ResourceSpec::disjoint_put_map(2))
-            .with_body([
-                VStmt::Share {
-                    resource: 0,
-                    init: Term::Lit(commcsl_pure::Value::map_empty()),
-                },
-                VStmt::Par {
-                    workers: vec![
-                        vec![VStmt::atomic(
-                            0,
-                            "Put0",
-                            Term::pair(Term::int(0), Term::int(1)),
-                        )],
-                        vec![VStmt::atomic(
-                            0,
-                            "Put0",
-                            Term::pair(Term::int(2), Term::int(1)),
-                        )],
-                    ],
-                },
-                VStmt::Unshare {
-                    resource: 0,
-                    into: "m".into(),
-                },
-            ]);
-        let report = verify(&p, &cfg());
-        assert!(report
-            .errors
-            .iter()
-            .any(|e| e.contains("unique action `Put0`")), "{report}");
+        both_backends(|config| {
+            let p = AnnotatedProgram::new("unique-misuse")
+                .with_resource(ResourceSpec::disjoint_put_map(2))
+                .with_body([
+                    VStmt::Share {
+                        resource: 0,
+                        init: Term::Lit(commcsl_pure::Value::map_empty()),
+                    },
+                    VStmt::Par {
+                        workers: vec![
+                            vec![VStmt::atomic(
+                                0,
+                                "Put0",
+                                Term::pair(Term::int(0), Term::int(1)),
+                            )],
+                            vec![VStmt::atomic(
+                                0,
+                                "Put0",
+                                Term::pair(Term::int(2), Term::int(1)),
+                            )],
+                        ],
+                    },
+                    VStmt::Unshare {
+                        resource: 0,
+                        into: "m".into(),
+                    },
+                ]);
+            let report = verify(&p, config);
+            assert!(report
+                .errors
+                .iter()
+                .any(|e| e.contains("unique action `Put0`")), "{report}");
+        });
     }
 
     #[test]
     fn loop_with_high_bound_fails() {
-        let p = AnnotatedProgram::new("high-bound")
-            .with_resource(ResourceSpec::counter_add())
-            .with_body([
-                VStmt::input("n", Sort::Int, false),
-                VStmt::Share {
-                    resource: 0,
-                    init: Term::int(0),
-                },
-                VStmt::for_range(
-                    "i",
-                    Term::int(0),
-                    Term::var("n"),
-                    [VStmt::atomic(0, "Add", Term::int(1))],
-                ),
-                VStmt::Unshare {
-                    resource: 0,
-                    into: "c".into(),
-                },
-                VStmt::Output(Term::var("c")),
-            ]);
-        let report = verify(&p, &cfg());
-        assert!(!report.verified());
-        assert!(report
-            .failures()
-            .any(|f| f.description.contains("loop bounds")));
+        both_backends(|config| {
+            let p = AnnotatedProgram::new("high-bound")
+                .with_resource(ResourceSpec::counter_add())
+                .with_body([
+                    VStmt::input("n", Sort::Int, false),
+                    VStmt::Share {
+                        resource: 0,
+                        init: Term::int(0),
+                    },
+                    VStmt::for_range(
+                        "i",
+                        Term::int(0),
+                        Term::var("n"),
+                        [VStmt::atomic(0, "Add", Term::int(1))],
+                    ),
+                    VStmt::Unshare {
+                        resource: 0,
+                        into: "c".into(),
+                    },
+                    VStmt::Output(Term::var("c")),
+                ]);
+            let report = verify(&p, config);
+            assert!(!report.verified());
+            assert!(report
+                .failures()
+                .any(|f| f.description.contains("loop bounds")
+                    && f.code == DiagnosticCode::LowLoopBounds));
+        });
     }
 
     #[test]
     fn map_keyset_loop_program_verifies() {
         // The Fig. 3/Fig. 5 shape: workers loop over low keys with high
         // values, put into a shared map, and the sorted key list is output.
-        let worker = |lo: Term, hi: Term| {
-            vec![VStmt::for_range(
-                "i",
-                lo,
-                hi,
-                [
-                    VStmt::input("adr", Sort::Int, true),
-                    VStmt::input("rsn", Sort::Int, false),
-                    VStmt::atomic(0, "Put", Term::pair(Term::var("adr"), Term::var("rsn"))),
-                ],
-            )]
-        };
-        let p = AnnotatedProgram::new("fig3-map")
-            .with_resource(ResourceSpec::keyset_map())
-            .with_body([
-                VStmt::input("n", Sort::Int, true),
-                VStmt::Share {
-                    resource: 0,
-                    init: Term::Lit(commcsl_pure::Value::map_empty()),
-                },
-                VStmt::Par {
-                    workers: vec![
-                        worker(
-                            Term::int(0),
-                            Term::app(Func::Div, [Term::var("n"), Term::int(2)]),
-                        ),
-                        worker(
-                            Term::app(Func::Div, [Term::var("n"), Term::int(2)]),
-                            Term::var("n"),
-                        ),
+        both_backends(|config| {
+            let worker = |lo: Term, hi: Term| {
+                vec![VStmt::for_range(
+                    "i",
+                    lo,
+                    hi,
+                    [
+                        VStmt::input("adr", Sort::Int, true),
+                        VStmt::input("rsn", Sort::Int, false),
+                        VStmt::atomic(0, "Put", Term::pair(Term::var("adr"), Term::var("rsn"))),
                     ],
-                },
-                VStmt::Unshare {
-                    resource: 0,
-                    into: "m".into(),
-                },
-                VStmt::Output(Term::app(
-                    Func::SeqSorted,
-                    [Term::app(
-                        Func::SetToSeq,
-                        [Term::app(Func::MapDom, [Term::var("m")])],
-                    )],
-                )),
-            ]);
-        let report = verify(&p, &cfg());
-        assert!(report.verified(), "{report}");
+                )]
+            };
+            let p = AnnotatedProgram::new("fig3-map")
+                .with_resource(ResourceSpec::keyset_map())
+                .with_body([
+                    VStmt::input("n", Sort::Int, true),
+                    VStmt::Share {
+                        resource: 0,
+                        init: Term::Lit(commcsl_pure::Value::map_empty()),
+                    },
+                    VStmt::Par {
+                        workers: vec![
+                            worker(
+                                Term::int(0),
+                                Term::app(Func::Div, [Term::var("n"), Term::int(2)]),
+                            ),
+                            worker(
+                                Term::app(Func::Div, [Term::var("n"), Term::int(2)]),
+                                Term::var("n"),
+                            ),
+                        ],
+                    },
+                    VStmt::Unshare {
+                        resource: 0,
+                        into: "m".into(),
+                    },
+                    VStmt::Output(Term::app(
+                        Func::SeqSorted,
+                        [Term::app(
+                            Func::SetToSeq,
+                            [Term::app(Func::MapDom, [Term::var("m")])],
+                        )],
+                    )),
+                ]);
+            let report = verify(&p, config);
+            assert!(report.verified(), "{report}");
+        });
     }
 
     #[test]
     fn leaking_map_values_fails() {
         // Same program, but outputs the value at key 0: not derivable from
         // the key-set abstraction.
-        let p = AnnotatedProgram::new("fig3-value-leak")
-            .with_resource(ResourceSpec::keyset_map())
-            .with_body([
-                VStmt::Share {
-                    resource: 0,
-                    init: Term::Lit(commcsl_pure::Value::map_empty()),
-                },
-                VStmt::Par {
-                    workers: vec![
-                        vec![VStmt::input("r1", Sort::Int, false), VStmt::atomic(
-                            0,
-                            "Put",
-                            Term::pair(Term::int(0), Term::var("r1")),
-                        )],
-                        vec![VStmt::input("r2", Sort::Int, false), VStmt::atomic(
-                            0,
-                            "Put",
-                            Term::pair(Term::int(1), Term::var("r2")),
-                        )],
-                    ],
-                },
-                VStmt::Unshare {
-                    resource: 0,
-                    into: "m".into(),
-                },
-                VStmt::Output(Term::app(
-                    Func::MapGetOr,
-                    [Term::var("m"), Term::int(0), Term::int(0)],
-                )),
-            ]);
-        let report = verify(&p, &cfg());
-        assert!(!report.verified(), "{report}");
+        both_backends(|config| {
+            let p = AnnotatedProgram::new("fig3-value-leak")
+                .with_resource(ResourceSpec::keyset_map())
+                .with_body([
+                    VStmt::Share {
+                        resource: 0,
+                        init: Term::Lit(commcsl_pure::Value::map_empty()),
+                    },
+                    VStmt::Par {
+                        workers: vec![
+                            vec![VStmt::input("r1", Sort::Int, false), VStmt::atomic(
+                                0,
+                                "Put",
+                                Term::pair(Term::int(0), Term::var("r1")),
+                            )],
+                            vec![VStmt::input("r2", Sort::Int, false), VStmt::atomic(
+                                0,
+                                "Put",
+                                Term::pair(Term::int(1), Term::var("r2")),
+                            )],
+                        ],
+                    },
+                    VStmt::Unshare {
+                        resource: 0,
+                        into: "m".into(),
+                    },
+                    VStmt::Output(Term::app(
+                        Func::MapGetOr,
+                        [Term::var("m"), Term::int(0), Term::int(0)],
+                    )),
+                ]);
+            let report = verify(&p, config);
+            assert!(!report.verified(), "{report}");
+        });
     }
 
     #[test]
     fn counted_batches_require_low_totals() {
         // Two consumers whose individual counts are high but the total sum is low.
-        let spec = ResourceSpec::producer_consumer(true);
-        let init = Term::pair(
-            Term::app(Func::MkRight, [Term::Lit(commcsl_pure::Value::seq_empty())]),
-            Term::Lit(commcsl_pure::Value::seq_empty()),
-        );
-        let p = AnnotatedProgram::new("2p2c-counts")
-            .with_resource(spec)
-            .with_body([
-                VStmt::input("n", Sort::Int, true),
-                VStmt::input("k", Sort::Int, false), // schedule-dependent split
-                VStmt::Share {
-                    resource: 0,
-                    init: init.clone(),
-                },
-                VStmt::Par {
-                    workers: vec![
-                        vec![VStmt::AtomicBatch {
-                            resource: 0,
-                            action: "Cons".into(),
-                            arg: Term::Lit(commcsl_pure::Value::Unit),
-                            count: Term::var("k"),
-                        }],
-                        vec![VStmt::AtomicBatch {
-                            resource: 0,
-                            action: "Cons".into(),
-                            arg: Term::Lit(commcsl_pure::Value::Unit),
-                            count: Term::sub(Term::var("n"), Term::var("k")),
-                        }],
-                    ],
-                },
-                VStmt::Unshare {
-                    resource: 0,
-                    into: "q".into(),
-                },
-            ]);
-        let report = verify(&p, &cfg());
-        assert!(report.verified(), "{report}");
+        both_backends(|config| {
+            let spec = ResourceSpec::producer_consumer(true);
+            let init = Term::pair(
+                Term::app(Func::MkRight, [Term::Lit(commcsl_pure::Value::seq_empty())]),
+                Term::Lit(commcsl_pure::Value::seq_empty()),
+            );
+            let p = AnnotatedProgram::new("2p2c-counts")
+                .with_resource(spec)
+                .with_body([
+                    VStmt::input("n", Sort::Int, true),
+                    VStmt::input("k", Sort::Int, false), // schedule-dependent split
+                    VStmt::Share {
+                        resource: 0,
+                        init: init.clone(),
+                    },
+                    VStmt::Par {
+                        workers: vec![
+                            vec![VStmt::AtomicBatch {
+                                resource: 0,
+                                action: "Cons".into(),
+                                arg: Term::Lit(commcsl_pure::Value::Unit),
+                                count: Term::var("k"),
+                            }],
+                            vec![VStmt::AtomicBatch {
+                                resource: 0,
+                                action: "Cons".into(),
+                                arg: Term::Lit(commcsl_pure::Value::Unit),
+                                count: Term::sub(Term::var("n"), Term::var("k")),
+                            }],
+                        ],
+                    },
+                    VStmt::Unshare {
+                        resource: 0,
+                        into: "q".into(),
+                    },
+                ]);
+            let report = verify(&p, config);
+            assert!(report.verified(), "{report}");
 
-        // If the total is high, the retroactive check fails.
-        let mut p_bad = p.clone();
-        p_bad.body[0] = VStmt::input("n", Sort::Int, false);
-        let report = verify(&p_bad, &cfg());
-        assert!(!report.verified());
-        assert!(report
-            .failures()
-            .any(|f| f.description.contains("total count")));
+            // If the total is high, the retroactive check fails.
+            let mut p_bad = p.clone();
+            p_bad.body[0] = VStmt::input("n", Sort::Int, false);
+            let report = verify(&p_bad, config);
+            assert!(!report.verified());
+            assert!(report
+                .failures()
+                .any(|f| f.description.contains("total count")
+                    && f.code == DiagnosticCode::LowBatchTotal));
+        });
+    }
+
+    #[test]
+    fn spans_flow_from_program_to_obligations() {
+        let p = AnnotatedProgram::new("spanned")
+            .with_body([
+                VStmt::input("h", Sort::Int, false),
+                VStmt::Output(Term::var("h")),
+            ])
+            .with_span(vec![0], SourceSpan::new(2, 1))
+            .with_span(vec![1], SourceSpan::new(3, 1));
+        let report = verify(&p, &cfg());
+        let failure = report.failures().next().expect("leak fails");
+        assert_eq!(failure.span, Some(SourceSpan::new(3, 1)));
+        // Span-free construction yields span-free obligations.
+        let bare = AnnotatedProgram::new("spanned").with_body(p.body.clone());
+        let report = verify(&bare, &cfg());
+        assert_eq!(report.failures().next().unwrap().span, None);
     }
 }

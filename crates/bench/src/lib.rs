@@ -343,6 +343,103 @@ pub fn scale_programs() -> Vec<commcsl::verifier::AnnotatedProgram> {
     vec![map_audit(6, 6), map_audit(12, 12)]
 }
 
+/// The edit-loop stress programs: the same shared-map shape as
+/// [`scale_programs`], but every audit output is a *composite aggregate*
+/// ([`audit_goal`]) whose discharge cost dwarfs the symbolic walk that
+/// reaches it — the reporting-pipeline regime where obligation-level
+/// reuse pays hardest. Kept separate from [`scale_programs`] because the
+/// two benches stress different seams: `incremental_solver` measures
+/// base-state reuse across *many cheap checks*, `incremental_reverify`
+/// measures skipping *expensive checks* altogether.
+pub fn reverify_programs() -> Vec<commcsl::verifier::AnnotatedProgram> {
+    use commcsl::prelude::{ResourceSpec, Sort, Term, VStmt};
+    use commcsl::pure::{Func, Value};
+    use commcsl::verifier::AnnotatedProgram;
+
+    let map_report = |puts_per_iter: usize, outputs: usize| {
+        let worker = |lo: Term, hi: Term| {
+            let mut body = vec![
+                VStmt::input("adr", Sort::Int, true),
+                VStmt::input("rsn", Sort::Int, false),
+            ];
+            for j in 0..puts_per_iter {
+                body.push(VStmt::atomic(
+                    0,
+                    "Put",
+                    Term::pair(
+                        Term::add(Term::var("adr"), Term::int(j as i64)),
+                        Term::var("rsn"),
+                    ),
+                ));
+            }
+            vec![VStmt::for_range("i", lo, hi, body)]
+        };
+        let mut body = vec![
+            VStmt::input("n", Sort::Int, true),
+            VStmt::Share {
+                resource: 0,
+                init: Term::Lit(Value::map_empty()),
+            },
+            VStmt::Par {
+                workers: vec![
+                    worker(
+                        Term::int(0),
+                        Term::app(Func::Div, [Term::var("n"), Term::int(2)]),
+                    ),
+                    worker(
+                        Term::app(Func::Div, [Term::var("n"), Term::int(2)]),
+                        Term::var("n"),
+                    ),
+                ],
+            },
+            VStmt::Unshare {
+                resource: 0,
+                into: "m".into(),
+            },
+        ];
+        for j in 0..outputs {
+            body.push(VStmt::Output(audit_goal(j as i64)));
+        }
+        AnnotatedProgram::new(format!("scale-map-report-{puts_per_iter}x{outputs}"))
+            .with_resource(ResourceSpec::keyset_map())
+            .with_body(body)
+    };
+
+    vec![map_report(6, 24), map_report(9, 36)]
+}
+
+/// The `j`-th audit output of a [`reverify_programs`] workload: a
+/// composite aggregate over the key-set abstraction (all low because the
+/// domain is). The edit-loop bench rewrites the final one per edit.
+pub fn audit_goal(j: i64) -> commcsl::prelude::Term {
+    use commcsl::prelude::Term;
+    use commcsl::pure::Func;
+    let dom = || Term::app(Func::MapDom, [Term::var("m")]);
+    let seq = || Term::app(Func::SetToSeq, [dom()]);
+    Term::add(
+        Term::add(
+            Term::app(
+                Func::Div,
+                [
+                    Term::mul(
+                        Term::app(Func::SeqMean, [seq()]),
+                        Term::app(Func::SetCard, [dom()]),
+                    ),
+                    Term::int(j + 1),
+                ],
+            ),
+            Term::app(Func::SeqSum, [Term::app(Func::SeqTail, [seq()])]),
+        ),
+        Term::app(
+            Func::Mod,
+            [
+                Term::app(Func::SeqSum, [seq()]),
+                Term::add(Term::app(Func::SetCard, [dom()]), Term::int(j + 2)),
+            ],
+        ),
+    )
+}
+
 /// Replays a recorded solver-event stream through a backend session,
 /// returning the verdict of every `Check` event.
 pub fn replay_trace(
@@ -484,6 +581,148 @@ pub fn incremental_json(run: &IncrementalBench, runs: u32) -> String {
     )
 }
 
+// --------------------------------------------- incremental re-verification
+
+/// One workload of the edit-loop benchmark: a [`reverify_programs`]
+/// stress program opened cold in a
+/// [`Workspace`](commcsl::verifier::workspace::Workspace), then
+/// re-verified after a sequence of single-statement edits.
+#[derive(Debug, Clone)]
+pub struct ReverifyRow {
+    /// Workload name.
+    pub example: String,
+    /// Proof obligations per revision.
+    pub obligations: usize,
+    /// Wall-clock ms for the cold open (empty caches).
+    pub cold_ms: f64,
+    /// Median wall-clock ms per single-statement edit re-verification.
+    pub edit_ms: f64,
+    /// Obligations replayed from the obligation cache on the last edit.
+    pub reused: usize,
+    /// Obligations re-discharged by the solver on the last edit.
+    pub checked: usize,
+}
+
+impl ReverifyRow {
+    /// Cold-over-edit speedup for this workload.
+    pub fn speedup(&self) -> f64 {
+        self.cold_ms / self.edit_ms.max(f64::EPSILON)
+    }
+}
+
+/// Results of the edit-loop benchmark.
+#[derive(Debug, Clone)]
+pub struct ReverifyBench {
+    /// Per-workload rows.
+    pub rows: Vec<ReverifyRow>,
+    /// Median of the per-workload speedups.
+    pub median_speedup: f64,
+    /// Whether every incremental report (cold open and each edit) was
+    /// byte-identical to cold whole-program verification.
+    pub identical: bool,
+}
+
+/// A single-statement edit of a [`reverify_programs`] workload: the final audit
+/// output's scaling constant changes (distinct per `k`, so every edit is
+/// a new program revision). Everything before the last statement is
+/// untouched — the canonical "fix the line I'm on" edit.
+fn edit_last_output(
+    program: &commcsl::verifier::AnnotatedProgram,
+    k: i64,
+) -> commcsl::verifier::AnnotatedProgram {
+    use commcsl::prelude::VStmt;
+    let mut edited = program.clone();
+    let last = edited
+        .body
+        .last_mut()
+        .expect("scale programs end with an audit output");
+    *last = VStmt::Output(audit_goal(1000 + k));
+    edited
+}
+
+/// Benchmarks the workspace edit loop on the [`reverify_programs`]
+/// (`scale-map-report-*`): one cold `open_document`, then `edits`
+/// single-statement edits pushed through
+/// `update_document`, each re-discharging only the dirty obligation cone.
+/// Byte-identity of every report against cold whole-program verification
+/// is pinned before any number is reported.
+pub fn reverify_bench(edits: u32) -> ReverifyBench {
+    use commcsl::verifier::verify;
+    use commcsl::verifier::workspace::{Workspace, WorkspaceConfig};
+    use std::time::Instant;
+
+    assert!(edits > 0, "need at least one edit to take a median over");
+    let mut rows = Vec::new();
+    let mut identical = true;
+    for program in reverify_programs() {
+        let mut ws = Workspace::new(WorkspaceConfig::default());
+        let started = Instant::now();
+        let cold = ws.open_document("bench.csl", &program);
+        let cold_ms = started.elapsed().as_secs_f64() * 1000.0;
+        identical &= cold.report.to_json() == verify(&program, ws.config()).to_json();
+
+        let mut edit_samples = Vec::with_capacity(edits as usize);
+        let (mut reused, mut checked) = (0, 0);
+        for k in 1..=edits {
+            let edited = edit_last_output(&program, i64::from(k));
+            let started = Instant::now();
+            let outcome = ws
+                .update_document("bench.csl", &edited)
+                .expect("document is open");
+            edit_samples.push(started.elapsed().as_secs_f64() * 1000.0);
+            identical &=
+                outcome.report.to_json() == verify(&edited, ws.config()).to_json();
+            identical &= !outcome.report_cached; // every edit is a new revision
+            reused = outcome.obligations.reused;
+            checked = outcome.obligations.checked;
+        }
+        rows.push(ReverifyRow {
+            example: program.name.clone(),
+            obligations: cold.obligations.total,
+            cold_ms,
+            edit_ms: median(&mut edit_samples),
+            reused,
+            checked,
+        });
+    }
+    let mut speedups: Vec<f64> = rows.iter().map(ReverifyRow::speedup).collect();
+    ReverifyBench {
+        rows,
+        median_speedup: median(&mut speedups),
+        identical,
+    }
+}
+
+/// Renders the edit-loop bench as one JSON snapshot line for
+/// `BENCH_table1.json`.
+pub fn reverify_json(run: &ReverifyBench, edits: u32) -> String {
+    use commcsl::verifier::report::json_string;
+    let rows: Vec<String> = run
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"example\":{},\"obligations\":{},\"cold_ms\":{:.6},\
+                 \"edit_ms\":{:.6},\"reused\":{},\"checked\":{},\"speedup\":{:.3}}}",
+                json_string(&r.example),
+                r.obligations,
+                r.cold_ms,
+                r.edit_ms,
+                r.reused,
+                r.checked,
+                r.speedup(),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"bench\":\"incremental_reverify\",\"edits\":{edits},\
+         \"median_speedup\":{:.3},\"identical\":{},\"rows\":[{}]}}",
+        run.median_speedup,
+        run.identical,
+        rows.join(","),
+    )
+}
+
 /// Renders rows in the paper's table layout.
 pub fn render_table(rows: &[Table1Row]) -> String {
     let mut out = String::new();
@@ -585,6 +824,25 @@ mod tests {
         assert!(json.starts_with("{\"bench\":\"incremental_solver\""));
         assert!(!json.contains('\n'));
         assert!(json.contains("\"median_speedup\":"));
+        assert!(json.contains("\"identical\":true"));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
+        }
+    }
+
+    #[test]
+    fn reverify_bench_is_identical_and_reuses_all_but_the_edit() {
+        let run = reverify_bench(2);
+        assert!(run.identical, "incremental reports must be byte-identical");
+        assert_eq!(run.rows.len(), 2);
+        for row in &run.rows {
+            // A last-statement edit re-checks exactly one obligation.
+            assert_eq!(row.checked, 1, "{row:?}");
+            assert_eq!(row.reused, row.obligations - 1, "{row:?}");
+        }
+        let json = reverify_json(&run, 2);
+        assert!(json.starts_with("{\"bench\":\"incremental_reverify\""));
+        assert!(!json.contains('\n'));
         assert!(json.contains("\"identical\":true"));
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(json.matches(open).count(), json.matches(close).count());

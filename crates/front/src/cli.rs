@@ -4,12 +4,23 @@
 //! commcsl verify [--threads N] [--json] [--expect verified|rejected]
 //!                [--fail-fast] [--backend fresh|incremental]
 //!                [--daemon] [--no-start] [--socket PATH] [--cache-dir DIR] PATH...
+//! commcsl watch  [--json] [--interval MS] [--once]
+//!                [--backend fresh|incremental] [--cache-dir DIR] PATH...
 //! commcsl serve  [--socket PATH] [--cache-dir DIR] [--threads N] [--stdio]
 //! commcsl daemon status|stop [--socket PATH] [--json]
 //! commcsl fixture NAME [--json]
 //! commcsl fmt PATH...
 //! commcsl help
 //! ```
+//!
+//! `watch` is the edit-loop mode: files are opened as documents of a
+//! [`commcsl_verifier::workspace::Workspace`] and re-verified on change
+//! (mtime/length polling — no platform watcher dependency). Re-checks are
+//! *incremental*: obligations whose dependency cone an edit left
+//! untouched replay their cached status, so the loop's latency tracks
+//! the size of the edit, not the size of the file. `--json` emits one
+//! NDJSON event per line (`watching`, `verified`, `error`), `--once`
+//! runs a single pass and exits with `verify`-style codes.
 //!
 //! `PATH` arguments may be `.csl` files, directories (searched recursively
 //! for `*.csl`), or simple `*`-globs in the final path component. `verify`
@@ -76,6 +87,7 @@ usage: commcsl <command> [options] <path>...
 
 commands:
   verify    parse, lower, and verify annotated programs
+  watch     re-verify files on change, incrementally (workspace session)
   serve     run the persistent verification daemon (foreground)
   daemon    control a running daemon: `daemon status`, `daemon stop`
   fixture   verify a built-in Table 1 fixture by name
@@ -100,6 +112,14 @@ options (verify):
   --socket PATH                daemon socket (default: <cache-dir>/commcsl.sock)
   --cache-dir DIR              verdict-cache directory (default: .commcsl-cache)
 
+options (watch):
+  --json                       one NDJSON event per line instead of text
+  --interval MS                poll interval in milliseconds (default 200)
+  --once                       single pass over all files, then exit
+  --backend fresh|incremental  solver backend (default: incremental)
+  --cache-dir DIR              persist the verdict/obligation cache under
+                               DIR (default: in-memory only)
+
 options (serve):
   --socket PATH / --cache-dir DIR / --threads N   as above
   --memory N                   in-memory cache capacity (default 4096)
@@ -117,6 +137,7 @@ paths may be .csl files, directories (searched recursively), or simple
 pub fn run(args: &[String], out: &mut String) -> i32 {
     match args.first().map(String::as_str) {
         Some("verify") => run_verify(&args[1..], out),
+        Some("watch") => run_watch(&args[1..], out),
         Some("serve") => run_serve(&args[1..], out),
         Some("daemon") => run_daemon(&args[1..], out),
         Some("fixture") => run_fixture(&args[1..], out),
@@ -539,8 +560,9 @@ fn render_verify(
         }));
         let _ = writeln!(
             out,
-            "{{\"results\":[{}],\"summary\":{{\"total\":{},\"as_expected\":{},\
+            "{{\"schema_version\":{},\"results\":[{}],\"summary\":{{\"total\":{},\"as_expected\":{},\
              \"errors\":{},\"expect\":{},\"engine\":{},\"ok\":{},\"exit_code\":{}}}}}",
+            commcsl_verifier::report::REPORT_SCHEMA_VERSION,
             entries.join(","),
             results.len() + file_errors.len(),
             matching,
@@ -597,6 +619,279 @@ fn render_verify(
     code
 }
 
+// ------------------------------------------------------------------- watch
+
+#[derive(Debug)]
+struct WatchFlags {
+    json: bool,
+    interval_ms: u64,
+    once: bool,
+    backend: BackendKind,
+    cache_dir: Option<PathBuf>,
+    paths: Vec<String>,
+}
+
+fn parse_watch_flags(args: &[String], out: &mut String) -> Result<WatchFlags, i32> {
+    let mut flags = WatchFlags {
+        json: false,
+        interval_ms: 200,
+        once: false,
+        backend: BackendKind::default(),
+        cache_dir: None,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => flags.json = true,
+            "--once" => flags.once = true,
+            "--interval" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => flags.interval_ms = ms,
+                None => {
+                    let _ = writeln!(out, "commcsl: --interval needs milliseconds");
+                    return Err(EXIT_ERROR);
+                }
+            },
+            "--backend" => match it.next().and_then(|v| BackendKind::from_name(v)) {
+                Some(backend) => flags.backend = backend,
+                None => {
+                    let _ = writeln!(out, "commcsl: --backend needs `fresh` or `incremental`");
+                    return Err(EXIT_ERROR);
+                }
+            },
+            "--cache-dir" => {
+                flags.cache_dir = Some(take_path_value(&mut it, "--cache-dir", out)?);
+            }
+            flag if flag.starts_with("--") => {
+                let _ = writeln!(out, "commcsl: unknown watch option `{flag}`\n{USAGE}");
+                return Err(EXIT_ERROR);
+            }
+            path => flags.paths.push(path.to_owned()),
+        }
+    }
+    if flags.paths.is_empty() {
+        let _ = writeln!(out, "commcsl: watch needs at least one path\n{USAGE}");
+        return Err(EXIT_ERROR);
+    }
+    Ok(flags)
+}
+
+/// Change fingerprint of one watched file (mtime + length; `None` while
+/// the file is unreadable).
+type Fingerprint = Option<(std::time::SystemTime, u64)>;
+
+/// Tallies of one watch pass.
+#[derive(Debug, Default, Clone, Copy)]
+struct WatchPass {
+    /// Files (re)checked this pass.
+    changed: usize,
+    /// ... of which verified.
+    verified: usize,
+    /// ... of which failed verification.
+    failed: usize,
+    /// ... of which did not read/compile.
+    errors: usize,
+}
+
+impl WatchPass {
+    fn exit_code(self) -> i32 {
+        if self.errors > 0 {
+            EXIT_ERROR
+        } else if self.failed > 0 {
+            EXIT_MISMATCH
+        } else {
+            EXIT_OK
+        }
+    }
+}
+
+/// The edit-loop engine behind `commcsl watch`: a workspace session over
+/// a fixed file set, re-verifying documents whose on-disk fingerprint
+/// changed. Split from the command loop so tests can drive passes (and
+/// simulate edits) without sleeping.
+struct Watcher {
+    workspace: commcsl_verifier::workspace::Workspace,
+    files: Vec<PathBuf>,
+    fingerprints: std::collections::HashMap<PathBuf, Fingerprint>,
+    json: bool,
+}
+
+impl Watcher {
+    fn new(flags: &WatchFlags, files: Vec<PathBuf>) -> Watcher {
+        use commcsl_verifier::workspace::{Workspace, WorkspaceConfig};
+        let mut verifier = VerifierConfig {
+            backend: flags.backend,
+            ..Default::default()
+        };
+        verifier.validity.backend = flags.backend;
+        let cache = match &flags.cache_dir {
+            Some(dir) => CacheConfig::persistent(dir),
+            None => CacheConfig::default(),
+        };
+        Watcher {
+            workspace: Workspace::new(WorkspaceConfig { verifier, cache }),
+            files,
+            fingerprints: std::collections::HashMap::new(),
+            json: flags.json,
+        }
+    }
+
+    fn fingerprint(path: &Path) -> Fingerprint {
+        let meta = fs::metadata(path).ok()?;
+        Some((meta.modified().ok()?, meta.len()))
+    }
+
+    /// Checks every file whose fingerprint changed (all of them with
+    /// `force`), appending per-file output to `out`.
+    fn pass(&mut self, force: bool, out: &mut String) -> WatchPass {
+        let mut tally = WatchPass::default();
+        for file in self.files.clone() {
+            let current = Self::fingerprint(&file);
+            let known = self.fingerprints.get(&file);
+            if !force && known == Some(&current) {
+                continue;
+            }
+            self.fingerprints.insert(file.clone(), current);
+            tally.changed += 1;
+            let source = match fs::read_to_string(&file) {
+                Ok(source) => source,
+                Err(e) => {
+                    tally.errors += 1;
+                    self.render_error(&file, &format!("cannot read file: {e}"), out);
+                    continue;
+                }
+            };
+            let program = match compile(&source) {
+                Ok(program) => program,
+                Err(e) => {
+                    tally.errors += 1;
+                    self.render_error(&file, &e.to_string(), out);
+                    continue;
+                }
+            };
+            let doc = file.display().to_string();
+            let outcome = self.workspace.open_document(&doc, &program);
+            if outcome.report.verified() {
+                tally.verified += 1;
+            } else {
+                tally.failed += 1;
+            }
+            self.render_outcome(&file, &outcome, out);
+        }
+        tally
+    }
+
+    fn render_error(&self, file: &Path, error: &str, out: &mut String) {
+        if self.json {
+            let _ = writeln!(
+                out,
+                "{{\"event\":\"error\",\"file\":{},\"error\":{}}}",
+                json_string(&file.display().to_string()),
+                json_string(error)
+            );
+        } else {
+            let _ = writeln!(out, "{}: {error}", file.display());
+        }
+    }
+
+    fn render_outcome(
+        &self,
+        file: &Path,
+        outcome: &commcsl_verifier::workspace::DocOutcome,
+        out: &mut String,
+    ) {
+        let time_ms = outcome.time.as_secs_f64() * 1000.0;
+        if self.json {
+            let _ = writeln!(
+                out,
+                "{{\"event\":\"verified\",\"file\":{},\"revision\":{},\
+                 \"verified\":{},\"cached\":{},\"obligations\":{},\"reused\":{},\
+                 \"checked\":{},\"time_ms\":{time_ms:.3},\"report\":{}}}",
+                json_string(&file.display().to_string()),
+                outcome.revision,
+                outcome.report.verified(),
+                outcome.report_cached,
+                outcome.obligations.total,
+                outcome.obligations.reused,
+                outcome.obligations.checked,
+                outcome.report.to_json()
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{} [{}] {} obligations ({} reused, {} checked, {time_ms:.3} ms)",
+                file.display(),
+                if outcome.report.verified() { "OK" } else { "FAIL" },
+                outcome.obligations.total,
+                outcome.obligations.reused,
+                outcome.obligations.checked,
+            );
+            if !outcome.report.verified() {
+                let _ = write!(out, "{}", outcome.report);
+            }
+        }
+    }
+}
+
+fn run_watch(args: &[String], out: &mut String) -> i32 {
+    let flags = match parse_watch_flags(args, out) {
+        Ok(flags) => flags,
+        Err(code) => return code,
+    };
+    let files = match collect_files(&flags.paths) {
+        Ok(files) if files.is_empty() => {
+            let _ = writeln!(out, "commcsl: no .csl files found");
+            return EXIT_ERROR;
+        }
+        Ok(files) => files,
+        Err(msg) => {
+            let _ = writeln!(out, "commcsl: {msg}");
+            return EXIT_ERROR;
+        }
+    };
+
+    let mut watcher = Watcher::new(&flags, files);
+    if flags.json {
+        let _ = writeln!(
+            out,
+            "{{\"event\":\"watching\",\"schema_version\":{},\"files\":{},\
+             \"interval_ms\":{},\"once\":{}}}",
+            commcsl_verifier::report::REPORT_SCHEMA_VERSION,
+            watcher.files.len(),
+            flags.interval_ms,
+            flags.once
+        );
+    } else if !flags.once {
+        let _ = writeln!(
+            out,
+            "commcsl: watching {} file(s), every {} ms (ctrl-c to stop)",
+            watcher.files.len(),
+            flags.interval_ms
+        );
+    }
+
+    let first = watcher.pass(true, out);
+    if flags.once {
+        return first.exit_code();
+    }
+
+    // The long-running loop streams directly (the `out` sink is only
+    // rendered when `run` returns, which a watch loop never does).
+    print!("{out}");
+    out.clear();
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::sleep(Duration::from_millis(flags.interval_ms.max(10)));
+        let mut chunk = String::new();
+        let _ = watcher.pass(false, &mut chunk);
+        if !chunk.is_empty() {
+            print!("{chunk}");
+            let _ = std::io::stdout().flush();
+        }
+    }
+}
+
 // ------------------------------------------------------------------- serve
 
 fn run_serve(args: &[String], out: &mut String) -> i32 {
@@ -642,6 +937,7 @@ fn run_serve(args: &[String], out: &mut String) -> i32 {
             cache: CacheConfig {
                 memory_capacity: memory.max(1),
                 disk_dir: Some(cache_dir.clone()),
+                ..Default::default()
             },
             verifier: VerifierConfig::default(),
         },
@@ -745,22 +1041,29 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
                 } else {
                     let _ = writeln!(
                         out,
-                        "daemon v{} (format v{}) up {:.1}s on {}\n\
-                         requests: {}  programs: {}\n\
+                        "daemon v{} (format v{}, protocol v{}, backend {}) \
+                         up {:.1}s on {}\n\
+                         requests: {}  programs: {}  open documents: {}\n\
                          cache: {} memory + {} disk hits, {} misses \
-                         ({:.1}% hit rate), {} entries in memory, {} evictions",
+                         ({:.1}% hit rate), {} entries in memory, {} evictions\n\
+                         obligations: {} reused, {} checked",
                         status.version,
                         status.format_version,
+                        status.protocol_version,
+                        status.backend,
                         status.uptime_ms / 1000.0,
                         socket.display(),
                         status.requests,
                         status.programs,
+                        status.documents,
                         status.memory_hits,
                         status.disk_hits,
                         status.misses,
                         status.hit_rate() * 100.0,
                         status.memory_entries,
                         status.evictions,
+                        status.obligation_hits,
+                        status.obligation_misses,
                     );
                 }
                 EXIT_OK
@@ -1265,6 +1568,137 @@ mod tests {
         );
         assert!(out.contains("--backend needs"));
 
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watch_once_verifies_and_reports_reuse() {
+        let dir = temp_corpus("watch-once");
+        // Human mode: one pass, exit code reflects the failing file.
+        let mut out = String::new();
+        let code = run(
+            &["watch".into(), "--once".into(), dir.display().to_string()],
+            &mut out,
+        );
+        assert_eq!(code, EXIT_MISMATCH, "{out}");
+        assert!(out.contains("good.csl [OK]"), "{out}");
+        assert!(out.contains("bad.csl [FAIL]"), "{out}");
+        assert!(out.contains("obligations ("), "{out}");
+
+        // JSON mode: NDJSON events, schema_version announced up front.
+        let mut out = String::new();
+        let code = run(
+            &[
+                "watch".into(),
+                "--once".into(),
+                "--json".into(),
+                dir.join("good.csl").display().to_string(),
+            ],
+            &mut out,
+        );
+        assert_eq!(code, EXIT_OK, "{out}");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("\"event\":\"watching\""), "{out}");
+        assert!(lines[0].contains("\"schema_version\":"), "{out}");
+        assert!(lines[1].contains("\"event\":\"verified\""), "{out}");
+        assert!(lines[1].contains("\"report\":{\"schema_version\":"), "{out}");
+
+        // A parse error is an `error` event and exit code 2.
+        fs::write(dir.join("broken.csl"), "program ; nonsense\n").unwrap();
+        let mut out = String::new();
+        let code = run(
+            &[
+                "watch".into(),
+                "--once".into(),
+                "--json".into(),
+                dir.display().to_string(),
+            ],
+            &mut out,
+        );
+        assert_eq!(code, EXIT_ERROR, "{out}");
+        assert!(out.contains("\"event\":\"error\""), "{out}");
+
+        // Usage errors.
+        let mut out = String::new();
+        assert_eq!(run(&["watch".into()], &mut out), EXIT_ERROR);
+        let mut out = String::new();
+        assert_eq!(
+            run(&["watch".into(), "--interval".into()], &mut out),
+            EXIT_ERROR
+        );
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watcher_passes_recheck_only_changed_files_incrementally() {
+        let dir = temp_corpus("watch-loop");
+        let good = dir.join("good.csl");
+        let files = vec![good.clone(), dir.join("bad.csl")];
+        let flags = WatchFlags {
+            json: false,
+            interval_ms: 0,
+            once: false,
+            backend: BackendKind::default(),
+            cache_dir: None,
+            paths: vec![],
+        };
+        let mut watcher = Watcher::new(&flags, files);
+
+        let mut out = String::new();
+        let first = watcher.pass(true, &mut out);
+        assert_eq!(first.changed, 2);
+        assert_eq!((first.verified, first.failed), (1, 1));
+
+        // Nothing changed: the next pass is a no-op.
+        let mut out = String::new();
+        let idle = watcher.pass(false, &mut out);
+        assert_eq!(idle.changed, 0);
+        assert!(out.is_empty(), "{out}");
+
+        // Edit one file (ensure the fingerprint moves even on coarse
+        // mtime clocks by changing the length too).
+        fs::write(
+            &good,
+            "program good;\ninput a: Int low;\ninput b: Int low;\noutput a;\noutput b;\n",
+        )
+        .unwrap();
+        let mut out = String::new();
+        let edited = watcher.pass(false, &mut out);
+        assert_eq!(edited.changed, 1, "{out}");
+        assert_eq!(edited.verified, 1);
+        // The re-verification is incremental: the unchanged prefix of the
+        // document replays from the obligation cache.
+        assert!(out.contains("reused"), "{out}");
+        let stats = watcher.workspace.stats();
+        assert!(stats.obligations.reused > 0, "{stats:?}");
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_json_carries_schema_version() {
+        let dir = temp_corpus("schema");
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &[
+                    "verify".into(),
+                    "--json".into(),
+                    dir.join("good.csl").display().to_string()
+                ],
+                &mut out
+            ),
+            EXIT_OK
+        );
+        assert!(
+            out.starts_with(&format!(
+                "{{\"schema_version\":{}",
+                commcsl_verifier::report::REPORT_SCHEMA_VERSION
+            )),
+            "{out}"
+        );
+        assert!(out.contains("\"report\":{\"schema_version\":"), "{out}");
         fs::remove_dir_all(&dir).ok();
     }
 

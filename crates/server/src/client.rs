@@ -13,7 +13,8 @@ use std::time::{Duration, Instant};
 
 use crate::json::Json;
 use crate::protocol::{
-    verify_outcome_from_json, Request, StatusInfo, VerifyItem, VerifyOutcome,
+    doc_outcome_from_json, verify_outcome_from_json, DocOutcomeWire, Request,
+    StatusInfo, VerifyItem, VerifyOutcome, PROTOCOL_VERSION,
 };
 
 /// An error talking to the daemon.
@@ -69,8 +70,19 @@ impl Client {
 
     /// Sends one request and reads one response.
     pub fn roundtrip(&mut self, request: &Request) -> Result<Json, ClientError> {
+        self.send(request)?;
+        self.read_json_line()
+    }
+
+    /// Sends one request line.
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
         writeln!(self.writer, "{}", request.encode())?;
         self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads and parses one response line.
+    fn read_json_line(&mut self) -> Result<Json, ClientError> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
             return Err(ClientError::Io(io::Error::new(
@@ -79,6 +91,24 @@ impl Client {
             )));
         }
         Json::parse(line.trim()).map_err(ClientError::Protocol)
+    }
+
+    /// Sends one request and reads its (possibly streamed) response:
+    /// event lines — documents without an `"ok"` key — go to `on_event`;
+    /// the first line carrying `"ok"` terminates and is returned.
+    pub fn roundtrip_streaming(
+        &mut self,
+        request: &Request,
+        on_event: &mut dyn FnMut(&Json),
+    ) -> Result<Json, ClientError> {
+        self.send(request)?;
+        loop {
+            let doc = self.read_json_line()?;
+            if doc.get("ok").is_some() {
+                return Ok(doc);
+            }
+            on_event(&doc);
+        }
     }
 
     /// Verifies one named source.
@@ -140,6 +170,114 @@ impl Client {
             .iter()
             .map(|doc| verify_outcome_from_json(doc).map_err(ClientError::Protocol))
             .collect()
+    }
+
+    /// Negotiates the protocol version (v2 sessions). Returns the version
+    /// the server pinned the session to.
+    pub fn hello(&mut self, protocol: u32) -> Result<u32, ClientError> {
+        let response = self.roundtrip(&Request::Hello { protocol })?;
+        if response.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(ClientError::Protocol(
+                response
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("hello failed")
+                    .to_owned(),
+            ));
+        }
+        let negotiated = response
+            .get("protocol")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("hello response needs `protocol`".into()))?;
+        u32::try_from(negotiated)
+            .map_err(|_| ClientError::Protocol("negotiated protocol out of range".into()))
+    }
+
+    /// Negotiates the newest protocol this build speaks.
+    pub fn hello_latest(&mut self) -> Result<u32, ClientError> {
+        self.hello(PROTOCOL_VERSION)
+    }
+
+    /// Toggles event streaming for this session's `open`/`update`.
+    pub fn subscribe(&mut self, events: bool) -> Result<bool, ClientError> {
+        let response = self.roundtrip(&Request::Subscribe { events })?;
+        response
+            .get("subscribed")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| {
+                ClientError::Protocol(
+                    response
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("subscribe failed")
+                        .to_owned(),
+                )
+            })
+    }
+
+    /// Opens (or reopens) a workspace document and verifies it.
+    pub fn open(
+        &mut self,
+        doc: impl Into<String>,
+        source: impl Into<String>,
+    ) -> Result<DocOutcomeWire, ClientError> {
+        self.open_streaming(doc, source, &mut |_| {})
+    }
+
+    /// [`Client::open`], forwarding any streamed events (subscribe first).
+    pub fn open_streaming(
+        &mut self,
+        doc: impl Into<String>,
+        source: impl Into<String>,
+        on_event: &mut dyn FnMut(&Json),
+    ) -> Result<DocOutcomeWire, ClientError> {
+        let request = Request::Open {
+            doc: doc.into(),
+            source: source.into(),
+        };
+        let response = self.roundtrip_streaming(&request, on_event)?;
+        Ok(doc_outcome_from_json(&response)?)
+    }
+
+    /// Re-verifies an open document after an edit.
+    pub fn update(
+        &mut self,
+        doc: impl Into<String>,
+        source: impl Into<String>,
+    ) -> Result<DocOutcomeWire, ClientError> {
+        self.update_streaming(doc, source, &mut |_| {})
+    }
+
+    /// [`Client::update`], forwarding any streamed events.
+    pub fn update_streaming(
+        &mut self,
+        doc: impl Into<String>,
+        source: impl Into<String>,
+        on_event: &mut dyn FnMut(&Json),
+    ) -> Result<DocOutcomeWire, ClientError> {
+        let request = Request::Update {
+            doc: doc.into(),
+            source: source.into(),
+        };
+        let response = self.roundtrip_streaming(&request, on_event)?;
+        Ok(doc_outcome_from_json(&response)?)
+    }
+
+    /// Closes a workspace document; `Ok(true)` when it was open.
+    pub fn close(&mut self, doc: impl Into<String>) -> Result<bool, ClientError> {
+        let response = self.roundtrip(&Request::Close { doc: doc.into() })?;
+        response
+            .get("closed")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| {
+                ClientError::Protocol(
+                    response
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("close failed")
+                        .to_owned(),
+                )
+            })
     }
 
     /// Fetches daemon statistics.

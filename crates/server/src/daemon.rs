@@ -19,7 +19,7 @@
 //! (their reads poll a shared flag), and the socket file is removed.
 
 use std::io::{self, BufRead, BufReader, Write};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use commcsl_verifier::batch::BatchConfig;
@@ -27,11 +27,13 @@ use commcsl_verifier::cache::{CacheConfig, CachedVerifier};
 use commcsl_verifier::hash::HASH_FORMAT_VERSION;
 use commcsl_verifier::program::AnnotatedProgram;
 use commcsl_verifier::report::VerifierConfig;
+use commcsl_verifier::workspace::{Workspace, WorkspaceEvent};
 
 use crate::json::Json;
 use crate::protocol::{
-    error_json, verify_response_json, Request, StatusInfo, VerifyItem, VerifyOk,
-    VerifyOutcome,
+    doc_response_json, error_json, obligation_event_json, started_event_json,
+    verify_response_json, DocOk, DocOutcomeWire, Request, StatusInfo, VerifyItem,
+    VerifyOk, VerifyOutcome, PROTOCOL_VERSION,
 };
 
 /// Compiles surface source text to a lowered program. Errors are
@@ -57,7 +59,32 @@ pub struct Server {
     started: Instant,
     requests: AtomicU64,
     programs: AtomicU64,
+    /// Workspace documents currently open across all sessions.
+    documents: AtomicI64,
     shutdown: AtomicBool,
+}
+
+/// Per-connection protocol state: the negotiated version, the event
+/// subscription, and the connection's [`Workspace`] (documents are
+/// session-scoped; the verdict/obligation cache behind them is the
+/// server-wide one).
+pub struct Session {
+    protocol: u32,
+    subscribed: bool,
+    workspace: Workspace,
+}
+
+impl Session {
+    /// The protocol version this session negotiated (defaults to
+    /// [`PROTOCOL_VERSION`] until a `hello` downgrades it).
+    pub fn protocol(&self) -> u32 {
+        self.protocol
+    }
+
+    /// Whether `open`/`update` responses stream events.
+    pub fn subscribed(&self) -> bool {
+        self.subscribed
+    }
 }
 
 impl Server {
@@ -76,7 +103,22 @@ impl Server {
             started: Instant::now(),
             requests: AtomicU64::new(0),
             programs: AtomicU64::new(0),
+            documents: AtomicI64::new(0),
             shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Creates the protocol state for one connection: a fresh workspace
+    /// over the server-wide cache, the newest protocol version, events
+    /// off.
+    pub fn new_session(&self) -> Session {
+        Session {
+            protocol: PROTOCOL_VERSION,
+            subscribed: false,
+            workspace: Workspace::with_shared_cache(
+                self.verifier.verifier_config().clone(),
+                self.verifier.shared_cache(),
+            ),
         }
     }
 
@@ -97,14 +139,19 @@ impl Server {
         StatusInfo {
             version: env!("CARGO_PKG_VERSION").to_owned(),
             format_version: u64::from(HASH_FORMAT_VERSION),
+            protocol_version: u64::from(PROTOCOL_VERSION),
+            backend: self.verifier.verifier_config().backend.name().to_owned(),
             uptime_ms: self.started.elapsed().as_secs_f64() * 1000.0,
             requests: self.requests.load(Ordering::Relaxed),
             programs: self.programs.load(Ordering::Relaxed),
+            documents: self.documents.load(Ordering::Relaxed).max(0) as u64,
             memory_hits: cache.memory_hits,
             disk_hits: cache.disk_hits,
             misses: cache.misses,
             evictions: cache.evictions,
             memory_entries: self.verifier.memory_entries() as u64,
+            obligation_hits: cache.obligation_hits,
+            obligation_misses: cache.obligation_misses,
             threads: self.threads as u64,
         }
     }
@@ -152,16 +199,24 @@ impl Server {
             .collect()
     }
 
-    /// Serves one protocol request. Returns the response document and
-    /// whether the daemon should shut down after sending it.
-    pub fn handle_request(&self, request: &Request) -> (Json, bool) {
+    /// Serves one protocol request in a session, emitting one or more
+    /// response lines through `emit` (event streaming for subscribed v2
+    /// sessions). Returns whether the daemon should shut down after the
+    /// response.
+    pub fn handle_session_request(
+        &self,
+        session: &mut Session,
+        request: &Request,
+        emit: &mut dyn FnMut(&Json) -> io::Result<()>,
+    ) -> io::Result<bool> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         match request {
             Request::Verify(item) => {
                 let outcome = self
                     .verify_items(std::slice::from_ref(item), false)
                     .remove(0);
-                (verify_response_json(&outcome), false)
+                emit(&verify_response_json(&outcome))?;
+                Ok(false)
             }
             Request::VerifyBatch { items, fail_fast } => {
                 let results: Vec<Json> = self
@@ -169,27 +224,221 @@ impl Server {
                     .iter()
                     .map(verify_response_json)
                     .collect();
-                (
-                    Json::obj([("ok", Json::Bool(true)), ("results", Json::Arr(results))]),
-                    false,
-                )
+                emit(&Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("results", Json::Arr(results)),
+                ]))?;
+                Ok(false)
             }
-            Request::Status => (self.status().to_json(), false),
+            Request::Status => {
+                emit(&self.status().to_json())?;
+                Ok(false)
+            }
             Request::Shutdown => {
                 self.request_shutdown();
-                (
-                    Json::obj([
-                        ("ok", Json::Bool(true)),
-                        ("shutting_down", Json::Bool(true)),
-                    ]),
-                    true,
-                )
+                emit(&Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("shutting_down", Json::Bool(true)),
+                ]))?;
+                Ok(true)
+            }
+            Request::Hello { protocol } => {
+                session.protocol = (*protocol).clamp(1, PROTOCOL_VERSION);
+                emit(&Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("protocol", Json::Num(f64::from(session.protocol))),
+                    ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+                    (
+                        "format_version",
+                        Json::Num(f64::from(HASH_FORMAT_VERSION)),
+                    ),
+                ]))?;
+                Ok(false)
+            }
+            Request::Subscribe { events } => {
+                if let Some(err) = self.v1_guard(session, "subscribe") {
+                    emit(&err)?;
+                    return Ok(false);
+                }
+                session.subscribed = *events;
+                emit(&Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("subscribed", Json::Bool(session.subscribed)),
+                ]))?;
+                Ok(false)
+            }
+            Request::Open { doc, source } => {
+                if let Some(err) = self.v1_guard(session, "open") {
+                    emit(&err)?;
+                    return Ok(false);
+                }
+                self.serve_doc(session, doc, source, false, emit)?;
+                Ok(false)
+            }
+            Request::Update { doc, source } => {
+                if let Some(err) = self.v1_guard(session, "update") {
+                    emit(&err)?;
+                    return Ok(false);
+                }
+                self.serve_doc(session, doc, source, true, emit)?;
+                Ok(false)
+            }
+            Request::Close { doc } => {
+                if let Some(err) = self.v1_guard(session, "close") {
+                    emit(&err)?;
+                    return Ok(false);
+                }
+                let closed = session.workspace.close_document(doc);
+                if closed {
+                    self.documents.fetch_sub(1, Ordering::Relaxed);
+                }
+                emit(&Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("doc", Json::str(doc)),
+                    ("closed", Json::Bool(closed)),
+                ]))?;
+                Ok(false)
             }
         }
     }
 
-    /// Serves one protocol line (malformed input yields an `"ok":false`
-    /// response rather than closing the session).
+    /// The error document for a v2 op on a session negotiated down to v1.
+    fn v1_guard(&self, session: &Session, op: &str) -> Option<Json> {
+        (session.protocol < 2).then(|| {
+            error_json(&format!(
+                "op `{op}` requires protocol v2 (session negotiated v{})",
+                session.protocol
+            ))
+        })
+    }
+
+    /// Compiles and (incrementally) verifies one workspace document,
+    /// streaming `started`/`obligation_done` events when the session is
+    /// subscribed and always ending with the `report` response line.
+    fn serve_doc(
+        &self,
+        session: &mut Session,
+        doc_id: &str,
+        source: &str,
+        is_update: bool,
+        emit: &mut dyn FnMut(&Json) -> io::Result<()>,
+    ) -> io::Result<()> {
+        let started = Instant::now();
+        let outcome: DocOutcomeWire = match (self.compile)(source) {
+            Err(e) => Err(e),
+            Ok(program) => {
+                let newly_open = !is_update
+                    && !session.workspace.open_documents().any(|d| d == doc_id);
+                let subscribed = session.subscribed;
+                let mut emit_err: Option<io::Error> = None;
+                let mut stream = |event: WorkspaceEvent<'_>| {
+                    if !subscribed || emit_err.is_some() {
+                        return;
+                    }
+                    let json = match &event {
+                        WorkspaceEvent::Started { doc, revision, key } => {
+                            Some(started_event_json(doc, *revision, *key))
+                        }
+                        WorkspaceEvent::Obligation {
+                            index,
+                            result,
+                            reused,
+                        } => Some(obligation_event_json(doc_id, *index, result, *reused)),
+                        WorkspaceEvent::Finished { .. } => None,
+                    };
+                    if let Some(json) = json {
+                        if let Err(e) = emit(&json) {
+                            emit_err = Some(e);
+                        }
+                    }
+                };
+                let checked = if is_update {
+                    session
+                        .workspace
+                        .update_document_with(doc_id, &program, &mut stream)
+                } else {
+                    Ok(session
+                        .workspace
+                        .open_document_with(doc_id, &program, &mut stream))
+                };
+                if let Some(e) = emit_err {
+                    return Err(e);
+                }
+                match checked {
+                    Err(e) => Err(e),
+                    Ok(o) => {
+                        if newly_open {
+                            self.documents.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.programs.fetch_add(1, Ordering::Relaxed);
+                        Ok(DocOk {
+                            doc: o.doc,
+                            revision: o.revision,
+                            cached: o.report_cached,
+                            key: o.key,
+                            time_ms: started.elapsed().as_secs_f64() * 1000.0,
+                            obligations: o.obligations.total as u64,
+                            reused: o.obligations.reused as u64,
+                            checked: o.obligations.checked as u64,
+                            report: o.report,
+                        })
+                    }
+                }
+            }
+        };
+        emit(&doc_response_json(&outcome, session.subscribed))
+    }
+
+    /// Serves one protocol line in a session (malformed input yields an
+    /// `"ok":false` response rather than closing the session).
+    pub fn handle_session_line(
+        &self,
+        session: &mut Session,
+        line: &str,
+        emit: &mut dyn FnMut(&Json) -> io::Result<()>,
+    ) -> io::Result<bool> {
+        match Request::decode(line.trim()) {
+            Ok(request) => self.handle_session_request(session, &request, emit),
+            Err(e) => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                emit(&error_json(&format!("bad request: {e}")))?;
+                Ok(false)
+            }
+        }
+    }
+
+    /// Serves one protocol request in a throwaway session and returns the
+    /// *final* response document plus the shutdown flag. Exactly the v1
+    /// behavior for v1 ops; v2 session ops work but their workspace state
+    /// does not persist across calls — long-lived callers should hold a
+    /// [`Session`] and use [`Server::handle_session_request`].
+    pub fn handle_request(&self, request: &Request) -> (Json, bool) {
+        let mut session = self.new_session();
+        let mut last: Option<Json> = None;
+        let stop = self
+            .handle_session_request(&mut session, request, &mut |json| {
+                last = Some(json.clone());
+                Ok(())
+            })
+            .expect("in-memory emit cannot fail");
+        self.release_session(&session);
+        (
+            last.unwrap_or_else(|| error_json("request produced no response")),
+            stop,
+        )
+    }
+
+    /// Releases a finished session's open documents from the server-wide
+    /// gauge (the cache, of course, stays).
+    fn release_session(&self, session: &Session) {
+        let open = session.workspace.open_documents().count() as i64;
+        if open > 0 {
+            self.documents.fetch_sub(open, Ordering::Relaxed);
+        }
+    }
+
+    /// Serves one protocol line in a throwaway session (see
+    /// [`Server::handle_request`] for the caveats).
     pub fn handle_line(&self, line: &str) -> (Json, bool) {
         match Request::decode(line.trim()) {
             Ok(request) => self.handle_request(&request),
@@ -214,32 +463,51 @@ impl Server {
         reader: impl io::Read,
         mut writer: impl Write,
     ) -> io::Result<()> {
+        let mut session = self.new_session();
         let mut reader = BufReader::new(reader);
         // Lines accumulate as raw bytes: `read_until` keeps partial input
         // across read timeouts, whereas `read_line` would roll back (and
         // lose) bytes that end mid-UTF-8-sequence on a timed-out call.
         let mut line: Vec<u8> = Vec::new();
-        loop {
+        let result = loop {
             match reader.read_until(b'\n', &mut line) {
-                Ok(0) => return Ok(()), // client hung up
+                Ok(0) => break Ok(()), // client hung up
                 Ok(_) if !line.ends_with(b"\n") => {
                     // EOF in the middle of a line: nothing more is coming.
-                    return Ok(());
+                    break Ok(());
                 }
                 Ok(_) => {
-                    let (response, stop) = match std::str::from_utf8(&line) {
+                    // Each response (and each streamed event) is flushed
+                    // as soon as it is rendered, so subscribed clients
+                    // see obligations settle live.
+                    let mut emit = |json: &Json| -> io::Result<()> {
+                        writeln!(writer, "{json}")?;
+                        writer.flush()
+                    };
+                    let stop = match std::str::from_utf8(&line) {
                         Ok(text) if text.trim().is_empty() => {
                             line.clear();
                             continue;
                         }
-                        Ok(text) => self.handle_line(text),
-                        Err(_) => (error_json("bad request: line is not UTF-8"), false),
+                        Ok(text) => {
+                            match self.handle_session_line(&mut session, text, &mut emit)
+                            {
+                                Ok(stop) => stop,
+                                Err(e) => break Err(e),
+                            }
+                        }
+                        Err(_) => {
+                            if let Err(e) =
+                                emit(&error_json("bad request: line is not UTF-8"))
+                            {
+                                break Err(e);
+                            }
+                            false
+                        }
                     };
-                    writeln!(writer, "{response}")?;
-                    writer.flush()?;
                     line.clear();
                     if stop || self.shutdown_requested() {
-                        return Ok(());
+                        break Ok(());
                     }
                 }
                 Err(e)
@@ -253,12 +521,15 @@ impl Server {
                     // Read timeout: partial input (if any) stays buffered
                     // in `line`; bail out only on daemon shutdown.
                     if self.shutdown_requested() {
-                        return Ok(());
+                        break Ok(());
                     }
                 }
-                Err(e) => return Err(e),
+                Err(e) => break Err(e),
             }
-        }
+        };
+        // The connection's workspace dies with it.
+        self.release_session(&session);
+        result
     }
 }
 
@@ -538,6 +809,163 @@ mod tests {
         assert!(lines[2].contains("\"requests\":"));
         assert!(lines[3].contains("\"shutting_down\":true"));
         assert!(server.shutdown_requested());
+    }
+
+    #[test]
+    fn v2_session_open_update_close_with_streaming_events() {
+        let server = server();
+        let input = [
+            Request::Hello { protocol: 7 }.encode(), // negotiated down to 2
+            Request::Subscribe { events: true }.encode(),
+            Request::Open {
+                doc: "a.csl".into(),
+                source: "ok prog-a".into(),
+            }
+            .encode(),
+            Request::Update {
+                doc: "a.csl".into(),
+                source: "leak prog-a2".into(),
+            }
+            .encode(),
+            Request::Update {
+                doc: "missing.csl".into(),
+                source: "ok x".into(),
+            }
+            .encode(),
+            Request::Close { doc: "a.csl".into() }.encode(),
+            Request::Shutdown.encode(),
+        ]
+        .join("\n")
+            + "\n";
+        let mut output = Vec::new();
+        server
+            .serve_stream(input.as_bytes(), &mut output)
+            .expect("session runs");
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+
+        // hello: negotiated down to the server's newest version.
+        assert_eq!(lines[0].get("protocol").and_then(Json::as_u64), Some(2));
+        // subscribe ack.
+        assert_eq!(lines[1].get("subscribed").and_then(Json::as_bool), Some(true));
+
+        // open: started + one obligation_done per obligation + report.
+        let started = &lines[2];
+        assert_eq!(started.get("event").and_then(Json::as_str), Some("started"));
+        assert_eq!(started.get("revision").and_then(Json::as_u64), Some(1));
+        let report_line = lines[3..]
+            .iter()
+            .position(|l| l.get("ok").is_some())
+            .map(|i| &lines[3 + i])
+            .expect("final report line");
+        assert_eq!(
+            report_line.get("event").and_then(Json::as_str),
+            Some("report")
+        );
+        let obligations = report_line
+            .get("obligations")
+            .and_then(Json::as_u64)
+            .unwrap();
+        let dones: Vec<&Json> = lines[3..]
+            .iter()
+            .take_while(|l| l.get("ok").is_none())
+            .collect();
+        assert_eq!(dones.len() as u64, obligations, "{text}");
+        assert!(dones
+            .iter()
+            .all(|l| l.get("event").and_then(Json::as_str) == Some("obligation_done")));
+
+        // update: a different program in the same doc slot — revision 2,
+        // and the rejected verdict streams through unchanged.
+        let update_report = lines
+            .iter()
+            .filter(|l| l.get("event").and_then(Json::as_str) == Some("report"))
+            .nth(1)
+            .expect("update report");
+        assert_eq!(update_report.get("revision").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            update_report
+                .get("report")
+                .and_then(|r| r.get("verified"))
+                .and_then(Json::as_bool),
+            Some(false)
+        );
+
+        // update of an unopened doc: protocol-level error, not transport.
+        let unknown = lines
+            .iter()
+            .find(|l| {
+                l.get("error")
+                    .and_then(Json::as_str)
+                    .is_some_and(|e| e.contains("unknown document"))
+            })
+            .expect("unknown-document error line: {text}");
+        assert_eq!(unknown.get("ok").and_then(Json::as_bool), Some(false));
+
+        // close acknowledges.
+        let close = lines
+            .iter()
+            .find(|l| l.get("closed").is_some())
+            .expect("close ack");
+        assert_eq!(close.get("closed").and_then(Json::as_bool), Some(true));
+        assert_eq!(server.status().documents, 0);
+    }
+
+    #[test]
+    fn v1_negotiated_session_refuses_v2_ops_but_serves_v1() {
+        let server = server();
+        let input = format!(
+            "{}\n{}\n{}\n",
+            Request::Hello { protocol: 1 }.encode(),
+            Request::Open {
+                doc: "a".into(),
+                source: "ok a".into()
+            }
+            .encode(),
+            Request::Verify(VerifyItem {
+                name: "a".into(),
+                source: "ok a".into()
+            })
+            .encode(),
+        );
+        let mut output = Vec::new();
+        server.serve_stream(input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("\"protocol\":1"), "{text}");
+        assert!(
+            lines[1].contains("requires protocol v2"),
+            "{text}"
+        );
+        assert!(lines[2].contains("\"verified\":true"), "{text}");
+    }
+
+    #[test]
+    fn unsubscribed_v2_session_gets_single_line_responses() {
+        let server = server();
+        let input = format!(
+            "{}\n{}\n",
+            Request::Open {
+                doc: "a".into(),
+                source: "ok a".into()
+            }
+            .encode(),
+            Request::Open {
+                doc: "a".into(),
+                source: "ok a".into()
+            }
+            .encode(),
+        );
+        let mut output = Vec::new();
+        server.serve_stream(input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+        assert_eq!(lines.len(), 2, "no events without subscribe: {text}");
+        assert!(lines.iter().all(|l| l.get("event").is_none()));
+        // The identical reopen is served from the program tier.
+        assert_eq!(lines[0].get("cached").and_then(Json::as_bool), Some(false));
+        assert_eq!(lines[1].get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(lines[1].get("revision").and_then(Json::as_u64), Some(2));
     }
 
     #[test]

@@ -12,15 +12,22 @@
 //!
 //! * [`json`] — a dependency-free JSON parser/writer (the vendored
 //!   `serde` is a stub),
-//! * [`protocol`] — the newline-delimited JSON request/response schema
-//!   (`verify`, `verify_batch`, `status`, `shutdown`) and the codec that
-//!   round-trips [`commcsl_verifier::report::VerifierReport`]
+//! * [`protocol`] — the newline-delimited JSON request/response schema:
+//!   protocol v1 (`verify`, `verify_batch`, `status`, `shutdown`) plus
+//!   the v2 workspace-session ops (`hello` version negotiation,
+//!   `open`/`update`/`close`, `subscribe` for the streaming
+//!   `started`/`obligation_done`/`report` event channel), and the codec
+//!   that round-trips [`commcsl_verifier::report::VerifierReport`]
 //!   byte-identically,
-//! * [`daemon`] — the [`Server`](daemon::Server): session loops over a
-//!   Unix domain socket (with per-connection threads) or any
-//!   reader/writer pair (the stdio fallback), sharing one
-//!   [`CachedVerifier`](commcsl_verifier::cache::CachedVerifier),
-//! * [`client`] — the matching [`Client`](client::Client) plus
+//! * [`daemon`] — the [`Server`](daemon::Server): per-connection
+//!   [`Session`](daemon::Session)s (each owning a
+//!   [`Workspace`](commcsl_verifier::workspace::Workspace) for
+//!   obligation-level incremental re-verification) over a Unix domain
+//!   socket or any reader/writer pair (the stdio fallback), all sharing
+//!   one [`CachedVerifier`](commcsl_verifier::cache::CachedVerifier)
+//!   and its verdict/obligation cache,
+//! * [`client`] — the matching [`Client`](client::Client) (v1 and v2
+//!   methods, streaming included) plus
 //!   [`connect_or_start`](client::connect_or_start), the transparent
 //!   auto-spawn used by `commcsl verify --daemon`.
 //!

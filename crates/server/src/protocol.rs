@@ -1,10 +1,10 @@
 //! The newline-delimited JSON protocol of the verification daemon.
 //!
-//! One request per line, one response per line, always in order — no
-//! framing beyond `\n`, no pipelining requirements, so a session can be
-//! driven by a Unix-socket client, a stdio child process, or `nc -U`.
+//! One request per line, responses in request order — no framing beyond
+//! `\n`, so a session can be driven by a Unix-socket client, a stdio
+//! child process, or `nc -U`.
 //!
-//! Requests (`op` selects the operation):
+//! # Protocol v1 (wire-compatible, one response line per request)
 //!
 //! ```json
 //! {"op":"verify","name":"examples/x.csl","source":"program x; ..."}
@@ -34,12 +34,56 @@
 //! occupies its slot as an `"ok":false` object; the batch itself still
 //! succeeds). `status` reports cache counters; `shutdown` acknowledges
 //! with `{"ok":true,"shutting_down":true}` before the daemon exits.
+//!
+//! # Protocol v2 (workspace sessions, streaming events)
+//!
+//! v2 adds **session-scoped** operations backed by a
+//! [`Workspace`](commcsl_verifier::workspace::Workspace) per connection
+//! (documents opened on one connection are invisible to others, but all
+//! sessions share the daemon's verdict/obligation cache):
+//!
+//! ```json
+//! {"op":"hello","protocol":2}
+//! {"op":"subscribe","events":true}
+//! {"op":"open","doc":"a.csl","source":"program a; ..."}
+//! {"op":"update","doc":"a.csl","source":"program a; ..."}
+//! {"op":"close","doc":"a.csl"}
+//! ```
+//!
+//! `hello` negotiates the protocol version: the server answers
+//! `{"ok":true,"protocol":min(PROTOCOL_VERSION, requested),…}` and pins
+//! the session to it (a session negotiated down to v1 refuses v2 ops).
+//! `open`/`update` verify the document incrementally and respond
+//!
+//! ```json
+//! {"ok":true,"doc":"a.csl","revision":2,"cached":false,"key":"…",
+//!  "time_ms":0.8,"obligations":12,"reused":11,"checked":1,"report":{…}}
+//! ```
+//!
+//! With `subscribe` on, the response is *streamed*: event lines (no
+//! `"ok"` key) precede the final response line (which carries
+//! `"event":"report"` plus the fields above) —
+//!
+//! ```json
+//! {"event":"started","doc":"a.csl","revision":2,"key":"…"}
+//! {"event":"obligation_done","doc":"a.csl","index":0,"description":"…",
+//!  "code":"low-output","proved":true,"reused":true}
+//! {"event":"report","ok":true,"doc":"a.csl",…,"report":{…}}
+//! ```
+//!
+//! A reader is v1/v2-agnostic: consume lines until one carries `"ok"`.
 
 use commcsl_verifier::diag::{CexBinding, Counterexample, DiagnosticCode, Failure, SourceSpan};
 use commcsl_verifier::hash::ProgramHash;
-use commcsl_verifier::report::{ObligationResult, ObligationStatus, VerifierReport};
+use commcsl_verifier::report::{
+    ObligationResult, ObligationStatus, VerifierReport, REPORT_SCHEMA_VERSION,
+};
 
 use crate::json::Json;
+
+/// The newest protocol version this build speaks. Sessions negotiate
+/// down (never up) via the `hello` request.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// One verification job: a display name (usually the file path) and the
 /// `.csl` source text. The *server* compiles — the cache key is the
@@ -71,6 +115,35 @@ pub enum Request {
     Status,
     /// Acknowledge, then stop accepting connections and exit.
     Shutdown,
+    /// Negotiate the protocol version for this session (v2).
+    Hello {
+        /// Highest version the client speaks.
+        protocol: u32,
+    },
+    /// Toggle streaming events for this session's `open`/`update` (v2).
+    Subscribe {
+        /// `true` to stream `started`/`obligation_done` events.
+        events: bool,
+    },
+    /// Open (or reopen) a workspace document and verify it (v2).
+    Open {
+        /// Session-unique document id (conventionally the file path).
+        doc: String,
+        /// `.csl` source text.
+        source: String,
+    },
+    /// Re-verify an open document after an edit (v2).
+    Update {
+        /// Document id.
+        doc: String,
+        /// The edited `.csl` source text.
+        source: String,
+    },
+    /// Close a workspace document (v2).
+    Close {
+        /// Document id.
+        doc: String,
+    },
 }
 
 impl Request {
@@ -103,6 +176,28 @@ impl Request {
             }
             Request::Status => Json::obj([("op", Json::str("status"))]),
             Request::Shutdown => Json::obj([("op", Json::str("shutdown"))]),
+            Request::Hello { protocol } => Json::obj([
+                ("op", Json::str("hello")),
+                ("protocol", Json::Num(f64::from(*protocol))),
+            ]),
+            Request::Subscribe { events } => Json::obj([
+                ("op", Json::str("subscribe")),
+                ("events", Json::Bool(*events)),
+            ]),
+            Request::Open { doc, source } => Json::obj([
+                ("op", Json::str("open")),
+                ("doc", Json::str(doc)),
+                ("source", Json::str(source)),
+            ]),
+            Request::Update { doc, source } => Json::obj([
+                ("op", Json::str("update")),
+                ("doc", Json::str(doc)),
+                ("source", Json::str(source)),
+            ]),
+            Request::Close { doc } => Json::obj([
+                ("op", Json::str("close")),
+                ("doc", Json::str(doc)),
+            ]),
         };
         doc.to_string()
     }
@@ -158,6 +253,42 @@ impl Request {
             }
             "status" => Ok(Request::Status),
             "shutdown" => Ok(Request::Shutdown),
+            "hello" => {
+                let protocol = doc
+                    .get("protocol")
+                    .and_then(Json::as_u64)
+                    .ok_or("hello needs a numeric `protocol`")?;
+                u32::try_from(protocol)
+                    .map(|protocol| Request::Hello { protocol })
+                    .map_err(|_| "`protocol` out of range".to_owned())
+            }
+            "subscribe" => Ok(Request::Subscribe {
+                events: doc
+                    .get("events")
+                    .and_then(Json::as_bool)
+                    .ok_or("subscribe needs a boolean `events`")?,
+            }),
+            "open" | "update" => {
+                let field = |key: &str| {
+                    doc.get(key)
+                        .and_then(Json::as_str)
+                        .map(str::to_owned)
+                        .ok_or(format!("{op} needs `{key}`"))
+                };
+                let (doc_id, source) = (field("doc")?, field("source")?);
+                Ok(if op == "open" {
+                    Request::Open { doc: doc_id, source }
+                } else {
+                    Request::Update { doc: doc_id, source }
+                })
+            }
+            "close" => Ok(Request::Close {
+                doc: doc
+                    .get("doc")
+                    .and_then(Json::as_str)
+                    .ok_or("close needs `doc`")?
+                    .to_owned(),
+            }),
             other => Err(format!("unknown op `{other}`")),
         }
     }
@@ -204,6 +335,10 @@ pub fn report_to_json(report: &VerifierReport) -> Json {
         })
         .collect();
     Json::obj([
+        (
+            "schema_version",
+            Json::Num(f64::from(REPORT_SCHEMA_VERSION)),
+        ),
         ("program", Json::str(&report.program)),
         ("verified", Json::Bool(report.verified())),
         ("proved", Json::Num(report.proved_count() as f64)),
@@ -220,6 +355,16 @@ pub fn report_to_json(report: &VerifierReport) -> Json {
 /// `report_from_json(&Json::parse(&r.to_json())?)` reproduces `r`
 /// byte-identically under `to_json`.
 pub fn report_from_json(doc: &Json) -> Result<VerifierReport, String> {
+    if let Some(schema) = doc.get("schema_version") {
+        let schema = schema
+            .as_u64()
+            .ok_or("`schema_version` must be a number")?;
+        if schema != u64::from(REPORT_SCHEMA_VERSION) {
+            return Err(format!(
+                "unsupported report schema v{schema} (this build reads v{REPORT_SCHEMA_VERSION})"
+            ));
+        }
+    }
     let program = doc
         .get("program")
         .and_then(Json::as_str)
@@ -399,13 +544,20 @@ pub struct StatusInfo {
     pub version: String,
     /// [`commcsl_verifier::hash::HASH_FORMAT_VERSION`] of the daemon.
     pub format_version: u64,
+    /// Newest protocol version the daemon speaks ([`PROTOCOL_VERSION`]).
+    pub protocol_version: u64,
+    /// Solver backend discharging obligations (`"incremental"` /
+    /// `"fresh"`).
+    pub backend: String,
     /// Milliseconds since the daemon started.
     pub uptime_ms: f64,
     /// Protocol requests served (all ops).
     pub requests: u64,
-    /// Programs verified or served from cache (batch items count
-    /// individually; compile failures do not count).
+    /// Programs verified or served from cache (batch items and workspace
+    /// revisions count individually; compile failures do not count).
     pub programs: u64,
+    /// Workspace documents currently open across all sessions.
+    pub documents: u64,
     /// Lookups answered from the in-memory tier.
     pub memory_hits: u64,
     /// Lookups answered from the on-disk tier.
@@ -416,6 +568,10 @@ pub struct StatusInfo {
     pub evictions: u64,
     /// Verdicts currently held in memory.
     pub memory_entries: u64,
+    /// Obligation-tier lookups answered from cache.
+    pub obligation_hits: u64,
+    /// Obligation-tier lookups answered by neither tier.
+    pub obligation_misses: u64,
     /// Worker threads for cache misses (0 = one per CPU).
     pub threads: u64,
 }
@@ -442,20 +598,34 @@ impl StatusInfo {
             ("ok", Json::Bool(true)),
             ("version", Json::str(&self.version)),
             ("format_version", Json::Num(self.format_version as f64)),
+            (
+                "protocol_version",
+                Json::Num(self.protocol_version as f64),
+            ),
+            ("backend", Json::str(&self.backend)),
             ("uptime_ms", Json::Num(self.uptime_ms)),
             ("requests", Json::Num(self.requests as f64)),
             ("programs", Json::Num(self.programs as f64)),
+            ("documents", Json::Num(self.documents as f64)),
             ("memory_hits", Json::Num(self.memory_hits as f64)),
             ("disk_hits", Json::Num(self.disk_hits as f64)),
             ("misses", Json::Num(self.misses as f64)),
             ("evictions", Json::Num(self.evictions as f64)),
             ("memory_entries", Json::Num(self.memory_entries as f64)),
+            ("obligation_hits", Json::Num(self.obligation_hits as f64)),
+            (
+                "obligation_misses",
+                Json::Num(self.obligation_misses as f64),
+            ),
             ("threads", Json::Num(self.threads as f64)),
             ("hit_rate", Json::Num(self.hit_rate())),
         ])
     }
 
-    /// Parses a `status` response document.
+    /// Parses a `status` response document. Fields added by protocol v2
+    /// (`protocol_version`, `backend`, `documents`, `obligation_*`)
+    /// default when absent, so a v2 client can still read a v1 daemon's
+    /// status (and report its version mismatch cleanly).
     pub fn from_json(doc: &Json) -> Result<StatusInfo, String> {
         if doc.get("ok").and_then(Json::as_bool) != Some(true) {
             return Err(doc
@@ -468,6 +638,8 @@ impl StatusInfo {
             |key: &str| doc.get(key).and_then(Json::as_u64).ok_or_else(|| {
                 format!("status response needs numeric `{key}`")
             });
+        let opt_num =
+            |key: &str| doc.get(key).and_then(Json::as_u64).unwrap_or_default();
         Ok(StatusInfo {
             version: doc
                 .get("version")
@@ -475,20 +647,171 @@ impl StatusInfo {
                 .unwrap_or_default()
                 .to_owned(),
             format_version: num("format_version")?,
+            protocol_version: opt_num("protocol_version").max(1),
+            backend: doc
+                .get("backend")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
             uptime_ms: doc
                 .get("uptime_ms")
                 .and_then(Json::as_num)
                 .unwrap_or_default(),
             requests: num("requests")?,
             programs: num("programs")?,
+            documents: opt_num("documents"),
             memory_hits: num("memory_hits")?,
             disk_hits: num("disk_hits")?,
             misses: num("misses")?,
             evictions: num("evictions")?,
             memory_entries: num("memory_entries")?,
+            obligation_hits: opt_num("obligation_hits"),
+            obligation_misses: opt_num("obligation_misses"),
             threads: num("threads")?,
         })
     }
+}
+
+// ------------------------------------------------- v2 session responses
+
+/// A successful `open`/`update` outcome.
+#[derive(Debug, Clone)]
+pub struct DocOk {
+    /// Document id.
+    pub doc: String,
+    /// Per-document revision (1 at first open).
+    pub revision: u64,
+    /// Whether the whole report came from the program-tier cache.
+    pub cached: bool,
+    /// Content address of the checked program.
+    pub key: ProgramHash,
+    /// Server-side wall-clock milliseconds (compile + check).
+    pub time_ms: f64,
+    /// Obligations in the report.
+    pub obligations: u64,
+    /// Obligations replayed from the obligation cache.
+    pub reused: u64,
+    /// Obligations discharged by the solver.
+    pub checked: u64,
+    /// The verdict, byte-identical to in-process verification.
+    pub report: VerifierReport,
+}
+
+/// One `open`/`update` response: a verdict, or a compile/session error.
+pub type DocOutcomeWire = Result<DocOk, String>;
+
+/// Renders an `open`/`update` response line. With `event`, the line is
+/// the final element of a subscribed event stream and leads with
+/// `"event":"report"`.
+pub fn doc_response_json(outcome: &DocOutcomeWire, event: bool) -> Json {
+    match outcome {
+        Ok(ok) => {
+            let mut fields = Vec::new();
+            if event {
+                fields.push(("event".to_owned(), Json::str("report")));
+            }
+            fields.extend([
+                ("ok".to_owned(), Json::Bool(true)),
+                ("doc".to_owned(), Json::str(&ok.doc)),
+                ("revision".to_owned(), Json::Num(ok.revision as f64)),
+                ("cached".to_owned(), Json::Bool(ok.cached)),
+                ("key".to_owned(), Json::str(ok.key.to_string())),
+                ("time_ms".to_owned(), Json::Num(ok.time_ms)),
+                ("obligations".to_owned(), Json::Num(ok.obligations as f64)),
+                ("reused".to_owned(), Json::Num(ok.reused as f64)),
+                ("checked".to_owned(), Json::Num(ok.checked as f64)),
+                ("report".to_owned(), report_to_json(&ok.report)),
+            ]);
+            Json::Obj(fields)
+        }
+        Err(error) => error_json(error),
+    }
+}
+
+/// Parses an `open`/`update` response (final stream line included).
+pub fn doc_outcome_from_json(doc: &Json) -> Result<DocOutcomeWire, String> {
+    match doc.get("ok").and_then(Json::as_bool) {
+        Some(true) => {
+            let num = |key: &str| {
+                doc.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("doc response needs numeric `{key}`"))
+            };
+            Ok(Ok(DocOk {
+                doc: doc
+                    .get("doc")
+                    .and_then(Json::as_str)
+                    .ok_or("doc response needs `doc`")?
+                    .to_owned(),
+                revision: num("revision")?,
+                cached: doc
+                    .get("cached")
+                    .and_then(Json::as_bool)
+                    .ok_or("doc response needs `cached`")?,
+                key: doc
+                    .get("key")
+                    .and_then(Json::as_str)
+                    .ok_or("doc response needs `key`")?
+                    .parse()?,
+                time_ms: doc
+                    .get("time_ms")
+                    .and_then(Json::as_num)
+                    .ok_or("doc response needs `time_ms`")?,
+                obligations: num("obligations")?,
+                reused: num("reused")?,
+                checked: num("checked")?,
+                report: report_from_json(
+                    doc.get("report").ok_or("doc response needs `report`")?,
+                )?,
+            }))
+        }
+        Some(false) => Ok(Err(doc
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown server error")
+            .to_owned())),
+        None => Err("response needs a boolean `ok`".into()),
+    }
+}
+
+/// The `started` stream event.
+pub fn started_event_json(doc: &str, revision: u64, key: ProgramHash) -> Json {
+    Json::obj([
+        ("event", Json::str("started")),
+        ("doc", Json::str(doc)),
+        ("revision", Json::Num(revision as f64)),
+        ("key", Json::str(key.to_string())),
+    ])
+}
+
+/// The `obligation_done` stream event.
+pub fn obligation_event_json(
+    doc: &str,
+    index: usize,
+    result: &ObligationResult,
+    reused: bool,
+) -> Json {
+    let mut fields = vec![
+        ("event".to_owned(), Json::str("obligation_done")),
+        ("doc".to_owned(), Json::str(doc)),
+        ("index".to_owned(), Json::Num(index as f64)),
+        (
+            "description".to_owned(),
+            Json::str(&result.description),
+        ),
+        ("code".to_owned(), Json::str(result.code.as_str())),
+    ];
+    if let Some(span) = &result.span {
+        fields.push(("span".to_owned(), Json::str(span.to_string())));
+    }
+    fields.extend([
+        (
+            "proved".to_owned(),
+            Json::Bool(result.status == ObligationStatus::Proved),
+        ),
+        ("reused".to_owned(), Json::Bool(reused)),
+    ]);
+    Json::Obj(fields)
 }
 
 #[cfg(test)]
@@ -496,6 +819,88 @@ mod tests {
     use commcsl_verifier::report::{ObligationResult, ObligationStatus};
 
     use super::*;
+
+    #[test]
+    fn v2_requests_roundtrip() {
+        let requests = [
+            Request::Hello { protocol: 2 },
+            Request::Subscribe { events: true },
+            Request::Subscribe { events: false },
+            Request::Open {
+                doc: "a \"quoted\".csl".into(),
+                source: "program a;\n".into(),
+            },
+            Request::Update {
+                doc: "a.csl".into(),
+                source: "program a;\noutput 1;\n".into(),
+            },
+            Request::Close { doc: "a.csl".into() },
+        ];
+        for r in requests {
+            let line = r.encode();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(Request::decode(&line).unwrap(), r);
+        }
+        assert!(Request::decode("{\"op\":\"open\",\"doc\":\"x\"}").is_err());
+        assert!(Request::decode("{\"op\":\"hello\"}").is_err());
+    }
+
+    #[test]
+    fn doc_responses_roundtrip_with_and_without_event_framing() {
+        let ok: DocOutcomeWire = Ok(DocOk {
+            doc: "a.csl".into(),
+            revision: 3,
+            cached: false,
+            key: ProgramHash(0xABCD),
+            time_ms: 0.5,
+            obligations: 12,
+            reused: 11,
+            checked: 1,
+            report: nasty_report(),
+        });
+        for event in [false, true] {
+            let line = doc_response_json(&ok, event).to_string();
+            assert_eq!(
+                line.starts_with("{\"event\":\"report\""),
+                event,
+                "{line}"
+            );
+            let back = doc_outcome_from_json(&Json::parse(&line).unwrap())
+                .unwrap()
+                .unwrap();
+            assert_eq!(back.doc, "a.csl");
+            assert_eq!(back.revision, 3);
+            assert_eq!((back.obligations, back.reused, back.checked), (12, 11, 1));
+            assert_eq!(back.report.to_json(), nasty_report().to_json());
+        }
+        let err: DocOutcomeWire = Err("unknown document `b`".into());
+        let line = doc_response_json(&err, true).to_string();
+        let back = doc_outcome_from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back.unwrap_err(), "unknown document `b`");
+    }
+
+    #[test]
+    fn stream_events_have_no_ok_key() {
+        let started = started_event_json("a.csl", 2, ProgramHash(7)).to_string();
+        assert!(started.contains("\"event\":\"started\""));
+        assert!(!started.contains("\"ok\""), "{started}");
+        let obligation = obligation_event_json(
+            "a.csl",
+            0,
+            &ObligationResult {
+                description: "Low(out)".into(),
+                code: DiagnosticCode::LowOutput,
+                span: Some(SourceSpan::new(3, 1)),
+                status: ObligationStatus::Proved,
+            },
+            true,
+        )
+        .to_string();
+        assert!(obligation.contains("\"event\":\"obligation_done\""));
+        assert!(obligation.contains("\"span\":\"3:1\""));
+        assert!(obligation.contains("\"reused\":true"));
+        assert!(!obligation.contains("\"ok\""), "{obligation}");
+    }
 
     #[test]
     fn requests_roundtrip() {
@@ -655,14 +1060,19 @@ mod tests {
         let status = StatusInfo {
             version: "0.1.0".into(),
             format_version: 1,
+            protocol_version: 2,
+            backend: "incremental".into(),
             uptime_ms: 12.5,
             requests: 4,
             programs: 36,
+            documents: 3,
             memory_hits: 17,
             disk_hits: 1,
             misses: 18,
             evictions: 0,
             memory_entries: 18,
+            obligation_hits: 40,
+            obligation_misses: 2,
             threads: 0,
         };
         let doc = Json::parse(&status.to_json().to_string()).unwrap();
@@ -670,5 +1080,21 @@ mod tests {
         assert_eq!(back, status);
         assert!((back.hit_rate() - 0.5).abs() < 1e-9);
         assert!(StatusInfo::from_json(&error_json("down")).is_err());
+    }
+
+    #[test]
+    fn status_tolerates_v1_documents_without_v2_fields() {
+        // A v1 daemon's status lacks protocol_version/backend/documents/
+        // obligation counters: parsing must still succeed with defaults,
+        // so the CLI's version handshake can report the mismatch.
+        let line = "{\"ok\":true,\"version\":\"0.0.9\",\"format_version\":2,\
+                    \"uptime_ms\":1,\"requests\":0,\"programs\":0,\
+                    \"memory_hits\":0,\"disk_hits\":0,\"misses\":0,\
+                    \"evictions\":0,\"memory_entries\":0,\"threads\":0,\
+                    \"hit_rate\":0}";
+        let back = StatusInfo::from_json(&Json::parse(line).unwrap()).unwrap();
+        assert_eq!(back.protocol_version, 1);
+        assert_eq!(back.backend, "");
+        assert_eq!(back.obligation_hits, 0);
     }
 }

@@ -187,6 +187,128 @@ fn connect_or_start_invokes_the_launcher_when_socket_is_dead() {
 }
 
 #[test]
+fn stale_socket_left_by_a_crashed_daemon_is_replaced() {
+    use std::os::unix::net::UnixListener;
+
+    let base = temp_base("stale");
+    let socket = base.join("commcsl.sock");
+
+    // Simulate a crashed daemon: bind a socket, then drop the listener
+    // without unlinking — exactly what a SIGKILL leaves behind. The file
+    // exists but nothing accepts on it.
+    {
+        let listener = UnixListener::bind(&socket).expect("first bind");
+        drop(listener);
+    }
+    assert!(socket.exists(), "the stale socket file is left behind");
+
+    // A new daemon must claim the path instead of failing with AddrInUse.
+    let server = front_server(CacheConfig::memory_only(16));
+    thread::scope(|scope| {
+        let _stop = StopOnDrop(&server);
+        let daemon = scope.spawn(|| server.serve_unix(&socket));
+        let mut client = connect_or_start(&socket, Duration::from_secs(5), || Ok(()))
+            .expect("daemon binds over the stale socket");
+        let outcome = client
+            .verify("inline", "program p;\ninput a: Int low;\noutput a;\n")
+            .expect("verify");
+        assert!(outcome.expect("compiles").report.verified());
+        client.shutdown().expect("shutdown");
+        daemon.join().unwrap().expect("clean exit");
+    });
+    assert!(!socket.exists(), "socket removed on shutdown");
+    fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn concurrent_sessions_edit_different_documents_interleaved() {
+    use commcsl_verifier::workspace::{Workspace, WorkspaceConfig};
+
+    let base = temp_base("sessions");
+    let socket = base.join("commcsl.sock");
+    let server = front_server(CacheConfig::memory_only(256));
+
+    let doc = |name: &str, addend: i64| {
+        format!(
+            "program {name};\n\
+             resource ctr: Int named \"counter-add\" {{\n\
+             alpha(v) = v;\n\
+             shared action Add(arg: Int) = v + arg requires arg1 == arg2;\n\
+             }}\n\
+             input a: Int low;\n\
+             share ctr = 0;\n\
+             par {{ with ctr performing Add(a); }} || {{ with ctr performing Add({addend}); }}\n\
+             unshare ctr into total;\n\
+             output total;\n"
+        )
+    };
+
+    thread::scope(|scope| {
+        let _stop = StopOnDrop(&server);
+        let daemon = scope.spawn(|| server.serve_unix(&socket));
+        let mut alice = connect_or_start(&socket, Duration::from_secs(5), || Ok(()))
+            .expect("daemon up");
+        let mut bob = Client::connect(&socket).expect("second session");
+        assert_eq!(alice.hello_latest().expect("hello"), 2);
+        assert_eq!(bob.hello_latest().expect("hello"), 2);
+
+        // A cold in-process workspace is the ground truth for every
+        // revision either client sees.
+        let mut truth = Workspace::new(WorkspaceConfig::default());
+        let mut pin = |outcome: commcsl_server::protocol::DocOk, source: &str| {
+            let program = commcsl_front::compile(source).unwrap();
+            let direct = verify(&program, truth.config());
+            assert_eq!(
+                outcome.report.to_json(),
+                direct.to_json(),
+                "daemon verdict diverges from cold verification"
+            );
+            let _ = truth.open_document("truth", &program);
+        };
+
+        // Interleave: the two sessions edit *different* documents against
+        // the shared server cache.
+        let a1 = alice.open("a.csl", doc("alice", 1)).unwrap().unwrap();
+        let b1 = bob.open("b.csl", doc("bob", 2)).unwrap().unwrap();
+        pin(a1, &doc("alice", 1));
+        pin(b1, &doc("bob", 2));
+        let a2 = alice.update("a.csl", doc("alice", 3)).unwrap().unwrap();
+        let b2 = bob.update("b.csl", doc("bob", 4)).unwrap().unwrap();
+        assert_eq!(a2.revision, 2);
+        assert_eq!(b2.revision, 2);
+        // The single-statement edits replay the untouched obligations.
+        assert!(a2.reused > 0, "{a2:?}");
+        assert!(b2.reused > 0, "{b2:?}");
+        pin(a2, &doc("alice", 3));
+        pin(b2, &doc("bob", 4));
+
+        // Documents are session-scoped: bob cannot update alice's.
+        assert!(bob
+            .update("a.csl", doc("alice", 5))
+            .unwrap()
+            .unwrap_err()
+            .contains("unknown document"));
+
+        // ... but the cache is shared: bob opening alice's *content*
+        // under his own id reuses every obligation (program tier or
+        // obligation tier, depending on name).
+        let shared = bob.open("mine.csl", doc("alice", 3)).unwrap().unwrap();
+        assert!(shared.cached, "identical content hits the program tier");
+        pin(shared, &doc("alice", 3));
+
+        let status = alice.status().expect("status");
+        assert_eq!(status.protocol_version, 2);
+        assert_eq!(status.backend, "incremental");
+        assert_eq!(status.documents, 3);
+        assert!(status.obligation_hits > 0, "{status:?}");
+
+        alice.shutdown().expect("shutdown");
+        daemon.join().unwrap().expect("clean exit");
+    });
+    fs::remove_dir_all(&base).ok();
+}
+
+#[test]
 fn second_daemon_on_a_live_socket_is_refused() {
     let base = temp_base("exclusive");
     let socket = base.join("commcsl.sock");

@@ -136,6 +136,22 @@ pub trait SolverSession: fmt::Debug {
     /// work cached against it) untouched across obligations that differ
     /// only in their local hypotheses.
     fn check_assuming(&mut self, assumptions: Vec<Term>, goal: &Term) -> Verdict;
+    /// Forces any internally batched assertion work to happen *now*, as
+    /// if a check occurred, without checking anything. Sessions that
+    /// saturate asserted facts in batches (the incremental backend) close
+    /// the current batch; stateless sessions do nothing.
+    ///
+    /// This exists for callers that **replay** a session's interaction
+    /// while skipping some checks (the verifier's obligation cache reuses
+    /// cached verdicts across re-checks of an edited program): calling
+    /// `sync` where a skipped check used to be reproduces the original
+    /// batch boundaries exactly, so the checks that *do* run see
+    /// bit-identical solver state. The default implementation is the
+    /// observationally equivalent `push`/`pop` pair.
+    fn sync(&mut self) {
+        self.push();
+        self.pop();
+    }
     /// Current scope depth (0 = root).
     fn depth(&self) -> usize;
     /// Cumulative telemetry.
@@ -281,6 +297,11 @@ impl SolverSession for FreshSession {
         }
         self.stats.check_time += start.elapsed();
         verdict
+    }
+
+    fn sync(&mut self) {
+        // Stateless: every check rebuilds from the flat fact list, so
+        // there is no batched work to force.
     }
 
     fn depth(&self) -> usize {
@@ -452,6 +473,12 @@ impl SolverSession for IncrementalSession {
         self.check_with(assumptions, goal)
     }
 
+    fn sync(&mut self) {
+        // Close the current assertion batch exactly as a check would,
+        // without the snapshot/rollback a `push`/`pop` pair pays.
+        self.flush();
+    }
+
     fn depth(&self) -> usize {
         self.frames.len()
     }
@@ -587,6 +614,49 @@ mod tests {
                     "{kind}, diseq_first={diseq_first}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn sync_reproduces_check_batch_boundaries() {
+        // A replay that skips a check but calls `sync` in its place must
+        // leave the session in the same state as the original run: later
+        // checks agree, and asserted facts stay live across the sync.
+        for kind in BackendKind::ALL {
+            let full = |with_middle_check: bool, with_sync: bool| {
+                let mut s = session(kind);
+                s.assert(Term::le(Term::var("a"), Term::var("b")));
+                if with_middle_check {
+                    let _ = s.check(&Term::le(Term::var("a"), Term::var("b")));
+                } else if with_sync {
+                    s.sync();
+                }
+                s.assert(Term::le(Term::var("b"), Term::var("c")));
+                s.check(&Term::le(Term::var("a"), Term::var("c")))
+            };
+            let original = full(true, false);
+            let replayed = full(false, true);
+            assert_eq!(original, replayed, "{kind}");
+            assert_eq!(original, Verdict::Proved, "{kind}");
+        }
+        // `sync` never perturbs scope depth.
+        for kind in BackendKind::ALL {
+            let mut s = session(kind);
+            s.push();
+            s.assert(Term::le(Term::var("x"), Term::int(3)));
+            s.sync();
+            assert_eq!(s.depth(), 1, "{kind}");
+            assert_eq!(
+                s.check(&Term::le(Term::var("x"), Term::int(4))),
+                Verdict::Proved,
+                "{kind}: synced facts stay live"
+            );
+            s.pop();
+            assert_eq!(
+                s.check(&Term::le(Term::var("x"), Term::int(4))),
+                Verdict::Unknown,
+                "{kind}: popping still discards the synced scope"
+            );
         }
     }
 

@@ -19,6 +19,16 @@
 //! bump, which changes every key and the tier directory name — is a
 //! cache **miss**, never a stale verdict.
 //!
+//! Alongside the whole-program verdict tiers, the cache carries an
+//! **obligation tier**: per-obligation [`ObligationStatus`]es addressed
+//! by [`ObligationKey`] (the dependency-cone hash of
+//! [`crate::obligation`]). This is the store behind
+//! [`Workspace`](crate::workspace::Workspace) re-verification — an edit
+//! that misses the program tier still replays every obligation whose
+//! cone it left untouched. The tier follows the same rules: in-memory
+//! LRU, optional on-disk persistence (`obl/` under the version
+//! directory), structural validation, corrupt ⇒ miss.
+//!
 //! [`CachedVerifier`] wraps the pipeline end-to-end: single-program
 //! lookups, and batch verification that routes only the misses through
 //! the work-stealing pool of [`crate::batch`].
@@ -27,12 +37,13 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::batch::{verify_batch_ref, BatchConfig};
 use crate::diag::{CexBinding, Counterexample, DiagnosticCode, Failure, SourceSpan};
 use crate::hash::{program_hash, ProgramHash, HASH_FORMAT_VERSION};
+use crate::obligation::{ObligationKey, ObligationStore};
 use crate::program::AnnotatedProgram;
 use crate::report::{ObligationResult, ObligationStatus, VerifierConfig, VerifierReport};
 
@@ -157,6 +168,83 @@ fn encode_verdict(key: ProgramHash, report: &VerifierReport) -> String {
     out
 }
 
+const OBLIGATION_MAGIC: &str = "commcsl-obligation";
+
+/// Serializes one obligation status for the on-disk obligation tier.
+/// Statuses carry no description/code/span — those are recomputed by the
+/// incremental run that replays the status, so the file stays valid
+/// however the surrounding program is edited.
+fn encode_obligation(key: ObligationKey, status: &ObligationStatus) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{OBLIGATION_MAGIC} {HASH_FORMAT_VERSION}\n"));
+    out.push_str(&format!("key {key}\n"));
+    match status {
+        ObligationStatus::Proved => out.push_str("proved\n"),
+        ObligationStatus::Failed(failure) => match &failure.counterexample {
+            None => out.push_str(&format!("failed {}\n", escape(&failure.reason))),
+            Some(cex) => {
+                out.push_str(&format!(
+                    "failedc {}\t{}\n",
+                    cex.bindings.len(),
+                    escape(&failure.reason)
+                ));
+                for b in &cex.bindings {
+                    out.push_str(&format!(
+                        "cex {}\t{}\t{}\n",
+                        escape(&b.var),
+                        escape(&b.exec1),
+                        escape(&b.exec2)
+                    ));
+                }
+            }
+        },
+    }
+    out
+}
+
+/// Parses an obligation file; `None` on any version/key/format mismatch.
+fn decode_obligation(key: ObligationKey, text: &str) -> Option<ObligationStatus> {
+    let mut lines = text.lines();
+    if lines.next()? != format!("{OBLIGATION_MAGIC} {HASH_FORMAT_VERSION}") {
+        return None;
+    }
+    if lines.next()?.strip_prefix("key ")?.parse::<ObligationKey>().ok()? != key {
+        return None;
+    }
+    let status_line = lines.next()?;
+    let status = if status_line == "proved" {
+        ObligationStatus::Proved
+    } else if let Some(reason) = status_line.strip_prefix("failed ") {
+        ObligationStatus::Failed(Failure::new(unescape(reason)?))
+    } else if let Some(rest) = status_line.strip_prefix("failedc ") {
+        let (count, reason) = rest.split_once('\t')?;
+        let count: usize = count.parse().ok()?;
+        let mut bindings = Vec::with_capacity(count);
+        for _ in 0..count {
+            let rest = lines.next()?.strip_prefix("cex ")?;
+            let mut fields = rest.split('\t');
+            bindings.push(CexBinding {
+                var: unescape(fields.next()?)?,
+                exec1: unescape(fields.next()?)?,
+                exec2: unescape(fields.next()?)?,
+            });
+            if fields.next().is_some() {
+                return None;
+            }
+        }
+        ObligationStatus::Failed(
+            Failure::new(unescape(reason)?)
+                .with_counterexample(Counterexample { bindings }),
+        )
+    } else {
+        return None;
+    };
+    if lines.next().is_some() {
+        return None;
+    }
+    Some(status)
+}
+
 /// Parses a verdict file; `None` on any version/key/format mismatch.
 fn decode_verdict(key: ProgramHash, text: &str) -> Option<VerifierReport> {
     let mut lines = text.lines();
@@ -274,9 +362,16 @@ fn decode_verdict(key: ProgramHash, text: &str) -> Option<VerifierReport> {
 pub struct CacheConfig {
     /// Maximum number of verdicts held in the in-memory tier.
     pub memory_capacity: usize,
+    /// Maximum number of per-obligation statuses held in the in-memory
+    /// obligation tier. Obligation statuses are tiny (a status word, or a
+    /// failure reason plus counterexample bindings), so the default is
+    /// generous.
+    pub obligation_capacity: usize,
     /// Root of the on-disk tier (`None` disables persistence). Verdicts
-    /// live under `<disk_dir>/v<HASH_FORMAT_VERSION>/<hash>.verdict`, so
-    /// a format-version bump orphans (never misreads) old entries.
+    /// live under `<disk_dir>/v<HASH_FORMAT_VERSION>/<hash>.verdict` and
+    /// obligation statuses under
+    /// `<disk_dir>/v<HASH_FORMAT_VERSION>/obl/<key>.obl`, so a
+    /// format-version bump orphans (never misreads) old entries.
     pub disk_dir: Option<PathBuf>,
 }
 
@@ -284,6 +379,7 @@ impl Default for CacheConfig {
     fn default() -> Self {
         CacheConfig {
             memory_capacity: 4096,
+            obligation_capacity: 65536,
             disk_dir: None,
         }
     }
@@ -295,6 +391,7 @@ impl CacheConfig {
         CacheConfig {
             memory_capacity: capacity.max(1),
             disk_dir: None,
+            ..Default::default()
         }
     }
 
@@ -320,6 +417,12 @@ pub struct CacheStats {
     pub stores: u64,
     /// In-memory entries evicted by the LRU policy.
     pub evictions: u64,
+    /// Obligation-tier lookups answered (memory or disk).
+    pub obligation_hits: u64,
+    /// Obligation-tier lookups answered by neither tier.
+    pub obligation_misses: u64,
+    /// Obligation statuses inserted.
+    pub obligation_stores: u64,
 }
 
 impl CacheStats {
@@ -343,7 +446,8 @@ impl CacheStats {
     }
 }
 
-/// The two-tier content-addressed verdict store.
+/// The two-tier content-addressed verdict store (plus the obligation
+/// tier; see the module docs).
 #[derive(Debug)]
 pub struct VerdictCache {
     config: CacheConfig,
@@ -352,6 +456,11 @@ pub struct VerdictCache {
     /// stamp → hash, the eviction order (oldest stamp first).
     lru: BTreeMap<u64, ProgramHash>,
     clock: u64,
+    /// Obligation tier: key → (LRU stamp, status).
+    obligations: HashMap<ObligationKey, (u64, ObligationStatus)>,
+    /// Obligation-tier eviction order.
+    obligation_lru: BTreeMap<u64, ObligationKey>,
+    obligation_clock: u64,
     stats: CacheStats,
 }
 
@@ -364,6 +473,9 @@ impl VerdictCache {
             entries: HashMap::new(),
             lru: BTreeMap::new(),
             clock: 0,
+            obligations: HashMap::new(),
+            obligation_lru: BTreeMap::new(),
+            obligation_clock: 0,
             stats: CacheStats::default(),
         }
     }
@@ -378,6 +490,10 @@ impl VerdictCache {
 
     fn verdict_path(&self, key: ProgramHash) -> Option<PathBuf> {
         self.tier_dir().map(|d| d.join(format!("{key}.verdict")))
+    }
+
+    fn obligation_path(&self, key: ObligationKey) -> Option<PathBuf> {
+        self.tier_dir().map(|d| d.join("obl").join(format!("{key}.obl")))
     }
 
     fn touch(&mut self, key: ProgramHash) {
@@ -496,9 +612,108 @@ impl VerdictCache {
         self.entries.len()
     }
 
+    /// Number of obligation statuses currently in memory.
+    pub fn obligation_len(&self) -> usize {
+        self.obligations.len()
+    }
+
     /// Cumulative counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    // ------------------------------------------------- obligation tier
+
+    /// Looks up an obligation status: memory first, then disk (with
+    /// promotion). Corrupt disk entries are deleted and count as misses.
+    pub fn get_obligation(&mut self, key: ObligationKey) -> Option<ObligationStatus> {
+        if self.obligations.contains_key(&key) {
+            self.touch_obligation(key);
+            self.stats.obligation_hits += 1;
+            return self.obligations.get(&key).map(|(_, s)| s.clone());
+        }
+        if let Some(path) = self.obligation_path(key) {
+            if let Ok(text) = fs::read_to_string(&path) {
+                match decode_obligation(key, &text) {
+                    Some(status) => {
+                        self.stats.obligation_hits += 1;
+                        self.insert_obligation_memory(key, status.clone());
+                        return Some(status);
+                    }
+                    None => {
+                        let _ = fs::remove_file(&path);
+                    }
+                }
+            }
+        }
+        self.stats.obligation_misses += 1;
+        None
+    }
+
+    /// Stores an obligation status in both tiers.
+    pub fn put_obligation(&mut self, key: ObligationKey, status: &ObligationStatus) {
+        if let Some(path) = self.obligation_path(key) {
+            let _ = write_atomically(&path, &encode_obligation(key, status));
+        }
+        self.stats.obligation_stores += 1;
+        self.insert_obligation_memory(key, status.clone());
+    }
+
+    fn touch_obligation(&mut self, key: ObligationKey) {
+        if let Some((stamp, _)) = self.obligations.get_mut(&key) {
+            self.obligation_lru.remove(stamp);
+            self.obligation_clock += 1;
+            *stamp = self.obligation_clock;
+            self.obligation_lru.insert(self.obligation_clock, key);
+        }
+    }
+
+    fn insert_obligation_memory(&mut self, key: ObligationKey, status: ObligationStatus) {
+        if let Some((stamp, _)) = self.obligations.remove(&key) {
+            self.obligation_lru.remove(&stamp);
+        }
+        while self.obligations.len() >= self.config.obligation_capacity.max(1) {
+            let Some((&oldest, &victim)) = self.obligation_lru.iter().next() else {
+                break;
+            };
+            self.obligation_lru.remove(&oldest);
+            self.obligations.remove(&victim);
+        }
+        self.obligation_clock += 1;
+        self.obligations.insert(key, (self.obligation_clock, status));
+        self.obligation_lru.insert(self.obligation_clock, key);
+    }
+}
+
+/// [`VerdictCache`] *is* an [`ObligationStore`]: the workspace plugs a
+/// locked cache straight into
+/// [`verify_incremental`](crate::symexec::verify_incremental).
+impl ObligationStore for VerdictCache {
+    fn get(&mut self, key: ObligationKey) -> Option<ObligationStatus> {
+        self.get_obligation(key)
+    }
+
+    fn put(&mut self, key: ObligationKey, status: &ObligationStatus) {
+        self.put_obligation(key, status);
+    }
+}
+
+/// An [`ObligationStore`] view over a shared, mutex-guarded
+/// [`VerdictCache`]: each lookup/store takes the lock briefly, so
+/// concurrent workspace sessions (daemon connections) interleave instead
+/// of serializing whole verifications.
+pub struct SharedObligationStore<'c>(pub &'c Mutex<VerdictCache>);
+
+impl ObligationStore for SharedObligationStore<'_> {
+    fn get(&mut self, key: ObligationKey) -> Option<ObligationStatus> {
+        self.0.lock().expect("verdict cache poisoned").get_obligation(key)
+    }
+
+    fn put(&mut self, key: ObligationKey, status: &ObligationStatus) {
+        self.0
+            .lock()
+            .expect("verdict cache poisoned")
+            .put_obligation(key, status);
     }
 }
 
@@ -565,16 +780,26 @@ pub struct CachedResult {
 #[derive(Debug)]
 pub struct CachedVerifier {
     batch: BatchConfig,
-    cache: Mutex<VerdictCache>,
+    cache: Arc<Mutex<VerdictCache>>,
 }
 
 impl CachedVerifier {
     /// Creates a cached verifier.
     pub fn new(batch: BatchConfig, cache: CacheConfig) -> Self {
-        CachedVerifier {
-            batch,
-            cache: Mutex::new(VerdictCache::new(cache)),
-        }
+        CachedVerifier::with_shared(batch, Arc::new(Mutex::new(VerdictCache::new(cache))))
+    }
+
+    /// Creates a cached verifier over an existing shared cache — the
+    /// daemon hands the same cache to its batch pipeline and to every
+    /// session's [`Workspace`](crate::workspace::Workspace), so a
+    /// program verified through one surface answers the other.
+    pub fn with_shared(batch: BatchConfig, cache: Arc<Mutex<VerdictCache>>) -> Self {
+        CachedVerifier { batch, cache }
+    }
+
+    /// The shared cache handle (for wiring workspaces to the same tiers).
+    pub fn shared_cache(&self) -> Arc<Mutex<VerdictCache>> {
+        Arc::clone(&self.cache)
     }
 
     /// The verifier configuration used for cache misses (and for keys).
@@ -1079,6 +1304,82 @@ mod tests {
         );
         assert_ne!(incremental_key, nocex_key);
         assert!(cache.get(nocex_key).is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn obligation_statuses_roundtrip_all_shapes_and_reject_mismatches() {
+        let statuses = [
+            ObligationStatus::Proved,
+            ObligationStatus::Failed(Failure::new("tab\there \nand \\slash")),
+            ObligationStatus::Failed(
+                Failure::new("with cex").with_counterexample(Counterexample {
+                    bindings: vec![
+                        CexBinding {
+                            var: "h\t".into(),
+                            exec1: "Int(0)".into(),
+                            exec2: "Int(\n1)".into(),
+                        },
+                        CexBinding {
+                            var: "k".into(),
+                            exec1: "Seq([])".into(),
+                            exec2: "Seq([])".into(),
+                        },
+                    ],
+                }),
+            ),
+            ObligationStatus::Failed(
+                Failure::new("empty cex").with_counterexample(Counterexample::default()),
+            ),
+        ];
+        let key = ObligationKey(99);
+        for status in &statuses {
+            let encoded = encode_obligation(key, status);
+            assert_eq!(decode_obligation(key, &encoded).as_ref(), Some(status));
+            // Wrong key, wrong version, truncation, trailing garbage: miss.
+            assert!(decode_obligation(ObligationKey(98), &encoded).is_none());
+            let bumped = encoded.replace(
+                &format!("{OBLIGATION_MAGIC} {HASH_FORMAT_VERSION}"),
+                &format!("{OBLIGATION_MAGIC} {}", HASH_FORMAT_VERSION + 1),
+            );
+            assert!(decode_obligation(key, &bumped).is_none());
+            assert!(decode_obligation(key, &encoded[..encoded.len() / 2]).is_none());
+            assert!(decode_obligation(key, &format!("{encoded}junk\n")).is_none());
+        }
+    }
+
+    #[test]
+    fn obligation_tier_lru_disk_and_corruption_behave_like_the_program_tier() {
+        let dir = temp_dir("obl");
+        let status = ObligationStatus::Failed(Failure::new("nope"));
+        {
+            let mut cache = VerdictCache::new(CacheConfig {
+                obligation_capacity: 2,
+                ..CacheConfig::persistent(&dir)
+            });
+            cache.put_obligation(ObligationKey(1), &ObligationStatus::Proved);
+            cache.put_obligation(ObligationKey(2), &status);
+            cache.put_obligation(ObligationKey(3), &ObligationStatus::Proved);
+            // Capacity 2: key 1 was evicted from memory...
+            assert_eq!(cache.obligation_len(), 2);
+            // ...but survives on disk, and promotes back on lookup.
+            assert_eq!(
+                cache.get_obligation(ObligationKey(1)),
+                Some(ObligationStatus::Proved)
+            );
+            assert_eq!(cache.get_obligation(ObligationKey(2)), Some(status.clone()));
+            let stats = cache.stats();
+            assert_eq!(stats.obligation_stores, 3);
+            assert_eq!(stats.obligation_hits, 2);
+        }
+        // A fresh cache (restart) hits via disk; a corrupt file is a miss
+        // and is deleted.
+        let mut cache = VerdictCache::new(CacheConfig::persistent(&dir));
+        assert_eq!(cache.get_obligation(ObligationKey(2)), Some(status));
+        let path = cache.obligation_path(ObligationKey(3)).unwrap();
+        fs::write(&path, "commcsl-obligation 999\ngarbage").unwrap();
+        assert_eq!(cache.get_obligation(ObligationKey(3)), None);
+        assert!(!path.exists(), "corrupt obligation file deleted");
         fs::remove_dir_all(&dir).ok();
     }
 

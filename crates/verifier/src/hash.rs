@@ -40,7 +40,14 @@ use crate::report::VerifierConfig;
 /// per-execution counterexamples), the solver backend became pluggable,
 /// and the backend/counterexample knobs joined the hashed configuration —
 /// any v1 verdict would replay without those fields.
-pub const HASH_FORMAT_VERSION: u32 = 2;
+///
+/// v3: the cache grew an **obligation tier**
+/// ([`ObligationKey`](crate::obligation::ObligationKey)-addressed
+/// per-obligation statuses for workspace re-verification), report JSON
+/// gained a leading `schema_version` field, and this version seeds the
+/// obligation-key hasher too — v2 verdicts would replay the old report
+/// shape.
+pub const HASH_FORMAT_VERSION: u32 = 3;
 
 const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
 const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;

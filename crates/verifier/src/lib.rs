@@ -63,15 +63,22 @@ pub mod batch;
 pub mod cache;
 pub mod diag;
 pub mod hash;
+pub mod obligation;
 pub mod program;
 pub mod report;
 pub mod symexec;
+pub mod workspace;
 
 pub use api::{Outcome, Verifier};
 pub use batch::{verify_batch, BatchConfig, BatchResult};
 pub use cache::{CacheConfig, CacheStats, CachedResult, CachedVerifier, VerdictCache};
 pub use diag::{CexBinding, Counterexample, DiagnosticCode, Failure, SourceSpan};
 pub use hash::{program_hash, ProgramHash, StableHash, StableHasher};
+pub use obligation::{
+    obligation_graph, DischargeStats, ObligationEvent, ObligationGraph, ObligationKey,
+    ObligationNode, ObligationStore,
+};
 pub use program::{AnnotatedProgram, StmtPath, VStmt};
 pub use report::{ObligationResult, ObligationStatus, VerifierConfig, VerifierReport};
-pub use symexec::{solver_trace, verify, SolverEvent};
+pub use symexec::{solver_trace, verify, verify_incremental, SolverEvent};
+pub use workspace::{DocOutcome, Workspace, WorkspaceConfig, WorkspaceEvent};

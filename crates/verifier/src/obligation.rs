@@ -1,0 +1,326 @@
+//! Obligation-level content addressing: the unit of incremental
+//! re-verification.
+//!
+//! A whole-program verdict is addressed by
+//! [`program_hash`](crate::hash::program_hash); this module addresses the
+//! *individual proof obligations* inside it. Every obligation the
+//! symbolic execution discharges — a statement's `Low(..)` goal, an
+//! action precondition, a retroactive batch-count check, a resource
+//! specification's validity — is a pure function of its **dependency
+//! cone**:
+//!
+//! * the goal term (derived from the statement and the resource specs it
+//!   references),
+//! * the relational path facts in scope at the check, *with their scope
+//!   and batching structure* (facts of popped scopes are excluded; batch
+//!   boundaries are included because the incremental solver backend
+//!   saturates facts per batch),
+//! * the sorts of every symbolic variable the goal and facts mention
+//!   (they gate and steer the falsifier), and
+//! * every verdict-relevant configuration knob (solver budgets,
+//!   falsifier budgets, backend choice, counterexample search).
+//!
+//! [`ObligationKey`] is a stable 128-bit hash of exactly that cone, so
+//! two obligations with the same key have **byte-identical**
+//! [`ObligationStatus`] outcomes — which is what lets a
+//! [`Workspace`](crate::workspace::Workspace) re-verify an edited program
+//! by re-discharging only the obligations whose cones the edit dirtied
+//! and replaying cached statuses for the rest, while keeping the final
+//! report byte-identical to a cold run.
+//!
+//! [`ObligationGraph`] exposes the same structure declaratively: one node
+//! per obligation, keyed, carrying the statement path that generated it
+//! and the statement paths its fact cone depends on.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::str::FromStr;
+
+use crate::hash::StableHasher;
+use crate::program::{AnnotatedProgram, StmtPath};
+use crate::report::{ObligationResult, ObligationStatus, VerifierConfig};
+
+/// A 128-bit content hash of one proof obligation's dependency cone.
+///
+/// Displayed (and parsed) as 32 lowercase hex digits, like
+/// [`ProgramHash`](crate::hash::ProgramHash). Two obligations with equal
+/// keys have byte-identical statuses; the converse is not required (the
+/// key may over-distinguish, which only costs cache hits, never
+/// correctness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObligationKey(pub u128);
+
+impl fmt::Display for ObligationKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl FromStr for ObligationKey {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 32 {
+            return Err(format!(
+                "obligation key must be 32 hex digits, got {}",
+                s.len()
+            ));
+        }
+        u128::from_str_radix(s, 16)
+            .map(ObligationKey)
+            .map_err(|e| format!("bad obligation key: {e}"))
+    }
+}
+
+impl ObligationKey {
+    /// Finalizes a hasher into a key.
+    pub fn from_hasher(h: &StableHasher) -> ObligationKey {
+        ObligationKey(h.finish().0)
+    }
+}
+
+/// A store of per-obligation statuses, keyed by [`ObligationKey`].
+///
+/// [`verify_incremental`](crate::symexec::verify_incremental) consults
+/// the store before discharging each obligation and records every status
+/// it computes. Implementations must return exactly what was stored
+/// (byte-identical statuses) or nothing — a lossy store silently breaks
+/// the workspace's byte-identity guarantee.
+pub trait ObligationStore {
+    /// Looks up a cached status.
+    fn get(&mut self, key: ObligationKey) -> Option<ObligationStatus>;
+    /// Records a freshly computed status.
+    fn put(&mut self, key: ObligationKey, status: &ObligationStatus);
+}
+
+/// An [`ObligationStore`] that never hits and never records: running the
+/// incremental verifier with it reproduces a cold run while still
+/// enumerating keys and events (used by [`obligation_graph`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObligationStore;
+
+impl ObligationStore for NullObligationStore {
+    fn get(&mut self, _key: ObligationKey) -> Option<ObligationStatus> {
+        None
+    }
+    fn put(&mut self, _key: ObligationKey, _status: &ObligationStatus) {}
+}
+
+/// A plain in-memory [`ObligationStore`] (unbounded; tests and the
+/// obligation benches use it — the production store is the obligation
+/// tier of [`VerdictCache`](crate::cache::VerdictCache)).
+#[derive(Debug, Default, Clone)]
+pub struct MemoryObligationStore {
+    entries: HashMap<ObligationKey, ObligationStatus>,
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups the store could not answer.
+    pub misses: u64,
+}
+
+impl ObligationStore for MemoryObligationStore {
+    fn get(&mut self, key: ObligationKey) -> Option<ObligationStatus> {
+        let found = self.entries.get(&key).cloned();
+        match found {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        found
+    }
+
+    fn put(&mut self, key: ObligationKey, status: &ObligationStatus) {
+        self.entries.insert(key, status.clone());
+    }
+}
+
+impl MemoryObligationStore {
+    /// Number of stored statuses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Per-run reuse counters of one incremental verification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DischargeStats {
+    /// Obligations the run produced (reused + checked).
+    pub total: usize,
+    /// Obligations answered from the obligation store.
+    pub reused: usize,
+    /// Obligations discharged by the solver (and recorded).
+    pub checked: usize,
+}
+
+/// One obligation as it settles during an incremental run — the payload
+/// of the event callback of
+/// [`verify_incremental`](crate::symexec::verify_incremental), streamed
+/// by the daemon's protocol-v2 `obligation_done` events.
+#[derive(Debug)]
+pub struct ObligationEvent<'a> {
+    /// Position in the report's obligation list.
+    pub index: usize,
+    /// The obligation's dependency-cone key.
+    pub key: ObligationKey,
+    /// Statement path of the proving site (empty for program-end checks).
+    pub path: &'a [u32],
+    /// Statement paths whose facts are in the obligation's cone (raw, in
+    /// assertion order; may repeat).
+    pub cone: &'a [StmtPath],
+    /// The settled obligation (description, code, span, status).
+    pub result: &'a ObligationResult,
+    /// `true` when the status came from the obligation store.
+    pub reused: bool,
+}
+
+/// One node of an [`ObligationGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObligationNode {
+    /// The obligation's dependency-cone key.
+    pub key: ObligationKey,
+    /// Human-readable description (as it appears in reports).
+    pub description: String,
+    /// Stable obligation kind.
+    pub code: crate::diag::DiagnosticCode,
+    /// Source position, when known.
+    pub span: Option<crate::diag::SourceSpan>,
+    /// Statement path of the proving site.
+    pub path: StmtPath,
+    /// Statement paths the obligation's fact cone depends on (sorted,
+    /// deduplicated; includes `path` itself).
+    pub cone: Vec<StmtPath>,
+}
+
+/// The per-program obligation DAG: one node per proof obligation, each
+/// keyed by the structural hash of its dependency cone. Edges are
+/// implicit — a node depends on every statement in its `cone` — so an
+/// edit dirties exactly the nodes whose cone contains an edited
+/// statement (plus any node whose own key changed).
+#[derive(Debug, Clone, Default)]
+pub struct ObligationGraph {
+    /// Nodes in report (generation) order.
+    pub nodes: Vec<ObligationNode>,
+}
+
+impl ObligationGraph {
+    /// Nodes whose dependency cone contains `path` (i.e. the obligations
+    /// an edit of the statement at `path` can dirty).
+    pub fn dependents_of(&self, path: &[u32]) -> impl Iterator<Item = &ObligationNode> {
+        let path = path.to_vec();
+        self.nodes
+            .iter()
+            .filter(move |n| n.cone.contains(&path))
+    }
+}
+
+/// Enumerates a program's obligation DAG by running the incremental
+/// symbolic execution against a [`NullObligationStore`] and collecting
+/// every obligation event. The returned nodes carry exactly the keys a
+/// [`Workspace`](crate::workspace::Workspace) would use, so the graph is
+/// the ground truth for "what does this edit dirty".
+pub fn obligation_graph(
+    program: &AnnotatedProgram,
+    config: &VerifierConfig,
+) -> ObligationGraph {
+    let mut nodes = Vec::new();
+    let mut store = NullObligationStore;
+    let _ = crate::symexec::verify_incremental(program, config, &mut store, &mut |e| {
+        let mut cone: BTreeSet<StmtPath> = e.cone.iter().cloned().collect();
+        cone.insert(e.path.to_vec());
+        nodes.push(ObligationNode {
+            key: e.key,
+            description: e.result.description.clone(),
+            code: e.result.code,
+            span: e.result.span,
+            path: e.path.to_vec(),
+            cone: cone.into_iter().collect(),
+        });
+    });
+    ObligationGraph { nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::VStmt;
+    use commcsl_logic::spec::ResourceSpec;
+    use commcsl_pure::{Sort, Term};
+
+    #[test]
+    fn keys_render_and_parse() {
+        let key = ObligationKey(0xDEADBEEF);
+        let hex = key.to_string();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(hex.parse::<ObligationKey>().unwrap(), key);
+        assert!("short".parse::<ObligationKey>().is_err());
+    }
+
+    fn counter_program() -> AnnotatedProgram {
+        AnnotatedProgram::new("graph-counter")
+            .with_resource(ResourceSpec::counter_add())
+            .with_body([
+                VStmt::input("a", Sort::Int, true),
+                VStmt::Share {
+                    resource: 0,
+                    init: Term::int(0),
+                },
+                VStmt::Par {
+                    workers: vec![
+                        vec![VStmt::atomic(0, "Add", Term::var("a"))],
+                        vec![VStmt::atomic(0, "Add", Term::int(2))],
+                    ],
+                },
+                VStmt::Unshare {
+                    resource: 0,
+                    into: "c".into(),
+                },
+                VStmt::Output(Term::var("c")),
+            ])
+    }
+
+    #[test]
+    fn graph_enumerates_every_obligation_with_distinct_keys() {
+        let config = VerifierConfig::default();
+        let program = counter_program();
+        let graph = obligation_graph(&program, &config);
+        let report = crate::symexec::verify(&program, &config);
+        assert_eq!(graph.nodes.len(), report.obligations.len());
+        for (node, o) in graph.nodes.iter().zip(&report.obligations) {
+            assert_eq!(node.description, o.description);
+            assert_eq!(node.code, o.code);
+            assert!(node.cone.contains(&node.path));
+        }
+        let keys: BTreeSet<ObligationKey> =
+            graph.nodes.iter().map(|n| n.key).collect();
+        assert_eq!(keys.len(), graph.nodes.len(), "keys must be distinct here");
+        // The graph is deterministic.
+        let again = obligation_graph(&program, &config);
+        assert_eq!(graph.nodes, again.nodes);
+    }
+
+    #[test]
+    fn output_obligation_depends_on_the_unshare() {
+        let config = VerifierConfig::default();
+        let graph = obligation_graph(&counter_program(), &config);
+        let output = graph
+            .nodes
+            .iter()
+            .find(|n| n.code == crate::diag::DiagnosticCode::LowOutput)
+            .expect("output obligation");
+        // The unshare (path [3]) feeds the abstraction-equality fact the
+        // output check relies on.
+        assert!(
+            output.cone.contains(&vec![3]),
+            "cone {:?} must include the unshare",
+            output.cone
+        );
+        assert_eq!(output.path, vec![4]);
+        assert!(graph
+            .dependents_of(&[3])
+            .any(|n| n.code == crate::diag::DiagnosticCode::LowOutput));
+    }
+}

@@ -17,6 +17,16 @@ use commcsl_smt::{BackendKind, SolverConfig};
 
 pub use crate::diag::{CexBinding, Counterexample, DiagnosticCode, Failure, SourceSpan};
 
+/// Version of the report JSON shape emitted by
+/// [`VerifierReport::to_json`] (and therefore by the CLI's `--json`
+/// output and the daemon protocol). Bumped whenever a field is added,
+/// removed, or reinterpreted, so machine consumers can detect documents
+/// they do not understand. Independent of
+/// [`HASH_FORMAT_VERSION`](crate::hash::HASH_FORMAT_VERSION) (the cache
+/// address version), though a schema bump implies a hash bump — the
+/// bytes change.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
 /// Configuration for the verifier.
 #[derive(Debug, Clone)]
 pub struct VerifierConfig {
@@ -210,7 +220,8 @@ impl VerifierReport {
         let errors: Vec<String> =
             self.errors.iter().map(|e| json_string(e)).collect();
         format!(
-            "{{\"program\":{},\"verified\":{},\"proved\":{},\"obligations\":[{}],\"errors\":[{}]}}",
+            "{{\"schema_version\":{REPORT_SCHEMA_VERSION},\"program\":{},\"verified\":{},\
+             \"proved\":{},\"obligations\":[{}],\"errors\":[{}]}}",
             json_string(&self.program),
             self.verified(),
             self.proved_count(),
@@ -403,7 +414,9 @@ mod tests {
             errors: vec!["guard misuse".into()],
         };
         let json = r.to_json();
-        assert!(json.starts_with("{\"program\":\"p \\\"q\\\"\""));
+        assert!(json.starts_with(&format!(
+            "{{\"schema_version\":{REPORT_SCHEMA_VERSION},\"program\":\"p \\\"q\\\"\""
+        )));
         assert!(json.contains("\"verified\":false"));
         assert!(json.contains("\"proved\":1"));
         assert!(json.contains("\"code\":\"action-pre\""));

@@ -18,17 +18,33 @@
 //! checked under it. Failed obligations additionally run the falsifier
 //! over the collected facts to attach a concrete per-execution
 //! counterexample to the report.
+//!
+//! Two discharge regimes share the execution engine:
+//!
+//! * [`verify`] — the cold regime: every obligation goes to the solver.
+//! * [`verify_incremental`] — the workspace regime: each obligation's
+//!   dependency-cone key ([`ObligationKey`]) is computed as the
+//!   execution reaches it, an [`ObligationStore`] is consulted, and only
+//!   *misses* touch the solver. Session work is **lazy**: facts and
+//!   scopes are buffered and replayed (with the cold run's exact batch
+//!   boundaries, via [`SolverSession::sync`]) only when a miss forces a
+//!   real check — a fully warm re-verification performs no solver work
+//!   at all. Reports are byte-identical to [`verify`] by construction:
+//!   descriptions, codes, and spans are recomputed each run, and cached
+//!   statuses are keyed by everything that can influence them.
 
 use std::collections::BTreeMap;
 
-use commcsl_logic::spec::ActionKind;
+use commcsl_logic::spec::{ActionKind, ResourceSpec};
 use commcsl_logic::validity::check_validity;
 use commcsl_pure::{Sort, Symbol, Term};
 use commcsl_smt::falsify::find_counterexample;
 use commcsl_smt::{SolverSession, Verdict};
 
 use crate::diag::{Counterexample, DiagnosticCode, Failure, SourceSpan};
-use crate::program::{AnnotatedProgram, VStmt};
+use crate::hash::{StableHash, StableHasher};
+use crate::obligation::{DischargeStats, ObligationEvent, ObligationKey, ObligationStore};
+use crate::program::{AnnotatedProgram, StmtPath, VStmt};
 use crate::report::{ObligationResult, ObligationStatus, VerifierConfig, VerifierReport};
 
 /// Verifies an annotated program; see the crate docs for the obligations
@@ -42,6 +58,34 @@ pub fn verify(program: &AnnotatedProgram, config: &VerifierConfig) -> VerifierRe
     let mut exec = Exec::new(program, config);
     exec.run_body(&program.body);
     exec.finish()
+}
+
+/// Verifies a program against an [`ObligationStore`]: obligations whose
+/// dependency-cone key hits the store replay their cached status without
+/// touching the solver; misses are discharged exactly as [`verify`] would
+/// (the buffered session work is replayed first, reproducing the cold
+/// run's solver state bit for bit) and recorded. `on_event` fires once
+/// per obligation, in report order, as it settles.
+///
+/// The returned report is **byte-identical** to `verify(program, config)`
+/// whatever mix of hits and misses served it — the property the
+/// [`Workspace`](crate::workspace::Workspace) API and the daemon's
+/// incremental re-verification are built on.
+pub fn verify_incremental(
+    program: &AnnotatedProgram,
+    config: &VerifierConfig,
+    store: &mut dyn ObligationStore,
+    on_event: &mut dyn FnMut(&ObligationEvent<'_>),
+) -> (VerifierReport, DischargeStats) {
+    let mut exec = Exec::new(program, config);
+    exec.discharge = Discharge::Cached(Box::new(CachedState::new(config, store, on_event)));
+    exec.run_body(&program.body);
+    let report = exec.finish();
+    let stats = match &exec.discharge {
+        Discharge::Cached(state) => state.stats,
+        Discharge::Direct => DischargeStats::default(),
+    };
+    (report, stats)
 }
 
 /// One event of a program's solver-session interaction, as recorded by
@@ -110,6 +154,11 @@ pub fn solver_trace(program: &AnnotatedProgram, config: &VerifierConfig) -> Vec<
             });
             self.inner.check_assuming(assumptions, goal)
         }
+        fn sync(&mut self) {
+            // Not an event of the cold workload (only obligation-cache
+            // replays call it), so it is forwarded without recording.
+            self.inner.sync();
+        }
         fn depth(&self) -> usize {
             self.inner.depth()
         }
@@ -131,6 +180,7 @@ pub fn solver_trace(program: &AnnotatedProgram, config: &VerifierConfig) -> Vec<
     });
     exec.run_body(&program.body);
     let _ = exec.finish();
+    drop(exec);
     Rc::try_unwrap(log).expect("recorder dropped with the exec").into_inner()
 }
 
@@ -160,17 +210,128 @@ enum ResState {
     Consumed,
 }
 
-/// A queued retroactive obligation (description, code, span, goal).
+/// The non-status half of an [`ObligationResult`] plus its proving site
+/// — what [`Exec::settle_cached`] needs besides the key and the status.
+struct ObligationMeta {
+    description: String,
+    code: DiagnosticCode,
+    span: Option<SourceSpan>,
+    path: StmtPath,
+}
+
+/// A queued retroactive obligation (description, code, span, site, goal).
 struct Deferred {
     description: String,
     code: DiagnosticCode,
     span: Option<SourceSpan>,
+    path: StmtPath,
     goal: Term,
 }
 
-struct Exec<'a> {
+/// A buffered session operation of the incremental regime, replayed into
+/// the real [`SolverSession`] only when an obligation-store miss forces a
+/// check. `Sync` stands where a *skipped* (cache-hit) check used to be,
+/// so replay reproduces the cold run's assertion batch boundaries.
+enum PendingOp {
+    Push,
+    Pop,
+    Assert(Term),
+    Sync,
+}
+
+/// The incremental-discharge state carried by [`verify_incremental`].
+struct CachedState<'b> {
+    store: &'b mut dyn ObligationStore,
+    sink: &'b mut dyn FnMut(&ObligationEvent<'_>),
+    /// One hasher per open fact scope, each extending its parent: the top
+    /// hasher is the running digest of every *live* session event
+    /// (asserts with their free-variable sorts, scope pushes, check/sync
+    /// boundaries) plus the verdict-relevant configuration — cloning it
+    /// and feeding the goal yields the obligation's dependency-cone key.
+    /// Popping a scope discards its contribution entirely, mirroring the
+    /// solver's exact rollback.
+    ctx: Vec<StableHasher>,
+    /// Session operations not yet applied to the real session.
+    pending: Vec<PendingOp>,
+    /// `(replays, pending.len())` at each open scope: when nothing was
+    /// replayed since the scope opened, closing it simply truncates the
+    /// buffer; otherwise a real `Pop` must be buffered.
+    pending_marks: Vec<(u64, usize)>,
+    /// Number of times `pending` has been replayed into the session.
+    replays: u64,
+    /// Statement path that asserted each live fact (parallel to
+    /// `Exec::facts`) — the fact half of each obligation's cone.
+    fact_origins: Vec<StmtPath>,
+    stats: DischargeStats,
+}
+
+impl<'b> CachedState<'b> {
+    fn new(
+        config: &VerifierConfig,
+        store: &'b mut dyn ObligationStore,
+        sink: &'b mut dyn FnMut(&ObligationEvent<'_>),
+    ) -> Self {
+        let mut root = StableHasher::new();
+        root.tag("obligation-ctx");
+        config.stable_hash(&mut root);
+        CachedState {
+            store,
+            sink,
+            ctx: vec![root],
+            pending: Vec::new(),
+            pending_marks: Vec::new(),
+            replays: 0,
+            fact_origins: Vec::new(),
+            stats: DischargeStats::default(),
+        }
+    }
+
+    /// The current context digest (top of the scope stack).
+    fn top(&mut self) -> &mut StableHasher {
+        self.ctx.last_mut().expect("root context never pops")
+    }
+}
+
+/// Feeds a term into an obligation-key hasher in one traversal,
+/// annotating every variable occurrence with its registered sort (the
+/// falsifier's steering inputs). Equivalent to hashing the term and its
+/// free-variable sort map, without materializing the variable set.
+fn feed_term(h: &mut StableHasher, term: &Term, var_sorts: &BTreeMap<Symbol, Sort>) {
+    match term {
+        Term::Var(x) => {
+            h.tag("term.var");
+            x.stable_hash(h);
+            match var_sorts.get(x) {
+                Some(sort) => sort.stable_hash(h),
+                None => h.tag("sort.absent"),
+            }
+        }
+        Term::Lit(v) => {
+            h.tag("term.lit");
+            v.stable_hash(h);
+        }
+        Term::App(f, args) => {
+            h.tag("term.app");
+            f.stable_hash(h);
+            h.write_usize(args.len());
+            for arg in args {
+                feed_term(h, arg, var_sorts);
+            }
+        }
+    }
+}
+
+/// How obligations are settled: directly (cold), or against an
+/// obligation store with lazy session replay (incremental).
+enum Discharge<'b> {
+    Direct,
+    Cached(Box<CachedState<'b>>),
+}
+
+struct Exec<'a, 'b> {
     program: &'a AnnotatedProgram,
     config: &'a VerifierConfig,
+    discharge: Discharge<'b>,
     /// The solver session mirroring the path condition. Facts are
     /// asserted exactly once per scope; goals are checked against it.
     session: Box<dyn SolverSession>,
@@ -197,11 +358,12 @@ struct Exec<'a> {
     deferred: Vec<Deferred>,
 }
 
-impl<'a> Exec<'a> {
+impl<'a, 'b> Exec<'a, 'b> {
     fn new(program: &'a AnnotatedProgram, config: &'a VerifierConfig) -> Self {
         Exec {
             program,
             config,
+            discharge: Discharge::Direct,
             session: config.backend.open_session(config.solver.clone()),
             facts: Vec::new(),
             store: BTreeMap::new(),
@@ -217,12 +379,12 @@ impl<'a> Exec<'a> {
         }
     }
 
-    fn finish(mut self) -> VerifierReport {
+    fn finish(&mut self) -> VerifierReport {
         // Retroactive obligations: proved against the final fact set, which
         // includes everything learned from later unshares.
         let deferred = std::mem::take(&mut self.deferred);
         for d in deferred {
-            self.prove_with_span(d.description, d.code, d.span, d.goal);
+            self.prove_with_span(d.description, d.code, d.span, d.path, d.goal);
         }
         for (i, r) in self.resources.iter().enumerate() {
             if matches!(r, ResState::Shared { .. }) {
@@ -232,8 +394,8 @@ impl<'a> Exec<'a> {
         }
         VerifierReport {
             program: self.program.name.clone(),
-            obligations: self.obligations,
-            errors: self.errors,
+            obligations: std::mem::take(&mut self.obligations),
+            errors: std::mem::take(&mut self.errors),
         }
     }
 
@@ -257,22 +419,76 @@ impl<'a> Exec<'a> {
     }
 
     /// Records a relational fact: into the raw list (for the falsifier)
-    /// and into the solver session (for proofs).
+    /// and into the solver session (for proofs). In the incremental
+    /// regime the session work is buffered and the fact (with its
+    /// free-variable sorts and origin statement) is folded into the
+    /// context digest instead.
     fn push_fact(&mut self, fact: Term) {
         self.facts.push(fact.clone());
-        self.session.assert(fact);
+        match &mut self.discharge {
+            Discharge::Direct => self.session.assert(fact),
+            Discharge::Cached(state) => {
+                let top = state.ctx.last_mut().expect("root context");
+                top.tag("assert");
+                feed_term(top, &fact, &self.var_sorts);
+                state.fact_origins.push(self.path.clone());
+                state.pending.push(PendingOp::Assert(fact));
+            }
+        }
     }
 
     /// Opens a fact scope (solver session + raw list mark).
     fn begin_scope(&mut self) -> usize {
-        self.session.push();
+        match &mut self.discharge {
+            Discharge::Direct => self.session.push(),
+            Discharge::Cached(state) => {
+                let mut child = state.ctx.last().expect("root context").clone();
+                child.tag("push");
+                state.ctx.push(child);
+                state.pending_marks.push((state.replays, state.pending.len()));
+                state.pending.push(PendingOp::Push);
+            }
+        }
         self.facts.len()
     }
 
     /// Closes a fact scope opened by [`Exec::begin_scope`].
     fn end_scope(&mut self, mark: usize) {
-        self.session.pop();
+        match &mut self.discharge {
+            Discharge::Direct => self.session.pop(),
+            Discharge::Cached(state) => {
+                state.ctx.pop();
+                let (generation, pending_mark) = state
+                    .pending_marks
+                    .pop()
+                    .expect("end_scope without begin_scope");
+                if generation == state.replays {
+                    // The whole scope is still buffered: cancel it without
+                    // the session ever seeing it.
+                    state.pending.truncate(pending_mark);
+                } else {
+                    // Part of the scope reached the session (a miss
+                    // occurred inside): buffer the matching pop.
+                    state.pending.push(PendingOp::Pop);
+                }
+                state.fact_origins.truncate(mark);
+            }
+        }
         self.facts.truncate(mark);
+    }
+
+    /// Applies every buffered session operation (incremental regime only;
+    /// called when an obligation-store miss needs the real session).
+    fn replay_pending(state: &mut CachedState<'_>, session: &mut dyn SolverSession) {
+        for op in state.pending.drain(..) {
+            match op {
+                PendingOp::Push => session.push(),
+                PendingOp::Pop => session.pop(),
+                PendingOp::Assert(fact) => session.assert(fact),
+                PendingOp::Sync => session.sync(),
+            }
+        }
+        state.replays += 1;
     }
 
     /// Evaluates a program expression to its per-side symbolic terms.
@@ -299,7 +515,8 @@ impl<'a> Exec<'a> {
 
     fn prove(&mut self, description: impl Into<String>, code: DiagnosticCode, goal: Term) {
         let span = self.program.span_at(&self.path);
-        self.prove_with_span(description.into(), code, span, goal);
+        let path = self.path.clone();
+        self.prove_with_span(description.into(), code, span, path, goal);
     }
 
     fn prove_with_span(
@@ -307,24 +524,124 @@ impl<'a> Exec<'a> {
         description: String,
         code: DiagnosticCode,
         span: Option<SourceSpan>,
+        path: StmtPath,
         goal: Term,
     ) {
-        let status = match self.session.check(&goal) {
+        let discharge = std::mem::replace(&mut self.discharge, Discharge::Direct);
+        match discharge {
+            Discharge::Direct => {
+                let status = self.direct_status(&goal);
+                self.obligations.push(ObligationResult {
+                    description,
+                    code,
+                    span,
+                    status,
+                });
+            }
+            Discharge::Cached(state) => {
+                // The dependency-cone key: the live-context digest (config,
+                // scoped facts, batch boundaries) plus the goal and the
+                // sorts steering its falsification.
+                let mut h = state.ctx.last().expect("root context").clone();
+                h.tag("goal");
+                feed_term(&mut h, &goal, &self.var_sorts);
+                let key = ObligationKey::from_hasher(&h);
+                let meta = ObligationMeta {
+                    description,
+                    code,
+                    span,
+                    path,
+                };
+                self.settle_cached(state, key, meta, true, |exec| {
+                    exec.direct_status(&goal)
+                });
+            }
+        }
+    }
+
+    /// Settles one obligation in the incremental regime — the shared
+    /// tail of every cached discharge: consult the store, compute (and
+    /// record) on a miss, account, emit the event, push the result, and
+    /// restore the discharge state. `session_backed` is true for path
+    /// obligations, whose checks interact with the solver session (cone
+    /// = the live facts; hits buffer a `Sync`, misses replay the buffer,
+    /// and either way the check is a batch boundary for what follows);
+    /// spec-validity obligations pass false (their checker is
+    /// session-free and their cone is empty).
+    fn settle_cached(
+        &mut self,
+        mut state: Box<CachedState<'b>>,
+        key: ObligationKey,
+        meta: ObligationMeta,
+        session_backed: bool,
+        compute: impl FnOnce(&mut Self) -> ObligationStatus,
+    ) {
+        let (status, reused) = match state.store.get(key) {
+            Some(status) => {
+                if session_backed {
+                    // The skipped check still closed an assertion batch
+                    // in the cold run; a `Sync` keeps any later replay
+                    // bit-identical.
+                    state.pending.push(PendingOp::Sync);
+                }
+                (status, true)
+            }
+            None => {
+                if session_backed {
+                    Self::replay_pending(&mut state, self.session.as_mut());
+                }
+                let status = compute(self);
+                state.store.put(key, &status);
+                (status, false)
+            }
+        };
+        if session_backed {
+            // Whether skipped or checked, the obligation is a batch
+            // boundary for everything after it.
+            state.top().tag("flush");
+        }
+        state.stats.total += 1;
+        if reused {
+            state.stats.reused += 1;
+        } else {
+            state.stats.checked += 1;
+        }
+        let result = ObligationResult {
+            description: meta.description,
+            code: meta.code,
+            span: meta.span,
+            status,
+        };
+        let cone: &[StmtPath] = if session_backed {
+            &state.fact_origins
+        } else {
+            &[]
+        };
+        (state.sink)(&ObligationEvent {
+            index: self.obligations.len(),
+            key,
+            path: &meta.path,
+            cone,
+            result: &result,
+            reused,
+        });
+        self.obligations.push(result);
+        self.discharge = Discharge::Cached(state);
+    }
+
+    /// Discharges one goal against the real session (the cold path: a
+    /// solver check plus, on failure, the falsifier hunt).
+    fn direct_status(&mut self, goal: &Term) -> ObligationStatus {
+        match self.session.check(goal) {
             Verdict::Proved => ObligationStatus::Proved,
             _ => {
                 let mut failure = Failure::new(format!("not provable: {goal:?}"));
-                if let Some(env) = self.try_falsify(&goal) {
+                if let Some(env) = self.try_falsify(goal) {
                     failure = failure.with_counterexample(Counterexample::from_env(&env));
                 }
                 ObligationStatus::Failed(failure)
             }
-        };
-        self.obligations.push(ObligationResult {
-            description,
-            code,
-            span,
-            status,
-        });
+        }
     }
 
     /// Hunts for a concrete falsifying assignment for a failed goal.
@@ -623,19 +940,50 @@ impl<'a> Exec<'a> {
         }
     }
 
-    fn run_share(&mut self, resource: usize, init: &Term) {
-        let Some(spec) = self.program.resources.get(resource) else {
-            self.errors.push(format!("share of unknown resource {resource}"));
-            return;
-        };
-        if !matches!(self.resources[resource], ResState::Idle) {
-            self.errors
-                .push(format!("resource {resource} shared twice"));
-            return;
+    /// Discharges (or replays) the spec-validity obligation of a `share`.
+    fn prove_spec_validity(&mut self, spec: &ResourceSpec) {
+        let description = format!("resource spec `{}` is valid", spec.name);
+        let span = self.program.span_at(&self.path);
+        let path = self.path.clone();
+        let discharge = std::mem::replace(&mut self.discharge, Discharge::Direct);
+        match discharge {
+            Discharge::Direct => {
+                let status = self.spec_validity_status(spec);
+                self.obligations.push(ObligationResult {
+                    description,
+                    code: DiagnosticCode::SpecValidity,
+                    span,
+                    status,
+                });
+            }
+            Discharge::Cached(state) => {
+                // The validity check never reads the path condition, so
+                // its cone is just the specification and the config — the
+                // same spec shared from anywhere (any document, any edit)
+                // replays one cached status.
+                let mut h = StableHasher::new();
+                h.tag("obligation.spec-validity");
+                spec.stable_hash(&mut h);
+                self.config.stable_hash(&mut h);
+                let key = ObligationKey::from_hasher(&h);
+                let meta = ObligationMeta {
+                    description,
+                    code: DiagnosticCode::SpecValidity,
+                    span,
+                    path,
+                };
+                self.settle_cached(state, key, meta, false, |exec| {
+                    exec.spec_validity_status(spec)
+                });
+            }
         }
-        // Specification validity (Def. 3.1) — checked once per share.
+    }
+
+    /// Runs the validity checker and shapes its outcome as an obligation
+    /// status (the cold path of [`Exec::prove_spec_validity`]).
+    fn spec_validity_status(&self, spec: &ResourceSpec) -> ObligationStatus {
         let report = check_validity(spec, &self.config.validity);
-        let status = if report.is_valid() {
+        if report.is_valid() {
             ObligationStatus::Proved
         } else {
             let undecided: Vec<_> = report
@@ -657,13 +1005,23 @@ impl<'a> Exec<'a> {
                 }
             }
             ObligationStatus::Failed(failure)
+        }
+    }
+
+    fn run_share(&mut self, resource: usize, init: &Term) {
+        let Some(spec) = self.program.resources.get(resource) else {
+            self.errors.push(format!("share of unknown resource {resource}"));
+            return;
         };
-        self.obligations.push(ObligationResult {
-            description: format!("resource spec `{}` is valid", spec.name),
-            code: DiagnosticCode::SpecValidity,
-            span: self.program.span_at(&self.path),
-            status,
-        });
+        if !matches!(self.resources[resource], ResState::Idle) {
+            self.errors
+                .push(format!("resource {resource} shared twice"));
+            return;
+        }
+        // Specification validity (Def. 3.1) — checked once per share, and
+        // in the incremental regime cached by (spec, config) alone: the
+        // check is independent of the path condition.
+        self.prove_spec_validity(spec);
         // Property (1): Low(α(init)).
         let (v1, v2) = self.eval(init);
         self.prove(
@@ -790,6 +1148,7 @@ impl<'a> Exec<'a> {
                 description: format!("{description} [retroactive]"),
                 code: DiagnosticCode::ActionPreRetro,
                 span: self.program.span_at(&self.path),
+                path: self.path.clone(),
                 goal,
             });
         } else {

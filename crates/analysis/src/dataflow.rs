@@ -1,0 +1,170 @@
+//! A minimal forward-dataflow framework.
+//!
+//! Analyses over the lowered IR are *abstract interpretations*: an
+//! abstract state drawn from a [`JoinSemiLattice`] is pushed through the
+//! program by transfer functions, and control-flow merges take the join.
+//! The IR is structured (no arbitrary gotos), so most passes are a single
+//! syntax-directed walk; the [`fixpoint`] driver exists for transfer
+//! functions that need iteration-to-stability (e.g. a loop body analyzed
+//! until its entry state stops changing).
+
+use std::collections::BTreeMap;
+
+/// A join-semilattice: a partial order with least upper bounds.
+///
+/// `join` must be commutative, associative, and idempotent;
+/// `join_with` returns `true` when the receiver changed, which is what
+/// the [`fixpoint`] driver uses as its termination test.
+pub trait JoinSemiLattice: Clone + Eq {
+    /// In-place least upper bound; returns `true` iff `self` changed.
+    fn join_with(&mut self, other: &Self) -> bool;
+
+    /// Out-of-place least upper bound.
+    #[must_use]
+    fn join(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.join_with(other);
+        out
+    }
+}
+
+/// Pointwise-lifted maps are the workhorse state shape: variable → fact.
+///
+/// A key **missing** from one side is treated as *unconstrained* (top),
+/// so the join keeps only keys present in both maps, joined pointwise.
+/// This matches the "absent = we know nothing" reading used by the
+/// low-ness pass: a variable bound in only one branch of a conditional
+/// has no definite fact after the merge.
+impl<K: Ord + Clone, V: JoinSemiLattice> JoinSemiLattice for BTreeMap<K, V> {
+    fn join_with(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        let keys: Vec<K> = self.keys().cloned().collect();
+        for k in keys {
+            match other.get(&k) {
+                Some(v) => {
+                    let slot = self.get_mut(&k).expect("key from self");
+                    changed |= slot.join_with(v);
+                }
+                None => {
+                    self.remove(&k);
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+}
+
+/// Iterates `step` from `init` until the state stops changing.
+///
+/// `step` receives the current state and returns the next one; the driver
+/// joins it into the accumulator and stops when the join reports no
+/// change. `max_iters` bounds runaway transfer functions (ascending
+/// chains in the lattices used here are short); the state reached at the
+/// bound is returned as a sound over-approximation only if the lattice
+/// join keeps ascending — callers should size the bound above the lattice
+/// height.
+pub fn fixpoint<S, F>(init: S, max_iters: usize, mut step: F) -> S
+where
+    S: JoinSemiLattice,
+    F: FnMut(&S) -> S,
+{
+    let mut state = init;
+    for _ in 0..max_iters {
+        let next = step(&state);
+        if !state.join_with(&next) {
+            return state;
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The two-point "definitely known" lattice used by tests:
+    /// `Known ⊑ Unknown`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    enum K {
+        Known,
+        Unknown,
+    }
+
+    impl JoinSemiLattice for K {
+        fn join_with(&mut self, other: &Self) -> bool {
+            if *self == K::Known && *other == K::Unknown {
+                *self = K::Unknown;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn map_join_drops_one_sided_keys_and_joins_pointwise() {
+        let mut a: BTreeMap<String, K> = [
+            ("x".to_owned(), K::Known),
+            ("y".to_owned(), K::Known),
+            ("only-a".to_owned(), K::Known),
+        ]
+        .into_iter()
+        .collect();
+        let b: BTreeMap<String, K> = [
+            ("x".to_owned(), K::Known),
+            ("y".to_owned(), K::Unknown),
+            ("only-b".to_owned(), K::Known),
+        ]
+        .into_iter()
+        .collect();
+        assert!(a.join_with(&b));
+        assert_eq!(a.get("x"), Some(&K::Known));
+        assert_eq!(a.get("y"), Some(&K::Unknown));
+        assert_eq!(a.get("only-a"), None);
+        assert_eq!(a.get("only-b"), None);
+        // Idempotent: joining again changes nothing.
+        let b2 = b;
+        let before = a.clone();
+        let keys_only: BTreeMap<String, K> = before
+            .iter()
+            .filter(|(k, _)| b2.contains_key(*k))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        assert!(!a.join_with(&keys_only.join(&b2)) || a == before);
+    }
+
+    #[test]
+    fn fixpoint_reaches_stability() {
+        // Transfer: every iteration degrades `y`, then stabilizes.
+        let init: BTreeMap<String, K> = [
+            ("x".to_owned(), K::Known),
+            ("y".to_owned(), K::Known),
+        ]
+        .into_iter()
+        .collect();
+        let result = fixpoint(init, 8, |s| {
+            let mut next = s.clone();
+            if s.get("x") == Some(&K::Known) {
+                next.insert("y".to_owned(), K::Unknown);
+            }
+            next
+        });
+        assert_eq!(result.get("x"), Some(&K::Known));
+        assert_eq!(result.get("y"), Some(&K::Unknown));
+    }
+
+    #[test]
+    fn fixpoint_respects_iteration_bound() {
+        // A (deliberately broken, non-monotone) step that never stabilizes
+        // under join would loop forever without the bound; with keys that
+        // alternate, the join still terminates the driver at the bound.
+        let init: BTreeMap<String, K> = BTreeMap::new();
+        let mut calls = 0usize;
+        let _ = fixpoint(init, 3, |_| {
+            calls += 1;
+            BTreeMap::new()
+        });
+        assert!(calls <= 3);
+    }
+}

@@ -11,8 +11,8 @@
 //!
 //! Codes are part of the tool's machine interface (JSON reports, the
 //! daemon protocol, the verdict cache): their spellings are append-only.
-//! Renaming or re-using a code is a breaking change and requires a
-//! [`HASH_FORMAT_VERSION`](crate::hash::HASH_FORMAT_VERSION) bump.
+//! Renaming or re-using a code is a breaking change and requires a bump
+//! of `commcsl-verifier`'s `HASH_FORMAT_VERSION`.
 
 use std::fmt;
 use std::str::FromStr;

@@ -1,0 +1,44 @@
+//! Static analyses over the lowered CommCSL IR.
+//!
+//! This crate hosts everything that inspects an
+//! [`AnnotatedProgram`](program::AnnotatedProgram) *without* running the
+//! relational symbolic execution or the solver:
+//!
+//! * [`program`] / [`diag`] — the IR itself and its structured
+//!   diagnostics. These moved here from `commcsl-verifier` (which
+//!   re-exports them at their old paths) so analyses and the verifier can
+//!   share them without a dependency cycle.
+//! * [`dataflow`] — a small forward abstract-interpretation framework: a
+//!   join-semilattice trait, map-shaped state helpers, and a fixpoint
+//!   driver.
+//! * [`lowness`] — a flow-sensitive *definitely-low* analysis instantiated
+//!   on that framework. It mirrors the symbolic executor's precision
+//!   model: low inputs bind the **same** symbolic term in both executions,
+//!   so an expression over definitely-low variables lowers to syntactically
+//!   identical terms on both sides.
+//! * [`prepass`] — the sound static pre-pass used by the verifier: an
+//!   obligation goal that normalizes to `true` under the *syntactic*
+//!   equality oracle is discharged without the solver. Any such goal is
+//!   also refuted-in-negation by the solver's first saturation round (the
+//!   solver's rewriter consults a congruence oracle that subsumes the
+//!   syntactic one), so verdicts — and reports — are byte-identical to
+//!   solver-only runs.
+//! * [`lint`] — a lint engine with stable codes and severities (unused
+//!   declarations, share/unshare mismatches, ineffective annotations,
+//!   shadowed/unused variables), surfaced as `commcsl lint` and a daemon
+//!   `lint` request.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataflow;
+pub mod diag;
+pub mod lint;
+pub mod lowness;
+pub mod prepass;
+pub mod program;
+
+pub use dataflow::{fixpoint, JoinSemiLattice};
+pub use lint::{lint_program, Lint, LintCode, Severity};
+pub use lowness::{analyze_lowness, LownessAnalysis, LownessPrediction};
+pub use prepass::goal_statically_valid;

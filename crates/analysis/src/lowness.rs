@@ -1,0 +1,522 @@
+//! Flow-sensitive *definitely-low* analysis.
+//!
+//! Tracks which program variables are **definitely low** — guaranteed to
+//! lower to the *same* symbolic term in both executions of the relational
+//! product. The symbolic executor binds a `input x: low` to one shared
+//! fresh symbol, and pure assignment substitutes deterministically, so an
+//! expression whose free variables are all definitely low produces
+//! syntactically identical terms on both sides. That is exactly the
+//! precondition for the [`prepass`](crate::prepass) to discharge the
+//! corresponding obligation without the solver.
+//!
+//! The transfer functions deliberately mirror the executor's precision
+//! model rather than the strongest possible semantics:
+//!
+//! * a lockstep `for` relates iteration *i* of execution 1 to iteration
+//!   *i* of execution 2 through **one** symbolic iteration, so the body is
+//!   analyzed once from the loop-entry state (fixpointing would claim more
+//!   than the executor proves);
+//! * an effect-free `if` on a **high** condition merges branches with
+//!   per-execution `ite` terms whose conditions differ, so every variable
+//!   assigned under it becomes high;
+//! * `unshare` binds the final resource value, which differs across
+//!   executions (only its abstraction is low), so the bound variable is
+//!   high.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use commcsl_pure::{Symbol, Term};
+
+use crate::dataflow::JoinSemiLattice;
+use crate::diag::DiagnosticCode;
+use crate::prepass::goal_statically_valid;
+use crate::program::{AnnotatedProgram, StmtPath, VStmt};
+
+/// The two-point low-ness lattice: `Low ⊑ High`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lowness {
+    /// Definitely the same symbolic term in both executions.
+    Low,
+    /// Possibly different across executions (the sound default).
+    High,
+}
+
+impl JoinSemiLattice for Lowness {
+    fn join_with(&mut self, other: &Self) -> bool {
+        if *self == Lowness::Low && *other == Lowness::High {
+            *self = Lowness::High;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Abstract state: variable → definite low-ness. Absent = high.
+pub type AbsState = BTreeMap<Symbol, Lowness>;
+
+/// `true` when every free variable of `e` is definitely low in `state` —
+/// the expression then lowers to identical terms in both executions.
+pub fn expr_low(state: &AbsState, e: &Term) -> bool {
+    e.free_vars()
+        .iter()
+        .all(|v| state.get(v) == Some(&Lowness::Low))
+}
+
+/// One obligation site the analysis predicts the pre-pass will discharge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LownessPrediction {
+    /// Statement path of the obligation site.
+    pub path: StmtPath,
+    /// The obligation kind predicted static.
+    pub code: DiagnosticCode,
+}
+
+/// Result of running the low-ness pass over a whole program.
+#[derive(Debug, Clone, Default)]
+pub struct LownessAnalysis {
+    /// Obligation sites predicted to be discharged statically. The
+    /// verifier's pre-pass is the ground truth; predictions are a sound
+    /// *under*-approximation of it (checked by a differential test) used
+    /// for lints such as `dead-assert-low`.
+    pub predictions: Vec<LownessPrediction>,
+    /// Abstract state at the end of the program body.
+    pub exit_state: AbsState,
+}
+
+impl LownessAnalysis {
+    /// `true` when the site at `path` is predicted statically provable.
+    pub fn predicts(&self, path: &[u32], code: DiagnosticCode) -> bool {
+        self.predictions
+            .iter()
+            .any(|p| p.path == path && p.code == code)
+    }
+}
+
+/// Runs the definitely-low dataflow pass over `program`.
+pub fn analyze_lowness(program: &AnnotatedProgram) -> LownessAnalysis {
+    let mut analysis = LownessAnalysis::default();
+    let mut state = AbsState::new();
+    walk_body(program, &program.body, &mut Vec::new(), &mut state, &mut analysis);
+    analysis.exit_state = state;
+    analysis
+}
+
+/// Collects every variable (syntactically) assigned anywhere in `body`.
+fn assigned_vars(body: &[VStmt], out: &mut BTreeSet<Symbol>) {
+    for stmt in body {
+        match stmt {
+            VStmt::Input { var, .. } | VStmt::Assign(var, _) => {
+                out.insert(var.clone());
+            }
+            VStmt::ConsumeBind { var, .. } => {
+                out.insert(var.clone());
+            }
+            VStmt::Unshare { into, .. } => {
+                out.insert(into.clone());
+            }
+            VStmt::If { then_b, else_b, .. } => {
+                assigned_vars(then_b, out);
+                assigned_vars(else_b, out);
+            }
+            VStmt::For { var, body, .. } => {
+                out.insert(var.clone());
+                assigned_vars(body, out);
+            }
+            VStmt::Par { workers } => {
+                for w in workers {
+                    assigned_vars(w, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn havoc(state: &mut AbsState, vars: &BTreeSet<Symbol>) {
+    for v in vars {
+        state.insert(v.clone(), Lowness::High);
+    }
+}
+
+fn predict(
+    analysis: &mut LownessAnalysis,
+    path: &[u32],
+    code: DiagnosticCode,
+    when: bool,
+) {
+    if when {
+        analysis.predictions.push(LownessPrediction {
+            path: path.to_vec(),
+            code,
+        });
+    }
+}
+
+fn walk_body(
+    program: &AnnotatedProgram,
+    body: &[VStmt],
+    path: &mut StmtPath,
+    state: &mut AbsState,
+    analysis: &mut LownessAnalysis,
+) {
+    for (i, stmt) in body.iter().enumerate() {
+        path.push(i as u32);
+        walk_stmt(program, stmt, path, state, analysis);
+        path.pop();
+    }
+}
+
+fn walk_stmt(
+    program: &AnnotatedProgram,
+    stmt: &VStmt,
+    path: &mut StmtPath,
+    state: &mut AbsState,
+    analysis: &mut LownessAnalysis,
+) {
+    match stmt {
+        VStmt::Input { var, low, .. } => {
+            let fact = if *low { Lowness::Low } else { Lowness::High };
+            state.insert(var.clone(), fact);
+        }
+        VStmt::Assign(var, e) => {
+            let fact = if expr_low(state, e) {
+                Lowness::Low
+            } else {
+                Lowness::High
+            };
+            state.insert(var.clone(), fact);
+        }
+        VStmt::If {
+            cond,
+            then_b,
+            else_b,
+        } => {
+            let cond_low = expr_low(state, cond);
+            let effectful = then_b.iter().chain(else_b).any(VStmt::has_effects);
+            if effectful {
+                predict(analysis, path, DiagnosticCode::LowBranch, cond_low);
+            }
+            if cond_low {
+                // Lockstep branch: both executions take the same side, so
+                // the branch-end states merge pointwise (a variable bound
+                // in only one branch carries no definite fact after the
+                // merge — the map join drops it).
+                let mut then_state = state.clone();
+                let mut else_state = state.clone();
+                let then_len = then_b.len() as u32;
+                {
+                    let mut p = path.clone();
+                    for (j, s) in then_b.iter().enumerate() {
+                        p.push(j as u32);
+                        walk_stmt(program, s, &mut p, &mut then_state, analysis);
+                        p.pop();
+                    }
+                    for (j, s) in else_b.iter().enumerate() {
+                        p.push(then_len + j as u32);
+                        walk_stmt(program, s, &mut p, &mut else_state, analysis);
+                        p.pop();
+                    }
+                }
+                then_state.join_with(&else_state);
+                *state = then_state;
+            } else {
+                // High condition: the executor merges per execution with
+                // `ite` terms whose conditions differ across executions —
+                // everything assigned under the conditional becomes high.
+                // The branches are not walked for predictions: the merge
+                // conditions differ across executions, so nothing proved
+                // under one is guaranteed to collapse syntactically —
+                // omitting predictions keeps the under-approximation.
+                let mut assigned = BTreeSet::new();
+                assigned_vars(then_b, &mut assigned);
+                assigned_vars(else_b, &mut assigned);
+                havoc(state, &assigned);
+            }
+        }
+        VStmt::For {
+            var,
+            from,
+            to,
+            body,
+        } => {
+            let bounds_low = expr_low(state, from) && expr_low(state, to);
+            predict(analysis, path, DiagnosticCode::LowLoopBounds, bounds_low);
+            // One symbolic iteration, lockstep: the loop variable is the
+            // same fresh symbol in both executions (the bounds are proved
+            // low), so it is definitely low inside the body.
+            let mut body_state = state.clone();
+            body_state.insert(var.clone(), Lowness::Low);
+            {
+                let mut p = path.clone();
+                for (j, s) in body.iter().enumerate() {
+                    p.push(j as u32);
+                    walk_stmt(program, s, &mut p, &mut body_state, analysis);
+                    p.pop();
+                }
+            }
+            // After the loop: anything the body assigned (and the loop
+            // variable) summarizes over all iterations — havoc.
+            let mut assigned = BTreeSet::new();
+            assigned_vars(body, &mut assigned);
+            assigned.insert(var.clone());
+            havoc(state, &assigned);
+        }
+        VStmt::Share { resource, init } => {
+            // LowInit proves `α(init)⟨1⟩ = α(init)⟨2⟩`; with an all-low
+            // `init` both sides are the same term and collapse
+            // syntactically.
+            predict(
+                analysis,
+                path,
+                DiagnosticCode::LowInit,
+                expr_low(state, init),
+            );
+            let _ = resource;
+        }
+        VStmt::Par { workers } => {
+            // Workers start from the pre-`par` state; their assignments
+            // are thread-local joins the executor recombines per
+            // execution, so after the join everything assigned is high.
+            for (w, worker) in workers.iter().enumerate() {
+                let mut worker_state = state.clone();
+                let mut p = path.clone();
+                p.push(w as u32);
+                for (j, s) in worker.iter().enumerate() {
+                    p.push(j as u32);
+                    walk_stmt(program, s, &mut p, &mut worker_state, analysis);
+                    p.pop();
+                }
+            }
+            let mut assigned = BTreeSet::new();
+            for w in workers {
+                assigned_vars(w, &mut assigned);
+            }
+            havoc(state, &assigned);
+        }
+        VStmt::Atomic {
+            resource,
+            action,
+            arg,
+        }
+        | VStmt::AtomicBatch {
+            resource,
+            action,
+            arg,
+            ..
+        }
+        | VStmt::AtomicDeferred {
+            resource,
+            action,
+            arg,
+        } => {
+            let code = match stmt {
+                VStmt::AtomicDeferred { .. } => DiagnosticCode::ActionPreRetro,
+                _ => DiagnosticCode::ActionPre,
+            };
+            predict(
+                analysis,
+                path,
+                code,
+                action_pre_static(program, *resource, action, state, arg),
+            );
+        }
+        VStmt::ConsumeBind { var, .. } => {
+            // Binds the `index`-th consumed element — schedule-dependent,
+            // so high.
+            state.insert(var.clone(), Lowness::High);
+        }
+        VStmt::Unshare { into, .. } => {
+            // Only `α(into)` is low, not `into` itself.
+            state.insert(into.clone(), Lowness::High);
+        }
+        VStmt::AssertLow(e) => {
+            predict(
+                analysis,
+                path,
+                DiagnosticCode::LowAssert,
+                expr_low(state, e),
+            );
+        }
+        VStmt::Output(e) => {
+            predict(
+                analysis,
+                path,
+                DiagnosticCode::LowOutput,
+                expr_low(state, e),
+            );
+        }
+    }
+}
+
+/// Predicts whether an action-precondition obligation discharges
+/// statically: the argument must be definitely low (then both executions
+/// pass the *same* argument term `a`), and the precondition instantiated
+/// with `arg1 = arg2 = a`-shaped equal terms must normalize to `true`.
+/// Instantiating with one shared fresh variable is representative: the
+/// rewrites that collapse `pre(z, z)` are structural and apply verbatim
+/// to `pre(a, a)` for any term `a`.
+fn action_pre_static(
+    program: &AnnotatedProgram,
+    resource: usize,
+    action: &Symbol,
+    state: &AbsState,
+    arg: &Term,
+) -> bool {
+    if !expr_low(state, arg) {
+        return false;
+    }
+    let Some(spec) = program.resources.get(resource) else {
+        return false;
+    };
+    let Some(act) = spec.action(action.as_str()) else {
+        return false;
+    };
+    let z = Term::var("ζ·prepass");
+    goal_statically_valid(&act.pre_term(&z, &z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commcsl_logic::spec::ResourceSpec;
+    use commcsl_pure::Sort;
+
+    fn low_input(name: &str) -> VStmt {
+        VStmt::input(name, Sort::Int, true)
+    }
+
+    fn high_input(name: &str) -> VStmt {
+        VStmt::input(name, Sort::Int, false)
+    }
+
+    #[test]
+    fn inputs_and_assignments_propagate() {
+        let p = AnnotatedProgram::new("t").with_body([
+            low_input("a"),
+            high_input("h"),
+            VStmt::assign("x", Term::add(Term::var("a"), Term::int(1))),
+            VStmt::assign("y", Term::add(Term::var("a"), Term::var("h"))),
+            VStmt::AssertLow(Term::var("x")),
+            VStmt::AssertLow(Term::var("y")),
+        ]);
+        let a = analyze_lowness(&p);
+        assert!(a.predicts(&[4], DiagnosticCode::LowAssert));
+        assert!(!a.predicts(&[5], DiagnosticCode::LowAssert));
+        assert_eq!(a.exit_state.get(&Symbol::new("x")), Some(&Lowness::Low));
+        assert_eq!(a.exit_state.get(&Symbol::new("y")), Some(&Lowness::High));
+    }
+
+    #[test]
+    fn high_conditional_havocs_assigned_vars() {
+        let p = AnnotatedProgram::new("t").with_body([
+            low_input("a"),
+            high_input("h"),
+            VStmt::If {
+                cond: Term::var("h"),
+                then_b: vec![VStmt::assign("x", Term::var("a"))],
+                else_b: vec![VStmt::assign("x", Term::int(0))],
+            },
+            VStmt::AssertLow(Term::var("x")),
+            VStmt::AssertLow(Term::var("a")),
+        ]);
+        let a = analyze_lowness(&p);
+        assert!(!a.predicts(&[3], DiagnosticCode::LowAssert));
+        assert!(a.predicts(&[4], DiagnosticCode::LowAssert));
+    }
+
+    #[test]
+    fn low_conditional_joins_branches() {
+        let p = AnnotatedProgram::new("t").with_body([
+            low_input("a"),
+            high_input("h"),
+            VStmt::If {
+                cond: Term::eq(Term::var("a"), Term::int(0)),
+                then_b: vec![
+                    VStmt::assign("x", Term::var("a")),
+                    VStmt::assign("onlythen", Term::int(1)),
+                ],
+                else_b: vec![VStmt::assign("x", Term::int(3))],
+            },
+            VStmt::AssertLow(Term::var("x")),
+            VStmt::AssertLow(Term::var("onlythen")),
+        ]);
+        let a = analyze_lowness(&p);
+        // Both branches leave x low → still low after the merge.
+        assert!(a.predicts(&[3], DiagnosticCode::LowAssert));
+        // Bound in only one branch → no definite fact.
+        assert!(!a.predicts(&[4], DiagnosticCode::LowAssert));
+    }
+
+    #[test]
+    fn loop_variable_is_low_inside_but_havocked_after() {
+        let p = AnnotatedProgram::new("t").with_body([
+            low_input("n"),
+            VStmt::for_range(
+                "i",
+                Term::int(0),
+                Term::var("n"),
+                [VStmt::AssertLow(Term::var("i"))],
+            ),
+            VStmt::AssertLow(Term::var("i")),
+        ]);
+        let a = analyze_lowness(&p);
+        assert!(a.predicts(&[1], DiagnosticCode::LowLoopBounds));
+        assert!(a.predicts(&[1, 0], DiagnosticCode::LowAssert));
+        assert!(!a.predicts(&[2], DiagnosticCode::LowAssert));
+    }
+
+    #[test]
+    fn keyset_put_with_low_key_high_value_is_predicted() {
+        // Fig. 4 map: the precondition only constrains the key. The pair
+        // argument contains a high component, but `pre(z, z)` still
+        // collapses — the prediction requires the *whole* arg low, so this
+        // one is NOT predicted (arg contains high `rsn`)…
+        let p = AnnotatedProgram::new("t")
+            .with_resource(ResourceSpec::keyset_map())
+            .with_body([
+                low_input("adr"),
+                high_input("rsn"),
+                VStmt::Share {
+                    resource: 0,
+                    init: Term::app(commcsl_pure::Func::Uninterpreted("map_empty".into()), []),
+                },
+                VStmt::atomic(0, "Put", Term::pair(Term::var("adr"), Term::var("rsn"))),
+            ]);
+        let a = analyze_lowness(&p);
+        assert!(!a.predicts(&[3], DiagnosticCode::ActionPre));
+        // …whereas an all-low argument is predicted.
+        let p2 = AnnotatedProgram::new("t2")
+            .with_resource(ResourceSpec::keyset_map())
+            .with_body([
+                low_input("adr"),
+                low_input("val"),
+                VStmt::atomic(0, "Put", Term::pair(Term::var("adr"), Term::var("val"))),
+            ]);
+        let a2 = analyze_lowness(&p2);
+        assert!(a2.predicts(&[2], DiagnosticCode::ActionPre));
+    }
+
+    #[test]
+    fn unshare_and_consume_bind_are_high() {
+        let p = AnnotatedProgram::new("t")
+            .with_resource(ResourceSpec::counter_add())
+            .with_body([
+                low_input("a"),
+                VStmt::Share {
+                    resource: 0,
+                    init: Term::int(0),
+                },
+                VStmt::atomic(0, "Add", Term::var("a")),
+                VStmt::Unshare {
+                    resource: 0,
+                    into: "c".into(),
+                },
+                VStmt::AssertLow(Term::var("c")),
+            ]);
+        let a = analyze_lowness(&p);
+        assert!(a.predicts(&[1], DiagnosticCode::LowInit));
+        assert!(a.predicts(&[2], DiagnosticCode::ActionPre));
+        assert!(!a.predicts(&[4], DiagnosticCode::LowAssert));
+    }
+}

@@ -1,0 +1,122 @@
+//! The sound static pre-pass: discharging obligation goals by rewriting.
+//!
+//! An obligation goal is a boolean [`Term`]; the verifier proves it by
+//! asking the solver whether the collected hypotheses entail it. The
+//! pre-pass handles the (frequent) special case where the goal is valid
+//! **outright** — it normalizes to the literal `true` under the purely
+//! syntactic equality oracle, using the same rewrite system the solver
+//! itself runs.
+//!
+//! # Why this is exactly as strong as needed — and no stronger
+//!
+//! Byte-identical verdicts require that every statically discharged goal
+//! would also have been proved by the solver. The solver refutes the
+//! negated goal: its first saturation round normalizes every literal
+//! under a congruence-closure oracle, and a literal `¬goal` whose body
+//! normalizes to `true` becomes `false`, refuting the set immediately.
+//! The solver's rewriter consults its oracle *first* and falls back to
+//! the syntactic equality decision, so everything the syntactic oracle
+//! collapses, the solver's oracle collapses too — the pre-pass verdict is
+//! a subset of the solver verdict on the same goal. (The differential
+//! proptest harness in `commcsl-verifier` pins this empirically as well.)
+//!
+//! Conversely the pre-pass must **not** discharge goals that are valid
+//! only *semantically* (the solver is incomplete and might fail them,
+//! flipping a report): restricting to `normalize(goal) == true` under the
+//! weakest oracle guarantees we never outrun the solver.
+
+use commcsl_pure::rewrite::{normalize, SyntacticOracle};
+use commcsl_pure::{Func, Term};
+
+/// `true` when `goal` is statically valid: it normalizes to the literal
+/// `true` under the syntactic equality oracle.
+///
+/// This is sound (never claims an invalid goal: normalization preserves
+/// semantics) and conservative with respect to the solver (never claims a
+/// goal the solver would fail; see the module docs).
+pub fn goal_statically_valid(goal: &Term) -> bool {
+    if let Term::Lit(v) = goal {
+        return v == &commcsl_pure::Value::Bool(true);
+    }
+    // Cheap pre-check: the overwhelmingly common shape is `e = e` with
+    // both sides already identical — no need to run the rewriter.
+    if let Term::App(Func::Eq, args) = goal {
+        if args.len() == 2 && args[0] == args[1] {
+            return true;
+        }
+    }
+    // A failed rewrite is pure overhead on top of the solver check that
+    // follows, and its cost grows with the goal — while the goals that
+    // *do* collapse syntactically (projection/selector shapes around low
+    // inputs) are small. Cap the attempt so large composite goals
+    // (aggregate audit outputs) skip straight to the solver.
+    if goal.size() > REWRITE_SIZE_CAP {
+        return false;
+    }
+    normalize(goal, &SyntacticOracle) == Term::tt()
+}
+
+/// Largest goal (in term nodes) the pre-pass will hand to the rewriter.
+/// Purely a cost/benefit knob: lowering it can only shrink the set of
+/// statically-claimed goals, never change a verdict. 32 keeps every
+/// syntactically-collapsing shape we see in practice (projection and
+/// selector goals around low inputs sit under ~15 nodes) while skipping
+/// composite aggregate goals, whose failed rewrites dominate the
+/// pre-pass's own cost.
+const REWRITE_SIZE_CAP: usize = 32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_and_reflexive_equalities_are_valid() {
+        assert!(goal_statically_valid(&Term::tt()));
+        assert!(!goal_statically_valid(&Term::ff()));
+        let e = Term::add(Term::var("x"), Term::int(1));
+        assert!(goal_statically_valid(&Term::eq(e.clone(), e.clone())));
+        assert!(!goal_statically_valid(&Term::eq(e, Term::var("y"))));
+    }
+
+    #[test]
+    fn projections_collapse() {
+        // fst(pair(k, v1)) = fst(pair(k, v2)) — the keyset-map action
+        // precondition shape with a low key and high values.
+        let lhs = Term::fst(Term::pair(Term::var("k"), Term::var("v1")));
+        let rhs = Term::fst(Term::pair(Term::var("k"), Term::var("v2")));
+        assert!(goal_statically_valid(&Term::eq(lhs, rhs)));
+    }
+
+    #[test]
+    fn conjunctions_of_valid_goals_are_valid() {
+        // The LowLoopBounds goal shape: And([f1 = f2, t1 = t2]).
+        let f = Term::int(0);
+        let t = Term::var("n");
+        let goal = Term::and([
+            Term::eq(f.clone(), f),
+            Term::eq(t.clone(), t),
+        ]);
+        assert!(goal_statically_valid(&goal));
+    }
+
+    #[test]
+    fn constant_arithmetic_folds() {
+        let goal = Term::eq(
+            Term::add(Term::int(2), Term::int(2)),
+            Term::int(4),
+        );
+        assert!(goal_statically_valid(&goal));
+        assert!(goal_statically_valid(&Term::le(Term::int(1), Term::int(2))));
+        assert!(!goal_statically_valid(&Term::lt(Term::int(2), Term::int(2))));
+    }
+
+    #[test]
+    fn semantically_valid_but_not_syntactic_is_rejected() {
+        // 0 ≤ x·x is a tautology over the integers, but non-linear — the
+        // rewriter leaves it alone, so the pre-pass must defer to the
+        // solver rather than claim it.
+        let x = Term::var("x");
+        let goal = Term::le(Term::int(0), Term::mul(x.clone(), x));
+        assert!(!goal_statically_valid(&goal));
+    }
+}

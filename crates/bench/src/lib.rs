@@ -723,6 +723,134 @@ pub fn reverify_json(run: &ReverifyBench, edits: u32) -> String {
     )
 }
 
+// --------------------------------------------------- static pre-pass bench
+
+/// One workload of the static-pre-pass benchmark.
+#[derive(Debug, Clone)]
+pub struct StaticPrepassRow {
+    /// Workload name (`scale-map-report-*`).
+    pub example: String,
+    /// Total proof obligations.
+    pub obligations: usize,
+    /// Obligations the low-ness pre-pass discharged without the solver —
+    /// i.e. solver checks avoided.
+    pub statically_proven: usize,
+    /// Median wall-clock ms with the pre-pass disabled (solver-only).
+    pub solver_ms: f64,
+    /// Median wall-clock ms with the pre-pass enabled (the default).
+    pub prepass_ms: f64,
+}
+
+impl StaticPrepassRow {
+    /// Fraction of obligations discharged statically.
+    pub fn discharge_fraction(&self) -> f64 {
+        self.statically_proven as f64 / (self.obligations as f64).max(1.0)
+    }
+
+    /// Wall-clock saved by the pre-pass (positive = faster with it on).
+    pub fn delta_ms(&self) -> f64 {
+        self.solver_ms - self.prepass_ms
+    }
+}
+
+/// Results of the static-pre-pass benchmark.
+#[derive(Debug, Clone)]
+pub struct StaticPrepassBench {
+    /// Per-workload rows.
+    pub rows: Vec<StaticPrepassRow>,
+    /// Minimum per-workload discharge fraction (the CI gate).
+    pub min_discharge: f64,
+    /// Whether every pre-pass report was byte-identical to the
+    /// solver-only report of the same program.
+    pub identical: bool,
+}
+
+/// Benchmarks the static low-ness pre-pass on the [`reverify_programs`]
+/// (`scale-map-report-*`): each workload is verified `runs` times with
+/// the pre-pass on and off, reporting solver checks avoided and the
+/// wall-clock delta. Byte-identity of the two reports is pinned before
+/// any number is reported.
+pub fn static_prepass_bench(runs: u32) -> StaticPrepassBench {
+    use commcsl::verifier::report::VerifierConfig;
+    use commcsl::verifier::verify_with_stats;
+    use std::time::Instant;
+
+    assert!(runs > 0, "need at least one run to take a median over");
+    let on = VerifierConfig::default();
+    let off = VerifierConfig {
+        static_prepass: false,
+        ..VerifierConfig::default()
+    };
+
+    let mut rows = Vec::new();
+    let mut identical = true;
+    for program in reverify_programs() {
+        let mut on_samples = Vec::with_capacity(runs as usize);
+        let mut off_samples = Vec::with_capacity(runs as usize);
+        let mut stats = None;
+        for _ in 0..runs {
+            let started = Instant::now();
+            let (report_on, run_stats, _) = verify_with_stats(&program, &on);
+            on_samples.push(started.elapsed().as_secs_f64() * 1000.0);
+
+            let started = Instant::now();
+            let (report_off, _, _) = verify_with_stats(&program, &off);
+            off_samples.push(started.elapsed().as_secs_f64() * 1000.0);
+
+            identical &= report_on.to_json() == report_off.to_json();
+            stats = Some(run_stats);
+        }
+        let stats = stats.expect("runs > 0");
+        rows.push(StaticPrepassRow {
+            example: program.name.clone(),
+            obligations: stats.total,
+            statically_proven: stats.statically_proven,
+            solver_ms: median(&mut off_samples),
+            prepass_ms: median(&mut on_samples),
+        });
+    }
+    let min_discharge = rows
+        .iter()
+        .map(StaticPrepassRow::discharge_fraction)
+        .fold(f64::INFINITY, f64::min);
+    StaticPrepassBench {
+        rows,
+        min_discharge,
+        identical,
+    }
+}
+
+/// Renders the static-pre-pass bench as one JSON snapshot line for
+/// `BENCH_table1.json`.
+pub fn static_prepass_json(run: &StaticPrepassBench, runs: u32) -> String {
+    use commcsl::verifier::report::json_string;
+    let rows: Vec<String> = run
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"example\":{},\"obligations\":{},\"statically_proven\":{},\
+                 \"discharge_fraction\":{:.4},\"solver_ms\":{:.6},\
+                 \"prepass_ms\":{:.6},\"delta_ms\":{:.6}}}",
+                json_string(&r.example),
+                r.obligations,
+                r.statically_proven,
+                r.discharge_fraction(),
+                r.solver_ms,
+                r.prepass_ms,
+                r.delta_ms(),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"bench\":\"static_prepass\",\"runs\":{runs},\
+         \"min_discharge\":{:.4},\"identical\":{},\"rows\":[{}]}}",
+        run.min_discharge,
+        run.identical,
+        rows.join(","),
+    )
+}
+
 /// Renders rows in the paper's table layout.
 pub fn render_table(rows: &[Table1Row]) -> String {
     let mut out = String::new();

@@ -16,6 +16,7 @@
 //! | [`smt`] | `commcsl-smt` | the SMT-lite solver (Z3 stand-in) |
 //! | [`lang`] | `commcsl-lang` | the concurrent language, schedulers, empirical NI harness |
 //! | [`logic`] | `commcsl-logic` | extended heaps, assertions, resource specs, validity |
+//! | [`analysis`] | `commcsl-analysis` | dataflow framework, low-ness pre-pass, lint engine |
 //! | [`verifier`] | `commcsl-verifier` | the HyperViper-style automated verifier |
 //! | [`server`] | `commcsl-server` | the persistent verification daemon and its client |
 //! | [`fixtures`] | `commcsl-fixtures` | the 18 evaluation examples of Table 1 |
@@ -54,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use commcsl_analysis as analysis;
 pub use commcsl_fixtures as fixtures;
 pub use commcsl_front as front;
 pub use commcsl_lang as lang;

@@ -9,6 +9,7 @@
 //! commcsl serve  [--socket PATH] [--cache-dir DIR] [--threads N] [--stdio]
 //! commcsl daemon status|stop [--socket PATH] [--json]
 //! commcsl fixture NAME [--json]
+//! commcsl lint   [--json] [--deny warnings] PATH...
 //! commcsl fmt PATH...
 //! commcsl help
 //! ```
@@ -54,16 +55,25 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
+use commcsl_analysis::lint::{lint_program, Lint, Severity};
 use commcsl_server::client::{connect_or_start, Client};
 use commcsl_server::daemon::{Server, ServerConfig};
 use commcsl_server::protocol::VerifyItem;
 use commcsl_smt::BackendKind;
 use commcsl_verifier::api::Verifier;
 use commcsl_verifier::cache::CacheConfig;
+use commcsl_verifier::obligation::DischargeStats;
 use commcsl_verifier::program::AnnotatedProgram;
 use commcsl_verifier::report::{json_string, VerifierConfig, VerifierReport};
 
 use crate::compile;
+
+/// Schema version of the CLI's *wrapper* JSON documents (`verify --json`
+/// and `lint --json`). Independent of the embedded report's
+/// [`commcsl_verifier::report::REPORT_SCHEMA_VERSION`], which stays at 1:
+/// v2 added per-obligation timing and static-pre-pass discharge counters
+/// to the wrapper entries without touching report bytes.
+pub const CLI_SCHEMA_VERSION: u32 = 2;
 
 /// Exit code: everything as expected.
 pub const EXIT_OK: i32 = 0;
@@ -91,6 +101,8 @@ commands:
   serve     run the persistent verification daemon (foreground)
   daemon    control a running daemon: `daemon status`, `daemon stop`
   fixture   verify a built-in Table 1 fixture by name
+  lint      run static lints (no solver): unused resources/actions/vars,
+            share discipline, redundant annotations
   fmt       parse and pretty-print programs to stdout (canonical form)
   help      show this message
 
@@ -126,6 +138,11 @@ options (serve):
   --stdio                      serve one NDJSON session on stdin/stdout
                                instead of listening on the socket
 
+options (lint):
+  --json                       emit one JSON document instead of text
+  --deny warnings              exit 1 when any warning-severity lint fires
+                               (notes never affect the exit code)
+
 exit codes: 0 = all programs matched the expectation, 1 = at least one
 verdict mismatch, 2 = parse/lower/IO/usage error
 
@@ -141,6 +158,7 @@ pub fn run(args: &[String], out: &mut String) -> i32 {
         Some("serve") => run_serve(&args[1..], out),
         Some("daemon") => run_daemon(&args[1..], out),
         Some("fixture") => run_fixture(&args[1..], out),
+        Some("lint") => run_lint(&args[1..], out),
         Some("fmt") => run_fmt(&args[1..], out),
         Some("help") | Some("--help") | Some("-h") | None => {
             let _ = writeln!(out, "{USAGE}");
@@ -308,6 +326,13 @@ struct FileResult {
     cached: Option<bool>,
     /// `true` when `--fail-fast` stopped the batch before this file ran.
     skipped: bool,
+    /// Discharge breakdown (static pre-pass vs solver). `None` when the
+    /// engine served the whole file from a cache without re-discharging,
+    /// and in daemon mode (the v1 batch protocol does not carry it).
+    stats: Option<DischargeStats>,
+    /// Per-obligation wall-clock times, milliseconds, in obligation order.
+    /// Diagnostic payload only; empty when unavailable (daemon/cached).
+    obligation_times_ms: Vec<f64>,
     report: VerifierReport,
 }
 
@@ -414,6 +439,12 @@ fn verify_in_process(
             time_ms: o.time.as_secs_f64() * 1000.0,
             cached: o.cached,
             skipped: o.skipped,
+            stats: o.stats,
+            obligation_times_ms: o
+                .obligation_times
+                .iter()
+                .map(|t| t.as_secs_f64() * 1000.0)
+                .collect(),
             report: o.report,
         })
         .collect();
@@ -482,6 +513,8 @@ fn verify_via_daemon(
                 time_ms: ok.time_ms,
                 cached: Some(ok.cached),
                 skipped: ok.skipped,
+                stats: None,
+                obligation_times_ms: Vec::new(),
                 report: ok.report,
             }),
             Err(e) => errors.push((file.clone(), e)),
@@ -551,8 +584,31 @@ fn render_verify(
                 .map(|c| format!("\"cached\":{c},"))
                 .unwrap_or_default();
             let skipped = if r.skipped { "\"skipped\":true," } else { "" };
+            // Schema v2: discharge counters + per-obligation timing, when
+            // the engine surfaced them (in-process, non-cached route).
+            let stats = r
+                .stats
+                .map(|s| {
+                    format!(
+                        "\"statically_proven\":{},\"solver_checked\":{},",
+                        s.statically_proven, s.checked
+                    )
+                })
+                .unwrap_or_default();
+            let times = if r.obligation_times_ms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "\"obligation_times_ms\":[{}],",
+                    r.obligation_times_ms
+                        .iter()
+                        .map(|t| format!("{t:.3}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            };
             format!(
-                "{{\"file\":{},\"time_ms\":{:.3},{cached}{skipped}\"report\":{}}}",
+                "{{\"file\":{},\"time_ms\":{:.3},{cached}{skipped}{stats}{times}\"report\":{}}}",
                 json_string(&r.file.display().to_string()),
                 r.time_ms,
                 r.report.to_json()
@@ -562,7 +618,7 @@ fn render_verify(
             out,
             "{{\"schema_version\":{},\"results\":[{}],\"summary\":{{\"total\":{},\"as_expected\":{},\
              \"errors\":{},\"expect\":{},\"engine\":{},\"ok\":{},\"exit_code\":{}}}}}",
-            commcsl_verifier::report::REPORT_SCHEMA_VERSION,
+            CLI_SCHEMA_VERSION,
             entries.join(","),
             results.len() + file_errors.len(),
             matching,
@@ -601,9 +657,21 @@ fn render_verify(
                 r.report
             );
         }
+        // Aggregate discharge breakdown over the files that carried one.
+        let (static_total, solver_total) = results
+            .iter()
+            .filter_map(|r| r.stats)
+            .fold((0usize, 0usize), |(s, c), st| {
+                (s + st.statically_proven, c + st.checked)
+            });
+        let discharge = if static_total + solver_total == 0 {
+            String::new()
+        } else {
+            format!(" ({static_total} obligations statically proven, {solver_total} solver-checked)")
+        };
         let _ = writeln!(
             out,
-            "\n{matching}/{} programs {}{}",
+            "\n{matching}/{} programs {}{}{discharge}",
             results.len(),
             match flags.expect {
                 Expect::Verified => "verified",
@@ -806,24 +874,27 @@ impl Watcher {
                 out,
                 "{{\"event\":\"verified\",\"file\":{},\"revision\":{},\
                  \"verified\":{},\"cached\":{},\"obligations\":{},\"reused\":{},\
-                 \"checked\":{},\"time_ms\":{time_ms:.3},\"report\":{}}}",
+                 \"statically_proven\":{},\"checked\":{},\"time_ms\":{time_ms:.3},\
+                 \"report\":{}}}",
                 json_string(&file.display().to_string()),
                 outcome.revision,
                 outcome.report.verified(),
                 outcome.report_cached,
                 outcome.obligations.total,
                 outcome.obligations.reused,
+                outcome.obligations.statically_proven,
                 outcome.obligations.checked,
                 outcome.report.to_json()
             );
         } else {
             let _ = writeln!(
                 out,
-                "{} [{}] {} obligations ({} reused, {} checked, {time_ms:.3} ms)",
+                "{} [{}] {} obligations ({} reused, {} static, {} checked, {time_ms:.3} ms)",
                 file.display(),
                 if outcome.report.verified() { "OK" } else { "FAIL" },
                 outcome.obligations.total,
                 outcome.obligations.reused,
+                outcome.obligations.statically_proven,
                 outcome.obligations.checked,
             );
             if !outcome.report.verified() {
@@ -1046,7 +1117,8 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
                          requests: {}  programs: {}  open documents: {}\n\
                          cache: {} memory + {} disk hits, {} misses \
                          ({:.1}% hit rate), {} entries in memory, {} evictions\n\
-                         obligations: {} reused, {} checked",
+                         obligations: {} reused, {} checked, \
+                         {} statically proven + {} solver-checked (workspace)",
                         status.version,
                         status.format_version,
                         status.protocol_version,
@@ -1064,6 +1136,8 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
                         status.evictions,
                         status.obligation_hits,
                         status.obligation_misses,
+                        status.statically_proven,
+                        status.solver_checked,
                     );
                 }
                 EXIT_OK
@@ -1143,6 +1217,159 @@ fn run_fixture(args: &[String], out: &mut String) -> i32 {
     }
 }
 
+// -------------------------------------------------------------------- lint
+
+fn run_lint(args: &[String], out: &mut String) -> i32 {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny" => match iter.next().map(String::as_str) {
+                Some("warnings") => deny_warnings = true,
+                other => {
+                    let _ = writeln!(
+                        out,
+                        "commcsl: --deny takes `warnings`, got `{}`\n{USAGE}",
+                        other.unwrap_or("nothing")
+                    );
+                    return EXIT_ERROR;
+                }
+            },
+            flag if flag.starts_with("--") => {
+                let _ = writeln!(out, "commcsl: unknown lint option `{flag}`\n{USAGE}");
+                return EXIT_ERROR;
+            }
+            path => paths.push(path.to_owned()),
+        }
+    }
+    if paths.is_empty() {
+        let _ = writeln!(out, "commcsl: lint needs at least one path\n{USAGE}");
+        return EXIT_ERROR;
+    }
+    let files = match collect_files(&paths) {
+        Ok(files) if files.is_empty() => {
+            let _ = writeln!(out, "commcsl: no .csl files found");
+            return EXIT_ERROR;
+        }
+        Ok(files) => files,
+        Err(msg) => {
+            let _ = writeln!(out, "commcsl: {msg}");
+            return EXIT_ERROR;
+        }
+    };
+
+    let mut file_lints: Vec<(PathBuf, Vec<Lint>)> = Vec::new();
+    let mut file_errors: FileErrors = Vec::new();
+    for file in files {
+        match fs::read_to_string(&file).map_err(|e| format!("cannot read file: {e}")) {
+            Ok(src) => match compile(&src) {
+                Ok(program) => file_lints.push((file, lint_program(&program))),
+                Err(e) => file_errors.push((file, e.to_string())),
+            },
+            Err(e) => file_errors.push((file, e)),
+        }
+    }
+
+    let warnings = file_lints
+        .iter()
+        .flat_map(|(_, lints)| lints)
+        .filter(|l| l.severity == Severity::Warning)
+        .count();
+    let notes: usize = file_lints.iter().map(|(_, l)| l.len()).sum::<usize>() - warnings;
+    let code = if !file_errors.is_empty() {
+        EXIT_ERROR
+    } else if deny_warnings && warnings > 0 {
+        EXIT_MISMATCH
+    } else {
+        EXIT_OK
+    };
+
+    if json {
+        let mut entries: Vec<String> = file_errors
+            .iter()
+            .map(|(file, e)| {
+                format!(
+                    "{{\"file\":{},\"error\":{}}}",
+                    json_string(&file.display().to_string()),
+                    json_string(e)
+                )
+            })
+            .collect();
+        entries.extend(file_lints.iter().map(|(file, lints)| {
+            let rendered: Vec<String> = lints.iter().map(lint_json).collect();
+            format!(
+                "{{\"file\":{},\"lints\":[{}]}}",
+                json_string(&file.display().to_string()),
+                rendered.join(",")
+            )
+        }));
+        let _ = writeln!(
+            out,
+            "{{\"schema_version\":{},\"results\":[{}],\"summary\":{{\"files\":{},\"lints\":{},\
+             \"warnings\":{},\"notes\":{},\"errors\":{},\"deny_warnings\":{},\"ok\":{},\
+             \"exit_code\":{}}}}}",
+            CLI_SCHEMA_VERSION,
+            entries.join(","),
+            file_lints.len() + file_errors.len(),
+            warnings + notes,
+            warnings,
+            notes,
+            file_errors.len(),
+            deny_warnings,
+            code == EXIT_OK,
+            code
+        );
+    } else {
+        for (file, e) in &file_errors {
+            let _ = writeln!(out, "{}: {e}", file.display());
+        }
+        for (file, lints) in &file_lints {
+            for lint in lints {
+                // `{file}:{line}:{col}: severity[code]: msg` when spanned,
+                // `{file}: severity[code]: msg` otherwise.
+                let sep = if lint.span.is_some() { ":" } else { ": " };
+                let _ = writeln!(out, "{}{sep}{lint}", file.display());
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{} finding(s) ({warnings} warning(s), {notes} note(s)) in {} file(s){}",
+            warnings + notes,
+            file_lints.len(),
+            if file_errors.is_empty() {
+                String::new()
+            } else {
+                format!(", {} file(s) failed to parse", file_errors.len())
+            }
+        );
+    }
+    code
+}
+
+/// One lint finding, same field shapes as the v2 protocol's `lint` events
+/// (minus the `event`/`name` envelope).
+fn lint_json(lint: &Lint) -> String {
+    let span = lint
+        .span
+        .as_ref()
+        .map(|s| format!("\"span\":{},", json_string(&s.to_string())))
+        .unwrap_or_default();
+    format!(
+        "{{\"code\":{},\"severity\":{},{span}\"path\":[{}],\"message\":{}}}",
+        json_string(lint.code.as_str()),
+        json_string(lint.severity.as_str()),
+        lint.path
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        json_string(&lint.message)
+    )
+}
+
 // --------------------------------------------------------------------- fmt
 
 fn run_fmt(args: &[String], out: &mut String) -> i32 {
@@ -1215,7 +1442,12 @@ fn collect_files(paths: &[String]) -> Result<Vec<PathBuf>, String> {
         } else if path.is_file() {
             files.push(path.to_path_buf());
         } else {
-            return Err(format!("no such file or directory: `{raw}`"));
+            // A bare non-path argument is often a misremembered fixture
+            // name (`commcsl verify Figure 2`); point at the nearest one.
+            let hint = commcsl_fixtures::suggest(raw)
+                .map(|s| format!("; did you mean the fixture `{s}`? (try `commcsl fixture {s}`)"))
+                .unwrap_or_default();
+            return Err(format!("no such file or directory: `{raw}`{hint}"));
         }
     }
     files.sort();
@@ -1691,14 +1923,73 @@ mod tests {
             ),
             EXIT_OK
         );
+        // Wrapper schema (v2: adds discharge counters + per-obligation
+        // timing) is independent of the embedded report schema (still v1).
         assert!(
-            out.starts_with(&format!(
-                "{{\"schema_version\":{}",
+            out.starts_with(&format!("{{\"schema_version\":{CLI_SCHEMA_VERSION}")),
+            "{out}"
+        );
+        assert!(
+            out.contains(&format!(
+                "\"report\":{{\"schema_version\":{}",
                 commcsl_verifier::report::REPORT_SCHEMA_VERSION
             )),
             "{out}"
         );
-        assert!(out.contains("\"report\":{\"schema_version\":"), "{out}");
+        assert!(out.contains("\"statically_proven\":"), "{out}");
+        assert!(out.contains("\"obligation_times_ms\":["), "{out}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite 2: the `--json` wrapper parses back and the per-obligation
+    /// timing vector lines up one-to-one with the report's obligations.
+    #[test]
+    fn verify_json_roundtrips_with_obligation_timing() {
+        use commcsl_server::json::Json;
+
+        let dir = temp_corpus("roundtrip");
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &[
+                    "verify".into(),
+                    "--json".into(),
+                    dir.join("good.csl").display().to_string()
+                ],
+                &mut out
+            ),
+            EXIT_OK
+        );
+        let doc = Json::parse(out.trim()).expect("wrapper is valid JSON");
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(u64::from(CLI_SCHEMA_VERSION))
+        );
+        let results = doc.get("results").and_then(Json::as_arr).expect("results");
+        assert_eq!(results.len(), 1);
+        let entry = &results[0];
+        let times = entry
+            .get("obligation_times_ms")
+            .and_then(Json::as_arr)
+            .expect("timing vector present on the in-process route");
+        let report_json = entry.get("report").expect("embedded report");
+        let report = commcsl_server::protocol::report_from_json(report_json)
+            .expect("embedded report parses back");
+        assert_eq!(
+            times.len(),
+            report.obligations.len(),
+            "one timing sample per obligation"
+        );
+        assert!(times.iter().all(|t| t.as_num().is_some_and(|v| v >= 0.0)));
+        let static_n = entry
+            .get("statically_proven")
+            .and_then(Json::as_u64)
+            .expect("discharge counters present") as usize;
+        let solver_n = entry
+            .get("solver_checked")
+            .and_then(Json::as_u64)
+            .expect("discharge counters present") as usize;
+        assert_eq!(static_n + solver_n, report.obligations.len());
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -1724,6 +2015,167 @@ mod tests {
 
         let mut out = String::new();
         assert_eq!(run(&["fixture".into()], &mut out), EXIT_ERROR);
+    }
+
+    /// Satellite 1: `verify` (via `collect_files`) also suggests fixture
+    /// names when an argument is neither a path nor a glob.
+    #[test]
+    fn verify_suggests_fixture_for_unknown_path() {
+        let mut out = String::new();
+        assert_eq!(
+            run(&["verify".into(), "Figure 22".into()], &mut out),
+            EXIT_ERROR
+        );
+        assert!(
+            out.contains("no such file or directory: `Figure 22`"),
+            "{out}"
+        );
+        assert!(
+            out.contains("did you mean the fixture `Figure 2`? (try `commcsl fixture Figure 2`)"),
+            "{out}"
+        );
+    }
+
+    /// Writes a corpus for the lint tests: a clean file, a note-only file
+    /// (ignored input), and a warning file (share without unshare).
+    fn temp_lint_corpus(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "commcsl-cli-lint-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("clean.csl"),
+            "program clean;\ninput a: Int low;\noutput a;\n",
+        )
+        .unwrap();
+        fs::write(
+            dir.join("note.csl"),
+            "program note;\ninput a: Int low;\ninput ignored: Int high;\noutput a;\n",
+        )
+        .unwrap();
+        fs::write(
+            dir.join("warn.csl"),
+            "program warn;\n\
+             resource c: Int named \"c\" {\n\
+                 alpha(v) = v;\n\
+                 shared action Add(arg: Int) = v + arg\n\
+                     requires arg1 == arg2;\n\
+             }\n\
+             input n: Int low;\n\
+             share c = 0;\n\
+             with c performing Add(n);\n\
+             output n;\n",
+        )
+        .unwrap();
+        dir
+    }
+
+    #[test]
+    fn lint_exit_codes_and_output() {
+        let dir = temp_lint_corpus("codes");
+        let clean = dir.join("clean.csl").display().to_string();
+        let note = dir.join("note.csl").display().to_string();
+        let warn = dir.join("warn.csl").display().to_string();
+
+        // Clean file: no findings, exit 0.
+        let mut out = String::new();
+        assert_eq!(run(&["lint".into(), clean.clone()], &mut out), EXIT_OK);
+        assert!(out.contains("0 finding(s)"), "{out}");
+
+        // Notes never affect the exit code, even under --deny warnings.
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &["lint".into(), "--deny".into(), "warnings".into(), note.clone()],
+                &mut out
+            ),
+            EXIT_OK
+        );
+        assert!(out.contains("unused-var"), "{out}");
+        assert!(out.contains("`ignored`"), "{out}");
+
+        // Warnings are advisory by default...
+        let mut out = String::new();
+        assert_eq!(run(&["lint".into(), warn.clone()], &mut out), EXIT_OK);
+        assert!(out.contains("share-without-unshare"), "{out}");
+
+        // ...and fatal under --deny warnings.
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &["lint".into(), "--deny".into(), "warnings".into(), warn.clone()],
+                &mut out
+            ),
+            EXIT_MISMATCH
+        );
+
+        // A parse error is a hard error regardless of --deny.
+        fs::write(dir.join("broken.csl"), "program broken\noutput;;;\n").unwrap();
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &["lint".into(), dir.join("broken.csl").display().to_string()],
+                &mut out
+            ),
+            EXIT_ERROR
+        );
+
+        // --deny takes only `warnings`.
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &["lint".into(), "--deny".into(), "notes".into(), warn.clone()],
+                &mut out
+            ),
+            EXIT_ERROR
+        );
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lint_json_document_parses_back() {
+        use commcsl_server::json::Json;
+
+        let dir = temp_lint_corpus("json");
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &[
+                    "lint".into(),
+                    "--json".into(),
+                    dir.join("warn.csl").display().to_string()
+                ],
+                &mut out
+            ),
+            EXIT_OK
+        );
+        let doc = Json::parse(out.trim()).expect("lint --json is valid JSON");
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(u64::from(CLI_SCHEMA_VERSION))
+        );
+        let results = doc.get("results").and_then(Json::as_arr).expect("results");
+        assert_eq!(results.len(), 1);
+        let lints = results[0]
+            .get("lints")
+            .and_then(Json::as_arr)
+            .expect("lints array");
+        assert!(!lints.is_empty());
+        let first = &lints[0];
+        assert_eq!(
+            first.get("code").and_then(Json::as_str),
+            Some("share-without-unshare")
+        );
+        assert_eq!(first.get("severity").and_then(Json::as_str), Some("warning"));
+        assert!(first.get("path").and_then(Json::as_arr).is_some());
+        assert!(first.get("message").and_then(Json::as_str).is_some());
+        let summary = doc.get("summary").expect("summary");
+        assert_eq!(summary.get("warnings").and_then(Json::as_u64), Some(1));
+        assert_eq!(summary.get("deny_warnings").and_then(Json::as_bool), Some(false));
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

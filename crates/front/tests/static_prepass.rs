@@ -1,0 +1,138 @@
+//! Byte-identity pins for the static low-ness pre-pass.
+//!
+//! The pre-pass is an *optimisation*, not a semantics change: with it on
+//! (the default) and off, `VerifierReport::to_json()` must be
+//! byte-identical over every program we ship — Table 1 fixtures, their
+//! rejected variants, and the committed `.csl` corpus. These pins are the
+//! CLI-facing counterpart of the random differential harness in
+//! `crates/verifier/tests/prepass_soundness.rs`.
+
+use std::fs;
+use std::path::Path;
+
+use commcsl_front::compile;
+use commcsl_verifier::obligation::MemoryObligationStore;
+use commcsl_verifier::program::AnnotatedProgram;
+use commcsl_verifier::report::VerifierConfig;
+use commcsl_verifier::{verify_incremental, verify_with_stats};
+
+fn prepass_off() -> VerifierConfig {
+    VerifierConfig {
+        static_prepass: false,
+        ..VerifierConfig::default()
+    }
+}
+
+/// Verifies `program` both ways, asserts identical report bytes, and
+/// returns how many obligations the pre-pass discharged statically.
+fn assert_identical(program: &AnnotatedProgram, label: &str) -> (usize, usize) {
+    let (on, stats, _) = verify_with_stats(program, &VerifierConfig::default());
+    let (off, off_stats, _) = verify_with_stats(program, &prepass_off());
+    assert_eq!(
+        on.to_json(),
+        off.to_json(),
+        "{label}: report bytes diverge with the static pre-pass on"
+    );
+    assert_eq!(off_stats.statically_proven, 0, "{label}");
+    (stats.statically_proven, stats.statically_proven + stats.checked)
+}
+
+#[test]
+fn table1_fixtures_are_byte_identical() {
+    let mut statically = 0;
+    let mut total = 0;
+    for fixture in commcsl_fixtures::all() {
+        let (s, t) = assert_identical(&fixture.program, fixture.name);
+        statically += s;
+        total += t;
+    }
+    assert!(total > 0);
+    // The corpus contains statically-dischargeable obligations (literal
+    // outputs, trivial preconditions); the pre-pass must find some.
+    assert!(
+        statically > 0,
+        "pre-pass discharged nothing over the Table 1 fixtures"
+    );
+}
+
+#[test]
+fn rejected_variants_are_byte_identical() {
+    let mut total = 0;
+    for (name, program) in commcsl_fixtures::rejected::all_programs() {
+        let (_, t) = assert_identical(&program, name);
+        total += t;
+    }
+    assert!(total > 0);
+}
+
+fn corpus_dir(sub: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples")
+        .join(sub)
+}
+
+fn pin_corpus(dir: &Path) -> (usize, usize) {
+    let mut statically = 0;
+    let mut total = 0;
+    let mut seen = 0;
+    let mut entries: Vec<_> = fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csl"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let src = fs::read_to_string(&path).unwrap();
+        let program = compile(&src)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let (s, t) = assert_identical(&program, &path.display().to_string());
+        statically += s;
+        total += t;
+        seen += 1;
+    }
+    assert!(seen > 0, "no .csl files under {}", dir.display());
+    (statically, total)
+}
+
+#[test]
+fn example_corpus_is_byte_identical() {
+    let (statically, total) = pin_corpus(&corpus_dir("programs"));
+    assert!(total > 0);
+    assert!(
+        statically > 0,
+        "pre-pass discharged nothing over examples/programs"
+    );
+}
+
+#[test]
+fn rejected_corpus_is_byte_identical() {
+    let (_, total) = pin_corpus(&corpus_dir("rejected"));
+    assert!(total > 0);
+}
+
+/// Statically-proven obligations still enter the obligation store: a
+/// re-run against the same store replays them as cache hits instead of
+/// re-deriving them.
+#[test]
+fn static_discharges_enter_the_obligation_store() {
+    let program = compile("program good;\ninput a: Int low;\noutput a;\n").unwrap();
+    let config = VerifierConfig::default();
+    let mut store = MemoryObligationStore::default();
+
+    let (first, first_stats) =
+        verify_incremental(&program, &config, &mut store, &mut |_| {});
+    assert!(first.verified());
+    assert!(
+        first_stats.statically_proven > 0,
+        "{first_stats:?}: expected a static discharge"
+    );
+
+    let (second, second_stats) =
+        verify_incremental(&program, &config, &mut store, &mut |_| {});
+    assert_eq!(first.to_json(), second.to_json());
+    assert_eq!(
+        second_stats.reused, second_stats.total,
+        "{second_stats:?}: re-run should be served entirely from the store"
+    );
+    assert_eq!(second_stats.statically_proven, 0, "{second_stats:?}");
+}

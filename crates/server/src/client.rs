@@ -13,8 +13,9 @@ use std::time::{Duration, Instant};
 
 use crate::json::Json;
 use crate::protocol::{
-    doc_outcome_from_json, verify_outcome_from_json, DocOutcomeWire, Request,
-    StatusInfo, VerifyItem, VerifyOutcome, PROTOCOL_VERSION,
+    doc_outcome_from_json, lint_outcome_from_json, verify_outcome_from_json,
+    DocOutcomeWire, LintOutcome, Request, StatusInfo, VerifyItem, VerifyOutcome,
+    PROTOCOL_VERSION,
 };
 
 /// An error talking to the daemon.
@@ -261,6 +262,31 @@ impl Client {
         };
         let response = self.roundtrip_streaming(&request, on_event)?;
         Ok(doc_outcome_from_json(&response)?)
+    }
+
+    /// Lints one named source (v2). Stateless — no document is opened.
+    pub fn lint(
+        &mut self,
+        name: impl Into<String>,
+        source: impl Into<String>,
+    ) -> Result<LintOutcome, ClientError> {
+        self.lint_streaming(name, source, &mut |_| {})
+    }
+
+    /// [`Client::lint`], forwarding any streamed `lint` events
+    /// (subscribe first).
+    pub fn lint_streaming(
+        &mut self,
+        name: impl Into<String>,
+        source: impl Into<String>,
+        on_event: &mut dyn FnMut(&Json),
+    ) -> Result<LintOutcome, ClientError> {
+        let request = Request::Lint(VerifyItem {
+            name: name.into(),
+            source: source.into(),
+        });
+        let response = self.roundtrip_streaming(&request, on_event)?;
+        Ok(lint_outcome_from_json(&response)?)
     }
 
     /// Closes a workspace document; `Ok(true)` when it was open.

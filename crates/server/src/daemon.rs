@@ -29,11 +29,14 @@ use commcsl_verifier::program::AnnotatedProgram;
 use commcsl_verifier::report::VerifierConfig;
 use commcsl_verifier::workspace::{Workspace, WorkspaceEvent};
 
+use commcsl_analysis::lint::lint_program;
+
 use crate::json::Json;
 use crate::protocol::{
-    doc_response_json, error_json, obligation_event_json, started_event_json,
-    verify_response_json, DocOk, DocOutcomeWire, Request, StatusInfo, VerifyItem,
-    VerifyOk, VerifyOutcome, PROTOCOL_VERSION,
+    doc_response_json, error_json, lint_event_json, lint_response_json,
+    obligation_event_json, started_event_json, verify_response_json, DocOk,
+    DocOutcomeWire, LintOk, LintOutcome, Request, StatusInfo, VerifyItem, VerifyOk,
+    VerifyOutcome, PROTOCOL_VERSION,
 };
 
 /// Compiles surface source text to a lowered program. Errors are
@@ -61,6 +64,10 @@ pub struct Server {
     programs: AtomicU64,
     /// Workspace documents currently open across all sessions.
     documents: AtomicI64,
+    /// Workspace obligations discharged by the static pre-pass.
+    statically_proven: AtomicU64,
+    /// Workspace obligations discharged by the solver.
+    solver_checked: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -104,6 +111,8 @@ impl Server {
             requests: AtomicU64::new(0),
             programs: AtomicU64::new(0),
             documents: AtomicI64::new(0),
+            statically_proven: AtomicU64::new(0),
+            solver_checked: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         }
     }
@@ -152,6 +161,8 @@ impl Server {
             memory_entries: self.verifier.memory_entries() as u64,
             obligation_hits: cache.obligation_hits,
             obligation_misses: cache.obligation_misses,
+            statically_proven: self.statically_proven.load(Ordering::Relaxed),
+            solver_checked: self.solver_checked.load(Ordering::Relaxed),
             threads: self.threads as u64,
         }
     }
@@ -283,6 +294,29 @@ impl Server {
                 self.serve_doc(session, doc, source, true, emit)?;
                 Ok(false)
             }
+            Request::Lint(item) => {
+                if let Some(err) = self.v1_guard(session, "lint") {
+                    emit(&err)?;
+                    return Ok(false);
+                }
+                let outcome: LintOutcome = match (self.compile)(&item.source) {
+                    Err(e) => Err(e),
+                    Ok(program) => {
+                        let lints = lint_program(&program);
+                        if session.subscribed {
+                            for lint in &lints {
+                                emit(&lint_event_json(&item.name, lint))?;
+                            }
+                        }
+                        Ok(LintOk {
+                            name: item.name.clone(),
+                            lints,
+                        })
+                    }
+                };
+                emit(&lint_response_json(&outcome))?;
+                Ok(false)
+            }
             Request::Close { doc } => {
                 if let Some(err) = self.v1_guard(session, "close") {
                     emit(&err)?;
@@ -342,8 +376,9 @@ impl Server {
                         WorkspaceEvent::Obligation {
                             index,
                             result,
-                            reused,
-                        } => Some(obligation_event_json(doc_id, *index, result, *reused)),
+                            verdict,
+                            time,
+                        } => Some(obligation_event_json(doc_id, *index, result, *verdict, *time)),
                         WorkspaceEvent::Finished { .. } => None,
                     };
                     if let Some(json) = json {
@@ -371,6 +406,12 @@ impl Server {
                             self.documents.fetch_add(1, Ordering::Relaxed);
                         }
                         self.programs.fetch_add(1, Ordering::Relaxed);
+                        self.statically_proven.fetch_add(
+                            o.obligations.statically_proven as u64,
+                            Ordering::Relaxed,
+                        );
+                        self.solver_checked
+                            .fetch_add(o.obligations.checked as u64, Ordering::Relaxed);
                         Ok(DocOk {
                             doc: o.doc,
                             revision: o.revision,
@@ -380,6 +421,7 @@ impl Server {
                             obligations: o.obligations.total as u64,
                             reused: o.obligations.reused as u64,
                             checked: o.obligations.checked as u64,
+                            statically_proven: o.obligations.statically_proven as u64,
                             report: o.report,
                         })
                     }

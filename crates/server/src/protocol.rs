@@ -71,10 +71,25 @@
 //! {"event":"report","ok":true,"doc":"a.csl",…,"report":{…}}
 //! ```
 //!
+//! v2 also speaks `lint`: stateless like `verify` (no open document
+//! needed), but streamed like `open` when the session is subscribed —
+//! one `{"event":"lint",…}` line per finding, then the final response:
+//!
+//! ```json
+//! {"op":"lint","name":"a.csl","source":"program a; ..."}
+//! {"event":"lint","name":"a.csl","code":"unused-var","severity":"note",
+//!  "span":"3:4","message":"variable `y` is bound but never read"}
+//! {"ok":true,"name":"a.csl","count":2,"warnings":1,"lints":[…]}
+//! ```
+//!
 //! A reader is v1/v2-agnostic: consume lines until one carries `"ok"`.
 
+use std::time::Duration;
+
+use commcsl_analysis::lint::{Lint, LintCode, Severity};
 use commcsl_verifier::diag::{CexBinding, Counterexample, DiagnosticCode, Failure, SourceSpan};
 use commcsl_verifier::hash::ProgramHash;
+use commcsl_verifier::obligation::ObligationVerdict;
 use commcsl_verifier::report::{
     ObligationResult, ObligationStatus, VerifierReport, REPORT_SCHEMA_VERSION,
 };
@@ -144,6 +159,9 @@ pub enum Request {
         /// Document id.
         doc: String,
     },
+    /// Lint one program without verifying it (v2). Stateless: no open
+    /// document is needed or created.
+    Lint(VerifyItem),
 }
 
 impl Request {
@@ -197,6 +215,11 @@ impl Request {
             Request::Close { doc } => Json::obj([
                 ("op", Json::str("close")),
                 ("doc", Json::str(doc)),
+            ]),
+            Request::Lint(item) => Json::obj([
+                ("op", Json::str("lint")),
+                ("name", Json::str(&item.name)),
+                ("source", Json::str(&item.source)),
             ]),
         };
         doc.to_string()
@@ -289,6 +312,18 @@ impl Request {
                     .ok_or("close needs `doc`")?
                     .to_owned(),
             }),
+            "lint" => Ok(Request::Lint(VerifyItem {
+                name: doc
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("lint needs `name`")?
+                    .to_owned(),
+                source: doc
+                    .get("source")
+                    .and_then(Json::as_str)
+                    .ok_or("lint needs `source`")?
+                    .to_owned(),
+            })),
             other => Err(format!("unknown op `{other}`")),
         }
     }
@@ -572,6 +607,11 @@ pub struct StatusInfo {
     pub obligation_hits: u64,
     /// Obligation-tier lookups answered by neither tier.
     pub obligation_misses: u64,
+    /// Workspace obligations discharged by the static low-ness pre-pass
+    /// (no solver query).
+    pub statically_proven: u64,
+    /// Workspace obligations discharged by the solver.
+    pub solver_checked: u64,
     /// Worker threads for cache misses (0 = one per CPU).
     pub threads: u64,
 }
@@ -617,6 +657,11 @@ impl StatusInfo {
                 "obligation_misses",
                 Json::Num(self.obligation_misses as f64),
             ),
+            (
+                "statically_proven",
+                Json::Num(self.statically_proven as f64),
+            ),
+            ("solver_checked", Json::Num(self.solver_checked as f64)),
             ("threads", Json::Num(self.threads as f64)),
             ("hit_rate", Json::Num(self.hit_rate())),
         ])
@@ -667,6 +712,8 @@ impl StatusInfo {
             memory_entries: num("memory_entries")?,
             obligation_hits: opt_num("obligation_hits"),
             obligation_misses: opt_num("obligation_misses"),
+            statically_proven: opt_num("statically_proven"),
+            solver_checked: opt_num("solver_checked"),
             threads: num("threads")?,
         })
     }
@@ -693,6 +740,8 @@ pub struct DocOk {
     pub reused: u64,
     /// Obligations discharged by the solver.
     pub checked: u64,
+    /// Obligations discharged by the static low-ness pre-pass.
+    pub statically_proven: u64,
     /// The verdict, byte-identical to in-process verification.
     pub report: VerifierReport,
 }
@@ -720,6 +769,10 @@ pub fn doc_response_json(outcome: &DocOutcomeWire, event: bool) -> Json {
                 ("obligations".to_owned(), Json::Num(ok.obligations as f64)),
                 ("reused".to_owned(), Json::Num(ok.reused as f64)),
                 ("checked".to_owned(), Json::Num(ok.checked as f64)),
+                (
+                    "statically_proven".to_owned(),
+                    Json::Num(ok.statically_proven as f64),
+                ),
                 ("report".to_owned(), report_to_json(&ok.report)),
             ]);
             Json::Obj(fields)
@@ -760,6 +813,11 @@ pub fn doc_outcome_from_json(doc: &Json) -> Result<DocOutcomeWire, String> {
                 obligations: num("obligations")?,
                 reused: num("reused")?,
                 checked: num("checked")?,
+                // Tolerant: absent from pre-pre-pass daemons.
+                statically_proven: doc
+                    .get("statically_proven")
+                    .and_then(Json::as_u64)
+                    .unwrap_or_default(),
                 report: report_from_json(
                     doc.get("report").ok_or("doc response needs `report`")?,
                 )?,
@@ -784,12 +842,14 @@ pub fn started_event_json(doc: &str, revision: u64, key: ProgramHash) -> Json {
     ])
 }
 
-/// The `obligation_done` stream event.
+/// The `obligation_done` stream event. `reused` is kept alongside the
+/// finer-grained `verdict` for readers written against early v2.
 pub fn obligation_event_json(
     doc: &str,
     index: usize,
     result: &ObligationResult,
-    reused: bool,
+    verdict: ObligationVerdict,
+    time: Duration,
 ) -> Json {
     let mut fields = vec![
         ("event".to_owned(), Json::str("obligation_done")),
@@ -809,9 +869,161 @@ pub fn obligation_event_json(
             "proved".to_owned(),
             Json::Bool(result.status == ObligationStatus::Proved),
         ),
-        ("reused".to_owned(), Json::Bool(reused)),
+        (
+            "reused".to_owned(),
+            Json::Bool(verdict == ObligationVerdict::Reused),
+        ),
+        ("verdict".to_owned(), Json::str(verdict.as_str())),
+        (
+            "time_ms".to_owned(),
+            Json::Num(time.as_secs_f64() * 1000.0),
+        ),
     ]);
     Json::Obj(fields)
+}
+
+// -------------------------------------------------------- lint responses
+
+/// A successful `lint` outcome.
+#[derive(Debug, Clone)]
+pub struct LintOk {
+    /// Display name, echoed from the request.
+    pub name: String,
+    /// The findings, in [`commcsl_analysis::lint::lint_program`] order.
+    pub lints: Vec<Lint>,
+}
+
+/// One `lint` response: findings, or a compile (parse/lower) error.
+pub type LintOutcome = Result<LintOk, String>;
+
+/// Renders one lint finding (shared by the stream event and the final
+/// response's `lints` array; the event adds its framing fields itself).
+fn lint_fields(lint: &Lint) -> Vec<(String, Json)> {
+    let mut fields = vec![
+        ("code".to_owned(), Json::str(lint.code.as_str())),
+        ("severity".to_owned(), Json::str(lint.severity.as_str())),
+    ];
+    if let Some(span) = &lint.span {
+        fields.push(("span".to_owned(), Json::str(span.to_string())));
+    }
+    fields.push((
+        "path".to_owned(),
+        Json::Arr(lint.path.iter().map(|i| Json::Num(f64::from(*i))).collect()),
+    ));
+    fields.push(("message".to_owned(), Json::str(&lint.message)));
+    fields
+}
+
+/// The `lint` stream event (one per finding, subscribed sessions only).
+pub fn lint_event_json(name: &str, lint: &Lint) -> Json {
+    let mut fields = vec![
+        ("event".to_owned(), Json::str("lint")),
+        ("name".to_owned(), Json::str(name)),
+    ];
+    fields.extend(lint_fields(lint));
+    Json::Obj(fields)
+}
+
+/// Renders the final `lint` response line.
+pub fn lint_response_json(outcome: &LintOutcome) -> Json {
+    match outcome {
+        Ok(ok) => {
+            let warnings = ok
+                .lints
+                .iter()
+                .filter(|l| l.severity == Severity::Warning)
+                .count();
+            Json::obj([
+                ("ok", Json::Bool(true)),
+                ("name", Json::str(&ok.name)),
+                ("count", Json::Num(ok.lints.len() as f64)),
+                ("warnings", Json::Num(warnings as f64)),
+                (
+                    "lints",
+                    Json::Arr(
+                        ok.lints
+                            .iter()
+                            .map(|l| Json::Obj(lint_fields(l)))
+                            .collect(),
+                    ),
+                ),
+            ])
+        }
+        Err(error) => error_json(error),
+    }
+}
+
+/// Parses one finding out of a `lint` response or stream event.
+pub fn lint_from_json(doc: &Json) -> Result<Lint, String> {
+    let code = doc
+        .get("code")
+        .and_then(Json::as_str)
+        .ok_or("lint needs `code`")?
+        .parse::<LintCode>()?;
+    let severity = match doc.get("severity").and_then(Json::as_str) {
+        Some("warning") => Severity::Warning,
+        Some("note") => Severity::Note,
+        Some(other) => return Err(format!("unknown severity `{other}`")),
+        None => code.severity(),
+    };
+    let span = doc
+        .get("span")
+        .map(|s| {
+            s.as_str()
+                .ok_or("`span` must be a string")?
+                .parse::<SourceSpan>()
+        })
+        .transpose()?;
+    let path = match doc.get("path") {
+        None => Vec::new(),
+        Some(p) => p
+            .as_arr()
+            .ok_or("`path` must be an array")?
+            .iter()
+            .map(|i| {
+                i.as_u64()
+                    .and_then(|i| u32::try_from(i).ok())
+                    .ok_or_else(|| "`path` elements must be small numbers".to_owned())
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    };
+    Ok(Lint {
+        code,
+        severity,
+        path,
+        span,
+        message: doc
+            .get("message")
+            .and_then(Json::as_str)
+            .ok_or("lint needs `message`")?
+            .to_owned(),
+    })
+}
+
+/// Parses the final `lint` response line.
+pub fn lint_outcome_from_json(doc: &Json) -> Result<LintOutcome, String> {
+    match doc.get("ok").and_then(Json::as_bool) {
+        Some(true) => Ok(Ok(LintOk {
+            name: doc
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("lint response needs `name`")?
+                .to_owned(),
+            lints: doc
+                .get("lints")
+                .and_then(Json::as_arr)
+                .ok_or("lint response needs `lints`")?
+                .iter()
+                .map(lint_from_json)
+                .collect::<Result<Vec<_>, String>>()?,
+        })),
+        Some(false) => Ok(Err(doc
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown server error")
+            .to_owned())),
+        None => Err("response needs a boolean `ok`".into()),
+    }
 }
 
 #[cfg(test)]
@@ -835,6 +1047,10 @@ mod tests {
                 source: "program a;\noutput 1;\n".into(),
             },
             Request::Close { doc: "a.csl".into() },
+            Request::Lint(VerifyItem {
+                name: "a.csl".into(),
+                source: "program a;\n".into(),
+            }),
         ];
         for r in requests {
             let line = r.encode();
@@ -856,6 +1072,7 @@ mod tests {
             obligations: 12,
             reused: 11,
             checked: 1,
+            statically_proven: 4,
             report: nasty_report(),
         });
         for event in [false, true] {
@@ -871,6 +1088,7 @@ mod tests {
             assert_eq!(back.doc, "a.csl");
             assert_eq!(back.revision, 3);
             assert_eq!((back.obligations, back.reused, back.checked), (12, 11, 1));
+            assert_eq!(back.statically_proven, 4);
             assert_eq!(back.report.to_json(), nasty_report().to_json());
         }
         let err: DocOutcomeWire = Err("unknown document `b`".into());
@@ -893,13 +1111,75 @@ mod tests {
                 span: Some(SourceSpan::new(3, 1)),
                 status: ObligationStatus::Proved,
             },
-            true,
+            ObligationVerdict::Reused,
+            Duration::from_micros(1500),
         )
         .to_string();
         assert!(obligation.contains("\"event\":\"obligation_done\""));
         assert!(obligation.contains("\"span\":\"3:1\""));
         assert!(obligation.contains("\"reused\":true"));
+        assert!(obligation.contains("\"verdict\":\"reused\""));
+        assert!(obligation.contains("\"time_ms\":1.5"));
         assert!(!obligation.contains("\"ok\""), "{obligation}");
+
+        let statically = obligation_event_json(
+            "a.csl",
+            1,
+            &ObligationResult {
+                description: "Low(out)".into(),
+                code: DiagnosticCode::LowOutput,
+                span: None,
+                status: ObligationStatus::Proved,
+            },
+            ObligationVerdict::StaticallyProven,
+            Duration::ZERO,
+        )
+        .to_string();
+        assert!(statically.contains("\"reused\":false"));
+        assert!(statically.contains("\"verdict\":\"static\""));
+    }
+
+    #[test]
+    fn lint_responses_and_events_roundtrip() {
+        let lints = vec![
+            Lint {
+                code: LintCode::WithOnUnshared,
+                severity: Severity::Warning,
+                path: vec![2, 0],
+                span: Some(SourceSpan::new(4, 3)),
+                message: "atomic block on resource `m` which is not shared here".into(),
+            },
+            Lint {
+                code: LintCode::UnusedVar,
+                severity: Severity::Note,
+                path: vec![3],
+                span: None,
+                message: "variable `y \"q\"` is bound but never read".into(),
+            },
+        ];
+        let ok: LintOutcome = Ok(LintOk {
+            name: "a.csl".into(),
+            lints: lints.clone(),
+        });
+        let line = lint_response_json(&ok).to_string();
+        let back = lint_outcome_from_json(&Json::parse(&line).unwrap())
+            .unwrap()
+            .unwrap();
+        assert_eq!(back.name, "a.csl");
+        assert_eq!(back.lints, lints);
+        assert!(line.contains("\"count\":2"));
+        assert!(line.contains("\"warnings\":1"));
+
+        let event = lint_event_json("a.csl", &lints[0]).to_string();
+        assert!(event.starts_with("{\"event\":\"lint\""), "{event}");
+        assert!(!event.contains("\"ok\""), "{event}");
+        let parsed = lint_from_json(&Json::parse(&event).unwrap()).unwrap();
+        assert_eq!(parsed, lints[0]);
+
+        let err: LintOutcome = Err("1:1: parse error".into());
+        let line = lint_response_json(&err).to_string();
+        let back = lint_outcome_from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back.unwrap_err(), "1:1: parse error");
     }
 
     #[test]
@@ -1073,6 +1353,8 @@ mod tests {
             memory_entries: 18,
             obligation_hits: 40,
             obligation_misses: 2,
+            statically_proven: 9,
+            solver_checked: 3,
             threads: 0,
         };
         let doc = Json::parse(&status.to_json().to_string()).unwrap();

@@ -42,6 +42,7 @@ use commcsl_smt::BackendKind;
 use crate::batch::{verify_batch_ref, BatchConfig, BatchResult};
 use crate::cache::{CacheConfig, CacheStats, CachedResult, CachedVerifier};
 use crate::hash::ProgramHash;
+use crate::obligation::DischargeStats;
 use crate::program::AnnotatedProgram;
 use crate::report::{VerifierConfig, VerifierReport};
 
@@ -63,6 +64,13 @@ pub struct Outcome {
     pub cached: Option<bool>,
     /// The content address, when a cache is configured.
     pub key: Option<ProgramHash>,
+    /// How the obligations were discharged (static pre-pass vs. solver).
+    /// `None` on the cached route, where whole-program verdicts are
+    /// served from the store without re-running the discharge pipeline.
+    pub stats: Option<DischargeStats>,
+    /// Wall-clock settle time per obligation, in report order. Diagnostic
+    /// payload only (nondeterministic); empty on the cached route.
+    pub obligation_times: Vec<Duration>,
     /// `true` when fail-fast stopped the batch before this program ran.
     pub skipped: bool,
 }
@@ -129,6 +137,17 @@ impl Verifier {
     pub fn with_cache(mut self, cache: CacheConfig) -> Self {
         assert_unused(&self.cached, "with_cache");
         self.cache = Some(cache);
+        self
+    }
+
+    /// Enables or disables the sound static low-ness pre-pass (on by
+    /// default). Verdicts and reports are byte-identical either way; the
+    /// knob only changes *how* obligations are discharged, and it is part
+    /// of the content hash so cached verdicts never cross the setting.
+    #[must_use]
+    pub fn with_static_prepass(mut self, enabled: bool) -> Self {
+        assert_unused(&self.cached, "with_static_prepass");
+        self.batch.verifier.static_prepass = enabled;
         self
     }
 
@@ -207,6 +226,8 @@ impl Outcome {
             time: result.time,
             cached: None,
             key: None,
+            stats: Some(result.stats),
+            obligation_times: result.obligation_times,
             skipped: result.skipped,
         }
     }
@@ -219,6 +240,8 @@ impl Outcome {
             time: result.time,
             cached: Some(result.cached),
             key: Some(result.key),
+            stats: None,
+            obligation_times: Vec::new(),
             skipped: result.skipped,
         }
     }

@@ -20,9 +20,10 @@ use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use crate::obligation::DischargeStats;
 use crate::program::AnnotatedProgram;
 use crate::report::{VerifierConfig, VerifierReport};
-use crate::symexec::verify;
+use crate::symexec::verify_with_stats;
 
 /// Configuration for a batch run.
 #[derive(Debug, Clone, Default)]
@@ -70,6 +71,12 @@ pub struct BatchResult {
     pub report: VerifierReport,
     /// Wall-clock time spent verifying this program.
     pub time: Duration,
+    /// How the obligations were discharged (solver vs. static pre-pass).
+    /// Zeroed for skipped programs.
+    pub stats: DischargeStats,
+    /// Wall-clock settle time per obligation, in report order. Diagnostic
+    /// payload only (nondeterministic); empty for skipped programs.
+    pub obligation_times: Vec<Duration>,
     /// `true` when fail-fast stopped the batch before this program was
     /// dispatched; its `report` is a placeholder, not a verdict.
     pub skipped: bool,
@@ -144,12 +151,15 @@ pub fn verify_batch_ref(
                         program: program.name.clone(),
                         report: skipped_report(&program.name),
                         time: Duration::ZERO,
+                        stats: DischargeStats::default(),
+                        obligation_times: Vec::new(),
                         skipped: true,
                     });
                     continue;
                 }
                 let start = Instant::now();
-                let report = verify(program, &config.verifier);
+                let (report, stats, obligation_times) =
+                    verify_with_stats(program, &config.verifier);
                 let time = start.elapsed();
                 if config.fail_fast && !report.verified() {
                     stop.store(true, Ordering::Relaxed);
@@ -159,6 +169,8 @@ pub fn verify_batch_ref(
                     program: program.name.clone(),
                     report,
                     time,
+                    stats,
+                    obligation_times,
                     skipped: false,
                 });
             });
@@ -181,6 +193,7 @@ mod tests {
 
     use super::*;
     use crate::program::VStmt;
+    use crate::symexec::verify;
 
     /// A small, genuinely verifying program (low inputs into a shared
     /// counter), plus a failing one (outputs a high input directly).

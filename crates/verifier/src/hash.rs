@@ -47,7 +47,14 @@ use crate::report::VerifierConfig;
 /// gained a leading `schema_version` field, and this version seeds the
 /// obligation-key hasher too — v2 verdicts would replay the old report
 /// shape.
-pub const HASH_FORMAT_VERSION: u32 = 3;
+///
+/// v4: the static pre-pass joined the discharge pipeline — obligations
+/// whose goal normalizes to `true` skip the solver — and its knob
+/// ([`static_prepass`](crate::report::VerifierConfig::static_prepass))
+/// joined the hashed configuration. Verdicts are byte-identical across
+/// the knob, but v3 verdicts were produced by a binary that did not hash
+/// it, so they must not replay against one that does.
+pub const HASH_FORMAT_VERSION: u32 = 4;
 
 const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
 const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
@@ -521,6 +528,8 @@ impl StableHash for VerifierConfig {
         h.write_str(self.validity.backend.name());
         h.tag("counterexamples");
         h.write(&[u8::from(self.counterexamples)]);
+        h.tag("static-prepass");
+        h.write(&[u8::from(self.static_prepass)]);
     }
 }
 

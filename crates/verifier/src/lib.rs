@@ -61,13 +61,16 @@
 pub mod api;
 pub mod batch;
 pub mod cache;
-pub mod diag;
 pub mod hash;
 pub mod obligation;
-pub mod program;
 pub mod report;
 pub mod symexec;
 pub mod workspace;
+
+// The IR and its structured diagnostics live in `commcsl-analysis` (so
+// static analyses and the verifier share them without a cycle); they are
+// re-exported here at their historical paths.
+pub use commcsl_analysis::{diag, program};
 
 pub use api::{Outcome, Verifier};
 pub use batch::{verify_batch, BatchConfig, BatchResult};
@@ -80,5 +83,5 @@ pub use obligation::{
 };
 pub use program::{AnnotatedProgram, StmtPath, VStmt};
 pub use report::{ObligationResult, ObligationStatus, VerifierConfig, VerifierReport};
-pub use symexec::{solver_trace, verify, verify_incremental, SolverEvent};
+pub use symexec::{solver_trace, verify, verify_incremental, verify_with_stats, SolverEvent};
 pub use workspace::{DocOutcome, Workspace, WorkspaceConfig, WorkspaceEvent};

@@ -148,12 +148,52 @@ impl MemoryObligationStore {
 /// Per-run reuse counters of one incremental verification.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DischargeStats {
-    /// Obligations the run produced (reused + checked).
+    /// Obligations the run produced
+    /// (`reused + checked + statically_proven`).
     pub total: usize,
     /// Obligations answered from the obligation store.
     pub reused: usize,
     /// Obligations discharged by the solver (and recorded).
     pub checked: usize,
+    /// Obligations discharged by the static pre-pass without touching the
+    /// solver (and recorded, so later runs reuse them like any other
+    /// status).
+    pub statically_proven: usize,
+}
+
+impl DischargeStats {
+    /// Folds one settled obligation into the counters.
+    pub(crate) fn record(&mut self, verdict: ObligationVerdict) {
+        self.total += 1;
+        match verdict {
+            ObligationVerdict::Reused => self.reused += 1,
+            ObligationVerdict::SolverChecked => self.checked += 1,
+            ObligationVerdict::StaticallyProven => self.statically_proven += 1,
+        }
+    }
+}
+
+/// How one obligation's status was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ObligationVerdict {
+    /// Discharged by the static pre-pass; the solver was never consulted.
+    StaticallyProven,
+    /// Discharged by the solver.
+    SolverChecked,
+    /// Replayed from the obligation store (whatever engine produced it
+    /// originally).
+    Reused,
+}
+
+impl ObligationVerdict {
+    /// The stable string form used in streaming events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ObligationVerdict::StaticallyProven => "static",
+            ObligationVerdict::SolverChecked => "solver",
+            ObligationVerdict::Reused => "reused",
+        }
+    }
 }
 
 /// One obligation as it settles during an incremental run — the payload
@@ -173,8 +213,19 @@ pub struct ObligationEvent<'a> {
     pub cone: &'a [StmtPath],
     /// The settled obligation (description, code, span, status).
     pub result: &'a ObligationResult,
+    /// How the status was obtained (store hit, solver, or the static
+    /// pre-pass).
+    pub verdict: ObligationVerdict,
+    /// Wall-clock time spent settling this obligation. Diagnostic payload
+    /// only: nondeterministic, never part of reports or keys.
+    pub time: std::time::Duration,
+}
+
+impl ObligationEvent<'_> {
     /// `true` when the status came from the obligation store.
-    pub reused: bool,
+    pub fn reused(&self) -> bool {
+        self.verdict == ObligationVerdict::Reused
+    }
 }
 
 /// One node of an [`ObligationGraph`].

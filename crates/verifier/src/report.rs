@@ -46,6 +46,13 @@ pub struct VerifierConfig {
     /// assignment (surfaced as [`Counterexample`] in reports). Part of
     /// the content hash: toggling it changes report bytes.
     pub counterexamples: bool,
+    /// Whether the static pre-pass may discharge obligations whose goal
+    /// normalizes to `true` without consulting the solver. Verdicts are
+    /// byte-identical either way (the pre-pass only claims goals the
+    /// solver's own rewriter proves in its first saturation round), but
+    /// the knob is still part of the content hash — cached timings and
+    /// discharge counters are only comparable within one setting.
+    pub static_prepass: bool,
 }
 
 impl VerifierConfig {
@@ -65,6 +72,7 @@ impl Default for VerifierConfig {
             falsify: FalsifyConfig::default(),
             backend: BackendKind::default(),
             counterexamples: true,
+            static_prepass: true,
         }
     }
 }

@@ -34,7 +34,9 @@
 //!   statuses are keyed by everything that can influence them.
 
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
+use commcsl_analysis::prepass::goal_statically_valid;
 use commcsl_logic::spec::{ActionKind, ResourceSpec};
 use commcsl_logic::validity::check_validity;
 use commcsl_pure::{Sort, Symbol, Term};
@@ -43,7 +45,9 @@ use commcsl_smt::{SolverSession, Verdict};
 
 use crate::diag::{Counterexample, DiagnosticCode, Failure, SourceSpan};
 use crate::hash::{StableHash, StableHasher};
-use crate::obligation::{DischargeStats, ObligationEvent, ObligationKey, ObligationStore};
+use crate::obligation::{
+    DischargeStats, ObligationEvent, ObligationKey, ObligationStore, ObligationVerdict,
+};
 use crate::program::{AnnotatedProgram, StmtPath, VStmt};
 use crate::report::{ObligationResult, ObligationStatus, VerifierConfig, VerifierReport};
 
@@ -55,9 +59,23 @@ use crate::report::{ObligationResult, ObligationStatus, VerifierConfig, Verifier
 /// [`Verifier`](crate::api::Verifier) builder, which routes through this
 /// function and guarantees byte-identical reports.
 pub fn verify(program: &AnnotatedProgram, config: &VerifierConfig) -> VerifierReport {
+    verify_with_stats(program, config).0
+}
+
+/// [`verify`], plus the run's [`DischargeStats`] (how each obligation was
+/// discharged: solver check vs. static pre-pass) and per-obligation
+/// wall-clock times in report order. The report is the same value
+/// [`verify`] returns; the extras are diagnostic payload that never
+/// enters reports, hashes, or caches.
+pub fn verify_with_stats(
+    program: &AnnotatedProgram,
+    config: &VerifierConfig,
+) -> (VerifierReport, DischargeStats, Vec<Duration>) {
     let mut exec = Exec::new(program, config);
     exec.run_body(&program.body);
-    exec.finish()
+    let report = exec.finish();
+    let stats = exec.direct_stats;
+    (report, stats, std::mem::take(&mut exec.obligation_times))
 }
 
 /// Verifies a program against an [`ObligationStore`]: obligations whose
@@ -114,7 +132,9 @@ pub enum SolverEvent {
 /// from the engine that discharges it. Replaying the stream against any
 /// [`SolverSession`] reproduces the program's obligation verdicts; the
 /// `commcsl-bench` `incremental_solver` harness uses exactly this to
-/// compare backends on identical workloads. (Specification-validity
+/// compare backends on identical workloads. The static pre-pass is
+/// disabled during recording so the trace covers *every* obligation, not
+/// just the ones a normal run sends to the solver. (Specification-validity
 /// obligations run in their own session inside `commcsl-logic` and are
 /// not part of the stream.)
 pub fn solver_trace(program: &AnnotatedProgram, config: &VerifierConfig) -> Vec<SolverEvent> {
@@ -169,9 +189,13 @@ pub fn solver_trace(program: &AnnotatedProgram, config: &VerifierConfig) -> Vec<
 
     // The event stream does not depend on verdicts (the execution never
     // branches on an obligation's outcome), so trace without the
-    // falsifier to keep recording cheap.
+    // falsifier to keep recording cheap. The static pre-pass is disabled
+    // so statically dischargeable goals still appear as `Check` events:
+    // the trace is the program's *full* solver workload, which is what
+    // backend-comparison replays need.
     let mut config = config.clone();
     config.counterexamples = false;
+    config.static_prepass = false;
     let log = Rc::new(RefCell::new(Vec::new()));
     let mut exec = Exec::new(program, &config);
     exec.session = Box::new(Recorder {
@@ -356,6 +380,12 @@ struct Exec<'a, 'b> {
     /// Retroactive obligations, discharged at the end of the program with
     /// the final fact set.
     deferred: Vec<Deferred>,
+    /// Discharge counters of the direct (cold) regime; the incremental
+    /// regime accounts in [`CachedState::stats`] instead.
+    direct_stats: DischargeStats,
+    /// Wall-clock settle time per obligation, in report order (both
+    /// regimes). Diagnostic payload only — never in reports or keys.
+    obligation_times: Vec<Duration>,
 }
 
 impl<'a, 'b> Exec<'a, 'b> {
@@ -376,6 +406,8 @@ impl<'a, 'b> Exec<'a, 'b> {
             obligations: Vec::new(),
             errors: Vec::new(),
             deferred: Vec::new(),
+            direct_stats: DischargeStats::default(),
+            obligation_times: Vec::new(),
         }
     }
 
@@ -530,7 +562,21 @@ impl<'a, 'b> Exec<'a, 'b> {
         let discharge = std::mem::replace(&mut self.discharge, Discharge::Direct);
         match discharge {
             Discharge::Direct => {
-                let status = self.direct_status(&goal);
+                let started = Instant::now();
+                let status = if self.config.static_prepass && goal_statically_valid(&goal) {
+                    // Statically discharged: the solver never sees the
+                    // goal, but the skipped check still closes an
+                    // assertion batch (an incremental backend saturates
+                    // per batch), so later verdicts match a prepass-off
+                    // run bit for bit.
+                    self.session.sync();
+                    self.direct_stats.record(ObligationVerdict::StaticallyProven);
+                    ObligationStatus::Proved
+                } else {
+                    self.direct_stats.record(ObligationVerdict::SolverChecked);
+                    self.direct_status(&goal)
+                };
+                self.obligation_times.push(started.elapsed());
                 self.obligations.push(ObligationResult {
                     description,
                     code,
@@ -552,9 +598,14 @@ impl<'a, 'b> Exec<'a, 'b> {
                     span,
                     path,
                 };
-                self.settle_cached(state, key, meta, true, |exec| {
-                    exec.direct_status(&goal)
-                });
+                self.settle_cached(
+                    state,
+                    key,
+                    meta,
+                    true,
+                    |exec| exec.config.static_prepass && goal_statically_valid(&goal),
+                    |exec| exec.direct_status(&goal),
+                );
             }
         }
     }
@@ -568,15 +619,23 @@ impl<'a, 'b> Exec<'a, 'b> {
     /// and either way the check is a batch boundary for what follows);
     /// spec-validity obligations pass false (their checker is
     /// session-free and their cone is empty).
+    ///
+    /// `statically` is the pre-pass test for the goal: on a store miss it
+    /// runs *before* the solver — a statically valid goal is proved
+    /// without replaying the buffered session (a `Sync` stands in for the
+    /// skipped check, exactly like a store hit) and its status enters the
+    /// store like any other.
     fn settle_cached(
         &mut self,
         mut state: Box<CachedState<'b>>,
         key: ObligationKey,
         meta: ObligationMeta,
         session_backed: bool,
+        statically: impl FnOnce(&mut Self) -> bool,
         compute: impl FnOnce(&mut Self) -> ObligationStatus,
     ) {
-        let (status, reused) = match state.store.get(key) {
+        let started = Instant::now();
+        let (status, verdict) = match state.store.get(key) {
             Some(status) => {
                 if session_backed {
                     // The skipped check still closed an assertion batch
@@ -584,7 +643,16 @@ impl<'a, 'b> Exec<'a, 'b> {
                     // bit-identical.
                     state.pending.push(PendingOp::Sync);
                 }
-                (status, true)
+                (status, ObligationVerdict::Reused)
+            }
+            None if session_backed && statically(self) => {
+                // Statically discharged: no session replay needed — the
+                // solver never sees this goal — but the skipped check is
+                // still a batch boundary, exactly like a store hit.
+                state.pending.push(PendingOp::Sync);
+                let status = ObligationStatus::Proved;
+                state.store.put(key, &status);
+                (status, ObligationVerdict::StaticallyProven)
             }
             None => {
                 if session_backed {
@@ -592,7 +660,7 @@ impl<'a, 'b> Exec<'a, 'b> {
                 }
                 let status = compute(self);
                 state.store.put(key, &status);
-                (status, false)
+                (status, ObligationVerdict::SolverChecked)
             }
         };
         if session_backed {
@@ -600,12 +668,7 @@ impl<'a, 'b> Exec<'a, 'b> {
             // boundary for everything after it.
             state.top().tag("flush");
         }
-        state.stats.total += 1;
-        if reused {
-            state.stats.reused += 1;
-        } else {
-            state.stats.checked += 1;
-        }
+        state.stats.record(verdict);
         let result = ObligationResult {
             description: meta.description,
             code: meta.code,
@@ -617,14 +680,17 @@ impl<'a, 'b> Exec<'a, 'b> {
         } else {
             &[]
         };
+        let time = started.elapsed();
         (state.sink)(&ObligationEvent {
             index: self.obligations.len(),
             key,
             path: &meta.path,
             cone,
             result: &result,
-            reused,
+            verdict,
+            time,
         });
+        self.obligation_times.push(time);
         self.obligations.push(result);
         self.discharge = Discharge::Cached(state);
     }
@@ -948,7 +1014,10 @@ impl<'a, 'b> Exec<'a, 'b> {
         let discharge = std::mem::replace(&mut self.discharge, Discharge::Direct);
         match discharge {
             Discharge::Direct => {
+                let started = Instant::now();
                 let status = self.spec_validity_status(spec);
+                self.direct_stats.record(ObligationVerdict::SolverChecked);
+                self.obligation_times.push(started.elapsed());
                 self.obligations.push(ObligationResult {
                     description,
                     code: DiagnosticCode::SpecValidity,
@@ -972,7 +1041,9 @@ impl<'a, 'b> Exec<'a, 'b> {
                     span,
                     path,
                 };
-                self.settle_cached(state, key, meta, false, |exec| {
+                // Spec validity quantifies over action pairs — never a
+                // single goal term — so the pre-pass does not apply.
+                self.settle_cached(state, key, meta, false, |_| false, |exec| {
                     exec.spec_validity_status(spec)
                 });
             }

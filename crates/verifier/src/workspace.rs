@@ -36,7 +36,7 @@ use std::time::{Duration, Instant};
 
 use crate::cache::{CacheConfig, CacheStats, SharedObligationStore, VerdictCache};
 use crate::hash::{program_hash, ProgramHash};
-use crate::obligation::DischargeStats;
+use crate::obligation::{DischargeStats, ObligationVerdict};
 use crate::program::AnnotatedProgram;
 use crate::report::{ObligationResult, VerifierConfig, VerifierReport};
 use crate::symexec::verify_incremental;
@@ -90,8 +90,12 @@ pub enum WorkspaceEvent<'a> {
         index: usize,
         /// The settled obligation.
         result: &'a ObligationResult,
-        /// `true` when its status was replayed from a cache tier.
-        reused: bool,
+        /// How the status was obtained. Program-tier hits replay every
+        /// obligation as [`ObligationVerdict::Reused`].
+        verdict: ObligationVerdict,
+        /// Wall-clock settle time (zero for program-tier replays).
+        /// Diagnostic payload only — never part of reports or hashes.
+        time: Duration,
     },
     /// The call completed; the outcome is about to be returned.
     Finished {
@@ -270,7 +274,8 @@ impl Workspace {
                     on_event(WorkspaceEvent::Obligation {
                         index,
                         result,
-                        reused: true,
+                        verdict: ObligationVerdict::Reused,
+                        time: Duration::ZERO,
                     });
                 }
                 let total = report.obligations.len();
@@ -282,6 +287,7 @@ impl Workspace {
                         total,
                         reused: total,
                         checked: 0,
+                        statically_proven: 0,
                     },
                 )
             }
@@ -292,7 +298,8 @@ impl Workspace {
                     on_event(WorkspaceEvent::Obligation {
                         index: e.index,
                         result: e.result,
-                        reused: e.reused,
+                        verdict: e.verdict,
+                        time: e.time,
                     });
                 };
                 let (report, stats) =
@@ -308,6 +315,7 @@ impl Workspace {
         self.stats.obligations.total += obligations.total;
         self.stats.obligations.reused += obligations.reused;
         self.stats.obligations.checked += obligations.checked;
+        self.stats.obligations.statically_proven += obligations.statically_proven;
         self.docs.insert(doc.clone(), DocState { key, revision });
 
         let outcome = DocOutcome {
@@ -398,7 +406,15 @@ mod tests {
         extended.body.push(VStmt::AssertLow(Term::int(7)));
         let outcome = ws.update_document("doc", &extended).expect("open");
         assert_eq!(outcome.obligations.total, cold.obligations.total + 1);
-        assert_eq!(outcome.obligations.checked, 1, "{:?}", outcome.obligations);
+        // The new goal (`7 = 7`) is claimed by the static pre-pass — the
+        // edit's cone never reaches the solver; everything else replays.
+        assert_eq!(outcome.obligations.checked, 0, "{:?}", outcome.obligations);
+        assert_eq!(
+            outcome.obligations.statically_proven,
+            1,
+            "{:?}",
+            outcome.obligations
+        );
         assert_eq!(outcome.obligations.reused, cold.obligations.total);
         assert_eq!(
             outcome.report.to_json(),
@@ -419,8 +435,8 @@ mod tests {
                 WorkspaceEvent::Started { doc, revision, .. } => {
                     format!("started {doc} r{revision}")
                 }
-                WorkspaceEvent::Obligation { index, reused, .. } => {
-                    format!("obligation {index} reused={reused}")
+                WorkspaceEvent::Obligation { index, verdict, .. } => {
+                    format!("obligation {index} {}", verdict.as_str())
                 }
                 WorkspaceEvent::Finished { outcome } => {
                     format!("finished cached={}", outcome.report_cached)
@@ -437,7 +453,7 @@ mod tests {
         assert_eq!(events.len(), outcome.obligations.total + 2);
         assert!(events[1..events.len() - 1]
             .iter()
-            .all(|e| e.ends_with("reused=true")));
+            .all(|e| e.ends_with(" reused")));
 
         // A *renamed* variant misses the program tier but reuses every
         // obligation from "one"'s run.

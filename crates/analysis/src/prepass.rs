@@ -35,6 +35,7 @@ use commcsl_pure::{Func, Term};
 /// semantics) and conservative with respect to the solver (never claims a
 /// goal the solver would fail; see the module docs).
 pub fn goal_statically_valid(goal: &Term) -> bool {
+    let _span = commcsl_telemetry::span!("prepass.goal");
     if let Term::Lit(v) = goal {
         return v == &commcsl_pure::Value::Bool(true);
     }

@@ -1,0 +1,257 @@
+//! Telemetry overhead benchmark.
+//!
+//! The telemetry layer promises to be free when disabled: every span is
+//! one relaxed atomic load. This bin pins that promise three ways on the
+//! `scale-map-report-*` stress workloads:
+//!
+//! 1. **Wall clock**: median verification time with telemetry compiled
+//!    in (and disabled, the default) must stay within `--max-overhead`
+//!    (default 2%) of the `static_prepass` baseline recorded in the
+//!    trajectory file (`prepass_ms` of its last snapshot line). Compared
+//!    on the total across workloads — per-workload medians are noisier.
+//! 2. **Microbench**: a disabled `span!` must cost under `--max-span-ns`
+//!    nanoseconds (default 50 — the real cost is a couple of ns).
+//! 3. **Byte identity**: verifying with a capture armed must produce
+//!    byte-identical reports to verifying with telemetry off.
+//!
+//! It also prints the per-span aggregates of the captured (enabled) pass
+//! — the same table `commcsl profile` renders — so the bench doubles as
+//! the workspace's span-level cost report.
+//!
+//! Run with `cargo run -p commcsl-bench --release --bin telemetry_overhead
+//! -- [--runs N] [--max-overhead X] [--max-span-ns N] [--baseline <path>]
+//! [--json <path>]`. Without a readable baseline the wall-clock gate is
+//! skipped with a warning (the other two gates still apply).
+
+use std::io::Write;
+use std::time::Instant;
+
+use commcsl::server::json::Json;
+use commcsl::telemetry::export::by_label;
+use commcsl::telemetry::{finish_capture, start_capture};
+use commcsl::verifier::report::VerifierConfig;
+use commcsl::verifier::verify;
+
+fn main() {
+    let opts = parse_args();
+    let config = VerifierConfig::default();
+    let programs = commcsl_bench::reverify_programs();
+
+    // 1. Disabled-telemetry wall clock, median of `runs` per workload.
+    //    Measured before anything arms a capture.
+    let mut rows: Vec<(String, f64, String)> = Vec::new();
+    for program in &programs {
+        let mut samples = Vec::new();
+        let mut report_json = String::new();
+        for _ in 0..opts.runs {
+            let start = Instant::now();
+            let report = verify(program, &config);
+            samples.push(start.elapsed().as_secs_f64() * 1000.0);
+            report_json = report.to_json();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        rows.push((program.name.clone(), median, report_json));
+    }
+
+    // 2. Disabled span microbench.
+    const SPINS: u64 = 2_000_000;
+    let start = Instant::now();
+    for _ in 0..SPINS {
+        let _guard = commcsl::telemetry::span!("bench.noop");
+    }
+    let ns_per_span = start.elapsed().as_nanos() as f64 / SPINS as f64;
+
+    // 3. Enabled pass: byte identity + per-span aggregates.
+    start_capture();
+    let mut identical = true;
+    for (program, (_, _, disabled_json)) in programs.iter().zip(&rows) {
+        let report = verify(program, &config);
+        identical &= report.to_json() == *disabled_json;
+    }
+    let capture = finish_capture();
+
+    let baseline = opts.baseline_path.as_deref().and_then(read_baseline);
+
+    println!("telemetry overhead benchmark — {} run(s) per workload\n", opts.runs);
+    println!(
+        "{:<28} {:>13} {:>13} {:>9}",
+        "workload", "baseline (ms)", "measured (ms)", "overhead"
+    );
+    let mut measured_total = 0.0;
+    let mut baseline_total = 0.0;
+    for (name, median, _) in &rows {
+        measured_total += median;
+        let base = baseline.as_ref().and_then(|b| {
+            b.iter().find(|(n, _)| n == name).map(|(_, ms)| *ms)
+        });
+        match base {
+            Some(base_ms) => {
+                baseline_total += base_ms;
+                println!(
+                    "{name:<28} {base_ms:>13.3} {median:>13.3} {:>8.1}%",
+                    (median / base_ms - 1.0) * 100.0
+                );
+            }
+            None => println!("{name:<28} {:>13} {median:>13.3} {:>9}", "-", "-"),
+        }
+    }
+    println!("\ndisabled span cost: {ns_per_span:.1} ns");
+    println!("reports byte-identical with a capture armed: {identical}");
+
+    println!("\nper-span aggregates of the captured pass:");
+    println!("{:<24} {:>8} {:>12} {:>12}", "span", "count", "total ms", "self ms");
+    for stat in by_label(&capture) {
+        println!(
+            "{:<24} {:>8} {:>12.3} {:>12.3}",
+            stat.label,
+            stat.count,
+            stat.total_ns as f64 / 1e6,
+            stat.self_ns as f64 / 1e6,
+        );
+    }
+
+    // Gates, hard failures before any snapshot is written.
+    if !identical {
+        die("reports diverged between captured and disabled verification");
+    }
+    if ns_per_span > opts.max_span_ns {
+        die(&format!(
+            "disabled span costs {ns_per_span:.1} ns, above the {:.0} ns ceiling",
+            opts.max_span_ns
+        ));
+    }
+    let overhead = if baseline_total > 0.0 {
+        let overhead = measured_total / baseline_total - 1.0;
+        println!(
+            "\ntotal: {baseline_total:.3} ms baseline, {measured_total:.3} ms \
+             measured ({:+.1}% overhead, {:.1}% allowed)",
+            overhead * 100.0,
+            opts.max_overhead * 100.0
+        );
+        if overhead > opts.max_overhead {
+            die(&format!(
+                "disabled-telemetry overhead {:.1}% exceeds the {:.1}% ceiling",
+                overhead * 100.0,
+                opts.max_overhead * 100.0
+            ));
+        }
+        Some(overhead)
+    } else {
+        eprintln!(
+            "telemetry_overhead: warning: no `static_prepass` baseline found \
+             ({}); wall-clock gate skipped",
+            opts.baseline_path.as_deref().unwrap_or("no --baseline given")
+        );
+        None
+    };
+
+    if let Some(path) = &opts.json_path {
+        let row_json: Vec<String> = rows
+            .iter()
+            .map(|(name, median, _)| {
+                let base = baseline.as_ref().and_then(|b| {
+                    b.iter().find(|(n, _)| n == name).map(|(_, ms)| *ms)
+                });
+                format!(
+                    "{{\"example\":{},\"baseline_ms\":{},\"measured_ms\":{median:.6}}}",
+                    commcsl::verifier::report::json_string(name),
+                    base.map(|b| format!("{b:.6}")).unwrap_or("null".into()),
+                )
+            })
+            .collect();
+        let snapshot = format!(
+            "{{\"bench\":\"telemetry_overhead\",\"runs\":{},\"ns_per_span\":{ns_per_span:.2},\
+             \"overhead\":{},\"identical\":{identical},\"rows\":[{}]}}",
+            opts.runs,
+            overhead.map(|o| format!("{o:.4}")).unwrap_or("null".into()),
+            row_json.join(","),
+        );
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| die(&format!("cannot open {path}: {e}")));
+        writeln!(file, "{snapshot}")
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!("appended snapshot to {path}");
+    }
+}
+
+/// The `(example, prepass_ms)` rows of the last `static_prepass` snapshot
+/// line in the trajectory file, if any.
+fn read_baseline(path: &str) -> Option<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let line = text
+        .lines()
+        .rfind(|l| l.contains("\"bench\":\"static_prepass\""))?;
+    let doc = Json::parse(line).ok()?;
+    let rows = doc.get("rows")?.as_arr()?;
+    let baseline: Vec<(String, f64)> = rows
+        .iter()
+        .filter_map(|row| {
+            Some((
+                row.get("example")?.as_str()?.to_owned(),
+                row.get("prepass_ms")?.as_num()?,
+            ))
+        })
+        .collect();
+    (!baseline.is_empty()).then_some(baseline)
+}
+
+struct Opts {
+    runs: u32,
+    max_overhead: f64,
+    max_span_ns: f64,
+    baseline_path: Option<String>,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        runs: 5,
+        max_overhead: 0.02,
+        max_span_ns: 50.0,
+        baseline_path: Some("BENCH_table1.json".into()),
+        json_path: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--runs" => {
+                opts.runs = value("--runs")
+                    .parse()
+                    .unwrap_or_else(|_| die("--runs needs a positive integer"));
+                if opts.runs == 0 {
+                    die("--runs needs a positive integer");
+                }
+            }
+            "--max-overhead" => {
+                opts.max_overhead = value("--max-overhead")
+                    .parse()
+                    .unwrap_or_else(|_| die("--max-overhead needs a number"));
+            }
+            "--max-span-ns" => {
+                opts.max_span_ns = value("--max-span-ns")
+                    .parse()
+                    .unwrap_or_else(|_| die("--max-span-ns needs a number"));
+            }
+            "--baseline" => opts.baseline_path = Some(value("--baseline")),
+            "--json" => opts.json_path = Some(value("--json")),
+            other => die(&format!(
+                "unknown option `{other}` (try --runs N, --max-overhead X, \
+                 --max-span-ns N, --baseline PATH, --json PATH)"
+            )),
+        }
+    }
+    opts
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("telemetry_overhead: {message}");
+    std::process::exit(1);
+}

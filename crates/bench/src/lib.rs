@@ -790,11 +790,11 @@ pub fn static_prepass_bench(runs: u32) -> StaticPrepassBench {
         let mut stats = None;
         for _ in 0..runs {
             let started = Instant::now();
-            let (report_on, run_stats, _) = verify_with_stats(&program, &on);
+            let (report_on, run_stats, _, _) = verify_with_stats(&program, &on);
             on_samples.push(started.elapsed().as_secs_f64() * 1000.0);
 
             let started = Instant::now();
-            let (report_off, _, _) = verify_with_stats(&program, &off);
+            let (report_off, _, _, _) = verify_with_stats(&program, &off);
             off_samples.push(started.elapsed().as_secs_f64() * 1000.0);
 
             identical &= report_on.to_json() == report_off.to_json();

@@ -13,6 +13,7 @@
 //! | Re-export | Crate | Contents |
 //! |---|---|---|
 //! | [`pure`] | `commcsl-pure` | pure values, symbolic terms, rewriting |
+//! | [`telemetry`] | `commcsl-telemetry` | tracing spans, counters, trace/flamegraph exporters |
 //! | [`smt`] | `commcsl-smt` | the SMT-lite solver (Z3 stand-in) |
 //! | [`lang`] | `commcsl-lang` | the concurrent language, schedulers, empirical NI harness |
 //! | [`logic`] | `commcsl-logic` | extended heaps, assertions, resource specs, validity |
@@ -63,6 +64,7 @@ pub use commcsl_logic as logic;
 pub use commcsl_pure as pure;
 pub use commcsl_server as server;
 pub use commcsl_smt as smt;
+pub use commcsl_telemetry as telemetry;
 pub use commcsl_verifier as verifier;
 
 /// Commonly used items in one import.

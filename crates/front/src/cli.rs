@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! commcsl verify [--threads N] [--json] [--expect verified|rejected]
-//!                [--fail-fast] [--backend fresh|incremental]
+//!                [--fail-fast] [--backend fresh|incremental] [--trace-out F]
 //!                [--daemon] [--no-start] [--socket PATH] [--cache-dir DIR] PATH...
+//! commcsl profile [--threads N] [--json] [--backend fresh|incremental]
+//!                 [--trace-out F] [--folded-out F] [--deterministic] PATH...
 //! commcsl watch  [--json] [--interval MS] [--once]
 //!                [--backend fresh|incremental] [--cache-dir DIR] PATH...
 //! commcsl serve  [--socket PATH] [--cache-dir DIR] [--threads N] [--stdio]
-//! commcsl daemon status|stop [--socket PATH] [--json]
+//! commcsl daemon status|metrics|stop [--socket PATH] [--json]
 //! commcsl fixture NAME [--json]
 //! commcsl lint   [--json] [--deny warnings] PATH...
 //! commcsl fmt PATH...
@@ -59,7 +61,11 @@ use commcsl_analysis::lint::{lint_program, Lint, Severity};
 use commcsl_server::client::{connect_or_start, Client};
 use commcsl_server::daemon::{Server, ServerConfig};
 use commcsl_server::protocol::VerifyItem;
-use commcsl_smt::BackendKind;
+use commcsl_smt::{BackendKind, SessionStats};
+use commcsl_telemetry::export::{
+    attributed_ns, by_label, chrome_trace, folded_stacks, FoldedWeight,
+};
+use commcsl_telemetry::{counter_add, finish_capture, start_capture, Capture};
 use commcsl_verifier::api::Verifier;
 use commcsl_verifier::cache::CacheConfig;
 use commcsl_verifier::obligation::DischargeStats;
@@ -68,12 +74,16 @@ use commcsl_verifier::report::{json_string, VerifierConfig, VerifierReport};
 
 use crate::compile;
 
-/// Schema version of the CLI's *wrapper* JSON documents (`verify --json`
-/// and `lint --json`). Independent of the embedded report's
-/// [`commcsl_verifier::report::REPORT_SCHEMA_VERSION`], which stays at 1:
-/// v2 added per-obligation timing and static-pre-pass discharge counters
-/// to the wrapper entries without touching report bytes.
-pub const CLI_SCHEMA_VERSION: u32 = 2;
+/// Schema version of the CLI's *wrapper* JSON documents (`verify --json`,
+/// `lint --json`, and `profile --json`). Independent of the embedded
+/// report's [`commcsl_verifier::report::REPORT_SCHEMA_VERSION`], which
+/// stays at 1: v2 added per-obligation timing and static-pre-pass
+/// discharge counters to the wrapper entries; v3 adds per-file solver
+/// session counters (`session`) and batch-wide `session_totals` to the
+/// summary. Session stats deliberately live in the wrapper, never in
+/// report bytes, so reports stay byte-identical across engines, caches,
+/// and backends.
+pub const CLI_SCHEMA_VERSION: u32 = 3;
 
 /// Exit code: everything as expected.
 pub const EXIT_OK: i32 = 0;
@@ -97,9 +107,13 @@ usage: commcsl <command> [options] <path>...
 
 commands:
   verify    parse, lower, and verify annotated programs
+  profile   verify with the telemetry capture armed; export a Chrome
+            trace (--trace-out) and/or folded flamegraph stacks
+            (--folded-out), and summarize spans and counters
   watch     re-verify files on change, incrementally (workspace session)
   serve     run the persistent verification daemon (foreground)
-  daemon    control a running daemon: `daemon status`, `daemon stop`
+  daemon    control a running daemon: `daemon status`, `daemon metrics`,
+            `daemon stop`
   fixture   verify a built-in Table 1 fixture by name
   lint      run static lints (no solver): unused resources/actions/vars,
             share discipline, redundant annotations
@@ -123,6 +137,16 @@ options (verify):
                                use one that is already running
   --socket PATH                daemon socket (default: <cache-dir>/commcsl.sock)
   --cache-dir DIR              verdict-cache directory (default: .commcsl-cache)
+  --trace-out F                write a Chrome trace-event JSON of the run
+                               (in-process only; incompatible with --daemon)
+
+options (profile):
+  --threads N / --json / --backend fresh|incremental   as for verify
+  --trace-out F                write Chrome trace-event JSON (Perfetto)
+  --folded-out F               write folded flamegraph stacks
+  --deterministic              weight folded stacks by span counts instead
+                               of self-time nanoseconds; with --threads 1
+                               the file is byte-identical across runs
 
 options (watch):
   --json                       one NDJSON event per line instead of text
@@ -154,6 +178,7 @@ paths may be .csl files, directories (searched recursively), or simple
 pub fn run(args: &[String], out: &mut String) -> i32 {
     match args.first().map(String::as_str) {
         Some("verify") => run_verify(&args[1..], out),
+        Some("profile") => run_profile(&args[1..], out),
         Some("watch") => run_watch(&args[1..], out),
         Some("serve") => run_serve(&args[1..], out),
         Some("daemon") => run_daemon(&args[1..], out),
@@ -247,6 +272,8 @@ struct VerifyFlags {
     backend: BackendKind,
     daemon: bool,
     no_start: bool,
+    /// Write a Chrome trace-event JSON of the run here (in-process only).
+    trace_out: Option<PathBuf>,
     locations: DaemonPaths,
     paths: Vec<String>,
 }
@@ -260,6 +287,7 @@ fn parse_verify_flags(args: &[String], out: &mut String) -> Result<VerifyFlags, 
         backend: BackendKind::default(),
         daemon: false,
         no_start: false,
+        trace_out: None,
         locations: DaemonPaths::new(),
         paths: Vec::new(),
     };
@@ -290,6 +318,9 @@ fn parse_verify_flags(args: &[String], out: &mut String) -> Result<VerifyFlags, 
             },
             "--daemon" => flags.daemon = true,
             "--no-start" => flags.no_start = true,
+            "--trace-out" => {
+                flags.trace_out = Some(take_path_value(&mut it, "--trace-out", out)?);
+            }
             "--expect" => match it.next().map(String::as_str) {
                 Some("verified") => flags.expect = Expect::Verified,
                 Some("rejected") => flags.expect = Expect::Rejected,
@@ -310,6 +341,14 @@ fn parse_verify_flags(args: &[String], out: &mut String) -> Result<VerifyFlags, 
     }
     if flags.paths.is_empty() {
         let _ = writeln!(out, "commcsl: verify needs at least one path\n{USAGE}");
+        return Err(EXIT_ERROR);
+    }
+    if flags.trace_out.is_some() && flags.daemon {
+        let _ = writeln!(
+            out,
+            "commcsl: --trace-out traces the in-process pipeline and cannot \
+             be combined with --daemon"
+        );
         return Err(EXIT_ERROR);
     }
     Ok(flags)
@@ -333,6 +372,9 @@ struct FileResult {
     /// Per-obligation wall-clock times, milliseconds, in obligation order.
     /// Diagnostic payload only; empty when unavailable (daemon/cached).
     obligation_times_ms: Vec<f64>,
+    /// Solver-session counters for this file's run. `None` when the
+    /// engine served it from a cache or over the daemon protocol.
+    session: Option<SessionStats>,
     report: VerifierReport,
 }
 
@@ -403,12 +445,34 @@ fn run_verify(args: &[String], out: &mut String) -> i32 {
         }
     }
     if engine != Engine::Daemon {
+        let tracing = flags.trace_out.is_some();
+        if tracing {
+            start_capture();
+        }
         let (local_results, local_errors) = verify_in_process(&flags, &sources);
+        if tracing {
+            let capture = finish_capture();
+            if let Err(code) =
+                write_export(flags.trace_out.as_deref(), &chrome_trace(&capture), out)
+            {
+                return code;
+            }
+        }
         results = local_results;
         file_errors.extend(local_errors);
     }
 
     render_verify(&flags, engine, &file_errors, &results, out)
+}
+
+/// Writes one exporter output to `path` (no-op when `None`), reporting
+/// I/O failures as usage-style errors.
+fn write_export(path: Option<&Path>, content: &str, out: &mut String) -> Result<(), i32> {
+    let Some(path) = path else { return Ok(()) };
+    fs::write(path, content).map_err(|e| {
+        let _ = writeln!(out, "commcsl: cannot write {}: {e}", path.display());
+        EXIT_ERROR
+    })
 }
 
 /// In-process engine: compile, then push the survivors through the
@@ -445,6 +509,7 @@ fn verify_in_process(
                 .iter()
                 .map(|t| t.as_secs_f64() * 1000.0)
                 .collect(),
+            session: o.session,
             report: o.report,
         })
         .collect();
@@ -515,6 +580,7 @@ fn verify_via_daemon(
                 skipped: ok.skipped,
                 stats: None,
                 obligation_times_ms: Vec::new(),
+                session: None,
                 report: ok.report,
             }),
             Err(e) => errors.push((file.clone(), e)),
@@ -607,8 +673,14 @@ fn render_verify(
                         .join(",")
                 )
             };
+            // Schema v3: per-file solver session counters, when the
+            // engine surfaced them (in-process, non-cached route).
+            let session = r
+                .session
+                .map(|s| format!("\"session\":{},", session_json(&s)))
+                .unwrap_or_default();
             format!(
-                "{{\"file\":{},\"time_ms\":{:.3},{cached}{skipped}{stats}{times}\"report\":{}}}",
+                "{{\"file\":{},\"time_ms\":{:.3},{cached}{skipped}{stats}{times}{session}\"report\":{}}}",
                 json_string(&r.file.display().to_string()),
                 r.time_ms,
                 r.report.to_json()
@@ -617,7 +689,8 @@ fn render_verify(
         let _ = writeln!(
             out,
             "{{\"schema_version\":{},\"results\":[{}],\"summary\":{{\"total\":{},\"as_expected\":{},\
-             \"errors\":{},\"expect\":{},\"engine\":{},\"ok\":{},\"exit_code\":{}}}}}",
+             \"errors\":{},\"expect\":{},\"engine\":{},\"session_totals\":{},\"ok\":{},\
+             \"exit_code\":{}}}}}",
             CLI_SCHEMA_VERSION,
             entries.join(","),
             results.len() + file_errors.len(),
@@ -628,6 +701,7 @@ fn render_verify(
                 Expect::Rejected => "rejected",
             }),
             json_string(engine.as_str()),
+            session_json(&session_totals(results)),
             code == EXIT_OK,
             code
         );
@@ -669,6 +743,20 @@ fn render_verify(
         } else {
             format!(" ({static_total} obligations statically proven, {solver_total} solver-checked)")
         };
+        let totals = session_totals(results);
+        if totals != SessionStats::default() {
+            let _ = writeln!(
+                out,
+                "solver sessions: {} checks, {} asserts, {} pushes, {} pops, \
+                 {} quiescence skips, {:.3} ms checking",
+                totals.checks,
+                totals.asserts,
+                totals.pushes,
+                totals.pops,
+                totals.quiescence_skips,
+                totals.check_time.as_secs_f64() * 1000.0,
+            );
+        }
         let _ = writeln!(
             out,
             "\n{matching}/{} programs {}{}{discharge}",
@@ -685,6 +773,318 @@ fn render_verify(
         );
     }
     code
+}
+
+/// Renders [`SessionStats`] as a JSON object — the schema-v3 `session`
+/// shape shared by per-file entries and the summary's `session_totals`.
+fn session_json(s: &SessionStats) -> String {
+    format!(
+        "{{\"checks\":{},\"proved\":{},\"unknown\":{},\"asserts\":{},\"pushes\":{},\
+         \"pops\":{},\"quiescence_skips\":{},\"check_time_ms\":{:.3}}}",
+        s.checks,
+        s.proved,
+        s.unknown,
+        s.asserts,
+        s.pushes,
+        s.pops,
+        s.quiescence_skips,
+        s.check_time.as_secs_f64() * 1000.0,
+    )
+}
+
+/// Sums the session counters over every file that carried them.
+fn session_totals(results: &[FileResult]) -> SessionStats {
+    let mut totals = SessionStats::default();
+    for s in results.iter().filter_map(|r| r.session.as_ref()) {
+        totals.merge(s);
+    }
+    totals
+}
+
+// ----------------------------------------------------------------- profile
+
+#[derive(Debug)]
+struct ProfileFlags {
+    threads: usize,
+    json: bool,
+    deterministic: bool,
+    backend: BackendKind,
+    trace_out: Option<PathBuf>,
+    folded_out: Option<PathBuf>,
+    paths: Vec<String>,
+}
+
+fn parse_profile_flags(args: &[String], out: &mut String) -> Result<ProfileFlags, i32> {
+    let mut flags = ProfileFlags {
+        threads: 0,
+        json: false,
+        deterministic: false,
+        backend: BackendKind::default(),
+        trace_out: None,
+        folded_out: None,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    let _ = writeln!(out, "commcsl: --threads needs a number");
+                    return Err(EXIT_ERROR);
+                };
+                flags.threads = n;
+            }
+            "--json" => flags.json = true,
+            "--deterministic" => flags.deterministic = true,
+            "--backend" => match it.next().and_then(|v| BackendKind::from_name(v)) {
+                Some(backend) => flags.backend = backend,
+                None => {
+                    let _ = writeln!(out, "commcsl: --backend needs `fresh` or `incremental`");
+                    return Err(EXIT_ERROR);
+                }
+            },
+            "--trace-out" => {
+                flags.trace_out = Some(take_path_value(&mut it, "--trace-out", out)?);
+            }
+            "--folded-out" => {
+                flags.folded_out = Some(take_path_value(&mut it, "--folded-out", out)?);
+            }
+            flag if flag.starts_with("--") => {
+                let _ = writeln!(out, "commcsl: unknown profile option `{flag}`\n{USAGE}");
+                return Err(EXIT_ERROR);
+            }
+            path => flags.paths.push(path.to_owned()),
+        }
+    }
+    if flags.paths.is_empty() {
+        let _ = writeln!(out, "commcsl: profile needs at least one path\n{USAGE}");
+        return Err(EXIT_ERROR);
+    }
+    Ok(flags)
+}
+
+/// The self-profiler: verifies the corpus in-process with the telemetry
+/// capture armed, then exports and summarizes what the spans recorded.
+///
+/// The whole run sits under one `profile.run` root span, so the folded
+/// stacks' total weight approximates the capture wall time and the
+/// summary can report instrumentation *coverage* (the fraction of wall
+/// time attributed to some span). Exit codes: `0` when every file
+/// compiled (verification failures are reported but still profiled),
+/// `2` on read/parse/lower/IO errors.
+fn run_profile(args: &[String], out: &mut String) -> i32 {
+    let flags = match parse_profile_flags(args, out) {
+        Ok(flags) => flags,
+        Err(code) => return code,
+    };
+    let files = match collect_files(&flags.paths) {
+        Ok(files) if files.is_empty() => {
+            let _ = writeln!(out, "commcsl: no .csl files found");
+            return EXIT_ERROR;
+        }
+        Ok(files) => files,
+        Err(msg) => {
+            let _ = writeln!(out, "commcsl: {msg}");
+            return EXIT_ERROR;
+        }
+    };
+    let mut sources: Vec<(PathBuf, String)> = Vec::new();
+    let mut file_errors: FileErrors = Vec::new();
+    for file in files {
+        match fs::read_to_string(&file) {
+            Ok(src) => sources.push((file, src)),
+            Err(e) => file_errors.push((file, format!("cannot read file: {e}"))),
+        }
+    }
+
+    start_capture();
+    let results = {
+        let _root = commcsl_telemetry::span!("profile.run", files = sources.len());
+        let verify_flags = VerifyFlags {
+            threads: flags.threads,
+            json: flags.json,
+            expect: Expect::Verified,
+            fail_fast: false,
+            backend: flags.backend,
+            daemon: false,
+            no_start: false,
+            trace_out: None,
+            locations: DaemonPaths::new(),
+            paths: Vec::new(),
+        };
+        let (results, errors) = verify_in_process(&verify_flags, &sources);
+        file_errors.extend(errors);
+        results
+    };
+    // Fold the run's ad-hoc statistics into the capture's counter
+    // registry, so one snapshot unifies spans, discharge counters, and
+    // solver session totals.
+    counter_add("profile.programs", results.len() as u64);
+    counter_add("profile.errors", file_errors.len() as u64);
+    let (static_total, solver_total) = results
+        .iter()
+        .filter_map(|r| r.stats)
+        .fold((0u64, 0u64), |(s, c), st| {
+            (s + st.statically_proven as u64, c + st.checked as u64)
+        });
+    counter_add("obligations.statically_proven", static_total);
+    counter_add("obligations.solver_checked", solver_total);
+    let totals = session_totals(&results);
+    counter_add("solver.checks", totals.checks);
+    counter_add("solver.proved", totals.proved);
+    counter_add("solver.unknown", totals.unknown);
+    counter_add("solver.asserts", totals.asserts);
+    counter_add("solver.pushes", totals.pushes);
+    counter_add("solver.pops", totals.pops);
+    counter_add("solver.quiescence_skips", totals.quiescence_skips);
+    let capture = finish_capture();
+
+    if let Err(code) = write_export(flags.trace_out.as_deref(), &chrome_trace(&capture), out) {
+        return code;
+    }
+    let weight = if flags.deterministic {
+        FoldedWeight::Calls
+    } else {
+        FoldedWeight::SelfNanos
+    };
+    if let Err(code) = write_export(
+        flags.folded_out.as_deref(),
+        &folded_stacks(&capture, weight),
+        out,
+    ) {
+        return code;
+    }
+
+    let code = if file_errors.is_empty() { EXIT_OK } else { EXIT_ERROR };
+    let verified = results.iter().filter(|r| r.report.verified()).count();
+    if flags.json {
+        render_profile_json(&flags, &capture, &results, &file_errors, verified, code, out);
+    } else {
+        render_profile_text(&flags, &capture, &results, &file_errors, verified, out);
+    }
+    code
+}
+
+/// Instrumentation coverage: the fraction of the capture's wall time
+/// attributed to a span on the capturing thread (thread 0, which holds
+/// the `profile.run` root). Worker-thread self time is excluded — it
+/// overlaps the capturing thread's wall clock, so summing it (as
+/// `attributed_ms` does) can legitimately exceed 1.0.
+fn coverage(capture: &Capture) -> f64 {
+    if capture.wall_ns == 0 {
+        return 0.0;
+    }
+    let thread0: u64 = capture
+        .spans
+        .iter()
+        .filter(|s| s.thread == 0)
+        .map(|s| s.self_ns())
+        .sum();
+    thread0 as f64 / capture.wall_ns as f64
+}
+
+fn render_profile_json(
+    flags: &ProfileFlags,
+    capture: &Capture,
+    results: &[FileResult],
+    file_errors: &FileErrors,
+    verified: usize,
+    code: i32,
+    out: &mut String,
+) {
+    let wall_ms = capture.wall_ns as f64 / 1e6;
+    let attributed_ms = attributed_ns(capture) as f64 / 1e6;
+    let labels: Vec<String> = by_label(capture)
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"label\":{},\"count\":{},\"total_ms\":{:.3},\"self_ms\":{:.3}}}",
+                json_string(l.label),
+                l.count,
+                l.total_ns as f64 / 1e6,
+                l.self_ns as f64 / 1e6,
+            )
+        })
+        .collect();
+    let errors: Vec<String> = file_errors
+        .iter()
+        .map(|(file, e)| {
+            format!(
+                "{{\"file\":{},\"error\":{}}}",
+                json_string(&file.display().to_string()),
+                json_string(e)
+            )
+        })
+        .collect();
+    let counters =
+        commcsl_telemetry::MetricsSnapshot::from_pairs(capture.counters.clone()).to_json();
+    let _ = writeln!(
+        out,
+        "{{\"schema_version\":{},\"profile\":{{\"programs\":{},\"verified\":{},\
+         \"spans\":{},\"threads\":{},\"wall_ms\":{:.3},\"attributed_ms\":{:.3},\
+         \"coverage\":{:.4},\"deterministic\":{},\"labels\":[{}],\"counters\":{}}},\
+         \"errors\":[{}],\"ok\":{},\"exit_code\":{}}}",
+        CLI_SCHEMA_VERSION,
+        results.len(),
+        verified,
+        capture.spans.len(),
+        capture.threads(),
+        wall_ms,
+        attributed_ms,
+        coverage(capture),
+        flags.deterministic,
+        labels.join(","),
+        counters,
+        errors.join(","),
+        code == EXIT_OK,
+        code,
+    );
+}
+
+fn render_profile_text(
+    flags: &ProfileFlags,
+    capture: &Capture,
+    results: &[FileResult],
+    file_errors: &FileErrors,
+    verified: usize,
+    out: &mut String,
+) {
+    for (file, e) in file_errors {
+        let _ = writeln!(out, "{}: {e}", file.display());
+    }
+    let wall_ms = capture.wall_ns as f64 / 1e6;
+    let covered = 100.0 * coverage(capture);
+    let _ = writeln!(
+        out,
+        "profiled {} program(s) ({verified} verified) in {wall_ms:.3} ms: \
+         {} spans on {} thread(s), {covered:.1}% of wall time attributed",
+        results.len(),
+        capture.spans.len(),
+        capture.threads(),
+    );
+    let _ = writeln!(out, "{:<24} {:>8} {:>12} {:>12}", "span", "count", "total ms", "self ms");
+    for l in by_label(capture) {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>12.3} {:>12.3}",
+            l.label,
+            l.count,
+            l.total_ns as f64 / 1e6,
+            l.self_ns as f64 / 1e6,
+        );
+    }
+    if !capture.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for (name, value) in &capture.counters {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+    }
+    if let Some(path) = &flags.trace_out {
+        let _ = writeln!(out, "wrote Chrome trace to {}", path.display());
+    }
+    if let Some(path) = &flags.folded_out {
+        let _ = writeln!(out, "wrote folded stacks to {}", path.display());
+    }
 }
 
 // ------------------------------------------------------------------- watch
@@ -1073,7 +1473,9 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
             Err(code) => return code,
         }
         match arg.as_str() {
-            "status" | "stop" if action.is_none() => action = Some(arg.as_str()),
+            "status" | "stop" | "metrics" if action.is_none() => {
+                action = Some(arg.as_str())
+            }
             "--json" => json = true,
             other => {
                 let _ = writeln!(out, "commcsl: unknown daemon action `{other}`\n{USAGE}");
@@ -1083,7 +1485,7 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
     }
     let socket = locations.socket_path();
     let Some(action) = action else {
-        let _ = writeln!(out, "commcsl: daemon needs `status` or `stop`\n{USAGE}");
+        let _ = writeln!(out, "commcsl: daemon needs `status`, `metrics`, or `stop`\n{USAGE}");
         return EXIT_ERROR;
     };
 
@@ -1118,7 +1520,8 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
                          cache: {} memory + {} disk hits, {} misses \
                          ({:.1}% hit rate), {} entries in memory, {} evictions\n\
                          obligations: {} reused, {} checked, \
-                         {} statically proven + {} solver-checked (workspace)",
+                         {} statically proven + {} solver-checked (workspace)\n\
+                         telemetry: {} bytes streamed",
                         status.version,
                         status.format_version,
                         status.protocol_version,
@@ -1138,12 +1541,31 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
                         status.obligation_misses,
                         status.statically_proven,
                         status.solver_checked,
+                        status.bytes_streamed,
                     );
                 }
                 EXIT_OK
             }
             Err(e) => {
                 let _ = writeln!(out, "commcsl: status failed: {e}");
+                EXIT_ERROR
+            }
+        },
+        "metrics" => match client.metrics() {
+            Ok(snapshot) => {
+                if json {
+                    let _ = writeln!(out, "{}", snapshot.to_json());
+                } else if snapshot.counters.is_empty() {
+                    let _ = writeln!(out, "no counters recorded");
+                } else {
+                    for (name, value) in &snapshot.counters {
+                        let _ = writeln!(out, "{name} = {value}");
+                    }
+                }
+                EXIT_OK
+            }
+            Err(e) => {
+                let _ = writeln!(out, "commcsl: metrics failed: {e}");
                 EXIT_ERROR
             }
         },
@@ -1703,6 +2125,41 @@ mod tests {
                 "{status}"
             );
             assert!(status.contains("hit rate"), "{status}");
+            assert!(status.contains("bytes streamed"), "{status}");
+
+            // `daemon metrics` exports the same traffic as flat counters.
+            let mut metrics = String::new();
+            assert_eq!(
+                run(
+                    &[
+                        "daemon".into(),
+                        "metrics".into(),
+                        "--json".into(),
+                        "--socket".into(),
+                        socket.display().to_string(),
+                    ],
+                    &mut metrics
+                ),
+                EXIT_OK,
+                "{metrics}"
+            );
+            let counters = commcsl_server::json::Json::parse(metrics.trim())
+                .expect("metrics --json is one JSON object");
+            assert_eq!(
+                counters
+                    .get("daemon.programs")
+                    .and_then(commcsl_server::json::Json::as_u64),
+                Some(2),
+                "{metrics}"
+            );
+            assert!(
+                counters
+                    .get("daemon.bytes_streamed")
+                    .and_then(commcsl_server::json::Json::as_u64)
+                    .unwrap()
+                    > 0,
+                "{metrics}"
+            );
             let mut stop = String::new();
             assert_eq!(
                 run(
@@ -1990,6 +2447,92 @@ mod tests {
             .and_then(Json::as_u64)
             .expect("discharge counters present") as usize;
         assert_eq!(static_n + solver_n, report.obligations.len());
+
+        // v3: the solver-session counters round-trip through the wrapper.
+        let session = entry
+            .get("session")
+            .expect("session stats present on the in-process route");
+        let checks = session.get("checks").and_then(Json::as_u64).expect("checks");
+        let proved = session.get("proved").and_then(Json::as_u64).expect("proved");
+        let unknown = session.get("unknown").and_then(Json::as_u64).expect("unknown");
+        assert_eq!(proved + unknown, checks, "every check resolves");
+        for key in ["asserts", "pushes", "pops", "quiescence_skips"] {
+            assert!(
+                session.get(key).and_then(Json::as_u64).is_some(),
+                "session.{key} parses back as a count"
+            );
+        }
+        assert!(session
+            .get("check_time_ms")
+            .and_then(Json::as_num)
+            .is_some_and(|v| v >= 0.0));
+        let totals = doc
+            .get("summary")
+            .and_then(|s| s.get("session_totals"))
+            .expect("summary carries session_totals");
+        assert_eq!(
+            totals.get("checks").and_then(Json::as_u64),
+            Some(checks),
+            "single-file totals equal the file's own stats"
+        );
+        assert_eq!(totals.get("pushes").and_then(Json::as_u64), session.get("pushes").and_then(Json::as_u64));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `verify --trace-out` writes a Chrome trace that parses through the
+    /// server's own JSON codec and carries front-end spans. Kept as the
+    /// only capture-based test in this binary: captures are process-global,
+    /// so concurrent `start_capture` calls would race. (The `profile`
+    /// subcommand gets its capture tests in `commcsl-bench`'s integration
+    /// suite, which is a separate process.)
+    #[test]
+    fn verify_trace_out_writes_parseable_chrome_trace() {
+        use commcsl_server::json::Json;
+
+        let dir = temp_corpus("traceout");
+        let trace = dir.join("trace.json");
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &[
+                    "verify".into(),
+                    "--json".into(),
+                    "--trace-out".into(),
+                    trace.display().to_string(),
+                    dir.join("good.csl").display().to_string(),
+                ],
+                &mut out
+            ),
+            EXIT_OK,
+            "{out}"
+        );
+        let text = fs::read_to_string(&trace).expect("trace file written");
+        let doc = Json::parse(text.trim()).expect("Chrome trace is valid JSON");
+        let events = doc.as_arr().expect("trace is a JSON array");
+        let names: std::collections::BTreeSet<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains("front.parse"), "front-end spans present: {names:?}");
+
+        // Tracing a daemon round-trip is meaningless: the work happens in
+        // another process. The combination is rejected up front.
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &[
+                    "verify".into(),
+                    "--daemon".into(),
+                    "--trace-out".into(),
+                    "x.json".into(),
+                    dir.join("good.csl").display().to_string(),
+                ],
+                &mut out
+            ),
+            EXIT_ERROR
+        );
+        assert!(out.contains("cannot"), "{out}");
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -65,5 +65,10 @@ use commcsl_verifier::program::AnnotatedProgram;
 /// errors and on lowering diagnostics (unknown resource/action, arity
 /// and sort violations, …).
 pub fn compile(source: &str) -> Result<AnnotatedProgram, ParseError> {
-    lower::lower(&parser::parse_surface(source)?)
+    let surface = {
+        let _span = commcsl_telemetry::span!("front.parse");
+        parser::parse_surface(source)?
+    };
+    let _span = commcsl_telemetry::span!("front.lower");
+    lower::lower(&surface)
 }

@@ -26,8 +26,8 @@ fn prepass_off() -> VerifierConfig {
 /// Verifies `program` both ways, asserts identical report bytes, and
 /// returns how many obligations the pre-pass discharged statically.
 fn assert_identical(program: &AnnotatedProgram, label: &str) -> (usize, usize) {
-    let (on, stats, _) = verify_with_stats(program, &VerifierConfig::default());
-    let (off, off_stats, _) = verify_with_stats(program, &prepass_off());
+    let (on, stats, _, _) = verify_with_stats(program, &VerifierConfig::default());
+    let (off, off_stats, _, _) = verify_with_stats(program, &prepass_off());
     assert_eq!(
         on.to_json(),
         off.to_json(),

@@ -11,11 +11,13 @@ use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::time::{Duration, Instant};
 
+use commcsl_telemetry::MetricsSnapshot;
+
 use crate::json::Json;
 use crate::protocol::{
-    doc_outcome_from_json, lint_outcome_from_json, verify_outcome_from_json,
-    DocOutcomeWire, LintOutcome, Request, StatusInfo, VerifyItem, VerifyOutcome,
-    PROTOCOL_VERSION,
+    doc_outcome_from_json, lint_outcome_from_json, metrics_from_json,
+    verify_outcome_from_json, DocOutcomeWire, LintOutcome, Request, StatusInfo,
+    VerifyItem, VerifyOutcome, PROTOCOL_VERSION,
 };
 
 /// An error talking to the daemon.
@@ -310,6 +312,12 @@ impl Client {
     pub fn status(&mut self) -> Result<StatusInfo, ClientError> {
         let response = self.roundtrip(&Request::Status)?;
         Ok(StatusInfo::from_json(&response)?)
+    }
+
+    /// Fetches the daemon's cumulative telemetry counters (v2).
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        let response = self.roundtrip(&Request::Metrics)?;
+        Ok(metrics_from_json(&response)?)
     }
 
     /// Asks the daemon to exit; returns once acknowledged.

@@ -31,12 +31,14 @@ use commcsl_verifier::workspace::{Workspace, WorkspaceEvent};
 
 use commcsl_analysis::lint::lint_program;
 
+use commcsl_telemetry::MetricsSnapshot;
+
 use crate::json::Json;
 use crate::protocol::{
     doc_response_json, error_json, lint_event_json, lint_response_json,
-    obligation_event_json, started_event_json, verify_response_json, DocOk,
-    DocOutcomeWire, LintOk, LintOutcome, Request, StatusInfo, VerifyItem, VerifyOk,
-    VerifyOutcome, PROTOCOL_VERSION,
+    metrics_response_json, obligation_event_json, started_event_json,
+    verify_response_json, DocOk, DocOutcomeWire, LintOk, LintOutcome, Request,
+    StatusInfo, VerifyItem, VerifyOk, VerifyOutcome, PROTOCOL_VERSION,
 };
 
 /// Compiles surface source text to a lowered program. Errors are
@@ -68,6 +70,8 @@ pub struct Server {
     statically_proven: AtomicU64,
     /// Workspace obligations discharged by the solver.
     solver_checked: AtomicU64,
+    /// Response bytes written to clients (newlines included).
+    bytes_streamed: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -113,6 +117,7 @@ impl Server {
             documents: AtomicI64::new(0),
             statically_proven: AtomicU64::new(0),
             solver_checked: AtomicU64::new(0),
+            bytes_streamed: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         }
     }
@@ -163,8 +168,33 @@ impl Server {
             obligation_misses: cache.obligation_misses,
             statically_proven: self.statically_proven.load(Ordering::Relaxed),
             solver_checked: self.solver_checked.load(Ordering::Relaxed),
+            bytes_streamed: self.bytes_streamed.load(Ordering::Relaxed),
             threads: self.threads as u64,
         }
+    }
+
+    /// The daemon's cumulative counters as one flat snapshot — the
+    /// `metrics` protocol response. Names follow the dotted taxonomy the
+    /// in-process profiler uses, so dashboards can treat both sources
+    /// uniformly.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let status = self.status();
+        MetricsSnapshot::from_pairs([
+            ("daemon.requests", status.requests),
+            ("daemon.programs", status.programs),
+            ("daemon.documents", status.documents),
+            ("daemon.bytes_streamed", status.bytes_streamed),
+            ("cache.memory_hits", status.memory_hits),
+            ("cache.disk_hits", status.disk_hits),
+            ("cache.misses", status.misses),
+            ("cache.evictions", status.evictions),
+            ("cache.memory_entries", status.memory_entries),
+            ("cache.obligation_hits", status.obligation_hits),
+            ("cache.obligation_misses", status.obligation_misses),
+            ("obligations.statically_proven", status.statically_proven),
+            ("obligations.solver_checked", status.solver_checked),
+        ]
+        .map(|(name, value)| (name.to_owned(), value)))
     }
 
     /// Compiles and verifies a batch of items; cache misses ride the
@@ -220,6 +250,7 @@ impl Server {
         request: &Request,
         emit: &mut dyn FnMut(&Json) -> io::Result<()>,
     ) -> io::Result<bool> {
+        let _span = commcsl_telemetry::span!("daemon.request", op = request.op_name());
         self.requests.fetch_add(1, Ordering::Relaxed);
         match request {
             Request::Verify(item) => {
@@ -315,6 +346,14 @@ impl Server {
                     }
                 };
                 emit(&lint_response_json(&outcome))?;
+                Ok(false)
+            }
+            Request::Metrics => {
+                if let Some(err) = self.v1_guard(session, "metrics") {
+                    emit(&err)?;
+                    return Ok(false);
+                }
+                emit(&metrics_response_json(&self.metrics()))?;
                 Ok(false)
             }
             Request::Close { doc } => {
@@ -523,8 +562,12 @@ impl Server {
                     // as soon as it is rendered, so subscribed clients
                     // see obligations settle live.
                     let mut emit = |json: &Json| -> io::Result<()> {
-                        writeln!(writer, "{json}")?;
-                        writer.flush()
+                        let rendered = json.to_string();
+                        writeln!(writer, "{rendered}")?;
+                        writer.flush()?;
+                        self.bytes_streamed
+                            .fetch_add(rendered.len() as u64 + 1, Ordering::Relaxed);
+                        Ok(())
                     };
                     let stop = match std::str::from_utf8(&line) {
                         Ok(text) if text.trim().is_empty() => {
@@ -1008,6 +1051,68 @@ mod tests {
         assert_eq!(lines[0].get("cached").and_then(Json::as_bool), Some(false));
         assert_eq!(lines[1].get("cached").and_then(Json::as_bool), Some(true));
         assert_eq!(lines[1].get("revision").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn metrics_op_reports_counters_and_status_counts_streamed_bytes() {
+        let server = server();
+        let input = format!(
+            "{}\n{}\n{}\n",
+            Request::Verify(VerifyItem {
+                name: "a".into(),
+                source: "ok a".into()
+            })
+            .encode(),
+            Request::Metrics.encode(),
+            Request::Status.encode(),
+        );
+        let mut output = Vec::new();
+        server.serve_stream(input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+
+        // The metrics line is the flat counter snapshot.
+        let counters = lines[1].get("counters").expect("counters object");
+        let counter = |name: &str| counters.get(name).and_then(Json::as_u64);
+        assert_eq!(counter("daemon.requests"), Some(2), "{text}");
+        assert_eq!(counter("daemon.programs"), Some(1));
+        assert_eq!(counter("cache.misses"), Some(1));
+        // Counted after the verify response was written, before metrics'.
+        assert!(counter("daemon.bytes_streamed").unwrap() > 0, "{text}");
+
+        // The status response agrees and includes every line so far.
+        let status = StatusInfo::from_json(&lines[2]).unwrap();
+        let streamed_before_status: usize =
+            text.lines().take(2).map(|l| l.len() + 1).sum();
+        assert_eq!(status.bytes_streamed, streamed_before_status as u64, "{text}");
+
+        // In-memory sessions (no transport) stream nothing.
+        let in_memory = self::server();
+        let (response, _) = in_memory.handle_request(&Request::Metrics);
+        assert_eq!(
+            response
+                .get("counters")
+                .and_then(|c| c.get("daemon.bytes_streamed"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn metrics_op_is_v2_guarded() {
+        let server = server();
+        let input = format!(
+            "{}\n{}\n",
+            Request::Hello { protocol: 1 }.encode(),
+            Request::Metrics.encode(),
+        );
+        let mut output = Vec::new();
+        server.serve_stream(input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert!(
+            text.lines().nth(1).unwrap().contains("requires protocol v2"),
+            "{text}"
+        );
     }
 
     #[test]

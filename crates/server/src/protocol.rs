@@ -48,6 +48,7 @@
 //! {"op":"open","doc":"a.csl","source":"program a; ..."}
 //! {"op":"update","doc":"a.csl","source":"program a; ..."}
 //! {"op":"close","doc":"a.csl"}
+//! {"op":"metrics"}
 //! ```
 //!
 //! `hello` negotiates the protocol version: the server answers
@@ -82,11 +83,21 @@
 //! {"ok":true,"name":"a.csl","count":2,"warnings":1,"lints":[…]}
 //! ```
 //!
+//! v2 also speaks `metrics`: the daemon's cumulative telemetry counters
+//! as one flat [`MetricsSnapshot`]-shaped object, named by the same
+//! dotted taxonomy the in-process profiler uses (`daemon.*`, `cache.*`,
+//! `obligations.*`):
+//!
+//! ```json
+//! {"ok":true,"counters":{"cache.misses":3,"daemon.requests":17,…}}
+//! ```
+//!
 //! A reader is v1/v2-agnostic: consume lines until one carries `"ok"`.
 
 use std::time::Duration;
 
 use commcsl_analysis::lint::{Lint, LintCode, Severity};
+use commcsl_telemetry::MetricsSnapshot;
 use commcsl_verifier::diag::{CexBinding, Counterexample, DiagnosticCode, Failure, SourceSpan};
 use commcsl_verifier::hash::ProgramHash;
 use commcsl_verifier::obligation::ObligationVerdict;
@@ -162,9 +173,29 @@ pub enum Request {
     /// Lint one program without verifying it (v2). Stateless: no open
     /// document is needed or created.
     Lint(VerifyItem),
+    /// Report the daemon's cumulative telemetry counters (v2).
+    Metrics,
 }
 
 impl Request {
+    /// The wire name of this request's `op` field. Also the value of the
+    /// daemon's `daemon.request` tracing span.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Verify(_) => "verify",
+            Request::VerifyBatch { .. } => "verify_batch",
+            Request::Status => "status",
+            Request::Shutdown => "shutdown",
+            Request::Hello { .. } => "hello",
+            Request::Subscribe { .. } => "subscribe",
+            Request::Open { .. } => "open",
+            Request::Update { .. } => "update",
+            Request::Close { .. } => "close",
+            Request::Lint(_) => "lint",
+            Request::Metrics => "metrics",
+        }
+    }
+
     /// Renders the request as one protocol line (no trailing newline).
     pub fn encode(&self) -> String {
         let item_json = |item: &VerifyItem| {
@@ -221,6 +252,7 @@ impl Request {
                 ("name", Json::str(&item.name)),
                 ("source", Json::str(&item.source)),
             ]),
+            Request::Metrics => Json::obj([("op", Json::str("metrics"))]),
         };
         doc.to_string()
     }
@@ -312,6 +344,7 @@ impl Request {
                     .ok_or("close needs `doc`")?
                     .to_owned(),
             }),
+            "metrics" => Ok(Request::Metrics),
             "lint" => Ok(Request::Lint(VerifyItem {
                 name: doc
                     .get("name")
@@ -612,6 +645,9 @@ pub struct StatusInfo {
     pub statically_proven: u64,
     /// Workspace obligations discharged by the solver.
     pub solver_checked: u64,
+    /// Response bytes streamed to clients (newlines included) over the
+    /// daemon's lifetime, all transports combined.
+    pub bytes_streamed: u64,
     /// Worker threads for cache misses (0 = one per CPU).
     pub threads: u64,
 }
@@ -662,15 +698,17 @@ impl StatusInfo {
                 Json::Num(self.statically_proven as f64),
             ),
             ("solver_checked", Json::Num(self.solver_checked as f64)),
+            ("bytes_streamed", Json::Num(self.bytes_streamed as f64)),
             ("threads", Json::Num(self.threads as f64)),
             ("hit_rate", Json::Num(self.hit_rate())),
         ])
     }
 
     /// Parses a `status` response document. Fields added by protocol v2
-    /// (`protocol_version`, `backend`, `documents`, `obligation_*`)
-    /// default when absent, so a v2 client can still read a v1 daemon's
-    /// status (and report its version mismatch cleanly).
+    /// (`protocol_version`, `backend`, `documents`, `obligation_*`) and
+    /// by the telemetry pass (`bytes_streamed`) default when absent, so a
+    /// v2 client can still read an older daemon's status (and report its
+    /// version mismatch cleanly).
     pub fn from_json(doc: &Json) -> Result<StatusInfo, String> {
         if doc.get("ok").and_then(Json::as_bool) != Some(true) {
             return Err(doc
@@ -714,9 +752,54 @@ impl StatusInfo {
             obligation_misses: opt_num("obligation_misses"),
             statically_proven: opt_num("statically_proven"),
             solver_checked: opt_num("solver_checked"),
+            bytes_streamed: opt_num("bytes_streamed"),
             threads: num("threads")?,
         })
     }
+}
+
+// ------------------------------------------------------ metrics responses
+
+/// Renders the `metrics` response: the daemon's cumulative counters as
+/// one flat object, sorted by name (the snapshot is already sorted).
+pub fn metrics_response_json(snapshot: &MetricsSnapshot) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        (
+            "counters",
+            Json::Obj(
+                snapshot
+                    .counters
+                    .iter()
+                    .map(|(name, value)| (name.clone(), Json::Num(*value as f64)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses a `metrics` response back into a snapshot.
+pub fn metrics_from_json(doc: &Json) -> Result<MetricsSnapshot, String> {
+    if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(doc
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("metrics request failed")
+            .to_owned());
+    }
+    let Some(Json::Obj(fields)) = doc.get("counters") else {
+        return Err("metrics response needs a `counters` object".into());
+    };
+    let pairs = fields
+        .iter()
+        .map(|(name, value)| {
+            value
+                .as_u64()
+                .map(|v| (name.clone(), v))
+                .ok_or_else(|| format!("counter `{name}` must be a non-negative integer"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(MetricsSnapshot::from_pairs(pairs))
 }
 
 // ------------------------------------------------- v2 session responses
@@ -1051,10 +1134,12 @@ mod tests {
                 name: "a.csl".into(),
                 source: "program a;\n".into(),
             }),
+            Request::Metrics,
         ];
         for r in requests {
             let line = r.encode();
             assert!(!line.contains('\n'), "{line}");
+            assert!(line.contains(&format!("\"op\":\"{}\"", r.op_name())), "{line}");
             assert_eq!(Request::decode(&line).unwrap(), r);
         }
         assert!(Request::decode("{\"op\":\"open\",\"doc\":\"x\"}").is_err());
@@ -1355,6 +1440,7 @@ mod tests {
             obligation_misses: 2,
             statically_proven: 9,
             solver_checked: 3,
+            bytes_streamed: 4096,
             threads: 0,
         };
         let doc = Json::parse(&status.to_json().to_string()).unwrap();
@@ -1378,5 +1464,21 @@ mod tests {
         assert_eq!(back.protocol_version, 1);
         assert_eq!(back.backend, "");
         assert_eq!(back.obligation_hits, 0);
+        assert_eq!(back.bytes_streamed, 0);
+    }
+
+    #[test]
+    fn metrics_responses_roundtrip() {
+        let snapshot = MetricsSnapshot::from_pairs([
+            ("daemon.requests".to_owned(), 17),
+            ("cache.misses".to_owned(), 3),
+            ("daemon.bytes_streamed".to_owned(), 8192),
+        ]);
+        let line = metrics_response_json(&snapshot).to_string();
+        assert!(line.starts_with("{\"ok\":true,\"counters\":{"), "{line}");
+        let back = metrics_from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, snapshot);
+        assert_eq!(back.get("daemon.requests"), Some(17));
+        assert!(metrics_from_json(&error_json("down")).is_err());
     }
 }

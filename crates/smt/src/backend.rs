@@ -106,8 +106,31 @@ pub struct SessionStats {
     pub asserts: u64,
     /// Scopes pushed.
     pub pushes: u64,
+    /// Pop operations (stray pops on the root scope included).
+    pub pops: u64,
+    /// Batch closes (checks, pushes, or explicit
+    /// [`SolverSession::sync`]s) that found the fact base already
+    /// saturated and skipped re-saturation entirely. Always 0 for the
+    /// stateless backend, which has no saturated base to skip.
+    pub quiescence_skips: u64,
     /// Total wall-clock time spent inside `check`.
     pub check_time: Duration,
+}
+
+impl SessionStats {
+    /// Accumulates `other` into `self`: every counter adds, and so does
+    /// the check time. Used to total per-program session stats across a
+    /// batch (CLI summaries, daemon telemetry).
+    pub fn merge(&mut self, other: &SessionStats) {
+        self.checks += other.checks;
+        self.proved += other.proved;
+        self.unknown += other.unknown;
+        self.asserts += other.asserts;
+        self.pushes += other.pushes;
+        self.pops += other.pops;
+        self.quiescence_skips += other.quiescence_skips;
+        self.check_time += other.check_time;
+    }
 }
 
 /// An incremental proof session: a stack of fact scopes and a stream of
@@ -262,6 +285,7 @@ impl SolverSession for FreshSession {
     }
 
     fn pop(&mut self) {
+        self.stats.pops += 1;
         if let Some(mark) = self.marks.pop() {
             self.facts.truncate(mark);
         }
@@ -273,6 +297,7 @@ impl SolverSession for FreshSession {
     }
 
     fn check(&mut self, goal: &Term) -> Verdict {
+        let _span = commcsl_telemetry::span!("solver.check");
         let start = Instant::now();
         let verdict = self.solver.check_valid(&self.facts, goal);
         self.stats.checks += 1;
@@ -285,6 +310,7 @@ impl SolverSession for FreshSession {
     }
 
     fn check_assuming(&mut self, assumptions: Vec<Term>, goal: &Term) -> Verdict {
+        let _span = commcsl_telemetry::span!("solver.check");
         let start = Instant::now();
         // Exactly the legacy literal order: facts, assumptions, ¬goal.
         let mut hyps = self.facts.clone();
@@ -391,6 +417,7 @@ impl IncrementalSession {
     /// completeness contract.
     fn flush(&mut self) {
         if self.pending.is_empty() {
+            self.stats.quiescence_skips += 1;
             return;
         }
         let pending = std::mem::take(&mut self.pending);
@@ -418,6 +445,7 @@ impl IncrementalSession {
     }
 
     fn check_with(&mut self, assumptions: Vec<Term>, goal: &Term) -> Verdict {
+        let _span = commcsl_telemetry::span!("solver.check");
         let start = Instant::now();
         self.flush();
         if self.contradictory {
@@ -451,6 +479,7 @@ impl SolverSession for IncrementalSession {
     }
 
     fn pop(&mut self) {
+        self.stats.pops += 1;
         let Some(frame) = self.frames.pop() else {
             return;
         };
@@ -476,6 +505,7 @@ impl SolverSession for IncrementalSession {
     fn sync(&mut self) {
         // Close the current assertion batch exactly as a check would,
         // without the snapshot/rollback a `push`/`pop` pair pays.
+        let _span = commcsl_telemetry::span!("solver.sync");
         self.flush();
     }
 
@@ -547,6 +577,14 @@ mod tests {
             assert_eq!(stats.unknown, 1);
             assert_eq!(stats.asserts, 3);
             assert_eq!(stats.pushes, 1);
+            assert_eq!(stats.pops, 1);
+            match kind {
+                // Flushes at: check₁ (1 fact), push (quiescent), check₂
+                // (2 facts), check₃ after pop (quiescent), check₄
+                // (quiescent).
+                BackendKind::Incremental => assert_eq!(stats.quiescence_skips, 3),
+                BackendKind::Fresh => assert_eq!(stats.quiescence_skips, 0),
+            }
         }
     }
 

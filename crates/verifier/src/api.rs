@@ -37,7 +37,7 @@
 use std::sync::OnceLock;
 use std::time::Duration;
 
-use commcsl_smt::BackendKind;
+use commcsl_smt::{BackendKind, SessionStats};
 
 use crate::batch::{verify_batch_ref, BatchConfig, BatchResult};
 use crate::cache::{CacheConfig, CacheStats, CachedResult, CachedVerifier};
@@ -71,6 +71,11 @@ pub struct Outcome {
     /// Wall-clock settle time per obligation, in report order. Diagnostic
     /// payload only (nondeterministic); empty on the cached route.
     pub obligation_times: Vec<Duration>,
+    /// Cumulative solver-session counters for this program's run
+    /// (pushes, pops, asserts, checks, quiescence skips). `None` on the
+    /// cached route, where the solver never runs. Diagnostic payload
+    /// only — never enters reports or cache keys.
+    pub session: Option<SessionStats>,
     /// `true` when fail-fast stopped the batch before this program ran.
     pub skipped: bool,
 }
@@ -228,6 +233,7 @@ impl Outcome {
             key: None,
             stats: Some(result.stats),
             obligation_times: result.obligation_times,
+            session: Some(result.session),
             skipped: result.skipped,
         }
     }
@@ -242,6 +248,7 @@ impl Outcome {
             key: Some(result.key),
             stats: None,
             obligation_times: Vec::new(),
+            session: None,
             skipped: result.skipped,
         }
     }

@@ -20,6 +20,8 @@ use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use commcsl_smt::SessionStats;
+
 use crate::obligation::DischargeStats;
 use crate::program::AnnotatedProgram;
 use crate::report::{VerifierConfig, VerifierReport};
@@ -77,6 +79,11 @@ pub struct BatchResult {
     /// Wall-clock settle time per obligation, in report order. Diagnostic
     /// payload only (nondeterministic); empty for skipped programs.
     pub obligation_times: Vec<Duration>,
+    /// Cumulative solver-session counters for this program's run
+    /// (pushes, pops, asserts, checks, quiescence skips). Diagnostic
+    /// payload only — never enters reports or cache keys. Zeroed for
+    /// skipped programs.
+    pub session: SessionStats,
     /// `true` when fail-fast stopped the batch before this program was
     /// dispatched; its `report` is a placeholder, not a verdict.
     pub skipped: bool,
@@ -153,12 +160,13 @@ pub fn verify_batch_ref(
                         time: Duration::ZERO,
                         stats: DischargeStats::default(),
                         obligation_times: Vec::new(),
+                        session: SessionStats::default(),
                         skipped: true,
                     });
                     continue;
                 }
                 let start = Instant::now();
-                let (report, stats, obligation_times) =
+                let (report, stats, obligation_times, session) =
                     verify_with_stats(program, &config.verifier);
                 let time = start.elapsed();
                 if config.fail_fast && !report.verified() {
@@ -171,6 +179,7 @@ pub fn verify_batch_ref(
                     time,
                     stats,
                     obligation_times,
+                    session,
                     skipped: false,
                 });
             });

@@ -511,6 +511,7 @@ impl VerdictCache {
     /// [`VerdictCache::probe_memory`] / [`VerdictCache::admit_disk`] so
     /// the file I/O between them can run outside their lock.
     pub fn get(&mut self, key: ProgramHash) -> Option<VerifierReport> {
+        let _span = commcsl_telemetry::span!("cache.get");
         match self.probe_memory(key) {
             Ok(report) => Some(report),
             Err(path) => {
@@ -573,6 +574,7 @@ impl VerdictCache {
     /// Concurrent wrappers should [`VerdictCache::insert`] under their
     /// lock and perform the [`write_verdict_file`] outside it.
     pub fn put(&mut self, key: ProgramHash, report: &VerifierReport) {
+        let _span = commcsl_telemetry::span!("cache.put");
         if let Some(path) = self.verdict_path(key) {
             let _ = write_verdict_file(&path, key, report);
         }
@@ -627,6 +629,7 @@ impl VerdictCache {
     /// Looks up an obligation status: memory first, then disk (with
     /// promotion). Corrupt disk entries are deleted and count as misses.
     pub fn get_obligation(&mut self, key: ObligationKey) -> Option<ObligationStatus> {
+        let _span = commcsl_telemetry::span!("cache.obligation_get");
         if self.obligations.contains_key(&key) {
             self.touch_obligation(key);
             self.stats.obligation_hits += 1;
@@ -652,6 +655,7 @@ impl VerdictCache {
 
     /// Stores an obligation status in both tiers.
     pub fn put_obligation(&mut self, key: ObligationKey, status: &ObligationStatus) {
+        let _span = commcsl_telemetry::span!("cache.obligation_put");
         if let Some(path) = self.obligation_path(key) {
             let _ = write_atomically(&path, &encode_obligation(key, status));
         }

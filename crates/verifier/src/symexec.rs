@@ -41,7 +41,7 @@ use commcsl_logic::spec::{ActionKind, ResourceSpec};
 use commcsl_logic::validity::check_validity;
 use commcsl_pure::{Sort, Symbol, Term};
 use commcsl_smt::falsify::find_counterexample;
-use commcsl_smt::{SolverSession, Verdict};
+use commcsl_smt::{SessionStats, SolverSession, Verdict};
 
 use crate::diag::{Counterexample, DiagnosticCode, Failure, SourceSpan};
 use crate::hash::{StableHash, StableHasher};
@@ -63,19 +63,28 @@ pub fn verify(program: &AnnotatedProgram, config: &VerifierConfig) -> VerifierRe
 }
 
 /// [`verify`], plus the run's [`DischargeStats`] (how each obligation was
-/// discharged: solver check vs. static pre-pass) and per-obligation
-/// wall-clock times in report order. The report is the same value
-/// [`verify`] returns; the extras are diagnostic payload that never
-/// enters reports, hashes, or caches.
+/// discharged: solver check vs. static pre-pass), per-obligation
+/// wall-clock times in report order, and the solver session's cumulative
+/// [`SessionStats`] (the main program session only; spec-validity checks
+/// run their own sessions inside `commcsl-logic` and are not aggregated
+/// here). The report is the same value [`verify`] returns; the extras are
+/// diagnostic payload that never enters reports, hashes, or caches.
 pub fn verify_with_stats(
     program: &AnnotatedProgram,
     config: &VerifierConfig,
-) -> (VerifierReport, DischargeStats, Vec<Duration>) {
+) -> (VerifierReport, DischargeStats, Vec<Duration>, SessionStats) {
+    let _span = commcsl_telemetry::span!("symexec.program", program = program.name);
     let mut exec = Exec::new(program, config);
     exec.run_body(&program.body);
     let report = exec.finish();
     let stats = exec.direct_stats;
-    (report, stats, std::mem::take(&mut exec.obligation_times))
+    let session = exec.session.stats();
+    (
+        report,
+        stats,
+        std::mem::take(&mut exec.obligation_times),
+        session,
+    )
 }
 
 /// Verifies a program against an [`ObligationStore`]: obligations whose
@@ -95,6 +104,7 @@ pub fn verify_incremental(
     store: &mut dyn ObligationStore,
     on_event: &mut dyn FnMut(&ObligationEvent<'_>),
 ) -> (VerifierReport, DischargeStats) {
+    let _span = commcsl_telemetry::span!("symexec.program", program = program.name);
     let mut exec = Exec::new(program, config);
     exec.discharge = Discharge::Cached(Box::new(CachedState::new(config, store, on_event)));
     exec.run_body(&program.body);
@@ -562,6 +572,8 @@ impl<'a, 'b> Exec<'a, 'b> {
         let discharge = std::mem::replace(&mut self.discharge, Discharge::Direct);
         match discharge {
             Discharge::Direct => {
+                let _span =
+                    commcsl_telemetry::span!("symexec.obligation", index = self.obligations.len());
                 let started = Instant::now();
                 let status = if self.config.static_prepass && goal_statically_valid(&goal) {
                     // Statically discharged: the solver never sees the
@@ -634,6 +646,8 @@ impl<'a, 'b> Exec<'a, 'b> {
         statically: impl FnOnce(&mut Self) -> bool,
         compute: impl FnOnce(&mut Self) -> ObligationStatus,
     ) {
+        let _span =
+            commcsl_telemetry::span!("symexec.obligation", index = self.obligations.len());
         let started = Instant::now();
         let (status, verdict) = match state.store.get(key) {
             Some(status) => {
@@ -1014,6 +1028,8 @@ impl<'a, 'b> Exec<'a, 'b> {
         let discharge = std::mem::replace(&mut self.discharge, Discharge::Direct);
         match discharge {
             Discharge::Direct => {
+                let _span =
+                    commcsl_telemetry::span!("symexec.obligation", index = self.obligations.len());
                 let started = Instant::now();
                 let status = self.spec_validity_status(spec);
                 self.direct_stats.record(ObligationVerdict::SolverChecked);

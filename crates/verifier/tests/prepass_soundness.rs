@@ -212,8 +212,8 @@ proptest! {
     fn static_claims_agree_with_the_solver(seed in 0u64..1_000_000_000) {
         let program = gen_program(seed);
         let (on, off) = configs();
-        let (report_on, stats_on, _) = verify_with_stats(&program, &on);
-        let (report_off, stats_off, _) = verify_with_stats(&program, &off);
+        let (report_on, stats_on, _, _) = verify_with_stats(&program, &on);
+        let (report_off, stats_off, _, _) = verify_with_stats(&program, &off);
 
         prop_assert_eq!(
             report_on.to_json(),

@@ -13,6 +13,8 @@ use commcsl::fixtures;
 use commcsl::verifier::batch::{verify_batch_ref, BatchConfig};
 use serde::Serialize;
 
+pub mod loadgen;
+
 /// One reproduced row of Table 1.
 #[derive(Debug, Clone, Serialize)]
 pub struct Table1Row {

@@ -10,6 +10,8 @@
 //!                [--backend fresh|incremental] [--cache-dir DIR] PATH...
 //! commcsl serve  [--socket PATH] [--cache-dir DIR] [--threads N] [--stdio]
 //! commcsl daemon status|metrics|stop [--socket PATH] [--json]
+//! commcsl daemon top  [--once] [--json] [--interval MS] [--socket PATH]
+//! commcsl daemon logs [--follow] [--json] [--since N] [--socket PATH]
 //! commcsl fixture NAME [--json]
 //! commcsl lint   [--json] [--deny warnings] PATH...
 //! commcsl fmt PATH...
@@ -60,7 +62,9 @@ use std::time::Duration;
 use commcsl_analysis::lint::{lint_program, Lint, Severity};
 use commcsl_server::client::{connect_or_start, Client};
 use commcsl_server::daemon::{Server, ServerConfig};
-use commcsl_server::protocol::VerifyItem;
+use commcsl_server::json::Json as WireJson;
+use commcsl_server::protocol::{histogram_to_json, StatusInfo, VerifyItem};
+use commcsl_telemetry::{Histogram, MetricsSnapshot};
 use commcsl_smt::{BackendKind, SessionStats};
 use commcsl_telemetry::export::{
     attributed_ns, by_label, chrome_trace, folded_stacks, FoldedWeight,
@@ -113,7 +117,8 @@ commands:
   watch     re-verify files on change, incrementally (workspace session)
   serve     run the persistent verification daemon (foreground)
   daemon    control a running daemon: `daemon status`, `daemon metrics`,
-            `daemon stop`
+            `daemon top` (live per-op latency dashboard), `daemon logs`
+            (request event log), `daemon stop`
   fixture   verify a built-in Table 1 fixture by name
   lint      run static lints (no solver): unused resources/actions/vars,
             share discipline, redundant annotations
@@ -161,6 +166,19 @@ options (serve):
   --memory N                   in-memory cache capacity (default 4096)
   --stdio                      serve one NDJSON session on stdin/stdout
                                instead of listening on the socket
+
+options (daemon top):
+  --once                       render one dashboard frame and exit
+  --json                       with --once: one JSON document combining
+                               status, per-op latency histograms, and
+                               counters (for scripting)
+  --interval MS                refresh interval (default 1000)
+
+options (daemon logs):
+  --follow                     poll for new events until interrupted
+  --since N                    only events with seq > N
+  --json                       one JSON object per event (NDJSON)
+  --interval MS                poll interval with --follow (default 1000)
 
 options (lint):
   --json                       emit one JSON document instead of text
@@ -347,7 +365,8 @@ fn parse_verify_flags(args: &[String], out: &mut String) -> Result<VerifyFlags, 
         let _ = writeln!(
             out,
             "commcsl: --trace-out traces the in-process pipeline and cannot \
-             be combined with --daemon"
+             be combined with --daemon; for daemon-side latency use \
+             `commcsl daemon top` (or the `histograms` protocol op)"
         );
         return Err(EXIT_ERROR);
     }
@@ -1411,6 +1430,7 @@ fn run_serve(args: &[String], out: &mut String) -> i32 {
                 ..Default::default()
             },
             verifier: VerifierConfig::default(),
+            ..Default::default()
         },
         Box::new(|src| compile(src).map_err(|e| e.to_string())),
     );
@@ -1465,6 +1485,10 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
     let mut action: Option<&str> = None;
     let mut locations = DaemonPaths::new();
     let mut json = false;
+    let mut once = false;
+    let mut follow = false;
+    let mut since: Option<u64> = None;
+    let mut interval_ms: u64 = 1000;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match locations.take_flag(arg, &mut it, out) {
@@ -1473,10 +1497,26 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
             Err(code) => return code,
         }
         match arg.as_str() {
-            "status" | "stop" | "metrics" if action.is_none() => {
+            "status" | "stop" | "metrics" | "top" | "logs" if action.is_none() => {
                 action = Some(arg.as_str())
             }
             "--json" => json = true,
+            "--once" => once = true,
+            "--follow" => follow = true,
+            "--since" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => since = Some(n),
+                None => {
+                    let _ = writeln!(out, "commcsl: --since needs a sequence number");
+                    return EXIT_ERROR;
+                }
+            },
+            "--interval" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => interval_ms = n,
+                None => {
+                    let _ = writeln!(out, "commcsl: --interval needs a number");
+                    return EXIT_ERROR;
+                }
+            },
             other => {
                 let _ = writeln!(out, "commcsl: unknown daemon action `{other}`\n{USAGE}");
                 return EXIT_ERROR;
@@ -1485,7 +1525,10 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
     }
     let socket = locations.socket_path();
     let Some(action) = action else {
-        let _ = writeln!(out, "commcsl: daemon needs `status`, `metrics`, or `stop`\n{USAGE}");
+        let _ = writeln!(
+            out,
+            "commcsl: daemon needs `status`, `metrics`, `top`, `logs`, or `stop`\n{USAGE}"
+        );
         return EXIT_ERROR;
     };
 
@@ -1561,6 +1604,11 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
                     for (name, value) in &snapshot.counters {
                         let _ = writeln!(out, "{name} = {value}");
                     }
+                    let _ = writeln!(
+                        out,
+                        "(per-op latency histograms: `commcsl daemon top`, or \
+                         the `histograms` protocol op)"
+                    );
                 }
                 EXIT_OK
             }
@@ -1569,6 +1617,8 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
                 EXIT_ERROR
             }
         },
+        "top" => run_daemon_top(&mut client, &socket, json, once, interval_ms, out),
+        "logs" => run_daemon_logs(&mut client, json, follow, since, interval_ms, out),
         "stop" => match client.shutdown() {
             Ok(()) => {
                 let _ = writeln!(out, "commcsl: daemon on {} stopped", socket.display());
@@ -1580,6 +1630,235 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
             }
         },
         _ => unreachable!("action is validated above"),
+    }
+}
+
+/// One `daemon top` frame: daemon identity, per-op latency quantiles
+/// from the service histograms, and the request/event counters that
+/// contextualize them.
+fn render_top_frame(
+    socket: &Path,
+    status: &StatusInfo,
+    hists: &[(String, Histogram)],
+    metrics: &MetricsSnapshot,
+) -> String {
+    let mut frame = String::new();
+    let _ = writeln!(
+        frame,
+        "commcsl daemon v{} on {} — up {:.1}s, {} requests",
+        status.version,
+        socket.display(),
+        status.uptime_ms / 1000.0,
+        status.requests,
+    );
+    let _ = writeln!(
+        frame,
+        "cache: {} memory + {} disk hits, {} misses ({:.1}% hit rate)",
+        status.memory_hits,
+        status.disk_hits,
+        status.misses,
+        status.hit_rate() * 100.0,
+    );
+    if hists.is_empty() {
+        let _ = writeln!(frame, "no requests served yet");
+    } else {
+        let _ = writeln!(
+            frame,
+            "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "op", "count", "p50 ms", "p90 ms", "p99 ms", "max ms"
+        );
+        let ms = |ns: u64| ns as f64 / 1e6;
+        for (op, h) in hists {
+            let _ = writeln!(
+                frame,
+                "{op:<12} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+                h.count(),
+                ms(h.quantile(0.5)),
+                ms(h.quantile(0.9)),
+                ms(h.quantile(0.99)),
+                ms(h.max()),
+            );
+        }
+    }
+    let counter = |name: &str| metrics.get(name).unwrap_or(0);
+    let _ = writeln!(
+        frame,
+        "decode errors: {}  slow requests: {}  events dropped: {}",
+        counter("daemon.request.decode_error"),
+        counter("daemon.requests.slow"),
+        counter("daemon.events.dropped"),
+    );
+    frame
+}
+
+/// `daemon top`: a one-screen dashboard over `status` + `metrics` +
+/// `histograms`, refreshed every `--interval` ms (`--once` renders a
+/// single frame; with `--json` a single machine-readable document).
+fn run_daemon_top(
+    client: &mut Client,
+    socket: &Path,
+    json: bool,
+    once: bool,
+    interval_ms: u64,
+    out: &mut String,
+) -> i32 {
+    let fetch = |client: &mut Client| -> Result<_, String> {
+        let status = client.status().map_err(|e| e.to_string())?;
+        let hists = client.histograms().map_err(|e| e.to_string())?;
+        let metrics = client.metrics().map_err(|e| e.to_string())?;
+        Ok((status, hists, metrics))
+    };
+    if once {
+        let (status, hists, metrics) = match fetch(client) {
+            Ok(v) => v,
+            Err(e) => {
+                let _ = writeln!(out, "commcsl: top failed: {e}");
+                return EXIT_ERROR;
+            }
+        };
+        if json {
+            let doc = WireJson::obj([
+                ("status", status.to_json()),
+                ("unit", WireJson::str("ns")),
+                (
+                    "histograms",
+                    WireJson::Obj(
+                        hists
+                            .iter()
+                            .map(|(op, h)| (op.clone(), histogram_to_json(h)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "counters",
+                    WireJson::Obj(
+                        metrics
+                            .counters
+                            .iter()
+                            .map(|(n, v)| (n.clone(), WireJson::Num(*v as f64)))
+                            .collect(),
+                    ),
+                ),
+            ]);
+            let _ = writeln!(out, "{doc}");
+        } else {
+            out.push_str(&render_top_frame(socket, &status, &hists, &metrics));
+        }
+        return EXIT_OK;
+    }
+
+    // The live loop streams directly (the `out` sink is only rendered
+    // when `run` returns, which this loop only does on error).
+    print!("{out}");
+    out.clear();
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        let (status, hists, metrics) = match fetch(client) {
+            Ok(v) => v,
+            Err(e) => {
+                let _ = writeln!(out, "commcsl: top failed: {e}");
+                return EXIT_ERROR;
+            }
+        };
+        // Clear the screen between frames: one dashboard, not a scroll.
+        print!(
+            "\x1b[2J\x1b[H{}",
+            render_top_frame(socket, &status, &hists, &metrics)
+        );
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(Duration::from_millis(interval_ms.max(10)));
+    }
+}
+
+/// Renders one event-log record: NDJSON with `--json`, otherwise a
+/// human-readable line.
+fn render_log_event(event: &commcsl_telemetry::EventRecord, json: bool) -> String {
+    if json {
+        let doc = WireJson::obj([
+            ("seq", WireJson::Num(event.seq as f64)),
+            ("op", WireJson::str(&event.op)),
+            ("request_id", WireJson::str(&event.request_id)),
+            ("dur_ns", WireJson::Num(event.dur_ns as f64)),
+            ("outcome", WireJson::str(&event.outcome)),
+            ("detail", WireJson::str(&event.detail)),
+        ]);
+        format!("{doc}\n")
+    } else {
+        let mut line = format!(
+            "#{} {:<10} [{}] {:>9.3} ms {}",
+            event.seq,
+            event.op,
+            event.request_id,
+            event.dur_ns as f64 / 1e6,
+            event.outcome,
+        );
+        if !event.detail.is_empty() {
+            let _ = write!(line, " — {}", event.detail);
+        }
+        line.push('\n');
+        line
+    }
+}
+
+/// `daemon logs`: print the daemon's request event log, oldest first.
+/// `--since N` skips records up to sequence number N; `--follow` keeps
+/// polling from the last seen sequence number.
+fn run_daemon_logs(
+    client: &mut Client,
+    json: bool,
+    follow: bool,
+    since: Option<u64>,
+    interval_ms: u64,
+    out: &mut String,
+) -> i32 {
+    let page = match client.logs(since) {
+        Ok(page) => page,
+        Err(e) => {
+            let _ = writeln!(out, "commcsl: logs failed: {e}");
+            return EXIT_ERROR;
+        }
+    };
+    for event in &page.events {
+        out.push_str(&render_log_event(event, json));
+    }
+    if !json {
+        let _ = writeln!(
+            out,
+            "({} event(s), {} dropped, last seq {})",
+            page.events.len(),
+            page.dropped,
+            page.last_seq,
+        );
+    }
+    if !follow {
+        return EXIT_OK;
+    }
+
+    // Follow mode streams directly, tailing from the last seen seq.
+    let mut last_seq = page.last_seq;
+    print!("{out}");
+    out.clear();
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::sleep(Duration::from_millis(interval_ms.max(10)));
+        let page = match client.logs(Some(last_seq)) {
+            Ok(page) => page,
+            Err(e) => {
+                let _ = writeln!(out, "commcsl: logs failed: {e}");
+                return EXIT_ERROR;
+            }
+        };
+        last_seq = last_seq.max(page.last_seq);
+        let mut chunk = String::new();
+        for event in &page.events {
+            chunk.push_str(&render_log_event(event, json));
+        }
+        if !chunk.is_empty() {
+            print!("{chunk}");
+            let _ = std::io::stdout().flush();
+        }
     }
 }
 
@@ -2072,6 +2351,7 @@ mod tests {
                 threads: 1,
                 cache: CacheConfig::persistent(&cache_dir),
                 verifier: VerifierConfig::default(),
+                ..Default::default()
             },
             Box::new(|src| compile(src).map_err(|e| e.to_string())),
         );
@@ -2160,6 +2440,123 @@ mod tests {
                     > 0,
                 "{metrics}"
             );
+            // `daemon top --once` renders one dashboard frame with the
+            // per-op latency table; `--json` emits one document whose
+            // histogram counts cover the verifies served above.
+            let mut top = String::new();
+            assert_eq!(
+                run(
+                    &[
+                        "daemon".into(),
+                        "top".into(),
+                        "--once".into(),
+                        "--socket".into(),
+                        socket.display().to_string(),
+                    ],
+                    &mut top
+                ),
+                EXIT_OK,
+                "{top}"
+            );
+            assert!(top.contains("p99 ms"), "{top}");
+            assert!(top.contains("verify"), "{top}");
+            assert!(top.contains("decode errors: 0"), "{top}");
+
+            let mut top_json = String::new();
+            assert_eq!(
+                run(
+                    &[
+                        "daemon".into(),
+                        "top".into(),
+                        "--once".into(),
+                        "--json".into(),
+                        "--socket".into(),
+                        socket.display().to_string(),
+                    ],
+                    &mut top_json
+                ),
+                EXIT_OK,
+                "{top_json}"
+            );
+            let doc = commcsl_server::json::Json::parse(top_json.trim())
+                .expect("top --once --json is one JSON document");
+            // The CLI's daemon mode ships files as one batch request.
+            let verify_hist = doc
+                .get("histograms")
+                .and_then(|h| h.get("verify_batch"))
+                .expect("verify_batch histogram present");
+            assert_eq!(
+                verify_hist
+                    .get("count")
+                    .and_then(commcsl_server::json::Json::as_u64),
+                Some(2),
+                "{top_json}"
+            );
+            assert!(
+                verify_hist
+                    .get("p99")
+                    .and_then(commcsl_server::json::Json::as_u64)
+                    .unwrap()
+                    > 0,
+                "{top_json}"
+            );
+            assert!(
+                doc.get("status").and_then(|s| s.get("started_at_unix_ms")).is_some(),
+                "{top_json}"
+            );
+
+            // `daemon logs` shows one event per request with ids and
+            // outcomes; `--json --since` pages NDJSON from a sequence
+            // number.
+            let mut logs = String::new();
+            assert_eq!(
+                run(
+                    &[
+                        "daemon".into(),
+                        "logs".into(),
+                        "--socket".into(),
+                        socket.display().to_string(),
+                    ],
+                    &mut logs
+                ),
+                EXIT_OK,
+                "{logs}"
+            );
+            assert!(logs.contains("verify"), "{logs}");
+            assert!(logs.contains(" ok"), "{logs}");
+            assert!(logs.contains("dropped, last seq"), "{logs}");
+
+            let mut logs_json = String::new();
+            assert_eq!(
+                run(
+                    &[
+                        "daemon".into(),
+                        "logs".into(),
+                        "--json".into(),
+                        "--since".into(),
+                        "1".into(),
+                        "--socket".into(),
+                        socket.display().to_string(),
+                    ],
+                    &mut logs_json
+                ),
+                EXIT_OK,
+                "{logs_json}"
+            );
+            let seqs: Vec<u64> = logs_json
+                .lines()
+                .map(|l| {
+                    commcsl_server::json::Json::parse(l)
+                        .expect("each logs --json line is a JSON object")
+                        .get("seq")
+                        .and_then(commcsl_server::json::Json::as_u64)
+                        .expect("event has a seq")
+                })
+                .collect();
+            assert!(!seqs.is_empty(), "{logs_json}");
+            assert!(seqs.iter().all(|&s| s > 1), "{logs_json}");
+            assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{logs_json}");
+
             let mut stop = String::new();
             assert_eq!(
                 run(
@@ -2533,6 +2930,10 @@ mod tests {
             EXIT_ERROR
         );
         assert!(out.contains("cannot"), "{out}");
+        // The rejection names the replacement surfaces for daemon-side
+        // latency: the dashboard command and the protocol op.
+        assert!(out.contains("commcsl daemon top"), "{out}");
+        assert!(out.contains("`histograms`"), "{out}");
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -13,11 +13,14 @@ use std::time::{Duration, Instant};
 
 use commcsl_telemetry::MetricsSnapshot;
 
+use commcsl_telemetry::Histogram;
+
 use crate::json::Json;
 use crate::protocol::{
-    doc_outcome_from_json, lint_outcome_from_json, metrics_from_json,
-    verify_outcome_from_json, DocOutcomeWire, LintOutcome, Request, StatusInfo,
-    VerifyItem, VerifyOutcome, PROTOCOL_VERSION,
+    doc_outcome_from_json, histograms_from_json, lint_outcome_from_json,
+    logs_from_json, metrics_from_json, verify_outcome_from_json, DocOutcomeWire,
+    LintOutcome, LogsPage, Request, StatusInfo, VerifyItem, VerifyOutcome,
+    PROTOCOL_VERSION,
 };
 
 /// An error talking to the daemon.
@@ -318,6 +321,20 @@ impl Client {
     pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
         let response = self.roundtrip(&Request::Metrics)?;
         Ok(metrics_from_json(&response)?)
+    }
+
+    /// Fetches the daemon's per-op request-latency histograms (v2).
+    /// Values are nanoseconds; pairs are sorted by op name.
+    pub fn histograms(&mut self) -> Result<Vec<(String, Histogram)>, ClientError> {
+        let response = self.roundtrip(&Request::Histograms)?;
+        Ok(histograms_from_json(&response)?)
+    }
+
+    /// Fetches a page of the daemon's request event log (v2): every
+    /// retained event with `seq > since` (all of them for `None`).
+    pub fn logs(&mut self, since: Option<u64>) -> Result<LogsPage, ClientError> {
+        let response = self.roundtrip(&Request::Logs { since })?;
+        Ok(logs_from_json(&response)?)
     }
 
     /// Asks the daemon to exit; returns once acknowledged.

@@ -97,7 +97,7 @@
 use std::time::Duration;
 
 use commcsl_analysis::lint::{Lint, LintCode, Severity};
-use commcsl_telemetry::MetricsSnapshot;
+use commcsl_telemetry::{EventRecord, Histogram, MetricsSnapshot};
 use commcsl_verifier::diag::{CexBinding, Counterexample, DiagnosticCode, Failure, SourceSpan};
 use commcsl_verifier::hash::ProgramHash;
 use commcsl_verifier::obligation::ObligationVerdict;
@@ -175,6 +175,15 @@ pub enum Request {
     Lint(VerifyItem),
     /// Report the daemon's cumulative telemetry counters (v2).
     Metrics,
+    /// Report the daemon's per-op latency histograms (v2).
+    Histograms,
+    /// Read the daemon's event log (v2), optionally only records with a
+    /// sequence number greater than `since` (a resume cursor).
+    Logs {
+        /// Return only records with `seq > since`; `None` = everything
+        /// retained.
+        since: Option<u64>,
+    },
 }
 
 impl Request {
@@ -193,11 +202,29 @@ impl Request {
             Request::Close { .. } => "close",
             Request::Lint(_) => "lint",
             Request::Metrics => "metrics",
+            Request::Histograms => "histograms",
+            Request::Logs { .. } => "logs",
         }
     }
 
     /// Renders the request as one protocol line (no trailing newline).
     pub fn encode(&self) -> String {
+        self.encode_value().to_string()
+    }
+
+    /// Renders the request as one protocol line carrying a
+    /// client-supplied `request_id` (echoed by the daemon in every
+    /// response and streamed event this request causes).
+    pub fn encode_with_request_id(&self, request_id: &str) -> String {
+        let mut doc = self.encode_value();
+        if let Json::Obj(fields) = &mut doc {
+            fields.push(("request_id".to_owned(), Json::str(request_id)));
+        }
+        doc.to_string()
+    }
+
+    /// The request as a JSON document (without a `request_id`).
+    fn encode_value(&self) -> Json {
         let item_json = |item: &VerifyItem| {
             Json::obj([
                 ("name", Json::str(&item.name)),
@@ -253,13 +280,36 @@ impl Request {
                 ("source", Json::str(&item.source)),
             ]),
             Request::Metrics => Json::obj([("op", Json::str("metrics"))]),
+            Request::Histograms => Json::obj([("op", Json::str("histograms"))]),
+            Request::Logs { since } => {
+                let mut fields = vec![("op".to_owned(), Json::str("logs"))];
+                if let Some(since) = since {
+                    fields.push(("since".to_owned(), Json::Num(*since as f64)));
+                }
+                Json::Obj(fields)
+            }
         };
-        doc.to_string()
+        doc
     }
 
     /// Parses one protocol line.
     pub fn decode(line: &str) -> Result<Request, String> {
+        Self::decode_value(&Json::parse(line)?)
+    }
+
+    /// Parses one protocol line, also extracting the optional
+    /// client-supplied `request_id` field (ignored by [`Self::decode`]).
+    pub fn decode_with_request_id(line: &str) -> Result<(Request, Option<String>), String> {
         let doc = Json::parse(line)?;
+        let request_id = doc
+            .get("request_id")
+            .and_then(Json::as_str)
+            .map(str::to_owned);
+        Ok((Self::decode_value(&doc)?, request_id))
+    }
+
+    /// Parses a request from an already-parsed JSON document.
+    fn decode_value(doc: &Json) -> Result<Request, String> {
         let op = doc
             .get("op")
             .and_then(Json::as_str)
@@ -345,6 +395,14 @@ impl Request {
                     .to_owned(),
             }),
             "metrics" => Ok(Request::Metrics),
+            "histograms" => Ok(Request::Histograms),
+            "logs" => {
+                let since = doc
+                    .get("since")
+                    .map(|v| v.as_u64().ok_or("`since` must be a non-negative integer"))
+                    .transpose()?;
+                Ok(Request::Logs { since })
+            }
             "lint" => Ok(Request::Lint(VerifyItem {
                 name: doc
                     .get("name")
@@ -605,6 +663,34 @@ pub fn error_json(message: &str) -> Json {
     Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))])
 }
 
+// ---------------------------------------------------------- request ids
+
+/// Returns `doc` with `request_id` **appended as the last field**
+/// (replacing any existing one). The daemon stamps every response and
+/// streamed event through this, so correlation never perturbs the
+/// leading bytes other framing pins rely on (`{"ok":…`, `{"event":…`)
+/// and never touches nested documents such as embedded reports.
+/// Non-object documents pass through unchanged.
+pub fn with_request_id(doc: &Json, request_id: &str) -> Json {
+    match doc {
+        Json::Obj(fields) => {
+            let mut fields: Vec<(String, Json)> = fields
+                .iter()
+                .filter(|(name, _)| name != "request_id")
+                .cloned()
+                .collect();
+            fields.push(("request_id".to_owned(), Json::str(request_id)));
+            Json::Obj(fields)
+        }
+        other => other.clone(),
+    }
+}
+
+/// The `request_id` a response or streamed event was stamped with.
+pub fn request_id_of(doc: &Json) -> Option<&str> {
+    doc.get("request_id").and_then(Json::as_str)
+}
+
 /// Daemon statistics, as reported by the `status` request.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatusInfo {
@@ -619,8 +705,15 @@ pub struct StatusInfo {
     pub backend: String,
     /// Milliseconds since the daemon started.
     pub uptime_ms: f64,
+    /// Unix epoch milliseconds at which the daemon started (0 when the
+    /// system clock was unreadable, or from daemons predating the
+    /// field).
+    pub started_at_unix_ms: u64,
     /// Protocol requests served (all ops).
     pub requests: u64,
+    /// Requests served per op, sorted by op name (empty from daemons
+    /// predating the field).
+    pub ops: Vec<(String, u64)>,
     /// Programs verified or served from cache (batch items and workspace
     /// revisions count individually; compile failures do not count).
     pub programs: u64,
@@ -680,7 +773,20 @@ impl StatusInfo {
             ),
             ("backend", Json::str(&self.backend)),
             ("uptime_ms", Json::Num(self.uptime_ms)),
+            (
+                "started_at_unix_ms",
+                Json::Num(self.started_at_unix_ms as f64),
+            ),
             ("requests", Json::Num(self.requests as f64)),
+            (
+                "ops",
+                Json::Obj(
+                    self.ops
+                        .iter()
+                        .map(|(op, n)| (op.clone(), Json::Num(*n as f64)))
+                        .collect(),
+                ),
+            ),
             ("programs", Json::Num(self.programs as f64)),
             ("documents", Json::Num(self.documents as f64)),
             ("memory_hits", Json::Num(self.memory_hits as f64)),
@@ -740,7 +846,19 @@ impl StatusInfo {
                 .get("uptime_ms")
                 .and_then(Json::as_num)
                 .unwrap_or_default(),
+            started_at_unix_ms: opt_num("started_at_unix_ms"),
             requests: num("requests")?,
+            ops: match doc.get("ops") {
+                Some(Json::Obj(fields)) => fields
+                    .iter()
+                    .map(|(op, n)| {
+                        n.as_u64().map(|n| (op.clone(), n)).ok_or_else(|| {
+                            format!("per-op count `{op}` must be a non-negative integer")
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                _ => Vec::new(),
+            },
             programs: num("programs")?,
             documents: opt_num("documents"),
             memory_hits: num("memory_hits")?,
@@ -800,6 +918,201 @@ pub fn metrics_from_json(doc: &Json) -> Result<MetricsSnapshot, String> {
         })
         .collect::<Result<Vec<_>, String>>()?;
     Ok(MetricsSnapshot::from_pairs(pairs))
+}
+
+// ---------------------------------------------- histograms / logs (v2)
+
+/// Renders one histogram as a JSON document in exactly the canonical
+/// shape of [`Histogram::to_json`] (field order included — rendering
+/// this value reproduces that string byte-for-byte, pinned by tests).
+/// Samples are nanoseconds; all values fit JSON numbers exactly below
+/// 2⁵³ ns (~104 days).
+pub fn histogram_to_json(hist: &Histogram) -> Json {
+    Json::obj([
+        (
+            "buckets",
+            Json::Arr(
+                hist.nonzero_buckets()
+                    .map(|(index, count)| {
+                        Json::Arr(vec![
+                            Json::Num(index as f64),
+                            Json::Num(count as f64),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("count", Json::Num(hist.count() as f64)),
+        ("max", Json::Num(hist.max() as f64)),
+        ("min", Json::Num(hist.min() as f64)),
+        ("p50", Json::Num(hist.quantile(0.50) as f64)),
+        ("p90", Json::Num(hist.quantile(0.90) as f64)),
+        ("p99", Json::Num(hist.quantile(0.99) as f64)),
+        ("sum", Json::Num(hist.sum() as f64)),
+    ])
+}
+
+/// Parses one histogram document back (inverse of
+/// [`histogram_to_json`]; the derived `p50`/`p90`/`p99` fields are
+/// recomputed from the buckets, not trusted).
+pub fn histogram_from_json(doc: &Json) -> Result<Histogram, String> {
+    let num = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("histogram needs numeric `{key}`"))
+    };
+    let buckets = doc
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or("histogram needs a `buckets` array")?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or(
+                "histogram buckets must be [index, count] pairs",
+            )?;
+            let index = pair[0]
+                .as_u64()
+                .ok_or("bucket index must be a non-negative integer")?;
+            let count = pair[1]
+                .as_u64()
+                .ok_or("bucket count must be a non-negative integer")?;
+            Ok((index as usize, count))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let hist = Histogram::from_parts(num("sum")?, num("min")?, num("max")?, &buckets)?;
+    if hist.count() != num("count")? {
+        return Err("histogram `count` does not match its buckets".into());
+    }
+    Ok(hist)
+}
+
+/// Renders the `histograms` response: one canonical histogram per op,
+/// sorted by op name, sample unit nanoseconds.
+pub fn histograms_response_json(hists: &[(String, Histogram)]) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("unit", Json::str("ns")),
+        (
+            "histograms",
+            Json::Obj(
+                hists
+                    .iter()
+                    .map(|(op, hist)| (op.clone(), histogram_to_json(hist)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses a `histograms` response back into per-op histograms.
+pub fn histograms_from_json(doc: &Json) -> Result<Vec<(String, Histogram)>, String> {
+    if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(doc
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("histograms request failed")
+            .to_owned());
+    }
+    let Some(Json::Obj(fields)) = doc.get("histograms") else {
+        return Err("histograms response needs a `histograms` object".into());
+    };
+    fields
+        .iter()
+        .map(|(op, hist)| Ok((op.clone(), histogram_from_json(hist)?)))
+        .collect()
+}
+
+/// One page of the daemon's event log, as returned by the `logs` op.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogsPage {
+    /// The matching records, sorted by strictly increasing `seq`.
+    pub events: Vec<EventRecord>,
+    /// Records dropped (ring overflow) over the daemon's lifetime.
+    pub dropped: u64,
+    /// The newest sequence number the daemon has assigned — pass as
+    /// `since` to resume tailing after this page.
+    pub last_seq: u64,
+}
+
+/// Renders the `logs` response. `detail` is omitted when empty.
+pub fn logs_response_json(page: &LogsPage) -> Json {
+    let events = page
+        .events
+        .iter()
+        .map(|r| {
+            let mut fields = vec![
+                ("seq".to_owned(), Json::Num(r.seq as f64)),
+                ("op".to_owned(), Json::str(&r.op)),
+                ("request_id".to_owned(), Json::str(&r.request_id)),
+                ("dur_ns".to_owned(), Json::Num(r.dur_ns as f64)),
+                ("outcome".to_owned(), Json::str(&r.outcome)),
+            ];
+            if !r.detail.is_empty() {
+                fields.push(("detail".to_owned(), Json::str(&r.detail)));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("dropped", Json::Num(page.dropped as f64)),
+        ("last_seq", Json::Num(page.last_seq as f64)),
+        ("events", Json::Arr(events)),
+    ])
+}
+
+/// Parses a `logs` response back into a [`LogsPage`].
+pub fn logs_from_json(doc: &Json) -> Result<LogsPage, String> {
+    if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(doc
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("logs request failed")
+            .to_owned());
+    }
+    let top = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("logs response needs numeric `{key}`"))
+    };
+    let events = doc
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or("logs response needs an `events` array")?
+        .iter()
+        .map(|event| {
+            let num = |key: &str| {
+                event
+                    .get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("log event needs numeric `{key}`"))
+            };
+            let text = |key: &str| {
+                event
+                    .get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("log event needs string `{key}`"))
+            };
+            Ok(EventRecord {
+                seq: num("seq")?,
+                op: text("op")?,
+                request_id: text("request_id")?,
+                dur_ns: num("dur_ns")?,
+                outcome: text("outcome")?,
+                detail: event
+                    .get("detail")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(LogsPage {
+        events,
+        dropped: top("dropped")?,
+        last_seq: top("last_seq")?,
+    })
 }
 
 // ------------------------------------------------- v2 session responses
@@ -1135,6 +1448,9 @@ mod tests {
                 source: "program a;\n".into(),
             }),
             Request::Metrics,
+            Request::Histograms,
+            Request::Logs { since: None },
+            Request::Logs { since: Some(42) },
         ];
         for r in requests {
             let line = r.encode();
@@ -1144,6 +1460,117 @@ mod tests {
         }
         assert!(Request::decode("{\"op\":\"open\",\"doc\":\"x\"}").is_err());
         assert!(Request::decode("{\"op\":\"hello\"}").is_err());
+        assert!(Request::decode("{\"op\":\"logs\",\"since\":-1}").is_err());
+    }
+
+    #[test]
+    fn request_ids_ride_along_requests_and_responses() {
+        // Client-supplied: `encode_with_request_id` appends the field,
+        // `decode_with_request_id` extracts it, and plain `decode`
+        // ignores it.
+        let request = Request::Status;
+        let line = request.encode_with_request_id("cli-7");
+        assert!(line.ends_with(",\"request_id\":\"cli-7\"}"), "{line}");
+        let (back, id) = Request::decode_with_request_id(&line).unwrap();
+        assert_eq!(back, request);
+        assert_eq!(id.as_deref(), Some("cli-7"));
+        assert_eq!(Request::decode(&line).unwrap(), request);
+        // Absent: decodes as None.
+        let (_, id) = Request::decode_with_request_id(&request.encode()).unwrap();
+        assert_eq!(id, None);
+
+        // Response side: `with_request_id` appends as the LAST field, so
+        // pinned leading framing bytes survive and nested documents
+        // (embedded reports) are untouched.
+        let response = error_json("bad request: nope");
+        let stamped = with_request_id(&response, "r1");
+        let line = stamped.to_string();
+        assert!(line.starts_with("{\"ok\":false"), "{line}");
+        assert!(line.ends_with(",\"request_id\":\"r1\"}"), "{line}");
+        assert_eq!(request_id_of(&stamped), Some("r1"));
+        assert_eq!(request_id_of(&response), None);
+        // Re-stamping replaces rather than duplicates.
+        let restamped = with_request_id(&stamped, "r2");
+        assert_eq!(request_id_of(&restamped), Some("r2"));
+        assert_eq!(restamped.to_string().matches("request_id").count(), 1);
+
+        // A streamed event keeps its event framing and gains the id.
+        let event = with_request_id(&started_event_json("a.csl", 1, ProgramHash(9)), "r3");
+        let line = event.to_string();
+        assert!(line.starts_with("{\"event\":\"started\""), "{line}");
+        assert!(line.contains("\"request_id\":\"r3\""), "{line}");
+        assert!(!line.contains("\"ok\""), "{line}");
+    }
+
+    #[test]
+    fn histogram_wire_json_is_byte_identical_to_canonical_form() {
+        let mut hist = Histogram::new();
+        for v in [0u64, 1, 1, 40, 1_000, 1_000_000, 123_456_789] {
+            hist.record(v);
+        }
+        // The protocol rendering reproduces the telemetry-side canonical
+        // string byte-for-byte (the loadgen determinism pin relies on
+        // this).
+        assert_eq!(histogram_to_json(&hist).to_string(), hist.to_json());
+        let back = histogram_from_json(&Json::parse(&hist.to_json()).unwrap()).unwrap();
+        assert_eq!(back, hist);
+
+        // Tampered documents are rejected.
+        assert!(histogram_from_json(&Json::parse("{\"buckets\":[]}").unwrap()).is_err());
+        let wrong_count = "{\"buckets\":[[1,1]],\"count\":2,\"max\":1,\"min\":1,\
+                           \"p50\":1,\"p90\":1,\"p99\":1,\"sum\":1}";
+        assert!(histogram_from_json(&Json::parse(wrong_count).unwrap()).is_err());
+    }
+
+    #[test]
+    fn histograms_responses_roundtrip() {
+        let mut verify = Histogram::new();
+        verify.record(1_500_000);
+        verify.record(2_500_000);
+        let mut status = Histogram::new();
+        status.record(12_000);
+        let hists = vec![("status".to_owned(), status), ("verify".to_owned(), verify)];
+        let line = histograms_response_json(&hists).to_string();
+        assert!(
+            line.starts_with("{\"ok\":true,\"unit\":\"ns\",\"histograms\":{"),
+            "{line}"
+        );
+        let back = histograms_from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, hists);
+        assert!(histograms_from_json(&error_json("v1 session")).is_err());
+    }
+
+    #[test]
+    fn logs_responses_roundtrip() {
+        let page = LogsPage {
+            events: vec![
+                EventRecord {
+                    seq: 7,
+                    op: "verify".into(),
+                    request_id: "r7".into(),
+                    dur_ns: 1_234_567,
+                    outcome: "ok".into(),
+                    detail: String::new(),
+                },
+                EventRecord {
+                    seq: 9,
+                    op: "decode".into(),
+                    request_id: "r9".into(),
+                    dur_ns: 0,
+                    outcome: "decode_error".into(),
+                    detail: "bad request: expected value".into(),
+                },
+            ],
+            dropped: 3,
+            last_seq: 9,
+        };
+        let line = logs_response_json(&page).to_string();
+        assert!(line.starts_with("{\"ok\":true,\"dropped\":3,\"last_seq\":9"), "{line}");
+        // Empty `detail` is omitted, non-empty kept.
+        assert_eq!(line.matches("\"detail\"").count(), 1);
+        let back = logs_from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, page);
+        assert!(logs_from_json(&error_json("v1 session")).is_err());
     }
 
     #[test]
@@ -1428,7 +1855,9 @@ mod tests {
             protocol_version: 2,
             backend: "incremental".into(),
             uptime_ms: 12.5,
+            started_at_unix_ms: 1_700_000_000_123,
             requests: 4,
+            ops: vec![("status".into(), 1), ("verify".into(), 3)],
             programs: 36,
             documents: 3,
             memory_hits: 17,
@@ -1465,6 +1894,10 @@ mod tests {
         assert_eq!(back.backend, "");
         assert_eq!(back.obligation_hits, 0);
         assert_eq!(back.bytes_streamed, 0);
+        // Service-observability fields are newer still: absent from both
+        // v1 and early-v2 daemons, parsed as empty defaults.
+        assert_eq!(back.started_at_unix_ms, 0);
+        assert!(back.ops.is_empty());
     }
 
     #[test]

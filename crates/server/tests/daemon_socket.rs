@@ -56,6 +56,7 @@ fn front_server(cache: CacheConfig) -> Server {
             threads: 0,
             cache,
             verifier: VerifierConfig::default(),
+            ..Default::default()
         },
         Box::new(|src| commcsl_front::compile(src).map_err(|e| e.to_string())),
     )

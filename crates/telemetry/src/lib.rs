@@ -26,6 +26,24 @@
 //! daemon) that keep their own atomic counters can export them through
 //! the same [`MetricsSnapshot`] shape without arming a capture.
 //!
+//! # Service observability
+//!
+//! Two further primitives serve long-lived services rather than
+//! one-shot profiling captures, and are therefore **always on**:
+//!
+//! * [`hist`] — log-linear latency [`hist::Histogram`]s (record /
+//!   merge / quantile with a ~3.1% bounded relative error and a
+//!   canonical JSON form) plus a process-global histogram registry
+//!   next to the counter registry.
+//! * [`eventlog`] — a bounded, lock-sharded ring-buffer
+//!   [`eventlog::EventLog`] of structured per-request records
+//!   (monotonic sequence number, op, request id, duration, outcome)
+//!   with drop accounting.
+//!
+//! The daemon records one histogram sample and one event-log entry per
+//! request; the protocol's `histograms` and `logs` ops read them back
+//! (see `docs/observability.md`).
+//!
 //! # Exporters
 //!
 //! * [`export::chrome_trace`] — Chrome trace-event JSON (an array of
@@ -57,7 +75,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod eventlog;
 pub mod export;
+pub mod hist;
+
+pub use eventlog::{EventLog, EventRecord};
+pub use hist::{
+    histogram_record, histogram_record_duration, histogram_reset, histogram_snapshot, Histogram,
+};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;

@@ -1,0 +1,124 @@
+//! Property tests for the log-linear [`Histogram`]: merge is a
+//! commutative monoid over the recorded multiset, quantiles are
+//! monotone in `q`, and every quantile rounds up within the documented
+//! bucket-error bound.
+
+// The vendored proptest macro expands deeply for multi-input properties.
+#![recursion_limit = "512"]
+
+use commcsl_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// Samples spanning the exact range, the log-linear range, and the
+/// extreme octaves.
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..64,
+        64u64..100_000,
+        1u64..=u64::MAX,
+    ]
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merging is associative and commutative with the empty histogram
+    /// as unit, and any record/merge tree over the same multiset of
+    /// samples produces the same histogram (and the same canonical
+    /// JSON).
+    #[test]
+    fn merge_is_a_commutative_monoid(
+        xs in proptest::collection::vec(sample(), 0..40),
+        ys in proptest::collection::vec(sample(), 0..40),
+        zs in proptest::collection::vec(sample(), 0..40),
+    ) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+
+        // Commutativity.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.to_json(), ba.to_json());
+
+        // Associativity.
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Unit.
+        let mut a_unit = a.clone();
+        a_unit.merge(&Histogram::new());
+        prop_assert_eq!(&a_unit, &a);
+
+        // Merge == recording everything into one histogram.
+        let mut flat: Vec<u64> = xs.clone();
+        flat.extend(&ys);
+        flat.extend(&zs);
+        prop_assert_eq!(&ab_c, &hist_of(&flat));
+    }
+
+    /// `quantile` is monotone non-decreasing in `q` and bounded by
+    /// `[min, max]`.
+    #[test]
+    fn quantiles_are_monotone(values in proptest::collection::vec(sample(), 1..80)) {
+        let h = hist_of(&values);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0];
+        let mut last = 0u64;
+        for q in qs {
+            let v = h.quantile(q);
+            prop_assert!(v >= last, "quantile({q}) = {v} < previous {last}");
+            prop_assert!(v <= h.max());
+            last = v;
+        }
+        prop_assert!(h.quantile(0.0) >= h.min());
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    /// Every reported quantile is ≥ the exact order statistic and
+    /// within the documented relative error above it (quantiles round
+    /// up to the containing bucket's upper bound).
+    #[test]
+    fn quantiles_respect_the_bucket_error_bound(
+        samples in proptest::collection::vec(sample(), 1..80),
+        q_millis in 0u32..=1000,
+    ) {
+        let q = f64::from(q_millis) / 1000.0;
+        let h = hist_of(&samples);
+        let mut values = samples;
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let approx = h.quantile(q);
+        prop_assert!(approx >= exact, "quantile({q}) = {approx} below exact {exact}");
+        prop_assert!(
+            approx as f64 <= exact as f64 * (1.0 + Histogram::RELATIVE_ERROR) + 1.0,
+            "quantile({q}) = {approx} above the error bound of exact {exact}"
+        );
+    }
+
+    /// Serialisation round-trip: the non-empty buckets plus sum/min/max
+    /// reconstruct an identical histogram with identical canonical JSON.
+    #[test]
+    fn parts_roundtrip(values in proptest::collection::vec(sample(), 0..60)) {
+        let h = hist_of(&values);
+        let buckets: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        let back = Histogram::from_parts(h.sum(), h.min(), h.max(), &buckets)
+            .expect("well-formed parts");
+        prop_assert_eq!(&back, &h);
+        prop_assert_eq!(back.to_json(), h.to_json());
+    }
+}

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Service-observability smoke test: start `commcsl serve`, push a burst
+# of daemon-mode verifies through it, assert `daemon top --once --json`
+# reports a live per-op histogram with a nonzero p99, assert
+# `daemon logs --json` event sequences are strictly increasing, shut
+# down cleanly — then run a small self-contained loadgen burst (which
+# boots its own daemon and enforces its own gates).
+#
+# Usage: scripts/load_smoke.sh [path-to-commcsl-binary] [path-to-loadgen-binary]
+set -euo pipefail
+
+BIN=${1:-./target/release/commcsl}
+LOADGEN=${2:-./target/release/loadgen}
+WORK=$(mktemp -d)
+SOCK="$WORK/commcsl.sock"
+CACHE="$WORK/cache"
+
+cleanup() {
+    kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+
+"$BIN" serve --socket "$SOCK" --cache-dir "$CACHE" &
+SERVE_PID=$!
+trap cleanup EXIT
+
+for _ in $(seq 1 200); do
+    [ -S "$SOCK" ] && break
+    sleep 0.05
+done
+[ -S "$SOCK" ] || { echo "load smoke: daemon never bound $SOCK" >&2; exit 1; }
+
+# The burst: two daemon-mode passes over the corpus (cold then cached)
+# plus a status poll, so several ops land in the service histograms.
+"$BIN" verify --daemon --no-start --socket "$SOCK" examples/programs > /dev/null
+"$BIN" verify --daemon --no-start --socket "$SOCK" examples/programs > /dev/null
+"$BIN" daemon status --socket "$SOCK" > /dev/null
+
+TOP=$("$BIN" daemon top --once --json --socket "$SOCK")
+echo "load smoke: top = $TOP"
+python3 - "$TOP" <<'EOF'
+import json, sys
+t = json.loads(sys.argv[1])
+assert t["unit"] == "ns", t
+assert t["status"]["started_at_unix_ms"] > 0, t["status"]
+hists = t["histograms"]
+assert hists, "no op histograms after the burst"
+# The CLI ships each daemon-mode verify pass as one verify_batch request.
+vb = hists["verify_batch"]
+assert vb["count"] == 2, vb
+assert vb["p99"] > 0, "verify_batch p99 must be nonzero"
+assert all(h["p99"] >= h["p50"] for h in hists.values()), hists
+assert t["counters"]["daemon.request.decode_error"] == 0, t["counters"]
+EOF
+
+"$BIN" daemon logs --json --socket "$SOCK" > "$WORK/logs.ndjson"
+python3 - "$WORK/logs.ndjson" <<'EOF'
+import json, sys
+events = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+assert events, "event log empty after the burst"
+seqs = [e["seq"] for e in events]
+assert all(b > a for a, b in zip(seqs, seqs[1:])), \
+    f"sequences not strictly increasing: {seqs}"
+assert all(e["request_id"] for e in events), events
+assert all(e["outcome"] == "ok" for e in events), events
+EOF
+echo "load smoke: event log OK ($(wc -l < "$WORK/logs.ndjson") events, seqs strictly increasing)"
+
+"$BIN" daemon stop --socket "$SOCK"
+wait "$SERVE_PID"
+[ ! -S "$SOCK" ] || { echo "load smoke: socket not removed" >&2; exit 1; }
+
+# Sustained-load burst: loadgen boots its own daemon on a temp socket
+# and enforces the request-id / sequence / p50-agreement / p99 gates
+# itself; a relaxed throughput floor keeps this robust on slow runners.
+"$LOADGEN" --clients 2 --requests 10 --min-rps 5
+
+echo "load smoke: OK (clean shutdown)"

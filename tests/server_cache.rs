@@ -121,6 +121,7 @@ fn daemon_serves_the_csl_corpus_from_cache_on_the_second_pass() {
             threads: 0,
             cache: CacheConfig::persistent(base.join("cache")),
             verifier: VerifierConfig::default(),
+            ..Default::default()
         },
         Box::new(|src| commcsl::front::compile(src).map_err(|e| e.to_string())),
     );

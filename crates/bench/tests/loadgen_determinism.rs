@@ -15,6 +15,7 @@ fn deterministic_runs_produce_byte_identical_histogram_json() {
         requests_per_client: 10,
         threads: 1,
         deterministic: true,
+        ..LoadgenConfig::default()
     };
     let first = loadgen_run(&config);
     let second = loadgen_run(&config);
@@ -24,6 +25,22 @@ fn deterministic_runs_produce_byte_identical_histogram_json() {
         first.histogram_json, second.histogram_json,
         "deterministic histogram JSON must be byte-identical"
     );
+
+    // The same deterministic workload over TCP through a 2-shard pool:
+    // synthetic durations are a fixed function of (client, op, ordinal),
+    // so transport and sharding must not change a byte of the JSON —
+    // and every verdict must stay as expected.
+    let sharded = loadgen_run(&LoadgenConfig {
+        shards: 2,
+        ..config.clone()
+    });
+    assert_eq!(
+        first.histogram_json, sharded.histogram_json,
+        "a TCP shard pool must not change the deterministic histogram"
+    );
+    assert_eq!(sharded.verify_failures, 0);
+    assert!(sharded.request_ids_present);
+    assert!(sharded.seqs_strictly_increasing);
 
     // The load actually went through the daemon: its own histograms
     // counted every request, its event log retained them in order, and

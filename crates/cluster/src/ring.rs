@@ -1,0 +1,152 @@
+//! Consistent-hash ring with virtual nodes.
+//!
+//! The router places every shard at [`HashRing::DEFAULT_VNODES`] points
+//! on a `u64` ring (each point derived from the deterministic
+//! [`StableHasher`], so placement is identical across processes and
+//! runs) and routes a key to the first live point clockwise from the
+//! key's own position. Virtual nodes smooth the per-shard share of the
+//! key space; killing a shard reassigns only the keys that pointed at
+//! it — every other key keeps its warm shard.
+
+use std::collections::BTreeMap;
+
+use commcsl_verifier::hash::StableHasher;
+
+/// A consistent-hash ring mapping `u128` content keys to shard indices.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Ring position → shard index. BTreeMap gives the clockwise walk.
+    points: BTreeMap<u64, usize>,
+    /// Liveness per shard; dead shards stay on the ring but are skipped,
+    /// so reviving one restores its exact old key range.
+    alive: Vec<bool>,
+}
+
+/// Folds a 128-bit stable hash onto the 64-bit ring, then avalanches.
+/// The finalizer matters: FNV's multiply-xor mixes short, similar
+/// inputs (shard/replica indices differing in a few bits) too weakly in
+/// the high bits, which clusters vnode points and skews shard shares
+/// far past 2x uniform. The splitmix64-style finalizer disperses them.
+fn fold(h: u128) -> u64 {
+    let mut x = (h >> 64) as u64 ^ h as u64;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+impl HashRing {
+    /// Virtual nodes per shard. 128 keeps the worst shard's share of
+    /// the key space well under 2x uniform for any shard count the pool
+    /// flag accepts (pinned by a proptest).
+    pub const DEFAULT_VNODES: usize = 128;
+
+    /// A ring over `shards` shards with `vnodes` virtual nodes each
+    /// (0 = [`HashRing::DEFAULT_VNODES`]), all alive.
+    pub fn new(shards: usize, vnodes: usize) -> HashRing {
+        let vnodes = if vnodes == 0 { Self::DEFAULT_VNODES } else { vnodes };
+        let mut points = BTreeMap::new();
+        for shard in 0..shards {
+            for replica in 0..vnodes {
+                let mut h = StableHasher::new();
+                h.tag("cluster.ring.vnode");
+                h.write_u32(shard as u32);
+                h.write_u32(replica as u32);
+                // Collisions (vanishingly rare) drop one replica of the
+                // later shard — harmless for balance, and deterministic.
+                points.entry(fold(h.finish().0)).or_insert(shard);
+            }
+        }
+        HashRing {
+            points,
+            alive: vec![true; shards],
+        }
+    }
+
+    /// The ring position of a content key (keys get their own hash pass
+    /// so sequential keys spread uniformly).
+    fn key_point(key: u128) -> u64 {
+        let mut h = StableHasher::new();
+        h.tag("cluster.ring.key");
+        h.write_u64(key as u64);
+        h.write_u64((key >> 64) as u64);
+        fold(h.finish().0)
+    }
+
+    /// Routes a key: the first *live* shard clockwise from the key's
+    /// position (wrapping). `None` when every shard is dead.
+    pub fn route(&self, key: u128) -> Option<usize> {
+        let point = Self::key_point(key);
+        self.points
+            .range(point..)
+            .chain(self.points.range(..point))
+            .map(|(_, &shard)| shard)
+            .find(|&shard| self.alive[shard])
+    }
+
+    /// Marks a shard dead: its keys re-route to their clockwise
+    /// successors; all other keys keep their shard.
+    pub fn kill(&mut self, shard: usize) {
+        if shard < self.alive.len() {
+            self.alive[shard] = false;
+        }
+    }
+
+    /// Whether `shard` is still routable.
+    pub fn is_alive(&self, shard: usize) -> bool {
+        self.alive.get(shard).copied().unwrap_or(false)
+    }
+
+    /// Live shards remaining.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Total shards (live or dead).
+    pub fn shard_count(&self) -> usize {
+        self.alive.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let ring = HashRing::new(4, 0);
+        for key in 0..1000u128 {
+            let shard = ring.route(key).unwrap();
+            assert!(shard < 4);
+            assert_eq!(ring.route(key), Some(shard), "stable across calls");
+        }
+        let again = HashRing::new(4, 0);
+        assert_eq!(again.route(42), ring.route(42), "stable across rings");
+    }
+
+    #[test]
+    fn killing_a_shard_moves_only_its_keys() {
+        let mut ring = HashRing::new(4, 0);
+        let before: Vec<usize> =
+            (0..2000u128).map(|k| ring.route(k).unwrap()).collect();
+        ring.kill(2);
+        assert_eq!(ring.alive_count(), 3);
+        for (k, &was) in before.iter().enumerate() {
+            let now = ring.route(k as u128).unwrap();
+            assert_ne!(now, 2, "dead shards receive nothing");
+            if was != 2 {
+                assert_eq!(now, was, "surviving shards keep their keys");
+            }
+        }
+    }
+
+    #[test]
+    fn all_dead_routes_nowhere() {
+        let mut ring = HashRing::new(2, 8);
+        ring.kill(0);
+        ring.kill(1);
+        assert_eq!(ring.route(7), None);
+    }
+}

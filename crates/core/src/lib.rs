@@ -20,6 +20,7 @@
 //! | [`analysis`] | `commcsl-analysis` | dataflow framework, low-ness pre-pass, lint engine |
 //! | [`verifier`] | `commcsl-verifier` | the HyperViper-style automated verifier |
 //! | [`server`] | `commcsl-server` | the persistent verification daemon and its client |
+//! | [`cluster`] | `commcsl-cluster` | TCP shard pool, consistent-hash router, remote obligation cache |
 //! | [`fixtures`] | `commcsl-fixtures` | the 18 evaluation examples of Table 1 |
 //! | [`front`] | `commcsl-front` | the `.csl` surface language, lowering, pretty-printer, and `commcsl` CLI |
 //!
@@ -57,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub use commcsl_analysis as analysis;
+pub use commcsl_cluster as cluster;
 pub use commcsl_fixtures as fixtures;
 pub use commcsl_front as front;
 pub use commcsl_lang as lang;

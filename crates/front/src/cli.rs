@@ -8,10 +8,11 @@
 //!                 [--trace-out F] [--folded-out F] [--deterministic] PATH...
 //! commcsl watch  [--json] [--interval MS] [--once]
 //!                [--backend fresh|incremental] [--cache-dir DIR] PATH...
-//! commcsl serve  [--socket PATH] [--cache-dir DIR] [--threads N] [--stdio]
-//! commcsl daemon status|metrics|stop [--socket PATH] [--json]
-//! commcsl daemon top  [--once] [--json] [--interval MS] [--socket PATH]
-//! commcsl daemon logs [--follow] [--json] [--since N] [--socket PATH]
+//! commcsl serve  [--socket PATH | --tcp ADDR] [--shards N]
+//!                [--remote-cache ADDR] [--cache-dir DIR] [--threads N] [--stdio]
+//! commcsl daemon status|metrics|stop [--socket PATH | --tcp ADDR] [--json]
+//! commcsl daemon top  [--once] [--json] [--interval MS] [--socket PATH | --tcp ADDR]
+//! commcsl daemon logs [--follow] [--json] [--since N] [--socket PATH | --tcp ADDR]
 //! commcsl fixture NAME [--json]
 //! commcsl lint   [--json] [--deny warnings] PATH...
 //! commcsl fmt PATH...
@@ -59,7 +60,10 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
+use std::sync::Arc;
+
 use commcsl_analysis::lint::{lint_program, Lint, Severity};
+use commcsl_cluster::{RemoteCacheClient, ShardPool};
 use commcsl_server::client::{connect_or_start, Client};
 use commcsl_server::daemon::{Server, ServerConfig};
 use commcsl_server::json::Json as WireJson;
@@ -141,6 +145,8 @@ options (verify):
   --no-start                   with --daemon: never start a daemon, only
                                use one that is already running
   --socket PATH                daemon socket (default: <cache-dir>/commcsl.sock)
+  --tcp ADDR                   connect to a daemon on host:port instead of
+                               the Unix socket (never starts one)
   --cache-dir DIR              verdict-cache directory (default: .commcsl-cache)
   --trace-out F                write a Chrome trace-event JSON of the run
                                (in-process only; incompatible with --daemon)
@@ -163,6 +169,14 @@ options (watch):
 
 options (serve):
   --socket PATH / --cache-dir DIR / --threads N   as above
+  --tcp ADDR                   listen on host:port instead of the Unix
+                               socket (port 0 picks a free port; the
+                               readiness line names the actual address)
+  --shards N                   with --tcp: run N shared-nothing verifier
+                               shards behind one consistent-hash router
+                               (each shard caches under <cache-dir>/shardI)
+  --remote-cache ADDR          chain a remote daemon's obligation cache
+                               behind memory and disk (cache_get/cache_put)
   --memory N                   in-memory cache capacity (default 4096)
   --stdio                      serve one NDJSON session on stdin/stdout
                                instead of listening on the socket
@@ -220,12 +234,17 @@ pub fn run(args: &[String], out: &mut String) -> i32 {
 
 // ------------------------------------------------------------------ verify
 
-/// The `--socket` / `--cache-dir` pair shared by every daemon-facing
-/// command (`verify --daemon`, `serve`, `daemon status|stop`), with the
-/// one place that knows the default socket location.
+/// The `--socket` / `--tcp` / `--cache-dir` endpoint flags shared by
+/// every daemon-facing command (`verify --daemon`, `serve`,
+/// `daemon status|stop`), with the one place that knows the default
+/// socket location.
 #[derive(Debug)]
 struct DaemonPaths {
     socket: Option<PathBuf>,
+    /// `Some(host:port)` switches the endpoint from the Unix socket to
+    /// TCP (and disables daemon auto-start: remote lifecycles are not
+    /// ours to manage).
+    tcp: Option<String>,
     cache_dir: PathBuf,
 }
 
@@ -233,6 +252,7 @@ impl DaemonPaths {
     fn new() -> Self {
         DaemonPaths {
             socket: None,
+            tcp: None,
             cache_dir: PathBuf::from(".commcsl-cache"),
         }
     }
@@ -242,6 +262,23 @@ impl DaemonPaths {
         self.socket
             .clone()
             .unwrap_or_else(|| self.cache_dir.join("commcsl.sock"))
+    }
+
+    /// The endpoint as shown to humans: `tcp://host:port` or the socket
+    /// path.
+    fn endpoint(&self) -> String {
+        match &self.tcp {
+            Some(addr) => format!("tcp://{addr}"),
+            None => self.socket_path().display().to_string(),
+        }
+    }
+
+    /// One connect attempt to whichever endpoint is selected.
+    fn connect(&self) -> std::io::Result<Client> {
+        match &self.tcp {
+            Some(addr) => Client::connect_tcp(addr),
+            None => Client::connect(&self.socket_path()),
+        }
     }
 
     /// Consumes `arg` if it is one of the shared flags. `Ok(true)` when
@@ -258,6 +295,16 @@ impl DaemonPaths {
                 self.socket = Some(take_path_value(it, "--socket", out)?);
                 Ok(true)
             }
+            "--tcp" => match it.next() {
+                Some(addr) => {
+                    self.tcp = Some(addr.clone());
+                    Ok(true)
+                }
+                None => {
+                    let _ = writeln!(out, "commcsl: --tcp needs host:port");
+                    Err(EXIT_ERROR)
+                }
+            },
             "--cache-dir" => {
                 self.cache_dir = take_path_value(it, "--cache-dir", out)?;
                 Ok(true)
@@ -540,17 +587,24 @@ fn verify_via_daemon(
     flags: &VerifyFlags,
     sources: &[(PathBuf, String)],
 ) -> Result<(Vec<FileResult>, FileErrors), String> {
-    let socket = flags.locations.socket_path();
-    let mut client = connect_or_start(&socket, Duration::from_secs(5), || {
-        if flags.no_start {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::ConnectionRefused,
-                "no daemon running and --no-start given",
-            ));
+    let mut client = match &flags.locations.tcp {
+        // TCP daemons are never auto-started: the address usually names
+        // another machine, and lifecycle belongs to whoever runs it.
+        Some(addr) => Client::connect_tcp(addr).map_err(|e| e.to_string())?,
+        None => {
+            let socket = flags.locations.socket_path();
+            connect_or_start(&socket, Duration::from_secs(5), || {
+                if flags.no_start {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionRefused,
+                        "no daemon running and --no-start given",
+                    ));
+                }
+                spawn_daemon(flags, &socket)
+            })
+            .map_err(|e| e.to_string())?
         }
-        spawn_daemon(flags, &socket)
-    })
-    .map_err(|e| e.to_string())?;
+    };
 
     // Version handshake: a daemon left over from an older binary would
     // compile, hash, and verify with *outdated* semantics — exactly the
@@ -562,7 +616,9 @@ fn verify_via_daemon(
     if status.format_version != u64::from(commcsl_verifier::hash::HASH_FORMAT_VERSION)
         || status.version != env!("CARGO_PKG_VERSION")
     {
-        let action = if flags.no_start {
+        let action = if flags.locations.tcp.is_some() {
+            "left running (remote daemon)"
+        } else if flags.no_start {
             "left running (--no-start)"
         } else {
             let _ = client.shutdown();
@@ -1389,6 +1445,8 @@ fn run_serve(args: &[String], out: &mut String) -> i32 {
     let mut threads = 0usize;
     let mut memory = 4096usize;
     let mut stdio = false;
+    let mut shards = 1usize;
+    let mut remote_cache: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match locations.take_flag(arg, &mut it, out) {
@@ -1411,6 +1469,20 @@ fn run_serve(args: &[String], out: &mut String) -> i32 {
                     return EXIT_ERROR;
                 }
             },
+            "--shards" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => shards = n,
+                _ => {
+                    let _ = writeln!(out, "commcsl: --shards needs a number >= 1");
+                    return EXIT_ERROR;
+                }
+            },
+            "--remote-cache" => match it.next() {
+                Some(addr) => remote_cache = Some(addr.clone()),
+                None => {
+                    let _ = writeln!(out, "commcsl: --remote-cache needs host:port");
+                    return EXIT_ERROR;
+                }
+            },
             "--stdio" => stdio = true,
             other => {
                 let _ = writeln!(out, "commcsl: unknown serve option `{other}`\n{USAGE}");
@@ -1418,22 +1490,89 @@ fn run_serve(args: &[String], out: &mut String) -> i32 {
             }
         }
     }
-    let socket = locations.socket_path();
-    let cache_dir = locations.cache_dir;
+    if shards > 1 && locations.tcp.is_none() {
+        let _ = writeln!(out, "commcsl: --shards needs --tcp (shard pools listen on TCP)");
+        return EXIT_ERROR;
+    }
+    if stdio && (locations.tcp.is_some() || shards > 1) {
+        let _ = writeln!(out, "commcsl: --stdio cannot be combined with --tcp/--shards");
+        return EXIT_ERROR;
+    }
+    let cache_dir = locations.cache_dir.clone();
 
-    let server = Server::new(
-        ServerConfig {
-            threads,
-            cache: CacheConfig {
-                memory_capacity: memory.max(1),
-                disk_dir: Some(cache_dir.clone()),
+    // One shared-nothing server per shard, each with its own disk cache
+    // directory (`<cache-dir>/shard{i}` when sharded, `<cache-dir>`
+    // otherwise) and, when `--remote-cache` names a peer daemon, its own
+    // remote obligation tier chained behind memory and disk.
+    let make_server = |disk_dir: PathBuf| {
+        let server = Server::new(
+            ServerConfig {
+                threads,
+                cache: CacheConfig {
+                    memory_capacity: memory.max(1),
+                    disk_dir: Some(disk_dir),
+                    ..Default::default()
+                },
+                verifier: VerifierConfig::default(),
                 ..Default::default()
             },
-            verifier: VerifierConfig::default(),
-            ..Default::default()
-        },
-        Box::new(|src| compile(src).map_err(|e| e.to_string())),
-    );
+            Box::new(|src| compile(src).map_err(|e| e.to_string())),
+        );
+        if let Some(addr) = &remote_cache {
+            server.set_remote_cache(Box::new(RemoteCacheClient::new(addr.clone())));
+        }
+        server
+    };
+
+    if let Some(addr) = &locations.tcp {
+        // Bind first, announce after: the "listening" line is the
+        // readiness signal, and with port 0 it is also how wrappers
+        // learn the actual port.
+        let listener = match Server::bind_tcp(addr) {
+            Ok(listener) => listener,
+            Err(e) => {
+                let _ = writeln!(out, "commcsl: cannot bind {addr}: {e}");
+                return EXIT_ERROR;
+            }
+        };
+        let actual = match listener.local_addr() {
+            Ok(actual) => actual.to_string(),
+            Err(e) => {
+                let _ = writeln!(out, "commcsl: cannot resolve bound address: {e}");
+                return EXIT_ERROR;
+            }
+        };
+        println!(
+            "commcsl: daemon listening on tcp://{actual} (cache {}, {shards} shard{})",
+            cache_dir.display(),
+            if shards == 1 { "" } else { "s" },
+        );
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        let served = if shards > 1 {
+            let pool = ShardPool::new(
+                (0..shards)
+                    .map(|i| Arc::new(make_server(cache_dir.join(format!("shard{i}")))))
+                    .collect(),
+            );
+            pool.serve_tcp(&listener)
+        } else {
+            make_server(cache_dir).serve_tcp(&listener)
+        };
+        return match served {
+            Ok(()) => {
+                let _ = writeln!(out, "commcsl: daemon shut down cleanly");
+                EXIT_OK
+            }
+            Err(e) => {
+                let _ = writeln!(out, "commcsl: daemon failed: {e}");
+                EXIT_ERROR
+            }
+        };
+    }
+
+    let socket = locations.socket_path();
+    let server = make_server(cache_dir.clone());
 
     if stdio {
         let stdin = std::io::stdin();
@@ -1523,7 +1662,7 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
             }
         }
     }
-    let socket = locations.socket_path();
+    let endpoint = locations.endpoint();
     let Some(action) = action else {
         let _ = writeln!(
             out,
@@ -1532,19 +1671,15 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
         return EXIT_ERROR;
     };
 
-    let mut client = match Client::connect(&socket) {
+    let mut client = match locations.connect() {
         Ok(client) => client,
         Err(e) => {
             if action == "stop" {
                 // Idempotent: stopping a daemon that is not there is fine.
-                let _ = writeln!(out, "commcsl: no daemon on {}", socket.display());
+                let _ = writeln!(out, "commcsl: no daemon on {endpoint}");
                 return EXIT_OK;
             }
-            let _ = writeln!(
-                out,
-                "commcsl: cannot reach a daemon on {}: {e}",
-                socket.display()
-            );
+            let _ = writeln!(out, "commcsl: cannot reach a daemon on {endpoint}: {e}");
             return EXIT_ERROR;
         }
     };
@@ -1570,7 +1705,7 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
                         status.protocol_version,
                         status.backend,
                         status.uptime_ms / 1000.0,
-                        socket.display(),
+                        endpoint,
                         status.requests,
                         status.programs,
                         status.documents,
@@ -1586,6 +1721,42 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
                         status.solver_checked,
                         status.bytes_streamed,
                     );
+                    // Cluster lines: only daemons that report an
+                    // endpoint / remote tier / shard table get them, so
+                    // pre-cluster daemons render exactly as before.
+                    if !status.transport.is_empty() {
+                        let _ = writeln!(
+                            out,
+                            "listen: {}://{} ({} shard{})",
+                            status.transport,
+                            status.addr,
+                            status.shards,
+                            if status.shards == 1 { "" } else { "s" },
+                        );
+                    }
+                    if !status.remote.is_empty() {
+                        let _ = writeln!(
+                            out,
+                            "remote cache: {} ({} hits, {} misses, {} stores)",
+                            status.remote,
+                            status.remote_hits,
+                            status.remote_misses,
+                            status.remote_stores,
+                        );
+                    }
+                    for shard in &status.per_shard {
+                        let _ = writeln!(
+                            out,
+                            "shard {}: {}, {} documents, {} programs, \
+                             {} obligation hits, {} misses",
+                            shard.shard,
+                            if shard.alive { "alive" } else { "dead" },
+                            shard.documents,
+                            shard.programs,
+                            shard.obligation_hits,
+                            shard.obligation_misses,
+                        );
+                    }
                 }
                 EXIT_OK
             }
@@ -1617,11 +1788,11 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
                 EXIT_ERROR
             }
         },
-        "top" => run_daemon_top(&mut client, &socket, json, once, interval_ms, out),
+        "top" => run_daemon_top(&mut client, &endpoint, json, once, interval_ms, out),
         "logs" => run_daemon_logs(&mut client, json, follow, since, interval_ms, out),
         "stop" => match client.shutdown() {
             Ok(()) => {
-                let _ = writeln!(out, "commcsl: daemon on {} stopped", socket.display());
+                let _ = writeln!(out, "commcsl: daemon on {endpoint} stopped");
                 EXIT_OK
             }
             Err(e) => {
@@ -1637,7 +1808,7 @@ fn run_daemon(args: &[String], out: &mut String) -> i32 {
 /// from the service histograms, and the request/event counters that
 /// contextualize them.
 fn render_top_frame(
-    socket: &Path,
+    endpoint: &str,
     status: &StatusInfo,
     hists: &[(String, Histogram)],
     metrics: &MetricsSnapshot,
@@ -1647,7 +1818,7 @@ fn render_top_frame(
         frame,
         "commcsl daemon v{} on {} — up {:.1}s, {} requests",
         status.version,
-        socket.display(),
+        endpoint,
         status.uptime_ms / 1000.0,
         status.requests,
     );
@@ -1659,6 +1830,16 @@ fn render_top_frame(
         status.misses,
         status.hit_rate() * 100.0,
     );
+    if status.shards > 1 || !status.per_shard.is_empty() {
+        let _ = writeln!(
+            frame,
+            "shards: {} live / {} total; remote cache: {} hits, {} misses",
+            status.shards,
+            status.per_shard.len().max(status.shards as usize),
+            status.remote_hits,
+            status.remote_misses,
+        );
+    }
     if hists.is_empty() {
         let _ = writeln!(frame, "no requests served yet");
     } else {
@@ -1696,7 +1877,7 @@ fn render_top_frame(
 /// single frame; with `--json` a single machine-readable document).
 fn run_daemon_top(
     client: &mut Client,
-    socket: &Path,
+    endpoint: &str,
     json: bool,
     once: bool,
     interval_ms: u64,
@@ -1742,7 +1923,7 @@ fn run_daemon_top(
             ]);
             let _ = writeln!(out, "{doc}");
         } else {
-            out.push_str(&render_top_frame(socket, &status, &hists, &metrics));
+            out.push_str(&render_top_frame(endpoint, &status, &hists, &metrics));
         }
         return EXIT_OK;
     }
@@ -1764,7 +1945,7 @@ fn run_daemon_top(
         // Clear the screen between frames: one dashboard, not a scroll.
         print!(
             "\x1b[2J\x1b[H{}",
-            render_top_frame(socket, &status, &hists, &metrics)
+            render_top_frame(endpoint, &status, &hists, &metrics)
         );
         let _ = std::io::stdout().flush();
         std::thread::sleep(Duration::from_millis(interval_ms.max(10)));

@@ -1,14 +1,17 @@
 //! Client plumbing for the verification daemon.
 //!
-//! [`Client`] speaks the NDJSON protocol over a Unix domain socket (or,
-//! generically, any reader/writer pair via [`Client::over`], which is
-//! how a stdio-transport child process is driven). The
-//! [`connect_or_start`] helper implements the CLI's transparent daemon
-//! mode: connect if a daemon is live, otherwise invoke a caller-supplied
-//! launcher and poll until the socket answers.
+//! [`Client`] speaks the NDJSON protocol over a Unix domain socket, a
+//! TCP connection ([`Client::connect_tcp`]), or — generically — any
+//! reader/writer pair via [`Client::over`], which is how a
+//! stdio-transport child process is driven. Both named transports share
+//! one bounded-retry helper, [`connect_with_retry`]: the
+//! [`connect_or_start`] daemon autostart path and the
+//! [`connect_tcp_retry`] cluster path report the same pinned "daemon
+//! did not come up within Nms" error when the wait budget runs out.
 
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use commcsl_telemetry::MetricsSnapshot;
@@ -17,11 +20,19 @@ use commcsl_telemetry::Histogram;
 
 use crate::json::Json;
 use crate::protocol::{
-    doc_outcome_from_json, histograms_from_json, lint_outcome_from_json,
-    logs_from_json, metrics_from_json, verify_outcome_from_json, DocOutcomeWire,
+    cache_get_from_json, cache_put_from_json, doc_outcome_from_json,
+    histograms_from_json, lint_outcome_from_json, logs_from_json,
+    metrics_from_json, verify_outcome_from_json, CacheTier, DocOutcomeWire,
     LintOutcome, LogsPage, Request, StatusInfo, VerifyItem, VerifyOutcome,
     PROTOCOL_VERSION,
 };
+
+/// Bound on waiting for any single daemon response. Generous — a
+/// cold batch over a large corpus verifies in milliseconds-per-
+/// program — but finite, so a wedged daemon (deadlocked, SIGSTOPped)
+/// surfaces as a transport error and the CLI's in-process fallback
+/// can take over instead of hanging forever.
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// An error talking to the daemon.
 #[derive(Debug)]
@@ -346,6 +357,102 @@ impl Client {
             Err(ClientError::Protocol("shutdown not acknowledged".into()))
         }
     }
+
+    /// Fetches one content-addressed cache entry from the daemon's local
+    /// tiers (v2): `Ok(Some(raw entry text))` on a hit, `Ok(None)` on a
+    /// miss. `key` is the 32-hex-digit obligation key / program hash.
+    pub fn cache_get(
+        &mut self,
+        tier: CacheTier,
+        key: &str,
+    ) -> Result<Option<String>, ClientError> {
+        let response = self.roundtrip(&Request::CacheGet {
+            tier,
+            key: key.to_owned(),
+        })?;
+        Ok(cache_get_from_json(&response)?)
+    }
+
+    /// Publishes one content-addressed cache entry to the daemon (v2);
+    /// `Ok(false)` means the daemon validated and *refused* it (version
+    /// or key mismatch) — expected across format-version skew, never an
+    /// error.
+    pub fn cache_put(
+        &mut self,
+        tier: CacheTier,
+        key: &str,
+        entry: &str,
+    ) -> Result<bool, ClientError> {
+        let response = self.roundtrip(&Request::CachePut {
+            tier,
+            key: key.to_owned(),
+            entry: entry.to_owned(),
+        })?;
+        Ok(cache_put_from_json(&response)?)
+    }
+
+    /// Connects to a daemon over TCP with the standard response
+    /// timeouts.
+    pub fn connect_tcp(addr: &str) -> io::Result<Client> {
+        Self::connect_tcp_with_timeout(addr, RESPONSE_TIMEOUT)
+    }
+
+    /// [`Client::connect_tcp`] with an explicit response-timeout bound.
+    /// The remote-cache tier uses a short one: its fetches run under the
+    /// cache lock, and a wedged remote must degrade to a local miss, not
+    /// stall verification for two minutes.
+    pub fn connect_tcp_with_timeout(
+        addr: &str,
+        timeout: Duration,
+    ) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        // Requests are single small lines; without NODELAY Nagle's
+        // algorithm would hold them for the previous response's ACK.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client::over(stream, writer))
+    }
+
+    /// Connects over TCP, retrying with bounded exponential backoff
+    /// until `wait` elapses — for racing a daemon that is still binding
+    /// its listener.
+    pub fn connect_tcp_retry(addr: &str, wait: Duration) -> io::Result<Client> {
+        connect_with_retry(wait, addr, || Client::connect_tcp(addr))
+    }
+}
+
+/// Retries `connect` with exponential backoff (5 ms doubling, capped at
+/// 100 ms) until it succeeds or `wait` elapses. The terminal error is
+/// pinned wording shared by every transport: `daemon did not come up
+/// within <N>ms on <endpoint>: <last error>`.
+pub fn connect_with_retry(
+    wait: Duration,
+    endpoint: &str,
+    mut connect: impl FnMut() -> io::Result<Client>,
+) -> io::Result<Client> {
+    const BACKOFF_CAP: Duration = Duration::from_millis(100);
+    let deadline = Instant::now() + wait;
+    let mut backoff = Duration::from_millis(5);
+    loop {
+        match connect() {
+            Ok(client) => return Ok(client),
+            Err(e) if Instant::now() >= deadline => {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "daemon did not come up within {}ms on {endpoint}: {e}",
+                        wait.as_millis()
+                    ),
+                ));
+            }
+            Err(_) => {
+                std::thread::sleep(backoff.min(BACKOFF_CAP));
+                backoff = backoff.saturating_mul(2);
+            }
+        }
+    }
 }
 
 #[cfg(unix)]
@@ -354,13 +461,6 @@ mod unix_transport {
     use std::path::Path;
 
     use super::*;
-
-    /// Bound on waiting for any single daemon response. Generous — a
-    /// cold batch over a large corpus verifies in milliseconds-per-
-    /// program — but finite, so a wedged daemon (deadlocked, SIGSTOPped)
-    /// surfaces as a transport error and the CLI's in-process fallback
-    /// can take over instead of hanging forever.
-    const RESPONSE_TIMEOUT: Duration = Duration::from_secs(120);
 
     impl Client {
         /// Connects to a daemon's Unix socket.
@@ -374,13 +474,14 @@ mod unix_transport {
     }
 
     /// Connects to `socket_path`, or — when nothing answers — runs
-    /// `launch` (which should start a daemon in the background) and polls
-    /// the socket until it accepts or `wait` elapses.
+    /// `launch` (which should start a daemon in the background) and
+    /// retries the socket with [`connect_with_retry`]'s bounded backoff
+    /// until it accepts or `wait` elapses.
     ///
     /// # Errors
     ///
-    /// The launcher's error, or the last connect error after the wait
-    /// budget is exhausted — callers fall back to in-process
+    /// The launcher's error, or the pinned "daemon did not come up
+    /// within Nms" timeout — callers fall back to in-process
     /// verification on any error.
     pub fn connect_or_start(
         socket_path: &Path,
@@ -391,14 +492,9 @@ mod unix_transport {
             Ok(client) => return Ok(client),
             Err(_) => launch()?,
         }
-        let deadline = Instant::now() + wait;
-        loop {
-            match Client::connect(socket_path) {
-                Ok(client) => return Ok(client),
-                Err(e) if Instant::now() >= deadline => return Err(e),
-                Err(_) => std::thread::sleep(Duration::from_millis(25)),
-            }
-        }
+        connect_with_retry(wait, &socket_path.display().to_string(), || {
+            Client::connect(socket_path)
+        })
     }
 }
 

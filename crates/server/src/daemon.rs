@@ -20,13 +20,17 @@
 
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::thread;
 use std::time::{Duration, Instant, SystemTime};
 
 use commcsl_verifier::batch::BatchConfig;
-use commcsl_verifier::cache::{CacheConfig, CachedVerifier};
-use commcsl_verifier::hash::HASH_FORMAT_VERSION;
+use commcsl_verifier::cache::{CacheConfig, CachedVerifier, RemoteObligationTier};
+use commcsl_verifier::hash::{ProgramHash, HASH_FORMAT_VERSION};
+use commcsl_verifier::obligation::ObligationKey;
 use commcsl_verifier::program::AnnotatedProgram;
 use commcsl_verifier::report::VerifierConfig;
 use commcsl_verifier::workspace::{Workspace, WorkspaceEvent};
@@ -37,16 +41,52 @@ use commcsl_telemetry::{EventLog, Histogram, MetricsSnapshot};
 
 use crate::json::Json;
 use crate::protocol::{
-    doc_response_json, error_json, histograms_response_json, lint_event_json,
-    lint_response_json, logs_response_json, metrics_response_json,
-    obligation_event_json, started_event_json, verify_response_json,
-    with_request_id, DocOk, DocOutcomeWire, LintOk, LintOutcome, LogsPage,
-    Request, StatusInfo, VerifyItem, VerifyOk, VerifyOutcome, PROTOCOL_VERSION,
+    cache_get_response_json, cache_put_response_json, doc_response_json,
+    error_json, histograms_response_json, lint_event_json, lint_response_json,
+    logs_response_json, metrics_response_json, obligation_event_json,
+    started_event_json, verify_response_json, with_request_id, CacheTier,
+    DocOk, DocOutcomeWire, LintOk, LintOutcome, LogsPage, Request, StatusInfo,
+    VerifyItem, VerifyOk, VerifyOutcome, PROTOCOL_VERSION,
 };
 
 /// Compiles surface source text to a lowered program. Errors are
 /// reported to the client verbatim (conventionally `line:col: message`).
 pub type CompileFn = Box<dyn Fn(&str) -> Result<AnnotatedProgram, String> + Send + Sync>;
+
+/// Where a daemon listens for NDJSON sessions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A Unix-domain socket at the given path (Unix only).
+    Unix(PathBuf),
+    /// A TCP listener on the given `host:port` address. `port` may be 0
+    /// to bind an ephemeral port — [`Server::serve_listen`] records the
+    /// actual address for `status`.
+    Tcp(String),
+}
+
+impl Default for Listen {
+    fn default() -> Self {
+        Listen::Unix(PathBuf::from(".commcsl-cache/commcsl.sock"))
+    }
+}
+
+impl Listen {
+    /// The transport name reported in `status` (`"unix"` / `"tcp"`).
+    pub fn transport_name(&self) -> &'static str {
+        match self {
+            Listen::Unix(_) => "unix",
+            Listen::Tcp(_) => "tcp",
+        }
+    }
+
+    /// The configured address — socket path or `host:port`.
+    pub fn addr_string(&self) -> String {
+        match self {
+            Listen::Unix(path) => path.display().to_string(),
+            Listen::Tcp(addr) => addr.clone(),
+        }
+    }
+}
 
 /// Daemon configuration.
 #[derive(Default)]
@@ -63,6 +103,9 @@ pub struct ServerConfig {
     /// Event-log capacity in records (0 = the default of
     /// [`EventLog::DEFAULT_CAPACITY`]).
     pub event_log_capacity: usize,
+    /// Listen endpoint for [`Server::serve_listen`] (stdio sessions
+    /// ignore it).
+    pub listen: Listen,
 }
 
 /// Slow-request threshold used when [`ServerConfig::slow_request_ms`]
@@ -100,6 +143,12 @@ pub struct Server {
     histograms: Mutex<BTreeMap<String, Histogram>>,
     /// Ring buffer of recent request events (the `logs` op reads it).
     events: EventLog,
+    /// Configured listen endpoint ([`Server::serve_listen`] dispatches
+    /// on it).
+    listen: Listen,
+    /// `(transport, addr)` of the live listener — empty until a serve
+    /// loop binds; TCP records the *actual* address (port 0 resolves).
+    endpoint: Mutex<(String, String)>,
     shutdown: AtomicBool,
 }
 
@@ -164,8 +213,32 @@ impl Server {
             } else {
                 EventLog::new(config.event_log_capacity)
             },
+            listen: config.listen,
+            endpoint: Mutex::new((String::new(), String::new())),
             shutdown: AtomicBool::new(false),
         }
+    }
+
+    /// Records the live listener's endpoint for `status` reporting.
+    /// Serve loops call this after binding; an external router serving
+    /// this shard may call it with the router's endpoint instead.
+    pub fn set_endpoint(&self, transport: &str, addr: &str) {
+        let mut endpoint = self
+            .endpoint
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *endpoint = (transport.to_owned(), addr.to_owned());
+    }
+
+    /// Chains a remote obligation-cache tier behind the local memory and
+    /// disk tiers (`status` then reports its endpoint and per-tier
+    /// counters).
+    pub fn set_remote_cache(&self, remote: Box<dyn RemoteObligationTier>) {
+        self.verifier
+            .shared_cache()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .set_remote(remote);
     }
 
     /// Creates the protocol state for one connection: a fresh workspace
@@ -196,6 +269,11 @@ impl Server {
     /// Current daemon statistics.
     pub fn status(&self) -> StatusInfo {
         let cache = self.verifier.stats();
+        let (transport, addr) = self
+            .endpoint
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
         StatusInfo {
             version: env!("CARGO_PKG_VERSION").to_owned(),
             format_version: u64::from(HASH_FORMAT_VERSION),
@@ -222,6 +300,20 @@ impl Server {
             solver_checked: self.solver_checked.load(Ordering::Relaxed),
             bytes_streamed: self.bytes_streamed.load(Ordering::Relaxed),
             threads: self.threads as u64,
+            transport,
+            addr,
+            shards: 1,
+            remote: self
+                .verifier
+                .shared_cache()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .remote_endpoint()
+                .unwrap_or_default(),
+            remote_hits: cache.remote_hits,
+            remote_misses: cache.remote_misses,
+            remote_stores: cache.remote_stores,
+            per_shard: Vec::new(),
         }
     }
 
@@ -252,6 +344,9 @@ impl Server {
             ("cache.memory_entries", status.memory_entries),
             ("cache.obligation_hits", status.obligation_hits),
             ("cache.obligation_misses", status.obligation_misses),
+            ("cache.remote_hits", status.remote_hits),
+            ("cache.remote_misses", status.remote_misses),
+            ("cache.remote_stores", status.remote_stores),
             ("obligations.statically_proven", status.statically_proven),
             ("obligations.solver_checked", status.solver_checked),
         ]
@@ -512,7 +607,68 @@ impl Server {
                 ]))?;
                 Ok(false)
             }
+            Request::CacheGet { tier, key } => {
+                if let Some(err) = self.v1_guard(session, "cache_get") {
+                    emit(&err)?;
+                    return Ok(false);
+                }
+                emit(&self.serve_cache_get(*tier, key))?;
+                Ok(false)
+            }
+            Request::CachePut { tier, key, entry } => {
+                if let Some(err) = self.v1_guard(session, "cache_put") {
+                    emit(&err)?;
+                    return Ok(false);
+                }
+                emit(&self.serve_cache_put(*tier, key, entry))?;
+                Ok(false)
+            }
         }
+    }
+
+    /// Serves a `cache_get`: the raw self-validating entry from the
+    /// *local* tiers (memory, then disk) or a miss. The daemon's own
+    /// remote tier is never consulted — remote chains would otherwise
+    /// recurse — and serving reads move no hit/miss counters, which
+    /// track verification traffic only.
+    fn serve_cache_get(&self, tier: CacheTier, key: &str) -> Json {
+        let cache = self.verifier.shared_cache();
+        let mut cache = cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let entry = match tier {
+            CacheTier::Obligation => match key.parse::<ObligationKey>() {
+                Ok(parsed) => cache.export_obligation(parsed),
+                Err(e) => return error_json(&format!("bad cache key: {e}")),
+            },
+            CacheTier::Verdict => match key.parse::<ProgramHash>() {
+                Ok(parsed) => cache.export_verdict(parsed),
+                Err(e) => return error_json(&format!("bad cache key: {e}")),
+            },
+        };
+        cache_get_response_json(tier, key, HASH_FORMAT_VERSION, entry.as_deref())
+    }
+
+    /// Serves a `cache_put`: validates the entry against the claimed key
+    /// and [`HASH_FORMAT_VERSION`] before admitting it to the local
+    /// tiers. A refused entry answers `stored:false` (not an error) —
+    /// version skew between daemons is expected, staleness is not.
+    fn serve_cache_put(&self, tier: CacheTier, key: &str, entry: &str) -> Json {
+        let cache = self.verifier.shared_cache();
+        let mut cache = cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let stored = match tier {
+            CacheTier::Obligation => match key.parse::<ObligationKey>() {
+                Ok(parsed) => cache.import_obligation(parsed, entry),
+                Err(e) => return error_json(&format!("bad cache key: {e}")),
+            },
+            CacheTier::Verdict => match key.parse::<ProgramHash>() {
+                Ok(parsed) => cache.import_verdict(parsed, entry),
+                Err(e) => return error_json(&format!("bad cache key: {e}")),
+            },
+        };
+        cache_put_response_json(tier, key, stored)
     }
 
     /// The error document for a v2 op on a session negotiated down to v1.
@@ -678,8 +834,9 @@ impl Server {
     }
 
     /// Releases a finished session's open documents from the server-wide
-    /// gauge (the cache, of course, stays).
-    fn release_session(&self, session: &Session) {
+    /// gauge (the cache, of course, stays). Serve loops call this when a
+    /// connection ends; external routers holding [`Session`]s must too.
+    pub fn release_session(&self, session: &Session) {
         let open = session.workspace.open_documents().count() as i64;
         if open > 0 {
             self.documents.fetch_sub(open, Ordering::Relaxed);
@@ -727,80 +884,265 @@ impl Server {
         mut writer: impl Write,
     ) -> io::Result<()> {
         let mut session = self.new_session();
-        let mut reader = BufReader::new(reader);
-        // Lines accumulate as raw bytes: `read_until` keeps partial input
-        // across read timeouts, whereas `read_line` would roll back (and
-        // lose) bytes that end mid-UTF-8-sequence on a timed-out call.
-        let mut line: Vec<u8> = Vec::new();
-        let result = loop {
-            match reader.read_until(b'\n', &mut line) {
-                Ok(0) => break Ok(()), // client hung up
-                Ok(_) if !line.ends_with(b"\n") => {
-                    // EOF in the middle of a line: nothing more is coming.
-                    break Ok(());
-                }
-                Ok(_) => {
-                    // Each response (and each streamed event) is flushed
-                    // as soon as it is rendered, so subscribed clients
-                    // see obligations settle live.
-                    let mut emit = |json: &Json| -> io::Result<()> {
-                        let rendered = json.to_string();
-                        writeln!(writer, "{rendered}")?;
-                        writer.flush()?;
-                        self.bytes_streamed
-                            .fetch_add(rendered.len() as u64 + 1, Ordering::Relaxed);
-                        Ok(())
-                    };
-                    let stop = match std::str::from_utf8(&line) {
-                        Ok(text) if text.trim().is_empty() => {
-                            line.clear();
-                            continue;
-                        }
-                        Ok(text) => {
-                            match self.handle_session_line(&mut session, text, &mut emit)
-                            {
-                                Ok(stop) => stop,
-                                Err(e) => break Err(e),
-                            }
-                        }
-                        Err(_) => {
-                            let request_id = self.assign_request_id();
-                            let message = "bad request: line is not UTF-8";
-                            self.observe_decode_error(&request_id, message);
-                            if let Err(e) = emit(&with_request_id(
-                                &error_json(message),
-                                &request_id,
-                            )) {
-                                break Err(e);
-                            }
-                            false
-                        }
-                    };
-                    line.clear();
-                    if stop || self.shutdown_requested() {
-                        break Ok(());
+        let result =
+            for_each_ndjson_line(reader, &|| self.shutdown_requested(), |line| {
+                // Each response (and each streamed event) is flushed
+                // as soon as it is rendered, so subscribed clients
+                // see obligations settle live.
+                let mut emit = |json: &Json| -> io::Result<()> {
+                    let rendered = json.to_string();
+                    writeln!(writer, "{rendered}")?;
+                    writer.flush()?;
+                    self.bytes_streamed
+                        .fetch_add(rendered.len() as u64 + 1, Ordering::Relaxed);
+                    Ok(())
+                };
+                let stop = match std::str::from_utf8(line) {
+                    Ok(text) if text.trim().is_empty() => false,
+                    Ok(text) => {
+                        self.handle_session_line(&mut session, text, &mut emit)?
                     }
-                }
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        io::ErrorKind::WouldBlock
-                            | io::ErrorKind::TimedOut
-                            | io::ErrorKind::Interrupted
-                    ) =>
-                {
-                    // Read timeout: partial input (if any) stays buffered
-                    // in `line`; bail out only on daemon shutdown.
-                    if self.shutdown_requested() {
-                        break Ok(());
+                    Err(_) => {
+                        let request_id = self.assign_request_id();
+                        let message = "bad request: line is not UTF-8";
+                        self.observe_decode_error(&request_id, message);
+                        emit(&with_request_id(&error_json(message), &request_id))?;
+                        false
                     }
-                }
-                Err(e) => break Err(e),
-            }
-        };
+                };
+                Ok(stop || self.shutdown_requested())
+            });
         // The connection's workspace dies with it.
         self.release_session(&session);
         result
+    }
+}
+
+/// Reads NDJSON lines from `reader` and feeds each (newline included) to
+/// `on_line` until EOF, shutdown, or `on_line` returns `Ok(true)`.
+///
+/// The framing is length-robust: lines accumulate as raw bytes via
+/// `read_until`, so input split at arbitrary byte boundaries — 1-byte
+/// TCP segments, reads timing out mid-UTF-8-sequence — reassembles
+/// correctly. (`read_line` would roll back and lose bytes that end
+/// mid-sequence on a timed-out call.) EOF in the middle of a line
+/// discards the fragment: nothing more is coming. Timeout-flavored read
+/// errors (`WouldBlock`/`TimedOut`/`Interrupted`) poll `shutdown` and
+/// continue, so sessions with a read timeout drain promptly; other I/O
+/// errors propagate.
+pub fn for_each_ndjson_line(
+    reader: impl io::Read,
+    shutdown: &dyn Fn() -> bool,
+    mut on_line: impl FnMut(&[u8]) -> io::Result<bool>,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(reader);
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(_) if !line.ends_with(b"\n") => {
+                // EOF in the middle of a line: nothing more is coming.
+                return Ok(());
+            }
+            Ok(_) => {
+                let stop = on_line(&line)?;
+                line.clear();
+                if stop || shutdown() {
+                    return Ok(());
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                // Read timeout: partial input (if any) stays buffered
+                // in `line`; bail out only on shutdown.
+                if shutdown() {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// `EMFILE`/`ENFILE` (process/system fd table full) have no stable
+/// `io::ErrorKind` mapping; both are transient under load and the
+/// accept loop must ride them out rather than die.
+fn is_fd_exhaustion(e: &io::Error) -> bool {
+    const ENFILE: i32 = 23;
+    const EMFILE: i32 = 24;
+    matches!(e.raw_os_error(), Some(code) if code == EMFILE || code == ENFILE)
+}
+
+/// Transient accept-time failures (peer hung up before accept, fd
+/// pressure) must not kill the daemon; the accept loop backs off and
+/// keeps accepting.
+fn is_transient_accept_error(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionReset
+    ) || is_fd_exhaustion(e)
+}
+
+/// A nonblocking listener the daemon's accept loop can poll. Implemented
+/// for [`TcpListener`] everywhere and `UnixListener` on Unix; the
+/// cluster router reuses the same loop for its shard-routing frontend.
+pub trait Transport {
+    /// One accepted connection's stream.
+    type Stream: io::Read + io::Write + Send;
+
+    /// Polls for one pending connection; `Ok(None)` when none is queued
+    /// (the loop sleeps briefly and re-polls).
+    fn poll_accept(&self) -> io::Result<Option<Self::Stream>>;
+
+    /// Prepares an accepted stream for a session: blocking mode with a
+    /// short read timeout (so idle sessions notice shutdown), plus an
+    /// independently-owned writer handle.
+    fn split(stream: Self::Stream) -> io::Result<(Self::Stream, Self::Stream)>;
+
+    /// `(transport, addr)` as reported in `status` — for TCP the
+    /// *actual* bound address, so `--tcp 127.0.0.1:0` reports its
+    /// ephemeral port.
+    fn endpoint(&self) -> (String, String);
+}
+
+impl Transport for TcpListener {
+    type Stream = TcpStream;
+
+    fn poll_accept(&self) -> io::Result<Option<TcpStream>> {
+        match self.accept() {
+            Ok((stream, _addr)) => Ok(Some(stream)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn split(stream: TcpStream) -> io::Result<(TcpStream, TcpStream)> {
+        stream.set_nonblocking(false)?;
+        stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+        // Responses are a handful of small flushed writes per request;
+        // without NODELAY, Nagle's algorithm would serialize them
+        // against the peer's ACK clock.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok((stream, writer))
+    }
+
+    fn endpoint(&self) -> (String, String) {
+        let addr = self
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default();
+        ("tcp".to_owned(), addr)
+    }
+}
+
+/// Polls `listener` for connections until `shutdown()`, serving each
+/// accepted stream on its own scoped thread via `serve`. Returns `Ok`
+/// on a clean shutdown; a fatal accept error calls `on_fatal` (which
+/// must release in-flight sessions — they poll the shutdown flag — or
+/// the scope would join forever) and propagates the error.
+pub fn accept_loop<T: Transport + Sync>(
+    listener: &T,
+    shutdown: &(dyn Fn() -> bool + Sync),
+    on_fatal: &(dyn Fn() + Sync),
+    serve: &(dyn Fn(T::Stream) + Sync),
+) -> io::Result<()> {
+    thread::scope(|scope| -> io::Result<()> {
+        while !shutdown() {
+            match listener.poll_accept() {
+                Ok(Some(stream)) => {
+                    scope.spawn(move || serve(stream));
+                }
+                Ok(None) => {
+                    thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) if is_transient_accept_error(&e) => {
+                    thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => {
+                    on_fatal();
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
+impl Server {
+    /// Claims the TCP address: binds a nonblocking listener, mapping
+    /// `AddrInUse` to the same "already listening" shape as the Unix
+    /// path (TCP has no stale-socket file to reclaim — a bound port is
+    /// always live). Callers that announce readiness should do so only
+    /// after this succeeds (reading the actual port from
+    /// `listener.local_addr()`), then hand the listener to
+    /// [`Server::serve_tcp`].
+    pub fn bind_tcp(addr: &str) -> io::Result<TcpListener> {
+        let listener = TcpListener::bind(addr).map_err(|e| {
+            if e.kind() == io::ErrorKind::AddrInUse {
+                io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("a daemon is already listening on {addr}"),
+                )
+            } else {
+                e
+            }
+        })?;
+        listener.set_nonblocking(true)?;
+        Ok(listener)
+    }
+
+    /// Serves connections on a bound TCP listener until a `shutdown`
+    /// request arrives.
+    pub fn serve_tcp(&self, listener: &TcpListener) -> io::Result<()> {
+        self.serve_transport(listener)
+    }
+
+    /// Binds the configured [`Listen`] endpoint and serves until
+    /// shutdown. `Listen::Unix` on a non-Unix platform is
+    /// `ErrorKind::Unsupported`.
+    pub fn serve_listen(&self) -> io::Result<()> {
+        match self.listen.clone() {
+            Listen::Tcp(addr) => self.serve_tcp(&Self::bind_tcp(&addr)?),
+            #[cfg(unix)]
+            Listen::Unix(path) => self.serve_unix(&path),
+            #[cfg(not(unix))]
+            Listen::Unix(path) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!(
+                    "unix socket {} unsupported on this platform (use --tcp)",
+                    path.display()
+                ),
+            )),
+        }
+    }
+
+    /// The generic serve loop behind every listener: records the
+    /// endpoint for `status`, then accepts and serves sessions until
+    /// shutdown.
+    fn serve_transport<T: Transport + Sync>(&self, listener: &T) -> io::Result<()> {
+        let (transport, addr) = listener.endpoint();
+        self.set_endpoint(&transport, &addr);
+        accept_loop(
+            listener,
+            &|| self.shutdown_requested(),
+            // Fatal accept errors must release the in-flight sessions
+            // (they poll this flag), or the scope would join forever.
+            &|| self.request_shutdown(),
+            &|stream| {
+                if let Ok((reader, writer)) = T::split(stream) {
+                    let _ = self.serve_stream(reader, writer);
+                }
+            },
+        )
     }
 }
 
@@ -809,17 +1151,38 @@ mod unix_transport {
     use std::fs;
     use std::os::unix::net::{UnixListener, UnixStream};
     use std::path::Path;
-    use std::thread;
 
     use super::*;
 
-    /// `EMFILE`/`ENFILE` (process/system fd table full) have no stable
-    /// `io::ErrorKind` mapping; both are transient under load and the
-    /// accept loop must ride them out rather than die.
-    fn is_fd_exhaustion(e: &io::Error) -> bool {
-        const ENFILE: i32 = 23;
-        const EMFILE: i32 = 24;
-        matches!(e.raw_os_error(), Some(code) if code == EMFILE || code == ENFILE)
+    impl Transport for UnixListener {
+        type Stream = UnixStream;
+
+        fn poll_accept(&self) -> io::Result<Option<UnixStream>> {
+            match self.accept() {
+                Ok((stream, _addr)) => Ok(Some(stream)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            }
+        }
+
+        fn split(stream: UnixStream) -> io::Result<(UnixStream, UnixStream)> {
+            stream.set_nonblocking(false)?;
+            // Short read timeout so idle sessions notice shutdown.
+            stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+            let writer = stream.try_clone()?;
+            Ok((stream, writer))
+        }
+
+        fn endpoint(&self) -> (String, String) {
+            let addr = self
+                .local_addr()
+                .ok()
+                .and_then(|a| {
+                    a.as_pathname().map(|p| p.display().to_string())
+                })
+                .unwrap_or_default();
+            ("unix".to_owned(), addr)
+        }
     }
 
     impl Server {
@@ -862,51 +1225,9 @@ mod unix_transport {
             listener: UnixListener,
             socket_path: &Path,
         ) -> io::Result<()> {
-            let result = thread::scope(|scope| -> io::Result<()> {
-                while !self.shutdown_requested() {
-                    match listener.accept() {
-                        Ok((stream, _addr)) => {
-                            scope.spawn(move || {
-                                let _ = self.serve_connection(stream);
-                            });
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            thread::sleep(Duration::from_millis(20));
-                        }
-                        // Transient per-connection failures (peer hung up
-                        // before accept, fd pressure) must not kill the
-                        // daemon; back off and keep accepting.
-                        Err(e)
-                            if matches!(
-                                e.kind(),
-                                io::ErrorKind::Interrupted
-                                    | io::ErrorKind::ConnectionAborted
-                                    | io::ErrorKind::ConnectionReset
-                            ) || is_fd_exhaustion(&e) =>
-                        {
-                            thread::sleep(Duration::from_millis(20));
-                        }
-                        Err(e) => {
-                            // Fatal: stop accepting AND release the
-                            // in-flight sessions (they poll this flag),
-                            // or the scope would join forever.
-                            self.request_shutdown();
-                            return Err(e);
-                        }
-                    }
-                }
-                Ok(())
-            });
+            let result = self.serve_transport(&listener);
             let _ = fs::remove_file(socket_path);
             result
-        }
-
-        fn serve_connection(&self, stream: UnixStream) -> io::Result<()> {
-            stream.set_nonblocking(false)?;
-            // Short read timeout so idle sessions notice shutdown.
-            stream.set_read_timeout(Some(Duration::from_millis(200)))?;
-            let writer = stream.try_clone()?;
-            self.serve_stream(stream, writer)
         }
     }
 }

@@ -65,7 +65,13 @@ pub mod daemon;
 pub mod json;
 pub mod protocol;
 
-pub use client::{Client, ClientError};
-pub use daemon::{CompileFn, Server, ServerConfig};
+pub use client::{connect_with_retry, Client, ClientError};
+pub use daemon::{
+    accept_loop, for_each_ndjson_line, CompileFn, Listen, Server,
+    ServerConfig, Transport,
+};
 pub use json::Json;
-pub use protocol::{Request, StatusInfo, VerifyItem, VerifyOk, VerifyOutcome};
+pub use protocol::{
+    CacheTier, Request, ShardStatus, StatusInfo, VerifyItem, VerifyOk,
+    VerifyOutcome,
+};

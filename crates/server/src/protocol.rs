@@ -184,6 +184,62 @@ pub enum Request {
         /// retained.
         since: Option<u64>,
     },
+    /// Fetch one content-addressed cache entry (v2). The daemon answers
+    /// from its local tiers only — never from its own chained remote —
+    /// with the raw self-validating entry text (the on-disk file format,
+    /// versioned by the hash format version), or a miss.
+    CacheGet {
+        /// Which tier the key addresses.
+        tier: CacheTier,
+        /// The content address, 32 lowercase hex digits.
+        key: String,
+    },
+    /// Publish one content-addressed cache entry (v2). The daemon
+    /// validates the entry against the key and its own hash format
+    /// version before admitting it; mismatches are refused
+    /// (`"stored":false`), never stored.
+    CachePut {
+        /// Which tier the key addresses.
+        tier: CacheTier,
+        /// The content address, 32 lowercase hex digits.
+        key: String,
+        /// The raw self-validating entry text.
+        entry: String,
+    },
+}
+
+/// The cache tier a `cache_get`/`cache_put` request addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// Per-obligation statuses keyed by dependency-cone hash
+    /// ([`commcsl_verifier::obligation::ObligationKey`]).
+    Obligation,
+    /// Whole-program verdicts keyed by [`ProgramHash`].
+    Verdict,
+}
+
+impl CacheTier {
+    /// The wire name of this tier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheTier::Obligation => "obligation",
+            CacheTier::Verdict => "verdict",
+        }
+    }
+}
+
+impl std::str::FromStr for CacheTier {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "obligation" => Ok(CacheTier::Obligation),
+            "verdict" => Ok(CacheTier::Verdict),
+            other => Err(format!(
+                "unknown cache tier `{other}` (expected `obligation` or `verdict`)"
+            )),
+        }
+    }
 }
 
 impl Request {
@@ -204,6 +260,8 @@ impl Request {
             Request::Metrics => "metrics",
             Request::Histograms => "histograms",
             Request::Logs { .. } => "logs",
+            Request::CacheGet { .. } => "cache_get",
+            Request::CachePut { .. } => "cache_put",
         }
     }
 
@@ -288,6 +346,17 @@ impl Request {
                 }
                 Json::Obj(fields)
             }
+            Request::CacheGet { tier, key } => Json::obj([
+                ("op", Json::str("cache_get")),
+                ("tier", Json::str(tier.as_str())),
+                ("key", Json::str(key)),
+            ]),
+            Request::CachePut { tier, key, entry } => Json::obj([
+                ("op", Json::str("cache_put")),
+                ("tier", Json::str(tier.as_str())),
+                ("key", Json::str(key)),
+                ("entry", Json::str(entry)),
+            ]),
         };
         doc
     }
@@ -402,6 +471,25 @@ impl Request {
                     .map(|v| v.as_u64().ok_or("`since` must be a non-negative integer"))
                     .transpose()?;
                 Ok(Request::Logs { since })
+            }
+            "cache_get" | "cache_put" => {
+                let field = |key: &str| {
+                    doc.get(key)
+                        .and_then(Json::as_str)
+                        .map(str::to_owned)
+                        .ok_or(format!("{op} needs `{key}`"))
+                };
+                let tier = field("tier")?.parse::<CacheTier>()?;
+                let key = field("key")?;
+                Ok(if op == "cache_get" {
+                    Request::CacheGet { tier, key }
+                } else {
+                    Request::CachePut {
+                        tier,
+                        key,
+                        entry: field("entry")?,
+                    }
+                })
             }
             "lint" => Ok(Request::Lint(VerifyItem {
                 name: doc
@@ -663,6 +751,80 @@ pub fn error_json(message: &str) -> Json {
     Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))])
 }
 
+// ------------------------------------------------- cache responses (v2)
+
+/// Renders a `cache_get` response: the raw self-validating entry text on
+/// a hit, a plain miss otherwise. `format_version` names the daemon's
+/// hash format so a mismatched client can explain its misses.
+pub fn cache_get_response_json(
+    tier: CacheTier,
+    key: &str,
+    format_version: u32,
+    entry: Option<&str>,
+) -> Json {
+    let mut fields = vec![
+        ("ok".to_owned(), Json::Bool(true)),
+        ("tier".to_owned(), Json::str(tier.as_str())),
+        ("key".to_owned(), Json::str(key)),
+        (
+            "format_version".to_owned(),
+            Json::Num(f64::from(format_version)),
+        ),
+        ("hit".to_owned(), Json::Bool(entry.is_some())),
+    ];
+    if let Some(entry) = entry {
+        fields.push(("entry".to_owned(), Json::str(entry)));
+    }
+    Json::Obj(fields)
+}
+
+/// Parses a `cache_get` response: `Ok(Some(entry))` on a hit, `Ok(None)`
+/// on a miss, `Err` on a protocol failure.
+pub fn cache_get_from_json(doc: &Json) -> Result<Option<String>, String> {
+    if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(doc
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("cache_get request failed")
+            .to_owned());
+    }
+    match doc.get("hit").and_then(Json::as_bool) {
+        Some(true) => doc
+            .get("entry")
+            .and_then(Json::as_str)
+            .map(|e| Some(e.to_owned()))
+            .ok_or_else(|| "cache_get hit needs `entry`".to_owned()),
+        Some(false) => Ok(None),
+        None => Err("cache_get response needs a boolean `hit`".into()),
+    }
+}
+
+/// Renders a `cache_put` response. `stored` is `false` when the daemon
+/// refused the entry (version/key/format mismatch) — refusal is not an
+/// error, it is the never-stale rule doing its job.
+pub fn cache_put_response_json(tier: CacheTier, key: &str, stored: bool) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("tier", Json::str(tier.as_str())),
+        ("key", Json::str(key)),
+        ("stored", Json::Bool(stored)),
+    ])
+}
+
+/// Parses a `cache_put` response into its `stored` flag.
+pub fn cache_put_from_json(doc: &Json) -> Result<bool, String> {
+    if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(doc
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("cache_put request failed")
+            .to_owned());
+    }
+    doc.get("stored")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| "cache_put response needs a boolean `stored`".into())
+}
+
 // ---------------------------------------------------------- request ids
 
 /// Returns `doc` with `request_id` **appended as the last field**
@@ -743,6 +905,72 @@ pub struct StatusInfo {
     pub bytes_streamed: u64,
     /// Worker threads for cache misses (0 = one per CPU).
     pub threads: u64,
+    /// Listen transport (`"unix"` / `"tcp"`; empty when serving stdio or
+    /// from daemons predating the cluster layer).
+    pub transport: String,
+    /// Listen address — socket path for `unix`, `host:port` for `tcp`
+    /// (empty when unknown).
+    pub addr: String,
+    /// Verifier shards behind this endpoint (1 for a plain daemon; a
+    /// pool reports its live shard count).
+    pub shards: u64,
+    /// Remote obligation-cache endpoint chained behind the local tiers
+    /// (empty when none is configured).
+    pub remote: String,
+    /// Obligation lookups answered by the remote tier.
+    pub remote_hits: u64,
+    /// Obligation lookups the remote tier also missed.
+    pub remote_misses: u64,
+    /// Obligation entries published to the remote tier.
+    pub remote_stores: u64,
+    /// Per-shard counters (empty for a plain daemon).
+    pub per_shard: Vec<ShardStatus>,
+}
+
+/// Per-shard counters inside a pooled `status` response.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardStatus {
+    /// Shard index on the consistent-hash ring.
+    pub shard: u64,
+    /// Whether the shard is still accepting routed work.
+    pub alive: bool,
+    /// Workspace documents currently open on this shard.
+    pub documents: u64,
+    /// Programs this shard verified or served from cache.
+    pub programs: u64,
+    /// Obligation-tier hits on this shard.
+    pub obligation_hits: u64,
+    /// Obligation-tier misses on this shard.
+    pub obligation_misses: u64,
+}
+
+impl ShardStatus {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("shard", Json::Num(self.shard as f64)),
+            ("alive", Json::Bool(self.alive)),
+            ("documents", Json::Num(self.documents as f64)),
+            ("programs", Json::Num(self.programs as f64)),
+            ("obligation_hits", Json::Num(self.obligation_hits as f64)),
+            (
+                "obligation_misses",
+                Json::Num(self.obligation_misses as f64),
+            ),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> ShardStatus {
+        let num =
+            |key: &str| doc.get(key).and_then(Json::as_u64).unwrap_or_default();
+        ShardStatus {
+            shard: num("shard"),
+            alive: doc.get("alive").and_then(Json::as_bool).unwrap_or(true),
+            documents: num("documents"),
+            programs: num("programs"),
+            obligation_hits: num("obligation_hits"),
+            obligation_misses: num("obligation_misses"),
+        }
+    }
 }
 
 impl StatusInfo {
@@ -761,9 +989,12 @@ impl StatusInfo {
         }
     }
 
-    /// Renders the `status` response document.
+    /// Renders the `status` response document. Cluster fields
+    /// (`transport`, `addr`, `remote`, `per_shard`) are emitted only when
+    /// set, so a plain daemon's status stays byte-identical to earlier
+    /// releases modulo the always-present counters.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let base = Json::obj([
             ("ok", Json::Bool(true)),
             ("version", Json::str(&self.version)),
             ("format_version", Json::Num(self.format_version as f64)),
@@ -806,8 +1037,43 @@ impl StatusInfo {
             ("solver_checked", Json::Num(self.solver_checked as f64)),
             ("bytes_streamed", Json::Num(self.bytes_streamed as f64)),
             ("threads", Json::Num(self.threads as f64)),
-            ("hit_rate", Json::Num(self.hit_rate())),
-        ])
+        ]);
+        let mut fields = match base {
+            Json::Obj(fields) => fields,
+            _ => unreachable!("Json::obj returns Json::Obj"),
+        };
+        if !self.transport.is_empty() {
+            fields.push(("transport".to_owned(), Json::str(&self.transport)));
+        }
+        if !self.addr.is_empty() {
+            fields.push(("addr".to_owned(), Json::str(&self.addr)));
+        }
+        fields.push(("shards".to_owned(), Json::Num(self.shards as f64)));
+        if !self.remote.is_empty() {
+            fields.push(("remote".to_owned(), Json::str(&self.remote)));
+        }
+        fields.push((
+            "remote_hits".to_owned(),
+            Json::Num(self.remote_hits as f64),
+        ));
+        fields.push((
+            "remote_misses".to_owned(),
+            Json::Num(self.remote_misses as f64),
+        ));
+        fields.push((
+            "remote_stores".to_owned(),
+            Json::Num(self.remote_stores as f64),
+        ));
+        if !self.per_shard.is_empty() {
+            fields.push((
+                "per_shard".to_owned(),
+                Json::Arr(
+                    self.per_shard.iter().map(ShardStatus::to_json).collect(),
+                ),
+            ));
+        }
+        fields.push(("hit_rate".to_owned(), Json::Num(self.hit_rate())));
+        Json::Obj(fields)
     }
 
     /// Parses a `status` response document. Fields added by protocol v2
@@ -829,6 +1095,12 @@ impl StatusInfo {
             });
         let opt_num =
             |key: &str| doc.get(key).and_then(Json::as_u64).unwrap_or_default();
+        let opt_str = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned()
+        };
         Ok(StatusInfo {
             version: doc
                 .get("version")
@@ -872,6 +1144,19 @@ impl StatusInfo {
             solver_checked: opt_num("solver_checked"),
             bytes_streamed: opt_num("bytes_streamed"),
             threads: num("threads")?,
+            transport: opt_str("transport"),
+            addr: opt_str("addr"),
+            shards: opt_num("shards").max(1),
+            remote: opt_str("remote"),
+            remote_hits: opt_num("remote_hits"),
+            remote_misses: opt_num("remote_misses"),
+            remote_stores: opt_num("remote_stores"),
+            per_shard: match doc.get("per_shard") {
+                Some(Json::Arr(items)) => {
+                    items.iter().map(ShardStatus::from_json).collect()
+                }
+                _ => Vec::new(),
+            },
         })
     }
 }
@@ -1451,6 +1736,15 @@ mod tests {
             Request::Histograms,
             Request::Logs { since: None },
             Request::Logs { since: Some(42) },
+            Request::CacheGet {
+                tier: CacheTier::Obligation,
+                key: "000102030405060708090a0b0c0d0e0f".into(),
+            },
+            Request::CachePut {
+                tier: CacheTier::Verdict,
+                key: "f00dfeedf00dfeedf00dfeedf00dfeed".into(),
+                entry: "commcsl-verdict 4\nkey f00d\n".into(),
+            },
         ];
         for r in requests {
             let line = r.encode();
@@ -1871,12 +2165,60 @@ mod tests {
             solver_checked: 3,
             bytes_streamed: 4096,
             threads: 0,
+            transport: "tcp".into(),
+            addr: "127.0.0.1:7411".into(),
+            shards: 2,
+            remote: "tcp://127.0.0.1:7412".into(),
+            remote_hits: 5,
+            remote_misses: 7,
+            remote_stores: 6,
+            per_shard: vec![
+                ShardStatus {
+                    shard: 0,
+                    alive: true,
+                    documents: 2,
+                    programs: 20,
+                    obligation_hits: 30,
+                    obligation_misses: 1,
+                },
+                ShardStatus {
+                    shard: 1,
+                    alive: false,
+                    documents: 1,
+                    programs: 16,
+                    obligation_hits: 10,
+                    obligation_misses: 1,
+                },
+            ],
         };
-        let doc = Json::parse(&status.to_json().to_string()).unwrap();
+        let line = status.to_json().to_string();
+        // `hit_rate` stays the LAST field even with cluster fields
+        // appended (the human renderer and jq recipes in docs pin this).
+        assert!(line.ends_with(",\"hit_rate\":0.5}"), "{line}");
+        let doc = Json::parse(&line).unwrap();
         let back = StatusInfo::from_json(&doc).unwrap();
         assert_eq!(back, status);
         assert!((back.hit_rate() - 0.5).abs() < 1e-9);
         assert!(StatusInfo::from_json(&error_json("down")).is_err());
+
+        // A plain daemon (no transport/addr/remote, no shard table)
+        // omits the empty cluster fields entirely so its status stays
+        // parseable-as-before, and the omitted fields roundtrip to their
+        // defaults (`shards` floors at 1).
+        let plain = StatusInfo {
+            shards: 1,
+            transport: String::new(),
+            addr: String::new(),
+            remote: String::new(),
+            per_shard: Vec::new(),
+            ..status
+        };
+        let line = plain.to_json().to_string();
+        for absent in ["transport", "addr", "\"remote\"", "per_shard"] {
+            assert!(!line.contains(absent), "{line}");
+        }
+        let back = StatusInfo::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, plain);
     }
 
     #[test]
@@ -1898,6 +2240,56 @@ mod tests {
         // v1 and early-v2 daemons, parsed as empty defaults.
         assert_eq!(back.started_at_unix_ms, 0);
         assert!(back.ops.is_empty());
+        // Cluster fields (newer still) default too: one shard, no
+        // transport/remote info, no per-shard table.
+        assert_eq!(back.shards, 1);
+        assert_eq!(back.transport, "");
+        assert_eq!(back.remote, "");
+        assert_eq!(back.remote_hits, 0);
+        assert!(back.per_shard.is_empty());
+    }
+
+    #[test]
+    fn cache_ops_roundtrip_and_validate() {
+        let key = "000102030405060708090a0b0c0d0e0f";
+        // Hit: the raw entry text rides along.
+        let hit = cache_get_response_json(
+            CacheTier::Obligation,
+            key,
+            4,
+            Some("commcsl-obligation 4\nkey abc\n"),
+        );
+        let back = Json::parse(&hit.to_string()).unwrap();
+        assert_eq!(
+            cache_get_from_json(&back).unwrap().as_deref(),
+            Some("commcsl-obligation 4\nkey abc\n")
+        );
+        // Miss: `hit:false`, no entry.
+        let miss = cache_get_response_json(CacheTier::Verdict, key, 4, None);
+        let line = miss.to_string();
+        assert!(!line.contains("entry"), "{line}");
+        assert_eq!(
+            cache_get_from_json(&Json::parse(&line).unwrap()).unwrap(),
+            None
+        );
+        // Errors and malformed responses surface as Err.
+        assert!(cache_get_from_json(&error_json("nope")).is_err());
+        assert!(cache_get_from_json(&Json::obj([("ok", Json::Bool(true))]))
+            .is_err());
+
+        // cache_put: stored flag roundtrips both ways.
+        for stored in [true, false] {
+            let doc = cache_put_response_json(CacheTier::Obligation, key, stored);
+            let back = Json::parse(&doc.to_string()).unwrap();
+            assert_eq!(cache_put_from_json(&back).unwrap(), stored);
+        }
+        assert!(cache_put_from_json(&error_json("nope")).is_err());
+
+        // Tier names parse back; unknown tiers carry a pinned error.
+        assert_eq!("obligation".parse::<CacheTier>(), Ok(CacheTier::Obligation));
+        assert_eq!("verdict".parse::<CacheTier>(), Ok(CacheTier::Verdict));
+        let err = "program".parse::<CacheTier>().unwrap_err();
+        assert!(err.contains("unknown cache tier `program`"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! TCP transport tests: NDJSON framing torture (1-byte chunks, writes
+//! split mid-line across read timeouts, pipelined requests on one
+//! connection) pinned byte-identical to the Unix-socket path, plus the
+//! pinned bind and connect-retry error messages.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::thread;
+use std::time::Duration;
+
+use commcsl_server::client::Client;
+use commcsl_server::daemon::{Server, ServerConfig};
+use commcsl_verifier::cache::CacheConfig;
+
+struct StopOnDrop<'a>(&'a Server);
+
+impl Drop for StopOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.request_shutdown();
+    }
+}
+
+fn front_server() -> Server {
+    Server::new(
+        ServerConfig {
+            threads: 2,
+            cache: CacheConfig::memory_only(64),
+            ..Default::default()
+        },
+        Box::new(|src| commcsl_front::compile(src).map_err(|e| e.to_string())),
+    )
+}
+
+/// The request script: every line is deterministic on the wire
+/// (client-supplied request ids, no timing fields in the responses), so
+/// responses can be compared byte-for-byte across transports.
+fn script() -> Vec<String> {
+    vec![
+        r#"{"op":"hello","protocol":2,"request_id":"q1"}"#.into(),
+        r#"{"op":"lint","name":"broken.csl","source":"nope","request_id":"q2"}"#.into(),
+        r#"{"op":"cache_get","tier":"obligation","key":"000102030405060708090a0b0c0d0e0f","request_id":"q3"}"#.into(),
+        r#"{"op":"cache_put","tier":"obligation","key":"000102030405060708090a0b0c0d0e0f","entry":"garbage","request_id":"q4"}"#.into(),
+        r#"{"op":"close","doc":"never-opened.csl","request_id":"q5"}"#.into(),
+        r#"{"op":"frobnicate","request_id":"q6"}"#.into(),
+    ]
+}
+
+/// Reads one response line per request.
+fn read_responses(reader: impl Read, count: usize) -> Vec<String> {
+    let mut reader = BufReader::new(reader);
+    let mut lines = Vec::new();
+    for _ in 0..count {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response line");
+        assert!(line.ends_with('\n'), "responses are NDJSON: {line:?}");
+        lines.push(line);
+    }
+    lines
+}
+
+/// The reference transcript: the script over a Unix socket, one
+/// well-formed write per line.
+fn unix_reference(script: &[String]) -> Vec<String> {
+    let base = std::env::temp_dir().join(format!(
+        "commcsl-tcp-test-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let socket = base.join("commcsl.sock");
+    let server = front_server();
+    thread::scope(|scope| {
+        let _stop = StopOnDrop(&server);
+        scope.spawn(|| server.serve_unix(&socket));
+        // Ride the same retry helper the CLI uses.
+        let _probe = commcsl_server::client::connect_or_start(
+            &socket,
+            Duration::from_secs(5),
+            || Ok(()),
+        )
+        .expect("daemon comes up");
+        let mut stream = UnixStream::connect(&socket).expect("connect");
+        for line in script {
+            writeln!(stream, "{line}").unwrap();
+            stream.flush().unwrap();
+        }
+        let responses = read_responses(&stream, script.len());
+        server.request_shutdown();
+        responses
+    })
+}
+
+#[test]
+fn torture_framing_over_tcp_is_byte_identical_to_unix() {
+    let script = script();
+    let reference = unix_reference(&script);
+    assert!(
+        reference[1].contains("\"ok\":false"),
+        "lint of a broken source reports the compile error: {}",
+        reference[1]
+    );
+    assert!(reference[2].contains("\"hit\":false"), "{}", reference[2]);
+    assert!(reference[3].contains("\"stored\":false"), "{}", reference[3]);
+    assert!(
+        reference[5].contains("unknown op"),
+        "decode errors answer inline: {}",
+        reference[5]
+    );
+
+    let server = front_server();
+    let listener = Server::bind_tcp("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    thread::scope(|scope| {
+        let _stop = StopOnDrop(&server);
+        let server_ref = &server;
+        let listener_ref = &listener;
+        scope.spawn(move || server_ref.serve_tcp(listener_ref));
+
+        // Probe with the retry helper (the daemon may still be binding).
+        drop(
+            Client::connect_tcp_retry(&addr, Duration::from_secs(5))
+                .expect("daemon comes up"),
+        );
+
+        // Torture 1: the whole script, one byte per write, each flushed
+        // into its own TCP segment (NODELAY on both sides).
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        for line in &script {
+            for byte in line.as_bytes() {
+                stream.write_all(std::slice::from_ref(byte)).unwrap();
+                stream.flush().unwrap();
+            }
+            stream.write_all(b"\n").unwrap();
+            stream.flush().unwrap();
+        }
+        assert_eq!(
+            read_responses(&stream, script.len()),
+            reference,
+            "1-byte chunking"
+        );
+
+        // Torture 2: a write split mid-line, with a pause longer than
+        // the server's 200 ms read timeout — the partial line must
+        // survive the timeout in the server's buffer.
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let line = format!("{}\n", script[2]);
+        let (head, tail) = line.as_bytes().split_at(line.len() / 2);
+        stream.write_all(head).unwrap();
+        stream.flush().unwrap();
+        thread::sleep(Duration::from_millis(450));
+        stream.write_all(tail).unwrap();
+        stream.flush().unwrap();
+        assert_eq!(
+            read_responses(&stream, 1)[0],
+            reference[2],
+            "split mid-line across a read timeout"
+        );
+
+        // Torture 3: two pipelined requests in one write; responses
+        // come back in order on the same connection.
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let pipelined = format!("{}\n{}\n", script[2], script[4]);
+        stream.write_all(pipelined.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        let responses = read_responses(&stream, 2);
+        assert_eq!(responses[0], reference[2], "pipelined, first");
+        assert_eq!(responses[1], reference[4], "pipelined, second");
+
+        server.request_shutdown();
+    });
+}
+
+#[test]
+fn tcp_bind_reports_address_in_use_precisely() {
+    let first = Server::bind_tcp("127.0.0.1:0").unwrap();
+    let addr = first.local_addr().unwrap().to_string();
+    let err = Server::bind_tcp(&addr).expect_err("port is taken");
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+    assert_eq!(
+        err.to_string(),
+        format!("a daemon is already listening on {addr}"),
+        "pinned wording, analogous to the stale-Unix-socket path"
+    );
+}
+
+#[test]
+fn connect_retry_times_out_with_pinned_wording() {
+    // A TCP listener that never accepts is hard to fake portably;
+    // a connection-refused port exercises the same retry loop.
+    let parked = Server::bind_tcp("127.0.0.1:0").unwrap();
+    let addr = parked.local_addr().unwrap().to_string();
+    drop(parked); // freed port: connects are refused
+    let err = match Client::connect_tcp_retry(&addr, Duration::from_millis(120)) {
+        Ok(_) => panic!("nothing listens on {addr}"),
+        Err(err) => err,
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+    let message = err.to_string();
+    assert!(
+        message.contains("daemon did not come up within 120ms"),
+        "pinned wording: {message}"
+    );
+    assert!(message.contains(&addr), "names the endpoint: {message}");
+}

@@ -129,6 +129,48 @@ pub fn verify_batch_ref(
     programs: &[&AnnotatedProgram],
     config: &BatchConfig,
 ) -> Vec<BatchResult> {
+    run_pool(programs, config, |program| {
+        verify_with_stats(program, &config.verifier)
+    })
+}
+
+/// [`verify_batch_ref`] with a shared [`VerdictCache`] threaded through
+/// the pool as an [`ObligationStore`](crate::obligation::ObligationStore):
+/// each worker discharges its programs via
+/// [`verify_incremental`](crate::symexec::verify_incremental), replaying
+/// statuses whose dependency-cone keys hit the cache's obligation tier
+/// (memory, disk, or a chained remote tier) and recording every status it
+/// computes. Reports are **byte-identical** to [`verify_batch_ref`] —
+/// the incremental engine's core guarantee — whatever mix of hits and
+/// misses served them; only `session` counters are zeroed (the
+/// incremental path does not expose them).
+pub fn verify_batch_stored(
+    programs: &[&AnnotatedProgram],
+    config: &BatchConfig,
+    cache: &Mutex<crate::cache::VerdictCache>,
+) -> Vec<BatchResult> {
+    run_pool(programs, config, |program| {
+        let mut store = crate::cache::SharedObligationStore(cache);
+        let mut obligation_times = Vec::new();
+        let (report, stats) = crate::symexec::verify_incremental(
+            program,
+            &config.verifier,
+            &mut store,
+            &mut |event| obligation_times.push(event.time),
+        );
+        (report, stats, obligation_times, SessionStats::default())
+    })
+}
+
+/// The shared work-stealing pool behind [`verify_batch_ref`] and
+/// [`verify_batch_stored`]: `job` verifies one program and returns the
+/// report plus its diagnostic payloads.
+fn run_pool(
+    programs: &[&AnnotatedProgram],
+    config: &BatchConfig,
+    job: impl Fn(&AnnotatedProgram) -> (VerifierReport, DischargeStats, Vec<Duration>, SessionStats)
+        + Sync,
+) -> Vec<BatchResult> {
     let jobs = programs.len();
     if jobs == 0 {
         return Vec::new();
@@ -166,8 +208,7 @@ pub fn verify_batch_ref(
                     continue;
                 }
                 let start = Instant::now();
-                let (report, stats, obligation_times, session) =
-                    verify_with_stats(program, &config.verifier);
+                let (report, stats, obligation_times, session) = job(program);
                 let time = start.elapsed();
                 if config.fail_fast && !report.verified() {
                     stop.store(true, Ordering::Relaxed);
@@ -302,6 +343,35 @@ mod tests {
         let results = verify_batch(&programs, &BatchConfig::with_threads(1));
         assert!(results.iter().all(|r| !r.skipped));
         assert!(results[2].report.verified());
+    }
+
+    #[test]
+    fn stored_batch_is_byte_identical_and_replays_on_the_second_run() {
+        use crate::cache::{CacheConfig, VerdictCache};
+
+        let programs = sample_programs();
+        let refs: Vec<&AnnotatedProgram> = programs.iter().collect();
+        let plain = verify_batch_ref(&refs, &BatchConfig::with_threads(2));
+        let cache = Mutex::new(VerdictCache::new(CacheConfig::memory_only(64)));
+        let stored = verify_batch_stored(&refs, &BatchConfig::with_threads(2), &cache);
+        for (p, s) in plain.iter().zip(&stored) {
+            assert_eq!(
+                p.report.to_json(),
+                s.report.to_json(),
+                "stored pool must not change report bytes"
+            );
+        }
+        // A second stored run replays every obligation from the tier.
+        let again = verify_batch_stored(&refs, &BatchConfig::with_threads(1), &cache);
+        for (p, s) in plain.iter().zip(&again) {
+            assert_eq!(p.report.to_json(), s.report.to_json());
+            assert_eq!(s.stats.reused, s.stats.total, "{}", s.program);
+            assert_eq!(s.stats.checked, 0, "{}", s.program);
+        }
+        let stats = cache.lock().unwrap().stats();
+        assert!(stats.obligation_stores > 0);
+        assert!(stats.obligation_hits > 0);
+        assert_eq!(stats.remote_hits, 0, "no remote tier chained");
     }
 
     #[test]

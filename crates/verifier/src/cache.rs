@@ -40,7 +40,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::batch::{verify_batch_ref, BatchConfig};
+use crate::batch::{verify_batch_stored, BatchConfig};
 use crate::diag::{CexBinding, Counterexample, DiagnosticCode, Failure, SourceSpan};
 use crate::hash::{program_hash, ProgramHash, HASH_FORMAT_VERSION};
 use crate::obligation::{ObligationKey, ObligationStore};
@@ -200,6 +200,37 @@ fn encode_obligation(key: ObligationKey, status: &ObligationStatus) -> String {
         },
     }
     out
+}
+
+/// Encodes one obligation status as a self-validating entry (the on-disk
+/// file format, reused verbatim as the remote-cache wire payload): a
+/// `commcsl-obligation <HASH_FORMAT_VERSION>` header, the embedded key,
+/// and the status body. Because the entry carries both the format version
+/// and its own address, any consumer can validate it with
+/// [`decode_obligation_entry`] — a mismatch is a miss, never a stale
+/// status.
+pub fn encode_obligation_entry(key: ObligationKey, status: &ObligationStatus) -> String {
+    encode_obligation(key, status)
+}
+
+/// Parses a self-validating obligation entry produced by
+/// [`encode_obligation_entry`]; `None` on any version/key/format mismatch
+/// (the never-stale rule: reject, never reinterpret).
+pub fn decode_obligation_entry(key: ObligationKey, text: &str) -> Option<ObligationStatus> {
+    decode_obligation(key, text)
+}
+
+/// Encodes one verdict as a self-validating entry (the on-disk file
+/// format, reused as the `cache_get`/`cache_put` wire payload for the
+/// verdict tier).
+pub fn encode_verdict_entry(key: ProgramHash, report: &VerifierReport) -> String {
+    encode_verdict(key, report)
+}
+
+/// Parses a self-validating verdict entry; `None` on any
+/// version/key/format mismatch.
+pub fn decode_verdict_entry(key: ProgramHash, text: &str) -> Option<VerifierReport> {
+    decode_verdict(key, text)
 }
 
 /// Parses an obligation file; `None` on any version/key/format mismatch.
@@ -423,6 +454,14 @@ pub struct CacheStats {
     pub obligation_misses: u64,
     /// Obligation statuses inserted.
     pub obligation_stores: u64,
+    /// Obligation-tier lookups answered by the remote tier (and promoted
+    /// to both local tiers).
+    pub remote_hits: u64,
+    /// Remote-tier lookups that came back empty (or invalid, or failed in
+    /// transit — the remote tier is fail-open).
+    pub remote_misses: u64,
+    /// Obligation statuses published to the remote tier.
+    pub remote_stores: u64,
 }
 
 impl CacheStats {
@@ -446,9 +485,29 @@ impl CacheStats {
     }
 }
 
+/// A remote obligation-cache backend: the third tier of the obligation
+/// lookup chain (memory → disk → remote), shared by many daemons and CI
+/// runners in the sccache / Bazel-remote-cache style.
+///
+/// Implementations exchange the **self-validating entry text** of
+/// [`encode_obligation_entry`] — the cache validates every fetched entry
+/// against the requested key and [`HASH_FORMAT_VERSION`] before serving
+/// it, so a confused or stale remote can only cause misses, never wrong
+/// statuses. Both methods are fail-open: a broken transport should
+/// degrade to `None` / no-op rather than error.
+pub trait RemoteObligationTier: Send {
+    /// Fetches the raw encoded entry for `key`; `None` on a remote miss
+    /// or an unreachable backend.
+    fn fetch(&mut self, key: ObligationKey) -> Option<String>;
+    /// Publishes the raw encoded entry for `key` (best effort).
+    fn publish(&mut self, key: ObligationKey, entry: &str);
+    /// Human-readable endpoint (for `daemon status` lines).
+    fn endpoint(&self) -> String;
+}
+
 /// The two-tier content-addressed verdict store (plus the obligation
-/// tier; see the module docs).
-#[derive(Debug)]
+/// tier — optionally chained to a [`RemoteObligationTier`]; see the
+/// module docs).
 pub struct VerdictCache {
     config: CacheConfig,
     /// hash → (LRU stamp, verdict).
@@ -461,7 +520,24 @@ pub struct VerdictCache {
     /// Obligation-tier eviction order.
     obligation_lru: BTreeMap<u64, ObligationKey>,
     obligation_clock: u64,
+    /// Optional remote tier behind the local obligation tiers.
+    remote: Option<Box<dyn RemoteObligationTier>>,
     stats: CacheStats,
+}
+
+impl std::fmt::Debug for VerdictCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerdictCache")
+            .field("config", &self.config)
+            .field("entries", &self.entries.len())
+            .field("obligations", &self.obligations.len())
+            .field(
+                "remote",
+                &self.remote.as_ref().map(|r| r.endpoint()),
+            )
+            .field("stats", &self.stats)
+            .finish()
+    }
 }
 
 impl VerdictCache {
@@ -476,8 +552,21 @@ impl VerdictCache {
             obligations: HashMap::new(),
             obligation_lru: BTreeMap::new(),
             obligation_clock: 0,
+            remote: None,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Chains a remote obligation tier behind the local tiers: lookups
+    /// that miss memory and disk consult it, hits are promoted to both
+    /// local tiers, and every local store is published write-through.
+    pub fn set_remote(&mut self, remote: Box<dyn RemoteObligationTier>) {
+        self.remote = Some(remote);
+    }
+
+    /// The remote tier's endpoint, if one is configured.
+    pub fn remote_endpoint(&self) -> Option<String> {
+        self.remote.as_ref().map(|r| r.endpoint())
     }
 
     /// The directory holding this format version's verdict files.
@@ -627,7 +716,10 @@ impl VerdictCache {
     // ------------------------------------------------- obligation tier
 
     /// Looks up an obligation status: memory first, then disk (with
-    /// promotion). Corrupt disk entries are deleted and count as misses.
+    /// promotion), then the remote tier when one is chained (remote hits
+    /// are promoted to both local tiers). Corrupt disk entries are
+    /// deleted and count as misses; invalid remote entries are rejected
+    /// — every tier is structurally validated, never trusted.
     pub fn get_obligation(&mut self, key: ObligationKey) -> Option<ObligationStatus> {
         let _span = commcsl_telemetry::span!("cache.obligation_get");
         if self.obligations.contains_key(&key) {
@@ -649,18 +741,99 @@ impl VerdictCache {
                 }
             }
         }
+        if let Some(remote) = self.remote.as_mut() {
+            let fetched = remote.fetch(key);
+            if let Some(status) = fetched
+                .as_deref()
+                .and_then(|text| decode_obligation(key, text))
+            {
+                self.stats.remote_hits += 1;
+                self.stats.obligation_hits += 1;
+                // Promote to both local tiers (the entry text *is* the
+                // disk format) so later lookups stay local.
+                if let Some(path) = self.obligation_path(key) {
+                    let _ = write_atomically(&path, fetched.as_deref().unwrap_or_default());
+                }
+                self.insert_obligation_memory(key, status.clone());
+                return Some(status);
+            }
+            self.stats.remote_misses += 1;
+        }
         self.stats.obligation_misses += 1;
         None
     }
 
-    /// Stores an obligation status in both tiers.
+    /// Stores an obligation status in both local tiers and publishes it
+    /// write-through to the remote tier when one is chained.
     pub fn put_obligation(&mut self, key: ObligationKey, status: &ObligationStatus) {
         let _span = commcsl_telemetry::span!("cache.obligation_put");
+        let entry = encode_obligation(key, status);
         if let Some(path) = self.obligation_path(key) {
-            let _ = write_atomically(&path, &encode_obligation(key, status));
+            let _ = write_atomically(&path, &entry);
+        }
+        if let Some(remote) = self.remote.as_mut() {
+            remote.publish(key, &entry);
+            self.stats.remote_stores += 1;
         }
         self.stats.obligation_stores += 1;
         self.insert_obligation_memory(key, status.clone());
+    }
+
+    // --------------------------------------------- remote-cache serving
+    //
+    // The `cache_get`/`cache_put` daemon ops serve raw entry texts out of
+    // (and into) this cache without consulting the chained remote tier —
+    // a daemon *serving* as somebody's remote must answer from its own
+    // tiers, not recurse into its own upstream — and without touching the
+    // hit/miss counters, which track verification traffic only.
+
+    /// Exports the raw self-validating entry for an obligation status
+    /// held in the local tiers (memory first, then disk), for serving to
+    /// a remote-cache client. `None` when neither local tier has a valid
+    /// entry.
+    pub fn export_obligation(&mut self, key: ObligationKey) -> Option<String> {
+        if let Some((_, status)) = self.obligations.get(&key) {
+            return Some(encode_obligation(key, status));
+        }
+        let path = self.obligation_path(key)?;
+        let text = fs::read_to_string(path).ok()?;
+        decode_obligation(key, &text).map(|_| text)
+    }
+
+    /// Exports the raw self-validating entry for a verdict held in the
+    /// local tiers. `None` when neither local tier has a valid entry.
+    pub fn export_verdict(&mut self, key: ProgramHash) -> Option<String> {
+        if let Some((_, report)) = self.entries.get(&key) {
+            return Some(encode_verdict(key, report));
+        }
+        let path = self.verdict_path(key)?;
+        let text = fs::read_to_string(path).ok()?;
+        decode_verdict(key, &text).map(|_| text)
+    }
+
+    /// Validates and admits a remote-published obligation entry into the
+    /// local tiers; `false` (and no state change) on any version/key/
+    /// format mismatch.
+    pub fn import_obligation(&mut self, key: ObligationKey, text: &str) -> bool {
+        match decode_obligation(key, text) {
+            Some(status) => {
+                self.put_obligation(key, &status);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Validates and admits a remote-published verdict entry into the
+    /// local tiers; `false` on any mismatch.
+    pub fn import_verdict(&mut self, key: ProgramHash, text: &str) -> bool {
+        match decode_verdict(key, text) {
+            Some(report) => {
+                self.put(key, &report);
+                true
+            }
+            None => false,
+        }
     }
 
     fn touch_obligation(&mut self, key: ObligationKey) {
@@ -943,7 +1116,12 @@ impl CachedVerifier {
                 unique.iter().map(|&i| programs[i]).collect();
             let mut batch_config = self.batch.clone();
             batch_config.fail_fast = fail_fast;
-            let verified = verify_batch_ref(&miss_programs, &batch_config);
+            // Misses run against the shared obligation tier: statuses
+            // whose cones earlier traffic (batch or workspace, local or
+            // remote) already settled replay instead of re-solving, and
+            // every freshly computed status is recorded for both
+            // surfaces. Reports stay byte-identical either way.
+            let verified = verify_batch_stored(&miss_programs, &batch_config, &self.cache);
 
             let mut fresh: HashMap<ProgramHash, VerifierReport> = HashMap::new();
             for (slot, result) in unique.iter().zip(verified) {
@@ -1385,6 +1563,85 @@ mod tests {
         assert_eq!(cache.get_obligation(ObligationKey(3)), None);
         assert!(!path.exists(), "corrupt obligation file deleted");
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remote_tier_chains_behind_local_tiers_and_validates() {
+        /// A toy remote backend: a shared in-memory map of raw entries.
+        struct SharedRemote(Arc<Mutex<HashMap<ObligationKey, String>>>);
+
+        impl RemoteObligationTier for SharedRemote {
+            fn fetch(&mut self, key: ObligationKey) -> Option<String> {
+                self.0.lock().unwrap().get(&key).cloned()
+            }
+            fn publish(&mut self, key: ObligationKey, entry: &str) {
+                self.0.lock().unwrap().insert(key, entry.to_owned());
+            }
+            fn endpoint(&self) -> String {
+                "test://shared".into()
+            }
+        }
+
+        let backing = Arc::new(Mutex::new(HashMap::new()));
+        let mut a = VerdictCache::new(CacheConfig::memory_only(8));
+        a.set_remote(Box::new(SharedRemote(Arc::clone(&backing))));
+        assert_eq!(a.remote_endpoint().as_deref(), Some("test://shared"));
+        let status = ObligationStatus::Failed(Failure::new("nope"));
+        a.put_obligation(ObligationKey(5), &status);
+        assert_eq!(a.stats().remote_stores, 1);
+
+        // A shared-nothing cache pointed at the same remote hits it and
+        // promotes the status locally.
+        let mut b = VerdictCache::new(CacheConfig::memory_only(8));
+        b.set_remote(Box::new(SharedRemote(Arc::clone(&backing))));
+        assert_eq!(b.get_obligation(ObligationKey(5)), Some(status.clone()));
+        let stats = b.stats();
+        assert_eq!((stats.remote_hits, stats.obligation_hits), (1, 1));
+        assert_eq!(b.get_obligation(ObligationKey(5)), Some(status));
+        assert_eq!(b.stats().remote_hits, 1, "second lookup is local");
+
+        // Garbage and wrong-key remote entries are misses, never stale.
+        backing.lock().unwrap().insert(ObligationKey(6), "garbage".into());
+        assert_eq!(b.get_obligation(ObligationKey(6)), None);
+        assert_eq!(b.stats().remote_misses, 1);
+        let wrong = encode_obligation(ObligationKey(7), &ObligationStatus::Proved);
+        backing.lock().unwrap().insert(ObligationKey(8), wrong);
+        assert_eq!(b.get_obligation(ObligationKey(8)), None);
+        assert_eq!(b.stats().remote_misses, 2);
+    }
+
+    #[test]
+    fn export_and_import_roundtrip_raw_entries_between_caches() {
+        let mut server = VerdictCache::new(CacheConfig::memory_only(8));
+        let status = ObligationStatus::Failed(Failure::new("leak"));
+        server.put_obligation(ObligationKey(11), &status);
+        let report = VerifierReport {
+            program: "p".into(),
+            obligations: vec![],
+            errors: vec![],
+        };
+        server.put(ProgramHash(12), &report);
+
+        // Export serves the raw entry text; absent keys export nothing.
+        let obl_entry = server.export_obligation(ObligationKey(11)).unwrap();
+        let verdict_entry = server.export_verdict(ProgramHash(12)).unwrap();
+        assert!(server.export_obligation(ObligationKey(99)).is_none());
+        assert!(server.export_verdict(ProgramHash(99)).is_none());
+
+        // Import validates and admits into a shared-nothing cache.
+        let mut client = VerdictCache::new(CacheConfig::memory_only(8));
+        assert!(client.import_obligation(ObligationKey(11), &obl_entry));
+        assert!(client.import_verdict(ProgramHash(12), &verdict_entry));
+        assert_eq!(client.get_obligation(ObligationKey(11)), Some(status));
+        assert_eq!(
+            client.get(ProgramHash(12)).map(|r| r.to_json()),
+            Some(report.to_json())
+        );
+        // Wrong-key and garbage entries are refused with no state change.
+        assert!(!client.import_obligation(ObligationKey(13), &obl_entry));
+        assert!(!client.import_verdict(ProgramHash(13), &verdict_entry));
+        assert!(!client.import_obligation(ObligationKey(13), "garbage"));
+        assert_eq!(client.get_obligation(ObligationKey(13)), None);
     }
 
     #[test]

@@ -43,11 +43,15 @@ pub enum LintCode {
     ShadowedVar,
     /// A variable that is bound but never read.
     UnusedVar,
+    /// An annotation (an `unshare`'s abstraction-equality assumption) that
+    /// no proved obligation needed. Emitted by the verifier's proof-core
+    /// tracking, not by the static lint passes.
+    UnneededAnnotation,
 }
 
 impl LintCode {
     /// All codes, in a stable order.
-    pub const ALL: [LintCode; 8] = [
+    pub const ALL: [LintCode; 9] = [
         LintCode::UnusedResource,
         LintCode::UnusedAction,
         LintCode::ShareWithoutUnshare,
@@ -56,6 +60,7 @@ impl LintCode {
         LintCode::DeadAssertLow,
         LintCode::ShadowedVar,
         LintCode::UnusedVar,
+        LintCode::UnneededAnnotation,
     ];
 
     /// The stable string form used in JSON output and the protocol.
@@ -69,6 +74,7 @@ impl LintCode {
             LintCode::DeadAssertLow => "dead-assert-low",
             LintCode::ShadowedVar => "shadowed-var",
             LintCode::UnusedVar => "unused-var",
+            LintCode::UnneededAnnotation => "unneeded-annotation",
         }
     }
 
@@ -87,7 +93,8 @@ impl LintCode {
             LintCode::UnusedAction
             | LintCode::TrivialRequires
             | LintCode::DeadAssertLow
-            | LintCode::UnusedVar => Severity::Note,
+            | LintCode::UnusedVar
+            | LintCode::UnneededAnnotation => Severity::Note,
         }
     }
 }

@@ -923,7 +923,7 @@ mod tests {
         ));
         let _ = std::fs::remove_dir_all(&dir);
         let run = cold_warm_bench(0, &dir);
-        assert_eq!(run.programs, 22); // 18 fixtures + 4 rejected variants
+        assert_eq!(run.programs, 23); // 18 fixtures + 5 rejected variants
         assert!(run.identical, "cached verdicts must be byte-identical");
         assert!(run.fully_cached, "warm and restart passes must hit");
         let json = cold_warm_json(&run, 0);

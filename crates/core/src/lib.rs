@@ -21,6 +21,7 @@
 //! | [`verifier`] | `commcsl-verifier` | the HyperViper-style automated verifier |
 //! | [`server`] | `commcsl-server` | the persistent verification daemon and its client |
 //! | [`cluster`] | `commcsl-cluster` | TCP shard pool, consistent-hash router, remote obligation cache |
+//! | [`lsp`] | `commcsl-lsp` | the editor language server (JSON-RPC over stdio, diagnostics, hover, progress) |
 //! | [`fixtures`] | `commcsl-fixtures` | the 18 evaluation examples of Table 1 |
 //! | [`front`] | `commcsl-front` | the `.csl` surface language, lowering, pretty-printer, and `commcsl` CLI |
 //!
@@ -63,6 +64,7 @@ pub use commcsl_fixtures as fixtures;
 pub use commcsl_front as front;
 pub use commcsl_lang as lang;
 pub use commcsl_logic as logic;
+pub use commcsl_lsp as lsp;
 pub use commcsl_pure as pure;
 pub use commcsl_server as server;
 pub use commcsl_smt as smt;

@@ -175,6 +175,28 @@ pub fn unique_guard_violation() -> AnnotatedProgram {
         ])
 }
 
+/// A high input flows to the output from inside branches guarded by
+/// *unrelated* low conditions. The leak is independent of `a` and `b`,
+/// so this is the canonical workload for counterexample minimization:
+/// the unminimized witness binds all three inputs (the guard facts are
+/// in the obligation's cone), the minimized one binds only `h`.
+pub fn unused_low_leak() -> AnnotatedProgram {
+    AnnotatedProgram::new("unused-low-leak").with_body([
+        VStmt::input("h", Sort::Int, false),
+        VStmt::input("a", Sort::Int, true),
+        VStmt::input("b", Sort::Int, true),
+        VStmt::If {
+            cond: Term::le(Term::var("a"), Term::int(3)),
+            then_b: vec![VStmt::If {
+                cond: Term::le(Term::var("b"), Term::int(5)),
+                then_b: vec![VStmt::Output(Term::var("h"))],
+                else_b: vec![],
+            }],
+            else_b: vec![],
+        },
+    ])
+}
+
 /// All rejected annotated programs, with names for reporting.
 pub fn all_programs() -> Vec<(&'static str, AnnotatedProgram)> {
     vec![
@@ -182,5 +204,6 @@ pub fn all_programs() -> Vec<(&'static str, AnnotatedProgram)> {
         ("figure3-value-leak", figure3_value_leak()),
         ("literal-mean", literal_mean()),
         ("unique-guard-violation", unique_guard_violation()),
+        ("unused-low-leak", unused_low_leak()),
     ]
 }

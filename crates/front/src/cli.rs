@@ -3,13 +3,16 @@
 //! ```text
 //! commcsl verify [--threads N] [--json] [--expect verified|rejected]
 //!                [--fail-fast] [--backend fresh|incremental] [--trace-out F]
-//!                [--daemon] [--no-start] [--socket PATH] [--cache-dir DIR] PATH...
+//!                [--explain] [--daemon] [--no-start] [--socket PATH]
+//!                [--cache-dir DIR] PATH...
 //! commcsl profile [--threads N] [--json] [--backend fresh|incremental]
 //!                 [--trace-out F] [--folded-out F] [--deterministic] PATH...
 //! commcsl watch  [--json] [--interval MS] [--once]
 //!                [--backend fresh|incremental] [--cache-dir DIR] PATH...
 //! commcsl serve  [--socket PATH | --tcp ADDR] [--shards N]
 //!                [--remote-cache ADDR] [--cache-dir DIR] [--threads N] [--stdio]
+//! commcsl lsp    [--stdio] [--backend fresh|incremental] [--cache-dir DIR]
+//!                [--no-minimize] [--no-hints]
 //! commcsl daemon status|metrics|stop [--socket PATH | --tcp ADDR] [--json]
 //! commcsl daemon top  [--once] [--json] [--interval MS] [--socket PATH | --tcp ADDR]
 //! commcsl daemon logs [--follow] [--json] [--since N] [--socket PATH | --tcp ADDR]
@@ -119,6 +122,9 @@ commands:
             trace (--trace-out) and/or folded flamegraph stacks
             (--folded-out), and summarize spans and counters
   watch     re-verify files on change, incrementally (workspace session)
+  lsp       run the editor language server on stdin/stdout (JSON-RPC;
+            diagnostics, hover with minimized counterexamples and proof
+            cores, incremental re-verification on edit)
   serve     run the persistent verification daemon (foreground)
   daemon    control a running daemon: `daemon status`, `daemon metrics`,
             `daemon top` (live per-op latency dashboard), `daemon logs`
@@ -150,6 +156,11 @@ options (verify):
   --cache-dir DIR              verdict-cache directory (default: .commcsl-cache)
   --trace-out F                write a Chrome trace-event JSON of the run
                                (in-process only; incompatible with --daemon)
+  --explain                    enable proof-core tracking and counterexample
+                               minimization: per-obligation `core` lines in
+                               the text output (and `core`/`hints` fields in
+                               --json reports), minimized counterexamples on
+                               failures (in-process only)
 
 options (profile):
   --threads N / --json / --backend fresh|incremental   as for verify
@@ -166,6 +177,16 @@ options (watch):
   --backend fresh|incremental  solver backend (default: incremental)
   --cache-dir DIR              persist the verdict/obligation cache under
                                DIR (default: in-memory only)
+
+options (lsp):
+  --stdio                      serve LSP on stdin/stdout (the default and
+                               only transport; accepted for editor compat)
+  --backend fresh|incremental  solver backend (default: incremental)
+  --cache-dir DIR              persist the verdict/obligation cache under
+                               DIR (default: in-memory only)
+  --no-minimize                do not minimize counterexamples on failures
+  --no-hints                   do not track proof cores / emit
+                               unneeded-annotation hints
 
 options (serve):
   --socket PATH / --cache-dir DIR / --threads N   as above
@@ -212,6 +233,7 @@ pub fn run(args: &[String], out: &mut String) -> i32 {
         Some("verify") => run_verify(&args[1..], out),
         Some("profile") => run_profile(&args[1..], out),
         Some("watch") => run_watch(&args[1..], out),
+        Some("lsp") => run_lsp(&args[1..], out),
         Some("serve") => run_serve(&args[1..], out),
         Some("daemon") => run_daemon(&args[1..], out),
         Some("fixture") => run_fixture(&args[1..], out),
@@ -339,6 +361,9 @@ struct VerifyFlags {
     no_start: bool,
     /// Write a Chrome trace-event JSON of the run here (in-process only).
     trace_out: Option<PathBuf>,
+    /// Verify with proof-core tracking and counterexample minimization,
+    /// and render per-obligation cores (in-process only).
+    explain: bool,
     locations: DaemonPaths,
     paths: Vec<String>,
 }
@@ -353,6 +378,7 @@ fn parse_verify_flags(args: &[String], out: &mut String) -> Result<VerifyFlags, 
         daemon: false,
         no_start: false,
         trace_out: None,
+        explain: false,
         locations: DaemonPaths::new(),
         paths: Vec::new(),
     };
@@ -383,6 +409,7 @@ fn parse_verify_flags(args: &[String], out: &mut String) -> Result<VerifyFlags, 
             },
             "--daemon" => flags.daemon = true,
             "--no-start" => flags.no_start = true,
+            "--explain" => flags.explain = true,
             "--trace-out" => {
                 flags.trace_out = Some(take_path_value(&mut it, "--trace-out", out)?);
             }
@@ -414,6 +441,15 @@ fn parse_verify_flags(args: &[String], out: &mut String) -> Result<VerifyFlags, 
             "commcsl: --trace-out traces the in-process pipeline and cannot \
              be combined with --daemon; for daemon-side latency use \
              `commcsl daemon top` (or the `histograms` protocol op)"
+        );
+        return Err(EXIT_ERROR);
+    }
+    if flags.explain && flags.daemon {
+        let _ = writeln!(
+            out,
+            "commcsl: --explain toggles in-process verifier knobs (proof \
+             cores, counterexample minimization) and cannot be combined \
+             with --daemon: the daemon verifies under its own configuration"
         );
         return Err(EXIT_ERROR);
     }
@@ -559,7 +595,9 @@ fn verify_in_process(
     let verifier = Verifier::new()
         .with_threads(flags.threads)
         .with_backend(flags.backend)
-        .with_fail_fast(flags.fail_fast);
+        .with_fail_fast(flags.fail_fast)
+        .with_minimized_counterexamples(flags.explain)
+        .with_proof_cores(flags.explain);
     let outcomes = verifier.verify_batch(&refs);
     let results = programs
         .iter()
@@ -805,6 +843,31 @@ fn render_verify(
                 r.time_ms,
                 r.report
             );
+            if flags.explain {
+                for o in &r.report.obligations {
+                    let Some(core) = &o.core else { continue };
+                    let at = o.span.map(|s| format!(" at {s}")).unwrap_or_default();
+                    let sites = if core.is_empty() {
+                        "no path facts needed".to_owned()
+                    } else {
+                        core.iter()
+                            .map(|f| match f.span {
+                                Some(span) => span.to_string(),
+                                None => format!(
+                                    "stmt {}",
+                                    f.path
+                                        .iter()
+                                        .map(u32::to_string)
+                                        .collect::<Vec<_>>()
+                                        .join(".")
+                                ),
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    };
+                    let _ = writeln!(out, "  core [{}]{at}: {sites}", o.code);
+                }
+            }
         }
         // Aggregate discharge breakdown over the files that carried one.
         let (static_total, solver_total) = results
@@ -984,6 +1047,7 @@ fn run_profile(args: &[String], out: &mut String) -> i32 {
             daemon: false,
             no_start: false,
             trace_out: None,
+            explain: false,
             locations: DaemonPaths::new(),
             paths: Vec::new(),
         };
@@ -1434,6 +1498,72 @@ fn run_watch(args: &[String], out: &mut String) -> i32 {
         if !chunk.is_empty() {
             print!("{chunk}");
             let _ = std::io::stdout().flush();
+        }
+    }
+}
+
+// --------------------------------------------------------------------- lsp
+
+/// `commcsl lsp`: the editor language server on stdin/stdout. The
+/// protocol machine lives in `commcsl-lsp`; this entry point parses
+/// flags, injects the `.csl` compiler, and hands the process's stdio to
+/// [`commcsl_lsp::LspServer::run`]. Counterexample minimization and
+/// proof-core hints are *on* by default here — an editor session is
+/// exactly where their extra cost buys the most — and can be switched
+/// off per flag.
+fn run_lsp(args: &[String], out: &mut String) -> i32 {
+    let mut backend = BackendKind::default();
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut minimize = true;
+    let mut hints = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            // stdio is the only transport; the flag exists because most
+            // editors pass it unconditionally.
+            "--stdio" => {}
+            "--backend" => match it.next().and_then(|v| BackendKind::from_name(v)) {
+                Some(kind) => backend = kind,
+                None => {
+                    let _ = writeln!(out, "commcsl: --backend needs `fresh` or `incremental`");
+                    return EXIT_ERROR;
+                }
+            },
+            "--cache-dir" => match take_path_value(&mut it, "--cache-dir", out) {
+                Ok(dir) => cache_dir = Some(dir),
+                Err(code) => return code,
+            },
+            "--no-minimize" => minimize = false,
+            "--no-hints" => hints = false,
+            other => {
+                let _ = writeln!(out, "commcsl: unknown lsp option `{other}`\n{USAGE}");
+                return EXIT_ERROR;
+            }
+        }
+    }
+    let config = commcsl_verifier::workspace::WorkspaceConfig {
+        verifier: VerifierConfig {
+            backend,
+            minimize_counterexamples: minimize,
+            proof_cores: hints,
+            ..VerifierConfig::default()
+        },
+        cache: match cache_dir {
+            Some(dir) => CacheConfig::persistent(&dir),
+            None => CacheConfig::default(),
+        },
+    };
+    let mut server = commcsl_lsp::LspServer::new(
+        config,
+        Box::new(|source| compile(source).map_err(|e| e.to_string())),
+    );
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    match server.run(&mut stdin.lock(), &mut stdout.lock()) {
+        Ok(code) => code,
+        Err(e) => {
+            let _ = writeln!(out, "commcsl: lsp transport error: {e}");
+            EXIT_ERROR
         }
     }
 }
@@ -2500,6 +2630,60 @@ mod tests {
         fs::remove_dir_all(&dir).ok();
     }
 
+    #[test]
+    fn verify_explain_renders_cores_and_gates_the_json_fields() {
+        let dir = temp_corpus("explain");
+        let good = dir.join("good.csl").display().to_string();
+        let bad = dir.join("bad.csl").display().to_string();
+
+        // Text mode: per-obligation core lines appear under --explain.
+        let mut out = String::new();
+        assert_eq!(
+            run(&["verify".into(), "--explain".into(), good.clone()], &mut out),
+            EXIT_OK,
+            "{out}"
+        );
+        assert!(out.contains("core [low-output]"), "{out}");
+
+        // JSON mode: `core` fields in the report only under --explain.
+        let mut explained = String::new();
+        assert_eq!(
+            run(
+                &["verify".into(), "--explain".into(), "--json".into(), good.clone()],
+                &mut explained
+            ),
+            EXIT_OK
+        );
+        assert!(explained.contains("\"core\":["), "{explained}");
+        let mut plain = String::new();
+        assert_eq!(run(&["verify".into(), "--json".into(), good], &mut plain), EXIT_OK);
+        assert!(!plain.contains("\"core\":["), "{plain}");
+
+        // --explain toggles in-process knobs; --daemon is a usage error.
+        let mut out = String::new();
+        assert_eq!(
+            run(
+                &["verify".into(), "--explain".into(), "--daemon".into(), bad],
+                &mut out
+            ),
+            EXIT_ERROR
+        );
+        assert!(out.contains("--explain"), "{out}");
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lsp_rejects_bad_options_before_touching_stdio() {
+        let mut out = String::new();
+        assert_eq!(run(&["lsp".into(), "--bogus".into()], &mut out), EXIT_ERROR);
+        assert!(out.contains("unknown lsp option"), "{out}");
+        let mut out = String::new();
+        assert_eq!(run(&["lsp".into(), "--backend".into()], &mut out), EXIT_ERROR);
+        let mut out = String::new();
+        assert_eq!(run(&["lsp".into(), "--cache-dir".into()], &mut out), EXIT_ERROR);
+    }
+
     #[cfg(unix)]
     #[test]
     fn verify_daemon_mode_against_a_live_daemon_and_fallback_without_one() {
@@ -3159,6 +3343,31 @@ mod tests {
             out.contains("did you mean the fixture `Figure 2`? (try `commcsl fixture Figure 2`)"),
             "{out}"
         );
+    }
+
+    /// `lint` routes its missing-path error through the same
+    /// `collect_files` helper as `verify`/`fmt`, so a near-miss fixture
+    /// name gets the same did-you-mean hint on every file-taking command.
+    #[test]
+    fn lint_suggests_fixture_for_unknown_path() {
+        for command in ["lint", "fmt"] {
+            let mut out = String::new();
+            assert_eq!(
+                run(&[command.into(), "Figure 22".into()], &mut out),
+                EXIT_ERROR,
+                "{command}"
+            );
+            assert!(
+                out.contains("no such file or directory: `Figure 22`"),
+                "{command}: {out}"
+            );
+            assert!(
+                out.contains(
+                    "did you mean the fixture `Figure 2`? (try `commcsl fixture Figure 2`)"
+                ),
+                "{command}: {out}"
+            );
+        }
     }
 
     /// Writes a corpus for the lint tests: a clean file, a note-only file

@@ -1,0 +1,48 @@
+//! **commcsl-lsp** — the editor-facing language server.
+//!
+//! This crate turns the verifier's incremental [`Workspace`] sessions
+//! into a Language Server Protocol endpoint, so editors get live
+//! CommCSL verification with the same byte-identical reports the CLI
+//! and daemon produce. It is deliberately dependency-free: the JSON
+//! value type and the surface compiler are both borrowed from elsewhere
+//! in the workspace (the JSON from `commcsl-server`, the compiler
+//! injected by `commcsl-front` as a closure — this crate never parses
+//! `.csl` itself, keeping the dependency arrow pointing forward).
+//!
+//! The protocol surface (see `docs/lsp.md` for the full matrix and a
+//! wire transcript):
+//!
+//! | Method | Behavior |
+//! |---|---|
+//! | `initialize` / `initialized` / `shutdown` / `exit` | standard lifecycle; orderly exit code per the spec |
+//! | `textDocument/didOpen` | compile + verify; publish diagnostics |
+//! | `textDocument/didChange` | full-document sync; re-verify **incrementally** (only the edit's obligation cone re-checks) |
+//! | `textDocument/didClose` | drop the workspace document; clear diagnostics |
+//! | `textDocument/publishDiagnostics` | failed obligations (stable [`DiagnosticCode`] spellings), compile errors, unneeded-annotation hints |
+//! | `textDocument/hover` | per-obligation status, failure reason, (minimized) counterexample table, proof-core fact sites |
+//! | `$/progress` | `begin`/`report`/`end` per revision, driven by [`WorkspaceEvent`]s |
+//!
+//! Two verifier knobs matter to the editor experience and are enabled
+//! by the `commcsl lsp` CLI entry point:
+//!
+//! * [`VerifierConfig::minimize_counterexamples`] delta-debugs each
+//!   failure's path-fact cone so hover shows a counterexample over the
+//!   facts that *matter*, not the whole path;
+//! * [`VerifierConfig::proof_cores`] records which asserted facts each
+//!   proof needed and surfaces annotations no proof uses as hint
+//!   diagnostics.
+//!
+//! [`Workspace`]: commcsl_verifier::workspace::Workspace
+//! [`WorkspaceEvent`]: commcsl_verifier::workspace::WorkspaceEvent
+//! [`DiagnosticCode`]: commcsl_verifier::diag::DiagnosticCode
+//! [`VerifierConfig::minimize_counterexamples`]: commcsl_verifier::report::VerifierConfig::minimize_counterexamples
+//! [`VerifierConfig::proof_cores`]: commcsl_verifier::report::VerifierConfig::proof_cores
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rpc;
+pub mod server;
+
+pub use rpc::{read_frame, write_frame, Message};
+pub use server::LspServer;

@@ -102,7 +102,7 @@ use commcsl_verifier::diag::{CexBinding, Counterexample, DiagnosticCode, Failure
 use commcsl_verifier::hash::ProgramHash;
 use commcsl_verifier::obligation::ObligationVerdict;
 use commcsl_verifier::report::{
-    ObligationResult, ObligationStatus, VerifierReport, REPORT_SCHEMA_VERSION,
+    CoreFact, ObligationResult, ObligationStatus, VerifierReport, REPORT_SCHEMA_VERSION,
 };
 
 use crate::json::Json;
@@ -545,23 +545,54 @@ pub fn report_to_json(report: &VerifierReport) -> Json {
                     fields.push(("counterexample".to_owned(), Json::Arr(bindings)));
                 }
             }
+            if let Some(core) = &o.core {
+                let facts = core
+                    .iter()
+                    .map(|f| {
+                        let mut cf = vec![(
+                            "path".to_owned(),
+                            Json::Arr(
+                                f.path.iter().map(|c| Json::Num(f64::from(*c))).collect(),
+                            ),
+                        )];
+                        if let Some(span) = &f.span {
+                            cf.push(("span".to_owned(), Json::str(span.to_string())));
+                        }
+                        Json::Obj(cf)
+                    })
+                    .collect();
+                fields.push(("core".to_owned(), Json::Arr(facts)));
+            }
             Json::Obj(fields)
         })
         .collect();
-    Json::obj([
+    let mut fields = vec![
         (
-            "schema_version",
+            "schema_version".to_owned(),
             Json::Num(f64::from(REPORT_SCHEMA_VERSION)),
         ),
-        ("program", Json::str(&report.program)),
-        ("verified", Json::Bool(report.verified())),
-        ("proved", Json::Num(report.proved_count() as f64)),
-        ("obligations", Json::Arr(obligations)),
+        ("program".to_owned(), Json::str(&report.program)),
+        ("verified".to_owned(), Json::Bool(report.verified())),
+        ("proved".to_owned(), Json::Num(report.proved_count() as f64)),
+        ("obligations".to_owned(), Json::Arr(obligations)),
         (
-            "errors",
+            "errors".to_owned(),
             Json::Arr(report.errors.iter().map(Json::str).collect()),
         ),
-    ])
+    ];
+    if !report.hints.is_empty() {
+        fields.push((
+            "hints".to_owned(),
+            Json::Arr(
+                report
+                    .hints
+                    .iter()
+                    .map(|h| Json::Obj(lint_fields(h)))
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Obj(fields)
 }
 
 /// Parses a report back from its JSON shape. The derived fields
@@ -644,11 +675,22 @@ pub fn report_from_json(doc: &Json) -> Result<VerifierReport, String> {
                 }
                 ObligationStatus::Failed(failure)
             };
+            let core = o
+                .get("core")
+                .map(|core| {
+                    core.as_arr()
+                        .ok_or("`core` must be an array")?
+                        .iter()
+                        .map(core_fact_from_json)
+                        .collect::<Result<Vec<_>, String>>()
+                })
+                .transpose()?;
             Ok(ObligationResult {
                 description,
                 code,
                 span,
                 status,
+                core,
             })
         })
         .collect::<Result<Vec<_>, String>>()?;
@@ -663,12 +705,50 @@ pub fn report_from_json(doc: &Json) -> Result<VerifierReport, String> {
                 .ok_or_else(|| "errors must be strings".to_owned())
         })
         .collect::<Result<Vec<_>, String>>()?;
+    let hints = match doc.get("hints") {
+        None => Vec::new(),
+        Some(hints) => hints
+            .as_arr()
+            .ok_or("`hints` must be an array")?
+            .iter()
+            .map(lint_from_json)
+            .collect::<Result<Vec<_>, String>>()?,
+    };
     Ok(VerifierReport {
         program,
         obligations,
         errors,
+        hints,
     })
 }
+
+/// Parses one statement path (an array of numeric components).
+fn path_from_json(doc: &Json) -> Result<Vec<u32>, String> {
+    doc.as_arr()
+        .ok_or("`path` must be an array")?
+        .iter()
+        .map(|c| {
+            c.as_u64()
+                .and_then(|c| u32::try_from(c).ok())
+                .ok_or_else(|| "path components must be small numbers".to_owned())
+        })
+        .collect()
+}
+
+/// Parses one proof-core fact (`{path, span?}`).
+fn core_fact_from_json(doc: &Json) -> Result<CoreFact, String> {
+    let path = path_from_json(doc.get("path").ok_or("core fact needs `path`")?)?;
+    let span = doc
+        .get("span")
+        .map(|s| {
+            s.as_str()
+                .ok_or("`span` must be a string")?
+                .parse::<SourceSpan>()
+        })
+        .transpose()?;
+    Ok(CoreFact { path, span })
+}
+
 
 // -------------------------------------------------------------- responses
 
@@ -1545,11 +1625,32 @@ pub fn obligation_event_json(
     if let Some(span) = &result.span {
         fields.push(("span".to_owned(), Json::str(span.to_string())));
     }
+    fields.push((
+        "proved".to_owned(),
+        Json::Bool(result.status == ObligationStatus::Proved),
+    ));
+    // Failure details mirror the final report's obligation objects, so a
+    // streaming consumer needs no second lookup to show the reason or the
+    // per-execution witness (they were previously report-only and the
+    // events carried a bare `proved:false`).
+    if let ObligationStatus::Failed(failure) = &result.status {
+        fields.push(("reason".to_owned(), Json::str(&failure.reason)));
+        if let Some(cex) = &failure.counterexample {
+            let bindings = cex
+                .bindings
+                .iter()
+                .map(|b| {
+                    Json::Obj(vec![
+                        ("var".to_owned(), Json::str(&b.var)),
+                        ("exec1".to_owned(), Json::str(&b.exec1)),
+                        ("exec2".to_owned(), Json::str(&b.exec2)),
+                    ])
+                })
+                .collect();
+            fields.push(("counterexample".to_owned(), Json::Arr(bindings)));
+        }
+    }
     fields.extend([
-        (
-            "proved".to_owned(),
-            Json::Bool(result.status == ObligationStatus::Proved),
-        ),
         (
             "reused".to_owned(),
             Json::Bool(verdict == ObligationVerdict::Reused),
@@ -1916,6 +2017,7 @@ mod tests {
                 code: DiagnosticCode::LowOutput,
                 span: Some(SourceSpan::new(3, 1)),
                 status: ObligationStatus::Proved,
+                core: None,
             },
             ObligationVerdict::Reused,
             Duration::from_micros(1500),
@@ -1936,6 +2038,7 @@ mod tests {
                 code: DiagnosticCode::LowOutput,
                 span: None,
                 status: ObligationStatus::Proved,
+                core: None,
             },
             ObligationVerdict::StaticallyProven,
             Duration::ZERO,
@@ -1943,6 +2046,73 @@ mod tests {
         .to_string();
         assert!(statically.contains("\"reused\":false"));
         assert!(statically.contains("\"verdict\":\"static\""));
+    }
+
+    #[test]
+    fn failed_obligation_events_carry_reason_and_counterexample() {
+        // Pin the satellite fix: `obligation_done` events for failures used
+        // to carry a bare `proved:false` even though the final report had the
+        // reason and witness. The event must now mirror the report fields.
+        let result = ObligationResult {
+            description: "Low(out\u{1F600})".into(),
+            code: DiagnosticCode::LowOutput,
+            span: Some(SourceSpan::new(9, 2)),
+            status: ObligationStatus::Failed(
+                Failure::new("countermodel: h\"x\"=1").with_counterexample(Counterexample {
+                    bindings: vec![CexBinding {
+                        var: "h\\w".into(),
+                        exec1: "1".into(),
+                        exec2: "2".into(),
+                    }],
+                }),
+            ),
+            core: None,
+        };
+        let event = obligation_event_json(
+            "a.csl",
+            4,
+            &result,
+            ObligationVerdict::SolverChecked,
+            Duration::from_micros(250),
+        );
+        let line = event.to_string();
+        assert!(line.contains("\"proved\":false"), "{line}");
+        assert!(line.contains("\"reason\":\"countermodel: h\\\"x\\\"=1\""), "{line}");
+        assert!(
+            line.contains(
+                "\"counterexample\":[{\"var\":\"h\\\\w\",\"exec1\":\"1\",\"exec2\":\"2\"}]"
+            ),
+            "{line}"
+        );
+        // The enriched fields survive the wire: parse back and check the
+        // values land where a streaming consumer would read them.
+        let back = Json::parse(&line).unwrap();
+        assert_eq!(
+            back.get("reason").and_then(Json::as_str),
+            Some("countermodel: h\"x\"=1")
+        );
+        let cex = back.get("counterexample").and_then(Json::as_arr).unwrap();
+        assert_eq!(cex.len(), 1);
+        assert_eq!(cex[0].get("var").and_then(Json::as_str), Some("h\\w"));
+        assert_eq!(cex[0].get("exec1").and_then(Json::as_str), Some("1"));
+        assert_eq!(cex[0].get("exec2").and_then(Json::as_str), Some("2"));
+        // Proved events must not grow the failure fields.
+        let proved = obligation_event_json(
+            "a.csl",
+            5,
+            &ObligationResult {
+                description: "Low(out)".into(),
+                code: DiagnosticCode::LowOutput,
+                span: None,
+                status: ObligationStatus::Proved,
+                core: None,
+            },
+            ObligationVerdict::SolverChecked,
+            Duration::ZERO,
+        )
+        .to_string();
+        assert!(!proved.contains("\"reason\""), "{proved}");
+        assert!(!proved.contains("\"counterexample\""), "{proved}");
     }
 
     #[test]
@@ -2036,6 +2206,16 @@ mod tests {
                     code: DiagnosticCode::ActionPre,
                     span: Some(SourceSpan::new(12, 7)),
                     status: ObligationStatus::Proved,
+                    core: Some(vec![
+                        CoreFact {
+                            path: vec![],
+                            span: None,
+                        },
+                        CoreFact {
+                            path: vec![3, 1, 0],
+                            span: Some(SourceSpan::new(8, 4)),
+                        },
+                    ]),
                 },
                 ObligationResult {
                     description: "Low(output \"x\")".into(),
@@ -2052,9 +2232,17 @@ mod tests {
                             },
                         ),
                     ),
+                    core: None,
                 },
             ],
             errors: vec!["guard \\ misuse\nsecond line".into()],
+            hints: vec![Lint {
+                code: LintCode::UnneededAnnotation,
+                severity: Severity::Note,
+                path: vec![4],
+                span: Some(SourceSpan::new(14, 1)),
+                message: "no proved obligation needed \"this\" unshare".into(),
+            }],
         }
     }
 
@@ -2094,8 +2282,10 @@ mod tests {
                         }],
                     }),
                 ),
+                core: None,
             }],
             errors: vec![nasty.clone()],
+            hints: vec![],
         };
         let parsed = Json::parse(&report.to_json()).unwrap();
         let recovered = report_from_json(&parsed).unwrap();

@@ -140,7 +140,12 @@ pub fn find_counterexample(
     None
 }
 
-fn refutes(hyps: &[Term], goal: &Term, env: &Env) -> bool {
+/// Checks that `env` is a genuine countermodel: every hypothesis
+/// evaluates to `true` and the goal evaluates to `false`. This is the
+/// acceptance test [`find_counterexample`] applies to its candidates,
+/// exposed so consumers (counterexample minimization, tests) can
+/// re-validate an environment against a different hypothesis set.
+pub fn refutes(hyps: &[Term], goal: &Term, env: &Env) -> bool {
     for h in hyps {
         match h.eval(env) {
             Ok(Value::Bool(true)) => {}

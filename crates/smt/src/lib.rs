@@ -21,6 +21,9 @@
 //!    ([`SolverSession`]: `push`/`pop`/`assert`/`check`), with the
 //!    stateless `fresh` engine and the default `incremental` engine that
 //!    keeps per-scope state on a backtrackable congruence closure.
+//! 7. **Assumption tracking** ([`assume`]) — recovers, for a proved
+//!    entailment, a sound over-approximation of the hypotheses the
+//!    refutation can have used (the verifier's proof cores).
 //!
 //! The solver is *three-valued*: [`Verdict::Proved`] and
 //! [`Verdict::Disproved`] are definitive; [`Verdict::Unknown`] is an honest
@@ -46,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod assume;
 pub mod backend;
 pub mod congruence;
 pub mod falsify;
@@ -53,6 +57,7 @@ pub mod lia;
 pub mod solver;
 mod union_find;
 
+pub use assume::assumption_core;
 pub use backend::{
     BackendInfo, BackendKind, FreshBackend, IncrementalBackend, SessionStats, SolverBackend,
     SolverSession,

@@ -156,6 +156,33 @@ impl Verifier {
         self
     }
 
+    /// Enables delta-debugging minimization of counterexamples (off by
+    /// default). When on, every falsified obligation's environment is
+    /// shrunk to a minimal fact cone that still falsifies, so hovers and
+    /// reports show the two or three bindings that exhibit the leak. The
+    /// knob is part of the content hash — cached verdicts never cross the
+    /// setting — and reports with it off stay byte-identical to builds
+    /// that predate it.
+    #[must_use]
+    pub fn with_minimized_counterexamples(mut self, enabled: bool) -> Self {
+        assert_unused(&self.cached, "with_minimized_counterexamples");
+        self.batch.verifier.minimize_counterexamples = enabled;
+        self
+    }
+
+    /// Enables proof-core tracking (off by default). When on, every
+    /// proved obligation records which asserted facts its proof can have
+    /// used, and the report aggregates per-program "unneeded annotation"
+    /// hints. Part of the content hash, like
+    /// [`with_minimized_counterexamples`](Self::with_minimized_counterexamples);
+    /// reports with it off are byte-identical to builds that predate it.
+    #[must_use]
+    pub fn with_proof_cores(mut self, enabled: bool) -> Self {
+        assert_unused(&self.cached, "with_proof_cores");
+        self.batch.verifier.proof_cores = enabled;
+        self
+    }
+
     /// The effective per-program configuration.
     pub fn config(&self) -> &VerifierConfig {
         &self.batch.verifier

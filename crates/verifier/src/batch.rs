@@ -95,6 +95,7 @@ pub(crate) fn skipped_report(name: &str) -> VerifierReport {
         program: name.to_owned(),
         obligations: Vec::new(),
         errors: vec!["skipped: fail-fast stopped the batch after an earlier failure".into()],
+        hints: Vec::new(),
     }
 }
 

@@ -44,8 +44,11 @@ use crate::batch::{verify_batch_stored, BatchConfig};
 use crate::diag::{CexBinding, Counterexample, DiagnosticCode, Failure, SourceSpan};
 use crate::hash::{program_hash, ProgramHash, HASH_FORMAT_VERSION};
 use crate::obligation::{ObligationKey, ObligationStore};
-use crate::program::AnnotatedProgram;
-use crate::report::{ObligationResult, ObligationStatus, VerifierConfig, VerifierReport};
+use crate::program::{AnnotatedProgram, StmtPath};
+use crate::report::{
+    CoreFact, Lint, LintCode, ObligationResult, ObligationStatus, Severity, VerifierConfig,
+    VerifierReport,
+};
 
 // ---------------------------------------------------------------- verdict
 // file format: a line-based, escaped, self-validating encoding.
@@ -115,9 +118,11 @@ fn decode_code_span(code: &str, span: &str) -> Option<(DiagnosticCode, Option<So
 ///
 /// ```text
 /// proved <code>\t<span|->\t<description>
+/// core <n>\t<path>@<span|->...       (after a proved line, when tracked)
 /// failed <code>\t<span|->\t<description>\t<reason>
 /// failedc <n>\t<code>\t<span|->\t<description>\t<reason>
 /// cex <var>\t<exec1>\t<exec2>        (exactly n, after a failedc line)
+/// hint <code>\t<severity>\t<span|->\t<path|->\t<message>
 /// ```
 fn encode_verdict(key: ProgramHash, report: &VerifierReport) -> String {
     let mut out = String::new();
@@ -135,6 +140,9 @@ fn encode_verdict(key: ProgramHash, report: &VerifierReport) -> String {
                     encode_code_span(o),
                     escape(&o.description)
                 ));
+                if let Some(core) = &o.core {
+                    out.push_str(&encode_core_line(core));
+                }
             }
             ObligationStatus::Failed(failure) => match &failure.counterexample {
                 None => {
@@ -165,7 +173,59 @@ fn encode_verdict(key: ProgramHash, report: &VerifierReport) -> String {
             },
         }
     }
+    for h in &report.hints {
+        out.push_str(&format!(
+            "hint {}\t{}\t{}\t{}\t{}\n",
+            h.code.as_str(),
+            h.severity.as_str(),
+            encode_opt_span(h.span),
+            encode_path(&h.path),
+            escape(&h.message)
+        ));
+    }
     out
+}
+
+/// Renders a statement path as dot-separated components (`-` = the empty
+/// program-level path). Components are numeric, so no escaping is needed.
+fn encode_path(path: &StmtPath) -> String {
+    if path.is_empty() {
+        "-".to_owned()
+    } else {
+        path.iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+}
+
+fn decode_path(s: &str) -> Option<StmtPath> {
+    if s == "-" {
+        return Some(Vec::new());
+    }
+    s.split('.').map(|c| c.parse::<u32>().ok()).collect()
+}
+
+fn encode_opt_span(span: Option<SourceSpan>) -> String {
+    span.map(|s| s.to_string()).unwrap_or_else(|| "-".to_owned())
+}
+
+fn decode_opt_span(s: &str) -> Option<Option<SourceSpan>> {
+    match s {
+        "-" => Some(None),
+        s => Some(Some(s.parse::<SourceSpan>().ok()?)),
+    }
+}
+
+/// Renders a proved obligation's tracked core as one tab-separated line:
+/// the fact count, then `<path>@<span|->` per core fact.
+fn encode_core_line(core: &[CoreFact]) -> String {
+    let mut line = format!("core {}", core.len());
+    for f in core {
+        line.push_str(&format!("\t{}@{}", encode_path(&f.path), encode_opt_span(f.span)));
+    }
+    line.push('\n');
+    line
 }
 
 const OBLIGATION_MAGIC: &str = "commcsl-obligation";
@@ -290,6 +350,7 @@ fn decode_verdict(key: ProgramHash, text: &str) -> Option<VerifierReport> {
     let program = unescape(lines.next()?.strip_prefix("program ")?)?;
     let mut errors = Vec::new();
     let mut obligations: Vec<ObligationResult> = Vec::new();
+    let mut hints: Vec<Lint> = Vec::new();
     let mut pending_cex: usize = 0;
     for line in lines {
         if let Some(rest) = line.strip_prefix("cex ") {
@@ -339,6 +400,48 @@ fn decode_verdict(key: ProgramHash, text: &str) -> Option<VerifierReport> {
                 code,
                 span,
                 status: ObligationStatus::Proved,
+                core: None,
+            });
+        } else if let Some(rest) = line.strip_prefix("core ") {
+            let mut fields = rest.split('\t');
+            let count: usize = fields.next()?.parse().ok()?;
+            let mut core = Vec::with_capacity(count);
+            for _ in 0..count {
+                let (path, span) = fields.next()?.split_once('@')?;
+                core.push(CoreFact {
+                    path: decode_path(path)?,
+                    span: decode_opt_span(span)?,
+                });
+            }
+            if fields.next().is_some() {
+                return None;
+            }
+            // A core line annotates the proved obligation just decoded.
+            let last = obligations.last_mut()?;
+            if last.core.is_some() || !matches!(last.status, ObligationStatus::Proved) {
+                return None;
+            }
+            last.core = Some(core);
+        } else if let Some(rest) = line.strip_prefix("hint ") {
+            let mut fields = rest.split('\t');
+            let code: LintCode = fields.next()?.parse().ok()?;
+            let severity = match fields.next()? {
+                "note" => Severity::Note,
+                "warning" => Severity::Warning,
+                _ => return None,
+            };
+            let span = decode_opt_span(fields.next()?)?;
+            let path = decode_path(fields.next()?)?;
+            let message = unescape(fields.next()?)?;
+            if fields.next().is_some() {
+                return None;
+            }
+            hints.push(Lint {
+                code,
+                severity,
+                path,
+                span,
+                message,
             });
         } else if let Some(rest) = line.strip_prefix("failed ") {
             let mut fields = rest.split('\t');
@@ -353,6 +456,7 @@ fn decode_verdict(key: ProgramHash, text: &str) -> Option<VerifierReport> {
                 code,
                 span,
                 status: ObligationStatus::Failed(Failure::new(reason)),
+                core: None,
             });
         } else if let Some(rest) = line.strip_prefix("failedc ") {
             let mut fields = rest.split('\t');
@@ -370,6 +474,7 @@ fn decode_verdict(key: ProgramHash, text: &str) -> Option<VerifierReport> {
                 status: ObligationStatus::Failed(
                     Failure::new(reason).with_counterexample(Counterexample::default()),
                 ),
+                core: None,
             });
             pending_cex = count;
         } else {
@@ -383,6 +488,7 @@ fn decode_verdict(key: ProgramHash, text: &str) -> Option<VerifierReport> {
         program,
         obligations,
         errors,
+        hints,
     })
 }
 
@@ -1253,6 +1359,16 @@ mod tests {
                     code: DiagnosticCode::ActionPre,
                     span: Some(SourceSpan::new(4, 11)),
                     status: ObligationStatus::Proved,
+                    core: Some(vec![
+                        CoreFact {
+                            path: vec![],
+                            span: None,
+                        },
+                        CoreFact {
+                            path: vec![3, 0, 1],
+                            span: Some(SourceSpan::new(9, 2)),
+                        },
+                    ]),
                 },
                 ObligationResult {
                     description: "Low(out)".into(),
@@ -1274,6 +1390,7 @@ mod tests {
                             ],
                         }),
                     ),
+                    core: None,
                 },
                 ObligationResult {
                     description: "empty cex stays Some".into(),
@@ -1282,15 +1399,24 @@ mod tests {
                     status: ObligationStatus::Failed(
                         Failure::new("no witness").with_counterexample(Counterexample::default()),
                     ),
+                    core: None,
                 },
             ],
             errors: vec!["guard \\ misuse".into()],
+            hints: vec![Lint {
+                code: LintCode::UnneededAnnotation,
+                severity: Severity::Note,
+                path: vec![4],
+                span: Some(SourceSpan::new(12, 1)),
+                message: "tab\there and \\slash".into(),
+            }],
         };
         let key = ProgramHash(42);
         let decoded = decode_verdict(key, &encode_verdict(key, &report)).unwrap();
         assert_eq!(decoded.program, report.program);
         assert_eq!(decoded.errors, report.errors);
         assert_eq!(decoded.obligations, report.obligations);
+        assert_eq!(decoded.hints, report.hints);
         // Byte-identical JSON rendering — the cache's core guarantee.
         assert_eq!(decoded.to_json(), report.to_json());
     }
@@ -1301,6 +1427,7 @@ mod tests {
             program: "p".into(),
             obligations: vec![],
             errors: vec![],
+            hints: vec![],
         };
         let good = encode_verdict(ProgramHash(7), &report);
         // Wrong key.
@@ -1340,8 +1467,10 @@ mod tests {
                         ],
                     }),
                 ),
+                core: None,
             }],
             errors: vec![],
+            hints: vec![],
         };
         let encoded = encode_verdict(ProgramHash(7), &with_cex);
         assert!(decode_verdict(ProgramHash(7), &encoded).is_some());
@@ -1362,6 +1491,7 @@ mod tests {
             program: "p".into(),
             obligations: vec![],
             errors: vec![],
+            hints: vec![],
         };
         cache.put(ProgramHash(1), &r);
         cache.put(ProgramHash(2), &r);
@@ -1619,6 +1749,7 @@ mod tests {
             program: "p".into(),
             obligations: vec![],
             errors: vec![],
+            hints: vec![],
         };
         server.put(ProgramHash(12), &report);
 

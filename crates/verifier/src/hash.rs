@@ -54,7 +54,17 @@ use crate::report::VerifierConfig;
 /// joined the hashed configuration. Verdicts are byte-identical across
 /// the knob, but v3 verdicts were produced by a binary that did not hash
 /// it, so they must not replay against one that does.
-pub const HASH_FORMAT_VERSION: u32 = 4;
+///
+/// v5: reports grew editor-facing payloads — delta-debugged *minimized*
+/// counterexamples on failures and *proof cores* (the facts each proved
+/// obligation needed) with their aggregated unneeded-annotation hints —
+/// and both knobs
+/// ([`minimize_counterexamples`](crate::report::VerifierConfig::minimize_counterexamples),
+/// [`proof_cores`](crate::report::VerifierConfig::proof_cores)) joined
+/// the hashed configuration. With both knobs off the report bytes are
+/// unchanged from v4, but a v4 verdict must not answer for a
+/// configuration that can carry the new fields.
+pub const HASH_FORMAT_VERSION: u32 = 5;
 
 const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
 const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
@@ -530,6 +540,10 @@ impl StableHash for VerifierConfig {
         h.write(&[u8::from(self.counterexamples)]);
         h.tag("static-prepass");
         h.write(&[u8::from(self.static_prepass)]);
+        h.tag("minimize-counterexamples");
+        h.write(&[u8::from(self.minimize_counterexamples)]);
+        h.tag("proof-cores");
+        h.write(&[u8::from(self.proof_cores)]);
     }
 }
 

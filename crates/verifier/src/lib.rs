@@ -62,6 +62,7 @@ pub mod api;
 pub mod batch;
 pub mod cache;
 pub mod hash;
+pub mod minimize;
 pub mod obligation;
 pub mod report;
 pub mod symexec;
@@ -77,11 +78,15 @@ pub use batch::{verify_batch, BatchConfig, BatchResult};
 pub use cache::{CacheConfig, CacheStats, CachedResult, CachedVerifier, VerdictCache};
 pub use diag::{CexBinding, Counterexample, DiagnosticCode, Failure, SourceSpan};
 pub use hash::{program_hash, ProgramHash, StableHash, StableHasher};
+pub use minimize::{minimize_counterexample, Minimized};
 pub use obligation::{
     obligation_graph, DischargeStats, ObligationEvent, ObligationGraph, ObligationKey,
     ObligationNode, ObligationStore,
 };
 pub use program::{AnnotatedProgram, StmtPath, VStmt};
-pub use report::{ObligationResult, ObligationStatus, VerifierConfig, VerifierReport};
+pub use report::{
+    CoreFact, Lint, LintCode, ObligationResult, ObligationStatus, Severity, VerifierConfig,
+    VerifierReport,
+};
 pub use symexec::{solver_trace, verify, verify_incremental, verify_with_stats, SolverEvent};
 pub use workspace::{DocOutcome, Workspace, WorkspaceConfig, WorkspaceEvent};

@@ -1,0 +1,175 @@
+//! Delta-debugging minimizer for falsified obligations.
+//!
+//! A failed obligation carries the full path-fact cone — every relational
+//! hypothesis live at the failing check — and the falsifier's environment
+//! binds every variable of that cone, which on realistic programs buries
+//! the two or three bindings that actually exhibit the leak. This module
+//! shrinks the *fact set* first and lets the environment follow: a fact
+//! subset is still a witness of the failure when (a) a scratch
+//! [`SolverSession`](commcsl_smt::SolverSession) of the configured
+//! backend still cannot prove the goal from it, and (b) the falsifier
+//! still finds a concrete environment refuting it. Hypothesis sets are
+//! monotone — removing facts can never make an unprovable goal provable —
+//! so check (a) is a safety re-check through the same seam the verifier
+//! proves with, never a semantic gamble.
+//!
+//! The search is the classic ddmin loop: try discarding chunks of half
+//! the remaining facts, halve the chunk on failure, finish with
+//! single-fact elimination. Every accepted candidate re-runs the
+//! falsifier, so the final environment is a genuine counterexample of the
+//! *minimal* cone: all kept facts evaluate true under it and the goal
+//! evaluates false — re-checkable with [`commcsl_smt::falsify::refutes`].
+//! Everything here is deterministic (the falsifier is seeded, the scan
+//! order is fixed), so both backends and every cache route minimize to
+//! the identical environment.
+
+use std::collections::BTreeMap;
+
+use commcsl_pure::term::Env;
+use commcsl_pure::{Sort, Symbol, Term};
+use commcsl_smt::falsify::{find_counterexample, FalsifyConfig};
+use commcsl_smt::{BackendKind, SolverConfig, Verdict};
+
+/// The result of minimizing one falsified obligation.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// Indices (into the original fact list) of the facts kept — the
+    /// minimal cone under single-fact removal.
+    pub kept: Vec<usize>,
+    /// The falsifying environment of the minimal cone: binds exactly the
+    /// variables of the kept facts and the goal.
+    pub env: Env,
+}
+
+/// Shrinks the fact cone of a falsified `goal` and returns the minimal
+/// witness. `initial` is the environment the full-cone falsification
+/// found; it is returned unchanged when no fact can be removed.
+///
+/// `sorts` must cover every free variable of `facts` and `goal` (the
+/// caller established this to falsify at all; extra entries are ignored).
+pub fn minimize_counterexample(
+    facts: &[Term],
+    goal: &Term,
+    sorts: &BTreeMap<Symbol, Sort>,
+    falsify: &FalsifyConfig,
+    backend: BackendKind,
+    solver: &SolverConfig,
+    initial: Env,
+) -> Minimized {
+    let mut kept: Vec<usize> = (0..facts.len()).collect();
+    let mut env = initial;
+    if kept.is_empty() {
+        return Minimized { kept, env };
+    }
+
+    let still_fails = |kept: &[usize]| -> Option<Env> {
+        let subset: Vec<Term> = kept.iter().map(|&i| facts[i].clone()).collect();
+        // (a) Re-check the shrunk subset through the solver-session seam:
+        // a subset the solver suddenly proves from would be a lying
+        // witness. (Monotonicity makes this unreachable in practice; the
+        // guard keeps the minimizer sound by construction, not by
+        // argument.)
+        let mut session = backend.open_session(solver.clone());
+        for fact in &subset {
+            session.assert(fact.clone());
+        }
+        if session.check(goal) == Verdict::Proved {
+            return None;
+        }
+        // (b) The shrunk cone must still falsify concretely.
+        find_counterexample(&subset, goal, sorts, falsify)
+    };
+
+    // ddmin: discard chunks, halving the chunk size until single facts.
+    let mut chunk = kept.len().div_ceil(2);
+    loop {
+        let mut at = 0;
+        while at < kept.len() {
+            let end = (at + chunk).min(kept.len());
+            let candidate: Vec<usize> = kept
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &f)| (i < at || i >= end).then_some(f))
+                .collect();
+            match still_fails(&candidate) {
+                Some(better) => {
+                    kept = candidate;
+                    env = better;
+                    // Re-scan from the same offset: the next chunk slid in.
+                }
+                None => at = end,
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = chunk.div_ceil(2).max(1);
+        if chunk == 1 && kept.len() <= 1 {
+            break;
+        }
+    }
+    Minimized { kept, env }
+}
+
+#[cfg(test)]
+mod tests {
+    use commcsl_smt::falsify::refutes;
+
+    use super::*;
+
+    fn int_sorts(vars: &[&str]) -> BTreeMap<Symbol, Sort> {
+        vars.iter()
+            .map(|v| (Symbol::new(*v), Sort::Int))
+            .collect()
+    }
+
+    #[test]
+    fn irrelevant_facts_are_dropped_and_witness_still_refutes() {
+        // Goal x = y is falsifiable; the z-facts are noise.
+        let facts = vec![
+            Term::le(Term::var("z"), Term::int(5)),
+            Term::le(Term::int(0), Term::var("x")),
+            Term::le(Term::int(0), Term::var("z")),
+        ];
+        let goal = Term::eq(Term::var("x"), Term::var("y"));
+        let sorts = int_sorts(&["x", "y", "z"]);
+        let falsify = FalsifyConfig::default();
+        let full = find_counterexample(&facts, &goal, &sorts, &falsify)
+            .expect("full cone falsifies");
+        let min = minimize_counterexample(
+            &facts,
+            &goal,
+            &sorts,
+            &falsify,
+            BackendKind::default(),
+            &SolverConfig::default(),
+            full.clone(),
+        );
+        // The z-only facts cannot survive single-fact elimination.
+        assert!(min.kept.len() < facts.len(), "kept {:?}", min.kept);
+        assert!(!min.env.contains_key(&Symbol::new("z")), "{:?}", min.env);
+        assert!(min.env.len() < full.len());
+        // The minimized environment still falsifies the kept cone.
+        let subset: Vec<Term> = min.kept.iter().map(|&i| facts[i].clone()).collect();
+        assert!(refutes(&subset, &goal, &min.env));
+    }
+
+    #[test]
+    fn empty_cone_returns_initial() {
+        let goal = Term::eq(Term::var("x"), Term::var("y"));
+        let sorts = int_sorts(&["x", "y"]);
+        let falsify = FalsifyConfig::default();
+        let env = find_counterexample(&[], &goal, &sorts, &falsify).expect("falsifies");
+        let min = minimize_counterexample(
+            &[],
+            &goal,
+            &sorts,
+            &falsify,
+            BackendKind::default(),
+            &SolverConfig::default(),
+            env.clone(),
+        );
+        assert!(min.kept.is_empty());
+        assert_eq!(min.env, env);
+    }
+}

@@ -16,6 +16,9 @@ use commcsl_smt::falsify::FalsifyConfig;
 use commcsl_smt::{BackendKind, SolverConfig};
 
 pub use crate::diag::{CexBinding, Counterexample, DiagnosticCode, Failure, SourceSpan};
+pub use commcsl_analysis::lint::{Lint, LintCode, Severity};
+
+use crate::program::StmtPath;
 
 /// Version of the report JSON shape emitted by
 /// [`VerifierReport::to_json`] (and therefore by the CLI's `--json`
@@ -53,6 +56,21 @@ pub struct VerifierConfig {
     /// the knob is still part of the content hash — cached timings and
     /// discharge counters are only comparable within one setting.
     pub static_prepass: bool,
+    /// Whether falsified obligations delta-debug their path-fact cone
+    /// down to a minimal falsifying environment (see
+    /// [`crate::minimize`]). Off by default: minimization re-checks
+    /// shrunk fact subsets through a scratch solver session, so it costs
+    /// extra solver/falsifier work per failure. Part of the content hash;
+    /// with the knob off, report bytes are identical to a build without
+    /// the feature.
+    pub minimize_counterexamples: bool,
+    /// Whether proved obligations record their *proof core* — the subset
+    /// of path facts the proof can have used (see
+    /// [`commcsl_smt::assume`]) — and reports aggregate the cores into
+    /// per-program unneeded-annotation hints. Off by default; part of the
+    /// content hash; with the knob off, report bytes are identical to a
+    /// build without the feature.
+    pub proof_cores: bool,
 }
 
 impl VerifierConfig {
@@ -73,6 +91,8 @@ impl Default for VerifierConfig {
             backend: BackendKind::default(),
             counterexamples: true,
             static_prepass: true,
+            minimize_counterexamples: false,
+            proof_cores: false,
         }
     }
 }
@@ -93,6 +113,17 @@ impl ObligationStatus {
     }
 }
 
+/// One fact site contributing to an obligation's proof core: the
+/// statement that asserted the fact, identified by its [`StmtPath`] and —
+/// when the program came through the frontend — its source position.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CoreFact {
+    /// Statement path of the asserting site.
+    pub path: StmtPath,
+    /// Source position of the asserting site, when known.
+    pub span: Option<SourceSpan>,
+}
+
 /// One discharged (or failed) obligation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObligationResult {
@@ -105,6 +136,11 @@ pub struct ObligationResult {
     pub span: Option<SourceSpan>,
     /// The outcome.
     pub status: ObligationStatus,
+    /// The proof core — fact sites the proof can have used, deduplicated
+    /// by path and sorted. `Some` only for proved obligations of a run
+    /// with [`VerifierConfig::proof_cores`] enabled, so reports with the
+    /// knob off render byte-identically to builds without the field.
+    pub core: Option<Vec<CoreFact>>,
 }
 
 impl ObligationResult {
@@ -127,6 +163,11 @@ pub struct VerifierReport {
     /// Structural errors (guard misuse, malformed program) that prevent
     /// verification regardless of the solver.
     pub errors: Vec<String>,
+    /// Lint-style notes aggregated from the proof cores: annotation sites
+    /// whose facts no proved obligation needed (see
+    /// [`LintCode::UnneededAnnotation`]). Empty — and absent from the
+    /// JSON — unless [`VerifierConfig::proof_cores`] is enabled.
+    pub hints: Vec<Lint>,
 }
 
 impl VerifierReport {
@@ -222,14 +263,25 @@ impl VerifierReport {
                         ));
                     }
                 }
+                if let Some(core) = &o.core {
+                    let facts: Vec<String> =
+                        core.iter().map(core_fact_json).collect();
+                    fields.push(format!("\"core\":[{}]", facts.join(",")));
+                }
                 format!("{{{}}}", fields.join(","))
             })
             .collect();
         let errors: Vec<String> =
             self.errors.iter().map(|e| json_string(e)).collect();
+        let hints = if self.hints.is_empty() {
+            String::new()
+        } else {
+            let rendered: Vec<String> = self.hints.iter().map(hint_json).collect();
+            format!(",\"hints\":[{}]", rendered.join(","))
+        };
         format!(
             "{{\"schema_version\":{REPORT_SCHEMA_VERSION},\"program\":{},\"verified\":{},\
-             \"proved\":{},\"obligations\":[{}],\"errors\":[{}]}}",
+             \"proved\":{},\"obligations\":[{}],\"errors\":[{}]{hints}}}",
             json_string(&self.program),
             self.verified(),
             self.proved_count(),
@@ -237,6 +289,36 @@ impl VerifierReport {
             errors.join(","),
         )
     }
+}
+
+/// Renders one [`CoreFact`] for the report JSON (`span` omitted when
+/// absent, matching the obligation's own span field).
+fn core_fact_json(fact: &CoreFact) -> String {
+    let path: Vec<String> = fact.path.iter().map(u32::to_string).collect();
+    match &fact.span {
+        Some(span) => format!(
+            "{{\"path\":[{}],\"span\":{}}}",
+            path.join(","),
+            json_string(&span.to_string())
+        ),
+        None => format!("{{\"path\":[{}]}}", path.join(",")),
+    }
+}
+
+/// Renders one aggregated hint for the report JSON, in the same field
+/// shape the daemon protocol uses for lint findings.
+fn hint_json(hint: &Lint) -> String {
+    let mut fields = vec![
+        format!("\"code\":{}", json_string(hint.code.as_str())),
+        format!("\"severity\":{}", json_string(hint.severity.as_str())),
+    ];
+    if let Some(span) = &hint.span {
+        fields.push(format!("\"span\":{}", json_string(&span.to_string())));
+    }
+    let path: Vec<String> = hint.path.iter().map(u32::to_string).collect();
+    fields.push(format!("\"path\":[{}]", path.join(",")));
+    fields.push(format!("\"message\":{}", json_string(&hint.message)));
+    format!("{{{}}}", fields.join(","))
 }
 
 impl fmt::Display for VerifierReport {
@@ -278,6 +360,9 @@ impl fmt::Display for VerifierReport {
                 }
             }
         }
+        for hint in &self.hints {
+            writeln!(f, "  {hint}")?;
+        }
         Ok(())
     }
 }
@@ -292,6 +377,7 @@ mod tests {
             code: DiagnosticCode::LowOutput,
             span: None,
             status: ObligationStatus::Proved,
+            core: None,
         }
     }
 
@@ -301,6 +387,7 @@ mod tests {
             program: "p".into(),
             obligations: vec![proved("d")],
             errors: vec![],
+            hints: vec![],
         };
         assert!(r.verified());
         r.errors.push("structural".into());
@@ -311,6 +398,7 @@ mod tests {
             code: DiagnosticCode::ActionPre,
             span: Some(SourceSpan::new(3, 1)),
             status: ObligationStatus::failed("nope"),
+            core: None,
         });
         assert!(!r.verified());
         assert_eq!(r.failures().count(), 1);
@@ -377,8 +465,10 @@ mod tests {
                             },
                         ),
                     ),
+                    core: None,
                 }],
                 errors: vec![name.into()],
+                hints: vec![],
             };
             let json = r.to_json();
             // No raw control characters or unescaped quotes survive.
@@ -403,6 +493,7 @@ mod tests {
                     code: DiagnosticCode::ActionPre,
                     span: Some(SourceSpan::new(7, 5)),
                     status: ObligationStatus::Proved,
+                    core: None,
                 },
                 ObligationResult {
                     description: "Low(output)".into(),
@@ -417,9 +508,11 @@ mod tests {
                             }],
                         }),
                     ),
+                    core: None,
                 },
             ],
             errors: vec!["guard misuse".into()],
+            hints: vec![],
         };
         let json = r.to_json();
         assert!(json.starts_with(&format!(

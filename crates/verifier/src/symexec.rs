@@ -33,7 +33,7 @@
 //!   descriptions, codes, and spans are recomputed each run, and cached
 //!   statuses are keyed by everything that can influence them.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
 use commcsl_analysis::prepass::goal_statically_valid;
@@ -41,15 +41,18 @@ use commcsl_logic::spec::{ActionKind, ResourceSpec};
 use commcsl_logic::validity::check_validity;
 use commcsl_pure::{Sort, Symbol, Term};
 use commcsl_smt::falsify::find_counterexample;
-use commcsl_smt::{SessionStats, SolverSession, Verdict};
+use commcsl_smt::{assumption_core, SessionStats, SolverSession, Verdict};
 
 use crate::diag::{Counterexample, DiagnosticCode, Failure, SourceSpan};
 use crate::hash::{StableHash, StableHasher};
+use crate::minimize::minimize_counterexample;
 use crate::obligation::{
     DischargeStats, ObligationEvent, ObligationKey, ObligationStore, ObligationVerdict,
 };
 use crate::program::{AnnotatedProgram, StmtPath, VStmt};
-use crate::report::{ObligationResult, ObligationStatus, VerifierConfig, VerifierReport};
+use crate::report::{
+    CoreFact, Lint, LintCode, ObligationResult, ObligationStatus, VerifierConfig, VerifierReport,
+};
 
 /// Verifies an annotated program; see the crate docs for the obligations
 /// generated.
@@ -293,9 +296,6 @@ struct CachedState<'b> {
     pending_marks: Vec<(u64, usize)>,
     /// Number of times `pending` has been replayed into the session.
     replays: u64,
-    /// Statement path that asserted each live fact (parallel to
-    /// `Exec::facts`) — the fact half of each obligation's cone.
-    fact_origins: Vec<StmtPath>,
     stats: DischargeStats,
 }
 
@@ -315,7 +315,6 @@ impl<'b> CachedState<'b> {
             pending: Vec::new(),
             pending_marks: Vec::new(),
             replays: 0,
-            fact_origins: Vec::new(),
             stats: DischargeStats::default(),
         }
     }
@@ -372,6 +371,15 @@ struct Exec<'a, 'b> {
     /// The raw relational hypotheses, kept in parallel with the session
     /// scopes for the falsifier (which replays them on ground values).
     facts: Vec<Term>,
+    /// Statement path that asserted each live fact (parallel to `facts`)
+    /// — the fact half of each obligation's dependency cone, and the site
+    /// map proof cores resolve their fact indices through.
+    fact_origins: Vec<StmtPath>,
+    /// `unshare` sites whose abstraction-equality assumption counts as a
+    /// user annotation: `(path, resource name)`. Recorded only when
+    /// proof-core tracking is on; [`Exec::collect_hints`] reports the
+    /// sites no proved obligation's core reached.
+    annotation_sites: Vec<(StmtPath, Symbol)>,
     store: BTreeMap<Symbol, (Term, Term)>,
     /// Sorts of the symbolic variables minted so far (for countermodel
     /// search; `Sort::Unknown` disables falsification of goals that
@@ -406,6 +414,8 @@ impl<'a, 'b> Exec<'a, 'b> {
             discharge: Discharge::Direct,
             session: config.backend.open_session(config.solver.clone()),
             facts: Vec::new(),
+            fact_origins: Vec::new(),
+            annotation_sites: Vec::new(),
             store: BTreeMap::new(),
             var_sorts: BTreeMap::new(),
             resources: vec![ResState::Idle; program.resources.len()],
@@ -434,11 +444,55 @@ impl<'a, 'b> Exec<'a, 'b> {
                     .push(format!("resource {i} is still shared at program end"));
             }
         }
+        let hints = self.collect_hints();
         VerifierReport {
             program: self.program.name.clone(),
             obligations: std::mem::take(&mut self.obligations),
             errors: std::mem::take(&mut self.errors),
+            hints,
         }
+    }
+
+    /// Aggregates proof cores into "unneeded annotation" hints: `unshare`
+    /// sites whose abstraction-equality assumption no proved obligation's
+    /// core reaches. Emitted only for fully verified programs — on a
+    /// failure or structural error the conservative reading is that every
+    /// annotation may still be needed to finish the proof.
+    fn collect_hints(&self) -> Vec<Lint> {
+        if !self.config.proof_cores || !self.errors.is_empty() {
+            return Vec::new();
+        }
+        if self
+            .obligations
+            .iter()
+            .any(|o| !matches!(o.status, ObligationStatus::Proved))
+        {
+            return Vec::new();
+        }
+        let needed: BTreeSet<&StmtPath> = self
+            .obligations
+            .iter()
+            .flat_map(|o| o.core.iter().flatten())
+            .map(|c| &c.path)
+            .collect();
+        let mut hints: Vec<Lint> = self
+            .annotation_sites
+            .iter()
+            .filter(|(path, _)| !needed.contains(path))
+            .map(|(path, resource)| Lint {
+                code: LintCode::UnneededAnnotation,
+                severity: LintCode::UnneededAnnotation.severity(),
+                path: path.clone(),
+                span: self.program.span_at(path),
+                message: format!(
+                    "no proved obligation needed the abstraction equality from \
+                     unsharing resource `{resource}`; the `alpha` annotation \
+                     carries no proof here"
+                ),
+            })
+            .collect();
+        hints.sort_by(|a, b| a.path.cmp(&b.path));
+        hints
     }
 
     // ------------------------------------------------------------- helpers
@@ -467,13 +521,13 @@ impl<'a, 'b> Exec<'a, 'b> {
     /// context digest instead.
     fn push_fact(&mut self, fact: Term) {
         self.facts.push(fact.clone());
+        self.fact_origins.push(self.path.clone());
         match &mut self.discharge {
             Discharge::Direct => self.session.assert(fact),
             Discharge::Cached(state) => {
                 let top = state.ctx.last_mut().expect("root context");
                 top.tag("assert");
                 feed_term(top, &fact, &self.var_sorts);
-                state.fact_origins.push(self.path.clone());
                 state.pending.push(PendingOp::Assert(fact));
             }
         }
@@ -513,10 +567,10 @@ impl<'a, 'b> Exec<'a, 'b> {
                     // occurred inside): buffer the matching pop.
                     state.pending.push(PendingOp::Pop);
                 }
-                state.fact_origins.truncate(mark);
             }
         }
         self.facts.truncate(mark);
+        self.fact_origins.truncate(mark);
     }
 
     /// Applies every buffered session operation (incremental regime only;
@@ -588,12 +642,16 @@ impl<'a, 'b> Exec<'a, 'b> {
                     self.direct_stats.record(ObligationVerdict::SolverChecked);
                     self.direct_status(&goal)
                 };
+                let core = matches!(status, ObligationStatus::Proved)
+                    .then(|| self.core_candidate(&goal))
+                    .flatten();
                 self.obligation_times.push(started.elapsed());
                 self.obligations.push(ObligationResult {
                     description,
                     code,
                     span,
                     status,
+                    core,
                 });
             }
             Discharge::Cached(state) => {
@@ -610,16 +668,47 @@ impl<'a, 'b> Exec<'a, 'b> {
                     span,
                     path,
                 };
+                // The core is purely syntactic (facts + goal), so it is
+                // computed up front, identically for hits, static
+                // discharges, and solver checks — cache routes cannot
+                // perturb report bytes.
+                let core = self.core_candidate(&goal);
                 self.settle_cached(
                     state,
                     key,
                     meta,
+                    core,
                     true,
                     |exec| exec.config.static_prepass && goal_statically_valid(&goal),
                     |exec| exec.direct_status(&goal),
                 );
             }
         }
+    }
+
+    /// The proof core of a goal about to be (or just) proved, when
+    /// tracking is on: the statement paths of the facts
+    /// [`assumption_core`] admits, resolved through `fact_origins`,
+    /// deduplicated and sorted. `None` when the knob is off.
+    fn core_candidate(&self, goal: &Term) -> Option<Vec<CoreFact>> {
+        if !self.config.proof_cores {
+            return None;
+        }
+        let mut paths: Vec<StmtPath> = assumption_core(&self.facts, goal)
+            .into_iter()
+            .map(|i| self.fact_origins[i].clone())
+            .collect();
+        paths.sort();
+        paths.dedup();
+        Some(
+            paths
+                .into_iter()
+                .map(|path| {
+                    let span = self.program.span_at(&path);
+                    CoreFact { path, span }
+                })
+                .collect(),
+        )
     }
 
     /// Settles one obligation in the incremental regime — the shared
@@ -637,11 +726,13 @@ impl<'a, 'b> Exec<'a, 'b> {
     /// without replaying the buffered session (a `Sync` stands in for the
     /// skipped check, exactly like a store hit) and its status enters the
     /// store like any other.
+    #[allow(clippy::too_many_arguments)] // private discharge tail: the params are the obligation
     fn settle_cached(
         &mut self,
         mut state: Box<CachedState<'b>>,
         key: ObligationKey,
         meta: ObligationMeta,
+        core: Option<Vec<CoreFact>>,
         session_backed: bool,
         statically: impl FnOnce(&mut Self) -> bool,
         compute: impl FnOnce(&mut Self) -> ObligationStatus,
@@ -683,14 +774,18 @@ impl<'a, 'b> Exec<'a, 'b> {
             state.top().tag("flush");
         }
         state.stats.record(verdict);
+        let core = matches!(status, ObligationStatus::Proved)
+            .then_some(core)
+            .flatten();
         let result = ObligationResult {
             description: meta.description,
             code: meta.code,
             span: meta.span,
             status,
+            core,
         };
         let cone: &[StmtPath] = if session_backed {
-            &state.fact_origins
+            &self.fact_origins
         } else {
             &[]
         };
@@ -727,6 +822,9 @@ impl<'a, 'b> Exec<'a, 'b> {
     /// Hunts for a concrete falsifying assignment for a failed goal.
     /// Possible only when every free symbolic variable of the query has a
     /// known sort (fresh variables minted for havocs and merges do not).
+    /// With [`VerifierConfig::minimize_counterexamples`] on, the found
+    /// environment is delta-debugged down to a minimal fact cone before
+    /// it is reported.
     fn try_falsify(&self, goal: &Term) -> Option<commcsl_pure::term::Env> {
         if !self.config.counterexamples {
             return None;
@@ -746,7 +844,22 @@ impl<'a, 'b> Exec<'a, 'b> {
                 _ => return None,
             }
         }
-        find_counterexample(&self.facts, goal, &sorts, &self.config.falsify)
+        let env = find_counterexample(&self.facts, goal, &sorts, &self.config.falsify)?;
+        if !self.config.minimize_counterexamples {
+            return Some(env);
+        }
+        Some(
+            minimize_counterexample(
+                &self.facts,
+                goal,
+                &sorts,
+                &self.config.falsify,
+                self.config.backend,
+                &self.config.solver,
+                env,
+            )
+            .env,
+        )
     }
 
     fn prove_low(&mut self, description: impl Into<String>, code: DiagnosticCode, e: &Term) {
@@ -1034,11 +1147,17 @@ impl<'a, 'b> Exec<'a, 'b> {
                 let status = self.spec_validity_status(spec);
                 self.direct_stats.record(ObligationVerdict::SolverChecked);
                 self.obligation_times.push(started.elapsed());
+                // Spec validity never reads the path condition: its core
+                // is the empty fact set (when tracking is on at all).
+                let core = (self.config.proof_cores
+                    && matches!(status, ObligationStatus::Proved))
+                .then(Vec::new);
                 self.obligations.push(ObligationResult {
                     description,
                     code: DiagnosticCode::SpecValidity,
                     span,
                     status,
+                    core,
                 });
             }
             Discharge::Cached(state) => {
@@ -1058,8 +1177,10 @@ impl<'a, 'b> Exec<'a, 'b> {
                     path,
                 };
                 // Spec validity quantifies over action pairs — never a
-                // single goal term — so the pre-pass does not apply.
-                self.settle_cached(state, key, meta, false, |_| false, |exec| {
+                // single goal term — so the pre-pass does not apply. Its
+                // core is the empty fact set when tracking is on.
+                let core = self.config.proof_cores.then(Vec::new);
+                self.settle_cached(state, key, meta, core, false, |_| false, |exec| {
                     exec.spec_validity_status(spec)
                 });
             }
@@ -1295,6 +1416,12 @@ impl<'a, 'b> Exec<'a, 'b> {
         // final value to a fresh high pair constrained by the abstraction
         // equality.
         let (w1, w2) = self.fresh_high(&format!("{into}_final"), spec.value_sort.clone());
+        if self.config.proof_cores {
+            // The abstraction-equality assumption is the annotation the
+            // hints audit: an unshare no proved obligation's core reaches
+            // did not carry any proof.
+            self.annotation_sites.push((self.path.clone(), spec.name.clone()));
+        }
         self.push_fact(Term::eq(spec.alpha_term(&w1), spec.alpha_term(&w2)));
         // Consume-bindings (single-consumer FIFO): the element bound at
         // index i was the i-th element of the produced sequence (the pure

@@ -47,7 +47,7 @@ import json, sys
 s = json.loads(sys.argv[1])
 hits = s["memory_hits"] + s["disk_hits"]
 misses = s["misses"]
-corpus = 22  # 18 accepted + 4 rejected programs per pass
+corpus = 23  # 18 accepted + 5 rejected programs per pass
 assert misses == corpus, f"first pass should miss all {corpus}: {s}"
 assert hits >= 0.9 * corpus, f"second pass must be >=90% cached: {s}"
 assert s["programs"] == 2 * corpus, s

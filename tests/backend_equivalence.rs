@@ -5,7 +5,7 @@
 //!
 //! Pinned corpora:
 //!
-//! * the 18 Table 1 fixtures and the 4 rejected variants (builder form),
+//! * the 18 Table 1 fixtures and the 5 rejected variants (builder form),
 //! * the committed `.csl` corpus (span-carrying programs, so source
 //!   positions in diagnostics are covered too),
 //! * 64 random annotated programs from a proptest generator,

@@ -143,7 +143,7 @@ fn cli_verifies_both_corpora_end_to_end() {
         &mut out,
     );
     assert_eq!(code, 0, "CLI must reject the insecure corpus:\n{out}");
-    assert!(out.contains("4/4 programs rejected as required"), "{out}");
+    assert!(out.contains("5/5 programs rejected as required"), "{out}");
 
     // Glob expansion + JSON mode over the same corpus.
     let glob = corpus_dir("examples/programs")

@@ -1,0 +1,201 @@
+//! Counterexample-minimization properties.
+//!
+//! Two guarantees hold the minimizer to its contract:
+//!
+//! 1. **Minimized counterexamples still falsify.** The environment the
+//!    ddmin loop returns is a genuine countermodel of the *kept* fact
+//!    cone: every kept fact evaluates `true` under it and the goal
+//!    evaluates `false` (checked through the same
+//!    [`refutes`](commcsl::smt::falsify::refutes) acceptance test the
+//!    falsifier itself uses).
+//! 2. **Minimization never flips a verdict.** Verifying with
+//!    `minimize_counterexamples` on and off yields the same per-obligation
+//!    proved/failed statuses and failure reasons on the whole `.csl`
+//!    corpus — the knob only shrinks witnesses, it never changes what is
+//!    a witness of.
+//!
+//! Both are exercised on randomized fact/goal instances (proptest) and on
+//! the checked-in corpus (`tests/*.csl`, `examples/programs`,
+//! `examples/rejected`).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use commcsl::front::compile;
+use commcsl::pure::{Sort, Symbol, Term};
+use commcsl::smt::falsify::{find_counterexample, refutes, FalsifyConfig};
+use commcsl::smt::{BackendKind, SolverConfig};
+use commcsl::verifier::{minimize_counterexample, verify, ObligationStatus, VerifierConfig};
+use proptest::prelude::*;
+
+/// Every `.csl` file of the repository corpus.
+fn corpus() -> Vec<PathBuf> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    for dir in ["tests", "examples/programs", "examples/rejected"] {
+        for entry in std::fs::read_dir(root.join(dir)).expect("corpus dir") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().is_some_and(|e| e == "csl") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    assert!(!files.is_empty(), "corpus is empty");
+    files
+}
+
+/// Corpus half of the contract: same verdicts with the knob on and off,
+/// witnesses only ever shrink, and at least one program shrinks strictly.
+#[test]
+fn minimization_never_flips_corpus_verdicts_and_shrinks_a_witness() {
+    let base = VerifierConfig::default();
+    let minimizing = VerifierConfig {
+        minimize_counterexamples: true,
+        ..VerifierConfig::default()
+    };
+    let mut strictly_smaller = 0usize;
+    let mut failures_seen = 0usize;
+    for file in corpus() {
+        let source = std::fs::read_to_string(&file).expect("read corpus file");
+        let Ok(program) = compile(&source) else {
+            continue; // not every corpus file is a valid program
+        };
+        let plain = verify(&program, &base);
+        let small = verify(&program, &minimizing);
+        assert_eq!(
+            plain.obligations.len(),
+            small.obligations.len(),
+            "{}: obligation count changed",
+            file.display()
+        );
+        for (p, s) in plain.obligations.iter().zip(&small.obligations) {
+            match (&p.status, &s.status) {
+                (ObligationStatus::Proved, ObligationStatus::Proved) => {}
+                (ObligationStatus::Failed(pf), ObligationStatus::Failed(sf)) => {
+                    failures_seen += 1;
+                    assert_eq!(
+                        pf.reason,
+                        sf.reason,
+                        "{}: minimization changed a failure reason",
+                        file.display()
+                    );
+                    if let (Some(full), Some(min)) = (&pf.counterexample, &sf.counterexample) {
+                        assert!(
+                            min.bindings.len() <= full.bindings.len(),
+                            "{}: minimized witness grew ({} -> {} bindings)",
+                            file.display(),
+                            full.bindings.len(),
+                            min.bindings.len()
+                        );
+                        if min.bindings.len() < full.bindings.len() {
+                            strictly_smaller += 1;
+                        }
+                    }
+                }
+                (p, s) => panic!(
+                    "{}: verdict flipped under minimization: {p:?} vs {s:?}",
+                    file.display()
+                ),
+            }
+        }
+    }
+    assert!(failures_seen > 0, "corpus has no failing obligations to minimize");
+    assert!(
+        strictly_smaller > 0,
+        "no corpus counterexample shrank strictly ({failures_seen} failures checked)"
+    );
+}
+
+const VARS: [&str; 4] = ["x", "y", "z", "w"];
+
+fn int_sorts() -> BTreeMap<Symbol, Sort> {
+    VARS.iter().map(|v| (Symbol::new(*v), Sort::Int)).collect()
+}
+
+fn var_term() -> impl Strategy<Value = Term> {
+    (0usize..VARS.len()).prop_map(|i| Term::var(VARS[i]))
+}
+
+/// One random hypothesis: a small linear atom over the variable pool.
+fn fact() -> impl Strategy<Value = Term> {
+    (var_term(), var_term(), -3i64..=3, 0usize..3).prop_map(|(a, b, c, kind)| match kind {
+        0 => Term::le(a, Term::int(c)),
+        1 => Term::le(Term::int(c), a),
+        _ => Term::le(a, Term::add(b, Term::int(c))),
+    })
+}
+
+/// A falsifiable-looking goal: equality or a bound between variables.
+fn goal() -> impl Strategy<Value = Term> {
+    (var_term(), var_term(), -3i64..=3, 0usize..2).prop_map(|(a, b, c, kind)| match kind {
+        0 => Term::eq(a, b),
+        _ => Term::le(a, Term::add(b, Term::int(c))),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Randomized half of the contract: whenever the full cone falsifies,
+    /// the minimized cone (a) is a subset, (b) still concretely refutes
+    /// via the kept facts — which also means the verdict cannot have
+    /// flipped to proved — and (c) never binds more variables.
+    #[test]
+    fn minimized_witness_still_refutes(
+        facts in proptest::collection::vec(fact(), 0..6),
+        goal in goal(),
+    ) {
+        let sorts = int_sorts();
+        let falsify = FalsifyConfig::default();
+        let Some(full) = find_counterexample(&facts, &goal, &sorts, &falsify) else {
+            return Ok(()); // goal holds under these facts: nothing to minimize
+        };
+        prop_assert!(refutes(&facts, &goal, &full));
+
+        let min = minimize_counterexample(
+            &facts,
+            &goal,
+            &sorts,
+            &falsify,
+            BackendKind::default(),
+            &SolverConfig::default(),
+            full.clone(),
+        );
+        // (a) kept is a strictly ordered subset of the original indices.
+        prop_assert!(min.kept.windows(2).all(|w| w[0] < w[1]), "{:?}", min.kept);
+        prop_assert!(min.kept.iter().all(|&i| i < facts.len()), "{:?}", min.kept);
+        // (b) the minimal cone still refutes — soundness and no-flip.
+        let subset: Vec<Term> = min.kept.iter().map(|&i| facts[i].clone()).collect();
+        prop_assert!(refutes(&subset, &goal, &min.env));
+        // (c) the witness only ever shrinks.
+        prop_assert!(min.env.len() <= full.len(), "{} > {}", min.env.len(), full.len());
+    }
+
+    /// Determinism: minimizing twice from the same initial environment
+    /// yields the identical kept set and environment (the ddmin scan and
+    /// the falsifier are both deterministic).
+    #[test]
+    fn minimization_is_deterministic(
+        facts in proptest::collection::vec(fact(), 0..5),
+        goal in goal(),
+    ) {
+        let sorts = int_sorts();
+        let falsify = FalsifyConfig::default();
+        let Some(full) = find_counterexample(&facts, &goal, &sorts, &falsify) else {
+            return Ok(());
+        };
+        let run = || minimize_counterexample(
+            &facts,
+            &goal,
+            &sorts,
+            &falsify,
+            BackendKind::default(),
+            &SolverConfig::default(),
+            full.clone(),
+        );
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.kept, b.kept);
+        prop_assert_eq!(a.env, b.env);
+    }
+}

@@ -5,7 +5,7 @@
 //!
 //! Pinned corpora:
 //!
-//! * the 18 Table 1 fixtures and the 4 rejected variants (builder form,
+//! * the 18 Table 1 fixtures and the 5 rejected variants (builder form,
 //!   failing reports with counterexamples included),
 //! * the committed `.csl` corpus (span-carrying programs compiled by
 //!   `commcsl-front`),
